@@ -1,0 +1,407 @@
+//! Deterministic synthetic-Internet generator.
+//!
+//! The paper's attribution tables name real networks: Table 4/6 cellular
+//! carriers (TELEFONICA BRASIL, Tim Celular, Bharti Airtel, ...), Table 5
+//! continents, and Figure 11 satellite ISPs (Hughes, ViaSat, Skylogic, ...).
+//! We cannot redistribute real routing or MaxMind data, so this module
+//! *generates* an address space with the same cast and the same relative
+//! sizes: every named AS from the paper is present with a weight chosen so
+//! the reproduction's rankings come out in the published order, and filler
+//! ASes (broadband/academic/hosting/transit per continent) supply the
+//! low-latency bulk of the responsive Internet.
+//!
+//! The `year` knob scales cellular address space: the paper observes
+//! (Fig. 9) that the timeout needed to capture the 95th/98th/99th
+//! percentiles grew from 2006 to 2015 and attributes the growth to cellular
+//! hosts — so the 2006 plan allocates cellular ASes ~15% of their 2015
+//! space, interpolating between.
+
+use crate::geo::Continent;
+use crate::registry::{AsInfo, AsKind, AsRegistry, Asn};
+use crate::AsDb;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`InternetPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Survey year, 2006–2015. Controls the cellular share of the space.
+    pub year: u16,
+    /// Seed for the (purely cosmetic) jitter applied to filler AS sizes.
+    pub seed: u64,
+    /// Total number of /24 blocks to allocate across all ASes.
+    pub total_blocks: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { year: 2015, seed: 0xbe_aa_2e, total_blocks: 4096 }
+    }
+}
+
+/// One routed prefix and the AS that originates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixAllocation {
+    /// Prefix bits (host-order address of the first covered IP).
+    pub prefix: u32,
+    /// Prefix length, 16–24 as produced by the generator.
+    pub len: u8,
+    /// Originating AS.
+    pub asn: Asn,
+}
+
+impl PrefixAllocation {
+    /// Number of /24 blocks covered.
+    pub fn block_count(&self) -> u32 {
+        1u32 << (24 - u32::from(self.len.min(24)))
+    }
+
+    /// Iterate the 24-bit block prefixes (i.e. `addr >> 8`) covered.
+    pub fn block_prefixes(&self) -> impl Iterator<Item = u32> {
+        let first = self.prefix >> 8;
+        (first..first + self.block_count()).take(self.block_count() as usize)
+    }
+}
+
+/// A generated Internet: the AS registry plus every routed prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InternetPlan {
+    /// The registry of all generated ASes.
+    pub registry: AsRegistry,
+    /// Every routed prefix.
+    pub allocations: Vec<PrefixAllocation>,
+    /// The year this plan models.
+    pub year: u16,
+}
+
+/// How an AS's size responds to the `year` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Growth {
+    /// Cellular space: grows 2006→2015.
+    CellularTrend,
+    /// Stable across the study period.
+    Fixed,
+}
+
+struct RosterEntry {
+    asn: u32,
+    name: &'static str,
+    kind: AsKind,
+    country: &'static str,
+    continent: Continent,
+    /// Relative size (in /24 blocks) at 2015.
+    weight: f64,
+    growth: Growth,
+}
+
+/// The cast: every AS the paper names, with weights that order Tables 4/6
+/// correctly, plus filler ASes providing the responsive low-latency bulk.
+fn roster() -> Vec<RosterEntry> {
+    use AsKind::*;
+    use Continent::*;
+    use Growth::*;
+    let mut r = Vec::new();
+    let mut push = |asn: u32,
+                    name: &'static str,
+                    kind: AsKind,
+                    country: &'static str,
+                    continent: Continent,
+                    weight: f64,
+                    growth: Growth| {
+        r.push(RosterEntry { asn, name, kind, country, continent, weight, growth });
+    };
+
+    // Table 4 / Table 6 cellular carriers, ordered by published turtle counts.
+    push(26599, "TELEFONICA BRASIL", Cellular, "BR", SouthAmerica, 44.0, CellularTrend);
+    push(26615, "Tim Celular S.A.", Cellular, "BR", SouthAmerica, 18.0, CellularTrend);
+    push(45609, "Bharti Airtel Ltd.", Cellular, "IN", Asia, 15.0, CellularTrend);
+    push(22394, "Cellco Partnership", Cellular, "US", NorthAmerica, 8.0, CellularTrend);
+    push(1257, "TELE2", Cellular, "SE", Europe, 7.5, CellularTrend);
+    push(27831, "Colombia Movil", Cellular, "CO", SouthAmerica, 7.0, CellularTrend);
+    push(6306, "VENEZOLAN", Cellular, "VE", SouthAmerica, 6.5, CellularTrend);
+    push(35819, "Etihad Etisalat (Mobily)", Cellular, "SA", Asia, 6.0, CellularTrend);
+    push(12430, "VODAFONE ESPANA S.A.U.", Cellular, "ES", Europe, 3.0, CellularTrend);
+    // Mixed networks the paper singles out for their *low* turtle fraction:
+    // only part of the space behaves cellularly.
+    push(3352, "TELEFONICA DE ESPANA", MixedCellular, "ES", Europe, 30.0, Fixed);
+    push(9829, "National Internet Backbone", MixedCellular, "IN", Asia, 26.0, CellularTrend);
+    push(4134, "Chinanet", Transit, "CN", Asia, 60.0, Fixed);
+
+    // Figure 11 satellite ISPs.
+    push(6621, "Hughes Network Systems", Satellite, "US", NorthAmerica, 3.0, Fixed);
+    push(7155, "ViaSat", Satellite, "US", NorthAmerica, 2.5, Fixed);
+    push(21107, "Skylogic", Satellite, "IT", Europe, 1.5, Fixed);
+    push(23005, "BayCity Satellite", Satellite, "US", NorthAmerica, 1.0, Fixed);
+    push(4739, "iiNet Satellite", Satellite, "AU", Oceania, 1.5, Fixed);
+    push(15611, "On Line Satellite", Satellite, "IL", Asia, 1.0, Fixed);
+    push(38195, "SkyMesh", Satellite, "AU", Oceania, 1.0, Fixed);
+    push(52616, "Telesat", Satellite, "CA", NorthAmerica, 1.0, Fixed);
+    push(19165, "Horizon Satellite", Satellite, "US", NorthAmerica, 1.0, Fixed);
+    // Rural mixed provider (satellite *and* fixed wireless): appears inside
+    // the satellite cluster of Fig. 11 with some low-first-percentile
+    // addresses. The scenario layer keys on this ASN.
+    push(22995, "Xplornet", Broadband, "CA", NorthAmerica, 2.5, Fixed);
+
+    // Filler broadband/academic/hosting/transit: the responsive, low-latency
+    // bulk of the Internet, spread over continents roughly like the real
+    // responsive-address distribution.
+    push(64501, "Mid-Atlantic Cable", Broadband, "US", NorthAmerica, 80.0, Fixed);
+    push(64502, "Pacific Fiber Co", Broadband, "US", NorthAmerica, 60.0, Fixed);
+    push(64503, "Maple DSL", Broadband, "CA", NorthAmerica, 25.0, Fixed);
+    push(64504, "Rhine Telecom", Broadband, "DE", Europe, 55.0, Fixed);
+    push(64505, "Gaulois Net", Broadband, "FR", Europe, 45.0, Fixed);
+    push(64506, "Thames Broadband", Broadband, "GB", Europe, 40.0, Fixed);
+    push(64507, "Vistula Online", Broadband, "PL", Europe, 20.0, Fixed);
+    push(64508, "Nippon Hikari", Broadband, "JP", Asia, 55.0, Fixed);
+    push(64509, "Han River Gigabit", Broadband, "KR", Asia, 35.0, Fixed);
+    push(64510, "Mekong Connect", Broadband, "VN", Asia, 15.0, Fixed);
+    push(64511, "Pampas Cable", Broadband, "AR", SouthAmerica, 16.0, Fixed);
+    push(64512, "Andes DSL", Broadband, "CL", SouthAmerica, 10.0, Fixed);
+    push(64513, "Sahel Wireless", Broadband, "NG", Africa, 6.0, Fixed);
+    push(64514, "Cape Fibre", Broadband, "ZA", Africa, 6.0, Fixed);
+    push(64515, "Southern Cross Net", Broadband, "AU", Oceania, 12.0, Fixed);
+    push(64516, "Kiwi Broadband", Broadband, "NZ", Oceania, 5.0, Fixed);
+    push(64521, "Unified Research Net", Academic, "US", NorthAmerica, 14.0, Fixed);
+    push(64522, "EuroGrid Academia", Academic, "GR", Europe, 10.0, Fixed);
+    push(64523, "Asia Pacific Uni Net", Academic, "JP", Asia, 8.0, Fixed);
+    push(64531, "Rackhouse Hosting", Hosting, "US", NorthAmerica, 25.0, Fixed);
+    push(64532, "Amstel Colo", Hosting, "NL", Europe, 18.0, Fixed);
+    push(64541, "Continental Transit One", Transit, "US", NorthAmerica, 20.0, Fixed);
+    push(64542, "Bosphorus Carrier", Transit, "RU", Europe, 15.0, Fixed);
+    // Extra cellular carriers so cellular tails exist beyond the top-10 cast.
+    push(64551, "Savanna Mobile", Cellular, "KE", Africa, 9.0, CellularTrend);
+    push(64552, "Nile Cellular", Cellular, "EG", Africa, 7.0, CellularTrend);
+    push(64553, "Ganges Wireless", Cellular, "IN", Asia, 9.0, CellularTrend);
+    push(64554, "Archipelago Mobile", Cellular, "ID", Asia, 8.0, CellularTrend);
+    push(64555, "Altiplano Cel", Cellular, "PE", SouthAmerica, 5.0, CellularTrend);
+
+    r
+}
+
+/// Cellular size multiplier for a year: ~15% of 2015 size in 2006, growing
+/// superlinearly (mirrors the paper's observation that the high-latency
+/// population grew sharply after 2011).
+fn cellular_multiplier(year: u16) -> f64 {
+    let t = (f64::from(year.clamp(2006, 2015)) - 2006.0) / 9.0;
+    0.15 + 0.85 * t.powf(1.4)
+}
+
+/// True if the /16 identified by its top octets is IETF/IANA reserved and
+/// must not be allocated.
+fn reserved_slash16(a: u8, b: u8) -> bool {
+    match a {
+        0 | 10 | 127 => true,
+        169 if b == 254 => true,
+        172 if (16..32).contains(&b) => true,
+        192 if b == 168 || b == 0 => true,
+        198 if b == 18 || b == 19 || b == 51 => true,
+        203 if b == 0 => true,
+        a if a >= 224 => true,
+        _ => false,
+    }
+}
+
+impl InternetPlan {
+    /// Generate a plan deterministically from `cfg`.
+    pub fn generate(cfg: &GenConfig) -> Self {
+        let mult = cellular_multiplier(cfg.year);
+        let roster = roster();
+
+        // Effective weights for this year.
+        let weights: Vec<f64> = roster
+            .iter()
+            .map(|e| match e.growth {
+                Growth::CellularTrend => e.weight * mult,
+                Growth::Fixed => e.weight,
+            })
+            .collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let mut registry = AsRegistry::new();
+        let mut allocations = Vec::new();
+        // Allocation cursor in /24-block units (i.e. address >> 8), starting
+        // at 1.0.0.0.
+        let mut cursor: u32 = 1 << 16;
+        let mut jitter = cfg.seed | 1;
+
+        for (entry, weight) in roster.iter().zip(&weights) {
+            registry.insert(AsInfo::new(
+                Asn(entry.asn),
+                entry.name,
+                entry.kind,
+                entry.country,
+                entry.continent,
+            ));
+            // Small deterministic jitter (±6%) so filler sizes are not
+            // suspiciously round, without disturbing the ranking.
+            jitter = jitter.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) | 1;
+            let wobble = 0.94 + 0.12 * ((jitter >> 8) as f64 / (u64::MAX >> 8) as f64);
+            let mut blocks = ((weight / total_weight) * f64::from(cfg.total_blocks) * wobble)
+                .round()
+                .max(1.0) as u32;
+            while blocks > 0 {
+                // Largest power-of-two chunk ≤ blocks, capped at a /16.
+                let chunk = (1u32 << (31 - blocks.leading_zeros())).min(256);
+                // Align the cursor to the chunk and skip reserved /16s.
+                loop {
+                    cursor = (cursor + chunk - 1) & !(chunk - 1);
+                    let addr = cursor << 8;
+                    let a = (addr >> 24) as u8;
+                    let b = (addr >> 16) as u8;
+                    if reserved_slash16(a, b) {
+                        // Jump past this entire /16.
+                        cursor = ((cursor >> 8) + 1) << 8;
+                        continue;
+                    }
+                    break;
+                }
+                let len = 24 - chunk.trailing_zeros() as u8;
+                allocations.push(PrefixAllocation { prefix: cursor << 8, len, asn: Asn(entry.asn) });
+                cursor += chunk;
+                blocks -= chunk;
+            }
+        }
+
+        InternetPlan { registry, allocations, year: cfg.year }
+    }
+
+    /// Build the lookup database for this plan.
+    pub fn to_db(&self) -> AsDb {
+        AsDb::new(self.registry.clone(), self.allocations.iter().copied())
+    }
+
+    /// Iterate `(block_prefix24, asn)` over every routed /24 block.
+    pub fn blocks(&self) -> impl Iterator<Item = (u32, Asn)> + '_ {
+        self.allocations.iter().flat_map(|a| a.block_prefixes().map(move |b| (b, a.asn)))
+    }
+
+    /// Total /24 blocks routed.
+    pub fn block_count(&self) -> u32 {
+        self.allocations.iter().map(|a| a.block_count()).sum()
+    }
+
+    /// Total addresses routed.
+    pub fn address_count(&self) -> u64 {
+        u64::from(self.block_count()) * 256
+    }
+
+    /// /24 blocks of one AS.
+    pub fn blocks_of(&self, asn: Asn) -> Vec<u32> {
+        self.allocations
+            .iter()
+            .filter(|a| a.asn == asn)
+            .flat_map(|a| a.block_prefixes())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = InternetPlan::generate(&cfg);
+        let b = InternetPlan::generate(&cfg);
+        assert_eq!(a.allocations, b.allocations);
+        assert_eq!(a.registry.len(), b.registry.len());
+    }
+
+    #[test]
+    fn block_budget_roughly_met() {
+        let cfg = GenConfig::default();
+        let plan = InternetPlan::generate(&cfg);
+        let blocks = plan.block_count();
+        // Rounding and the ≥1-block floor allow some slack.
+        assert!(blocks > cfg.total_blocks * 85 / 100, "only {blocks} blocks");
+        assert!(blocks < cfg.total_blocks * 115 / 100, "too many: {blocks}");
+        assert_eq!(plan.address_count(), u64::from(blocks) * 256);
+    }
+
+    #[test]
+    fn allocations_never_overlap_and_avoid_reserved() {
+        let plan = InternetPlan::generate(&GenConfig::default());
+        let mut seen = HashSet::new();
+        for (block, _) in plan.blocks() {
+            assert!(seen.insert(block), "block {block:#x} allocated twice");
+            let a = (block >> 16) as u8;
+            let b = (block >> 8) as u8;
+            assert!(!reserved_slash16(a, b), "reserved block {a}.{b}.x.0 allocated");
+        }
+    }
+
+    #[test]
+    fn every_allocation_resolves_to_its_as() {
+        let plan = InternetPlan::generate(&GenConfig { total_blocks: 512, ..Default::default() });
+        let db = plan.to_db();
+        for alloc in &plan.allocations {
+            let mid = alloc.prefix + (1u32 << (32 - u32::from(alloc.len))) / 2;
+            assert_eq!(db.lookup(mid).unwrap().asn, alloc.asn);
+        }
+    }
+
+    #[test]
+    fn paper_cast_is_present() {
+        let plan = InternetPlan::generate(&GenConfig::default());
+        for asn in [26599, 26615, 45609, 22394, 1257, 27831, 6306, 35819, 12430, 3352, 9829, 4134] {
+            assert!(plan.registry.get(Asn(asn)).is_some(), "AS{asn} missing");
+            assert!(!plan.blocks_of(Asn(asn)).is_empty(), "AS{asn} has no blocks");
+        }
+        assert_eq!(plan.registry.get(Asn(26599)).unwrap().name, "TELEFONICA BRASIL");
+    }
+
+    #[test]
+    fn telefonica_brasil_is_largest_cellular() {
+        let plan = InternetPlan::generate(&GenConfig::default());
+        let tb = plan.blocks_of(Asn(26599)).len();
+        for info in plan.registry.of_kind(AsKind::Cellular) {
+            if info.asn != Asn(26599) {
+                assert!(
+                    plan.blocks_of(info.asn).len() < tb,
+                    "{} not smaller than TELEFONICA BRASIL",
+                    info.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cellular_space_grows_with_year() {
+        let blocks_in = |year: u16| {
+            let plan = InternetPlan::generate(&GenConfig { year, ..Default::default() });
+            let cellular: usize = plan
+                .registry
+                .of_kind(AsKind::Cellular)
+                .map(|i| plan.blocks_of(i.asn).len())
+                .sum();
+            (cellular, plan.block_count() as usize)
+        };
+        let (c2006, t2006) = blocks_in(2006);
+        let (c2011, _) = blocks_in(2011);
+        let (c2015, t2015) = blocks_in(2015);
+        assert!(c2006 < c2011 && c2011 < c2015, "{c2006} !< {c2011} !< {c2015}");
+        // Share roughly triples-or-more over the period.
+        let share06 = c2006 as f64 / t2006 as f64;
+        let share15 = c2015 as f64 / t2015 as f64;
+        assert!(share15 > 2.5 * share06, "share {share06:.3} -> {share15:.3}");
+    }
+
+    #[test]
+    fn multiplier_endpoints() {
+        assert!((cellular_multiplier(2006) - 0.15).abs() < 1e-9);
+        assert!((cellular_multiplier(2015) - 1.0).abs() < 1e-9);
+        assert_eq!(cellular_multiplier(1999), cellular_multiplier(2006));
+        assert_eq!(cellular_multiplier(2030), cellular_multiplier(2015));
+    }
+
+    #[test]
+    fn reserved_ranges_spot_check() {
+        assert!(reserved_slash16(10, 5));
+        assert!(reserved_slash16(192, 168));
+        assert!(reserved_slash16(172, 20));
+        assert!(!reserved_slash16(172, 8));
+        assert!(reserved_slash16(224, 0));
+        assert!(!reserved_slash16(8, 8));
+    }
+}

@@ -1,0 +1,98 @@
+//! Geographic attribution types.
+//!
+//! Table 5 of the paper ranks continents by the number of addresses with
+//! RTT > 1 s; this module provides the continent enumeration and its
+//! display names as they appear in that table.
+
+use serde::{Deserialize, Serialize};
+
+/// The six populated continents the paper's Table 5 reports on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    /// South America — tops Table 5 (≈27% of its addresses are turtles).
+    SouthAmerica,
+    /// Asia — second by turtle count.
+    Asia,
+    /// Europe.
+    Europe,
+    /// Africa — highest *fraction* of turtle addresses (≈30%).
+    Africa,
+    /// North America — lowest turtle fraction (≈1%).
+    NorthAmerica,
+    /// Oceania.
+    Oceania,
+}
+
+impl Continent {
+    /// All continents, in the order Table 5 lists them.
+    pub const ALL: [Continent; 6] = [
+        Continent::SouthAmerica,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::Africa,
+        Continent::NorthAmerica,
+        Continent::Oceania,
+    ];
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Continent::SouthAmerica => "South America",
+            Continent::Asia => "Asia",
+            Continent::Europe => "Europe",
+            Continent::Africa => "Africa",
+            Continent::NorthAmerica => "North America",
+            Continent::Oceania => "Oceania",
+        }
+    }
+}
+
+impl std::fmt::Display for Continent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Map an ISO 3166 alpha-2 country code to its continent, for the country
+/// codes the synthetic registry uses. Unknown codes return `None` rather
+/// than guessing.
+pub fn continent_of_country(code: &str) -> Option<Continent> {
+    let c = match code {
+        "BR" | "CO" | "VE" | "AR" | "CL" | "PE" | "EC" => Continent::SouthAmerica,
+        "IN" | "CN" | "JP" | "KR" | "SA" | "AE" | "ID" | "TH" | "VN" | "PK" => Continent::Asia,
+        "ES" | "SE" | "DE" | "FR" | "GB" | "IT" | "NL" | "GR" | "PL" | "RU" => Continent::Europe,
+        "NG" | "ZA" | "EG" | "KE" | "MA" | "GH" | "TZ" => Continent::Africa,
+        "US" | "CA" | "MX" => Continent::NorthAmerica,
+        "AU" | "NZ" | "FJ" => Continent::Oceania,
+        _ => return None,
+    };
+    Some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_order_and_names() {
+        assert_eq!(Continent::ALL[0].name(), "South America");
+        assert_eq!(Continent::ALL[5].to_string(), "Oceania");
+        assert_eq!(Continent::ALL.len(), 6);
+    }
+
+    #[test]
+    fn country_mapping_spot_checks() {
+        assert_eq!(continent_of_country("BR"), Some(Continent::SouthAmerica));
+        assert_eq!(continent_of_country("IN"), Some(Continent::Asia));
+        assert_eq!(continent_of_country("ES"), Some(Continent::Europe));
+        assert_eq!(continent_of_country("US"), Some(Continent::NorthAmerica));
+        assert_eq!(continent_of_country("ZZ"), None);
+    }
+
+    #[test]
+    fn continents_are_distinct_and_ordered() {
+        for w in Continent::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # beware-asdb
+//!
+//! The address-attribution substrate of the *Timeouts: Beware Surprisingly
+//! High Delay* reproduction. The paper attributes high-latency addresses to
+//! Autonomous Systems and continents using the MaxMind database; this crate
+//! is our from-scratch substitute:
+//!
+//! * [`trie`] — a binary prefix trie with longest-prefix-match lookup,
+//! * [`registry`] — Autonomous System records (ASN, organization, access
+//!   technology, country, continent),
+//! * [`geo`] — continents and countries,
+//! * [`gen`] — a deterministic generator that allocates a synthetic IPv4
+//!   address space to a realistic AS mix, parameterized by year so the
+//!   2006→2015 growth of cellular address space (the paper's explanation of
+//!   the rising-latency trend, Fig. 9) can be reproduced.
+//!
+//! The database view used everywhere downstream is [`AsDb`]: address in,
+//! `(ASN, organization, kind, continent)` out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod geo;
+pub mod persist;
+pub mod registry;
+pub mod trie;
+
+pub use gen::{GenConfig, InternetPlan, PrefixAllocation};
+pub use geo::Continent;
+pub use registry::{AsInfo, AsKind, AsRegistry, Asn};
+pub use trie::PrefixTrie;
+
+/// Longest-prefix-match database mapping addresses to AS records.
+///
+/// This is the reproduction's stand-in for MaxMind GeoIP/ASN: the analysis
+/// pipeline only ever asks "which AS and continent does this address belong
+/// to", which is exactly [`AsDb::lookup`].
+#[derive(Debug, Clone)]
+pub struct AsDb {
+    registry: AsRegistry,
+    prefixes: PrefixTrie<Asn>,
+}
+
+impl AsDb {
+    /// Build from a registry and a set of prefix allocations.
+    pub fn new(registry: AsRegistry, allocations: impl IntoIterator<Item = PrefixAllocation>) -> Self {
+        let mut prefixes = PrefixTrie::new();
+        for alloc in allocations {
+            prefixes.insert(alloc.prefix, alloc.len, alloc.asn);
+        }
+        AsDb { registry, prefixes }
+    }
+
+    /// Longest-prefix-match lookup of an address to its AS record.
+    pub fn lookup(&self, addr: u32) -> Option<&AsInfo> {
+        let asn = *self.prefixes.lookup(addr)?;
+        self.registry.get(asn)
+    }
+
+    /// The AS record for an ASN, if registered.
+    pub fn as_info(&self, asn: Asn) -> Option<&AsInfo> {
+        self.registry.get(asn)
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &AsRegistry {
+        &self.registry
+    }
+
+    /// Number of installed prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_lookup_resolves_most_specific() {
+        let mut reg = AsRegistry::new();
+        reg.insert(AsInfo::new(Asn(100), "Coarse Transit", AsKind::Transit, "US", Continent::NorthAmerica));
+        reg.insert(AsInfo::new(Asn(200), "Fine Cellular", AsKind::Cellular, "BR", Continent::SouthAmerica));
+        let db = AsDb::new(
+            reg,
+            [
+                PrefixAllocation { prefix: 0x0a00_0000, len: 8, asn: Asn(100) },
+                PrefixAllocation { prefix: 0x0a01_0000, len: 16, asn: Asn(200) },
+            ],
+        );
+        assert_eq!(db.lookup(0x0a01_0203).unwrap().asn, Asn(200));
+        assert_eq!(db.lookup(0x0a02_0203).unwrap().asn, Asn(100));
+        assert!(db.lookup(0x0b00_0000).is_none());
+        assert_eq!(db.prefix_count(), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Plain-text persistence for Internet plans.
+//!
+//! A generated plan — the registry plus every routed prefix — can be saved
+//! to a human-auditable TSV file and reloaded, so a study pins its exact
+//! synthetic Internet next to its results (the same role the MaxMind
+//! snapshot date plays in the paper). Format:
+//!
+//! ```text
+//! #beware-plan v1
+//! year\t<year>
+//! as\t<asn>\t<kind>\t<country>\t<continent>\t<name>
+//! pfx\t<dotted-quad>/<len>\t<asn>
+//! ```
+//!
+//! The name field is last so embedded tabs cannot exist (names are
+//! validated) and parsing stays unambiguous.
+
+use crate::gen::{InternetPlan, PrefixAllocation};
+use crate::geo::Continent;
+use crate::registry::{AsInfo, AsKind, AsRegistry, Asn};
+use std::fmt::Write as _;
+
+/// Errors while loading a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Missing or wrong file signature.
+    BadHeader,
+    /// A line failed to parse; carries the 1-based line number.
+    BadLine(usize),
+    /// A prefix references an ASN absent from the registry section.
+    UnknownAsn(u32),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadHeader => write!(f, "missing #beware-plan header"),
+            LoadError::BadLine(n) => write!(f, "unparseable line {n}"),
+            LoadError::UnknownAsn(a) => write!(f, "prefix references unregistered AS{a}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn kind_str(k: AsKind) -> &'static str {
+    k.label()
+}
+
+fn kind_parse(s: &str) -> Option<AsKind> {
+    Some(match s {
+        "cellular" => AsKind::Cellular,
+        "mixed-cellular" => AsKind::MixedCellular,
+        "broadband" => AsKind::Broadband,
+        "satellite" => AsKind::Satellite,
+        "academic" => AsKind::Academic,
+        "hosting" => AsKind::Hosting,
+        "transit" => AsKind::Transit,
+        _ => return None,
+    })
+}
+
+fn continent_str(c: Continent) -> &'static str {
+    match c {
+        Continent::SouthAmerica => "SA",
+        Continent::Asia => "AS",
+        Continent::Europe => "EU",
+        Continent::Africa => "AF",
+        Continent::NorthAmerica => "NA",
+        Continent::Oceania => "OC",
+    }
+}
+
+fn continent_parse(s: &str) -> Option<Continent> {
+    Some(match s {
+        "SA" => Continent::SouthAmerica,
+        "AS" => Continent::Asia,
+        "EU" => Continent::Europe,
+        "AF" => Continent::Africa,
+        "NA" => Continent::NorthAmerica,
+        "OC" => Continent::Oceania,
+        _ => return None,
+    })
+}
+
+/// Serialize a plan to the TSV format.
+pub fn save(plan: &InternetPlan) -> String {
+    let mut out = String::new();
+    out.push_str("#beware-plan v1\n");
+    let _ = writeln!(out, "year\t{}", plan.year);
+    for info in plan.registry.iter() {
+        debug_assert!(!info.name.contains('\t') && !info.name.contains('\n'));
+        let _ = writeln!(
+            out,
+            "as\t{}\t{}\t{}\t{}\t{}",
+            info.asn.0,
+            kind_str(info.kind),
+            info.country,
+            continent_str(info.continent),
+            info.name
+        );
+    }
+    for a in &plan.allocations {
+        let _ = writeln!(
+            out,
+            "pfx\t{}/{}\t{}",
+            std::net::Ipv4Addr::from(a.prefix),
+            a.len,
+            a.asn.0
+        );
+    }
+    out
+}
+
+/// Parse a plan previously produced by [`save`].
+pub fn load(text: &str) -> Result<InternetPlan, LoadError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, header)) = lines.next() else { return Err(LoadError::BadHeader) };
+    if header.trim() != "#beware-plan v1" {
+        return Err(LoadError::BadHeader);
+    }
+    let mut registry = AsRegistry::new();
+    let mut allocations = Vec::new();
+    let mut year = 2015u16;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        match fields.next() {
+            Some("year") => {
+                year = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(LoadError::BadLine(lineno))?;
+            }
+            Some("as") => {
+                let asn: u32 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(LoadError::BadLine(lineno))?;
+                let kind = fields
+                    .next()
+                    .and_then(kind_parse)
+                    .ok_or(LoadError::BadLine(lineno))?;
+                let country = fields.next().ok_or(LoadError::BadLine(lineno))?;
+                let continent = fields
+                    .next()
+                    .and_then(continent_parse)
+                    .ok_or(LoadError::BadLine(lineno))?;
+                let name = fields.next().ok_or(LoadError::BadLine(lineno))?;
+                registry.insert(AsInfo::new(Asn(asn), name, kind, country, continent));
+            }
+            Some("pfx") => {
+                let cidr = fields.next().ok_or(LoadError::BadLine(lineno))?;
+                let asn: u32 = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(LoadError::BadLine(lineno))?;
+                let (addr, len) = cidr.split_once('/').ok_or(LoadError::BadLine(lineno))?;
+                let prefix: u32 = addr
+                    .parse::<std::net::Ipv4Addr>()
+                    .map(u32::from)
+                    .map_err(|_| LoadError::BadLine(lineno))?;
+                let len: u8 = len.parse().map_err(|_| LoadError::BadLine(lineno))?;
+                if len > 32 {
+                    return Err(LoadError::BadLine(lineno));
+                }
+                if registry.get(Asn(asn)).is_none() {
+                    return Err(LoadError::UnknownAsn(asn));
+                }
+                allocations.push(PrefixAllocation { prefix, len, asn: Asn(asn) });
+            }
+            _ => return Err(LoadError::BadLine(lineno)),
+        }
+    }
+    Ok(InternetPlan { registry, allocations, year })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+
+    #[test]
+    fn roundtrip_generated_plan() {
+        let plan = InternetPlan::generate(&GenConfig { total_blocks: 256, ..Default::default() });
+        let text = save(&plan);
+        let back = load(&text).unwrap();
+        assert_eq!(back.year, plan.year);
+        assert_eq!(back.allocations, plan.allocations);
+        assert_eq!(back.registry.len(), plan.registry.len());
+        for info in plan.registry.iter() {
+            assert_eq!(back.registry.get(info.asn), Some(info));
+        }
+        // And the resulting databases resolve identically.
+        let db_a = plan.to_db();
+        let db_b = back.to_db();
+        for (block, _) in plan.blocks() {
+            assert_eq!(
+                db_a.lookup(block << 8).map(|i| i.asn),
+                db_b.lookup(block << 8).map(|i| i.asn)
+            );
+        }
+    }
+
+    #[test]
+    fn header_required() {
+        assert_eq!(load("nonsense\n").unwrap_err(), LoadError::BadHeader);
+        assert_eq!(load("").unwrap_err(), LoadError::BadHeader);
+    }
+
+    #[test]
+    fn bad_lines_located() {
+        let text = "#beware-plan v1\nyear\t2015\nas\tnot-a-number\tcellular\tBR\tSA\tx\n";
+        assert_eq!(load(text).unwrap_err(), LoadError::BadLine(3));
+        let text = "#beware-plan v1\npfx\t10.0.0.0/33\t1\n";
+        assert!(load(text).is_err());
+    }
+
+    #[test]
+    fn prefix_requires_registered_as() {
+        let text = "#beware-plan v1\npfx\t10.0.0.0/16\t777\n";
+        assert_eq!(load(text).unwrap_err(), LoadError::UnknownAsn(777));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "#beware-plan v1\n\n# a comment\nyear\t2010\n";
+        let plan = load(text).unwrap();
+        assert_eq!(plan.year, 2010);
+        assert!(plan.allocations.is_empty());
+    }
+
+    #[test]
+    fn kind_and_continent_codes_roundtrip() {
+        use AsKind::*;
+        for k in [Cellular, MixedCellular, Broadband, Satellite, Academic, Hosting, Transit] {
+            assert_eq!(kind_parse(kind_str(k)), Some(k));
+        }
+        for c in Continent::ALL {
+            assert_eq!(continent_parse(continent_str(c)), Some(c));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Autonomous System records.
+//!
+//! Each AS carries the attributes the paper's Section 6 analysis needs: the
+//! organization name (Tables 4 and 6 print them), the access technology
+//! ("Inspecting the owners of each of these Autonomous Systems reveals that
+//! a majority of them are cellular"), and the geographic home used for the
+//! continent ranking (Table 5).
+
+use crate::geo::Continent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An Autonomous System number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl std::fmt::Display for Asn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Dominant access technology of an AS — the attribute the paper's causal
+/// analysis pivots on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsKind {
+    /// Cellular carrier (GPRS/3G/LTE). The paper finds these dominate both
+    /// the >1 s ("turtle") and >100 s ("sleepy turtle") rankings.
+    Cellular,
+    /// Mixed-service carrier: offers cellular alongside fixed-line service
+    /// (e.g. AS9829 National Internet Backbone); only part of its space
+    /// shows cellular latency behavior.
+    MixedCellular,
+    /// Fixed-line broadband (DSL/cable/fiber).
+    Broadband,
+    /// Geostationary-satellite ISP (Hughes, ViaSat, ... — Figure 11).
+    Satellite,
+    /// University / research network.
+    Academic,
+    /// Datacenter / hosting.
+    Hosting,
+    /// Backbone / transit carrier (e.g. AS4134 Chinanet in Table 4, whose
+    /// turtle *fraction* is ~1% because most of its space is not cellular).
+    Transit,
+}
+
+impl AsKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsKind::Cellular => "cellular",
+            AsKind::MixedCellular => "mixed-cellular",
+            AsKind::Broadband => "broadband",
+            AsKind::Satellite => "satellite",
+            AsKind::Academic => "academic",
+            AsKind::Hosting => "hosting",
+            AsKind::Transit => "transit",
+        }
+    }
+
+    /// True if any portion of the AS serves cellular subscribers.
+    pub fn serves_cellular(self) -> bool {
+        matches!(self, AsKind::Cellular | AsKind::MixedCellular)
+    }
+}
+
+/// One Autonomous System record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Organization name as printed in the paper's tables.
+    pub name: String,
+    /// Dominant access technology.
+    pub kind: AsKind,
+    /// ISO 3166 alpha-2 country code of the registered home.
+    pub country: String,
+    /// Continent, for Table 5.
+    pub continent: Continent,
+}
+
+impl AsInfo {
+    /// Convenience constructor.
+    pub fn new(
+        asn: Asn,
+        name: impl Into<String>,
+        kind: AsKind,
+        country: impl Into<String>,
+        continent: Continent,
+    ) -> Self {
+        AsInfo { asn, name: name.into(), kind, country: country.into(), continent }
+    }
+}
+
+/// The set of known Autonomous Systems, keyed by ASN.
+///
+/// `BTreeMap` keeps iteration deterministic, which the reproducible
+/// experiment harness depends on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsRegistry {
+    entries: BTreeMap<Asn, AsInfo>,
+}
+
+impl AsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a record. Returns the previous record if any.
+    pub fn insert(&mut self, info: AsInfo) -> Option<AsInfo> {
+        self.entries.insert(info.asn, info)
+    }
+
+    /// Look up by ASN.
+    pub fn get(&self, asn: Asn) -> Option<&AsInfo> {
+        self.entries.get(&asn)
+    }
+
+    /// Number of registered ASes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no AS is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate records in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = &AsInfo> {
+        self.entries.values()
+    }
+
+    /// Records of a given kind, ascending ASN order.
+    pub fn of_kind(&self, kind: AsKind) -> impl Iterator<Item = &AsInfo> {
+        self.entries.values().filter(move |i| i.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AsRegistry {
+        let mut r = AsRegistry::new();
+        r.insert(AsInfo::new(Asn(26599), "TELEFONICA BRASIL", AsKind::Cellular, "BR", Continent::SouthAmerica));
+        r.insert(AsInfo::new(Asn(4134), "Chinanet", AsKind::Transit, "CN", Continent::Asia));
+        r.insert(AsInfo::new(Asn(9829), "National Internet Backbone", AsKind::MixedCellular, "IN", Continent::Asia));
+        r
+    }
+
+    #[test]
+    fn insert_get_iterate_in_asn_order() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(Asn(26599)).unwrap().name, "TELEFONICA BRASIL");
+        let asns: Vec<u32> = r.iter().map(|i| i.asn.0).collect();
+        assert_eq!(asns, vec![4134, 9829, 26599]);
+    }
+
+    #[test]
+    fn kind_filter_and_cellular_service() {
+        let r = sample();
+        assert_eq!(r.of_kind(AsKind::Cellular).count(), 1);
+        assert!(AsKind::MixedCellular.serves_cellular());
+        assert!(!AsKind::Transit.serves_cellular());
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let mut r = sample();
+        let prev = r.insert(AsInfo::new(Asn(4134), "Chinanet (renamed)", AsKind::Transit, "CN", Continent::Asia));
+        assert_eq!(prev.unwrap().name, "Chinanet");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn asn_display() {
+        assert_eq!(Asn(26599).to_string(), "AS26599");
+    }
+
+    #[test]
+    fn kind_labels_distinct() {
+        use AsKind::*;
+        let kinds = [Cellular, MixedCellular, Broadband, Satellite, Academic, Hosting, Transit];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -1,0 +1,268 @@
+//! Binary prefix trie with longest-prefix-match lookup.
+//!
+//! The workhorse behind [`crate::AsDb`]: prefixes of any length 0–32 map to
+//! a value, and lookup returns the value of the most specific covering
+//! prefix. Nodes live in a flat arena (`Vec`) — no per-node allocation, no
+//! pointer chasing beyond an index, and the whole structure is `Clone` when
+//! the value is.
+//!
+//! The alternative considered (and benchmarked in `beware-bench`) is a
+//! sorted interval list with binary search; the trie wins once overlapping
+//! prefixes of mixed lengths exist, which real routing data (and our
+//! generator) produce.
+
+/// Index of a node in the arena. `u32::MAX` is the null sentinel, letting a
+/// node stay 12 bytes + value slot instead of carrying `Option<usize>`.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    children: [u32; 2],
+    /// Index into the values arena, or `NIL`.
+    value: u32,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node { children: [NIL, NIL], value: NIL }
+    }
+}
+
+/// A binary trie keyed by IPv4 prefixes.
+///
+/// ```
+/// use beware_asdb::PrefixTrie;
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert(0x0a000000, 8, "coarse");   // 10.0.0.0/8
+/// trie.insert(0x0a010000, 16, "specific"); // 10.1.0.0/16
+/// assert_eq!(trie.lookup(0x0a010203), Some(&"specific"));
+/// assert_eq!(trie.lookup(0x0a020304), Some(&"coarse"));
+/// assert_eq!(trie.lookup(0x0b000000), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node>,
+    values: Vec<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie (with a preallocated root).
+    pub fn new() -> Self {
+        PrefixTrie { nodes: vec![Node::new()], values: Vec::new(), len: 0 }
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefix is installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Install `prefix/len ⇒ value`, replacing and returning any previous
+    /// value for exactly that prefix.
+    ///
+    /// Bits of `prefix` below the prefix length are ignored, so callers may
+    /// pass any covered address. Panics if `len > 32` (a programming error,
+    /// not a data error).
+    pub fn insert(&mut self, prefix: u32, len: u8, value: V) -> Option<V> {
+        assert!(len <= 32, "prefix length {len} exceeds 32");
+        let mut node = 0usize;
+        for depth in 0..len {
+            let bit = ((prefix >> (31 - depth)) & 1) as usize;
+            let child = self.nodes[node].children[bit];
+            node = if child == NIL {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[bit] = idx;
+                idx as usize
+            } else {
+                child as usize
+            };
+        }
+        let slot = self.nodes[node].value;
+        if slot == NIL {
+            self.nodes[node].value = self.values.len() as u32;
+            self.values.push(value);
+            self.len += 1;
+            None
+        } else {
+            Some(std::mem::replace(&mut self.values[slot as usize], value))
+        }
+    }
+
+    /// Longest-prefix-match: the value of the most specific installed
+    /// prefix covering `addr`, or `None` if no prefix covers it.
+    pub fn lookup(&self, addr: u32) -> Option<&V> {
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value;
+        for depth in 0..32 {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            let child = self.nodes[node].children[bit];
+            if child == NIL {
+                break;
+            }
+            node = child as usize;
+            if self.nodes[node].value != NIL {
+                best = self.nodes[node].value;
+            }
+        }
+        (best != NIL).then(|| &self.values[best as usize])
+    }
+
+    /// Exact-match lookup of an installed prefix.
+    pub fn get_exact(&self, prefix: u32, len: u8) -> Option<&V> {
+        assert!(len <= 32, "prefix length {len} exceeds 32");
+        let mut node = 0usize;
+        for depth in 0..len {
+            let bit = ((prefix >> (31 - depth)) & 1) as usize;
+            let child = self.nodes[node].children[bit];
+            if child == NIL {
+                return None;
+            }
+            node = child as usize;
+        }
+        let slot = self.nodes[node].value;
+        (slot != NIL).then(|| &self.values[slot as usize])
+    }
+
+    /// Iterate `(prefix, len, &value)` for every installed prefix, in
+    /// depth-first (i.e. ascending-prefix) order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter { trie: self, stack: vec![(0u32, 0u32, 0u8)] }
+    }
+}
+
+/// Iterator over installed prefixes; see [`PrefixTrie::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, V> {
+    trie: &'a PrefixTrie<V>,
+    /// (node index, prefix bits so far, depth)
+    stack: Vec<(u32, u32, u8)>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u32, u8, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((idx, prefix, depth)) = self.stack.pop() {
+            let node = &self.trie.nodes[idx as usize];
+            // Push children right-then-left so the left (0-bit, lower
+            // address) side is visited first.
+            if node.children[1] != NIL {
+                let child_prefix = prefix | (1u32 << (31 - depth));
+                self.stack.push((node.children[1], child_prefix, depth + 1));
+            }
+            if node.children[0] != NIL {
+                self.stack.push((node.children[0], prefix, depth + 1));
+            }
+            if node.value != NIL {
+                return Some((prefix, depth, &self.trie.values[node.value as usize]));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0"), 8, "coarse");
+        t.insert(p("10.1.0.0"), 16, "mid");
+        t.insert(p("10.1.2.0"), 24, "fine");
+        assert_eq!(t.lookup(p("10.1.2.3")), Some(&"fine"));
+        assert_eq!(t.lookup(p("10.1.9.9")), Some(&"mid"));
+        assert_eq!(t.lookup(p("10.9.9.9")), Some(&"coarse"));
+        assert_eq!(t.lookup(p("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("192.0.2.0"), 24, 1), None);
+        assert_eq!(t.insert(p("192.0.2.0"), 24, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(p("192.0.2.200")), Some(&2));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(0, 0, "default");
+        assert_eq!(t.lookup(0), Some(&"default"));
+        assert_eq!(t.lookup(u32::MAX), Some(&"default"));
+        t.insert(p("128.0.0.0"), 1, "high-half");
+        assert_eq!(t.lookup(p("1.2.3.4")), Some(&"default"));
+        assert_eq!(t.lookup(p("200.2.3.4")), Some(&"high-half"));
+    }
+
+    #[test]
+    fn host_routes_supported() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("203.0.113.7"), 32, "host");
+        assert_eq!(t.lookup(p("203.0.113.7")), Some(&"host"));
+        assert_eq!(t.lookup(p("203.0.113.8")), None);
+    }
+
+    #[test]
+    fn low_bits_of_inserted_prefix_ignored() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.99"), 24, "x"); // same as 10.0.0.0/24
+        assert_eq!(t.lookup(p("10.0.0.1")), Some(&"x"));
+        assert_eq!(t.get_exact(p("10.0.0.0"), 24), Some(&"x"));
+    }
+
+    #[test]
+    fn get_exact_distinguishes_lengths() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0"), 8, "a");
+        assert_eq!(t.get_exact(p("10.0.0.0"), 8), Some(&"a"));
+        assert_eq!(t.get_exact(p("10.0.0.0"), 16), None);
+        assert_eq!(t.get_exact(p("10.0.0.0"), 24), None);
+    }
+
+    #[test]
+    fn iter_yields_all_in_address_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.2.0.0"), 16, 2);
+        t.insert(p("10.1.0.0"), 16, 1);
+        t.insert(p("10.1.5.0"), 24, 15);
+        t.insert(p("9.0.0.0"), 8, 0);
+        let got: Vec<(u32, u8, i32)> = t.iter().map(|(pfx, l, v)| (pfx, l, *v)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (p("9.0.0.0"), 8, 0),
+                (p("10.1.0.0"), 16, 1),
+                (p("10.1.5.0"), 24, 15),
+                (p("10.2.0.0"), 16, 2),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32")]
+    fn overlong_prefix_panics() {
+        let mut t = PrefixTrie::new();
+        t.insert(0, 33, ());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: the prefix trie against a brute-force reference model,
+//! and structural invariants of generated Internet plans.
+
+use beware_asdb::{GenConfig, InternetPlan, PrefixTrie};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Brute-force reference: keep (prefix, len, value) and scan for the
+/// longest match.
+#[derive(Default)]
+struct RefLpm {
+    entries: HashMap<(u32, u8), u32>,
+}
+
+impl RefLpm {
+    fn insert(&mut self, prefix: u32, len: u8, value: u32) {
+        let masked = mask(prefix, len);
+        self.entries.insert((masked, len), value);
+    }
+
+    fn lookup(&self, addr: u32) -> Option<u32> {
+        self.entries
+            .iter()
+            .filter(|&(&(pfx, len), _)| mask(addr, len) == pfx)
+            .max_by_key(|&(&(_, len), _)| len)
+            .map(|(_, &v)| v)
+    }
+}
+
+fn mask(addr: u32, len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        addr & (u32::MAX << (32 - u32::from(len)))
+    }
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<(u32, u8, u32)>> {
+    proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 0..64)
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_reference_model(entries in arb_entries(), probes in proptest::collection::vec(any::<u32>(), 32)) {
+        let mut trie = PrefixTrie::new();
+        let mut reference = RefLpm::default();
+        for &(prefix, len, value) in &entries {
+            trie.insert(prefix, len, value);
+            reference.insert(prefix, len, value);
+        }
+        // Probe random addresses plus the inserted prefixes themselves.
+        for addr in probes.iter().copied().chain(entries.iter().map(|e| e.0)) {
+            prop_assert_eq!(trie.lookup(addr).copied(), reference.lookup(addr),
+                "mismatch at {:#010x}", addr);
+        }
+    }
+
+    #[test]
+    fn trie_len_counts_distinct_prefixes(entries in arb_entries()) {
+        let mut trie = PrefixTrie::new();
+        let mut distinct = std::collections::HashSet::new();
+        for &(prefix, len, value) in &entries {
+            trie.insert(prefix, len, value);
+            distinct.insert((mask(prefix, len), len));
+        }
+        prop_assert_eq!(trie.len(), distinct.len());
+    }
+
+    #[test]
+    fn trie_iter_is_complete_and_sorted(entries in arb_entries()) {
+        let mut trie = PrefixTrie::new();
+        for &(prefix, len, value) in &entries {
+            trie.insert(prefix, len, value);
+        }
+        let items: Vec<(u32, u8)> = trie.iter().map(|(p, l, _)| (p, l)).collect();
+        prop_assert_eq!(items.len(), trie.len());
+        // Ascending by (prefix, len): DFS with 0-side first guarantees it.
+        for w in items.windows(2) {
+            prop_assert!(w[0] < w[1], "{:?} !< {:?}", w[0], w[1]);
+        }
+        // Every iterated prefix looks itself up.
+        for (p, l) in items {
+            prop_assert!(trie.get_exact(p, l).is_some());
+        }
+    }
+
+    #[test]
+    fn plan_lookup_total_over_routed_space(seed in any::<u64>(), year in 2006u16..=2015) {
+        let plan = InternetPlan::generate(&GenConfig { year, seed, total_blocks: 256 });
+        let db = plan.to_db();
+        for (block, asn) in plan.blocks() {
+            let addr = (block << 8) | u32::from((seed ^ u64::from(block)) as u8);
+            let info = db.lookup(addr);
+            prop_assert!(info.is_some(), "routed block {block:#x} fails lookup");
+            prop_assert_eq!(info.unwrap().asn, asn);
+        }
+    }
+}

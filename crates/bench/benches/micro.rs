@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks over the hot paths, including the ablations
+//! DESIGN.md calls out: trie-vs-linear LPM, cyclic-permutation-vs-shuffle
+//! ordering, and the wire codecs that sit on every simulated packet.
+
+use beware_asdb::{GenConfig, InternetPlan, PrefixTrie};
+use beware_core::matching::match_unmatched;
+use beware_core::percentile::LatencySamples;
+use beware_dataset::Record;
+use beware_netsim::event::EventQueue;
+use beware_netsim::packet::Packet;
+use beware_netsim::time::{SimDuration, SimTime};
+use beware_probe::permutation::CyclicPermutation;
+use beware_wire::checksum::internet_checksum;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1500];
+    c.bench_function("wire/checksum_1500B", |b| {
+        b.iter(|| internet_checksum(black_box(&data)))
+    });
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let pkt = Packet::echo_request(0x01010101, 0x0a000001, 7, 3, vec![0u8; 24]);
+    let bytes = pkt.encode();
+    c.bench_function("wire/packet_encode", |b| b.iter(|| black_box(&pkt).encode()));
+    c.bench_function("wire/packet_decode", |b| {
+        b.iter(|| Packet::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_asdb_lookup(c: &mut Criterion) {
+    let plan = InternetPlan::generate(&GenConfig { total_blocks: 4096, ..Default::default() });
+    let db = plan.to_db();
+    let addrs: Vec<u32> = plan.blocks().map(|(b, _)| (b << 8) | 0x42).collect();
+    c.bench_function("asdb/trie_lpm_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            db.lookup(black_box(addrs[i]))
+        })
+    });
+    // Ablation: linear scan over the allocation list.
+    let allocs = plan.allocations.clone();
+    c.bench_function("asdb/linear_scan_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            let a = black_box(addrs[i]);
+            allocs
+                .iter()
+                .filter(|al| {
+                    let mask = u32::MAX << (32 - u32::from(al.len));
+                    a & mask == al.prefix & mask
+                })
+                .max_by_key(|al| al.len)
+                .map(|al| al.asn)
+        })
+    });
+}
+
+fn bench_trie_insert(c: &mut Criterion) {
+    let plan = InternetPlan::generate(&GenConfig { total_blocks: 4096, ..Default::default() });
+    c.bench_function("asdb/trie_build_4k_blocks", |b| {
+        b.iter(|| {
+            let mut t = PrefixTrie::new();
+            for a in &plan.allocations {
+                t.insert(a.prefix, a.len, a.asn);
+            }
+            t.len()
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("netsim/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                let t = SimTime::EPOCH + SimDuration::from_ns((i * 2_654_435_761) % 1_000_000);
+                q.push(t, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    c.bench_function("probe/cyclic_permutation_100k", |b| {
+        b.iter(|| CyclicPermutation::new(100_000, 7).sum::<u64>())
+    });
+    // Ablation: materialized Fisher-Yates shuffle.
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    c.bench_function("probe/materialized_shuffle_100k", |b| {
+        b.iter(|| {
+            let mut v: Vec<u64> = (0..100_000).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            v.shuffle(&mut rng);
+            v.iter().sum::<u64>()
+        })
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    // 10k addresses × 10 rounds of timeout+late-response pairs.
+    let mut records = Vec::new();
+    for round in 0..10u32 {
+        for a in 0..10_000u32 {
+            records.push(Record::timeout(a, round * 660 + (a % 600)));
+            if a % 3 == 0 {
+                records.push(Record::unmatched(a, round * 660 + (a % 600) + 20));
+            }
+        }
+    }
+    c.bench_function("core/match_unmatched_130k_records", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |r| match_unmatched(&r),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let samples = LatencySamples::from_values(
+        (0..10_000).map(|i| ((i * 2_654_435_761u64) % 10_000) as f64 / 100.0).collect(),
+    );
+    c.bench_function("core/percentile_profile_10k_samples", |b| {
+        b.iter(|| black_box(&samples).paper_profile())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_packet_codec,
+    bench_asdb_lookup,
+    bench_trie_insert,
+    bench_event_queue,
+    bench_permutation,
+    bench_matching,
+    bench_percentiles,
+);
+criterion_main!(benches);

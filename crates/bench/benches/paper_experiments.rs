@@ -1,0 +1,58 @@
+//! Regenerates every table and figure of *Timeouts: Beware Surprisingly
+//! High Delay* and prints them with paper-vs-measured annotations.
+//!
+//! Runs as a `harness = false` bench so `cargo bench --workspace` produces
+//! the full reproduction transcript. Set `BEWARE_SCALE=small` for a quick
+//! pass (the default is the bench scale).
+
+use beware_bench::{experiments, ExperimentCtx, Scale};
+use std::time::Instant;
+
+fn main() {
+    // Respect `cargo bench -- --test` style filter-less invocations; any
+    // argument containing "small" (or the env var) drops the scale.
+    let args: Vec<String> = std::env::args().collect();
+    let small = std::env::var("BEWARE_SCALE").map(|v| v == "small").unwrap_or(false)
+        || args.iter().any(|a| a.contains("small"));
+    let scale = if small { Scale::small() } else { Scale::bench() };
+    println!("== beware paper experiments (scale: {scale:?}) ==\n");
+
+    let t0 = Instant::now();
+    let ctx = ExperimentCtx::build(scale);
+    println!(
+        "[shared context] surveys {} + {} ({} + {} records), {} zmap scans — built in {:?}\n",
+        ctx.survey_w.meta.display_name(),
+        ctx.survey_c.meta.display_name(),
+        ctx.survey_w.records.len(),
+        ctx.survey_c.records.len(),
+        ctx.scans.len(),
+        t0.elapsed(),
+    );
+
+    let step = |name: &str, body: &mut dyn FnMut() -> String| {
+        let t = Instant::now();
+        let text = body();
+        println!("---- {name} ({:?}) ----", t.elapsed());
+        println!("{text}");
+    };
+
+    step("Figure 1", &mut || experiments::fig1::run(&ctx).render());
+    step("Figures 2-3", &mut || experiments::fig2_3::run(&ctx).render());
+    step("Figure 4", &mut || experiments::fig4::run(scale.seed).render());
+    step("Figure 5", &mut || experiments::fig5::run(&ctx).render());
+    step("Table 1", &mut || experiments::table1::run(&ctx).render());
+    step("Table 2", &mut || experiments::table2::run(&ctx).render());
+    step("Figure 6", &mut || experiments::fig6::run(&ctx).render());
+    step("Figure 7 / Table 3", &mut || experiments::fig7::run(&ctx).render());
+    step("Figure 8", &mut || experiments::fig8::run(&ctx).render());
+    step("Figure 9", &mut || experiments::fig9::run(&scale).render());
+    step("Figure 10", &mut || experiments::fig10::run(&ctx).render());
+    step("Figure 11", &mut || experiments::fig11::run(&ctx).render());
+    step("Figures 12-14", &mut || experiments::fig12_14::run(&ctx).render());
+    step("Tables 4-6", &mut || experiments::table4_6::run(&ctx).render());
+    step("Table 7", &mut || experiments::table7::run(&ctx).render());
+    step("Ablation: broadcast filter", &mut || experiments::ablation::run(&ctx).render());
+    step("Section 7 recommendation", &mut || experiments::recommendation::run(&ctx).render());
+
+    println!("== all experiments regenerated in {:?} ==", t0.elapsed());
+}

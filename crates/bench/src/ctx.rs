@@ -1,0 +1,242 @@
+//! Shared experiment context: the expensive data-collection steps, run
+//! once and reused by every table/figure module.
+
+use crate::scale::Scale;
+use beware_asdb::AsDb;
+use beware_core::pipeline::{merge_samples, run_pipeline, PipelineCfg, PipelineOutput};
+use beware_core::LatencySamples;
+use beware_dataset::{Record, ScanMeta, SurveyMeta, SurveyStats, ZmapScan};
+use beware_netsim::rng::derive_seed;
+use beware_netsim::scenario::{vantage, Scenario, ScenarioCfg};
+use beware_probe::scamper::{run_jobs, JobResult, PingJob};
+use beware_probe::survey::{run_survey, SurveyCfg};
+use beware_probe::zmap::{run_scan, ZmapCfg};
+use std::collections::BTreeMap;
+
+/// The 17 scan slots of the paper's Table 3 (date label, weekday, begin).
+pub const SCAN_SLOTS: [(&str, &str, &str); 17] = [
+    ("Apr 17, 2015", "Fri", "02:44"),
+    ("Apr 19, 2015", "Sun", "12:07"),
+    ("Apr 23, 2015", "Thu", "12:07"),
+    ("Apr 26, 2015", "Sun", "12:07"),
+    ("Apr 30, 2015", "Thu", "12:08"),
+    ("May 3, 2015", "Sun", "12:08"),
+    ("May 17, 2015", "Sun", "12:09"),
+    ("May 22, 2015", "Fri", "00:57"),
+    ("May 24, 2015", "Sun", "12:09"),
+    ("May 31, 2015", "Sun", "12:09"),
+    ("Jun 4, 2015", "Thu", "12:10"),
+    ("Jun 15, 2015", "Mon", "13:53"),
+    ("Jun 21, 2015", "Sun", "12:11"),
+    ("Jul 2, 2015", "Thu", "12:00"),
+    ("Jul 5, 2015", "Sun", "12:00"),
+    ("Jul 9, 2015", "Thu", "12:00"),
+    ("Jul 12, 2015", "Sun", "12:00"),
+];
+
+/// Indices (into [`SCAN_SLOTS`] / `ExperimentCtx::scans`) of the three
+/// scans Tables 4–6 analyze: May 22, Jun 21, Jul 9. When fewer scans were
+/// run (small scale), the first three are used instead.
+pub const TURTLE_SCAN_SLOTS: [usize; 3] = [7, 12, 15];
+
+/// One completed survey.
+#[derive(Debug, Clone)]
+pub struct SurveyRun {
+    /// Identity.
+    pub meta: SurveyMeta,
+    /// All records.
+    pub records: Vec<Record>,
+    /// Aggregate statistics.
+    pub stats: SurveyStats,
+}
+
+/// The shared context.
+#[derive(Debug)]
+pub struct ExperimentCtx {
+    /// Scale everything was run at.
+    pub scale: Scale,
+    /// The generated Internet (2015).
+    pub scenario: Scenario,
+    /// Attribution database.
+    pub db: AsDb,
+    /// The IT63w-like survey (vantage `w`).
+    pub survey_w: SurveyRun,
+    /// The IT63c-like survey (vantage `c`).
+    pub survey_c: SurveyRun,
+    /// Pipeline output for survey `w`.
+    pub pipeline_w: PipelineOutput,
+    /// Pipeline output for survey `c`.
+    pub pipeline_c: PipelineOutput,
+    /// Filtered per-address samples of both surveys combined — the
+    /// paper's Table 2 substrate.
+    pub combined_samples: BTreeMap<u32, LatencySamples>,
+    /// The zmap scan campaign, in [`SCAN_SLOTS`] order.
+    pub scans: Vec<ZmapScan>,
+}
+
+impl ExperimentCtx {
+    /// Run the shared data collection at `scale`.
+    pub fn build(scale: Scale) -> Self {
+        let scenario = scenario_for(&scale, 2015, 'w');
+        let db = scenario.db();
+
+        let survey_w = run_survey_like(&scenario, &scale, "IT63w", 'w', 0.0);
+        let scenario_c = scenario_for(&scale, 2015, 'c');
+        let survey_c = run_survey_like(&scenario_c, &scale, "IT63c", 'c', 0.0);
+
+        let cfg = PipelineCfg::default();
+        let pipeline_w = run_pipeline(&survey_w.records, &cfg);
+        let pipeline_c = run_pipeline(&survey_c.records, &cfg);
+        let combined_samples =
+            merge_samples(vec![pipeline_w.samples.clone(), pipeline_c.samples.clone()]);
+
+        let scans = (0..scale.zmap_scans)
+            .map(|i| run_scan_slot(&scenario, &scale, i))
+            .collect();
+
+        ExperimentCtx {
+            scale,
+            scenario,
+            db,
+            survey_w,
+            survey_c,
+            pipeline_w,
+            pipeline_c,
+            combined_samples,
+            scans,
+        }
+    }
+
+    /// The three scans Tables 4–6 analyze.
+    pub fn turtle_scans(&self) -> Vec<&ZmapScan> {
+        if self.scans.len() > *TURTLE_SCAN_SLOTS.iter().max().expect("non-empty") {
+            TURTLE_SCAN_SLOTS.iter().map(|&i| &self.scans[i]).collect()
+        } else {
+            self.scans.iter().take(3).collect()
+        }
+    }
+
+    /// Addresses whose filtered survey percentile exceeds `threshold`
+    /// seconds at percentile `pct`, capped at the scale's target budget —
+    /// the selection step for the targeted re-probing experiments.
+    pub fn high_latency_addrs(&self, pct: f64, threshold: f64) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .combined_samples
+            .iter()
+            .filter(|(_, s)| s.percentile(pct).is_some_and(|v| v > threshold))
+            .map(|(&a, _)| a)
+            .collect();
+        out.truncate(self.scale.target_addrs);
+        out
+    }
+
+    /// Run a set of scamper jobs against a fresh instance of this
+    /// context's world.
+    pub fn run_scamper(&self, jobs: Vec<PingJob>, grace_secs: f64) -> Vec<JobResult> {
+        let world = self.scenario.build_world();
+        let seed = derive_seed(self.scale.seed, 0x5ca3_9e44);
+        run_jobs(world, jobs, 0xC0_00_02_07, seed, grace_secs).0
+    }
+}
+
+/// Build the scenario for a year and vantage at this scale.
+pub fn scenario_for(scale: &Scale, year: u16, vantage_code: char) -> Scenario {
+    Scenario::new(ScenarioCfg {
+        year,
+        seed: scale.seed,
+        total_blocks: scale.internet_blocks,
+        vantage: vantage(vantage_code).expect("known vantage code"),
+    })
+}
+
+/// Deterministic sample of the plan's blocks for the survey to probe.
+/// Blocks are ranked by a per-block hash and the first `count` taken —
+/// stride sampling is avoided because it aliases against any structure in
+/// the plan's block order. Result is in ascending block order.
+pub fn survey_block_sample(scenario: &Scenario, count: u32) -> Vec<u32> {
+    let mut all: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).collect();
+    if all.len() as u32 <= count {
+        return all;
+    }
+    all.sort_by_key(|&b| derive_seed(scenario.cfg.seed ^ 0x5a17, u64::from(b)));
+    all.truncate(count as usize);
+    all.sort_unstable();
+    all
+}
+
+/// Run one ISI-style survey over the scenario.
+pub fn run_survey_like(
+    scenario: &Scenario,
+    scale: &Scale,
+    name: &str,
+    vantage_code: char,
+    match_drop_prob: f64,
+) -> SurveyRun {
+    let blocks = survey_block_sample(scenario, scale.survey_blocks);
+    let cfg = SurveyCfg {
+        blocks,
+        rounds: scale.survey_rounds,
+        match_drop_prob,
+        seed: derive_seed(scale.seed, u64::from(vantage_code as u32)),
+        ..Default::default()
+    };
+    let world = scenario.build_world();
+    let (records, stats, _) = run_survey(world, cfg, Vec::new());
+    SurveyRun {
+        meta: SurveyMeta {
+            name: name.into(),
+            vantage: vantage_code,
+            year: scenario.cfg.year,
+            date_label: 20150117,
+        },
+        records,
+        stats,
+    }
+}
+
+/// Run one scan slot of the campaign.
+fn run_scan_slot(scenario: &Scenario, scale: &Scale, slot: usize) -> ZmapScan {
+    let (label, day, begin) = SCAN_SLOTS[slot % SCAN_SLOTS.len()];
+    let blocks: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).collect();
+    let cfg = ZmapCfg {
+        blocks,
+        duration_secs: scale.zmap_duration_secs,
+        cooldown_secs: 240.0,
+        seed: derive_seed(scale.seed, 0x2a00 + slot as u64),
+        ..Default::default()
+    };
+    let world = scenario.build_world();
+    let (scan, _) = run_scan(
+        world,
+        cfg,
+        ScanMeta { label: label.into(), day: day.into(), begin: begin.into() },
+    );
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_sample_is_sorted_subset() {
+        let scenario = scenario_for(&Scale::small(), 2015, 'w');
+        let sample = survey_block_sample(&scenario, 16);
+        assert_eq!(sample.len(), 16);
+        let all: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).collect();
+        for b in &sample {
+            assert!(all.contains(b));
+        }
+        assert!(sample.windows(2).all(|w| w[0] < w[1]), "ascending, deduped");
+        // Deterministic.
+        assert_eq!(sample, survey_block_sample(&scenario, 16));
+    }
+
+    #[test]
+    fn sample_larger_than_plan_returns_all() {
+        let scenario = scenario_for(&Scale::small(), 2015, 'w');
+        let total = scenario.plan.block_count();
+        let sample = survey_block_sample(&scenario, total + 100);
+        assert_eq!(sample.len() as u32, total);
+    }
+}

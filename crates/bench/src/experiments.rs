@@ -1,0 +1,21 @@
+//! One module per table/figure of the paper. Each exposes a result struct
+//! holding the measured quantities (asserted by integration tests) plus a
+//! `render()` producing the text the `paper_experiments` bench emits.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_14;
+pub mod fig2_3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table4_6;
+pub mod recommendation;
+pub mod table7;

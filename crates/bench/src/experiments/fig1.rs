@@ -1,0 +1,70 @@
+//! Figure 1: CDF of per-address percentile latency over **survey-detected
+//! responses only** — the view that is clipped at the prober's 3 s match
+//! window and motivates recovering the unmatched responses.
+
+use crate::ExperimentCtx;
+use beware_core::cdf::Cdf;
+use beware_core::pipeline::survey_samples;
+use beware_core::report::{ascii_plot, Series};
+
+/// The computed figure.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// One CDF per percentile level (50/80/90/95/98/99), over addresses.
+    pub curves: Vec<(f64, Cdf)>,
+    /// Number of addresses plotted.
+    pub addresses: usize,
+    /// Fraction of per-address p95 values at or below the 3 s window —
+    /// the clipping the paper observes ("the distribution is clipped at
+    /// the 3 second mark").
+    pub p95_within_window: f64,
+}
+
+/// Percentile levels of Figure 1.
+pub const LEVELS: [f64; 6] = [50.0, 80.0, 90.0, 95.0, 98.0, 99.0];
+
+/// Compute the figure from the context's `w` survey.
+pub fn run(ctx: &ExperimentCtx) -> Fig1 {
+    let samples = survey_samples(&ctx.survey_w.records);
+    let mut per_level: Vec<Vec<f64>> = vec![Vec::new(); LEVELS.len()];
+    for s in samples.values() {
+        for (i, &p) in LEVELS.iter().enumerate() {
+            if let Some(v) = s.percentile(p) {
+                per_level[i].push(v);
+            }
+        }
+    }
+    let curves: Vec<(f64, Cdf)> =
+        LEVELS.iter().copied().zip(per_level.into_iter().map(Cdf::new)).collect();
+    let p95 = &curves.iter().find(|(p, _)| *p == 95.0).expect("level present").1;
+    Fig1 {
+        addresses: samples.len(),
+        p95_within_window: p95.fraction_at(3.0),
+        curves,
+    }
+}
+
+impl Fig1 {
+    /// Render the figure's data and the paper comparison.
+    pub fn render(&self) -> String {
+        let series: Vec<Series> = self
+            .curves
+            .iter()
+            .map(|(p, cdf)| Series::new(format!("p{p}"), cdf.to_series(48)))
+            .collect();
+        let mut out = String::new();
+        out.push_str(&ascii_plot(
+            "Figure 1: CDF of per-address percentile latency (survey-detected only)",
+            &series,
+            72,
+            18,
+        ));
+        out.push_str(&format!(
+            "addresses: {}\npaper: '95% of echo replies from 95% of addresses arrive in < 2.85 s', \
+             clipped at the 3 s timeout\nmeasured: {:.1}% of addresses have p95 ≤ 3 s (window-clipped view)\n",
+            self.addresses,
+            100.0 * self.p95_within_window,
+        ));
+        out
+    }
+}

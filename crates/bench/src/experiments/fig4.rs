@@ -1,0 +1,81 @@
+//! Figure 4: the broadcast false-match scenario, demonstrated end to end.
+//!
+//! The paper's figure is an illustration: the probe to 211.4.10.254 at
+//! T = 660 is lost, the broadcast ping to .255 at T = 990 solicits a
+//! response *from* .254, and source-address matching falsely infers a
+//! 330 s latency. Here we build exactly that world — a .254 that answers
+//! broadcast but not unicast — run the real survey prober and the real
+//! matcher over it, and check the false latency appears and that the
+//! filter then removes it.
+
+use beware_core::filters::broadcast::{detect_broadcast_responders, BroadcastFilterCfg};
+use beware_core::matching::match_unmatched;
+use beware_netsim::profile::{BlockProfile, BroadcastCfg};
+use beware_netsim::rng::Dist;
+use beware_netsim::world::World;
+use beware_probe::survey::{run_survey, SurveyCfg};
+use std::sync::Arc;
+
+/// Outcome of the demonstration.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// The false latencies inferred for the silent broadcast responders
+    /// (paper's canonical value: 330 s for an off-by-one octet).
+    pub false_latencies: Vec<u32>,
+    /// Number of addresses the EWMA filter subsequently marked.
+    pub filtered: usize,
+}
+
+/// Run the demonstration (self-contained; does not need the shared ctx).
+pub fn run(seed: u64) -> Fig4 {
+    let mut world = World::new(seed);
+    world.add_block(
+        0x0a0a0a, // stand-in for the paper's 211.4.10.0/24
+        Arc::new(BlockProfile {
+            base_rtt: Dist::Constant(0.05),
+            jitter: Dist::Constant(0.0),
+            density: 1.0,
+            response_prob: 1.0,
+            error_prob: 0.0,
+            dup_prob: 0.0,
+            subnet_host_bits: 8,
+            broadcast: Some(BroadcastCfg {
+                responder_prob: 0.0,
+                edge_responder_prob: 1.0,
+                unicast_silent_prob: 1.0,
+                network_addr_responds: false,
+            }),
+            ..Default::default()
+        }),
+    );
+    let cfg = SurveyCfg { blocks: vec![0x0a0a0a], rounds: 40, seed, ..Default::default() };
+    let (records, _, _) = run_survey(world, cfg, Vec::new());
+    let outcome = match_unmatched(&records);
+    // The .254 responder's false latencies.
+    let false_latencies: Vec<u32> = outcome
+        .delayed
+        .iter()
+        .filter(|d| d.addr & 0xff == 254)
+        .map(|d| d.latency_s)
+        .collect();
+    let filtered =
+        detect_broadcast_responders(&outcome.delayed, &BroadcastFilterCfg::default()).len();
+    Fig4 { false_latencies, filtered }
+}
+
+impl Fig4 {
+    /// Render the narration.
+    pub fn render(&self) -> String {
+        let sample = self.false_latencies.first().copied().unwrap_or(0);
+        format!(
+            "Figure 4: broadcast false-match demonstration\n\
+             paper: a lost probe to .254 is falsely matched to the broadcast response the\n\
+             .255 probe solicits 330 s later (half the 660 s round)\n\
+             measured: .254 (broadcast-answering, unicast-silent) yields {} false delayed\n\
+             responses, each inferring {} s; EWMA filter then marks {} responder(s)\n",
+            self.false_latencies.len(),
+            sample,
+            self.filtered,
+        )
+    }
+}

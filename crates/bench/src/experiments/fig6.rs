@@ -1,0 +1,73 @@
+//! Figure 6: per-address percentile-latency CDFs before and after
+//! filtering unexpected responses — the filter removes the bumps at 330,
+//! 165 and 495 s (fractions of the 660 s round).
+
+use crate::ExperimentCtx;
+use beware_core::cdf::Cdf;
+use beware_core::percentile::LatencySamples;
+use beware_core::report::{ascii_plot, Series};
+use std::collections::BTreeMap;
+
+/// Mass near the artifact latencies in a set of per-address p99 values.
+fn bump_mass(values: &Cdf, centers: &[f64], halfwidth: f64) -> f64 {
+    centers
+        .iter()
+        .map(|&c| values.fraction_at(c + halfwidth) - values.fraction_at(c - halfwidth))
+        .sum()
+}
+
+/// The computed figure.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// p99-per-address CDF before filtering.
+    pub before_p99: Cdf,
+    /// p99-per-address CDF after filtering.
+    pub after_p99: Cdf,
+    /// Fraction of addresses whose pre-filter p99 sits within ±6 s of one
+    /// of the 165/330/495 s artifact latencies.
+    pub bump_mass_before: f64,
+    /// The same, after filtering.
+    pub bump_mass_after: f64,
+}
+
+fn p99_cdf(samples: &BTreeMap<u32, LatencySamples>) -> Cdf {
+    Cdf::new(samples.values().filter_map(|s| s.percentile(99.0)).collect())
+}
+
+/// Compute from the `w` survey pipeline (before = naive, after = filtered).
+pub fn run(ctx: &ExperimentCtx) -> Fig6 {
+    let before_p99 = p99_cdf(&ctx.pipeline_w.naive_samples);
+    let after_p99 = p99_cdf(&ctx.pipeline_w.samples);
+    let centers = [165.0, 330.0, 495.0];
+    Fig6 {
+        bump_mass_before: bump_mass(&before_p99, &centers, 6.0),
+        bump_mass_after: bump_mass(&after_p99, &centers, 6.0),
+        before_p99,
+        after_p99,
+    }
+}
+
+impl Fig6 {
+    /// Render the top-of-distribution view the paper plots (y ∈ [0.98, 1]).
+    pub fn render(&self) -> String {
+        let tail = |cdf: &Cdf| -> Vec<(f64, f64)> {
+            cdf.to_series(400).into_iter().filter(|&(_, y)| y >= 0.98).collect()
+        };
+        let mut out = ascii_plot(
+            "Figure 6: per-address p99 latency CDF, top 2% (before vs after filtering)",
+            &[
+                Series::new("before", tail(&self.before_p99)),
+                Series::new("after", tail(&self.after_p99)),
+            ],
+            72,
+            16,
+        );
+        out.push_str(&format!(
+            "paper: before filtering there are bumps at 330 s, 165 s and 495 s, \
+             fractions of the 11-minute probing interval; filtering removes them\n\
+             measured: address mass within ±6 s of those latencies: before {:.4}, after {:.4}\n",
+            self.bump_mass_before, self.bump_mass_after,
+        ));
+        out
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 8: confirming extreme latencies with a second probing scheme.
+//!
+//! The paper took 2,000 addresses whose survey latencies exceeded 100 s in
+//! ≥ 5% of pings, re-probed them with scamper (1,000 pings at 10 s
+//! spacing, effectively unbounded listen), and found 17% still saw > 100 s
+//! for 1% of pings — while the population's p95 dropped, showing the
+//! extreme behavior is real but time-varying.
+
+use crate::ExperimentCtx;
+use beware_core::cdf::Cdf;
+use beware_core::percentile::percentile_sorted;
+use beware_core::report::{ascii_plot, Series};
+use beware_probe::scamper::{PingJob, PingProto};
+
+/// The computed figure.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Addresses selected from the survey.
+    pub selected: usize,
+    /// Addresses that responded to the re-probe.
+    pub responded: usize,
+    /// CDF over responding addresses of their per-address p95 RTT.
+    pub p95_cdf: Cdf,
+    /// CDF over responding addresses of their per-address p99 RTT.
+    pub p99_cdf: Cdf,
+    /// Fraction of responding addresses whose p99 exceeds 100 s (paper:
+    /// 17% of their sample).
+    pub still_extreme: f64,
+}
+
+/// Select extreme addresses and re-probe them.
+pub fn run(ctx: &ExperimentCtx) -> Fig8 {
+    // The paper screens on ≥5% of pings over 100 s (per-address p95). At
+    // our scale that population is a handful of addresses, so the screen
+    // is relaxed to p99 > 100 s — same "extreme" population, larger
+    // sample (recorded as a substitution in EXPERIMENTS.md).
+    let targets = ctx.high_latency_addrs(99.0, 100.0);
+    let jobs: Vec<PingJob> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, &dst)| {
+            PingJob::train(dst, PingProto::Icmp, ctx.scale.confirm_train, 10.0, i as f64 * 0.05)
+        })
+        .collect();
+    if jobs.is_empty() {
+        return Fig8 {
+            selected: 0,
+            responded: 0,
+            p95_cdf: Cdf::new(vec![]),
+            p99_cdf: Cdf::new(vec![]),
+            still_extreme: 0.0,
+        };
+    }
+    let results = ctx.run_scamper(jobs, 500.0);
+    let mut p95s = Vec::new();
+    let mut p99s = Vec::new();
+    for r in &results {
+        let mut answered = r.answered();
+        if answered.is_empty() {
+            continue;
+        }
+        answered.sort_by(f64::total_cmp);
+        p95s.push(percentile_sorted(&answered, 95.0).expect("non-empty"));
+        p99s.push(percentile_sorted(&answered, 99.0).expect("non-empty"));
+    }
+    let responded = p95s.len();
+    let still_extreme = if responded == 0 {
+        0.0
+    } else {
+        p99s.iter().filter(|&&v| v > 100.0).count() as f64 / responded as f64
+    };
+    Fig8 {
+        selected: targets.len(),
+        responded,
+        p95_cdf: Cdf::new(p95s),
+        p99_cdf: Cdf::new(p99s),
+        still_extreme,
+    }
+}
+
+impl Fig8 {
+    /// Render the percentile-per-address CDFs and the comparison.
+    pub fn render(&self) -> String {
+        let mut out = ascii_plot(
+            "Figure 8: re-probe of extreme addresses — per-address p95/p99 RTT CDFs",
+            &[
+                Series::new("p95", self.p95_cdf.to_series(200)),
+                Series::new("p99", self.p99_cdf.to_series(200)),
+            ],
+            72,
+            14,
+        );
+        out.push_str(&format!(
+            "paper: of 2,000 selected / 1,244 responding, 17% still see >100 s at p99; \
+             p95 for half the addresses dropped to 7.3 s (extremes vary with time)\n\
+             measured: selected {} / responded {}; {:.1}% still >100 s at p99; \
+             median per-address p95 = {:.2} s\n",
+            self.selected,
+            self.responded,
+            100.0 * self.still_extreme,
+            self.p95_cdf.quantile(0.5).unwrap_or(0.0),
+        ));
+        out
+    }
+}

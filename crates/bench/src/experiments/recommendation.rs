@@ -1,0 +1,105 @@
+//! Section 7's recommendation, evaluated: run the adaptive
+//! (retransmit-early, listen-long) prober against the full 2015 world and
+//! quantify the false outages the long listen avoids, versus the naive
+//! fixed-timeout prober every system in Section 2.2 uses.
+
+use crate::ExperimentCtx;
+use beware_core::report::Table;
+use beware_probe::adaptive::{run_monitor, AdaptiveCfg, OutageReport};
+
+/// Aggregated monitoring outcome.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Live addresses monitored.
+    pub monitored: usize,
+    /// Total check cycles.
+    pub cycles: u64,
+    /// Outages declared by the naive prober (verdict at the retransmit
+    /// deadline).
+    pub naive_outages: u64,
+    /// Outages still declared by the listen-long prober.
+    pub long_outages: u64,
+    /// Naive outages rescued by listening (false outages avoided).
+    pub rescued: u64,
+    /// Per-address reports.
+    pub reports: Vec<OutageReport>,
+}
+
+/// Monitor a spread of live addresses from the shared world. Every
+/// monitored address is genuinely up (the simulator never takes a live
+/// host offline), so **every** outage verdict below is false.
+pub fn run(ctx: &ExperimentCtx) -> Recommendation {
+    let world = ctx.scenario.build_world();
+    let db = ctx.scenario.db();
+    // Monitor live *cellular* addresses — the population outage studies
+    // like Thunderping actually watch, and where Section 2's systems
+    // manufacture false outages.
+    let addrs: Vec<u32> = ctx
+        .scenario
+        .plan
+        .blocks()
+        .filter(|&(b, _)| {
+            db.lookup(b << 8).is_some_and(|i| i.kind == beware_asdb::AsKind::Cellular)
+        })
+        .flat_map(|(b, _)| (2u32..250).step_by(7).map(move |o| (b << 8) | o))
+        .filter(|&a| world.is_live(a))
+        .take(ctx.scale.target_addrs.min(600))
+        .collect();
+    let cfg = AdaptiveCfg { cycles: 12, ..Default::default() };
+    let (reports, _) = run_monitor(world, addrs, cfg);
+    let monitored = reports.len();
+    let cycles = reports.iter().map(|r| u64::from(r.cycles)).sum();
+    let naive_outages = reports.iter().map(|r| u64::from(r.naive_outages)).sum();
+    let long_outages = reports.iter().map(|r| u64::from(r.outages)).sum();
+    let rescued = reports.iter().map(|r| u64::from(r.rescued)).sum();
+    Recommendation { monitored, cycles, naive_outages, long_outages, rescued, reports }
+}
+
+impl Recommendation {
+    /// False-outage rate of the naive prober, per cycle.
+    pub fn naive_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.naive_outages as f64 / self.cycles as f64
+        }
+    }
+
+    /// False-outage rate after the long listen.
+    pub fn long_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.long_outages as f64 / self.cycles as f64
+        }
+    }
+
+    /// Render the verdict table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Section 7 evaluated: naive 3 s-timeout prober vs retransmit-and-keep-listening",
+            &["prober", "false outages", "rate per check"],
+        );
+        t.row(vec![
+            "naive (verdict at retransmit deadline)".into(),
+            self.naive_outages.to_string(),
+            format!("{:.4}", self.naive_rate()),
+        ]);
+        t.row(vec![
+            "adaptive (keep listening 60 s)".into(),
+            self.long_outages.to_string(),
+            format!("{:.4}", self.long_rate()),
+        ]);
+        let mut out = t.render();
+        out.push_str(&format!(
+            "{} live addresses x {} checks; every declared outage is FALSE by\n\
+             construction (no simulated host is ever down). Listening rescued {} of {}\n\
+             naive outages — the paper's closing advice, quantified.\n",
+            self.monitored,
+            self.cycles / self.monitored.max(1) as u64,
+            self.rescued,
+            self.naive_outages,
+        ));
+        out
+    }
+}

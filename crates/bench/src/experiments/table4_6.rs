@@ -1,0 +1,97 @@
+//! Tables 4, 5 and 6: Autonomous Systems and continents ranked by
+//! high-latency addresses across three zmap scans.
+
+use crate::ExperimentCtx;
+use beware_core::report::Table;
+use beware_core::turtles::{rank_ases, rank_continents, AsRank, ContinentRank};
+use beware_dataset::ZmapScan;
+
+/// The computed rankings.
+#[derive(Debug, Clone)]
+pub struct Tables4To6 {
+    /// Table 4: ASes by addresses with RTT > 1 s.
+    pub turtles: Vec<AsRank>,
+    /// Table 5: continents by the same.
+    pub continents: Vec<ContinentRank>,
+    /// Table 6: ASes by addresses with RTT > 100 s.
+    pub sleepy: Vec<AsRank>,
+}
+
+/// Compute over the context's three turtle scans.
+pub fn run(ctx: &ExperimentCtx) -> Tables4To6 {
+    let scans: Vec<ZmapScan> = ctx.turtle_scans().into_iter().cloned().collect();
+    Tables4To6 {
+        turtles: rank_ases(&scans, &ctx.db, 1.0),
+        continents: rank_continents(&scans, &ctx.db, 1.0),
+        sleepy: rank_ases(&scans, &ctx.db, 100.0),
+    }
+}
+
+impl Tables4To6 {
+    /// Of the top-10 turtle ASes, how many serve cellular subscribers —
+    /// the paper's central attribution claim.
+    pub fn cellular_in_top10(&self) -> usize {
+        self.turtles.iter().take(10).filter(|r| r.kind.serves_cellular()).count()
+    }
+
+    /// Render all three tables with the paper comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let as_table = |title: &str, rows: &[AsRank], limit: usize| -> String {
+            let mut t = Table::new(title, &["ASN", "Owner", "kind", "total", "%", "rank s1/s2/s3"]);
+            for r in rows.iter().take(limit).filter(|r| r.total_turtles > 0) {
+                let pct = if r.per_scan.is_empty() { 0.0 } else { r.per_scan[0].percent() };
+                let ranks: Vec<String> =
+                    r.per_scan.iter().map(|e| e.rank.to_string()).collect();
+                t.row(vec![
+                    r.asn.to_string(),
+                    r.name.clone(),
+                    r.kind.label().to_string(),
+                    r.total_turtles.to_string(),
+                    format!("{pct:.1}"),
+                    ranks.join("/"),
+                ]);
+            }
+            t.render()
+        };
+        out.push_str(&as_table(
+            "Table 4: ASes by addresses with RTT > 1 s (summed over 3 scans)",
+            &self.turtles,
+            10,
+        ));
+        out.push_str(&format!(
+            "paper: TELEFONICA BRASIL first with >2x the next AS; 8 of top 10 serve \
+             cellular; cellular ASes ~70% turtle share, mixed ASes ~30%, Chinanet ~1%\n\
+             measured: top AS = {}, cellular-serving in top 10: {}\n\n",
+            self.turtles.first().map(|r| r.name.as_str()).unwrap_or("-"),
+            self.cellular_in_top10(),
+        ));
+
+        let mut t5 = Table::new(
+            "Table 5: continents by addresses with RTT > 1 s",
+            &["Continent", "total", "% of responding"],
+        );
+        for c in &self.continents {
+            let pct = if c.per_scan.is_empty() { 0.0 } else { c.per_scan[0].percent() };
+            t5.row(vec![c.continent.to_string(), c.total_turtles.to_string(), format!("{pct:.1}")]);
+        }
+        out.push_str(&t5.render());
+        out.push_str(
+            "paper: South America + Asia ≈ 75% of turtles; ~27% of SA and ~30% of African \
+             addresses are turtles; North America ≈ 1%\n\n",
+        );
+
+        out.push_str(&as_table(
+            "Table 6: ASes by addresses with RTT > 100 s (sleepy turtles)",
+            &self.sleepy,
+            10,
+        ));
+        out.push_str(&format!(
+            "paper: every Table 6 AS is cellular; ranks stable across scans, percentages \
+             noisier\nmeasured: sleepy-turtle ASes with non-zero counts: {} (scaled world — \
+             the >100 s population is ~0.1% of responders, sparse at this scale)\n",
+            self.sleepy.iter().filter(|r| r.total_turtles > 0).count(),
+        ));
+        out
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment scale knobs.
+//!
+//! The paper's raw inputs (9.6 B pings, full-IPv4 scans) are scaled down;
+//! every experiment keeps the *per-address sample counts* and *population
+//! mix* that make the distributions meaningful, and `EXPERIMENTS.md`
+//! records the scaling factor next to each paper-vs-measured comparison.
+
+/// Scale parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Total /24 blocks in the generated Internet.
+    pub internet_blocks: u32,
+    /// Blocks the ISI-style survey probes (ISI: ~24,000 ≈ 1% of IPv4; we
+    /// probe a deterministic sample of the generated space).
+    pub survey_blocks: u32,
+    /// Survey rounds (ISI: ~1,800 over two weeks at 11 min).
+    pub survey_rounds: u32,
+    /// Number of zmap scans in the campaign (paper: 17 for Fig 7,
+    /// 3 for Tables 4–6).
+    pub zmap_scans: usize,
+    /// Sending-phase duration of each scan, seconds (paper: 10.5 h).
+    pub zmap_duration_secs: f64,
+    /// Probe-train length for the Table 7 pattern experiment
+    /// (paper: 2,000 pings at 1 s).
+    pub pattern_train: usize,
+    /// Probe-train length for the Fig 8 confirmation experiment
+    /// (paper: 1,000 pings at 10 s).
+    pub confirm_train: usize,
+    /// Maximum addresses to re-probe in targeted experiments.
+    pub target_addrs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Tiny: CI-friendly, exercises every code path in seconds.
+    pub fn small() -> Self {
+        Scale {
+            internet_blocks: 96,
+            survey_blocks: 48,
+            survey_rounds: 40,
+            zmap_scans: 3,
+            zmap_duration_secs: 600.0,
+            pattern_train: 600,
+            confirm_train: 60,
+            target_addrs: 400,
+            seed: 0xbe_2015,
+        }
+    }
+
+    /// Bench scale: large enough for the paper's distributional claims to
+    /// be visible, small enough for a laptop run.
+    pub fn bench() -> Self {
+        Scale {
+            internet_blocks: 768,
+            survey_blocks: 256,
+            survey_rounds: 120,
+            zmap_scans: 17,
+            zmap_duration_secs: 3_600.0,
+            pattern_train: 2_000,
+            confirm_train: 200,
+            target_addrs: 1_500,
+            seed: 0xbe_2015,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let s = Scale::small();
+        let b = Scale::bench();
+        assert!(s.internet_blocks < b.internet_blocks);
+        assert!(s.survey_rounds < b.survey_rounds);
+        assert!(s.zmap_scans <= b.zmap_scans);
+        assert_eq!(s.seed, b.seed);
+    }
+}

@@ -1,0 +1,198 @@
+//! Last-octet evidence for the broadcast-address hypothesis —
+//! Section 3.3.1, Figures 2 and 3.
+//!
+//! If the cross-address responses come from probing subnet broadcast
+//! addresses, their triggering destinations' last octets must end in runs
+//! of ≥ 2 equal bits (255, 0, 127, 128, 63, ...). Figure 2 tests this on a
+//! Zmap scan, where the probed destination is embedded in the payload;
+//! Figure 3 tests it on the survey data, where it must be inferred as "the
+//! most recently probed address in the same /24".
+
+use beware_dataset::{Record, RecordKind, ZmapScan};
+use beware_wire::addr::LastOctetClass;
+use std::collections::{HashMap, HashSet};
+
+/// A histogram over last octets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OctetHistogram {
+    /// Count per last-octet value.
+    pub counts: [u64; 256],
+}
+
+impl Default for OctetHistogram {
+    fn default() -> Self {
+        OctetHistogram { counts: [0; 256] }
+    }
+}
+
+impl OctetHistogram {
+    /// Total count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum over broadcast-like octets (trailing run of ≥ 2 equal bits).
+    pub fn broadcast_like_total(&self) -> u64 {
+        (0u16..=255)
+            .filter(|&o| LastOctetClass::of(o as u8).is_broadcast_like())
+            .map(|o| self.counts[o as usize])
+            .sum()
+    }
+
+    /// Sum over interior octets (ending in binary 01/10) — the paper's
+    /// null hypothesis band: these cannot be broadcast addresses.
+    pub fn interior_total(&self) -> u64 {
+        self.total() - self.broadcast_like_total()
+    }
+
+    /// The `(x, y)` series for plotting.
+    pub fn to_series(&self) -> Vec<(f64, f64)> {
+        self.counts.iter().enumerate().map(|(o, &c)| (o as f64, c as f64)).collect()
+    }
+
+    /// Mean count over interior octets — the flat background level
+    /// against which the spikes stand out.
+    pub fn interior_mean(&self) -> f64 {
+        let interior: Vec<u64> = (0u16..=255)
+            .filter(|&o| !LastOctetClass::of(o as u8).is_broadcast_like())
+            .map(|o| self.counts[o as usize])
+            .collect();
+        if interior.is_empty() {
+            0.0
+        } else {
+            interior.iter().sum::<u64>() as f64 / interior.len() as f64
+        }
+    }
+}
+
+/// Figure 2: per last octet, the number of **distinct probed addresses**
+/// that solicited at least one response from a different address in the
+/// same /24.
+pub fn zmap_broadcast_octets(scan: &ZmapScan) -> OctetHistogram {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut hist = OctetHistogram::default();
+    for r in scan.cross_address_records() {
+        // Same /24 only: a response from a different prefix is routing
+        // noise, not subnet broadcast.
+        if r.probed >> 8 != r.responder >> 8 {
+            continue;
+        }
+        if seen.insert(r.probed) {
+            hist.counts[(r.probed & 0xff) as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// Figure 3: per last octet of the **most recently probed address in the
+/// same /24**, the number of unmatched responses that followed it.
+pub fn survey_unmatched_octets(records: &[Record]) -> OctetHistogram {
+    // Probe times per /24 block: (time, last octet), sorted by time.
+    let mut probes: HashMap<u32, Vec<(u32, u8)>> = HashMap::new();
+    for r in records {
+        match r.kind {
+            RecordKind::Matched { .. } | RecordKind::Timeout | RecordKind::IcmpError { .. } => {
+                probes.entry(r.addr >> 8).or_default().push((r.time_s, (r.addr & 0xff) as u8));
+            }
+            RecordKind::Unmatched { .. } => {}
+        }
+    }
+    for v in probes.values_mut() {
+        v.sort_unstable();
+    }
+
+    let mut hist = OctetHistogram::default();
+    for r in records {
+        let RecordKind::Unmatched { recv_s } = r.kind else { continue };
+        let Some(block_probes) = probes.get(&(r.addr >> 8)) else { continue };
+        let i = block_probes.partition_point(|&(t, _)| t <= recv_s);
+        if i == 0 {
+            continue;
+        }
+        hist.counts[usize::from(block_probes[i - 1].1)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beware_dataset::{ScanMeta, ScanRecord};
+
+    fn scan(records: Vec<ScanRecord>) -> ZmapScan {
+        let mut s = ZmapScan::new(ScanMeta {
+            label: "t".into(),
+            day: "Mon".into(),
+            begin: "12:00".into(),
+        });
+        s.records = records;
+        s
+    }
+
+    #[test]
+    fn zmap_histogram_counts_distinct_probed() {
+        let s = scan(vec![
+            // .255 triggers three neighbors: one probed address.
+            ScanRecord { probed: 0x0a0000ff, responder: 0x0a000001, rtt_us: 1 },
+            ScanRecord { probed: 0x0a0000ff, responder: 0x0a000002, rtt_us: 1 },
+            ScanRecord { probed: 0x0a0000ff, responder: 0x0a000003, rtt_us: 1 },
+            // .127 in another block.
+            ScanRecord { probed: 0x0a00017f, responder: 0x0a000110, rtt_us: 1 },
+            // Direct response: ignored.
+            ScanRecord { probed: 0x0a000005, responder: 0x0a000005, rtt_us: 1 },
+            // Cross-prefix response: ignored.
+            ScanRecord { probed: 0x0a000290, responder: 0x0b000001, rtt_us: 1 },
+        ]);
+        let h = zmap_broadcast_octets(&s);
+        assert_eq!(h.counts[255], 1);
+        assert_eq!(h.counts[127], 1);
+        assert_eq!(h.counts[0x90], 0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.broadcast_like_total(), 2);
+        assert_eq!(h.interior_total(), 0);
+    }
+
+    #[test]
+    fn survey_histogram_attributes_to_most_recent_probe() {
+        let records = vec![
+            Record::timeout(0x0a000010, 100),      // octet 0x10 probed at 100
+            Record::timeout(0x0a0000ff, 430),      // octet 255 probed at 430
+            Record::unmatched(0x0a000010, 431),    // follows the 255 probe
+            Record::unmatched(0x0a000011, 101),    // follows the 0x10 probe
+        ];
+        let h = survey_unmatched_octets(&records);
+        assert_eq!(h.counts[255], 1);
+        assert_eq!(h.counts[0x10], 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn unmatched_before_any_probe_uncounted() {
+        let records = vec![
+            Record::unmatched(0x0a000010, 5),
+            Record::timeout(0x0a000010, 100),
+        ];
+        assert_eq!(survey_unmatched_octets(&records).total(), 0);
+    }
+
+    #[test]
+    fn unmatched_in_unprobed_block_uncounted() {
+        let records = vec![
+            Record::timeout(0x0a000010, 100),
+            Record::unmatched(0x0b000010, 101),
+        ];
+        assert_eq!(survey_unmatched_octets(&records).total(), 0);
+    }
+
+    #[test]
+    fn interior_mean_excludes_spikes() {
+        let mut h = OctetHistogram::default();
+        h.counts[255] = 1000;
+        for o in [1usize, 2, 5, 6, 9, 10] {
+            h.counts[o] = 10;
+        }
+        let m = h.interior_mean();
+        assert!(m < 1.0, "mean {m}");
+        assert_eq!(h.broadcast_like_total(), 1000);
+    }
+}

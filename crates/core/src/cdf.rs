@@ -1,0 +1,137 @@
+//! Empirical CDF/CCDF series — the form every figure in the paper takes.
+
+/// An empirical distribution over a set of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from unsorted values.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| v.is_finite()), "non-finite value in CDF");
+        values.sort_by(f64::total_cmp);
+        Cdf { sorted: values }
+    }
+
+    /// Number of underlying values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no values.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of values ≤ `x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// `1 − F(x)`: fraction of values > `x`.
+    pub fn ccdf_at(&self, x: f64) -> f64 {
+        1.0 - self.fraction_at(x)
+    }
+
+    /// Inverse: the smallest value `v` with `F(v) ≥ q`, `q ∈ (0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::percentile::percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Sampled `(x, F(x))` series with `points` evenly spaced ranks —
+    /// what a plotting tool ingests.
+    pub fn to_series(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        (1..=points)
+            .map(|i| {
+                let rank = ((i as f64 / points as f64) * n as f64).ceil() as usize;
+                let idx = rank.clamp(1, n) - 1;
+                (self.sorted[idx], rank.min(n) as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    /// `(x, 1−F(x))` pairs at each distinct value — the CCDF form of
+    /// Figure 5, usually plotted log-log.
+    pub fn to_ccdf_series(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let v = self.sorted[i];
+            let mut j = i;
+            while j < n && self.sorted[j] == v {
+                j += 1;
+            }
+            // Fraction strictly greater than v.
+            out.push((v, (n - j) as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(2.0), 0.5);
+        assert_eq!(c.fraction_at(9.0), 1.0);
+        assert_eq!(c.ccdf_at(2.0), 0.5);
+        assert_eq!(c.quantile(0.5), Some(2.0));
+        assert_eq!(c.quantile(1.0), Some(4.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_cdf_is_sane() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+        assert!(c.to_series(10).is_empty());
+        assert!(c.to_ccdf_series().is_empty());
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 501) as f64).collect();
+        let c = Cdf::new(values);
+        let series = c.to_series(50);
+        assert_eq!(series.len(), 50);
+        for w in series.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_series_handles_ties() {
+        let c = Cdf::new(vec![1.0, 1.0, 2.0, 5.0]);
+        let s = c.to_ccdf_series();
+        assert_eq!(s, vec![(1.0, 0.5), (2.0, 0.25), (5.0, 0.0)]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Artifact filters (Section 3.3): broadcast responders and duplicate/DoS
+//! reflectors both masquerade as "delayed responses" under source-address
+//! matching and must be removed before any latency conclusion is drawn.
+
+pub mod broadcast;
+pub mod duplicates;
+
+pub use broadcast::{detect_broadcast_responders, BroadcastFilterCfg};
+pub use duplicates::{duplicate_offenders, max_responses_per_request};

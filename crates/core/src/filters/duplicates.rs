@@ -1,0 +1,159 @@
+//! The duplicate/DoS filter (Section 3.3.2, Figure 5).
+//!
+//! Some addresses answer one echo request with thousands — in the paper's
+//! data, up to ~11 million — echo responses; these are misconfigurations
+//! or retaliatory DoS floods, and their latencies are untrustworthy. The
+//! filter counts, per address, the maximum number of responses attributable
+//! to a single echo request, and discards addresses exceeding four:
+//! "Even if a response from the probed IP address is duplicated and a
+//! broadcast response is also duplicated, there should be only 4 echo
+//! responses."
+
+use beware_dataset::{Record, RecordKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Per-address maximum number of responses observed for a single echo
+/// request. A matched response counts toward its own request; every
+/// unmatched response counts toward the most recent request to that
+/// address at its receive time.
+pub fn max_responses_per_request(records: &[Record]) -> BTreeMap<u32, u32> {
+    // Request send times per address (matched, timeout and error records
+    // all represent requests).
+    let mut requests: HashMap<u32, Vec<u32>> = HashMap::new();
+    for r in records {
+        match r.kind {
+            RecordKind::Matched { .. } | RecordKind::Timeout | RecordKind::IcmpError { .. } => {
+                requests.entry(r.addr).or_default().push(r.time_s);
+            }
+            RecordKind::Unmatched { .. } => {}
+        }
+    }
+    for times in requests.values_mut() {
+        times.sort_unstable();
+    }
+
+    // Response counts per (address, request index).
+    let mut counts: HashMap<u32, HashMap<usize, u32>> = HashMap::new();
+    for r in records {
+        match r.kind {
+            RecordKind::Matched { .. } => {
+                let reqs = &requests[&r.addr];
+                let idx = reqs.partition_point(|&t| t <= r.time_s).saturating_sub(1);
+                *counts.entry(r.addr).or_default().entry(idx).or_insert(0) += 1;
+            }
+            RecordKind::Unmatched { recv_s } => {
+                let Some(reqs) = requests.get(&r.addr) else {
+                    // A response with no request at all: count it against a
+                    // virtual request 0 — it is certainly not trustworthy.
+                    *counts.entry(r.addr).or_default().entry(0).or_insert(0) += 1;
+                    continue;
+                };
+                let i = reqs.partition_point(|&t| t <= recv_s);
+                let idx = i.saturating_sub(1);
+                *counts.entry(r.addr).or_default().entry(idx).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    counts
+        .into_iter()
+        .map(|(addr, per_req)| (addr, per_req.into_values().max().unwrap_or(0)))
+        .collect()
+}
+
+/// Addresses whose maximum per-request response count exceeds
+/// `threshold` (paper: 4). Their records must be discarded entirely.
+pub fn duplicate_offenders(
+    max_counts: &BTreeMap<u32, u32>,
+    threshold: u32,
+) -> BTreeSet<u32> {
+    max_counts
+        .iter()
+        .filter(|&(_, &max)| max > threshold)
+        .map(|(&addr, _)| addr)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: u32 = 0x0a000001;
+    const B: u32 = 0x0a000002;
+
+    #[test]
+    fn single_match_counts_one() {
+        let records = vec![Record::matched(A, 100, 50_000)];
+        let m = max_responses_per_request(&records);
+        assert_eq!(m[&A], 1);
+        assert!(duplicate_offenders(&m, 4).is_empty());
+    }
+
+    #[test]
+    fn match_plus_duplicates_accumulate() {
+        let records = vec![
+            Record::matched(A, 100, 50_000),
+            Record::unmatched(A, 101),
+            Record::unmatched(A, 102),
+        ];
+        let m = max_responses_per_request(&records);
+        assert_eq!(m[&A], 3);
+    }
+
+    #[test]
+    fn flood_is_flagged() {
+        let mut records = vec![Record::timeout(A, 100)];
+        for i in 0..50 {
+            records.push(Record::unmatched(A, 101 + i % 300));
+        }
+        let m = max_responses_per_request(&records);
+        assert_eq!(m[&A], 50);
+        assert_eq!(duplicate_offenders(&m, 4), BTreeSet::from([A]));
+    }
+
+    #[test]
+    fn responses_split_across_requests_not_flagged() {
+        // One late response per round: each request gets exactly one.
+        let mut records = Vec::new();
+        for round in 0..20 {
+            records.push(Record::timeout(A, round * 660));
+            records.push(Record::unmatched(A, round * 660 + 30));
+        }
+        let m = max_responses_per_request(&records);
+        assert_eq!(m[&A], 1);
+        assert!(duplicate_offenders(&m, 4).is_empty());
+    }
+
+    #[test]
+    fn exactly_threshold_passes_above_fails() {
+        let mk = |n: u32| {
+            let mut records = vec![Record::timeout(B, 0)];
+            for i in 0..n {
+                records.push(Record::unmatched(B, 1 + i));
+            }
+            max_responses_per_request(&records)
+        };
+        assert!(duplicate_offenders(&mk(4), 4).is_empty());
+        assert_eq!(duplicate_offenders(&mk(5), 4), BTreeSet::from([B]));
+    }
+
+    #[test]
+    fn response_with_no_requests_counted() {
+        let records = vec![Record::unmatched(A, 5), Record::unmatched(A, 6)];
+        let m = max_responses_per_request(&records);
+        assert_eq!(m[&A], 2);
+    }
+
+    #[test]
+    fn addresses_independent() {
+        let records = vec![
+            Record::timeout(A, 0),
+            Record::unmatched(A, 1),
+            Record::matched(B, 0, 10),
+        ];
+        let m = max_responses_per_request(&records);
+        assert_eq!(m[&A], 1);
+        assert_eq!(m[&B], 1);
+    }
+}

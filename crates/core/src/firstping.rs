@@ -1,0 +1,285 @@
+//! The "first ping" analysis of Section 6.3 (Figures 12, 13, 14).
+//!
+//! Given 10-probe 1 Hz trains against high-median-latency addresses, the
+//! paper classifies each address by how the first RTT compares to the
+//! rest: for ~2/3 the first exceeds the maximum of the rest — the radio
+//! wake-up signature — and the wake-up duration is estimated as
+//! `RTT₁ − min(RTT₂..RTTₙ)` (median ≈ 1.37 s, 90% < 4 s).
+
+use crate::cdf::Cdf;
+use crate::percentile::percentile_sorted;
+use std::collections::BTreeMap;
+
+/// How an address's first RTT relates to the rest of its train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FirstPingClass {
+    /// `RTT₁ > max(RTT₂..RTTₙ)` — the wake-up signature.
+    AboveMax,
+    /// `median < RTT₁ ≤ max` of the rest.
+    AboveMedian,
+    /// `RTT₁ ≤ median` of the rest.
+    AtOrBelowMedian,
+}
+
+/// One analyzed address.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamVerdict {
+    /// Probed address.
+    pub dst: u32,
+    /// First-probe RTT.
+    pub rtt1: f64,
+    /// Second-probe RTT if answered.
+    pub rtt2: Option<f64>,
+    /// Minimum of the remaining RTTs.
+    pub min_rest: f64,
+    /// Maximum of the remaining RTTs.
+    pub max_rest: f64,
+    /// Classification.
+    pub class: FirstPingClass,
+}
+
+/// Aggregate counts, mirroring the paper's prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FirstPingCounts {
+    /// First exceeded the max of the rest (paper: 51,646 of 83,174).
+    pub above_max: usize,
+    /// First between median and max (paper: 11,874).
+    pub above_median: usize,
+    /// First at or below the median (paper: 10,910).
+    pub at_or_below_median: usize,
+    /// Omitted: no response to the first probe (paper: 8,329).
+    pub omitted_no_first: usize,
+    /// Omitted: fewer than 4 responses total (paper: 415).
+    pub omitted_too_few: usize,
+}
+
+impl FirstPingCounts {
+    /// Addresses that were classified.
+    pub fn classified(&self) -> usize {
+        self.above_max + self.above_median + self.at_or_below_median
+    }
+
+    /// Fraction of classified addresses with the wake-up signature.
+    pub fn above_max_fraction(&self) -> f64 {
+        let n = self.classified();
+        if n == 0 {
+            0.0
+        } else {
+            self.above_max as f64 / n as f64
+        }
+    }
+}
+
+/// Result of the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstPingAnalysis {
+    /// Per-address verdicts, classification inputs included.
+    pub verdicts: Vec<StreamVerdict>,
+    /// Aggregates.
+    pub counts: FirstPingCounts,
+}
+
+/// Analyze per-address probe trains; `streams` holds `(dst, per-probe
+/// RTTs)` where `None` marks an unanswered probe. Requires `n ≥ 4`
+/// responses including the first, as the paper does.
+pub fn analyze(streams: &[(u32, Vec<Option<f64>>)]) -> FirstPingAnalysis {
+    let mut verdicts = Vec::new();
+    let mut counts = FirstPingCounts::default();
+    for (dst, rtts) in streams {
+        let Some(Some(rtt1)) = rtts.first().copied() else {
+            counts.omitted_no_first += 1;
+            continue;
+        };
+        let mut rest: Vec<f64> = rtts[1..].iter().flatten().copied().collect();
+        if rest.len() + 1 < 4 {
+            counts.omitted_too_few += 1;
+            continue;
+        }
+        rest.sort_by(f64::total_cmp);
+        let min_rest = rest[0];
+        let max_rest = *rest.last().expect("non-empty rest");
+        let median = percentile_sorted(&rest, 50.0).expect("non-empty rest");
+        let class = if rtt1 > max_rest {
+            counts.above_max += 1;
+            FirstPingClass::AboveMax
+        } else if rtt1 > median {
+            counts.above_median += 1;
+            FirstPingClass::AboveMedian
+        } else {
+            counts.at_or_below_median += 1;
+            FirstPingClass::AtOrBelowMedian
+        };
+        let rtt2 = rtts.get(1).copied().flatten();
+        verdicts.push(StreamVerdict { dst: *dst, rtt1, rtt2, min_rest, max_rest, class });
+    }
+    let verdicts = {
+        let mut v = verdicts;
+        v.sort_by_key(|s| s.dst);
+        v
+    };
+    FirstPingAnalysis { verdicts, counts }
+}
+
+impl FirstPingAnalysis {
+    /// Figure 12 (bottom): CDF of `RTT₁ − RTT₂` for all addresses with
+    /// both responses, and for the `AboveMax` subset.
+    pub fn fig12_diff_cdfs(&self) -> (Cdf, Cdf) {
+        let all: Vec<f64> =
+            self.verdicts.iter().filter_map(|v| v.rtt2.map(|r2| v.rtt1 - r2)).collect();
+        let above: Vec<f64> = self
+            .verdicts
+            .iter()
+            .filter(|v| v.class == FirstPingClass::AboveMax)
+            .filter_map(|v| v.rtt2.map(|r2| v.rtt1 - r2))
+            .collect();
+        (Cdf::new(all), Cdf::new(above))
+    }
+
+    /// Figure 12 (top): `P(RTT₁ > max rest | RTT₁ − RTT₂ ∈ bucket)` over
+    /// equal-width buckets spanning `[lo, hi]`.
+    pub fn fig12_probability_curve(&self, lo: f64, hi: f64, buckets: usize) -> Vec<(f64, f64)> {
+        assert!(buckets > 0 && hi > lo);
+        let width = (hi - lo) / buckets as f64;
+        let mut hit = vec![0usize; buckets];
+        let mut total = vec![0usize; buckets];
+        for v in &self.verdicts {
+            let Some(r2) = v.rtt2 else { continue };
+            let d = v.rtt1 - r2;
+            if d < lo || d >= hi {
+                continue;
+            }
+            let b = ((d - lo) / width) as usize;
+            let b = b.min(buckets - 1);
+            total[b] += 1;
+            if v.class == FirstPingClass::AboveMax {
+                hit[b] += 1;
+            }
+        }
+        (0..buckets)
+            .filter(|&b| total[b] > 0)
+            .map(|b| (lo + (b as f64 + 0.5) * width, hit[b] as f64 / total[b] as f64))
+            .collect()
+    }
+
+    /// Figure 13: CDF of `RTT₁ − min(rest)` over the `AboveMax` subset —
+    /// the wake-up/negotiation duration estimate.
+    pub fn fig13_setup_time_cdf(&self) -> Cdf {
+        Cdf::new(
+            self.verdicts
+                .iter()
+                .filter(|v| v.class == FirstPingClass::AboveMax)
+                .map(|v| v.rtt1 - v.min_rest)
+                .collect(),
+        )
+    }
+
+    /// Figure 14: per-/24 fraction of classified addresses with the
+    /// wake-up signature, as a CDF over prefixes.
+    pub fn fig14_prefix_fractions(&self) -> Vec<(u32, f64)> {
+        let mut per_prefix: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+        for v in &self.verdicts {
+            let e = per_prefix.entry(v.dst >> 8).or_default();
+            e.1 += 1;
+            if v.class == FirstPingClass::AboveMax {
+                e.0 += 1;
+            }
+        }
+        per_prefix
+            .into_iter()
+            .map(|(p, (above, total))| (p, above as f64 / total as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(dst: u32, rtts: &[f64]) -> (u32, Vec<Option<f64>>) {
+        (dst, rtts.iter().map(|&r| Some(r)).collect())
+    }
+
+    #[test]
+    fn classification_basics() {
+        let streams = vec![
+            stream(1, &[3.0, 0.2, 0.3, 0.25, 0.2]), // above max
+            stream(2, &[0.26, 0.2, 0.3, 0.25, 0.2]), // between median (0.25?) and max
+            stream(3, &[0.1, 0.2, 0.3, 0.25, 0.2]),  // below median
+        ];
+        let a = analyze(&streams);
+        assert_eq!(a.counts.above_max, 1);
+        assert_eq!(a.counts.above_median, 1);
+        assert_eq!(a.counts.at_or_below_median, 1);
+        assert_eq!(a.verdicts[0].class, FirstPingClass::AboveMax);
+        assert!((a.counts.above_max_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omission_rules() {
+        let streams = vec![
+            (1u32, vec![None, Some(0.2), Some(0.2), Some(0.2), Some(0.2)]), // no first
+            (2u32, vec![Some(0.2), Some(0.2), None, None, None]),           // too few (2)
+            (3u32, vec![Some(0.2), Some(0.2), Some(0.2), Some(0.2)]),       // exactly 4: kept
+        ];
+        let a = analyze(&streams);
+        assert_eq!(a.counts.omitted_no_first, 1);
+        assert_eq!(a.counts.omitted_too_few, 1);
+        assert_eq!(a.counts.classified(), 1);
+    }
+
+    #[test]
+    fn fig13_setup_estimate() {
+        // Wake-up of exactly 2 s: rtt1 = 2.2, min rest = 0.2.
+        let streams = vec![stream(1, &[2.2, 0.25, 0.2, 0.22, 0.21])];
+        let a = analyze(&streams);
+        let cdf = a.fig13_setup_time_cdf();
+        assert_eq!(cdf.len(), 1);
+        assert!((cdf.max().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig12_diff_and_probability() {
+        let streams = vec![
+            stream(1, &[2.0, 1.0, 0.2, 0.2, 0.2]), // diff 1.0, above max
+            stream(2, &[0.2, 0.2, 0.2, 0.2, 0.3]), // diff 0, not above max
+        ];
+        let a = analyze(&streams);
+        let (all, above) = a.fig12_diff_cdfs();
+        assert_eq!(all.len(), 2);
+        assert_eq!(above.len(), 1);
+        let curve = a.fig12_probability_curve(-1.0, 1.5, 5);
+        // Bucket containing diff 1.0 has probability 1; bucket with 0 has 0.
+        let p_at = |x: f64| {
+            curve
+                .iter()
+                .min_by(|a, b| (a.0 - x).abs().total_cmp(&(b.0 - x).abs()))
+                .unwrap()
+                .1
+        };
+        assert_eq!(p_at(1.0), 1.0);
+        assert_eq!(p_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn fig14_prefix_grouping() {
+        let streams = vec![
+            stream(0x0a000001, &[2.0, 0.2, 0.2, 0.2, 0.2]),
+            stream(0x0a000002, &[0.2, 0.2, 0.3, 0.2, 0.2]),
+            stream(0x0b000001, &[5.0, 0.2, 0.2, 0.2, 0.2]),
+        ];
+        let a = analyze(&streams);
+        let fracs = a.fig14_prefix_fractions();
+        assert_eq!(fracs.len(), 2);
+        assert_eq!(fracs[0], (0x0a0000, 0.5));
+        assert_eq!(fracs[1], (0x0b0000, 1.0));
+    }
+
+    #[test]
+    fn missing_second_response_excluded_from_fig12_only() {
+        let streams = vec![(1u32, vec![Some(2.0), None, Some(0.2), Some(0.2), Some(0.2)])];
+        let a = analyze(&streams);
+        assert_eq!(a.counts.classified(), 1);
+        let (all, _) = a.fig12_diff_cdfs();
+        assert!(all.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Percentile machinery.
+//!
+//! The paper aggregates "in terms of the distribution of latency values
+//! per IP address ... so that well-connected hosts that reply reliably are
+//! not over-represented relative to hosts that reply infrequently". The
+//! central object is therefore a per-address sample set
+//! ([`LatencySamples`]) and percentiles *of* per-address percentiles.
+//!
+//! Percentiles use the nearest-rank definition (the smallest sample such
+//! that at least `p`% of samples are ≤ it), which is exact, monotone in
+//! `p`, and always returns an observed value — the right choice when the
+//! resulting number is read as "the timeout that would have captured p% of
+//! pings".
+
+/// The percentile levels the paper's tables use.
+pub const PAPER_PERCENTILES: [f64; 7] = [1.0, 50.0, 80.0, 90.0, 95.0, 98.0, 99.0];
+
+/// Nearest-rank percentile of a **sorted** slice. `p` in `(0, 100]`.
+/// Returns `None` on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(p > 0.0 && p <= 100.0, "percentile {p} out of range");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice not sorted");
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+/// Latency samples of one address, kept sorted.
+///
+/// ```
+/// use beware_core::percentile::LatencySamples;
+///
+/// let s = LatencySamples::from_values(vec![0.1, 0.2, 0.2, 5.0]);
+/// assert_eq!(s.percentile(50.0), Some(0.2));
+/// assert_eq!(s.percentile(100.0), Some(5.0));
+/// // A 3-second timeout would lose a quarter of this host's pings:
+/// assert!((s.fraction_above(3.0) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencySamples {
+    sorted: Vec<f64>,
+}
+
+impl LatencySamples {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from unsorted values (non-finite values are rejected —
+    /// latencies come from subtraction of timestamps and must be real).
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| v.is_finite()), "non-finite latency sample");
+        values.sort_by(f64::total_cmp);
+        LatencySamples { sorted: values }
+    }
+
+    /// Insert one value, keeping order.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "non-finite latency sample");
+        let idx = self.sorted.partition_point(|&x| x <= value);
+        self.sorted.insert(idx, value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Nearest-rank percentile.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        percentile_sorted(&self.sorted, p)
+    }
+
+    /// The sorted samples.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Fraction of samples strictly greater than `x` (used for "what loss
+    /// rate would a timeout of `x` infer").
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below_or_eq = self.sorted.partition_point(|&v| v <= x);
+        (self.sorted.len() - below_or_eq) as f64 / self.sorted.len() as f64
+    }
+
+    /// The percentile profile at the paper's levels
+    /// (1/50/80/90/95/98/99). `None` when empty.
+    pub fn paper_profile(&self) -> Option<[f64; 7]> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let mut out = [0.0; 7];
+        for (i, &p) in PAPER_PERCENTILES.iter().enumerate() {
+            out[i] = self.percentile(p).expect("non-empty");
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_basics() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&s, 25.0), Some(1.0));
+        assert_eq!(percentile_sorted(&s, 50.0), Some(2.0));
+        assert_eq!(percentile_sorted(&s, 75.0), Some(3.0));
+        assert_eq!(percentile_sorted(&s, 100.0), Some(4.0));
+        assert_eq!(percentile_sorted(&s, 1.0), Some(1.0));
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for p in PAPER_PERCENTILES {
+            assert_eq!(percentile_sorted(&[7.5], p), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let s: Vec<f64> = (0..997).map(|i| (i as f64 * 13.7) % 100.0).collect();
+        let samples = LatencySamples::from_values(s);
+        let mut last = f64::MIN;
+        for p in 1..=100 {
+            let v = samples.percentile(f64::from(p)).unwrap();
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn push_keeps_sorted_and_matches_from_values() {
+        let mut a = LatencySamples::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0, 2.0] {
+            a.push(v);
+        }
+        let b = LatencySamples::from_values(vec![5.0, 1.0, 3.0, 2.0, 4.0, 2.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.values(), &[1.0, 2.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn fraction_above() {
+        let s = LatencySamples::from_values(vec![0.1, 0.2, 0.3, 5.0, 10.0]);
+        assert!((s.fraction_above(1.0) - 0.4).abs() < 1e-12);
+        assert!((s.fraction_above(10.0) - 0.0).abs() < 1e-12);
+        assert!((s.fraction_above(0.05) - 1.0).abs() < 1e-12);
+        assert_eq!(LatencySamples::new().fraction_above(1.0), 0.0);
+    }
+
+    #[test]
+    fn paper_profile_levels() {
+        let s = LatencySamples::from_values((1..=100).map(f64::from).collect());
+        let prof = s.paper_profile().unwrap();
+        assert_eq!(prof[0], 1.0); // p1
+        assert_eq!(prof[1], 50.0); // p50
+        assert_eq!(prof[6], 99.0); // p99
+        assert!(LatencySamples::new().paper_profile().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        LatencySamples::from_values(vec![1.0, f64::NAN]);
+    }
+}

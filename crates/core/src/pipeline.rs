@@ -1,0 +1,277 @@
+//! The end-to-end analysis pipeline of Section 4.1: recover delayed
+//! responses, filter artifacts, and produce the per-address latency
+//! samples plus the accounting of the paper's Table 1.
+
+use crate::filters::broadcast::{detect_broadcast_responders, BroadcastFilterCfg};
+use crate::filters::duplicates::{duplicate_offenders, max_responses_per_request};
+use crate::matching::match_unmatched;
+use crate::percentile::LatencySamples;
+use beware_dataset::Record;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pipeline parameters; defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineCfg {
+    /// Broadcast filter configuration.
+    pub broadcast: BroadcastFilterCfg,
+    /// Duplicate filter threshold (paper: 4). Zero means "use the default".
+    pub dup_threshold: u32,
+}
+
+impl PipelineCfg {
+    fn dup_threshold(&self) -> u32 {
+        if self.dup_threshold == 0 {
+            4
+        } else {
+            self.dup_threshold
+        }
+    }
+}
+
+/// One `(packets, addresses)` row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountRow {
+    /// Response packets.
+    pub packets: u64,
+    /// Distinct addresses.
+    pub addresses: u64,
+}
+
+/// The accounting of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accounting {
+    /// Responses matched by the prober itself.
+    pub survey_detected: CountRow,
+    /// Survey-detected plus naively recovered delayed responses, before
+    /// filtering.
+    pub naive_matching: CountRow,
+    /// Responses discarded because their source is a broadcast responder.
+    pub broadcast_responses: CountRow,
+    /// Responses discarded because their source exceeded the duplicate
+    /// threshold.
+    pub duplicate_responses: CountRow,
+    /// The final combined dataset: survey-detected plus delayed, filtered.
+    pub survey_plus_delayed: CountRow,
+}
+
+/// Full pipeline output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutput {
+    /// Per-address latency samples of the **filtered combined** dataset:
+    /// matched RTTs (µs precision) plus recovered delayed latencies
+    /// (second precision), for addresses that survived both filters.
+    pub samples: BTreeMap<u32, LatencySamples>,
+    /// The same, **before** filtering (naive matching) — the "before"
+    /// curve of Figure 6 with its 165/330/495 s bumps.
+    pub naive_samples: BTreeMap<u32, LatencySamples>,
+    /// Addresses marked as broadcast responders.
+    pub broadcast_responders: BTreeSet<u32>,
+    /// Addresses exceeding the duplicate threshold (excluding those
+    /// already marked as broadcast responders, matching the paper's
+    /// disjoint accounting).
+    pub duplicate_offenders: BTreeSet<u32>,
+    /// Per-address maximum responses to a single request (Figure 5).
+    pub max_responses: BTreeMap<u32, u32>,
+    /// Table 1.
+    pub accounting: Accounting,
+}
+
+/// Per-address samples from **survey-detected responses only** (Figure 1's
+/// view of the data, clipped at the prober timeout).
+pub fn survey_samples(records: &[Record]) -> BTreeMap<u32, LatencySamples> {
+    let mut out: BTreeMap<u32, LatencySamples> = BTreeMap::new();
+    for r in records {
+        if let Some(rtt) = r.rtt_secs() {
+            out.entry(r.addr).or_default().push(rtt);
+        }
+    }
+    out
+}
+
+/// Run matching, filtering and accounting over one survey's records.
+pub fn run_pipeline(records: &[Record], cfg: &PipelineCfg) -> PipelineOutput {
+    // 1. Survey-detected responses.
+    let mut naive_samples = survey_samples(records);
+    let survey_detected = CountRow {
+        packets: records.iter().filter(|r| r.is_matched()).count() as u64,
+        addresses: naive_samples.len() as u64,
+    };
+
+    // 2. Naive matching of unmatched responses.
+    let outcome = match_unmatched(records);
+    for d in &outcome.delayed {
+        naive_samples.entry(d.addr).or_default().push(f64::from(d.latency_s));
+    }
+    let naive_matching = CountRow {
+        packets: survey_detected.packets + outcome.delayed.len() as u64,
+        addresses: naive_samples.len() as u64,
+    };
+
+    // 3. Filters.
+    let broadcast_responders = detect_broadcast_responders(&outcome.delayed, &cfg.broadcast);
+    let max_responses = max_responses_per_request(records);
+    let mut dup_set = duplicate_offenders(&max_responses, cfg.dup_threshold());
+    // Disjoint accounting, as in the paper: an address that is both is
+    // counted under broadcast.
+    dup_set.retain(|a| !broadcast_responders.contains(a));
+
+    // 4. Accounting of the discarded responses.
+    let count_naive_packets = |addrs: &BTreeSet<u32>| -> u64 {
+        addrs
+            .iter()
+            .filter_map(|a| naive_samples.get(a))
+            .map(|s| s.len() as u64)
+            .sum()
+    };
+    let broadcast_responses = CountRow {
+        packets: count_naive_packets(&broadcast_responders),
+        addresses: broadcast_responders.len() as u64,
+    };
+    let duplicate_responses = CountRow {
+        packets: count_naive_packets(&dup_set),
+        addresses: dup_set.len() as u64,
+    };
+
+    // 5. The combined, filtered dataset.
+    let samples: BTreeMap<u32, LatencySamples> = naive_samples
+        .iter()
+        .filter(|(a, _)| !broadcast_responders.contains(a) && !dup_set.contains(a))
+        .map(|(a, s)| (*a, s.clone()))
+        .collect();
+    let survey_plus_delayed = CountRow {
+        packets: samples.values().map(|s| s.len() as u64).sum(),
+        addresses: samples.len() as u64,
+    };
+
+    PipelineOutput {
+        samples,
+        naive_samples,
+        broadcast_responders,
+        duplicate_offenders: dup_set,
+        max_responses,
+        accounting: Accounting {
+            survey_detected,
+            naive_matching,
+            broadcast_responses,
+            duplicate_responses,
+            survey_plus_delayed,
+        },
+    }
+}
+
+/// Merge per-address samples from several surveys (the paper combines
+/// IT63w and IT63c before computing Table 2).
+pub fn merge_samples(
+    parts: Vec<BTreeMap<u32, LatencySamples>>,
+) -> BTreeMap<u32, LatencySamples> {
+    let mut out: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for part in parts {
+        for (addr, samples) in part {
+            out.entry(addr).or_default().extend_from_slice(samples.values());
+        }
+    }
+    out.into_iter().map(|(a, v)| (a, LatencySamples::from_values(v))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: u32 = 0x0a000010; // well-behaved
+    const B: u32 = 0x0a000020; // slow (delayed responses)
+    const C: u32 = 0x0a000030; // broadcast responder
+    const D: u32 = 0x0a000040; // flood
+
+    fn fixture() -> Vec<Record> {
+        let mut r = Vec::new();
+        for round in 0..100u32 {
+            let t = round * 660;
+            // A: always matched at 50 ms.
+            r.push(Record::matched(A, t, 50_000));
+            // B: times out, answers 15–40 s late — genuinely delayed, so
+            // the latency *varies* between rounds (unlike broadcast
+            // artifacts, which repeat exactly).
+            r.push(Record::timeout(B, t + 3));
+            r.push(Record::unmatched(B, t + 3 + 15 + (round * 7) % 25));
+            // C: broadcast responder — stable 330 s artifact.
+            r.push(Record::timeout(C, t + 5));
+            r.push(Record::unmatched(C, t + 335));
+        }
+        // D: one request, a flood of responses.
+        r.push(Record::timeout(D, 40));
+        for i in 0..500u32 {
+            r.push(Record::unmatched(D, 41 + i % 200));
+        }
+        r
+    }
+
+    #[test]
+    fn accounting_matches_fixture() {
+        let out = run_pipeline(&fixture(), &PipelineCfg::default());
+        let acc = out.accounting;
+        assert_eq!(acc.survey_detected, CountRow { packets: 100, addresses: 1 });
+        // Naive adds B's 100, C's 100, and D's first-delayed 1.
+        assert_eq!(acc.naive_matching.packets, 100 + 100 + 100 + 1);
+        assert_eq!(acc.naive_matching.addresses, 4);
+        assert_eq!(acc.broadcast_responses, CountRow { packets: 100, addresses: 1 });
+        assert_eq!(acc.duplicate_responses, CountRow { packets: 1, addresses: 1 });
+        assert_eq!(acc.survey_plus_delayed, CountRow { packets: 200, addresses: 2 });
+    }
+
+    #[test]
+    fn filtered_samples_keep_real_latency() {
+        let out = run_pipeline(&fixture(), &PipelineCfg::default());
+        assert!(out.samples.contains_key(&A));
+        assert!(out.samples.contains_key(&B));
+        assert!(!out.samples.contains_key(&C));
+        assert!(!out.samples.contains_key(&D));
+        // B's recovered latencies are the genuine 15–39 s spread.
+        let b = &out.samples[&B];
+        assert_eq!(b.len(), 100);
+        let med = b.percentile(50.0).unwrap();
+        assert!((15.0..=39.0).contains(&med), "median {med}");
+        // The naive (pre-filter) view still shows C's 330 s artifact.
+        assert!((out.naive_samples[&C].percentile(50.0).unwrap() - 330.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sets_are_disjoint() {
+        let out = run_pipeline(&fixture(), &PipelineCfg::default());
+        assert!(out.broadcast_responders.is_disjoint(&out.duplicate_offenders));
+        assert_eq!(out.broadcast_responders, BTreeSet::from([C]));
+        assert_eq!(out.duplicate_offenders, BTreeSet::from([D]));
+    }
+
+    #[test]
+    fn fig5_distribution_available() {
+        let out = run_pipeline(&fixture(), &PipelineCfg::default());
+        assert_eq!(out.max_responses[&D], 500);
+        assert_eq!(out.max_responses[&A], 1);
+    }
+
+    #[test]
+    fn survey_samples_only_matched() {
+        let s = survey_samples(&fixture());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[&A].len(), 100);
+    }
+
+    #[test]
+    fn merge_combines_addresses() {
+        let mut p1 = BTreeMap::new();
+        p1.insert(1u32, LatencySamples::from_values(vec![0.1, 0.2]));
+        let mut p2 = BTreeMap::new();
+        p2.insert(1u32, LatencySamples::from_values(vec![0.3]));
+        p2.insert(2u32, LatencySamples::from_values(vec![1.0]));
+        let merged = merge_samples(vec![p1, p2]);
+        assert_eq!(merged[&1].len(), 3);
+        assert_eq!(merged[&2].len(), 1);
+    }
+
+    #[test]
+    fn empty_records_yield_empty_output() {
+        let out = run_pipeline(&[], &PipelineCfg::default());
+        assert!(out.samples.is_empty());
+        assert_eq!(out.accounting.survey_detected, CountRow::default());
+    }
+}

@@ -1,0 +1,134 @@
+//! The user-facing deliverable: given measured per-address latency
+//! distributions, what timeout should a prober use, and what false-loss
+//! rate does any given timeout imply?
+//!
+//! The paper's own conclusion: keep the 3 s retransmission trigger but
+//! *continue listening* — 60 s "easily covers 98% of pings to 98% of
+//! addresses, yet does not seem long enough to slow measurements
+//! unnecessarily".
+
+use crate::percentile::LatencySamples;
+use crate::timeout_table::TimeoutTable;
+use std::collections::BTreeMap;
+
+/// A timeout recommendation with its coverage evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The recommended listen timeout, seconds.
+    pub timeout_secs: f64,
+    /// The address-percentile coverage target used.
+    pub address_pct: f64,
+    /// The ping-percentile coverage target used.
+    pub ping_pct: f64,
+    /// Number of addresses the evidence rests on.
+    pub addresses: usize,
+}
+
+/// Compute the minimum timeout capturing `ping_pct`% of pings from
+/// `address_pct`% of addresses. `None` when there is no data.
+pub fn recommend_timeout(
+    samples: &BTreeMap<u32, LatencySamples>,
+    address_pct: f64,
+    ping_pct: f64,
+) -> Option<Recommendation> {
+    let table = TimeoutTable::compute_at(samples, &[address_pct], &[ping_pct])?;
+    Some(Recommendation {
+        timeout_secs: table.cells[0][0],
+        address_pct,
+        ping_pct,
+        addresses: table.addresses,
+    })
+}
+
+/// For a candidate `timeout`, the fraction of addresses whose inferred
+/// false loss rate would exceed `loss_threshold` (e.g. the paper's
+/// headline: with a 5 s timeout, 5% of addresses see ≥ 5% false loss).
+pub fn addresses_with_false_loss_above(
+    samples: &BTreeMap<u32, LatencySamples>,
+    timeout: f64,
+    loss_threshold: f64,
+) -> f64 {
+    let total = samples.values().filter(|s| !s.is_empty()).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let affected = samples
+        .values()
+        .filter(|s| !s.is_empty())
+        .filter(|s| s.fraction_above(timeout) >= loss_threshold)
+        .count();
+    affected as f64 / total as f64
+}
+
+/// Sweep candidate timeouts and report the induced false-loss profile —
+/// the data a practitioner needs to pick a point on the
+/// responsiveness/accuracy curve.
+pub fn false_loss_sweep(
+    samples: &BTreeMap<u32, LatencySamples>,
+    timeouts: &[f64],
+    loss_threshold: f64,
+) -> Vec<(f64, f64)> {
+    timeouts
+        .iter()
+        .map(|&t| (t, addresses_with_false_loss_above(samples, t, loss_threshold)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> BTreeMap<u32, LatencySamples> {
+        let mut m = BTreeMap::new();
+        // 90 fast addresses.
+        for a in 0..90u32 {
+            m.insert(a, LatencySamples::from_values(vec![0.05; 100]));
+        }
+        // 10 turtles: 10% of pings over 8 s.
+        for a in 90..100u32 {
+            let mut v = vec![0.3; 90];
+            v.extend(vec![8.5; 10]);
+            m.insert(a, LatencySamples::from_values(v));
+        }
+        m
+    }
+
+    #[test]
+    fn recommendation_tracks_targets() {
+        let p = population();
+        let fast = recommend_timeout(&p, 50.0, 95.0).unwrap();
+        assert!(fast.timeout_secs < 1.0);
+        let safe = recommend_timeout(&p, 99.0, 95.0).unwrap();
+        assert!(safe.timeout_secs > 5.0);
+        assert_eq!(safe.addresses, 100);
+        assert!(recommend_timeout(&BTreeMap::new(), 95.0, 95.0).is_none());
+    }
+
+    #[test]
+    fn false_loss_headline_shape() {
+        let p = population();
+        // With a 5 s timeout, exactly the 10 turtles see 10% ≥ 5% loss.
+        let frac = addresses_with_false_loss_above(&p, 5.0, 0.05);
+        assert!((frac - 0.10).abs() < 1e-9);
+        // With a 60 s timeout, nobody does.
+        assert_eq!(addresses_with_false_loss_above(&p, 60.0, 0.05), 0.0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing() {
+        let p = population();
+        let sweep = false_loss_sweep(&p, &[0.1, 1.0, 5.0, 10.0, 60.0], 0.05);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        // A 100 ms timeout fails all 10 turtles (their floor is 300 ms)
+        // but none of the 50 ms fast addresses.
+        assert!((sweep[0].1 - 0.10).abs() < 1e-9);
+        assert_eq!(sweep.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn empty_population() {
+        assert_eq!(addresses_with_false_loss_above(&BTreeMap::new(), 1.0, 0.05), 0.0);
+    }
+}

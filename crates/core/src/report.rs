@@ -1,0 +1,245 @@
+//! Rendering: aligned text tables (for the paper's tables) and data series
+//! (for its figures), plus a small ASCII plotter for terminal inspection.
+
+use std::fmt::Write as _;
+
+/// A text table with a title, column headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Caption printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        if ncols == 0 {
+            return format!("# {}\n(empty table)\n", self.title);
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.len());
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.');
+                if numeric {
+                    s.push_str(&" ".repeat(pad));
+                    s.push_str(cell);
+                } else {
+                    s.push_str(cell);
+                    s.push_str(&" ".repeat(pad));
+                }
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A named `(x, y)` series — one curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+/// Render series as CSV: `series,x,y` rows with a header.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in series {
+        for &(x, y) in &s.points {
+            let _ = writeln!(out, "{},{x},{y}", s.name);
+        }
+    }
+    out
+}
+
+/// A rough ASCII plot of up to 8 series, for terminal inspection. Linear
+/// axes; each series gets its own glyph; overlapping points show the
+/// later series.
+pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let width = width.clamp(16, 200);
+    let height = height.clamp(4, 60);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let mut out = format!("== {title} ==\n");
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+    let (mut ymin, mut ymax) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if xmax == xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax == ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate().take(GLYPHS.len()) {
+        for &(x, y) in &s.points {
+            let cx = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = GLYPHS[si];
+        }
+    }
+    let _ = writeln!(out, "y: [{ymin:.3}, {ymax:.3}]");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "x: [{xmin:.3}, {xmax:.3}]");
+    for (si, s) in series.iter().enumerate().take(GLYPHS.len()) {
+        let _ = writeln!(out, "  {} = {}", GLYPHS[si], s.name);
+    }
+    out
+}
+
+/// Format seconds the way the paper's Table 2 does: sub-second values with
+/// two decimals, seconds ≥ 3 as integers (their precision is 1 s anyway).
+pub fn fmt_timeout_secs(v: f64) -> String {
+    if v < 3.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{}", v.round() as i64)
+    }
+}
+
+/// Format a count with thousands separators (`9,644,670,150` style).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "count"]);
+        t.row(vec!["alpha".into(), "5".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let r = t.render();
+        assert!(r.starts_with("# Demo\n"));
+        let lines: Vec<&str> = r.lines().collect();
+        // All data lines align on the count column (right-aligned digits).
+        assert!(lines[3].ends_with('5'));
+        assert!(lines[4].ends_with("12345"));
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panic() {
+        let t = Table::new("empty", &[]);
+        assert!(t.render().contains("(empty table)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bad_row_width_panics() {
+        Table::new("t", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let s = vec![Series::new("c1", vec![(1.0, 2.0), (3.0, 4.0)])];
+        let csv = series_to_csv(&s);
+        assert_eq!(csv, "series,x,y\nc1,1,2\nc1,3,4\n");
+    }
+
+    #[test]
+    fn ascii_plot_contains_glyphs_and_bounds() {
+        let s = vec![
+            Series::new("up", (0..10).map(|i| (f64::from(i), f64::from(i))).collect()),
+            Series::new("down", (0..10).map(|i| (f64::from(i), f64::from(9 - i))).collect()),
+        ];
+        let plot = ascii_plot("test", &s, 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("x: [0.000, 9.000]"));
+        assert!(plot.contains("up"));
+    }
+
+    #[test]
+    fn ascii_plot_empty() {
+        assert!(ascii_plot("none", &[], 40, 10).contains("(no data)"));
+    }
+
+    #[test]
+    fn timeout_formatting_matches_table2_style() {
+        assert_eq!(fmt_timeout_secs(0.19), "0.19");
+        assert_eq!(fmt_timeout_secs(2.38), "2.38");
+        assert_eq!(fmt_timeout_secs(5.0), "5");
+        assert_eq!(fmt_timeout_secs(144.7), "145");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(9_644_670_150), "9,644,670,150");
+    }
+}

@@ -1,0 +1,158 @@
+//! The satellite split — Section 6.1, Figure 11.
+//!
+//! Hypothesis tested by the paper: do satellite links, famous for high
+//! *minimum* latency, explain the high *maximum* latencies? Answer: no —
+//! satellite addresses have 1st percentiles above 500 ms (double the
+//! geosynchronous theoretical minimum of ~250 ms) but 99th percentiles
+//! predominantly below 3 s, while the worst offenders live elsewhere.
+
+use crate::percentile::LatencySamples;
+use beware_asdb::{AsDb, AsKind};
+use std::collections::BTreeMap;
+
+/// One point of the Figure 11 scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPoint {
+    /// The address.
+    pub addr: u32,
+    /// 1st percentile latency (seconds).
+    pub p1: f64,
+    /// 99th percentile latency (seconds).
+    pub p99: f64,
+    /// Whether the address belongs to a satellite-only ISP.
+    pub satellite: bool,
+    /// Owning AS name (empty when unattributed).
+    pub as_name: String,
+}
+
+/// The scatter, split the way the paper plots it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SatelliteSplit {
+    /// Addresses of satellite-only ISPs (right panel).
+    pub satellite: Vec<ScatterPoint>,
+    /// Everyone else with high 1st percentile (left panel).
+    pub other: Vec<ScatterPoint>,
+}
+
+impl SatelliteSplit {
+    /// Minimum satellite 1st-percentile latency — the paper reports this
+    /// "exceeds 500ms in all cases".
+    pub fn satellite_p1_floor(&self) -> Option<f64> {
+        self.satellite.iter().map(|p| p.p1).min_by(f64::total_cmp)
+    }
+
+    /// Fraction of satellite addresses with `p99 < limit` (the paper:
+    /// "predominantly below 3 s").
+    pub fn satellite_p99_below(&self, limit: f64) -> f64 {
+        if self.satellite.is_empty() {
+            return 0.0;
+        }
+        self.satellite.iter().filter(|p| p.p99 < limit).count() as f64
+            / self.satellite.len() as f64
+    }
+}
+
+/// Build the Figure 11 scatter from filtered per-address samples.
+///
+/// Only addresses with `p1 ≥ min_p1` are plotted (the paper restricts the
+/// panels to addresses "with high values of both" percentiles; 0.3 s
+/// reproduces its x-axis). `min_samples` guards against meaningless
+/// percentiles from barely-responsive addresses.
+pub fn split_by_satellite(
+    samples: &BTreeMap<u32, LatencySamples>,
+    db: &AsDb,
+    min_p1: f64,
+    min_samples: usize,
+) -> SatelliteSplit {
+    let mut out = SatelliteSplit::default();
+    for (&addr, s) in samples {
+        if s.len() < min_samples.max(2) {
+            continue;
+        }
+        let p1 = s.percentile(1.0).expect("non-empty");
+        let p99 = s.percentile(99.0).expect("non-empty");
+        if p1 < min_p1 {
+            continue;
+        }
+        let info = db.lookup(addr);
+        let satellite = info.is_some_and(|i| i.kind == AsKind::Satellite);
+        let point = ScatterPoint {
+            addr,
+            p1,
+            p99,
+            satellite,
+            as_name: info.map(|i| i.name.clone()).unwrap_or_default(),
+        };
+        if satellite {
+            out.satellite.push(point);
+        } else {
+            out.other.push(point);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beware_asdb::{AsInfo, AsRegistry, Asn, Continent, PrefixAllocation};
+
+    fn db() -> AsDb {
+        let mut reg = AsRegistry::new();
+        reg.insert(AsInfo::new(Asn(1), "GeoBird", AsKind::Satellite, "US", Continent::NorthAmerica));
+        reg.insert(AsInfo::new(Asn(2), "SlowCell", AsKind::Cellular, "BR", Continent::SouthAmerica));
+        AsDb::new(
+            reg,
+            [
+                PrefixAllocation { prefix: 0x0a000000, len: 16, asn: Asn(1) },
+                PrefixAllocation { prefix: 0x0b000000, len: 16, asn: Asn(2) },
+            ],
+        )
+    }
+
+    fn samples_of(values: Vec<f64>) -> LatencySamples {
+        LatencySamples::from_values(values)
+    }
+
+    #[test]
+    fn split_separates_satellite_from_other() {
+        let mut m = BTreeMap::new();
+        // Satellite: floor 0.55, p99 1.2.
+        m.insert(0x0a000001u32, samples_of((0..100).map(|i| 0.55 + 0.0066 * f64::from(i)).collect()));
+        // Cellular turtle: floor 0.4, p99 40.
+        m.insert(0x0b000001u32, samples_of((0..100).map(|i| 0.4 + 0.4 * f64::from(i)).collect()));
+        // Fast address: excluded by min_p1.
+        m.insert(0x0b000002u32, samples_of(vec![0.02; 50]));
+        let split = split_by_satellite(&m, &db(), 0.3, 10);
+        assert_eq!(split.satellite.len(), 1);
+        assert_eq!(split.other.len(), 1);
+        assert_eq!(split.satellite[0].as_name, "GeoBird");
+        assert!(split.satellite_p1_floor().unwrap() > 0.5);
+        assert_eq!(split.satellite_p99_below(3.0), 1.0);
+        assert!(split.other[0].p99 > 30.0);
+    }
+
+    #[test]
+    fn min_samples_guard() {
+        let mut m = BTreeMap::new();
+        m.insert(0x0a000001u32, samples_of(vec![0.6, 0.7]));
+        let split = split_by_satellite(&m, &db(), 0.3, 10);
+        assert!(split.satellite.is_empty());
+    }
+
+    #[test]
+    fn unattributed_addresses_fall_in_other() {
+        let mut m = BTreeMap::new();
+        m.insert(0x0c000001u32, samples_of(vec![0.5; 20]));
+        let split = split_by_satellite(&m, &db(), 0.3, 10);
+        assert_eq!(split.other.len(), 1);
+        assert_eq!(split.other[0].as_name, "");
+    }
+
+    #[test]
+    fn empty_input() {
+        let split = split_by_satellite(&BTreeMap::new(), &db(), 0.3, 10);
+        assert!(split.satellite_p1_floor().is_none());
+        assert_eq!(split.satellite_p99_below(3.0), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Table 2: "minimum timeout in seconds that would have captured c% of
+//! pings from r% of IP addresses" — the paper's headline deliverable.
+//!
+//! For each address, compute its per-ping latency percentiles (the
+//! columns); then, across addresses, take the row percentile of each
+//! column. Cell `(r, c)` therefore reads: if you set your timeout to this
+//! value, `r`% of addresses would have ≥ `c`% of their pings answered
+//! within it.
+
+use crate::percentile::{percentile_sorted, LatencySamples, PAPER_PERCENTILES};
+use crate::report::{fmt_timeout_secs, Table};
+use std::collections::BTreeMap;
+
+/// The computed matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeoutTable {
+    /// Row percentile levels (% of addresses).
+    pub address_percentiles: Vec<f64>,
+    /// Column percentile levels (% of pings).
+    pub ping_percentiles: Vec<f64>,
+    /// `cells[r][c]`: minimum timeout in seconds.
+    pub cells: Vec<Vec<f64>>,
+    /// Number of addresses that contributed.
+    pub addresses: usize,
+}
+
+impl TimeoutTable {
+    /// Compute at the paper's percentile levels.
+    pub fn compute(samples: &BTreeMap<u32, LatencySamples>) -> Option<Self> {
+        Self::compute_at(samples, &PAPER_PERCENTILES, &PAPER_PERCENTILES)
+    }
+
+    /// Compute at caller-chosen levels. Returns `None` when no address has
+    /// samples.
+    pub fn compute_at(
+        samples: &BTreeMap<u32, LatencySamples>,
+        address_percentiles: &[f64],
+        ping_percentiles: &[f64],
+    ) -> Option<Self> {
+        // Column-major: per ping-percentile, the per-address values.
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); ping_percentiles.len()];
+        for s in samples.values() {
+            if s.is_empty() {
+                continue;
+            }
+            for (ci, &c) in ping_percentiles.iter().enumerate() {
+                columns[ci].push(s.percentile(c).expect("non-empty"));
+            }
+        }
+        let addresses = columns.first()?.len();
+        if addresses == 0 {
+            return None;
+        }
+        for col in &mut columns {
+            col.sort_by(f64::total_cmp);
+        }
+        let cells = address_percentiles
+            .iter()
+            .map(|&r| {
+                ping_percentiles
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, _)| percentile_sorted(&columns[ci], r).expect("non-empty"))
+                    .collect()
+            })
+            .collect();
+        Some(TimeoutTable {
+            address_percentiles: address_percentiles.to_vec(),
+            ping_percentiles: ping_percentiles.to_vec(),
+            cells,
+            addresses,
+        })
+    }
+
+    /// The cell at given levels, if present.
+    pub fn cell(&self, addr_pct: f64, ping_pct: f64) -> Option<f64> {
+        let r = self.address_percentiles.iter().position(|&p| p == addr_pct)?;
+        let c = self.ping_percentiles.iter().position(|&p| p == ping_pct)?;
+        Some(self.cells[r][c])
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self, title: &str) -> String {
+        let mut headers: Vec<String> = vec!["% addrs \\ % pings".to_string()];
+        headers.extend(self.ping_percentiles.iter().map(|p| format!("{p}%")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(title, &header_refs);
+        for (ri, row) in self.cells.iter().enumerate() {
+            let mut cells = vec![format!("{}%", self.address_percentiles[ri])];
+            cells.extend(row.iter().map(|&v| fmt_timeout_secs(v)));
+            t.row(cells);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_addr(lo: f64, hi: f64, n: usize) -> LatencySamples {
+        LatencySamples::from_values(
+            (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect(),
+        )
+    }
+
+    #[test]
+    fn homogeneous_population_gives_flat_rows() {
+        // Every address identical: rows are identical too.
+        let mut samples = BTreeMap::new();
+        for a in 0..20u32 {
+            samples.insert(a, uniform_addr(0.0, 1.0, 101));
+        }
+        let t = TimeoutTable::compute(&samples).unwrap();
+        assert_eq!(t.addresses, 20);
+        for row in &t.cells {
+            assert_eq!(row, &t.cells[0]);
+        }
+        // Column c ≈ c/100 seconds for uniform [0,1] latencies.
+        assert!((t.cell(95.0, 95.0).unwrap() - 0.95).abs() < 0.02);
+    }
+
+    #[test]
+    fn cells_monotone_in_both_axes() {
+        // Heterogeneous: address k has latencies centered at k.
+        let mut samples = BTreeMap::new();
+        for a in 0..50u32 {
+            let base = f64::from(a);
+            samples.insert(a, uniform_addr(base, base + 1.0, 33));
+        }
+        let t = TimeoutTable::compute(&samples).unwrap();
+        for row in &t.cells {
+            for w in row.windows(2) {
+                assert!(w[1] >= w[0], "not monotone across ping percentiles");
+            }
+        }
+        for c in 0..t.ping_percentiles.len() {
+            for r in 1..t.address_percentiles.len() {
+                assert!(
+                    t.cells[r][c] >= t.cells[r - 1][c],
+                    "not monotone across address percentiles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_population_lifts_only_high_cells() {
+        // 95 fast addresses + 5 turtles with 10 s latencies.
+        let mut samples = BTreeMap::new();
+        for a in 0..95u32 {
+            samples.insert(a, uniform_addr(0.02, 0.2, 50));
+        }
+        for a in 95..100u32 {
+            samples.insert(a, uniform_addr(5.0, 20.0, 50));
+        }
+        let t = TimeoutTable::compute(&samples).unwrap();
+        // The median address is fast...
+        assert!(t.cell(50.0, 95.0).unwrap() < 0.3);
+        // ...but the 98th-percentile address needs many seconds.
+        assert!(t.cell(98.0, 95.0).unwrap() > 4.0);
+    }
+
+    #[test]
+    fn cell_lookup_and_render() {
+        let mut samples = BTreeMap::new();
+        samples.insert(1u32, uniform_addr(0.1, 0.2, 10));
+        let t = TimeoutTable::compute(&samples).unwrap();
+        assert!(t.cell(95.0, 95.0).is_some());
+        assert!(t.cell(42.0, 95.0).is_none());
+        let rendered = t.render("Table 2");
+        assert!(rendered.contains("Table 2"));
+        assert!(rendered.contains("99%"));
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert!(TimeoutTable::compute(&BTreeMap::new()).is_none());
+        let mut only_empty = BTreeMap::new();
+        only_empty.insert(1u32, LatencySamples::new());
+        assert!(TimeoutTable::compute(&only_empty).is_none());
+    }
+}

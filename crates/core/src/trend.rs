@@ -1,0 +1,135 @@
+//! The longitudinal view — Section 5.2, Figure 9.
+//!
+//! For every survey: the minimum timeout capturing the cᵗʰ-percentile
+//! ping latency of the cᵗʰ-percentile address (the diagonal of Table 2),
+//! plus the survey's response rate. Plotted over 2006–2015 this shows the
+//! growth of the high-latency population — and the response-rate panel is
+//! the data-quality screen that exposed the broken `j`/`g` surveys (20%
+//! response rates collapsing to 0.02–0.2%).
+
+use crate::percentile::{LatencySamples, PAPER_PERCENTILES};
+use crate::timeout_table::TimeoutTable;
+use beware_dataset::{SurveyMeta, SurveyStats};
+use std::collections::BTreeMap;
+
+/// One survey's point in Figure 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyPoint {
+    /// Survey identity.
+    pub meta: SurveyMeta,
+    /// Diagonal timeouts at the paper's percentile levels
+    /// (1/50/80/90/95/98/99), seconds. `None` when the survey produced no
+    /// usable samples.
+    pub diagonal: Option<[f64; 7]>,
+    /// Fraction of probes that received a matched response.
+    pub response_rate: f64,
+}
+
+impl SurveyPoint {
+    /// Compute from a survey's filtered per-address samples and stats.
+    pub fn compute(
+        meta: SurveyMeta,
+        samples: &BTreeMap<u32, LatencySamples>,
+        stats: &SurveyStats,
+    ) -> Self {
+        let diagonal = TimeoutTable::compute(samples).map(|t| {
+            let mut d = [0.0; 7];
+            for (i, &p) in PAPER_PERCENTILES.iter().enumerate() {
+                d[i] = t.cell(p, p).expect("paper percentile present");
+            }
+            d
+        });
+        SurveyPoint { meta, diagonal, response_rate: stats.response_rate() }
+    }
+
+    /// The diagonal value at a paper percentile level, if computed.
+    pub fn diagonal_at(&self, pct: f64) -> Option<f64> {
+        let idx = PAPER_PERCENTILES.iter().position(|&p| p == pct)?;
+        self.diagonal.map(|d| d[idx])
+    }
+
+    /// The screening rule of Section 5.2: surveys whose response rate
+    /// collapsed should not be considered for latency conclusions.
+    pub fn is_usable(&self, min_response_rate: f64) -> bool {
+        self.diagonal.is_some() && self.response_rate >= min_response_rate
+    }
+}
+
+/// The Figure 9 series: one curve per percentile level across surveys, in
+/// input (chronological) order, skipping unusable surveys.
+pub fn timeout_series(points: &[SurveyPoint], min_response_rate: f64) -> Vec<(f64, Vec<f64>)> {
+    PAPER_PERCENTILES
+        .iter()
+        .map(|&pct| {
+            let values = points
+                .iter()
+                .filter(|p| p.is_usable(min_response_rate))
+                .map(|p| p.diagonal_at(pct).expect("usable implies diagonal"))
+                .collect();
+            (pct, values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, year: u16) -> SurveyMeta {
+        SurveyMeta { name: name.into(), vantage: 'w', year, date_label: 20150101 }
+    }
+
+    fn stats(matched: u64, timeouts: u64) -> SurveyStats {
+        SurveyStats { matched, timeouts, unmatched: 0, errors: 0 }
+    }
+
+    fn uniform_samples(n_addrs: u32, max_latency: f64) -> BTreeMap<u32, LatencySamples> {
+        (0..n_addrs)
+            .map(|a| {
+                let values =
+                    (0..100).map(|i| max_latency * f64::from(i) / 99.0).collect();
+                (a, LatencySamples::from_values(values))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_scales_with_latency() {
+        let fast = SurveyPoint::compute(meta("IT50w", 2012), &uniform_samples(10, 1.0), &stats(80, 20));
+        let slow = SurveyPoint::compute(meta("IT63w", 2015), &uniform_samples(10, 10.0), &stats(80, 20));
+        assert!(slow.diagonal_at(95.0).unwrap() > fast.diagonal_at(95.0).unwrap());
+        assert!((fast.response_rate - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broken_survey_screened_out() {
+        let broken =
+            SurveyPoint::compute(meta("IT59j", 2014), &uniform_samples(10, 1.0), &stats(2, 9998));
+        assert!(!broken.is_usable(0.05));
+        let healthy =
+            SurveyPoint::compute(meta("IT63w", 2015), &uniform_samples(10, 1.0), &stats(2000, 8000));
+        assert!(healthy.is_usable(0.05));
+        let series = timeout_series(&[broken, healthy], 0.05);
+        assert_eq!(series.len(), 7);
+        for (_, values) in &series {
+            assert_eq!(values.len(), 1, "broken survey must be skipped");
+        }
+    }
+
+    #[test]
+    fn empty_survey_has_no_diagonal() {
+        let p = SurveyPoint::compute(meta("ITx", 2010), &BTreeMap::new(), &stats(0, 0));
+        assert!(p.diagonal.is_none());
+        assert!(!p.is_usable(0.0));
+        assert_eq!(p.diagonal_at(95.0), None);
+    }
+
+    #[test]
+    fn diagonal_levels_are_monotone() {
+        let p = SurveyPoint::compute(meta("IT63w", 2015), &uniform_samples(50, 5.0), &stats(1, 1));
+        let d = p.diagonal.unwrap();
+        for w in d.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Turtle attribution — Section 6.2, Tables 4, 5 and 6.
+//!
+//! "Turtles" are addresses whose scan RTT exceeds one second;
+//! "sleepy turtles" exceed one hundred seconds. The paper ranks
+//! Autonomous Systems and continents by how many of their responding
+//! addresses are turtles across three Zmap scans, and finds cellular
+//! carriers dominating both rankings.
+
+use beware_asdb::{AsDb, AsKind, Asn, Continent};
+use beware_dataset::ZmapScan;
+use std::collections::HashMap;
+
+/// Per-scan turtle numbers for one AS (or continent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanEntry {
+    /// Addresses above the threshold.
+    pub turtles: u64,
+    /// All responding addresses attributed to this entity.
+    pub responding: u64,
+    /// Rank within this scan (1 = most turtles). Zero when unranked.
+    pub rank: usize,
+}
+
+impl ScanEntry {
+    /// Percent of responding addresses that are turtles.
+    pub fn percent(&self) -> f64 {
+        if self.responding == 0 {
+            0.0
+        } else {
+            100.0 * self.turtles as f64 / self.responding as f64
+        }
+    }
+}
+
+/// One AS row of Table 4 / Table 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsRank {
+    /// The AS number.
+    pub asn: Asn,
+    /// Organization name.
+    pub name: String,
+    /// Access technology.
+    pub kind: AsKind,
+    /// One entry per input scan, in input order.
+    pub per_scan: Vec<ScanEntry>,
+    /// Turtles summed across scans (the sort key).
+    pub total_turtles: u64,
+}
+
+/// One continent row of Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinentRank {
+    /// The continent.
+    pub continent: Continent,
+    /// One entry per input scan.
+    pub per_scan: Vec<ScanEntry>,
+    /// Turtles summed across scans.
+    pub total_turtles: u64,
+}
+
+/// Per-responder best RTT from direct responses only (cross-address
+/// broadcast responses do not attribute a latency to the *responder*'s
+/// own path).
+fn responder_rtts(scan: &ZmapScan) -> HashMap<u32, f64> {
+    let mut out: HashMap<u32, f64> = HashMap::new();
+    for r in &scan.records {
+        if r.is_cross_address() {
+            continue;
+        }
+        let rtt = r.rtt_secs();
+        out.entry(r.responder)
+            .and_modify(|v| *v = v.min(rtt))
+            .or_insert(rtt);
+    }
+    out
+}
+
+/// Rank Autonomous Systems by turtle count across `scans`
+/// (Table 4 with `threshold_secs = 1.0`, Table 6 with `100.0`).
+pub fn rank_ases(scans: &[ZmapScan], db: &AsDb, threshold_secs: f64) -> Vec<AsRank> {
+    let mut per_as: HashMap<Asn, Vec<ScanEntry>> = HashMap::new();
+    for (scan_idx, scan) in scans.iter().enumerate() {
+        let mut counts: HashMap<Asn, ScanEntry> = HashMap::new();
+        for (addr, rtt) in responder_rtts(scan) {
+            let Some(info) = db.lookup(addr) else { continue };
+            let e = counts.entry(info.asn).or_insert(ScanEntry {
+                turtles: 0,
+                responding: 0,
+                rank: 0,
+            });
+            e.responding += 1;
+            if rtt > threshold_secs {
+                e.turtles += 1;
+            }
+        }
+        // Rank within the scan by turtle count (ties by ASN for
+        // determinism).
+        let mut order: Vec<(Asn, u64)> =
+            counts.iter().map(|(&a, e)| (a, e.turtles)).collect();
+        order.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        for (rank0, (asn, _)) in order.iter().enumerate() {
+            counts.get_mut(asn).expect("asn from counts").rank = rank0 + 1;
+        }
+        for (asn, entry) in counts {
+            let v = per_as.entry(asn).or_insert_with(|| {
+                vec![ScanEntry { turtles: 0, responding: 0, rank: 0 }; scans.len()]
+            });
+            v[scan_idx] = entry;
+        }
+    }
+
+    let mut rows: Vec<AsRank> = per_as
+        .into_iter()
+        .filter_map(|(asn, per_scan)| {
+            let info = db.as_info(asn)?;
+            let total_turtles = per_scan.iter().map(|e| e.turtles).sum();
+            Some(AsRank {
+                asn,
+                name: info.name.clone(),
+                kind: info.kind,
+                per_scan,
+                total_turtles,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_turtles.cmp(&a.total_turtles).then(a.asn.cmp(&b.asn)));
+    rows
+}
+
+/// Rank continents by turtle count across `scans` (Table 5).
+pub fn rank_continents(
+    scans: &[ZmapScan],
+    db: &AsDb,
+    threshold_secs: f64,
+) -> Vec<ContinentRank> {
+    let mut per_ct: HashMap<Continent, Vec<ScanEntry>> = HashMap::new();
+    for (scan_idx, scan) in scans.iter().enumerate() {
+        for (addr, rtt) in responder_rtts(scan) {
+            let Some(info) = db.lookup(addr) else { continue };
+            let v = per_ct.entry(info.continent).or_insert_with(|| {
+                vec![ScanEntry { turtles: 0, responding: 0, rank: 0 }; scans.len()]
+            });
+            v[scan_idx].responding += 1;
+            if rtt > threshold_secs {
+                v[scan_idx].turtles += 1;
+            }
+        }
+    }
+    let mut rows: Vec<ContinentRank> = per_ct
+        .into_iter()
+        .map(|(continent, per_scan)| ContinentRank {
+            continent,
+            total_turtles: per_scan.iter().map(|e| e.turtles).sum(),
+            per_scan,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_turtles.cmp(&a.total_turtles).then(a.continent.cmp(&b.continent)));
+    rows
+}
+
+/// Overall turtle fraction of one scan: the share of responding addresses
+/// above the threshold (the "around 5% of addresses observed RTTs greater
+/// than a second in each scan" number).
+pub fn turtle_fraction(scan: &ZmapScan, threshold_secs: f64) -> f64 {
+    let rtts = responder_rtts(scan);
+    if rtts.is_empty() {
+        return 0.0;
+    }
+    rtts.values().filter(|&&r| r > threshold_secs).count() as f64 / rtts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beware_asdb::{AsInfo, AsRegistry, PrefixAllocation};
+    use beware_dataset::{ScanMeta, ScanRecord};
+
+    fn db() -> AsDb {
+        let mut reg = AsRegistry::new();
+        reg.insert(AsInfo::new(Asn(100), "Slow Cellular", AsKind::Cellular, "BR", Continent::SouthAmerica));
+        reg.insert(AsInfo::new(Asn(200), "Fast Cable", AsKind::Broadband, "US", Continent::NorthAmerica));
+        AsDb::new(
+            reg,
+            [
+                PrefixAllocation { prefix: 0x0a000000, len: 16, asn: Asn(100) },
+                PrefixAllocation { prefix: 0x0b000000, len: 16, asn: Asn(200) },
+            ],
+        )
+    }
+
+    fn scan(records: Vec<(u32, f64)>) -> ZmapScan {
+        let mut s = ZmapScan::new(ScanMeta {
+            label: "t".into(),
+            day: "Mon".into(),
+            begin: "12:00".into(),
+        });
+        for (addr, rtt) in records {
+            s.records.push(ScanRecord {
+                probed: addr,
+                responder: addr,
+                rtt_us: (rtt * 1e6) as u32,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn as_ranking_orders_by_turtles() {
+        // Cellular AS: 3 of 4 addrs are turtles; cable: 0 of 3.
+        let s = scan(vec![
+            (0x0a000001, 2.0),
+            (0x0a000002, 3.0),
+            (0x0a000003, 1.5),
+            (0x0a000004, 0.2),
+            (0x0b000001, 0.05),
+            (0x0b000002, 0.04),
+            (0x0b000003, 0.9),
+        ]);
+        let rows = rank_ases(&[s], &db(), 1.0);
+        assert_eq!(rows[0].asn, Asn(100));
+        assert_eq!(rows[0].per_scan[0].turtles, 3);
+        assert_eq!(rows[0].per_scan[0].responding, 4);
+        assert_eq!(rows[0].per_scan[0].rank, 1);
+        assert!((rows[0].per_scan[0].percent() - 75.0).abs() < 1e-9);
+        assert_eq!(rows[1].asn, Asn(200));
+        assert_eq!(rows[1].per_scan[0].turtles, 0);
+        assert_eq!(rows[1].per_scan[0].rank, 2);
+    }
+
+    #[test]
+    fn totals_sum_across_scans() {
+        let s1 = scan(vec![(0x0a000001, 2.0)]);
+        let s2 = scan(vec![(0x0a000001, 2.0), (0x0a000002, 5.0)]);
+        let rows = rank_ases(&[s1, s2], &db(), 1.0);
+        assert_eq!(rows[0].total_turtles, 3);
+        assert_eq!(rows[0].per_scan.len(), 2);
+    }
+
+    #[test]
+    fn continent_ranking() {
+        let s = scan(vec![
+            (0x0a000001, 2.0),
+            (0x0a000002, 0.1),
+            (0x0b000001, 1.4),
+            (0x0b000002, 0.1),
+            (0x0b000003, 0.1),
+        ]);
+        let rows = rank_continents(&[s], &db(), 1.0);
+        assert_eq!(rows.len(), 2);
+        // Equal turtle counts (1 each): tie broken by continent order.
+        assert_eq!(rows[0].total_turtles, 1);
+        let sa = rows.iter().find(|r| r.continent == Continent::SouthAmerica).unwrap();
+        assert!((sa.per_scan[0].percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_address_responses_excluded() {
+        let mut s = scan(vec![(0x0a000001, 0.1)]);
+        // A broadcast response with an absurd implied latency must not
+        // make 0x0a000002 a turtle.
+        s.records.push(ScanRecord { probed: 0x0a0000ff, responder: 0x0a000002, rtt_us: 300_000_000 });
+        let rows = rank_ases(&[s], &db(), 1.0);
+        assert_eq!(rows[0].per_scan[0].turtles, 0);
+        assert_eq!(rows[0].per_scan[0].responding, 1);
+    }
+
+    #[test]
+    fn unrouted_responders_skipped() {
+        let s = scan(vec![(0x0c000001, 9.0)]);
+        assert!(rank_ases(&[s], &db(), 1.0).iter().all(|r| r.total_turtles == 0));
+    }
+
+    #[test]
+    fn turtle_fraction_counts() {
+        let s = scan(vec![(0x0a000001, 2.0), (0x0a000002, 0.2), (0x0b000001, 0.3), (0x0b000002, 1.2)]);
+        assert!((turtle_fraction(&s, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(turtle_fraction(&scan(vec![]), 1.0), 0.0);
+    }
+
+    #[test]
+    fn duplicate_responses_take_min_rtt() {
+        let mut s = scan(vec![(0x0a000001, 5.0)]);
+        s.records.push(ScanRecord { probed: 0x0a000001, responder: 0x0a000001, rtt_us: 100_000 });
+        // Min RTT 0.1 s: not a turtle.
+        let rows = rank_ases(&[s], &db(), 1.0);
+        assert_eq!(rows[0].per_scan[0].turtles, 0);
+    }
+}

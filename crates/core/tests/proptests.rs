@@ -1,0 +1,171 @@
+//! Property tests over the analysis pipeline: statistical invariants that
+//! must hold for *any* input, not just the simulated Internet.
+
+use beware_core::cdf::Cdf;
+use beware_core::matching::match_unmatched;
+use beware_core::percentile::{percentile_sorted, LatencySamples};
+use beware_core::pipeline::{run_pipeline, PipelineCfg};
+use beware_core::sketch::TDigest;
+use beware_core::timeout_table::TimeoutTable;
+use beware_dataset::{Record, RecordKind};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_latencies() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..700.0, 1..200)
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(
+        (0u32..64, 0u32..100_000, arb_kind()),
+        0..300,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(addr, time_s, kind)| match kind {
+                // Normalize Unmatched so recv == time (constructor invariant).
+                RecordKind::Unmatched { .. } => Record::unmatched(addr, time_s),
+                k => Record { addr, time_s, kind: k },
+            })
+            .collect()
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = RecordKind> {
+    prop_oneof![
+        (0u32..10_000_000).prop_map(|rtt_us| RecordKind::Matched { rtt_us }),
+        Just(RecordKind::Timeout),
+        Just(RecordKind::Unmatched { recv_s: 0 }),
+        (0u8..16).prop_map(|code| RecordKind::IcmpError { code }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn percentile_bounded_by_extremes(values in arb_latencies(), p in 1.0f64..=100.0) {
+        let s = LatencySamples::from_values(values.clone());
+        let v = s.percentile(p).unwrap();
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    fn percentile_monotone(values in arb_latencies(), a in 1.0f64..=100.0, b in 1.0f64..=100.0) {
+        let s = LatencySamples::from_values(values);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(s.percentile(lo).unwrap() <= s.percentile(hi).unwrap());
+    }
+
+    #[test]
+    fn fraction_above_agrees_with_direct_count(values in arb_latencies(), x in 0.0f64..700.0) {
+        let s = LatencySamples::from_values(values.clone());
+        let direct = values.iter().filter(|&&v| v > x).count() as f64 / values.len() as f64;
+        prop_assert!((s.fraction_above(x) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantile_inverse_bound(values in arb_latencies(), q in 0.01f64..=1.0) {
+        let cdf = Cdf::new(values);
+        let x = cdf.quantile(q).unwrap();
+        // By nearest-rank definition, at least q of the mass is ≤ x.
+        prop_assert!(cdf.fraction_at(x) + 1e-12 >= q);
+    }
+
+    #[test]
+    fn matching_conserves_responses(records in arb_records()) {
+        let unmatched = records.iter().filter(|r| r.is_unmatched()).count();
+        let timeouts = records.iter().filter(|r| r.is_timeout()).count();
+        let m = match_unmatched(&records);
+        prop_assert_eq!(m.delayed.len() + m.leftovers.len(), unmatched);
+        prop_assert!(m.delayed.len() <= timeouts, "each delayed consumes a timeout");
+        // Latency is never negative and requests are never double-used.
+        let mut used = std::collections::HashSet::new();
+        for d in &m.delayed {
+            prop_assert!(used.insert((d.addr, d.sent_s)), "request reused");
+        }
+    }
+
+    #[test]
+    fn pipeline_counts_consistent(records in arb_records()) {
+        let out = run_pipeline(&records, &PipelineCfg::default());
+        let acc = out.accounting;
+        prop_assert!(acc.naive_matching.packets >= acc.survey_detected.packets);
+        prop_assert!(acc.survey_plus_delayed.packets <= acc.naive_matching.packets);
+        prop_assert!(acc.survey_plus_delayed.addresses <= acc.naive_matching.addresses);
+        // The final sample count equals the sum of per-address samples.
+        let total: u64 = out.samples.values().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(total, acc.survey_plus_delayed.packets);
+        // Filters are disjoint and filtered addresses truly absent.
+        prop_assert!(out.broadcast_responders.is_disjoint(&out.duplicate_offenders));
+        for a in out.broadcast_responders.iter().chain(&out.duplicate_offenders) {
+            prop_assert!(!out.samples.contains_key(a));
+        }
+    }
+
+    #[test]
+    fn timeout_table_monotone_everywhere(
+        addr_latencies in proptest::collection::vec(arb_latencies(), 1..20)
+    ) {
+        let samples: BTreeMap<u32, LatencySamples> = addr_latencies
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, LatencySamples::from_values(v)))
+            .collect();
+        let t = TimeoutTable::compute(&samples).unwrap();
+        for row in &t.cells {
+            for w in row.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+        }
+        for c in 0..t.ping_percentiles.len() {
+            for r in 1..t.address_percentiles.len() {
+                prop_assert!(t.cells[r][c] >= t.cells[r - 1][c]);
+            }
+        }
+    }
+
+    #[test]
+    fn tdigest_quantiles_within_range_and_ordered(values in arb_latencies()) {
+        let mut d = TDigest::new(100.0);
+        for &v in &values {
+            d.add(v);
+        }
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let mut last = f64::MIN;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = d.quantile(q).unwrap();
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "q={q}: {v} outside [{min},{max}]");
+            prop_assert!(v + 1e-9 >= last, "quantiles not monotone");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn tdigest_median_matches_interpolated_reference(values in arb_latencies()) {
+        let mut d = TDigest::new(300.0);
+        for &v in &values {
+            d.add(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        // Reference: the *interpolating* median (the t-digest's own
+        // definition), not nearest-rank — they legitimately differ by up
+        // to half the central gap on tiny samples.
+        let n = sorted.len();
+        let reference = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let est = d.quantile(0.5).unwrap();
+        let spread = sorted.last().unwrap() - sorted.first().unwrap();
+        prop_assert!((est - reference).abs() <= spread * 0.15 + 1e-9,
+            "median {est} vs reference {reference} (spread {spread})");
+        // Sanity: nearest-rank stays a valid bracket too.
+        let nr = percentile_sorted(&sorted, 50.0).unwrap();
+        prop_assert!(nr >= sorted[0] && nr <= *sorted.last().unwrap());
+    }
+}

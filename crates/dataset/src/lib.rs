@@ -1,0 +1,36 @@
+//! # beware-dataset
+//!
+//! The record model of the ISI Internet survey data, as described in
+//! Section 3.1 of *Timeouts: Beware Surprisingly High Delay* and the
+//! LANDER binary-format notes the paper cites — reproduced faithfully in
+//! its *semantics*, which is what the analysis depends on:
+//!
+//! * an echo response arriving **within the prober's timeout** is merged
+//!   with its request into a single *matched* record carrying a
+//!   **microsecond**-precision RTT;
+//! * a request whose response misses the timeout produces a *timeout*
+//!   record, and the late response (if it ever arrives) a separate
+//!   *unmatched* record — both timestamped only to **whole seconds**,
+//!   which is why recovered latencies are second-precise;
+//! * ICMP error responses are recorded but excluded from latency analysis.
+//!
+//! [`record`] defines the types, [`survey`] the per-survey container and
+//! the [`survey::RecordSink`] streaming interface probers write into,
+//! [`binfmt`] a compact binary codec, [`stream`] its incremental
+//! (unbounded-survey) variant, [`textfmt`] a line-oriented text codec, and [`zmap`] the stateless-scanner record model (RTT computed
+//! from the payload-embedded send time; original destination recovered
+//! from the payload).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binfmt;
+pub mod record;
+pub mod stream;
+pub mod survey;
+pub mod textfmt;
+pub mod zmap;
+
+pub use record::{Record, RecordKind};
+pub use survey::{RecordSink, Survey, SurveyMeta, SurveyStats};
+pub use zmap::{ScanMeta, ScanRecord, ZmapScan};

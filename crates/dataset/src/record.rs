@@ -1,0 +1,122 @@
+//! Survey record types.
+//!
+//! Field widths follow the data's real dynamic range: RTTs are stored in
+//! microseconds as `u32` (caps at ~4295 s — the largest latency the paper
+//! reports is 517 s), survey-relative timestamps in whole seconds as `u32`
+//! (a survey spans two weeks ≈ 1.2 M s).
+
+use serde::{Deserialize, Serialize};
+
+/// What happened to one probe (or one stray response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// The response arrived within the prober's match window; RTT is
+    /// microsecond-precise ("survey-detected response").
+    Matched {
+        /// Round-trip time in microseconds.
+        rtt_us: u32,
+    },
+    /// No response arrived within the match window.
+    Timeout,
+    /// A response with no outstanding request (it timed out earlier, or
+    /// was never asked for). Timestamped to whole seconds only.
+    Unmatched {
+        /// Receive time, whole seconds since survey start.
+        recv_s: u32,
+    },
+    /// An ICMP error (e.g. host unreachable) came back for the probe; the
+    /// analysis ignores the latency of these.
+    IcmpError {
+        /// ICMP destination-unreachable code.
+        code: u8,
+    },
+}
+
+/// One record of the survey dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    /// The probed address for `Matched`/`Timeout`/`IcmpError`; the
+    /// **source** address of the response for `Unmatched` (the prober
+    /// cannot know more — matching them up is the analysis's job).
+    pub addr: u32,
+    /// Probe send time (or, for `Unmatched`, response receive time),
+    /// whole seconds since survey start.
+    pub time_s: u32,
+    /// What happened.
+    pub kind: RecordKind,
+}
+
+impl Record {
+    /// A matched (survey-detected) response.
+    pub fn matched(addr: u32, time_s: u32, rtt_us: u32) -> Self {
+        Record { addr, time_s, kind: RecordKind::Matched { rtt_us } }
+    }
+
+    /// A timed-out probe.
+    pub fn timeout(addr: u32, time_s: u32) -> Self {
+        Record { addr, time_s, kind: RecordKind::Timeout }
+    }
+
+    /// An unmatched response from `src` received at `recv_s`.
+    pub fn unmatched(src: u32, recv_s: u32) -> Self {
+        Record { addr: src, time_s: recv_s, kind: RecordKind::Unmatched { recv_s } }
+    }
+
+    /// An ICMP error for a probe.
+    pub fn icmp_error(addr: u32, time_s: u32, code: u8) -> Self {
+        Record { addr, time_s, kind: RecordKind::IcmpError { code } }
+    }
+
+    /// RTT in seconds for a matched record, `None` otherwise.
+    pub fn rtt_secs(&self) -> Option<f64> {
+        match self.kind {
+            RecordKind::Matched { rtt_us } => Some(f64::from(rtt_us) / 1e6),
+            _ => None,
+        }
+    }
+
+    /// True for records the latency analysis may use directly.
+    pub fn is_matched(&self) -> bool {
+        matches!(self.kind, RecordKind::Matched { .. })
+    }
+
+    /// True for timeout records.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self.kind, RecordKind::Timeout)
+    }
+
+    /// True for unmatched responses.
+    pub fn is_unmatched(&self) -> bool {
+        matches!(self.kind, RecordKind::Unmatched { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let m = Record::matched(1, 100, 250_000);
+        assert!(m.is_matched() && !m.is_timeout() && !m.is_unmatched());
+        assert_eq!(m.rtt_secs(), Some(0.25));
+
+        let t = Record::timeout(2, 101);
+        assert!(t.is_timeout());
+        assert_eq!(t.rtt_secs(), None);
+
+        let u = Record::unmatched(3, 105);
+        assert!(u.is_unmatched());
+        assert_eq!(u.time_s, 105);
+
+        let e = Record::icmp_error(4, 106, 1);
+        assert!(!e.is_matched() && !e.is_timeout() && !e.is_unmatched());
+    }
+
+    #[test]
+    fn rtt_range_supports_paper_extremes() {
+        // 517 s — the largest satellite RTT the paper mentions.
+        let m = Record::matched(1, 0, 517_000_000);
+        assert_eq!(m.rtt_secs(), Some(517.0));
+    }
+}

@@ -1,0 +1,343 @@
+//! Streaming binary survey I/O.
+//!
+//! [`binfmt`](crate::binfmt) requires the record count up front, which
+//! forces buffering a whole survey in memory. Long-running probers instead
+//! write through [`StreamWriter`] — a [`RecordSink`] that emits records as
+//! they happen — and analyses read back through [`StreamReader`], an
+//! iterator, so a multi-gigabyte survey never has to fit in RAM.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! header:  magic "BWSS" | version u16 | reserved u16
+//! records: tag u8 | addr u32 | time_s u32 | tag payload   (as binfmt)
+//! trailer: tag 0xFF | record count u64 | fletcher-64 checksum u64
+//! ```
+
+use crate::record::{Record, RecordKind};
+use crate::survey::RecordSink;
+use bytes::BufMut;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BWSS";
+const VERSION: u16 = 1;
+const END_TAG: u8 = 0xFF;
+
+/// Fletcher-64-style running checksum, identical to the one `binfmt` uses.
+#[derive(Debug, Clone, Copy, Default)]
+struct Fletcher {
+    a: u64,
+    b: u64,
+}
+
+impl Fletcher {
+    fn update(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(4) {
+            let mut word = [0u8; 4];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.a = (self.a + u64::from(u32::from_le_bytes(word))) % 0xffff_ffff;
+            self.b = (self.b + self.a) % 0xffff_ffff;
+        }
+    }
+
+    fn finish(self) -> u64 {
+        (self.b << 32) | self.a
+    }
+}
+
+fn encode_record(r: &Record, buf: &mut Vec<u8>) {
+    match r.kind {
+        RecordKind::Matched { rtt_us } => {
+            buf.put_u8(0);
+            buf.put_u32_le(r.addr);
+            buf.put_u32_le(r.time_s);
+            buf.put_u32_le(rtt_us);
+        }
+        RecordKind::Timeout => {
+            buf.put_u8(1);
+            buf.put_u32_le(r.addr);
+            buf.put_u32_le(r.time_s);
+        }
+        RecordKind::Unmatched { recv_s } => {
+            buf.put_u8(2);
+            buf.put_u32_le(r.addr);
+            buf.put_u32_le(r.time_s);
+            buf.put_u32_le(recv_s);
+        }
+        RecordKind::IcmpError { code } => {
+            buf.put_u8(3);
+            buf.put_u32_le(r.addr);
+            buf.put_u32_le(r.time_s);
+            buf.put_u8(code);
+        }
+    }
+}
+
+/// Incremental survey writer. Must be [`StreamWriter::finish`]ed — dropping
+/// it without finishing leaves a truncated stream, which [`StreamReader`]
+/// will reject rather than silently accept.
+#[derive(Debug)]
+pub struct StreamWriter<W: Write> {
+    out: W,
+    checksum: Fletcher,
+    count: u64,
+    scratch: Vec<u8>,
+    /// I/O error deferred from `push` (the `RecordSink` trait is
+    /// infallible); surfaced by `finish`.
+    deferred: Option<io::Error>,
+}
+
+impl<W: Write> StreamWriter<W> {
+    /// Start a stream on `out`.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        let mut header = Vec::with_capacity(8);
+        header.put_slice(MAGIC);
+        header.put_u16_le(VERSION);
+        header.put_u16_le(0);
+        out.write_all(&header)?;
+        Ok(StreamWriter {
+            out,
+            checksum: Fletcher::default(),
+            count: 0,
+            scratch: Vec::with_capacity(16),
+            deferred: None,
+        })
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Write the trailer and return the underlying writer. Surfaces any
+    /// I/O error deferred from pushes.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        let mut trailer = Vec::with_capacity(17);
+        trailer.put_u8(END_TAG);
+        trailer.put_u64_le(self.count);
+        trailer.put_u64_le(self.checksum.finish());
+        self.out.write_all(&trailer)?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> RecordSink for StreamWriter<W> {
+    fn push(&mut self, record: Record) {
+        if self.deferred.is_some() {
+            return;
+        }
+        self.scratch.clear();
+        encode_record(&record, &mut self.scratch);
+        self.checksum.update(&self.scratch);
+        self.count += 1;
+        if let Err(e) = self.out.write_all(&self.scratch) {
+            self.deferred = Some(e);
+        }
+    }
+}
+
+/// Streaming reader: an iterator of records that verifies the trailer when
+/// the stream ends.
+#[derive(Debug)]
+pub struct StreamReader<R: Read> {
+    input: R,
+    checksum: Fletcher,
+    read_count: u64,
+    done: bool,
+}
+
+/// Errors from the streaming reader.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying I/O failure (including truncation).
+    Io(io::Error),
+    /// Structural problem.
+    Corrupt(&'static str),
+    /// Trailer count or checksum mismatch.
+    TrailerMismatch,
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "i/o error: {e}"),
+            StreamError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            StreamError::TrailerMismatch => write!(f, "trailer count/checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl<R: Read> StreamReader<R> {
+    /// Open a stream, validating the header.
+    pub fn new(mut input: R) -> Result<Self, StreamError> {
+        let mut header = [0u8; 8];
+        input.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(StreamError::Corrupt("bad magic"));
+        }
+        if u16::from_le_bytes([header[4], header[5]]) != VERSION {
+            return Err(StreamError::Corrupt("unsupported version"));
+        }
+        Ok(StreamReader { input, checksum: Fletcher::default(), read_count: 0, done: false })
+    }
+
+    fn read_one(&mut self) -> Result<Option<Record>, StreamError> {
+        let mut scratch = [0u8; 16];
+        self.input.read_exact(&mut scratch[..1])?;
+        let tag = scratch[0];
+        if tag == END_TAG {
+            let mut trailer = [0u8; 16];
+            self.input.read_exact(&mut trailer)?;
+            let count = u64::from_le_bytes(trailer[0..8].try_into().expect("length"));
+            let stored = u64::from_le_bytes(trailer[8..16].try_into().expect("length"));
+            self.done = true;
+            if count != self.read_count || stored != self.checksum.finish() {
+                return Err(StreamError::TrailerMismatch);
+            }
+            return Ok(None);
+        }
+        let body_len = match tag {
+            0 | 2 => 12,
+            1 => 8,
+            3 => 9,
+            _ => return Err(StreamError::Corrupt("unknown record tag")),
+        };
+        self.input.read_exact(&mut scratch[1..1 + body_len])?;
+        self.checksum.update(&scratch[..1 + body_len]);
+        self.read_count += 1;
+        let addr = u32::from_le_bytes(scratch[1..5].try_into().expect("length"));
+        let time_s = u32::from_le_bytes(scratch[5..9].try_into().expect("length"));
+        let kind = match tag {
+            0 => RecordKind::Matched {
+                rtt_us: u32::from_le_bytes(scratch[9..13].try_into().expect("length")),
+            },
+            1 => RecordKind::Timeout,
+            2 => RecordKind::Unmatched {
+                recv_s: u32::from_le_bytes(scratch[9..13].try_into().expect("length")),
+            },
+            3 => RecordKind::IcmpError { code: scratch[9] },
+            _ => unreachable!("tag validated above"),
+        };
+        Ok(Some(Record { addr, time_s, kind }))
+    }
+}
+
+impl<R: Read> Iterator for StreamReader<R> {
+    type Item = Result<Record, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_one() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::matched(0x0a000001, 0, 123_456),
+            Record::timeout(0x0a000002, 3),
+            Record::unmatched(0x0a000002, 333),
+            Record::icmp_error(0x0a000003, 4, 1),
+        ]
+    }
+
+    fn write_stream(records: &[Record]) -> Vec<u8> {
+        let mut w = StreamWriter::new(Vec::new()).unwrap();
+        for &r in records {
+            w.push(r);
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample();
+        let bytes = write_stream(&records);
+        let reader = StreamReader::new(&bytes[..]).unwrap();
+        let back: Result<Vec<Record>, StreamError> = reader.collect();
+        assert_eq!(back.unwrap(), records);
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let bytes = write_stream(&[]);
+        let back: Vec<Record> =
+            StreamReader::new(&bytes[..]).unwrap().map(Result::unwrap).collect();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_silence() {
+        let bytes = write_stream(&sample());
+        // Chop off the trailer entirely.
+        let cut = &bytes[..bytes.len() - 17];
+        let reader = StreamReader::new(cut).unwrap();
+        let result: Result<Vec<Record>, StreamError> = reader.collect();
+        assert!(result.is_err(), "truncated stream must not read cleanly");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = write_stream(&sample());
+        bytes[10] ^= 0x40; // inside the first record
+        let reader = StreamReader::new(&bytes[..]).unwrap();
+        let result: Result<Vec<Record>, StreamError> = reader.collect();
+        match result {
+            Err(StreamError::TrailerMismatch) | Err(StreamError::Io(_)) | Err(StreamError::Corrupt(_)) => {}
+            other => panic!("corruption slipped through: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_is_tracked() {
+        let mut w = StreamWriter::new(Vec::new()).unwrap();
+        assert_eq!(w.count(), 0);
+        for r in sample() {
+            w.push(r);
+        }
+        assert_eq!(w.count(), 4);
+    }
+
+    #[test]
+    fn compatible_with_large_streams() {
+        let records: Vec<Record> =
+            (0..50_000u32).map(|i| Record::matched(i, i, i * 2)).collect();
+        let bytes = write_stream(&records);
+        let n = StreamReader::new(&bytes[..]).unwrap().map(Result::unwrap).count();
+        assert_eq!(n, 50_000);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = write_stream(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(
+            StreamReader::new(&bytes[..]),
+            Err(StreamError::Corrupt("bad magic"))
+        ));
+    }
+}

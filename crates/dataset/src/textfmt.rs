@@ -1,0 +1,158 @@
+//! Line-oriented text codec for survey records.
+//!
+//! One record per line, tab-separated, designed to be greppable and to
+//! round-trip exactly:
+//!
+//! ```text
+//! M\t<addr dotted-quad>\t<time_s>\t<rtt_us>
+//! T\t<addr>\t<time_s>
+//! U\t<src addr>\t<recv_s>
+//! E\t<addr>\t<time_s>\t<code>
+//! ```
+
+use crate::record::{Record, RecordKind};
+use std::fmt::Write as _;
+
+/// Render one record as its text line (no trailing newline).
+pub fn to_line(r: &Record) -> String {
+    let ip = beware_addr_fmt(r.addr);
+    let mut s = String::with_capacity(32);
+    match r.kind {
+        RecordKind::Matched { rtt_us } => {
+            write!(s, "M\t{ip}\t{}\t{rtt_us}", r.time_s).expect("write to String");
+        }
+        RecordKind::Timeout => write!(s, "T\t{ip}\t{}", r.time_s).expect("write to String"),
+        RecordKind::Unmatched { recv_s } => {
+            write!(s, "U\t{ip}\t{recv_s}").expect("write to String");
+        }
+        RecordKind::IcmpError { code } => {
+            write!(s, "E\t{ip}\t{}\t{code}", r.time_s).expect("write to String");
+        }
+    }
+    s
+}
+
+/// Parse one line produced by [`to_line`].
+pub fn from_line(line: &str) -> Result<Record, ParseError> {
+    let mut fields = line.split('\t');
+    let tag = fields.next().ok_or(ParseError::MissingField("tag"))?;
+    let addr = parse_ip(fields.next().ok_or(ParseError::MissingField("addr"))?)?;
+    let num = |name: &'static str, f: Option<&str>| -> Result<u32, ParseError> {
+        f.ok_or(ParseError::MissingField(name))?
+            .parse::<u32>()
+            .map_err(|_| ParseError::BadNumber(name))
+    };
+    let record = match tag {
+        "M" => {
+            let time_s = num("time_s", fields.next())?;
+            let rtt_us = num("rtt_us", fields.next())?;
+            Record::matched(addr, time_s, rtt_us)
+        }
+        "T" => Record::timeout(addr, num("time_s", fields.next())?),
+        "U" => Record::unmatched(addr, num("recv_s", fields.next())?),
+        "E" => {
+            let time_s = num("time_s", fields.next())?;
+            let code = num("code", fields.next())?;
+            let code = u8::try_from(code).map_err(|_| ParseError::BadNumber("code"))?;
+            Record::icmp_error(addr, time_s, code)
+        }
+        _ => return Err(ParseError::BadTag),
+    };
+    if fields.next().is_some() {
+        return Err(ParseError::TrailingFields);
+    }
+    Ok(record)
+}
+
+/// Serialize many records to a text blob.
+pub fn to_text(records: &[Record]) -> String {
+    let mut out = String::with_capacity(records.len() * 28);
+    for r in records {
+        out.push_str(&to_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a blob produced by [`to_text`]. Empty lines are skipped.
+pub fn from_text(text: &str) -> Result<Vec<Record>, ParseError> {
+    text.lines().filter(|l| !l.is_empty()).map(from_line).collect()
+}
+
+fn beware_addr_fmt(addr: u32) -> String {
+    std::net::Ipv4Addr::from(addr).to_string()
+}
+
+fn parse_ip(s: &str) -> Result<u32, ParseError> {
+    s.parse::<std::net::Ipv4Addr>().map(u32::from).map_err(|_| ParseError::BadAddr)
+}
+
+/// Text-codec parse failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unknown record tag letter.
+    BadTag,
+    /// Address failed to parse as a dotted quad.
+    BadAddr,
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A numeric field failed to parse.
+    BadNumber(&'static str),
+    /// Extra fields after the record.
+    TrailingFields,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadTag => write!(f, "unknown record tag"),
+            ParseError::BadAddr => write!(f, "bad address"),
+            ParseError::MissingField(name) => write!(f, "missing field {name}"),
+            ParseError::BadNumber(name) => write!(f, "bad numeric field {name}"),
+            ParseError::TrailingFields => write!(f, "trailing fields"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_stable_and_readable() {
+        assert_eq!(to_line(&Record::matched(0x0a000001, 660, 250_000)), "M\t10.0.0.1\t660\t250000");
+        assert_eq!(to_line(&Record::timeout(0x0a000002, 3)), "T\t10.0.0.2\t3");
+        assert_eq!(to_line(&Record::unmatched(0x0a000002, 333)), "U\t10.0.0.2\t333");
+        assert_eq!(to_line(&Record::icmp_error(0x0a000003, 4, 1)), "E\t10.0.0.3\t4\t1");
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let records = vec![
+            Record::matched(0x0a000001, 0, 1),
+            Record::timeout(0xffffffff, u32::MAX),
+            Record::unmatched(0x01020304, 99),
+            Record::icmp_error(0, 0, 255),
+        ];
+        let text = to_text(&records);
+        assert_eq!(from_text(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        assert_eq!(from_line("X\t1.2.3.4\t0"), Err(ParseError::BadTag));
+        assert_eq!(from_line("M\tnot-an-ip\t0\t0"), Err(ParseError::BadAddr));
+        assert_eq!(from_line("M\t1.2.3.4\t0"), Err(ParseError::MissingField("rtt_us")));
+        assert_eq!(from_line("M\t1.2.3.4\tzero\t0"), Err(ParseError::BadNumber("time_s")));
+        assert_eq!(from_line("T\t1.2.3.4\t0\textra"), Err(ParseError::TrailingFields));
+        assert_eq!(from_line("E\t1.2.3.4\t0\t999"), Err(ParseError::BadNumber("code")));
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let text = "\nM\t1.2.3.4\t0\t7\n\nT\t1.2.3.4\t1\n";
+        assert_eq!(from_text(text).unwrap().len(), 2);
+    }
+}

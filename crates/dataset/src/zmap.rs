@@ -1,0 +1,132 @@
+//! Records of the stateless (zmap-style) scanner.
+//!
+//! The authors' zmap extension embeds the probed destination and the send
+//! timestamp in the echo payload, so each response yields a self-contained
+//! record: who was probed, who answered (they differ for broadcast
+//! responders), and the RTT — no per-probe state at the scanner.
+
+use serde::{Deserialize, Serialize};
+
+/// One response observed by a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScanRecord {
+    /// Destination originally probed (recovered from the payload).
+    pub probed: u32,
+    /// Source address of the response.
+    pub responder: u32,
+    /// Round-trip time in microseconds (send time from payload).
+    pub rtt_us: u32,
+}
+
+impl ScanRecord {
+    /// RTT in seconds.
+    pub fn rtt_secs(&self) -> f64 {
+        f64::from(self.rtt_us) / 1e6
+    }
+
+    /// True when the response came from a different address than the one
+    /// probed — the broadcast-responder signature (Figure 2).
+    pub fn is_cross_address(&self) -> bool {
+        self.probed != self.responder
+    }
+}
+
+/// Scan identity, mirroring the paper's Table 3 columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanMeta {
+    /// Human label, e.g. `Apr 17, 2015`.
+    pub label: String,
+    /// Day of week, e.g. `Fri`.
+    pub day: String,
+    /// Scan begin time `HH:MM` (UTC).
+    pub begin: String,
+}
+
+/// One complete scan: metadata plus every response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZmapScan {
+    /// Identity.
+    pub meta: ScanMeta,
+    /// All responses.
+    pub records: Vec<ScanRecord>,
+}
+
+impl ZmapScan {
+    /// An empty scan.
+    pub fn new(meta: ScanMeta) -> Self {
+        ZmapScan { meta, records: Vec::new() }
+    }
+
+    /// Number of echo responses (the Table 3 "Echo Responses" column).
+    pub fn response_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Distinct responding addresses.
+    pub fn responder_count(&self) -> usize {
+        let mut addrs: Vec<u32> = self.records.iter().map(|r| r.responder).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs.len()
+    }
+
+    /// Responses that came from a different address than probed —
+    /// broadcast responders and friends.
+    pub fn cross_address_records(&self) -> impl Iterator<Item = &ScanRecord> {
+        self.records.iter().filter(|r| r.is_cross_address())
+    }
+
+    /// Per-responder best (minimum) RTT in seconds, deduplicating
+    /// multi-response addresses. Sorted by address.
+    pub fn min_rtt_per_responder(&self) -> Vec<(u32, f64)> {
+        let mut pairs: Vec<(u32, u32)> =
+            self.records.iter().map(|r| (r.responder, r.rtt_us)).collect();
+        pairs.sort_unstable();
+        let mut out: Vec<(u32, f64)> = Vec::new();
+        for (addr, rtt) in pairs {
+            match out.last_mut() {
+                Some((last, _)) if *last == addr => {}
+                _ => out.push((addr, f64::from(rtt) / 1e6)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> ScanMeta {
+        ScanMeta { label: "Apr 17, 2015".into(), day: "Fri".into(), begin: "02:44".into() }
+    }
+
+    #[test]
+    fn cross_address_detection() {
+        let same = ScanRecord { probed: 1, responder: 1, rtt_us: 100 };
+        let diff = ScanRecord { probed: 0xff, responder: 0x10, rtt_us: 100 };
+        assert!(!same.is_cross_address());
+        assert!(diff.is_cross_address());
+    }
+
+    #[test]
+    fn scan_aggregates() {
+        let mut scan = ZmapScan::new(meta());
+        scan.records.push(ScanRecord { probed: 1, responder: 1, rtt_us: 200_000 });
+        scan.records.push(ScanRecord { probed: 1, responder: 1, rtt_us: 100_000 });
+        scan.records.push(ScanRecord { probed: 255, responder: 7, rtt_us: 50_000 });
+        assert_eq!(scan.response_count(), 3);
+        assert_eq!(scan.responder_count(), 2);
+        assert_eq!(scan.cross_address_records().count(), 1);
+        let min = scan.min_rtt_per_responder();
+        assert_eq!(min.len(), 2);
+        assert_eq!(min[0], (1, 0.1));
+        assert_eq!(min[1], (7, 0.05));
+    }
+
+    #[test]
+    fn rtt_seconds() {
+        let r = ScanRecord { probed: 1, responder: 1, rtt_us: 1_500_000 };
+        assert!((r.rtt_secs() - 1.5).abs() < 1e-12);
+    }
+}

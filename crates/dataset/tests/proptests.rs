@@ -1,0 +1,76 @@
+//! Property tests: both codecs round-trip arbitrary records, and the
+//! binary codec detects arbitrary single-byte corruption of record bytes.
+
+use beware_dataset::{binfmt, textfmt, Record, RecordKind};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (any::<u32>(), any::<u32>(), arb_kind())
+        .prop_map(|(addr, time_s, kind)| Record { addr, time_s, kind })
+}
+
+fn arb_kind() -> impl Strategy<Value = RecordKind> {
+    prop_oneof![
+        any::<u32>().prop_map(|rtt_us| RecordKind::Matched { rtt_us }),
+        Just(RecordKind::Timeout),
+        any::<u32>().prop_map(|recv_s| RecordKind::Unmatched { recv_s }),
+        any::<u8>().prop_map(|code| RecordKind::IcmpError { code }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip(records in proptest::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        binfmt::write_records(&mut buf, &records).unwrap();
+        let back = binfmt::read_records(&mut &buf[..]).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn text_roundtrip(records in proptest::collection::vec(arb_record(), 0..200)) {
+        // The text format stores Unmatched recv_s as the single timestamp,
+        // so normalize records the way the constructor does.
+        let records: Vec<Record> = records
+            .into_iter()
+            .map(|r| match r.kind {
+                RecordKind::Unmatched { recv_s } => Record::unmatched(r.addr, recv_s),
+                _ => r,
+            })
+            .collect();
+        let text = textfmt::to_text(&records);
+        let back = textfmt::from_text(&text).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn binary_detects_payload_corruption(
+        records in proptest::collection::vec(arb_record(), 1..50),
+        byte in any::<u8>(),
+        pos in any::<proptest::sample::Index>(),
+    ) {
+        let mut buf = Vec::new();
+        binfmt::write_records(&mut buf, &records).unwrap();
+        // Corrupt somewhere strictly inside the record region (skip the
+        // 16-byte header and 8-byte trailer).
+        let lo = 16;
+        let hi = buf.len() - 8;
+        let idx = lo + pos.index(hi - lo);
+        prop_assume!(buf[idx] != byte);
+        buf[idx] = byte;
+        // Either the framing breaks (Corrupt/Io) or the checksum catches
+        // it; silently succeeding with different records is the only
+        // unacceptable outcome.
+        match binfmt::read_records(&mut &buf[..]) {
+            Ok(back) => prop_assert_eq!(back, records, "corruption silently accepted"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn text_lines_have_no_newlines(r in arb_record()) {
+        let line = textfmt::to_line(&r);
+        prop_assert!(!line.contains('\n'));
+        prop_assert!(line.split('\t').count() >= 3);
+    }
+}

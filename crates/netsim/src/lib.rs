@@ -1,0 +1,47 @@
+//! # beware-netsim
+//!
+//! A deterministic discrete-event simulator of the Internet as the paper
+//! *Timeouts: Beware Surprisingly High Delay* (IMC 2015) measured it. We
+//! cannot probe the real Internet from a hermetic build environment, so
+//! the probers in `beware-probe` run against this world instead; its
+//! behavior models implement the *mechanisms* the paper identifies as the
+//! causes of surprisingly high round-trip times:
+//!
+//! * cellular radio wake-up (first-ping delay, Section 6.3),
+//! * network-buffered disconnect episodes producing RTT-decay staircases
+//!   and 100 s+ responses (Section 6.4),
+//! * persistent deep-buffer congestion (sustained high latency + loss),
+//! * geosynchronous-satellite floors with capped queues (Section 6.1),
+//! * broadcast responders (Section 3.3.1), reflectors/DoS duplicate floods
+//!   (Section 3.3.2), TCP-answering firewalls and ICMP rate limiting
+//!   (Section 5.3).
+//!
+//! Module map: [`time`] and [`event`] are the discrete-event substrate,
+//! [`rng`] the seeded distributions, [`packet`] the packet model bridging
+//! to `beware-wire` bytes, [`profile`]/[`host`]/[`world`] the behavior
+//! models, [`sim`] the agent event loop, and [`scenario`] the
+//! paper-calibrated world builder.
+//!
+//! Everything is deterministic under a seed; two runs of the same scenario
+//! produce identical packet traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod host;
+pub mod packet;
+pub mod profile;
+pub mod rng;
+pub mod scenario;
+pub mod sim;
+pub mod time;
+pub mod trace;
+pub mod world;
+
+pub use packet::{Arrival, Packet, L4};
+pub use profile::BlockProfile;
+pub use scenario::{Scenario, ScenarioCfg, Vantage, VANTAGES};
+pub use sim::{Agent, Ctx, RunSummary, Simulation};
+pub use time::{SimDuration, SimTime};
+pub use world::{World, WorldStats};

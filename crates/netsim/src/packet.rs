@@ -1,0 +1,239 @@
+//! The packet representation circulating inside the simulator.
+//!
+//! Simulation logic operates on this structured form; [`Packet::encode`]
+//! and [`Packet::decode`] bridge to real bytes via `beware-wire`, so a
+//! prober can be exercised end-to-end at the byte level (the integration
+//! tests and the quickstart example do) while the hot simulation path skips
+//! redundant serialization.
+
+use crate::time::SimTime;
+use beware_wire::icmp::{IcmpKind, IcmpPacket, IcmpRepr};
+use beware_wire::ipv4::{Ipv4Header, Ipv4Packet, Protocol};
+use beware_wire::tcp::{TcpPacket, TcpRepr};
+use beware_wire::udp::{UdpPacket, UdpRepr};
+use beware_wire::WireError;
+
+/// Transport-layer content of a simulated packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L4 {
+    /// An ICMP message with its payload bytes.
+    Icmp {
+        /// Message kind.
+        kind: IcmpKind,
+        /// Echo payload (probe embedding lives here).
+        payload: Vec<u8>,
+    },
+    /// A UDP datagram.
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Datagram payload.
+        payload: Vec<u8>,
+    },
+    /// A (data-less) TCP segment.
+    Tcp(TcpRepr),
+}
+
+impl L4 {
+    /// Encoded length in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            L4::Icmp { payload, .. } => beware_wire::icmp::HEADER_LEN + payload.len(),
+            L4::Udp { payload, .. } => beware_wire::udp::HEADER_LEN + payload.len(),
+            L4::Tcp(_) => beware_wire::tcp::HEADER_LEN,
+        }
+    }
+
+    /// The IP protocol number for this content.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            L4::Icmp { .. } => Protocol::Icmp,
+            L4::Udp { .. } => Protocol::Udp,
+            L4::Tcp(_) => Protocol::Tcp,
+        }
+    }
+}
+
+/// A simulated IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source address (host order).
+    pub src: u32,
+    /// Destination address (host order).
+    pub dst: u32,
+    /// Remaining time-to-live as seen by the receiver.
+    pub ttl: u8,
+    /// Transport content.
+    pub l4: L4,
+}
+
+impl Packet {
+    /// Convenience constructor for an ICMP echo request probe.
+    pub fn echo_request(src: u32, dst: u32, ident: u16, seq: u16, payload: Vec<u8>) -> Self {
+        Packet {
+            src,
+            dst,
+            ttl: 64,
+            l4: L4::Icmp { kind: IcmpKind::EchoRequest { ident, seq }, payload },
+        }
+    }
+
+    /// The echo reply a well-behaved host sends for this packet, sourced
+    /// from `reply_src` (which differs from `dst` for broadcast probes).
+    pub fn echo_reply_from(&self, reply_src: u32) -> Option<Packet> {
+        match &self.l4 {
+            L4::Icmp { kind, payload } => kind.reply().map(|k| Packet {
+                src: reply_src,
+                dst: self.src,
+                ttl: 64,
+                l4: L4::Icmp { kind: k, payload: payload.clone() },
+            }),
+            _ => None,
+        }
+    }
+
+    /// The IPv4 header for encoding.
+    fn ip_header(&self) -> Ipv4Header {
+        Ipv4Header {
+            src: self.src,
+            dst: self.dst,
+            protocol: self.l4.protocol(),
+            ttl: self.ttl,
+            ident: 0,
+            dont_frag: true,
+            payload_len: self.l4.wire_len(),
+        }
+    }
+
+    /// Serialize to wire bytes (IPv4 header + L4).
+    pub fn encode(&self) -> Vec<u8> {
+        let ip = self.ip_header();
+        let mut buf = vec![0u8; ip.total_len()];
+        ip.emit(&mut buf).expect("buffer sized from header");
+        let body = &mut buf[beware_wire::ipv4::HEADER_LEN..];
+        match &self.l4 {
+            L4::Icmp { kind, payload } => {
+                let repr = IcmpRepr { kind: *kind, payload_len: payload.len() };
+                repr.emit(payload, body).expect("buffer sized from repr");
+            }
+            L4::Udp { src_port, dst_port, payload } => {
+                let repr =
+                    UdpRepr { src_port: *src_port, dst_port: *dst_port, payload_len: payload.len() };
+                repr.emit(&ip, payload, body).expect("buffer sized from repr");
+            }
+            L4::Tcp(repr) => {
+                repr.emit(&ip, body).expect("buffer sized from repr");
+            }
+        }
+        buf
+    }
+
+    /// Parse wire bytes back into a structured packet.
+    pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+        let ip = Ipv4Packet::parse(bytes)?;
+        let hdr = ip.header();
+        let l4 = match hdr.protocol {
+            Protocol::Icmp => {
+                let icmp = IcmpPacket::parse(ip.payload())?;
+                L4::Icmp { kind: icmp.kind(), payload: icmp.payload().to_vec() }
+            }
+            Protocol::Udp => {
+                let udp = UdpPacket::parse(ip.payload(), &hdr)?;
+                L4::Udp {
+                    src_port: udp.src_port(),
+                    dst_port: udp.dst_port(),
+                    payload: udp.payload().to_vec(),
+                }
+            }
+            Protocol::Tcp => {
+                let tcp = TcpPacket::parse(ip.payload(), &hdr)?;
+                L4::Tcp(tcp.repr())
+            }
+            Protocol::Other(_) => return Err(WireError::Malformed("unsupported IP protocol")),
+        };
+        Ok(Packet { src: hdr.src, dst: hdr.dst, ttl: hdr.ttl, l4 })
+    }
+}
+
+/// A packet scheduled to arrive at the prober.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Delivery time at the prober's interface.
+    pub at: SimTime,
+    /// The arriving packet.
+    pub pkt: Packet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beware_wire::tcp::TcpFlags;
+
+    #[test]
+    fn icmp_encode_decode_roundtrip() {
+        let p = Packet::echo_request(0x0a000001, 0xd3040afe, 0x77, 5, vec![9; 24]);
+        let bytes = p.encode();
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn udp_encode_decode_roundtrip() {
+        let p = Packet {
+            src: 1,
+            dst: 2,
+            ttl: 61,
+            l4: L4::Udp { src_port: 33000, dst_port: 33001, payload: b"x".to_vec() },
+        };
+        let bytes = p.encode();
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn tcp_encode_decode_roundtrip() {
+        let p = Packet {
+            src: 3,
+            dst: 4,
+            ttl: 255,
+            l4: L4::Tcp(TcpRepr {
+                src_port: 1234,
+                dst_port: 80,
+                seq: 1,
+                ack_no: 2,
+                flags: TcpFlags::ACK,
+                window: 512,
+            }),
+        };
+        let bytes = p.encode();
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn echo_reply_swaps_and_sources() {
+        let req = Packet::echo_request(10, 20, 1, 2, vec![7; 4]);
+        let rep = req.echo_reply_from(21).unwrap();
+        assert_eq!(rep.src, 21);
+        assert_eq!(rep.dst, 10);
+        match rep.l4 {
+            L4::Icmp { kind, ref payload } => {
+                assert_eq!(kind, IcmpKind::EchoReply { ident: 1, seq: 2 });
+                assert_eq!(payload, &vec![7; 4]);
+            }
+            _ => panic!("not icmp"),
+        }
+        // Non-echo packets have no reply.
+        let rst = Packet { src: 1, dst: 2, ttl: 3, l4: L4::Tcp(TcpRepr {
+            src_port: 0, dst_port: 0, seq: 0, ack_no: 0, flags: TcpFlags::RST, window: 0,
+        })};
+        assert!(rst.echo_reply_from(9).is_none());
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_decode() {
+        let p = Packet::echo_request(1, 2, 3, 4, vec![0; 8]);
+        let mut bytes = p.encode();
+        bytes[25] ^= 0xff; // inside the ICMP header
+        assert!(Packet::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Behavior configuration for a /24 block.
+//!
+//! A [`BlockProfile`] declares how the addresses of one /24 behave. The
+//! ingredients compose: any link class can carry congestion or
+//! disconnect-episode behavior, which is how the paper's observations map
+//! onto mechanisms:
+//!
+//! * **wake-up** ([`WakeupCfg`]) — cellular RRC idle→connected negotiation;
+//!   produces the "first ping" effect of Section 6.3 (median setup
+//!   ≈ 1.37 s, 90% < 4 s, radio stays connected ~10 s after activity).
+//! * **congestion** ([`CongestionCfg`]) — oversubscribed links with large
+//!   buffers; produces *sustained high latency and loss* (Table 7).
+//! * **episodes** ([`EpisodeCfg`]) — intermittent connectivity where the
+//!   network pages/buffers packets and flushes them on reconnect; produces
+//!   the *loss-then-decay* and *low-latency-then-decay* RTT staircases
+//!   (Section 6.4: "after 136 seconds of no response ... we received all
+//!   136 responses over a one second interval").
+//! * **broadcast** ([`BroadcastCfg`]) — subnet broadcast/network addresses
+//!   that solicit responses from neighbors (Section 3.3.1).
+//! * **dos** ([`DosCfg`]) — reflectors answering one request with many
+//!   responses, up to millions (Section 3.3.2, Figure 5).
+//! * **firewall** ([`FirewallCfg`]) — middleboxes synthesizing TCP RSTs
+//!   with a constant TTL for a whole /24 (Section 5.3, Figure 10).
+
+use crate::rng::Dist;
+
+/// Cellular radio wake-up (RRC idle → connected) behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeupCfg {
+    /// Fraction of the block's live hosts that exhibit wake-up delay.
+    pub host_prob: f64,
+    /// Negotiation delay in seconds, added when the radio is idle.
+    /// The paper measures median 1.37 s with 90% under 4 s.
+    pub delay: Dist,
+    /// Seconds the radio stays connected after the last activity
+    /// (the "tail timer"); probes inside this window skip the wake-up.
+    pub tail_secs: f64,
+}
+
+impl Default for WakeupCfg {
+    fn default() -> Self {
+        // LogNormal(median 1.37, sigma 0.84): p90 ≈ 4.0 s, p98 ≈ 7.6 s —
+        // the fit to Figure 13.
+        WakeupCfg {
+            host_prob: 0.78,
+            delay: Dist::LogNormal { median: 1.37, sigma: 0.84 },
+            tail_secs: 10.0,
+        }
+    }
+}
+
+/// Persistent oversubscription with oversized buffers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionCfg {
+    /// Fraction of the block's live hosts behind such a link.
+    pub host_prob: f64,
+    /// Queueing delay in seconds added to every probe.
+    pub extra: Dist,
+    /// Additional loss probability while congested.
+    pub busy_loss: f64,
+}
+
+impl Default for CongestionCfg {
+    fn default() -> Self {
+        CongestionCfg {
+            host_prob: 0.2,
+            extra: Dist::LogNormal { median: 1.2, sigma: 0.9 },
+            busy_loss: 0.25,
+        }
+    }
+}
+
+/// Diurnal load modulation: congestion breathes with local time of day.
+///
+/// The paper's Table 3 scans start at different hours and weekdays
+/// precisely to control for this; the model scales the congested hosts'
+/// queueing delay and loss by `1 + amplitude·sin(2π·(t − peak)/period)`,
+/// peaking at the block's local evening.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalCfg {
+    /// Relative swing, `[0, 1]`: 0.4 means ±40% around the mean.
+    pub amplitude: f64,
+    /// Seconds after the simulation epoch at which load peaks.
+    pub peak_offset_secs: f64,
+    /// Cycle length in seconds (a day).
+    pub period_secs: f64,
+}
+
+impl Default for DiurnalCfg {
+    fn default() -> Self {
+        DiurnalCfg { amplitude: 0.4, peak_offset_secs: 72_000.0, period_secs: 86_400.0 }
+    }
+}
+
+impl DiurnalCfg {
+    /// The load factor at time `t_secs`.
+    pub fn factor(&self, t_secs: f64) -> f64 {
+        let phase = (t_secs - self.peak_offset_secs) / self.period_secs.max(1.0)
+            * std::f64::consts::TAU;
+        1.0 + self.amplitude.clamp(0.0, 1.0) * phase.cos()
+    }
+}
+
+/// Congestion storms: bounded periods in which an oversubscribed link
+/// holds a near-full queue, so every surviving probe sees tens-to-hundreds
+/// of seconds of queueing delay and loss is heavy. This is the mechanism
+/// behind the paper's *sustained high latency and loss* pattern (Table 7):
+/// "latencies remaining higher than normal (>10 seconds) throughout the
+/// duration", usually for several minutes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormCfg {
+    /// Fraction of the block's live hosts subject to storms.
+    pub host_prob: f64,
+    /// Seconds between storms.
+    pub interval: Dist,
+    /// Storm duration in seconds.
+    pub duration: Dist,
+    /// Queueing delay added to each surviving probe during a storm.
+    pub delay: Dist,
+    /// Ceiling on the sampled delay, seconds — a queue is finite.
+    pub max_delay_secs: f64,
+    /// Per-probe loss probability during a storm.
+    pub loss: f64,
+}
+
+impl Default for StormCfg {
+    fn default() -> Self {
+        StormCfg {
+            host_prob: 0.07,
+            interval: Dist::Exponential { mean: 3600.0 },
+            duration: Dist::LogNormal { median: 200.0, sigma: 0.5 },
+            delay: Dist::LogNormal { median: 60.0, sigma: 0.6 },
+            max_delay_secs: 220.0,
+            loss: 0.45,
+        }
+    }
+}
+
+/// Intermittent-connectivity episodes with network-side buffering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeCfg {
+    /// Fraction of the block's live hosts subject to episodes.
+    pub host_prob: f64,
+    /// Seconds between episodes (sampled per episode).
+    pub interval: Dist,
+    /// Episode duration in seconds.
+    pub duration: Dist,
+    /// Ceiling on the sampled duration, seconds — paging buffers time out
+    /// eventually (the longest RTT the paper ever saw was 517 s).
+    pub max_duration_secs: f64,
+    /// Maximum number of probes the network buffers during an episode;
+    /// the rest are lost.
+    pub buffer_cap: u32,
+    /// Probability an in-episode probe is buffered rather than dropped.
+    pub buffer_prob: f64,
+    /// Each episode begins with a *blackout* of a few seconds during
+    /// which probes are dropped outright (the radio is gone; the paging
+    /// buffer has not engaged); its length is uniform in `[0, this]`
+    /// seconds, capped at half the episode. The paper sees six times more
+    /// *loss-then-decay* than *low-latency-then-decay* events — most
+    /// flushes are preceded by a few losses.
+    pub blackout_secs_max: f64,
+}
+
+impl Default for EpisodeCfg {
+    fn default() -> Self {
+        EpisodeCfg {
+            host_prob: 0.15,
+            interval: Dist::Exponential { mean: 4800.0 },
+            duration: Dist::LogNormal { median: 100.0, sigma: 0.55 },
+            max_duration_secs: 400.0,
+            buffer_cap: 180,
+            buffer_prob: 0.8,
+            blackout_secs_max: 15.0,
+        }
+    }
+}
+
+/// Subnet broadcast behavior inside the /24.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BroadcastCfg {
+    /// Fraction of the subnet's live *interior* hosts that answer a
+    /// broadcast ping.
+    pub responder_prob: f64,
+    /// Same, for hosts within three addresses of the subnet edge —
+    /// routers and gateways conventionally sit at .254/.1, and they are
+    /// the devices most often configured to answer broadcast. Their
+    /// bit-reversed probe slots are what put the paper's false-latency
+    /// bumps at exactly 330/165/495 s.
+    pub edge_responder_prob: f64,
+    /// Fraction of broadcast responders that do **not** answer unicast
+    /// probes (filtered or bound to the broadcast path only). These are
+    /// the addresses whose every round yields a timeout plus a stable
+    /// false "delayed response" — the population the EWMA filter exists
+    /// to remove.
+    pub unicast_silent_prob: f64,
+    /// Whether the all-zeros (network) address also solicits responses
+    /// (pre-CIDR "directed broadcast to network address" behavior).
+    pub network_addr_responds: bool,
+}
+
+impl Default for BroadcastCfg {
+    fn default() -> Self {
+        BroadcastCfg {
+            responder_prob: 0.15,
+            edge_responder_prob: 0.8,
+            unicast_silent_prob: 0.5,
+            network_addr_responds: true,
+        }
+    }
+}
+
+/// A middlebox that answers TCP probes itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FirewallCfg {
+    /// RST latency in seconds (the paper observes a mode near 200 ms).
+    pub rst_delay: Dist,
+    /// TTL of the RSTs as received — constant for the whole /24, the
+    /// fingerprint the paper uses to separate firewall responses.
+    pub ttl: u8,
+}
+
+impl Default for FirewallCfg {
+    fn default() -> Self {
+        FirewallCfg { rst_delay: Dist::LogNormal { median: 0.2, sigma: 0.15 }, ttl: 243 }
+    }
+}
+
+/// Reflector / DoS-like duplicate-response behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DosCfg {
+    /// Fraction of the block's addresses that are reflectors.
+    pub addr_prob: f64,
+    /// Number of responses per request (heavy-tailed; Figure 5 observes
+    /// up to ~11 M in 11 minutes).
+    pub count: Dist,
+    /// Hard cap on generated responses, so a simulation stays bounded.
+    pub max_responses: u32,
+    /// Seconds over which the response burst spreads.
+    pub spread_secs: f64,
+}
+
+impl Default for DosCfg {
+    fn default() -> Self {
+        DosCfg {
+            addr_prob: 0.004,
+            count: Dist::Pareto { xm: 5.0, alpha: 0.6 },
+            max_responses: 20_000,
+            spread_secs: 300.0,
+        }
+    }
+}
+
+/// RFC 1812-style ICMP response rate limiting at the host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitCfg {
+    /// Sustained responses per second.
+    pub rate_per_sec: f64,
+    /// Bucket depth.
+    pub burst: u32,
+}
+
+impl Default for RateLimitCfg {
+    fn default() -> Self {
+        RateLimitCfg { rate_per_sec: 1.0, burst: 5 }
+    }
+}
+
+/// Complete behavior description of one /24 block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockProfile {
+    /// Per-host base path RTT in seconds, drawn once per host.
+    pub base_rtt: Dist,
+    /// Per-probe jitter in seconds.
+    pub jitter: Dist,
+    /// Fraction of addresses that are live hosts.
+    pub density: f64,
+    /// Per-probe response probability for a live, reachable host.
+    pub response_prob: f64,
+    /// Host bits of the subnets the /24 is divided into (2–8); defines
+    /// which last octets are broadcast/network addresses.
+    pub subnet_host_bits: u8,
+    /// Cellular wake-up behavior, if any.
+    pub wakeup: Option<WakeupCfg>,
+    /// Persistent congestion behavior, if any.
+    pub congestion: Option<CongestionCfg>,
+    /// Disconnect-episode behavior, if any.
+    pub episodes: Option<EpisodeCfg>,
+    /// Congestion-storm behavior, if any.
+    pub storms: Option<StormCfg>,
+    /// Diurnal congestion modulation, if any.
+    pub diurnal: Option<DiurnalCfg>,
+    /// Cap in seconds on jitter+congestion extras (satellite modems bound
+    /// their queues: Fig. 11 shows 99th percentiles predominantly < 3 s).
+    pub rtt_cap: Option<f64>,
+    /// Broadcast responder behavior, if any.
+    pub broadcast: Option<BroadcastCfg>,
+    /// TCP-answering middlebox, if any.
+    pub firewall: Option<FirewallCfg>,
+    /// Reflector behavior, if any.
+    pub dos: Option<DosCfg>,
+    /// Probability a response is benignly duplicated (2–4 copies).
+    pub dup_prob: f64,
+    /// Probability a probe draws an ICMP host-unreachable error instead of
+    /// reaching the host.
+    pub error_prob: f64,
+    /// ICMP rate limiting at the host, if any.
+    pub icmp_rate_limit: Option<RateLimitCfg>,
+}
+
+impl Default for BlockProfile {
+    fn default() -> Self {
+        BlockProfile {
+            base_rtt: Dist::LogNormal { median: 0.04, sigma: 0.35 },
+            jitter: Dist::Exponential { mean: 0.004 },
+            density: 0.3,
+            response_prob: 0.97,
+            subnet_host_bits: 8,
+            wakeup: None,
+            congestion: None,
+            episodes: None,
+            storms: None,
+            diurnal: None,
+            rtt_cap: None,
+            broadcast: None,
+            firewall: None,
+            dos: None,
+            dup_prob: 0.0005,
+            error_prob: 0.001,
+            icmp_rate_limit: None,
+        }
+    }
+}
+
+impl BlockProfile {
+    /// Validate parameter ranges; called by the world builder so a typo in
+    /// a scenario fails fast instead of producing nonsense distributions.
+    pub fn validate(&self) -> Result<(), String> {
+        fn prob(name: &str, v: f64) -> Result<(), String> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} = {v} outside [0, 1]"))
+            }
+        }
+        prob("density", self.density)?;
+        prob("response_prob", self.response_prob)?;
+        prob("dup_prob", self.dup_prob)?;
+        prob("error_prob", self.error_prob)?;
+        if !(2..=8).contains(&self.subnet_host_bits) {
+            return Err(format!("subnet_host_bits = {} outside 2..=8", self.subnet_host_bits));
+        }
+        if let Some(w) = &self.wakeup {
+            prob("wakeup.host_prob", w.host_prob)?;
+        }
+        if let Some(c) = &self.congestion {
+            prob("congestion.host_prob", c.host_prob)?;
+            prob("congestion.busy_loss", c.busy_loss)?;
+        }
+        if let Some(e) = &self.episodes {
+            prob("episodes.host_prob", e.host_prob)?;
+            prob("episodes.buffer_prob", e.buffer_prob)?;
+        }
+        if let Some(s) = &self.storms {
+            prob("storms.host_prob", s.host_prob)?;
+            prob("storms.loss", s.loss)?;
+        }
+        if let Some(d) = &self.diurnal {
+            prob("diurnal.amplitude", d.amplitude)?;
+            if d.period_secs <= 0.0 {
+                return Err("diurnal.period_secs must be positive".into());
+            }
+        }
+        if let Some(b) = &self.broadcast {
+            prob("broadcast.responder_prob", b.responder_prob)?;
+            prob("broadcast.edge_responder_prob", b.edge_responder_prob)?;
+            prob("broadcast.unicast_silent_prob", b.unicast_silent_prob)?;
+        }
+        if let Some(d) = &self.dos {
+            prob("dos.addr_prob", d.addr_prob)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_validates() {
+        BlockProfile::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let p = BlockProfile { density: 1.5, ..Default::default() };
+        assert!(p.validate().unwrap_err().contains("density"));
+        let p = BlockProfile { response_prob: -0.1, ..Default::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_subnet_bits_rejected() {
+        let p = BlockProfile { subnet_host_bits: 1, ..Default::default() };
+        assert!(p.validate().unwrap_err().contains("subnet_host_bits"));
+        let p = BlockProfile { subnet_host_bits: 9, ..Default::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn nested_probabilities_checked() {
+        let p = BlockProfile {
+            wakeup: Some(WakeupCfg { host_prob: 2.0, ..Default::default() }),
+            ..Default::default()
+        };
+        assert!(p.validate().unwrap_err().contains("wakeup"));
+        let p = BlockProfile {
+            episodes: Some(EpisodeCfg { buffer_prob: -1.0, ..Default::default() }),
+            ..Default::default()
+        };
+        assert!(p.validate().unwrap_err().contains("buffer_prob"));
+    }
+
+    #[test]
+    fn wakeup_default_matches_paper_fit() {
+        let w = WakeupCfg::default();
+        match w.delay {
+            Dist::LogNormal { median, .. } => assert!((median - 1.37).abs() < 1e-9),
+            _ => panic!("unexpected distribution"),
+        }
+        assert_eq!(w.tail_secs, 10.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Simulation time.
+//!
+//! Nanosecond-resolution monotonic time since the simulation epoch. The ISI
+//! dataset mixes two precisions — microseconds for matched responses,
+//! whole seconds for timeout and unmatched records — so [`SimTime`] exposes
+//! both truncations explicitly; analysis code must choose one deliberately
+//! rather than inherit whatever a float happened to hold.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time (nanoseconds since the simulation epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from nanoseconds since the epoch.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch (truncated) — the precision of matched
+    /// survey responses.
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole seconds since the epoch (truncated) — the precision of timeout
+    /// and unmatched records in the ISI data.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Seconds since the epoch as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant; `None` if `earlier` is later
+    /// (callers must handle reordered events, not panic).
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Duration since an earlier instant, saturating at zero.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, saturating negatives to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        // Saturate rather than wrap for absurdly large values.
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncated).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds (truncated).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Whole seconds (truncated).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000_000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Scale by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug if `rhs` is later; use [`SimTime::checked_since`]
+    /// where reordering is possible.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}us", self.0 as f64 / 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_truncation() {
+        let t = SimTime::from_ns(3_500_123_456);
+        assert_eq!(t.as_secs(), 3);
+        assert_eq!(t.as_us(), 3_500_123);
+        assert!((t.as_secs_f64() - 3.500123456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::EPOCH + SimDuration::from_secs(10);
+        let u = t + SimDuration::from_millis(250);
+        assert_eq!((u - t).as_millis(), 250);
+        assert_eq!(u.checked_since(t), Some(SimDuration::from_millis(250)));
+        assert_eq!(t.checked_since(u), None);
+        assert_eq!(t.saturating_since(u), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_conversions_roundtrip() {
+        assert_eq!(SimDuration::from_secs(5).as_ns(), 5_000_000_000);
+        assert_eq!(SimDuration::from_millis(5).as_us(), 5_000);
+        assert_eq!(SimDuration::from_us(5).as_ns(), 5_000);
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.as_millis(), 1500);
+    }
+
+    #[test]
+    fn from_secs_f64_is_total() {
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let big = SimDuration::from_ns(u64::MAX - 5);
+        assert_eq!(big.saturating_add(SimDuration::from_ns(100)).as_ns(), u64::MAX);
+        assert_eq!(big.saturating_mul(3).as_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_us(7).to_string(), "7us");
+        assert_eq!((SimTime::EPOCH + SimDuration::from_secs(1)).to_string(), "t+1.000000s");
+    }
+}

@@ -1,0 +1,220 @@
+//! Packet tracing — the simulator's tcpdump.
+//!
+//! The paper's verification experiments lean on tcpdump ("we run tcpdump
+//! simultaneously ... days after the Scamper code finished"); the
+//! simulator offers the same observability: attach a [`Trace`] to a
+//! [`crate::sim::Simulation`] and every packet crossing the agent's
+//! interface is recorded into a bounded ring buffer, renderable as
+//! tcpdump-style text lines.
+
+use crate::packet::{Packet, L4};
+use crate::time::SimTime;
+use beware_wire::icmp::IcmpKind;
+use std::collections::VecDeque;
+
+/// Direction of a traced packet relative to the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Transmitted by the agent.
+    Sent,
+    /// Delivered to the agent.
+    Received,
+}
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Capture time.
+    pub at: SimTime,
+    /// Direction.
+    pub dir: Direction,
+    /// The packet itself.
+    pub pkt: Packet,
+}
+
+impl TraceEntry {
+    /// Render one tcpdump-style line.
+    pub fn render(&self) -> String {
+        let arrow = match self.dir {
+            Direction::Sent => ">",
+            Direction::Received => "<",
+        };
+        let what = match &self.pkt.l4 {
+            L4::Icmp { kind, payload } => match kind {
+                IcmpKind::EchoRequest { ident, seq } => {
+                    format!("ICMP echo request id {ident} seq {seq} len {}", payload.len())
+                }
+                IcmpKind::EchoReply { ident, seq } => {
+                    format!("ICMP echo reply id {ident} seq {seq} len {}", payload.len())
+                }
+                IcmpKind::DestUnreachable { code } => {
+                    format!("ICMP dest unreachable code {code}")
+                }
+                IcmpKind::TimeExceeded { code } => format!("ICMP time exceeded code {code}"),
+                IcmpKind::Other { ty, code } => format!("ICMP type {ty} code {code}"),
+            },
+            L4::Udp { src_port, dst_port, payload } => {
+                format!("UDP {src_port} > {dst_port} len {}", payload.len())
+            }
+            L4::Tcp(t) => {
+                let mut flags = String::new();
+                if t.flags.syn {
+                    flags.push('S');
+                }
+                if t.flags.ack {
+                    flags.push('.');
+                }
+                if t.flags.rst {
+                    flags.push('R');
+                }
+                if t.flags.fin {
+                    flags.push('F');
+                }
+                format!("TCP {} > {} [{flags}] seq {}", t.src_port, t.dst_port, t.seq)
+            }
+        };
+        format!(
+            "{:>14.6} {arrow} {} -> {} ttl {}: {what}",
+            self.at.as_secs_f64(),
+            std::net::Ipv4Addr::from(self.pkt.src),
+            std::net::Ipv4Addr::from(self.pkt.dst),
+            self.pkt.ttl,
+        )
+    }
+}
+
+/// A bounded ring buffer of captured packets.
+#[derive(Debug)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    /// Total packets offered (including those evicted from the ring).
+    pub captured: u64,
+}
+
+impl Trace {
+    /// A trace keeping the most recent `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity trace");
+        Trace { entries: VecDeque::with_capacity(capacity.min(4096)), capacity, captured: 0 }
+    }
+
+    /// Record one packet.
+    pub fn record(&mut self, at: SimTime, dir: Direction, pkt: &Packet) {
+        self.captured += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { at, dir, pkt: pkt.clone() });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render the whole capture as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use beware_wire::tcp::{TcpFlags, TcpRepr};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut tr = Trace::new(16);
+        let probe = Packet::echo_request(0x01010101, 0x0a000001, 7, 3, vec![0; 8]);
+        tr.record(t(1.5), Direction::Sent, &probe);
+        let reply = probe.echo_reply_from(0x0a000001).unwrap();
+        tr.record(t(1.55), Direction::Received, &reply);
+        assert_eq!(tr.len(), 2);
+        let text = tr.render();
+        assert!(text.contains("> 1.1.1.1 -> 10.0.0.1"), "{text}");
+        assert!(text.contains("ICMP echo request id 7 seq 3"), "{text}");
+        assert!(text.contains("ICMP echo reply id 7 seq 3"), "{text}");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..10u16 {
+            let p = Packet::echo_request(1, 2, 7, i, vec![]);
+            tr.record(t(f64::from(i)), Direction::Sent, &p);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.captured, 10);
+        let seqs: Vec<u16> = tr
+            .entries()
+            .map(|e| match &e.pkt.l4 {
+                L4::Icmp { kind: IcmpKind::EchoRequest { seq, .. }, .. } => *seq,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn tcp_and_udp_render() {
+        let mut tr = Trace::new(4);
+        tr.record(
+            t(0.0),
+            Direction::Sent,
+            &Packet {
+                src: 1,
+                dst: 2,
+                ttl: 64,
+                l4: L4::Tcp(TcpRepr {
+                    src_port: 1234,
+                    dst_port: 80,
+                    seq: 9,
+                    ack_no: 0,
+                    flags: TcpFlags::ACK,
+                    window: 0,
+                }),
+            },
+        );
+        tr.record(
+            t(0.1),
+            Direction::Received,
+            &Packet {
+                src: 2,
+                dst: 1,
+                ttl: 60,
+                l4: L4::Udp { src_port: 53, dst_port: 4444, payload: vec![0; 12] },
+            },
+        );
+        let text = tr.render();
+        assert!(text.contains("TCP 1234 > 80 [.] seq 9"), "{text}");
+        assert!(text.contains("UDP 53 > 4444 len 12"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        Trace::new(0);
+    }
+}

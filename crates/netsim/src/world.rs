@@ -1,0 +1,554 @@
+//! The simulated Internet: routed /24 blocks, lazily instantiated hosts,
+//! and the probe → responses transfer function.
+//!
+//! The world is *passive*: it holds no timers. A prober hands it a packet
+//! and the current time; the world returns the arrivals that packet causes.
+//! All host state advances lazily on access, which is what lets a scan of a
+//! million addresses run without a million timer events.
+
+use crate::host::{self, HostState, Reply};
+use crate::packet::{Arrival, Packet, L4};
+use crate::profile::BlockProfile;
+use crate::rng::{derive_seed, seeded};
+use crate::time::{SimDuration, SimTime};
+use beware_wire::icmp::IcmpKind;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters the world keeps for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Probes delivered to the world.
+    pub probes: u64,
+    /// Response packets generated.
+    pub responses: u64,
+    /// Probes that fell on unrouted space.
+    pub unrouted: u64,
+    /// Responses synthesized by firewalls rather than hosts.
+    pub firewall_rsts: u64,
+    /// Broadcast-triggered responses.
+    pub broadcast_responses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BlockEntry {
+    profile: Arc<BlockProfile>,
+}
+
+/// The simulated address space.
+#[derive(Debug)]
+pub struct World {
+    seed: u64,
+    blocks: HashMap<u32, BlockEntry>,
+    hosts: HashMap<u32, HostState>,
+    rng: StdRng,
+    stats: WorldStats,
+}
+
+impl World {
+    /// An empty world with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            seed,
+            blocks: HashMap::new(),
+            hosts: HashMap::new(),
+            rng: seeded(derive_seed(seed, 0xF17E_AA11)),
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Route a /24 block (identified by `addr >> 8`) with the given
+    /// behavior. Panics on an invalid profile — scenario bugs should fail
+    /// at build time, not during a multi-hour run.
+    pub fn add_block(&mut self, prefix24: u32, profile: Arc<BlockProfile>) {
+        if let Err(e) = profile.validate() {
+            panic!("invalid BlockProfile for block {prefix24:#08x}: {e}");
+        }
+        self.blocks.insert(prefix24, BlockEntry { profile });
+    }
+
+    /// Whether a /24 block is routed.
+    pub fn has_block(&self, prefix24: u32) -> bool {
+        self.blocks.contains_key(&prefix24)
+    }
+
+    /// Profile of a routed block.
+    pub fn block_profile(&self, prefix24: u32) -> Option<&Arc<BlockProfile>> {
+        self.blocks.get(&prefix24).map(|b| &b.profile)
+    }
+
+    /// Number of routed blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of host state machines instantiated so far.
+    pub fn hosts_instantiated(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// True if `addr` hosts a live device (static property).
+    pub fn is_live(&self, addr: u32) -> bool {
+        match self.blocks.get(&(addr >> 8)) {
+            Some(e) => host::is_live(self.seed, &e.profile, addr),
+            None => false,
+        }
+    }
+
+    /// Deliver a probe; returns the arrivals it causes at the prober.
+    pub fn probe(&mut self, pkt: &Packet, now: SimTime) -> Vec<Arrival> {
+        self.stats.probes += 1;
+        let prefix24 = pkt.dst >> 8;
+        let Some(entry) = self.blocks.get(&prefix24) else {
+            self.stats.unrouted += 1;
+            return Vec::new();
+        };
+        let profile = Arc::clone(&entry.profile);
+
+        // A TCP-answering middlebox intercepts before the host sees it.
+        if let (L4::Tcp(tcp), Some(fw)) = (&pkt.l4, &profile.firewall) {
+            if tcp.flags.ack && !tcp.flags.syn && !tcp.flags.rst {
+                let delay = fw.rst_delay.sample(&mut self.rng).max(0.001);
+                let rst = Packet {
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    ttl: fw.ttl,
+                    l4: L4::Tcp(tcp.rst_reply()),
+                };
+                self.stats.responses += 1;
+                self.stats.firewall_rsts += 1;
+                return vec![Arrival { at: now + SimDuration::from_secs_f64(delay), pkt: rst }];
+            }
+        }
+
+        // Broadcast destinations solicit responses from subnet neighbors.
+        if let Some(bcast) = &profile.broadcast {
+            let hb = u32::from(profile.subnet_host_bits);
+            let is_bcast = beware_wire::addr::is_subnet_broadcast(pkt.dst, hb);
+            let is_net = bcast.network_addr_responds
+                && beware_wire::addr::is_subnet_network(pkt.dst, hb);
+            if is_bcast || is_net {
+                return self.broadcast_responses(pkt, now, &profile);
+            }
+        }
+
+        // Ordinary unicast delivery. Unicast-silent broadcast responders
+        // never answer probes aimed directly at them.
+        if !host::is_live(self.seed, &profile, pkt.dst)
+            || host::broadcast_unicast_silent(self.seed, &profile, pkt.dst)
+        {
+            return Vec::new();
+        }
+        let seed = self.seed;
+        let state = self
+            .hosts
+            .entry(pkt.dst)
+            .or_insert_with(|| HostState::new(seed, &profile, pkt.dst, now));
+        let responses = state.respond(&profile, now);
+        let ttl = state.recv_ttl;
+        let mut out = Vec::with_capacity(responses.len());
+        for r in responses {
+            if let Some(reply) = Self::synthesize(pkt, pkt.dst, ttl, r.kind) {
+                out.push(Arrival {
+                    at: now + SimDuration::from_secs_f64(r.delay_secs),
+                    pkt: reply,
+                });
+            }
+        }
+        self.stats.responses += out.len() as u64;
+        out
+    }
+
+    /// Responses to a probe aimed at a broadcast (or network) address:
+    /// every configured responder in the subnet answers *from its own
+    /// address* — "no device should send an echo response with the source
+    /// address that is the broadcast destination".
+    fn broadcast_responses(
+        &mut self,
+        pkt: &Packet,
+        now: SimTime,
+        profile: &Arc<BlockProfile>,
+    ) -> Vec<Arrival> {
+        // Broadcast semantics only exist for ICMP echo.
+        let is_echo = matches!(&pkt.l4, L4::Icmp { kind: IcmpKind::EchoRequest { .. }, .. });
+        if !is_echo {
+            return Vec::new();
+        }
+        let hb = u32::from(profile.subnet_host_bits);
+        let size = 1u32 << hb;
+        let base = pkt.dst & !(size - 1);
+        let mut out = Vec::new();
+        for addr in base..base + size {
+            if addr == pkt.dst
+                || !host::is_live(self.seed, profile, addr)
+                || !host::answers_broadcast(self.seed, profile, addr)
+            {
+                continue;
+            }
+            let seed = self.seed;
+            let state = self
+                .hosts
+                .entry(addr)
+                .or_insert_with(|| HostState::new(seed, profile, addr, now));
+            for r in state.respond(profile, now) {
+                // Broadcast responses are echo replies from the neighbor.
+                if r.kind == Reply::Normal {
+                    if let Some(mut reply) = pkt.echo_reply_from(addr) {
+                        reply.ttl = state.recv_ttl;
+                        out.push(Arrival {
+                            at: now + SimDuration::from_secs_f64(r.delay_secs),
+                            pkt: reply,
+                        });
+                    }
+                }
+            }
+        }
+        self.stats.responses += out.len() as u64;
+        self.stats.broadcast_responses += out.len() as u64;
+        out
+    }
+
+    /// Build the concrete response packet for a host reply.
+    fn synthesize(probe: &Packet, responder: u32, ttl: u8, kind: Reply) -> Option<Packet> {
+        match kind {
+            Reply::Normal => match &probe.l4 {
+                L4::Icmp { kind: IcmpKind::EchoRequest { .. }, .. } => {
+                    let mut reply = probe.echo_reply_from(responder)?;
+                    reply.ttl = ttl;
+                    Some(reply)
+                }
+                L4::Icmp { .. } => None,
+                L4::Udp { .. } => Some(Packet {
+                    src: responder,
+                    dst: probe.src,
+                    ttl,
+                    l4: L4::Icmp {
+                        // Port unreachable, quoting the original datagram.
+                        kind: IcmpKind::DestUnreachable { code: 3 },
+                        payload: quote(probe),
+                    },
+                }),
+                L4::Tcp(tcp) => Some(Packet {
+                    src: responder,
+                    dst: probe.src,
+                    ttl,
+                    l4: L4::Tcp(tcp.rst_reply()),
+                }),
+            },
+            Reply::Error => {
+                // Host unreachable from the block gateway.
+                let gateway = (probe.dst & 0xffff_ff00) | 1;
+                Some(Packet {
+                    src: gateway,
+                    dst: probe.src,
+                    ttl: 250,
+                    l4: L4::Icmp {
+                        kind: IcmpKind::DestUnreachable { code: 1 },
+                        payload: quote(probe),
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// RFC 792 quotation: the original IP header plus the first 8 payload
+/// bytes, which is what real errors carry and all a prober may rely on.
+fn quote(probe: &Packet) -> Vec<u8> {
+    let mut bytes = probe.encode();
+    bytes.truncate(beware_wire::ipv4::HEADER_LEN + 8);
+    bytes
+}
+
+/// Recover the original destination address from an ICMP error quotation
+/// produced by [`quote`] (or any RFC 792-conforming stack).
+pub fn quoted_destination(quoted: &[u8]) -> Option<u32> {
+    if quoted.len() < beware_wire::ipv4::HEADER_LEN {
+        return None;
+    }
+    // The quotation may be truncated below what Ipv4Packet::parse demands
+    // (it checks total length), so read the destination field directly
+    // after sanity-checking version/IHL.
+    if quoted[0] >> 4 != 4 {
+        return None;
+    }
+    Some(u32::from_be_bytes([quoted[16], quoted[17], quoted[18], quoted[19]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BroadcastCfg, DosCfg, FirewallCfg};
+    use crate::rng::Dist;
+    use beware_wire::tcp::{TcpFlags, TcpRepr};
+
+    const PROBER: u32 = 0x0101_0101;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_secs_f64(secs)
+    }
+
+    fn dense_profile() -> BlockProfile {
+        BlockProfile {
+            base_rtt: Dist::Constant(0.05),
+            jitter: Dist::Constant(0.0),
+            density: 1.0,
+            response_prob: 1.0,
+            error_prob: 0.0,
+            dup_prob: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn world_with(profile: BlockProfile) -> World {
+        let mut w = World::new(7);
+        w.add_block(0x0a0000, Arc::new(profile));
+        w
+    }
+
+    #[test]
+    fn unicast_echo_round_trip() {
+        let mut w = world_with(dense_profile());
+        let probe = Packet::echo_request(PROBER, 0x0a000010, 9, 1, vec![0xab; 24]);
+        let arrivals = w.probe(&probe, t(1.0));
+        assert_eq!(arrivals.len(), 1);
+        let a = &arrivals[0];
+        assert_eq!(a.pkt.src, 0x0a000010);
+        assert_eq!(a.pkt.dst, PROBER);
+        assert_eq!(a.at, t(1.05));
+        match &a.pkt.l4 {
+            L4::Icmp { kind, payload } => {
+                assert_eq!(*kind, IcmpKind::EchoReply { ident: 9, seq: 1 });
+                assert_eq!(payload, &vec![0xab; 24]);
+            }
+            _ => panic!("expected icmp"),
+        }
+        assert_eq!(w.stats().responses, 1);
+    }
+
+    #[test]
+    fn unrouted_space_is_silent() {
+        let mut w = world_with(dense_profile());
+        let probe = Packet::echo_request(PROBER, 0x0b000010, 9, 1, vec![]);
+        assert!(w.probe(&probe, t(1.0)).is_empty());
+        assert_eq!(w.stats().unrouted, 1);
+    }
+
+    #[test]
+    fn broadcast_probe_draws_neighbor_responses() {
+        let profile = BlockProfile {
+            broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: true }),
+            ..dense_profile()
+        };
+        let mut w = world_with(profile);
+        let bcast = Packet::echo_request(PROBER, 0x0a0000ff, 9, 1, vec![1, 2, 3]);
+        let arrivals = w.probe(&bcast, t(0.0));
+        // All live hosts (254 of them: .0 and .255 excluded) respond, each
+        // from its own address, never from the broadcast address.
+        assert_eq!(arrivals.len(), 254);
+        assert!(arrivals.iter().all(|a| a.pkt.src != 0x0a0000ff));
+        let srcs: std::collections::HashSet<u32> =
+            arrivals.iter().map(|a| a.pkt.src).collect();
+        assert_eq!(srcs.len(), 254);
+        assert_eq!(w.stats().broadcast_responses, 254);
+        // The payload (with the embedded original destination) is echoed.
+        match &arrivals[0].pkt.l4 {
+            L4::Icmp { payload, .. } => assert_eq!(payload, &vec![1, 2, 3]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn network_address_responds_only_when_configured() {
+        let profile = BlockProfile {
+            broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: false }),
+            ..dense_profile()
+        };
+        let mut w = world_with(profile);
+        let net = Packet::echo_request(PROBER, 0x0a000000, 9, 1, vec![]);
+        // .0 is not a live host and network-addr broadcast is off: silent.
+        assert!(w.probe(&net, t(0.0)).is_empty());
+    }
+
+    #[test]
+    fn subnetted_block_has_multiple_broadcast_addrs() {
+        let profile = BlockProfile {
+            subnet_host_bits: 6, // /26 subnets: .63, .127, .191, .255
+            broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: false }),
+            ..dense_profile()
+        };
+        let mut w = world_with(profile);
+        for bcast_octet in [63u32, 127, 191, 255] {
+            let probe = Packet::echo_request(PROBER, 0x0a000000 + bcast_octet, 9, 1, vec![]);
+            let arrivals = w.probe(&probe, t(0.0));
+            // 62 live neighbors per /26 (bcast + network excluded).
+            assert_eq!(arrivals.len(), 62, "octet {bcast_octet}");
+            // Responders come from the same /26.
+            assert!(arrivals.iter().all(|a| a.pkt.src >> 6 == (0x0a000000 + bcast_octet) >> 6));
+        }
+        // An interior address is a normal host.
+        let probe = Packet::echo_request(PROBER, 0x0a000005, 9, 1, vec![]);
+        assert_eq!(w.probe(&probe, t(0.0)).len(), 1);
+    }
+
+    #[test]
+    fn firewall_intercepts_tcp_ack_with_constant_ttl() {
+        let profile = BlockProfile {
+            firewall: Some(FirewallCfg { rst_delay: Dist::Constant(0.2), ttl: 243 }),
+            ..dense_profile()
+        };
+        let mut w = world_with(profile);
+        let ack = Packet {
+            src: PROBER,
+            dst: 0x0a000020,
+            ttl: 64,
+            l4: L4::Tcp(TcpRepr {
+                src_port: 40000,
+                dst_port: 80,
+                seq: 5,
+                ack_no: 77,
+                flags: TcpFlags::ACK,
+                window: 1024,
+            }),
+        };
+        for dst in [0x0a000020u32, 0x0a000021, 0x0a0000f0] {
+            let mut probe = ack.clone();
+            probe.dst = dst;
+            let arrivals = w.probe(&probe, t(0.0));
+            assert_eq!(arrivals.len(), 1);
+            assert_eq!(arrivals[0].pkt.ttl, 243, "constant fw TTL");
+            assert_eq!(arrivals[0].at, t(0.2));
+            match &arrivals[0].pkt.l4 {
+                L4::Tcp(r) => {
+                    assert!(r.flags.rst);
+                    assert_eq!(r.seq, 77);
+                }
+                _ => panic!("expected tcp"),
+            }
+        }
+        assert_eq!(w.stats().firewall_rsts, 3);
+        // ICMP passes through the firewall to the host.
+        let echo = Packet::echo_request(PROBER, 0x0a000020, 1, 1, vec![]);
+        let arrivals = w.probe(&echo, t(10.0));
+        assert_eq!(arrivals.len(), 1);
+        assert_ne!(arrivals[0].pkt.ttl, 243);
+    }
+
+    #[test]
+    fn udp_probe_draws_port_unreachable_with_quote() {
+        let mut w = world_with(dense_profile());
+        let probe = Packet {
+            src: PROBER,
+            dst: 0x0a000030,
+            ttl: 64,
+            l4: L4::Udp { src_port: 44444, dst_port: 33435, payload: vec![7; 16] },
+        };
+        let arrivals = w.probe(&probe, t(0.0));
+        assert_eq!(arrivals.len(), 1);
+        match &arrivals[0].pkt.l4 {
+            L4::Icmp { kind: IcmpKind::DestUnreachable { code: 3 }, payload } => {
+                assert_eq!(payload.len(), 28);
+                assert_eq!(quoted_destination(payload), Some(0x0a000030));
+            }
+            other => panic!("expected port unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_ack_to_host_draws_rst_with_host_ttl() {
+        let mut w = world_with(dense_profile());
+        let probe = Packet {
+            src: PROBER,
+            dst: 0x0a000031,
+            ttl: 64,
+            l4: L4::Tcp(TcpRepr {
+                src_port: 40000,
+                dst_port: 80,
+                seq: 1,
+                ack_no: 2,
+                flags: TcpFlags::ACK,
+                window: 64,
+            }),
+        };
+        let a = w.probe(&probe, t(0.0));
+        assert_eq!(a.len(), 1);
+        match &a[0].pkt.l4 {
+            L4::Tcp(r) => assert!(r.flags.rst),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn error_reply_comes_from_gateway() {
+        let profile = BlockProfile { error_prob: 1.0, ..dense_profile() };
+        let mut w = world_with(profile);
+        let probe = Packet::echo_request(PROBER, 0x0a000040, 1, 1, vec![]);
+        let a = w.probe(&probe, t(0.0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].pkt.src, 0x0a000001);
+        match &a[0].pkt.l4 {
+            L4::Icmp { kind: IcmpKind::DestUnreachable { code: 1 }, payload } => {
+                assert_eq!(quoted_destination(payload), Some(0x0a000040));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reflector_flood_counts_in_stats() {
+        let profile = BlockProfile {
+            dos: Some(DosCfg {
+                addr_prob: 1.0,
+                count: Dist::Constant(50.0),
+                max_responses: 1000,
+                spread_secs: 1.0,
+            }),
+            ..dense_profile()
+        };
+        let mut w = world_with(profile);
+        let probe = Packet::echo_request(PROBER, 0x0a000055, 1, 1, vec![]);
+        let a = w.probe(&probe, t(0.0));
+        assert_eq!(a.len(), 50);
+        assert_eq!(w.stats().responses, 50);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = || {
+            let mut w = world_with(BlockProfile {
+                jitter: Dist::Exponential { mean: 0.01 },
+                ..dense_profile()
+            });
+            let mut arrivals = Vec::new();
+            for i in 0..64u32 {
+                let probe = Packet::echo_request(PROBER, 0x0a000000 + (i % 250) + 2, 1, i as u16, vec![]);
+                arrivals.extend(w.probe(&probe, t(f64::from(i))));
+            }
+            arrivals
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hosts_instantiated_lazily() {
+        let mut w = world_with(dense_profile());
+        assert_eq!(w.hosts_instantiated(), 0);
+        let probe = Packet::echo_request(PROBER, 0x0a000010, 1, 1, vec![]);
+        w.probe(&probe, t(0.0));
+        assert_eq!(w.hosts_instantiated(), 1);
+        w.probe(&probe, t(1.0));
+        assert_eq!(w.hosts_instantiated(), 1);
+    }
+
+    #[test]
+    fn quoted_destination_rejects_garbage() {
+        assert_eq!(quoted_destination(&[0u8; 10]), None);
+        assert_eq!(quoted_destination(&[0x65; 28]), None);
+    }
+}

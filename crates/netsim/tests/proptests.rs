@@ -1,0 +1,158 @@
+//! Property tests over the simulator: sampled values stay physical, host
+//! behavior stays bounded, and the world is a pure function of its seed.
+
+use beware_netsim::host::{class_of, is_live, HostState};
+use beware_netsim::packet::Packet;
+use beware_netsim::profile::{BlockProfile, CongestionCfg, EpisodeCfg, StormCfg, WakeupCfg};
+use beware_netsim::rng::{derive_seed, seeded, unit_hash, Dist};
+use beware_netsim::time::{SimDuration, SimTime};
+use beware_netsim::world::World;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_dist() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        (0.0f64..10.0).prop_map(Dist::Constant),
+        (0.0f64..5.0, 0.1f64..5.0).prop_map(|(lo, w)| Dist::Uniform { lo, hi: lo + w }),
+        (0.001f64..10.0).prop_map(|mean| Dist::Exponential { mean }),
+        (0.001f64..10.0, 0.05f64..2.0).prop_map(|(median, sigma)| Dist::LogNormal { median, sigma }),
+        (0.001f64..10.0, 0.3f64..4.0).prop_map(|(xm, alpha)| Dist::Pareto { xm, alpha }),
+        (0.001f64..10.0, 0.3f64..4.0).prop_map(|(scale, shape)| Dist::Weibull { scale, shape }),
+    ]
+}
+
+/// Bounded jitter for the physicality property (a heavy-tailed *jitter*
+/// would make any absolute bound vacuous).
+fn arb_bounded_jitter() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        (0.0f64..3.0).prop_map(Dist::Constant),
+        (0.0f64..3.0, 0.1f64..3.0).prop_map(|(lo, w)| Dist::Uniform { lo, hi: lo + w }),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = BlockProfile> {
+    (
+        arb_dist(),
+        arb_bounded_jitter(),
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        2u8..=8,
+        proptest::option::of((0.0f64..=1.0, 1.0f64..30.0)),
+        proptest::option::of(0.0f64..=1.0),
+        proptest::option::of(0.0f64..=1.0),
+        proptest::option::of((0.0f64..=1.0, 0.0f64..=1.0)),
+    )
+        .prop_map(
+            |(base, jitter, density, response_prob, hb, wake, congest, episodes, storms)| {
+                BlockProfile {
+                    base_rtt: base,
+                    jitter,
+                    density,
+                    response_prob,
+                    subnet_host_bits: hb,
+                    wakeup: wake.map(|(p, tail)| WakeupCfg {
+                        host_prob: p,
+                        tail_secs: tail,
+                        ..Default::default()
+                    }),
+                    congestion: congest.map(|p| CongestionCfg { host_prob: p, ..Default::default() }),
+                    episodes: episodes.map(|p| EpisodeCfg { host_prob: p, ..Default::default() }),
+                    storms: storms.map(|(p, loss)| StormCfg {
+                        host_prob: p,
+                        loss,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dist_samples_finite_and_nonnegative(dist in arb_dist(), seed in any::<u64>()) {
+        let mut rng = seeded(seed);
+        for _ in 0..64 {
+            let v = dist.sample(&mut rng);
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unit_hash_always_in_unit_interval(parent in any::<u64>(), entity in any::<u64>()) {
+        let h = unit_hash(parent, entity);
+        prop_assert!((0.0..1.0).contains(&h));
+        prop_assert_eq!(h, unit_hash(parent, entity));
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_sensitive(parent in any::<u64>(), s in any::<u64>()) {
+        prop_assert_eq!(derive_seed(parent, s), derive_seed(parent, s));
+        prop_assert_ne!(derive_seed(parent, s), derive_seed(parent, s ^ 1));
+    }
+
+    #[test]
+    fn host_responses_physical(profile in arb_profile(), addr in any::<u32>(),
+                               probe_times in proptest::collection::vec(0.0f64..100_000.0, 1..30),
+                               seed in any::<u64>()) {
+        prop_assume!(profile.validate().is_ok());
+        let mut times = probe_times;
+        times.sort_by(f64::total_cmp);
+        let t0 = SimTime::EPOCH + SimDuration::from_secs_f64(times[0]);
+        let mut host = HostState::new(seed, &profile, addr, t0);
+        for t in times {
+            let now = SimTime::EPOCH + SimDuration::from_secs_f64(t);
+            for r in host.respond(&profile, now) {
+                prop_assert!(r.delay_secs.is_finite());
+                prop_assert!(r.delay_secs >= 0.0);
+                // No *mechanism* adds more than ~20 minutes on top of the
+                // path RTT plus bounded jitter (the base draw itself is
+                // whatever distribution the profile declares, including
+                // heavy tails — the bound is relative to it).
+                prop_assert!(
+                    r.delay_secs < host.base_rtt() + 6.0 + 1_200.0,
+                    "delay {} vs base {}",
+                    r.delay_secs,
+                    host.base_rtt()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_and_liveness_are_pure(profile in arb_profile(), addr in any::<u32>(), seed in any::<u64>()) {
+        prop_assume!(profile.validate().is_ok());
+        prop_assert_eq!(class_of(seed, &profile, addr), class_of(seed, &profile, addr));
+        prop_assert_eq!(is_live(seed, &profile, addr), is_live(seed, &profile, addr));
+    }
+
+    #[test]
+    fn world_trace_is_a_function_of_seed(
+        seed in any::<u64>(),
+        octets in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let run = || {
+            let mut w = World::new(seed);
+            w.add_block(0x0a0000, Arc::new(BlockProfile::default()));
+            let mut out = Vec::new();
+            for (i, &o) in octets.iter().enumerate() {
+                let probe = Packet::echo_request(1, 0x0a000000 | u32::from(o), 7, i as u16, vec![]);
+                let t = SimTime::EPOCH + SimDuration::from_secs(i as u64);
+                out.extend(w.probe(&probe, t));
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn packets_encode_decode_roundtrip(src in any::<u32>(), dst in any::<u32>(),
+                                       ident in any::<u16>(), seq in any::<u16>(),
+                                       payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let p = Packet::echo_request(src, dst, ident, seq, payload);
+        prop_assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+}

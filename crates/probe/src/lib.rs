@@ -1,0 +1,79 @@
+//! # beware-probe
+//!
+//! The three probing engines the paper's measurements rest on, implemented
+//! as agents over `beware-netsim`:
+//!
+//! * [`survey`] — the ISI-survey-style prober: probes whole /24 blocks once
+//!   per 11-minute round in the bit-reversed last-octet order that spaces
+//!   adjacent octets 330 s apart, matches responses within a 3 s window
+//!   (microsecond RTTs), and records timeouts and unmatched responses with
+//!   second-precision timestamps — exactly the record semantics the
+//!   paper's re-analysis depends on.
+//! * [`zmap`] — the stateless scanner: address-space permutation via a
+//!   multiplicative cyclic group ([`permutation`]), destination address and
+//!   send timestamp embedded in the echo payload (the authors'
+//!   `module_icmp_echo_time.c` contribution), RTT computed entirely from
+//!   the response.
+//! * [`scamper`] — the stateful pinger used for verification experiments:
+//!   per-target probe schedules over ICMP/UDP/TCP with exact per-probe
+//!   matching and an unbounded listen window (the paper's
+//!   "run tcpdump simultaneously" trick).
+//! * [`census`] — the low-rate full-space companion prober whose
+//!   responsiveness scores feed the survey's block selection ("samples of
+//!   blocks that were responsive in the last census").
+//! * [`adaptive`] — the prober the paper *recommends building*
+//!   (Section 7): retransmit on a short trigger, keep listening long, and
+//!   report how many would-be outages the long listen rescued.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod census;
+pub mod permutation;
+pub mod scamper;
+pub mod survey;
+pub mod zmap;
+
+pub use adaptive::{run_monitor, AdaptiveCfg, AdaptiveProber, OutageReport};
+pub use census::{run_census, select_survey_blocks, CensusCfg, CensusResult};
+pub use permutation::CyclicPermutation;
+pub use scamper::{JobResult, PingJob, PingProto, ScamperRunner};
+pub use survey::{run_survey, SurveyCfg, SurveyProber};
+pub use zmap::{run_scan, ZmapCfg, ZmapScanner};
+
+/// Bit-reverse an octet: the probing order ISI uses within a /24, which
+/// places last octets that differ in bit `b` exactly `256/2^(b+1)` slots
+/// apart — off-by-one octets land 330 s apart in a 660 s round, octets
+/// differing in bit 1 land 165 s apart, which is precisely where the
+/// paper's pre-filter latency bumps (165 s / 330 s / 495 s) come from.
+pub fn bitrev8(x: u8) -> u8 {
+    x.reverse_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrev_is_involutive_bijection() {
+        let mut seen = [false; 256];
+        for i in 0u16..=255 {
+            let r = bitrev8(i as u8);
+            assert_eq!(bitrev8(r), i as u8);
+            assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+        }
+    }
+
+    #[test]
+    fn off_by_one_octets_are_half_round_apart() {
+        // Position of octet o in the round is bitrev8(o); octets 254/255
+        // differ in bit 0 → 128 slots apart (330 s of a 660 s round).
+        let d = i32::from(bitrev8(255)) - i32::from(bitrev8(254));
+        assert_eq!(d.abs(), 128);
+        // Octets differing in bit 1 → 64 slots (165 s).
+        let d = i32::from(bitrev8(252)) - i32::from(bitrev8(254));
+        assert_eq!(d.abs(), 64);
+    }
+}

@@ -1,0 +1,281 @@
+//! Full-cycle address-space permutation via a multiplicative cyclic group,
+//! the technique zmap uses to visit every target exactly once in an order
+//! that spreads load across networks without keeping a visited-set.
+//!
+//! For a domain of size `n` we pick the smallest prime `p > n`, find a
+//! generator `g` of the multiplicative group mod `p` (order `p−1`), and
+//! iterate `x ← g·x mod p`, skipping values that fall outside `1..=n`.
+//! Since the group is cyclic of order `p−1` and we start from a random
+//! element, the walk visits every residue in `1..p` exactly once per
+//! cycle; at most `p − 1 − n` iterations are skipped, and by Bertrand's
+//! postulate `p < 2n`, so iteration stays O(1) amortized.
+
+use beware_netsim::rng::derive_seed;
+
+/// An iterator producing each value of `0..n` exactly once, in a
+/// pseudo-random order determined by `seed`.
+///
+/// ```
+/// use beware_probe::CyclicPermutation;
+///
+/// let mut seen: Vec<u64> = CyclicPermutation::new(100, 42).collect();
+/// assert_eq!(seen.len(), 100);
+/// seen.sort_unstable();
+/// assert_eq!(seen, (0..100).collect::<Vec<_>>()); // a true permutation
+/// ```
+#[derive(Debug, Clone)]
+pub struct CyclicPermutation {
+    n: u64,
+    p: u64,
+    g: u64,
+    current: u64,
+    first: u64,
+    exhausted: bool,
+    started: bool,
+}
+
+impl CyclicPermutation {
+    /// Build a permutation of `0..n`. Panics if `n == 0` (an empty scan is
+    /// a caller bug) or if `n` exceeds 2^32 (beyond any IPv4 scan).
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "empty permutation domain");
+        assert!(n <= 1 << 32, "domain larger than the IPv4 space");
+        let p = next_prime(n + 1);
+        let g = find_generator(p, seed);
+        // Random start element in [1, p).
+        let first = 1 + derive_seed(seed, 0x57a7) % (p - 1);
+        CyclicPermutation { n, p, g, current: first, first, exhausted: false, started: false }
+    }
+
+    /// The prime modulus chosen (exposed for tests and diagnostics).
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// The group generator chosen.
+    pub fn generator(&self) -> u64 {
+        self.g
+    }
+}
+
+impl Iterator for CyclicPermutation {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.exhausted {
+            return None;
+        }
+        loop {
+            if self.started && self.current == self.first {
+                self.exhausted = true;
+                return None;
+            }
+            self.started = true;
+            let value = self.current;
+            self.current = mulmod(self.current, self.g, self.p);
+            if value <= self.n {
+                return Some(value - 1);
+            }
+        }
+    }
+}
+
+/// `(a * b) mod m` without overflow for m < 2^63.
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// `(base ^ exp) mod m`.
+fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin, exact for all u64 with this witness set.
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for q in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == q {
+            return true;
+        }
+        if n % q == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime ≥ `n`.
+fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n % 2 == 0 {
+        n += 1;
+    }
+    while !is_prime(n) {
+        n += 2;
+    }
+    n
+}
+
+/// Prime factors of `n` (distinct), by trial division — `n` here is `p−1`
+/// for p just above a scan size, so this is fast in practice.
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// Find a generator of the multiplicative group mod prime `p`, scanning
+/// candidates from a seeded start: `g` generates iff `g^((p−1)/q) ≠ 1`
+/// for every prime factor `q` of `p−1`.
+fn find_generator(p: u64, seed: u64) -> u64 {
+    if p == 2 {
+        return 1;
+    }
+    let factors = prime_factors(p - 1);
+    let start = 2 + derive_seed(seed, 0x9e4e) % (p - 2);
+    for off in 0..p - 2 {
+        let candidate = 2 + (start - 2 + off) % (p - 2);
+        if factors.iter().all(|&q| powmod(candidate, (p - 1) / q, p) != 1) {
+            return candidate;
+        }
+    }
+    unreachable!("every prime's group has a generator");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_spot_checks() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(65_537));
+        assert!(is_prime(4_294_967_311)); // smallest prime > 2^32
+        assert!(!is_prime(1));
+        assert!(!is_prime(65_536));
+        assert!(!is_prime(4_294_967_297)); // 641 · 6700417
+    }
+
+    #[test]
+    fn next_prime_examples() {
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(1_000_000), 1_000_003);
+    }
+
+    #[test]
+    fn prime_factors_examples() {
+        assert_eq!(prime_factors(12), vec![2, 3]);
+        assert_eq!(prime_factors(97), vec![97]);
+        assert_eq!(prime_factors(1_000_002), vec![2, 3, 166_667]);
+    }
+
+    #[test]
+    fn permutation_is_bijective_small() {
+        for n in [1u64, 2, 5, 100, 257, 1000] {
+            for seed in [0u64, 1, 0xdead] {
+                let mut seen = vec![false; n as usize];
+                let mut count = 0usize;
+                for v in CyclicPermutation::new(n, seed) {
+                    assert!(v < n, "value {v} out of domain {n}");
+                    assert!(!seen[v as usize], "value {v} repeated (n={n}, seed={seed})");
+                    seen[v as usize] = true;
+                    count += 1;
+                }
+                assert_eq!(count, n as usize, "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective_large() {
+        let n = 100_000u64;
+        let mut seen = vec![false; n as usize];
+        let mut count = 0usize;
+        for v in CyclicPermutation::new(n, 42) {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+            count += 1;
+        }
+        assert_eq!(count, n as usize);
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a: Vec<u64> = CyclicPermutation::new(1000, 1).take(20).collect();
+        let b: Vec<u64> = CyclicPermutation::new(1000, 2).take(20).collect();
+        assert_ne!(a, b);
+        // Same seed: identical.
+        let c: Vec<u64> = CyclicPermutation::new(1000, 1).take(20).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn order_is_scattered_not_sequential() {
+        // The first 100 values of a 10_000-element permutation should not
+        // be clustered: their spread must cover a good chunk of the domain.
+        let head: Vec<u64> = CyclicPermutation::new(10_000, 7).take(100).collect();
+        let min = *head.iter().min().unwrap();
+        let max = *head.iter().max().unwrap();
+        assert!(max - min > 5_000, "head clustered in [{min}, {max}]");
+        // And not simply ascending.
+        assert!(head.windows(2).any(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn generator_generates() {
+        let p = next_prime(1_000);
+        let g = find_generator(p, 3);
+        // Order of g must be exactly p-1: g^(p-1) = 1 and g^((p-1)/q) ≠ 1.
+        assert_eq!(powmod(g, p - 1, p), 1);
+        for q in prime_factors(p - 1) {
+            assert_ne!(powmod(g, (p - 1) / q, p), 1);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! IPv4 address-block utilities.
+//!
+//! The ISI survey probes whole /24 blocks, and the paper's broadcast-response
+//! analysis (Figures 2 and 3) classifies the *last octet* of a probed address
+//! by whether its trailing bits are a run of all-ones or all-zeros — the
+//! shapes subnet broadcast (and network) addresses take for prefixes of any
+//! length ≥ /23. This module centralizes that arithmetic.
+//!
+//! Addresses are carried as host-order `u32` for cheap keying inside the
+//! simulator; [`fmt_addr`] renders dotted quads for reports.
+
+use std::net::Ipv4Addr;
+
+/// Render a host-order `u32` address as a dotted quad.
+pub fn fmt_addr(addr: u32) -> String {
+    Ipv4Addr::from(addr).to_string()
+}
+
+/// Parse a dotted quad into a host-order `u32`.
+pub fn parse_addr(s: &str) -> Option<u32> {
+    s.parse::<Ipv4Addr>().ok().map(u32::from)
+}
+
+/// A /24 address block, identified by its upper 24 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Block24(u32);
+
+impl Block24 {
+    /// The block containing `addr`.
+    pub fn containing(addr: u32) -> Self {
+        Block24(addr >> 8)
+    }
+
+    /// Construct from the upper-24-bit prefix value (i.e. `addr >> 8`).
+    pub fn from_prefix(prefix: u32) -> Self {
+        debug_assert!(prefix <= 0x00ff_ffff);
+        Block24(prefix & 0x00ff_ffff)
+    }
+
+    /// The upper-24-bit prefix value.
+    pub fn prefix(self) -> u32 {
+        self.0
+    }
+
+    /// First address in the block (last octet 0).
+    pub fn base(self) -> u32 {
+        self.0 << 8
+    }
+
+    /// The address with the given last octet.
+    pub fn addr(self, last_octet: u8) -> u32 {
+        self.base() | u32::from(last_octet)
+    }
+
+    /// True if `addr` falls inside this block.
+    pub fn contains(self, addr: u32) -> bool {
+        addr >> 8 == self.0
+    }
+
+    /// Iterate all 256 addresses of the block in ascending order.
+    pub fn addrs(self) -> impl Iterator<Item = u32> {
+        let base = self.base();
+        (0u32..256).map(move |o| base | o)
+    }
+
+    /// Render as `a.b.c.0/24`.
+    pub fn to_cidr(self) -> String {
+        format!("{}/24", fmt_addr(self.base()))
+    }
+}
+
+/// Last octet of an address (the analysis in Figures 2 and 3 is keyed on it).
+pub fn last_octet(addr: u32) -> u8 {
+    (addr & 0xff) as u8
+}
+
+/// Classification of a last octet by its trailing bit run.
+///
+/// Subnet broadcast addresses have host-part bits all ones, network
+/// addresses all zeros; for any subnet of size ≥ 4 inside a /24 the last
+/// octet therefore ends in a run of ≥ 2 equal bits. Octets ending in binary
+/// `01` or `10` cannot be broadcast/network addresses of any such subnet —
+/// the paper uses exactly this split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LastOctetClass {
+    /// Trailing run of `n ≥ 2` one-bits (e.g. 255, 127, 3). Candidate
+    /// subnet *broadcast* address.
+    TrailingOnes(u8),
+    /// Trailing run of `n ≥ 2` zero-bits (e.g. 0, 128, 4). Candidate
+    /// subnet *network* address (often also answers directed broadcast).
+    TrailingZeros(u8),
+    /// Ends in binary `01` or `10`: cannot be a broadcast/network address
+    /// of a subnet with ≥ 4 addresses.
+    Interior,
+}
+
+impl LastOctetClass {
+    /// Classify a last octet.
+    pub fn of(octet: u8) -> Self {
+        let ones = octet.trailing_ones() as u8;
+        let zeros = octet.trailing_zeros().min(8) as u8;
+        if ones >= 2 {
+            LastOctetClass::TrailingOnes(ones)
+        } else if zeros >= 2 {
+            LastOctetClass::TrailingZeros(zeros)
+        } else {
+            LastOctetClass::Interior
+        }
+    }
+
+    /// True for the broadcast-candidate classes (`TrailingOnes` or
+    /// `TrailingZeros`), i.e. the octets that spike in Figures 2 and 3.
+    pub fn is_broadcast_like(self) -> bool {
+        !matches!(self, LastOctetClass::Interior)
+    }
+}
+
+/// True if `addr` is the broadcast address of the size-`2^host_bits` subnet
+/// aligned at its position (host bits all ones).
+pub fn is_subnet_broadcast(addr: u32, host_bits: u32) -> bool {
+    debug_assert!(host_bits <= 32);
+    if host_bits == 0 {
+        return false;
+    }
+    let mask = if host_bits == 32 { u32::MAX } else { (1u32 << host_bits) - 1 };
+    addr & mask == mask
+}
+
+/// True if `addr` is the network address of the size-`2^host_bits` subnet
+/// aligned at its position (host bits all zeros).
+pub fn is_subnet_network(addr: u32, host_bits: u32) -> bool {
+    debug_assert!(host_bits <= 32);
+    if host_bits == 0 {
+        return false;
+    }
+    let mask = if host_bits == 32 { u32::MAX } else { (1u32 << host_bits) - 1 };
+    addr & mask == 0
+}
+
+/// Iterator over consecutive /24 blocks starting at a base prefix.
+///
+/// Used by workload builders that allocate contiguous block ranges to a
+/// network. Saturates at the end of the address space.
+#[derive(Debug, Clone)]
+pub struct BlockIter {
+    next: u32,
+    remaining: u32,
+}
+
+impl BlockIter {
+    /// `count` blocks starting with the block containing `base_addr`.
+    pub fn new(base_addr: u32, count: u32) -> Self {
+        BlockIter { next: base_addr >> 8, remaining: count }
+    }
+}
+
+impl Iterator for BlockIter {
+    type Item = Block24;
+
+    fn next(&mut self) -> Option<Block24> {
+        if self.remaining == 0 || self.next > 0x00ff_ffff {
+            return None;
+        }
+        let b = Block24::from_prefix(self.next);
+        self.next += 1;
+        self.remaining -= 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_arithmetic_roundtrips() {
+        let addr = parse_addr("211.4.10.254").unwrap();
+        let b = Block24::containing(addr);
+        assert_eq!(b.base(), parse_addr("211.4.10.0").unwrap());
+        assert_eq!(b.addr(255), parse_addr("211.4.10.255").unwrap());
+        assert!(b.contains(addr));
+        assert!(!b.contains(addr + 256));
+        assert_eq!(b.to_cidr(), "211.4.10.0/24");
+    }
+
+    #[test]
+    fn block_iterates_256_ascending() {
+        let b = Block24::containing(parse_addr("10.0.0.0").unwrap());
+        let addrs: Vec<u32> = b.addrs().collect();
+        assert_eq!(addrs.len(), 256);
+        assert_eq!(addrs[0], b.base());
+        assert_eq!(addrs[255], b.addr(255));
+        assert!(addrs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn classify_paper_examples() {
+        // The paper calls out 255, 0, 127, 128 as the spiking octets.
+        assert_eq!(LastOctetClass::of(255), LastOctetClass::TrailingOnes(8));
+        assert_eq!(LastOctetClass::of(0), LastOctetClass::TrailingZeros(8));
+        assert_eq!(LastOctetClass::of(127), LastOctetClass::TrailingOnes(7));
+        assert_eq!(LastOctetClass::of(128), LastOctetClass::TrailingZeros(7));
+        // ...and says octets ending in binary 01/10 have very few.
+        assert_eq!(LastOctetClass::of(254), LastOctetClass::Interior); // ...11111110
+        assert_eq!(LastOctetClass::of(1), LastOctetClass::Interior); // ...00000001
+        assert_eq!(LastOctetClass::of(2), LastOctetClass::Interior); // ...00000010
+        assert!(LastOctetClass::of(3).is_broadcast_like()); // ...011
+        assert!(LastOctetClass::of(4).is_broadcast_like()); // ...100
+    }
+
+    #[test]
+    fn every_octet_classified_consistently() {
+        for o in 0u16..=255 {
+            let o = o as u8;
+            match LastOctetClass::of(o) {
+                LastOctetClass::TrailingOnes(n) => {
+                    assert!(n >= 2);
+                    assert_eq!(o.trailing_ones(), u32::from(n));
+                }
+                LastOctetClass::TrailingZeros(n) => {
+                    assert!(n >= 2);
+                    assert_eq!(o.trailing_zeros().min(8), u32::from(n));
+                }
+                LastOctetClass::Interior => {
+                    assert!(o.trailing_ones() < 2 && o.trailing_zeros() < 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subnet_broadcast_and_network_detection() {
+        let bcast = parse_addr("192.168.1.255").unwrap();
+        assert!(is_subnet_broadcast(bcast, 8));
+        assert!(is_subnet_broadcast(bcast, 2));
+        assert!(!is_subnet_broadcast(bcast - 1, 8));
+        let net = parse_addr("192.168.1.0").unwrap();
+        assert!(is_subnet_network(net, 8));
+        assert!(!is_subnet_network(net + 1, 8));
+        assert!(!is_subnet_broadcast(bcast, 0));
+    }
+
+    #[test]
+    fn block_iter_counts_and_saturates() {
+        let blocks: Vec<_> = BlockIter::new(parse_addr("10.0.0.0").unwrap(), 3).collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[1].base(), parse_addr("10.0.1.0").unwrap());
+        // Saturate at end of space.
+        let blocks: Vec<_> = BlockIter::new(parse_addr("255.255.255.0").unwrap(), 10).collect();
+        assert_eq!(blocks.len(), 1);
+    }
+
+    #[test]
+    fn addr_string_roundtrip() {
+        let a = parse_addr("8.8.4.4").unwrap();
+        assert_eq!(fmt_addr(a), "8.8.4.4");
+        assert_eq!(parse_addr("not-an-ip"), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! RFC 1071 Internet checksum.
+//!
+//! Used by the IPv4 header, ICMP, UDP (with pseudo-header) and TCP (with
+//! pseudo-header). The incremental [`Checksum`] accumulator lets callers
+//! fold a pseudo-header, a header and a payload without concatenating them.
+
+/// One's-complement sum accumulator for the Internet checksum.
+///
+/// Fold data in with [`Checksum::add_bytes`] / [`Checksum::add_u16`] and
+/// finish with [`Checksum::finish`]. Odd-length segments are handled the way
+/// RFC 1071 specifies: a trailing byte is padded with a zero *within its own
+/// segment*, which matches how the pseudo-header and payload are summed by
+/// real stacks (each field is 16-bit aligned).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// A fresh accumulator with a zero partial sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a 16-bit word (host order value, summed as a big-endian word).
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Fold a 32-bit value as two 16-bit words (e.g. an IPv4 address).
+    pub fn add_u32(&mut self, value: u32) {
+        self.add_u16((value >> 16) as u16);
+        self.add_u16(value as u16);
+    }
+
+    /// Fold a byte slice. A trailing odd byte is padded with zero.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.add_u16(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.add_u16(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Finish: fold carries and take the one's complement.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum > 0xffff {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// Compute the RFC 1071 checksum of a single buffer.
+///
+/// ```
+/// let mut header = [0x45u8, 0x00, 0x00, 0x14, 0, 0, 0, 0, 64, 1, 0, 0,
+///                   10, 0, 0, 1, 10, 0, 0, 2];
+/// let ck = beware_wire::checksum::internet_checksum(&header);
+/// header[10..12].copy_from_slice(&ck.to_be_bytes());
+/// assert!(beware_wire::checksum::verify(&header));
+/// ```
+///
+/// The checksum field inside the buffer must be zeroed by the caller before
+/// computing (or the function can be used for verification: summing a buffer
+/// that *contains* a correct checksum yields `0`).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verify a buffer whose checksum field is in place: correct iff the
+/// complement-sum over the whole buffer is zero.
+pub fn verify(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Worked example from RFC 1071 §3: words 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+    #[test]
+    fn rfc1071_worked_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // RFC gives the one's complement sum as 0xddf2, checksum = !0xddf2.
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn zero_buffer_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[0u8; 8]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verification_of_embedded_checksum() {
+        let mut data = [0x45u8, 0x00, 0x00, 0x1c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x01, 0, 0,
+                        0xac, 0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[13] ^= 0x40;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn incremental_equals_one_shot_for_aligned_segments() {
+        let a = [1u8, 2, 3, 4];
+        let b = [5u8, 6, 7, 8, 9, 10];
+        let mut inc = Checksum::new();
+        inc.add_bytes(&a);
+        inc.add_bytes(&b);
+        let whole: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(inc.finish(), internet_checksum(&whole));
+    }
+
+    #[test]
+    fn add_u32_equals_two_words() {
+        let mut a = Checksum::new();
+        a.add_u32(0xc0a8_0101);
+        let mut b = Checksum::new();
+        b.add_u16(0xc0a8);
+        b.add_u16(0x0101);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn carry_folding_handles_many_max_words() {
+        let data = vec![0xffu8; 64 * 1024];
+        // Sum of 32768 0xffff words; must not overflow or hang.
+        let _ = internet_checksum(&data);
+    }
+}

@@ -1,0 +1,295 @@
+//! IPv4 header encoding and zero-copy decoding.
+//!
+//! Only what active probing needs: the fixed 20-byte header, options are
+//! tolerated on decode (skipped via IHL) but never emitted. The header
+//! checksum is generated on emit and verified on parse, since the analysis
+//! pipeline must be able to trust TTLs (the paper fingerprinted
+//! firewall-sourced TCP RSTs by their constant TTL).
+
+use crate::checksum::{internet_checksum, Checksum};
+use crate::error::WireError;
+use crate::Result;
+
+/// Minimum (and only emitted) IPv4 header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// The IP protocol numbers this stack cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(p: Protocol) -> u8 {
+        match p {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(v) => v,
+        }
+    }
+}
+
+/// Parsed, owned representation of an IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address, host order.
+    pub src: u32,
+    /// Destination address, host order.
+    pub dst: u32,
+    /// Layer-4 protocol.
+    pub protocol: Protocol,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field (used by some probers as a side channel).
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// Payload length in bytes (total length minus header).
+    pub payload_len: usize,
+}
+
+impl Ipv4Header {
+    /// Total length this header will claim when emitted.
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the 20-byte header into `buf`, computing the checksum.
+    ///
+    /// `buf` must be at least [`HEADER_LEN`] bytes; returns the number of
+    /// bytes written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated { need: HEADER_LEN, have: buf.len() });
+        }
+        let total = self.total_len();
+        if total > usize::from(u16::MAX) {
+            return Err(WireError::Malformed("IPv4 total length exceeds 65535"));
+        }
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = 0; // DSCP/ECN
+        buf[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        let flags: u16 = if self.dont_frag { 0x4000 } else { 0 };
+        buf[6..8].copy_from_slice(&flags.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.into();
+        buf[10..12].fill(0);
+        buf[12..16].copy_from_slice(&self.src.to_be_bytes());
+        buf[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let ck = internet_checksum(&buf[..HEADER_LEN]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+        Ok(HEADER_LEN)
+    }
+
+    /// Fold this header's pseudo-header (src, dst, protocol, L4 length)
+    /// into a checksum accumulator, as required by UDP and TCP.
+    pub fn pseudo_header_checksum(&self, l4_len: u16) -> Checksum {
+        let mut c = Checksum::new();
+        c.add_u32(self.src);
+        c.add_u32(self.dst);
+        c.add_u16(u16::from(u8::from(self.protocol)));
+        c.add_u16(l4_len);
+        c
+    }
+}
+
+/// Zero-copy view over a byte buffer holding an IPv4 packet.
+///
+/// Construction ([`Ipv4Packet::parse`]) validates version, IHL, the length
+/// fields and the header checksum; accessors after that never panic.
+#[derive(Debug)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+    header_len: usize,
+    total_len: usize,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Validate `buffer` as an IPv4 packet and build a view.
+    pub fn parse(buffer: T) -> Result<Self> {
+        let data = buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated { need: HEADER_LEN, have: data.len() });
+        }
+        if data[0] >> 4 != 4 {
+            return Err(WireError::Malformed("IP version is not 4"));
+        }
+        let header_len = usize::from(data[0] & 0x0f) * 4;
+        if header_len < HEADER_LEN {
+            return Err(WireError::Malformed("IHL shorter than minimum header"));
+        }
+        if data.len() < header_len {
+            return Err(WireError::Truncated { need: header_len, have: data.len() });
+        }
+        let total_len = usize::from(u16::from_be_bytes([data[2], data[3]]));
+        if total_len < header_len || total_len > data.len() {
+            return Err(WireError::BadLength { claimed: total_len, have: data.len() });
+        }
+        let computed = internet_checksum(&data[..header_len]);
+        if computed != 0 {
+            let found = u16::from_be_bytes([data[10], data[11]]);
+            return Err(WireError::BadChecksum { found, computed });
+        }
+        Ok(Ipv4Packet { buffer, header_len, total_len })
+    }
+
+    fn data(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source address, host order.
+    pub fn src(&self) -> u32 {
+        let d = self.data();
+        u32::from_be_bytes([d[12], d[13], d[14], d[15]])
+    }
+
+    /// Destination address, host order.
+    pub fn dst(&self) -> u32 {
+        let d = self.data();
+        u32::from_be_bytes([d[16], d[17], d[18], d[19]])
+    }
+
+    /// Layer-4 protocol.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from(self.data()[9])
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.data()[8]
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let d = self.data();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// The layer-4 payload (respecting total length, excluding any padding
+    /// trailing the IP datagram in the buffer).
+    pub fn payload(&self) -> &[u8] {
+        &self.data()[self.header_len..self.total_len]
+    }
+
+    /// Owned header representation.
+    pub fn header(&self) -> Ipv4Header {
+        let d = self.data();
+        Ipv4Header {
+            src: self.src(),
+            dst: self.dst(),
+            protocol: self.protocol(),
+            ttl: self.ttl(),
+            ident: self.ident(),
+            dont_frag: d[6] & 0x40 != 0,
+            payload_len: self.total_len - self.header_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::parse_addr;
+
+    fn sample_header() -> Ipv4Header {
+        Ipv4Header {
+            src: parse_addr("192.0.2.1").unwrap(),
+            dst: parse_addr("198.51.100.37").unwrap(),
+            protocol: Protocol::Icmp,
+            ttl: 64,
+            ident: 0xbeef,
+            dont_frag: true,
+            payload_len: 8,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let hdr = sample_header();
+        let mut buf = vec![0u8; hdr.total_len()];
+        let n = hdr.emit(&mut buf).unwrap();
+        assert_eq!(n, HEADER_LEN);
+        let pkt = Ipv4Packet::parse(&buf[..]).unwrap();
+        assert_eq!(pkt.header(), hdr);
+        assert_eq!(pkt.payload().len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let hdr = sample_header();
+        let mut buf = vec![0u8; hdr.total_len()];
+        hdr.emit(&mut buf).unwrap();
+        buf[0] = 0x65;
+        assert_eq!(Ipv4Packet::parse(&buf[..]).unwrap_err(), WireError::Malformed("IP version is not 4"));
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_checksum() {
+        let hdr = sample_header();
+        let mut buf = vec![0u8; hdr.total_len()];
+        hdr.emit(&mut buf).unwrap();
+        buf[8] = buf[8].wrapping_add(1); // bump TTL without fixing checksum
+        assert!(matches!(Ipv4Packet::parse(&buf[..]), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_truncation_and_bad_length() {
+        assert!(matches!(
+            Ipv4Packet::parse(&[0u8; 10][..]),
+            Err(WireError::Truncated { need: 20, have: 10 })
+        ));
+        let hdr = sample_header();
+        let mut buf = vec![0u8; hdr.total_len()];
+        hdr.emit(&mut buf).unwrap();
+        // Claim a total length beyond the buffer.
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert!(matches!(Ipv4Packet::parse(&buf[..]), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn payload_excludes_trailing_padding() {
+        let hdr = sample_header();
+        let mut buf = vec![0u8; hdr.total_len() + 6]; // 6 bytes of link padding
+        hdr.emit(&mut buf).unwrap();
+        let pkt = Ipv4Packet::parse(&buf[..]).unwrap();
+        assert_eq!(pkt.payload().len(), hdr.payload_len);
+    }
+
+    #[test]
+    fn protocol_conversion_roundtrip() {
+        for v in 0u8..=255 {
+            assert_eq!(u8::from(Protocol::from(v)), v);
+        }
+    }
+
+    #[test]
+    fn pseudo_header_matches_manual_sum() {
+        let hdr = sample_header();
+        let mut manual = Checksum::new();
+        manual.add_u32(hdr.src);
+        manual.add_u32(hdr.dst);
+        manual.add_u16(1);
+        manual.add_u16(16);
+        assert_eq!(hdr.pseudo_header_checksum(16).finish(), manual.finish());
+    }
+}

@@ -1,0 +1,171 @@
+//! Zmap-style probe payload embedding.
+//!
+//! The paper's authors extended zmap's ICMP module
+//! (`module_icmp_echo_time.c`) so a **stateless** scanner can compute RTTs
+//! and attribute responses: the echo payload carries the *original
+//! destination address* and the *send timestamp*; when the response returns
+//! — from whatever source address — the scanner recovers both, detects
+//! broadcast responders (response source ≠ embedded destination) and
+//! computes the RTT without keeping any per-probe state.
+//!
+//! [`ProbePayload`] reproduces that design, plus a keyed validation tag (in
+//! the spirit of zmap's validation field) so stray or forged echo responses
+//! do not pollute a scan. The tag is a fixed-width mix of the key and the
+//! embedded fields via SplitMix64 — collision-resistant enough to reject
+//! accidental matches, *not* a cryptographic MAC, same as upstream zmap's
+//! threat model.
+
+use crate::error::WireError;
+use crate::Result;
+
+/// Encoded payload length in bytes: magic(4) ‖ dest(4) ‖ send_ns(8) ‖ tag(8).
+pub const PAYLOAD_LEN: usize = 24;
+
+const MAGIC: [u8; 4] = *b"bwre";
+
+/// The fields a stateless probe embeds in its echo payload.
+///
+/// ```
+/// use beware_wire::payload::ProbePayload;
+///
+/// let key = 0xfeed_beef;
+/// let sent = ProbePayload { dest: 0x0a00_0001, send_ns: 1_000_000 };
+/// let wire = sent.encode(key);
+/// // ...the echo comes back, possibly from a different source address...
+/// let got = ProbePayload::decode(&wire, key).unwrap();
+/// assert_eq!(got.dest, 0x0a00_0001);
+/// assert_eq!(got.rtt_ns(1_250_000), Some(250_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbePayload {
+    /// The address the probe was originally sent to (host order). On
+    /// receive, comparing this against the response's source address
+    /// exposes broadcast responders.
+    pub dest: u32,
+    /// Send timestamp in nanoseconds since the scan epoch.
+    pub send_ns: u64,
+}
+
+impl ProbePayload {
+    /// Encode into a fixed-size buffer, tagging with `key`.
+    pub fn encode(&self, key: u64) -> [u8; PAYLOAD_LEN] {
+        let mut buf = [0u8; PAYLOAD_LEN];
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..8].copy_from_slice(&self.dest.to_be_bytes());
+        buf[8..16].copy_from_slice(&self.send_ns.to_be_bytes());
+        buf[16..24].copy_from_slice(&self.tag(key).to_be_bytes());
+        buf
+    }
+
+    /// Decode and validate a payload previously produced by
+    /// [`ProbePayload::encode`] with the same `key`.
+    ///
+    /// Returns [`WireError::Truncated`] for short buffers,
+    /// [`WireError::Malformed`] when the magic is absent (payload from a
+    /// foreign prober), and [`WireError::BadValidation`] when the magic is
+    /// present but the tag does not verify (corruption or forgery).
+    pub fn decode(buf: &[u8], key: u64) -> Result<Self> {
+        if buf.len() < PAYLOAD_LEN {
+            return Err(WireError::Truncated { need: PAYLOAD_LEN, have: buf.len() });
+        }
+        if buf[0..4] != MAGIC {
+            return Err(WireError::Malformed("probe payload magic absent"));
+        }
+        let dest = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let send_ns = u64::from_be_bytes(buf[8..16].try_into().expect("length checked"));
+        let payload = ProbePayload { dest, send_ns };
+        let tag = u64::from_be_bytes(buf[16..24].try_into().expect("length checked"));
+        if tag != payload.tag(key) {
+            return Err(WireError::BadValidation);
+        }
+        Ok(payload)
+    }
+
+    /// RTT implied by this payload for a response received at `recv_ns`
+    /// (nanoseconds since the same scan epoch). `None` if the clock ran
+    /// backwards, which a robust scanner must tolerate rather than panic.
+    pub fn rtt_ns(&self, recv_ns: u64) -> Option<u64> {
+        recv_ns.checked_sub(self.send_ns)
+    }
+
+    fn tag(&self, key: u64) -> u64 {
+        let mut x = key ^ (u64::from(self.dest) << 17) ^ self.send_ns.rotate_left(31);
+        // SplitMix64 finalizer, applied twice for better avalanche of the
+        // low-entropy address field.
+        for _ in 0..2 {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: u64 = 0xdead_beef_cafe_f00d;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = ProbePayload { dest: 0xc633_6401, send_ns: 1_234_567_890_123 };
+        let buf = p.encode(KEY);
+        assert_eq!(ProbePayload::decode(&buf, KEY).unwrap(), p);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let p = ProbePayload { dest: 1, send_ns: 2 };
+        let buf = p.encode(KEY);
+        assert_eq!(ProbePayload::decode(&buf, KEY + 1).unwrap_err(), WireError::BadValidation);
+    }
+
+    #[test]
+    fn flipped_bit_rejected() {
+        let p = ProbePayload { dest: 0x0a00_0001, send_ns: 55_000 };
+        let buf = p.encode(KEY);
+        for i in 0..PAYLOAD_LEN {
+            let mut corrupt = buf;
+            corrupt[i] ^= 0x01;
+            assert!(
+                ProbePayload::decode(&corrupt, KEY).is_err(),
+                "bit flip at byte {i} must not validate"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_payload_distinguished_from_forgery() {
+        let buf = [0u8; PAYLOAD_LEN];
+        assert_eq!(
+            ProbePayload::decode(&buf, KEY).unwrap_err(),
+            WireError::Malformed("probe payload magic absent")
+        );
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(matches!(
+            ProbePayload::decode(&[0u8; 10], KEY),
+            Err(WireError::Truncated { need: PAYLOAD_LEN, have: 10 })
+        ));
+    }
+
+    #[test]
+    fn rtt_computation_and_backward_clock() {
+        let p = ProbePayload { dest: 9, send_ns: 1_000 };
+        assert_eq!(p.rtt_ns(4_500), Some(3_500));
+        assert_eq!(p.rtt_ns(999), None);
+    }
+
+    #[test]
+    fn tag_differs_across_fields() {
+        let a = ProbePayload { dest: 1, send_ns: 100 }.encode(KEY);
+        let b = ProbePayload { dest: 2, send_ns: 100 }.encode(KEY);
+        let c = ProbePayload { dest: 1, send_ns: 101 }.encode(KEY);
+        assert_ne!(a[16..], b[16..]);
+        assert_ne!(a[16..], c[16..]);
+    }
+}

@@ -1,0 +1,284 @@
+//! TCP segment encoding and zero-copy decoding.
+//!
+//! The paper's protocol-comparison experiment (Figure 10) sends **TCP ACK**
+//! probes — deliberately not SYNs, "because they may appear to be associated
+//! with security vulnerability scanning" — and observes two response
+//! populations: genuine end-host RSTs, and RSTs synthesized by firewalls,
+//! identifiable because every address in a /24 answers with the same
+//! constant TTL in about 200 ms. This module models the segment header and
+//! the flag set needed to express that experiment; options and payload data
+//! are out of scope for probing.
+
+use crate::error::WireError;
+use crate::ipv4::Ipv4Header;
+use crate::Result;
+
+/// TCP header length without options, in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits (subset relevant to probing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags {
+    /// SYN.
+    pub syn: bool,
+    /// ACK.
+    pub ack: bool,
+    /// RST.
+    pub rst: bool,
+    /// FIN.
+    pub fin: bool,
+}
+
+impl TcpFlags {
+    /// The classic ACK probe.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, rst: false, fin: false };
+    /// A bare RST (host or firewall response to an unexpected ACK).
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, rst: true, fin: false };
+
+    fn to_byte(self) -> u8 {
+        (u8::from(self.fin)) | (u8::from(self.syn) << 1) | (u8::from(self.rst) << 2)
+            | (u8::from(self.ack) << 4)
+    }
+
+    fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// Owned representation of a (option-less, data-less) TCP segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (meaningful when `flags.ack`).
+    pub ack_no: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpRepr {
+    /// Emitted length (no options, no payload).
+    pub fn len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Always false; present for parallelism with the other reprs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Emit the segment into `buf`, computing the checksum with the
+    /// pseudo-header derived from `ip`. Returns bytes written.
+    pub fn emit(&self, ip: &Ipv4Header, buf: &mut [u8]) -> Result<usize> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated { need: HEADER_LEN, have: buf.len() });
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack_no.to_be_bytes());
+        buf[12] = (5u8) << 4; // data offset 5 words
+        buf[13] = self.flags.to_byte();
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..18].fill(0); // checksum placeholder
+        buf[18..20].fill(0); // urgent pointer
+        let mut ck = ip.pseudo_header_checksum(HEADER_LEN as u16);
+        ck.add_bytes(&buf[..HEADER_LEN]);
+        buf[16..18].copy_from_slice(&ck.finish().to_be_bytes());
+        Ok(HEADER_LEN)
+    }
+
+    /// The RST a host (or firewall) sends in response to this unexpected
+    /// ACK probe, per RFC 793: `seq = ack_no` of the offending segment.
+    pub fn rst_reply(&self) -> TcpRepr {
+        TcpRepr {
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            seq: self.ack_no,
+            ack_no: 0,
+            flags: TcpFlags::RST,
+            window: 0,
+        }
+    }
+}
+
+/// Zero-copy view over a byte buffer holding a TCP segment.
+#[derive(Debug)]
+pub struct TcpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+    header_len: usize,
+}
+
+impl<T: AsRef<[u8]>> TcpPacket<T> {
+    /// Validate `buffer` against the pseudo-header from `ip` and build a
+    /// view. Options are tolerated; segment data is exposed via
+    /// [`TcpPacket::payload`].
+    pub fn parse(buffer: T, ip: &Ipv4Header) -> Result<Self> {
+        let data = buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated { need: HEADER_LEN, have: data.len() });
+        }
+        let header_len = usize::from(data[12] >> 4) * 4;
+        if header_len < HEADER_LEN {
+            return Err(WireError::Malformed("TCP data offset shorter than minimum"));
+        }
+        if data.len() < header_len {
+            return Err(WireError::Truncated { need: header_len, have: data.len() });
+        }
+        let seg_len = data.len();
+        if seg_len > usize::from(u16::MAX) {
+            return Err(WireError::Malformed("TCP segment exceeds 65535 bytes"));
+        }
+        let mut ck = ip.pseudo_header_checksum(seg_len as u16);
+        ck.add_bytes(data);
+        let computed = ck.finish();
+        if computed != 0 {
+            let found = u16::from_be_bytes([data[16], data[17]]);
+            return Err(WireError::BadChecksum { found, computed });
+        }
+        Ok(TcpPacket { buffer, header_len })
+    }
+
+    fn data(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.data();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.data();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let d = self.data();
+        u32::from_be_bytes([d[4], d[5], d[6], d[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack_no(&self) -> u32 {
+        let d = self.data();
+        u32::from_be_bytes([d[8], d[9], d[10], d[11]])
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags::from_byte(self.data()[13])
+    }
+
+    /// Segment data following header and options.
+    pub fn payload(&self) -> &[u8] {
+        &self.data()[self.header_len..]
+    }
+
+    /// Owned representation (options dropped).
+    pub fn repr(&self) -> TcpRepr {
+        let d = self.data();
+        TcpRepr {
+            src_port: self.src_port(),
+            dst_port: self.dst_port(),
+            seq: self.seq(),
+            ack_no: self.ack_no(),
+            flags: self.flags(),
+            window: u16::from_be_bytes([d[14], d[15]]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::parse_addr;
+    use crate::ipv4::Protocol;
+
+    fn ip_header() -> Ipv4Header {
+        Ipv4Header {
+            src: parse_addr("10.9.8.7").unwrap(),
+            dst: parse_addr("203.0.113.77").unwrap(),
+            protocol: Protocol::Tcp,
+            ttl: 64,
+            ident: 77,
+            dont_frag: true,
+            payload_len: HEADER_LEN,
+        }
+    }
+
+    fn ack_probe() -> TcpRepr {
+        TcpRepr {
+            src_port: 54321,
+            dst_port: 80,
+            seq: 0x1111_2222,
+            ack_no: 0x3333_4444,
+            flags: TcpFlags::ACK,
+            window: 1024,
+        }
+    }
+
+    #[test]
+    fn ack_probe_roundtrip() {
+        let repr = ack_probe();
+        let ip = ip_header();
+        let mut buf = vec![0u8; HEADER_LEN];
+        repr.emit(&ip, &mut buf).unwrap();
+        let pkt = TcpPacket::parse(&buf[..], &ip).unwrap();
+        assert_eq!(pkt.repr(), repr);
+        assert!(pkt.flags().ack);
+        assert!(!pkt.flags().syn);
+    }
+
+    #[test]
+    fn rst_reply_follows_rfc793() {
+        let probe = ack_probe();
+        let rst = probe.rst_reply();
+        assert!(rst.flags.rst && !rst.flags.ack);
+        assert_eq!(rst.seq, probe.ack_no);
+        assert_eq!(rst.src_port, probe.dst_port);
+        assert_eq!(rst.dst_port, probe.src_port);
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let repr = ack_probe();
+        let ip = ip_header();
+        let mut buf = vec![0u8; HEADER_LEN];
+        repr.emit(&ip, &mut buf).unwrap();
+        let mut other = ip;
+        other.dst = other.dst.wrapping_add(1);
+        assert!(matches!(TcpPacket::parse(&buf[..], &other), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn flags_byte_roundtrip() {
+        for b in 0u8..=0x1f {
+            let f = TcpFlags::from_byte(b);
+            // Only the modeled bits roundtrip; reserved bits drop.
+            let b2 = f.to_byte();
+            assert_eq!(b2 & 0x17, b & 0x17);
+        }
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(matches!(
+            TcpPacket::parse(&[0u8; 12][..], &ip_header()),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,192 @@
+//! UDP datagram encoding and zero-copy decoding.
+//!
+//! Used by the protocol-comparison experiment (Figure 10): the paper sends
+//! triplets of UDP messages to high-latency addresses and compares their
+//! delay distribution against ICMP and TCP. The checksum is computed over
+//! the RFC 768 pseudo-header, for which callers supply the enclosing
+//! [`crate::ipv4::Ipv4Header`].
+
+use crate::error::WireError;
+use crate::ipv4::Ipv4Header;
+use crate::Result;
+
+/// UDP header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Owned representation of a UDP datagram header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Total emitted length (header plus payload).
+    pub fn len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// True if the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.payload_len == 0
+    }
+
+    /// Emit header and `payload` into `buf`, computing the checksum with
+    /// the pseudo-header derived from `ip`. Returns bytes written.
+    pub fn emit(&self, ip: &Ipv4Header, payload: &[u8], buf: &mut [u8]) -> Result<usize> {
+        if payload.len() != self.payload_len {
+            return Err(WireError::Malformed("payload length mismatch with repr"));
+        }
+        let total = self.len();
+        if total > usize::from(u16::MAX) {
+            return Err(WireError::Malformed("UDP length exceeds 65535"));
+        }
+        if buf.len() < total {
+            return Err(WireError::Truncated { need: total, have: buf.len() });
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&(total as u16).to_be_bytes());
+        buf[6..8].fill(0);
+        buf[8..total].copy_from_slice(payload);
+        let mut ck = ip.pseudo_header_checksum(total as u16);
+        ck.add_bytes(&buf[..total]);
+        let mut sum = ck.finish();
+        // RFC 768: an all-zero transmitted checksum means "no checksum";
+        // a computed zero is sent as all-ones.
+        if sum == 0 {
+            sum = 0xffff;
+        }
+        buf[6..8].copy_from_slice(&sum.to_be_bytes());
+        Ok(total)
+    }
+}
+
+/// Zero-copy view over a byte buffer holding a UDP datagram.
+#[derive(Debug)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+    len: usize,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Validate `buffer` against the pseudo-header from `ip` and build a
+    /// view. A zero checksum field is accepted as "checksum absent".
+    pub fn parse(buffer: T, ip: &Ipv4Header) -> Result<Self> {
+        let data = buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated { need: HEADER_LEN, have: data.len() });
+        }
+        let len = usize::from(u16::from_be_bytes([data[4], data[5]]));
+        if len < HEADER_LEN || len > data.len() {
+            return Err(WireError::BadLength { claimed: len, have: data.len() });
+        }
+        let found = u16::from_be_bytes([data[6], data[7]]);
+        if found != 0 {
+            let mut ck = ip.pseudo_header_checksum(len as u16);
+            ck.add_bytes(&data[..len]);
+            let computed = ck.finish();
+            if computed != 0 {
+                return Err(WireError::BadChecksum { found, computed });
+            }
+        }
+        Ok(UdpPacket { buffer, len })
+    }
+
+    fn data(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.data();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.data();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// The payload following the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.data()[HEADER_LEN..self.len]
+    }
+
+    /// Owned representation.
+    pub fn repr(&self) -> UdpRepr {
+        UdpRepr {
+            src_port: self.src_port(),
+            dst_port: self.dst_port(),
+            payload_len: self.len - HEADER_LEN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::parse_addr;
+    use crate::ipv4::Protocol;
+
+    fn ip_header(payload_len: usize) -> Ipv4Header {
+        Ipv4Header {
+            src: parse_addr("10.0.0.1").unwrap(),
+            dst: parse_addr("10.0.0.2").unwrap(),
+            protocol: Protocol::Udp,
+            ttl: 64,
+            ident: 1,
+            dont_frag: false,
+            payload_len,
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let repr = UdpRepr { src_port: 33434, dst_port: 33435, payload_len: 12 };
+        let payload = b"probe-window";
+        let ip = ip_header(repr.len());
+        let mut buf = vec![0u8; repr.len()];
+        repr.emit(&ip, payload, &mut buf).unwrap();
+        let pkt = UdpPacket::parse(&buf[..], &ip).unwrap();
+        assert_eq!(pkt.repr(), repr);
+        assert_eq!(pkt.payload(), payload);
+    }
+
+    #[test]
+    fn checksum_depends_on_pseudo_header() {
+        let repr = UdpRepr { src_port: 1, dst_port: 2, payload_len: 0 };
+        let ip = ip_header(repr.len());
+        let mut buf = vec![0u8; repr.len()];
+        repr.emit(&ip, &[], &mut buf).unwrap();
+        let mut wrong_ip = ip;
+        wrong_ip.src = wrong_ip.src.wrapping_add(1);
+        assert!(matches!(UdpPacket::parse(&buf[..], &wrong_ip), Err(WireError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn zero_checksum_accepted_as_absent() {
+        let repr = UdpRepr { src_port: 5, dst_port: 6, payload_len: 2 };
+        let ip = ip_header(repr.len());
+        let mut buf = vec![0u8; repr.len()];
+        repr.emit(&ip, &[1, 2], &mut buf).unwrap();
+        buf[6..8].fill(0);
+        let pkt = UdpPacket::parse(&buf[..], &ip).unwrap();
+        assert_eq!(pkt.payload(), &[1, 2]);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let repr = UdpRepr { src_port: 5, dst_port: 6, payload_len: 0 };
+        let ip = ip_header(repr.len());
+        let mut buf = vec![0u8; repr.len()];
+        repr.emit(&ip, &[], &mut buf).unwrap();
+        buf[4..6].copy_from_slice(&64u16.to_be_bytes());
+        assert!(matches!(UdpPacket::parse(&buf[..], &ip), Err(WireError::BadLength { .. })));
+    }
+}

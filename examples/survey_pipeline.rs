@@ -1,0 +1,87 @@
+//! The full survey analysis pipeline, narrated step by step — the
+//! reproduction of Sections 3 and 4 of the paper on one simulated survey,
+//! including the Figure 4 broadcast false-match story.
+//!
+//! ```sh
+//! cargo run --release --example survey_pipeline
+//! ```
+
+use beware::analysis::filters::broadcast::BroadcastFilterCfg;
+use beware::analysis::matching::match_unmatched;
+use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
+use beware::analysis::report::fmt_count;
+use beware::analysis::timeout_table::TimeoutTable;
+use beware::dataset::binfmt;
+use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
+use beware::probe::survey::{run_survey, SurveyCfg};
+
+fn main() {
+    let scenario = Scenario::new(ScenarioCfg {
+        year: 2015,
+        seed: 0xbe11,
+        total_blocks: 192,
+        vantage: VANTAGES[1], // Ft. Collins, the `c` site
+    });
+    let blocks: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).collect();
+    let cfg = SurveyCfg { blocks, rounds: 40, ..Default::default() };
+
+    println!("== step 1: probe ==");
+    let (records, stats, _) = run_survey(scenario.build_world(), cfg, Vec::new());
+    println!(
+        "{} records: {} matched (µs RTTs), {} timeouts, {} unmatched responses, {} errors",
+        fmt_count(records.len() as u64),
+        fmt_count(stats.matched),
+        fmt_count(stats.timeouts),
+        fmt_count(stats.unmatched),
+        stats.errors
+    );
+
+    println!("\n== step 2: persist (the dataset is just bytes) ==");
+    let mut bytes = Vec::new();
+    binfmt::write_records(&mut bytes, &records).expect("in-memory write");
+    println!(
+        "binary survey: {} bytes ({:.1} B/record); re-read identical: {}",
+        fmt_count(bytes.len() as u64),
+        bytes.len() as f64 / records.len() as f64,
+        binfmt::read_records(&mut &bytes[..]).expect("read back") == records
+    );
+
+    println!("\n== step 3: recover delayed responses (source-address matching) ==");
+    let outcome = match_unmatched(&records);
+    println!(
+        "{} unmatched responses matched to timed-out probes; {} leftovers (duplicates)",
+        fmt_count(outcome.delayed.len() as u64),
+        fmt_count(outcome.leftovers.len() as u64)
+    );
+    // Show the Figure 4 artifact live: stable ~330 s latencies.
+    let artifacts = outcome
+        .delayed
+        .iter()
+        .filter(|d| (328..=332).contains(&d.latency_s))
+        .count();
+    println!("of these, {artifacts} carry the suspicious ~330 s broadcast signature");
+
+    println!("\n== step 4: filter artifacts ==");
+    let out = run_pipeline(&records, &PipelineCfg::default());
+    println!(
+        "EWMA broadcast filter (alpha = {}): marked {} source addresses",
+        BroadcastFilterCfg::default().alpha,
+        out.broadcast_responders.len()
+    );
+    println!(
+        "duplicate filter (>4 responses/request): discarded {} addresses (max flood {})",
+        out.duplicate_offenders.len(),
+        out.max_responses.values().max().copied().unwrap_or(0)
+    );
+
+    println!("\n== step 5: the timeout table ==");
+    let table = TimeoutTable::compute(&out.samples).expect("non-empty survey");
+    println!("{}", table.render("minimum timeout (s): c% of pings from r% of addresses"));
+    println!(
+        "the paper's conclusion: probe like TCP — retransmit at 3 s but KEEP LISTENING. \
+         A 60 s wait covers the 98/98 cell above ({} s); the extreme 99/99 tail ({} s) \
+         is the cost of calling an outage early.",
+        table.cell(98.0, 98.0).unwrap().round(),
+        table.cell(99.0, 99.0).unwrap().round()
+    );
+}

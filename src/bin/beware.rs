@@ -1,0 +1,303 @@
+//! `beware` — command-line front end to the reproduction stack.
+//!
+//! ```text
+//! beware generate  --blocks 1024 --year 2015 --seed 7 --out plan.tsv
+//! beware survey    --plan plan.tsv --rounds 60 --out survey.bwss [--sample N]
+//! beware scan      --plan plan.tsv --duration 1800 --out scan.tsv
+//! beware analyze   --survey survey.bwss [--csv cdf.csv]
+//! beware recommend --survey survey.bwss [--addr-pct 95] [--ping-pct 95] [--timeout 3]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free: flags are `--name
+//! value` pairs, orders don't matter, unknown flags are errors.
+
+use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
+use beware::analysis::recommend;
+use beware::analysis::report::{fmt_count, series_to_csv, Series};
+use beware::analysis::timeout_table::TimeoutTable;
+use beware::analysis::Cdf;
+use beware::asdb::gen::{GenConfig, InternetPlan};
+use beware::asdb::persist;
+use beware::dataset::stream::{StreamReader, StreamWriter};
+use beware::dataset::{Record, ScanMeta};
+use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
+use beware::probe::survey::{run_survey, SurveyCfg};
+use beware::probe::census::{run_census, select_survey_blocks, CensusCfg};
+use beware::probe::zmap::{run_scan, ZmapCfg};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "survey" => cmd_survey(&flags),
+        "scan" => cmd_scan(&flags),
+        "census" => cmd_census(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "recommend" => cmd_recommend(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "beware — 'Timeouts: Beware Surprisingly High Delay' toolkit
+
+commands:
+  generate   --blocks N --year Y --seed S --out plan.tsv
+  survey     --plan plan.tsv --rounds R [--sample N] [--seed S] [--vantage w|c|j|g] --out survey.bwss
+  scan       --plan plan.tsv [--duration SECS] [--seed S] --out scan.tsv
+  census     --plan plan.tsv [--count N] [--seed S] --out blocks.txt
+  analyze    --survey survey.bwss [--csv cdf.csv]
+  recommend  --survey survey.bwss [--addr-pct P] [--ping-pct P] [--timeout T]";
+
+/// Parsed `--name value` flags.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+            let value =
+                it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Flags(map))
+    }
+
+    fn str(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.str(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.str(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: `{v}`")),
+        }
+    }
+}
+
+fn load_plan(flags: &Flags) -> Result<InternetPlan, String> {
+    let path = flags.required("plan")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    persist::load(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn scenario_from(flags: &Flags, plan: InternetPlan) -> Result<Scenario, String> {
+    let code = flags.str("vantage").unwrap_or("w");
+    let v = code
+        .chars()
+        .next()
+        .and_then(vantage)
+        .ok_or_else(|| format!("unknown vantage `{code}` (use w, c, j or g)"))?;
+    let seed = flags.num("seed", 7u64)?;
+    Ok(Scenario::from_plan(
+        ScenarioCfg { year: plan.year, seed, total_blocks: 0, vantage: v },
+        plan,
+    ))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let cfg = GenConfig {
+        year: flags.num("year", 2015u16)?,
+        seed: flags.num("seed", 7u64)?,
+        total_blocks: flags.num("blocks", 1024u32)?,
+    };
+    let plan = InternetPlan::generate(&cfg);
+    let out = flags.required("out")?;
+    std::fs::write(out, persist::save(&plan)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "generated {}-block Internet for {} ({} ASes, {} addresses) -> {out}",
+        plan.block_count(),
+        plan.year,
+        plan.registry.len(),
+        fmt_count(plan.address_count())
+    );
+    Ok(())
+}
+
+fn cmd_survey(flags: &Flags) -> Result<(), String> {
+    let plan = load_plan(flags)?;
+    let scenario = scenario_from(flags, plan)?;
+    let all: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).collect();
+    let sample: usize = flags.num("sample", all.len())?;
+    let sample = sample.clamp(1, all.len());
+    // Spread the sample across the plan — taking the head would bias it
+    // toward whichever ASes the registry lists first.
+    let stride = (all.len() / sample).max(1);
+    let blocks: Vec<u32> = all.into_iter().step_by(stride).take(sample).collect();
+    let cfg = SurveyCfg {
+        blocks,
+        rounds: flags.num("rounds", 40u32)?,
+        seed: flags.num("seed", 7u64)?,
+        ..Default::default()
+    };
+    let out_path = flags.required("out")?;
+    let file = File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
+    let writer = StreamWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let world = scenario.build_world();
+    let (writer, stats, summary) = run_survey(world, cfg, writer);
+    let inner = writer.finish().map_err(|e| e.to_string())?;
+    inner.into_inner().map_err(|e| e.to_string())?.sync_all().map_err(|e| e.to_string())?;
+    println!(
+        "survey complete: {} probes, {:.1}% matched, {} unmatched responses, {} sim events -> {out_path}",
+        fmt_count(stats.probes()),
+        100.0 * stats.response_rate(),
+        fmt_count(stats.unmatched),
+        fmt_count(summary.events)
+    );
+    Ok(())
+}
+
+fn cmd_scan(flags: &Flags) -> Result<(), String> {
+    let plan = load_plan(flags)?;
+    let scenario = scenario_from(flags, plan)?;
+    let cfg = ZmapCfg {
+        blocks: scenario.plan.blocks().map(|(b, _)| b).collect(),
+        duration_secs: flags.num("duration", 1800.0f64)?,
+        seed: flags.num("seed", 7u64)?,
+        ..Default::default()
+    };
+    let meta = ScanMeta { label: "cli scan".into(), day: "-".into(), begin: "-".into() };
+    let (scan, summary) = run_scan(scenario.build_world(), cfg, meta);
+    let out = flags.required("out")?;
+    let mut w = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
+    writeln!(w, "probed,responder,rtt_us").map_err(|e| e.to_string())?;
+    for r in &scan.records {
+        writeln!(
+            w,
+            "{},{},{}",
+            std::net::Ipv4Addr::from(r.probed),
+            std::net::Ipv4Addr::from(r.responder),
+            r.rtt_us
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    println!(
+        "scan complete: {} probes, {} responses, {} responders -> {out}",
+        fmt_count(summary.packets_sent),
+        fmt_count(scan.response_count() as u64),
+        fmt_count(scan.responder_count() as u64)
+    );
+    Ok(())
+}
+
+fn cmd_census(flags: &Flags) -> Result<(), String> {
+    let plan = load_plan(flags)?;
+    let scenario = scenario_from(flags, plan)?;
+    let cfg = CensusCfg {
+        blocks: scenario.plan.blocks().map(|(b, _)| b).collect(),
+        duration_secs: flags.num("duration", 600.0f64)?,
+        seed: flags.num("seed", 7u64)?,
+        ..Default::default()
+    };
+    let (result, _) = run_census(scenario.build_world(), cfg);
+    let count: usize = flags.num("count", 64usize)?;
+    let blocks = select_survey_blocks(&result, &[], count, flags.num("seed", 7u64)?);
+    let out = flags.required("out")?;
+    let mut text = String::new();
+    for b in &blocks {
+        text.push_str(&format!("{}/24\n", std::net::Ipv4Addr::from(b << 8)));
+    }
+    std::fs::write(out, text).map_err(|e| e.to_string())?;
+    println!(
+        "census: {:.0}% of {} blocks responsive; selected {} survey blocks -> {out}",
+        100.0 * result.responsive_fraction(),
+        result.responders.len(),
+        blocks.len()
+    );
+    Ok(())
+}
+
+fn read_survey(flags: &Flags) -> Result<Vec<Record>, String> {
+    let path = flags.required("survey")?;
+    let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let reader = StreamReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    reader.collect::<Result<Vec<Record>, _>>().map_err(|e| e.to_string())
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let records = read_survey(flags)?;
+    let out = run_pipeline(&records, &PipelineCfg::default());
+    let acc = out.accounting;
+    println!("records: {}", fmt_count(records.len() as u64));
+    println!(
+        "survey-detected: {} packets / {} addresses",
+        fmt_count(acc.survey_detected.packets),
+        fmt_count(acc.survey_detected.addresses)
+    );
+    println!(
+        "recovered delayed responses: {}",
+        fmt_count(acc.naive_matching.packets - acc.survey_detected.packets)
+    );
+    println!(
+        "filtered: {} broadcast responders, {} duplicate offenders",
+        fmt_count(acc.broadcast_responses.addresses),
+        fmt_count(acc.duplicate_responses.addresses)
+    );
+    let Some(table) = TimeoutTable::compute(&out.samples) else {
+        return Err("no usable samples in survey".into());
+    };
+    println!("\n{}", table.render("minimum timeout (s): c% of pings from r% of addresses"));
+    if let Some(csv) = flags.str("csv") {
+        let p99: Vec<f64> =
+            out.samples.values().filter_map(|s| s.percentile(99.0)).collect();
+        let series = Series::new("p99_per_address", Cdf::new(p99).to_series(400));
+        std::fs::write(csv, series_to_csv(&[series])).map_err(|e| e.to_string())?;
+        println!("wrote per-address p99 CDF to {csv}");
+    }
+    Ok(())
+}
+
+fn cmd_recommend(flags: &Flags) -> Result<(), String> {
+    let records = read_survey(flags)?;
+    let out = run_pipeline(&records, &PipelineCfg::default());
+    let addr_pct: f64 = flags.num("addr-pct", 95.0)?;
+    let ping_pct: f64 = flags.num("ping-pct", 95.0)?;
+    let timeout: f64 = flags.num("timeout", 3.0)?;
+    let rec = recommend::recommend_timeout(&out.samples, addr_pct, ping_pct)
+        .ok_or("no usable samples in survey")?;
+    println!(
+        "to capture {ping_pct}% of pings from {addr_pct}% of addresses: wait {:.2} s \
+         (evidence: {} addresses)",
+        rec.timeout_secs, rec.addresses
+    );
+    let frac = recommend::addresses_with_false_loss_above(&out.samples, timeout, 0.05);
+    println!(
+        "a {timeout} s timeout would impose a false loss rate of ≥5% on {:.2}% of addresses",
+        100.0 * frac
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # beware — *Timeouts: Beware Surprisingly High Delay*, reproduced in Rust
+//!
+//! Umbrella crate re-exporting the full stack of the IMC 2015 reproduction:
+//!
+//! * [`wire`] — IPv4/ICMP/UDP/TCP codecs and the zmap-style payload embedding,
+//! * [`asdb`] — longest-prefix-match AS/geo database and address-space generator,
+//! * [`netsim`] — deterministic discrete-event Internet simulator,
+//! * [`dataset`] — ISI-survey-like record model and codecs,
+//! * [`probe`] — survey / zmap / scamper probing engines,
+//! * [`analysis`] — the paper's analysis pipeline: unmatched-response
+//!   matching, artifact filters, percentile aggregation and timeout tables.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and `DESIGN.md` for
+//! the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use beware_asdb as asdb;
+pub use beware_core as analysis;
+pub use beware_dataset as dataset;
+pub use beware_netsim as netsim;
+pub use beware_probe as probe;
+pub use beware_wire as wire;

@@ -1,0 +1,223 @@
+//! Calibration integration tests: the full stack (generator → simulator →
+//! probers → analysis) must land the paper's headline findings within
+//! bands, at the CI-friendly small scale.
+//!
+//! The shared [`ExperimentCtx`] is built once per test binary via a
+//! `OnceLock`, since it drives a half-million-probe survey pair.
+
+use beware_bench::{experiments, ExperimentCtx, Scale};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentCtx {
+    static CTX: OnceLock<ExperimentCtx> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentCtx::build(Scale::small()))
+}
+
+#[test]
+fn survey_response_rate_is_internet_like() {
+    // The paper: "in typical ISI surveys, 20% of pings receive a response".
+    let rate = ctx().survey_w.stats.response_rate();
+    assert!((0.10..0.40).contains(&rate), "response rate {rate}");
+}
+
+#[test]
+fn turtle_fraction_is_about_five_percent() {
+    // "around 5% of addresses have latencies greater than 1s in each scan".
+    for scan in &ctx().scans {
+        let frac = beware_core::turtles::turtle_fraction(scan, 1.0);
+        assert!((0.03..0.10).contains(&frac), "turtle fraction {frac}");
+    }
+}
+
+#[test]
+fn turtle_fraction_is_stable_across_scans() {
+    let f7 = experiments::fig7::run(ctx());
+    assert!(f7.turtle_fraction_spread() < 0.01, "spread {}", f7.turtle_fraction_spread());
+}
+
+#[test]
+fn table2_headline_cells_in_band() {
+    let t2 = experiments::table2::run(ctx());
+    // Paper: 5 s at 95/95 — at least, a short timeout must fail here.
+    let c9595 = t2.headline_95_95();
+    assert!((1.0..12.0).contains(&c9595), "95/95 = {c9595}");
+    // Paper: 145 s at 99/99.
+    let c9999 = t2.table.cell(99.0, 99.0).unwrap();
+    assert!((40.0..420.0).contains(&c9999), "99/99 = {c9999}");
+    // Most addresses are fast: 50/50 well under a second.
+    let c5050 = t2.table.cell(50.0, 50.0).unwrap();
+    assert!(c5050 < 0.5, "50/50 = {c5050}");
+    // Monotone: longer timeouts needed for higher coverage.
+    assert!(c9999 > c9595 && c9595 > c5050);
+}
+
+#[test]
+fn first_percentile_latency_is_low_for_nearly_everyone() {
+    // Paper: "the 1st percentile latency is below 330ms for 99% of IP
+    // addresses: most addresses are capable of responding with low
+    // latency".
+    let t2 = experiments::table2::run(ctx());
+    let p1_of_p99_addr = t2.table.cell(99.0, 1.0).unwrap();
+    assert!(p1_of_p99_addr < 1.5, "p1 at 99th addr = {p1_of_p99_addr}");
+}
+
+#[test]
+fn broadcast_filter_finds_responders_and_cleans_bumps() {
+    let out = &ctx().pipeline_w;
+    assert!(
+        !out.broadcast_responders.is_empty(),
+        "no broadcast responders detected"
+    );
+    let f6 = experiments::fig6::run(ctx());
+    assert!(
+        f6.bump_mass_after < f6.bump_mass_before,
+        "filtering must reduce artifact mass: {} -> {}",
+        f6.bump_mass_before,
+        f6.bump_mass_after
+    );
+    assert!(f6.bump_mass_before > 0.0, "pre-filter bumps must exist");
+}
+
+#[test]
+fn table1_accounting_shape() {
+    let t1 = experiments::table1::run(ctx()).combined;
+    assert!(t1.naive_matching.packets > t1.survey_detected.packets);
+    assert!(t1.survey_plus_delayed.packets < t1.naive_matching.packets);
+    assert!(t1.survey_plus_delayed.packets > t1.survey_detected.packets);
+    assert_eq!(
+        t1.survey_plus_delayed.addresses,
+        t1.naive_matching.addresses
+            - t1.broadcast_responses.addresses
+            - t1.duplicate_responses.addresses
+    );
+}
+
+#[test]
+fn telefonica_brasil_tops_turtle_ranking_and_cellular_dominates() {
+    let t = experiments::table4_6::run(ctx());
+    assert_eq!(t.turtles[0].name, "TELEFONICA BRASIL");
+    assert!(t.cellular_in_top10() >= 7, "only {} cellular in top 10", t.cellular_in_top10());
+    // Cellular turtle shares around the paper's 50–80%.
+    for r in t.turtles.iter().take(3) {
+        let pct = r.per_scan[0].percent();
+        assert!((40.0..95.0).contains(&pct), "{}: {pct}%", r.name);
+    }
+}
+
+#[test]
+fn south_america_leads_continents_and_north_america_is_low() {
+    let t = experiments::table4_6::run(ctx());
+    assert_eq!(t.continents[0].continent, beware_asdb::Continent::SouthAmerica);
+    let na = t
+        .continents
+        .iter()
+        .find(|c| c.continent == beware_asdb::Continent::NorthAmerica)
+        .unwrap();
+    assert!(na.per_scan[0].percent() < 5.0, "NA turtle share {}", na.per_scan[0].percent());
+    let sa = &t.continents[0];
+    assert!(sa.per_scan[0].percent() > 15.0, "SA turtle share {}", sa.per_scan[0].percent());
+}
+
+#[test]
+fn satellite_has_floor_but_bounded_tail() {
+    let f11 = experiments::fig11::run(ctx());
+    let split = &f11.split;
+    assert!(!split.satellite.is_empty(), "no satellite addresses in sample");
+    assert!(
+        split.satellite_p1_floor().unwrap() >= 0.5,
+        "satellite floor {:?}",
+        split.satellite_p1_floor()
+    );
+    assert!(
+        split.satellite_p99_below(3.0) >= 0.7,
+        "satellite p99<3s fraction {}",
+        split.satellite_p99_below(3.0)
+    );
+}
+
+#[test]
+fn first_ping_effect_dominates_high_latency_addresses() {
+    let f = experiments::fig12_14::run(ctx());
+    let counts = f.analysis.counts;
+    assert!(counts.classified() > 30, "too few classified: {}", counts.classified());
+    // Paper: roughly 2/3; accept a generous band.
+    let frac = counts.above_max_fraction();
+    assert!((0.45..0.95).contains(&frac), "above-max fraction {frac}");
+    // Wake-up estimate: median ~1.37 s, 90% < ~4 s.
+    let med = f.setup_median.unwrap();
+    assert!((0.7..3.0).contains(&med), "setup median {med}");
+    assert!(f.setup_p90.unwrap() < 8.0, "setup p90 {:?}", f.setup_p90);
+}
+
+#[test]
+fn fig4_false_match_is_330s_and_filtered() {
+    let f4 = experiments::fig4::run(7);
+    assert!(!f4.false_latencies.is_empty());
+    for lat in &f4.false_latencies {
+        assert!((328..=332).contains(lat), "false latency {lat}");
+    }
+    assert!(f4.filtered >= 1);
+}
+
+#[test]
+fn broadcast_octet_spikes_in_both_datasets() {
+    let f23 = experiments::fig2_3::run(ctx());
+    // Zmap-side: every cross-address trigger is broadcast-like.
+    assert!(f23.zmap.total() > 0, "no cross-address responses in scan");
+    assert!(f23.zmap.interior_total() * 10 <= f23.zmap.broadcast_like_total());
+    // Survey-side: clear spike ratio over the uniform background.
+    assert!(f23.survey_spike_ratio > 1.3, "spike ratio {}", f23.survey_spike_ratio);
+}
+
+#[test]
+fn protocol_parity_holds_and_firewalls_are_found() {
+    let f10 = experiments::fig10::run(ctx());
+    assert!(f10.targets > 20, "too few targets: {}", f10.targets);
+    // No protocol favored: medians of the non-first probes agree within
+    // a factor, not orders of magnitude.
+    let spread = f10.parity_spread();
+    assert!(spread < 2.0, "protocol medians diverge by {spread}");
+    assert!(
+        !f10.comparison.firewall_blocks.is_empty(),
+        "no firewall-fronted /24s detected"
+    );
+    // Excluding firewall blocks removes the fast constant-TTL cluster.
+    let raw = f10.comparison.seq0_median(beware_core::protocols::Proto::Tcp);
+    let clean = f10.comparison.tcp_seq0_no_firewall.quantile(0.5);
+    if let (Some(raw), Some(clean)) = (raw, clean) {
+        assert!(clean >= raw * 0.8, "firewall removal lowered TCP median: {raw} -> {clean}");
+    }
+}
+
+#[test]
+fn reprobe_confirms_extremes_exist_but_vary() {
+    let f8 = experiments::fig8::run(ctx());
+    assert!(f8.selected > 0, "no extreme addresses selected");
+    assert!(f8.responded > 0, "nobody responded to the re-probe");
+    // Some addresses must still show very high latencies, but not all —
+    // extreme behavior is time-varying.
+    assert!(f8.still_extreme < 0.9, "everything still extreme: {}", f8.still_extreme);
+}
+
+#[test]
+fn broadcast_filter_ablation_scores_well_at_paper_params() {
+    let ab = experiments::ablation::run(ctx());
+    assert!(!ab.truth.is_empty(), "scenario must contain silent responders");
+    let p = ab.paper_point();
+    assert!(p.recall() >= 0.85, "recall {} at paper params", p.recall());
+    assert!(p.precision() >= 0.85, "precision {} at paper params", p.precision());
+}
+
+#[test]
+fn listening_longer_rescues_false_outages() {
+    let r = experiments::recommendation::run(ctx());
+    assert!(r.monitored > 50, "monitored {}", r.monitored);
+    assert!(r.naive_outages > 0, "the naive prober must produce false outages");
+    assert!(r.rescued > 0, "the long listen must rescue some verdicts");
+    assert!(
+        r.long_outages < r.naive_outages,
+        "long listen must strictly reduce false outages: {} -> {}",
+        r.naive_outages,
+        r.long_outages
+    );
+}

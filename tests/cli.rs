@@ -1,0 +1,109 @@
+//! End-to-end test of the `beware` CLI binary: generate a plan, survey it,
+//! analyze the survey, and get a recommendation — all through the same
+//! entry points a shell user has.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn beware(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_beware"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("beware-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = tempdir("flow");
+
+    // generate
+    let out = beware(
+        &["generate", "--blocks", "96", "--year", "2015", "--seed", "9", "--out", "plan.tsv"],
+        &dir,
+    );
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let plan_text = std::fs::read_to_string(dir.join("plan.tsv")).unwrap();
+    assert!(plan_text.starts_with("#beware-plan v1"));
+    assert!(plan_text.contains("TELEFONICA BRASIL"));
+
+    // survey
+    let out = beware(
+        &[
+            "survey", "--plan", "plan.tsv", "--rounds", "12", "--sample", "24", "--seed", "9",
+            "--out", "survey.bwss",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "survey failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("survey complete"), "{stdout}");
+
+    // analyze
+    let out = beware(&["analyze", "--survey", "survey.bwss"], &dir);
+    assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("minimum timeout"), "{stdout}");
+    assert!(stdout.contains("95%"), "{stdout}");
+
+    // recommend
+    let out = beware(&["recommend", "--survey", "survey.bwss", "--timeout", "3"], &dir);
+    assert!(out.status.success(), "recommend failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wait"), "{stdout}");
+    assert!(stdout.contains("false loss"), "{stdout}");
+
+    // scan
+    let out = beware(
+        &["scan", "--plan", "plan.tsv", "--duration", "120", "--out", "scan.csv"],
+        &dir,
+    );
+    assert!(out.status.success(), "scan failed: {}", String::from_utf8_lossy(&out.stderr));
+    let csv = std::fs::read_to_string(dir.join("scan.csv")).unwrap();
+    assert!(csv.starts_with("probed,responder,rtt_us"));
+    assert!(csv.lines().count() > 100, "scan produced too few responses");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_and_missing_flags_fail_cleanly() {
+    let dir = tempdir("errs");
+    let out = beware(&["frobnicate"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = beware(&["generate"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    let out = beware(&["analyze", "--survey", "does-not-exist.bwss"], &dir);
+    assert!(!out.status.success());
+
+    let out = beware(&["help"], &dir);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_outputs_are_deterministic() {
+    let dir = tempdir("det");
+    for name in ["a.tsv", "b.tsv"] {
+        let out = beware(
+            &["generate", "--blocks", "64", "--seed", "4", "--out", name],
+            &dir,
+        );
+        assert!(out.status.success());
+    }
+    let a = std::fs::read(dir.join("a.tsv")).unwrap();
+    let b = std::fs::read(dir.join("b.tsv")).unwrap();
+    assert_eq!(a, b, "same seed must produce identical plans");
+    std::fs::remove_dir_all(&dir).ok();
+}
