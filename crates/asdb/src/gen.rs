@@ -19,10 +19,9 @@
 use crate::geo::Continent;
 use crate::registry::{AsInfo, AsKind, AsRegistry, Asn};
 use crate::AsDb;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for [`InternetPlan::generate`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenConfig {
     /// Survey year, 2006–2015. Controls the cellular share of the space.
     pub year: u16,
@@ -39,7 +38,7 @@ impl Default for GenConfig {
 }
 
 /// One routed prefix and the AS that originates it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefixAllocation {
     /// Prefix bits (host-order address of the first covered IP).
     pub prefix: u32,
@@ -63,7 +62,7 @@ impl PrefixAllocation {
 }
 
 /// A generated Internet: the AS registry plus every routed prefix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InternetPlan {
     /// The registry of all generated ASes.
     pub registry: AsRegistry,

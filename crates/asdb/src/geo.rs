@@ -4,10 +4,9 @@
 //! RTT > 1 s; this module provides the continent enumeration and its
 //! display names as they appear in that table.
 
-use serde::{Deserialize, Serialize};
 
 /// The six populated continents the paper's Table 5 reports on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Continent {
     /// South America — tops Table 5 (≈27% of its addresses are turtles).
     SouthAmerica,

@@ -7,11 +7,10 @@
 //! continent ranking (Table 5).
 
 use crate::geo::Continent;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An Autonomous System number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Asn(pub u32);
 
 impl std::fmt::Display for Asn {
@@ -22,7 +21,7 @@ impl std::fmt::Display for Asn {
 
 /// Dominant access technology of an AS — the attribute the paper's causal
 /// analysis pivots on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AsKind {
     /// Cellular carrier (GPRS/3G/LTE). The paper finds these dominate both
     /// the >1 s ("turtle") and >100 s ("sleepy turtle") rankings.
@@ -65,7 +64,7 @@ impl AsKind {
 }
 
 /// One Autonomous System record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsInfo {
     /// The AS number.
     pub asn: Asn,
@@ -96,7 +95,7 @@ impl AsInfo {
 ///
 /// `BTreeMap` keeps iteration deterministic, which the reproducible
 /// experiment harness depends on.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AsRegistry {
     entries: BTreeMap<Asn, AsInfo>,
 }

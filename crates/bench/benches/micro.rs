@@ -135,6 +135,86 @@ fn bench_percentiles(c: &mut Criterion) {
     });
 }
 
+/// 100k pseudo-random latencies, the size class of a flood address.
+fn ingest_values() -> Vec<f64> {
+    (0..100_000u64).map(|i| ((i * 2_654_435_761) % 1_000_000) as f64 / 1000.0).collect()
+}
+
+fn bench_samples_ingestion(c: &mut Criterion) {
+    let values = ingest_values();
+    c.bench_function("core/latency_samples_ingest_100k", |b| {
+        b.iter_batched(
+            || values.clone(),
+            |vs| {
+                let mut s = LatencySamples::new();
+                for v in vs {
+                    s.push(v);
+                }
+                s.percentile(50.0)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // Ablation: the seed's sorted-insert ingestion (O(n) Vec::insert per
+    // value, quadratic overall).
+    c.bench_function("core/sorted_insert_ingest_100k", |b| {
+        b.iter_batched(
+            || values.clone(),
+            |vs| {
+                let mut sorted: Vec<f64> = Vec::new();
+                for v in vs {
+                    let idx = sorted.partition_point(|&x| x <= v);
+                    sorted.insert(idx, v);
+                }
+                beware_core::percentile::percentile_sorted(&sorted, 50.0)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_merge_samples(c: &mut Criterion) {
+    use beware_core::pipeline::merge_samples;
+    use std::collections::BTreeMap;
+    // Two surveys × 500 addresses × 200 sorted samples each.
+    let part = |salt: u64| -> BTreeMap<u32, LatencySamples> {
+        (0..500u32)
+            .map(|a| {
+                let vs = (0..200u64)
+                    .map(|i| (((i + u64::from(a)) * 2_654_435_761 + salt) % 60_000) as f64 / 100.0)
+                    .collect();
+                (a, LatencySamples::from_values(vs))
+            })
+            .collect()
+    };
+    let (w, c_part) = (part(1), part(2));
+    c.bench_function("core/merge_samples_kway_2x500x200", |b| {
+        b.iter_batched(
+            || vec![w.clone(), c_part.clone()],
+            merge_samples,
+            BatchSize::LargeInput,
+        )
+    });
+    // Ablation: concat-and-resort, the seed's merge strategy.
+    c.bench_function("core/merge_samples_resort_2x500x200", |b| {
+        b.iter_batched(
+            || vec![w.clone(), c_part.clone()],
+            |parts| {
+                let mut out: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+                for p in parts {
+                    for (a, s) in p {
+                        out.entry(a).or_default().extend_from_slice(&s.values());
+                    }
+                }
+                out.into_iter()
+                    .map(|(a, v)| (a, LatencySamples::from_values(v)))
+                    .collect::<BTreeMap<u32, LatencySamples>>()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
 criterion_group!(
     benches,
     bench_checksum,
@@ -145,5 +225,7 @@ criterion_group!(
     bench_permutation,
     bench_matching,
     bench_percentiles,
+    bench_samples_ingestion,
+    bench_merge_samples,
 );
 criterion_main!(benches);

@@ -6,6 +6,7 @@ use beware_asdb::AsDb;
 use beware_core::pipeline::{merge_samples, run_pipeline, PipelineCfg, PipelineOutput};
 use beware_core::LatencySamples;
 use beware_dataset::{Record, ScanMeta, SurveyMeta, SurveyStats, ZmapScan};
+use beware_netsim::exec::{default_threads, run_tasks};
 use beware_netsim::rng::derive_seed;
 use beware_netsim::scenario::{vantage, Scenario, ScenarioCfg};
 use beware_probe::scamper::{run_jobs, JobResult, PingJob};
@@ -55,6 +56,10 @@ pub struct SurveyRun {
 pub struct ExperimentCtx {
     /// Scale everything was run at.
     pub scale: Scale,
+    /// Worker threads used for campaign fan-out (1 = serial). Outputs are
+    /// byte-identical regardless of this value — see
+    /// [`beware_netsim::exec`] for the determinism contract.
+    pub threads: usize,
     /// The generated Internet (2015).
     pub scenario: Scenario,
     /// Attribution database.
@@ -74,28 +79,65 @@ pub struct ExperimentCtx {
     pub scans: Vec<ZmapScan>,
 }
 
+/// One unit of the shared data-collection fan-out.
+enum BuildJob {
+    Survey(char),
+    Scan(usize),
+}
+
+/// Its result.
+enum BuildOut {
+    Survey(Box<(SurveyRun, PipelineOutput)>),
+    Scan(Box<ZmapScan>),
+}
+
 impl ExperimentCtx {
-    /// Run the shared data collection at `scale`.
+    /// Run the shared data collection at `scale` with the machine's
+    /// available parallelism.
     pub fn build(scale: Scale) -> Self {
+        Self::build_with_threads(scale, default_threads())
+    }
+
+    /// Run the shared data collection at `scale` on `threads` workers.
+    /// Every task (each survey+pipeline, each scan slot) is independently
+    /// seeded, so the result does not depend on `threads`.
+    pub fn build_with_threads(scale: Scale, threads: usize) -> Self {
         let scenario = scenario_for(&scale, 2015, 'w');
+        let scenario_c = scenario_for(&scale, 2015, 'c');
         let db = scenario.db();
 
-        let survey_w = run_survey_like(&scenario, &scale, "IT63w", 'w', 0.0);
-        let scenario_c = scenario_for(&scale, 2015, 'c');
-        let survey_c = run_survey_like(&scenario_c, &scale, "IT63c", 'c', 0.0);
+        let mut jobs = vec![BuildJob::Survey('w'), BuildJob::Survey('c')];
+        jobs.extend((0..scale.zmap_scans).map(BuildJob::Scan));
+        let outs = run_tasks(threads, jobs, |_, job| match job {
+            BuildJob::Survey(v) => {
+                let (scenario, name) = match v {
+                    'w' => (&scenario, "IT63w"),
+                    _ => (&scenario_c, "IT63c"),
+                };
+                let run = run_survey_like(scenario, &scale, name, v, 0.0);
+                let pipe = run_pipeline(&run.records, &PipelineCfg::default());
+                BuildOut::Survey(Box::new((run, pipe)))
+            }
+            BuildJob::Scan(i) => BuildOut::Scan(Box::new(run_scan_slot(&scenario, &scale, i))),
+        });
 
-        let cfg = PipelineCfg::default();
-        let pipeline_w = run_pipeline(&survey_w.records, &cfg);
-        let pipeline_c = run_pipeline(&survey_c.records, &cfg);
+        let mut surveys = Vec::with_capacity(2);
+        let mut scans = Vec::with_capacity(scale.zmap_scans);
+        for out in outs {
+            match out {
+                BuildOut::Survey(b) => surveys.push(*b),
+                BuildOut::Scan(s) => scans.push(*s),
+            }
+        }
+        let (survey_c, pipeline_c) = surveys.pop().expect("c survey task");
+        let (survey_w, pipeline_w) = surveys.pop().expect("w survey task");
+
         let combined_samples =
             merge_samples(vec![pipeline_w.samples.clone(), pipeline_c.samples.clone()]);
 
-        let scans = (0..scale.zmap_scans)
-            .map(|i| run_scan_slot(&scenario, &scale, i))
-            .collect();
-
         ExperimentCtx {
             scale,
+            threads,
             scenario,
             db,
             survey_w,
@@ -130,12 +172,27 @@ impl ExperimentCtx {
         out
     }
 
-    /// Run a set of scamper jobs against a fresh instance of this
-    /// context's world.
+    /// Run a set of scamper jobs against fresh instances of this
+    /// context's world, fanned out in fixed-size chunks.
+    ///
+    /// The chunk size is a constant — never derived from the thread
+    /// count — and each chunk runs in its own world under a seed derived
+    /// from the chunk index, so the result is identical whether the
+    /// chunks run serially or in parallel.
     pub fn run_scamper(&self, jobs: Vec<PingJob>, grace_secs: f64) -> Vec<JobResult> {
-        let world = self.scenario.build_world();
-        let seed = derive_seed(self.scale.seed, 0x5ca3_9e44);
-        run_jobs(world, jobs, 0xC0_00_02_07, seed, grace_secs).0
+        const CHUNK: usize = 32;
+        let base = derive_seed(self.scale.seed, 0x5ca3_9e44);
+        let mut chunks: Vec<Vec<PingJob>> = Vec::new();
+        let mut jobs = jobs;
+        while !jobs.is_empty() {
+            let rest = jobs.split_off(jobs.len().min(CHUNK));
+            chunks.push(std::mem::replace(&mut jobs, rest));
+        }
+        let results = run_tasks(self.threads, chunks, |i, chunk| {
+            let world = self.scenario.build_world();
+            run_jobs(world, chunk, 0xC0_00_02_07, derive_seed(base, i as u64), grace_secs).0
+        });
+        results.into_iter().flatten().collect()
     }
 }
 
@@ -192,6 +249,18 @@ pub fn run_survey_like(
         records,
         stats,
     }
+}
+
+/// Run the whole Zmap scan campaign (`scale.zmap_scans` slots) on
+/// `threads` workers, in slot order. Each slot is independently seeded
+/// from the master seed and the slot index, so the output is identical
+/// for any thread count. [`ExperimentCtx::build_with_threads`] folds the
+/// slots into its larger fan-out; this standalone entry point exists for
+/// the perf harness, which times the campaign serial vs parallel.
+pub fn run_scan_campaign(scenario: &Scenario, scale: &Scale, threads: usize) -> Vec<ZmapScan> {
+    run_tasks(threads, (0..scale.zmap_scans).collect(), |_, slot| {
+        run_scan_slot(scenario, scale, slot)
+    })
 }
 
 /// Run one scan slot of the campaign.

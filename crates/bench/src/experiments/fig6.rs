@@ -6,7 +6,6 @@ use crate::ExperimentCtx;
 use beware_core::cdf::Cdf;
 use beware_core::percentile::LatencySamples;
 use beware_core::report::{ascii_plot, Series};
-use std::collections::BTreeMap;
 
 /// Mass near the artifact latencies in a set of per-address p99 values.
 fn bump_mass(values: &Cdf, centers: &[f64], halfwidth: f64) -> f64 {
@@ -30,14 +29,14 @@ pub struct Fig6 {
     pub bump_mass_after: f64,
 }
 
-fn p99_cdf(samples: &BTreeMap<u32, LatencySamples>) -> Cdf {
-    Cdf::new(samples.values().filter_map(|s| s.percentile(99.0)).collect())
+fn p99_cdf<'a>(samples: impl Iterator<Item = &'a LatencySamples>) -> Cdf {
+    Cdf::new(samples.filter_map(|s| s.percentile(99.0)).collect())
 }
 
 /// Compute from the `w` survey pipeline (before = naive, after = filtered).
 pub fn run(ctx: &ExperimentCtx) -> Fig6 {
-    let before_p99 = p99_cdf(&ctx.pipeline_w.naive_samples);
-    let after_p99 = p99_cdf(&ctx.pipeline_w.samples);
+    let before_p99 = p99_cdf(ctx.pipeline_w.naive_samples().map(|(_, s)| s));
+    let after_p99 = p99_cdf(ctx.pipeline_w.samples.values());
     let centers = [165.0, 330.0, 495.0];
     Fig6 {
         bump_mass_before: bump_mass(&before_p99, &centers, 6.0),

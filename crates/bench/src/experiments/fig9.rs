@@ -11,6 +11,7 @@ use crate::Scale;
 use beware_core::pipeline::{run_pipeline, PipelineCfg};
 use beware_core::report::{ascii_plot, Series};
 use beware_core::trend::{timeout_series, SurveyPoint};
+use beware_netsim::exec::{default_threads, run_tasks};
 
 /// The computed sweep.
 #[derive(Debug, Clone)]
@@ -38,22 +39,29 @@ fn schedule() -> Vec<(u16, char, f64)> {
     slots
 }
 
-/// Run the sweep. Surveys here are smaller than the main context's (a
-/// quarter of the blocks, half the rounds) because 21 of them run.
+/// Run the sweep with the machine's available parallelism.
 pub fn run(scale: &Scale) -> Fig9 {
+    run_with_threads(scale, default_threads())
+}
+
+/// Run the sweep on `threads` workers. Surveys here are smaller than the
+/// main context's (a quarter of the blocks, half the rounds) because 21
+/// of them run. Each (year, vantage) slot is an independently seeded
+/// simulation, fanned out over the pool; the chronological point order is
+/// the fixed task order, so the result does not depend on `threads`.
+pub fn run_with_threads(scale: &Scale, threads: usize) -> Fig9 {
     let mini = Scale {
         survey_blocks: (scale.survey_blocks / 4).max(8),
         survey_rounds: (scale.survey_rounds / 2).max(20),
         ..*scale
     };
-    let mut points = Vec::new();
-    for (year, vantage_code, drop) in schedule() {
+    let points = run_tasks(threads, schedule(), |_, (year, vantage_code, drop)| {
         let scenario = scenario_for(&mini, year, vantage_code);
         let name = format!("IT{}{}", year - 1952, vantage_code); // IT63 ≈ 2015
         let run = run_survey_like(&scenario, &mini, &name, vantage_code, drop);
         let pipe = run_pipeline(&run.records, &PipelineCfg::default());
-        points.push(SurveyPoint::compute(run.meta, &pipe.samples, &run.stats));
-    }
+        SurveyPoint::compute(run.meta, &pipe.samples, &run.stats)
+    });
     let series = timeout_series(&points, 0.02);
     let screened_out = points
         .iter()

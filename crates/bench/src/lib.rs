@@ -16,7 +16,9 @@
 
 pub mod ctx;
 pub mod experiments;
+pub mod perf;
 pub mod scale;
 
 pub use ctx::ExperimentCtx;
+pub use perf::BenchReport;
 pub use scale::Scale;

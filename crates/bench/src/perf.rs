@@ -1,0 +1,271 @@
+//! Perf-trajectory reporting: the `BENCH_<n>.json` file the
+//! `paper_experiments` harness writes at the repo root.
+//!
+//! Every run of the harness records wall-clock, record throughput and
+//! thread count per experiment, plus a serial-vs-parallel timing of the
+//! 17-scan zmap campaign — the canonical fan-out workload. Successive PRs
+//! regenerate the file, giving the repo a measurable perf history instead
+//! of anecdotes.
+//!
+//! The JSON is hand-rendered (the workspace's vendored dependency set has
+//! no serde); the schema is documented in README.md §Reproducing the
+//! paper and is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "scale": "bench",
+//!   "threads": 8,
+//!   "experiments": [
+//!     {"name": "shared_context", "wall_secs": 1.92,
+//!      "records": 491520, "records_per_sec": 256000.0, "threads": 8},
+//!     {"name": "fig1", "wall_secs": 0.011, "threads": 1}
+//!   ],
+//!   "zmap_campaign": {
+//!     "scans": 17, "records": 120000, "threads": 8,
+//!     "serial_secs": 4.1, "parallel_secs": 1.2, "speedup": 3.4
+//!   }
+//! }
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// One timed experiment. `records`/`records_per_sec` are present only for
+/// entries that ingest or produce a well-defined record stream (the
+/// shared context, the campaign); pure render/aggregation steps report
+/// wall-clock and thread count alone.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Experiment name (`fig1`, `table2`, `shared_context`, ...).
+    pub name: String,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Records processed, when the experiment has a record stream.
+    pub records: Option<u64>,
+    /// Worker threads the experiment ran on (1 = serial).
+    pub threads: usize,
+}
+
+/// Serial-vs-parallel timing of the zmap scan campaign (Fig 7 / Table 3's
+/// 17 slots) — the headline fan-out measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignBench {
+    /// Scan slots run.
+    pub scans: usize,
+    /// Total response records across the campaign.
+    pub records: u64,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Wall-clock of the `threads = 1` reference run.
+    pub serial_secs: f64,
+    /// Wall-clock of the parallel run.
+    pub parallel_secs: f64,
+}
+
+impl CampaignBench {
+    /// Serial over parallel wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Accumulates timings and renders/writes the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Scale label (`small` / `bench`).
+    pub scale: String,
+    /// Default worker-pool width of this run.
+    pub threads: usize,
+    /// Per-experiment timings, in run order.
+    pub experiments: Vec<BenchEntry>,
+    /// The campaign measurement, when taken.
+    pub zmap_campaign: Option<CampaignBench>,
+}
+
+impl BenchReport {
+    /// Empty report for a run at `scale` on `threads` workers.
+    pub fn new(scale: &str, threads: usize) -> Self {
+        BenchReport {
+            scale: scale.to_string(),
+            threads,
+            experiments: Vec::new(),
+            zmap_campaign: None,
+        }
+    }
+
+    /// Record one experiment without a record stream.
+    pub fn push(&mut self, name: &str, wall_secs: f64, threads: usize) {
+        self.experiments.push(BenchEntry {
+            name: name.to_string(),
+            wall_secs,
+            records: None,
+            threads,
+        });
+    }
+
+    /// Record one experiment with a record stream (throughput derivable).
+    pub fn push_with_records(
+        &mut self,
+        name: &str,
+        wall_secs: f64,
+        records: u64,
+        threads: usize,
+    ) {
+        self.experiments.push(BenchEntry {
+            name: name.to_string(),
+            wall_secs,
+            records: Some(records),
+            threads,
+        });
+    }
+
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"scale\": {},\n", json_str(&self.scale)));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"wall_secs\": {}",
+                json_str(&e.name),
+                json_f64(e.wall_secs)
+            ));
+            if let Some(records) = e.records {
+                out.push_str(&format!(
+                    ", \"records\": {records}, \"records_per_sec\": {}",
+                    json_f64(rate(records, e.wall_secs))
+                ));
+            }
+            out.push_str(&format!(", \"threads\": {}}}", e.threads));
+            out.push_str(if i + 1 < self.experiments.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+        if let Some(c) = &self.zmap_campaign {
+            out.push_str(&format!(
+                ",\n  \"zmap_campaign\": {{\n    \"scans\": {}, \"records\": {}, \"threads\": {},\n    \
+                 \"serial_secs\": {}, \"parallel_secs\": {}, \"speedup\": {}\n  }}",
+                c.scans,
+                c.records,
+                c.threads,
+                json_f64(c.serial_secs),
+                json_f64(c.parallel_secs),
+                json_f64(c.speedup()),
+            ));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The default output path: `$BEWARE_BENCH_JSON` when set, else
+    /// `BENCH_1.json` at the workspace root (resolved relative to this
+    /// crate, so it lands in the same place no matter which directory
+    /// `cargo bench` runs from).
+    pub fn default_path() -> PathBuf {
+        if let Ok(p) = std::env::var("BEWARE_BENCH_JSON") {
+            return PathBuf::from(p);
+        }
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("bench crate lives two levels below the workspace root")
+            .join("BENCH_1.json")
+    }
+
+    /// Write to [`default_path`](Self::default_path), returning the path.
+    pub fn write_default(&self) -> std::io::Result<PathBuf> {
+        let path = Self::default_path();
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Records per second; zero when the interval is degenerate.
+fn rate(records: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        records as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// A JSON number: finite, fixed six decimal places (stable diffs, enough
+/// resolution for microsecond-scale steps).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".into()
+    }
+}
+
+/// A JSON string literal (names are ASCII identifiers; escape anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let mut r = BenchReport::new("small", 4);
+        r.push_with_records("shared_context", 1.5, 3_000, 4);
+        r.push("fig1", 0.25, 1);
+        r.zmap_campaign = Some(CampaignBench {
+            scans: 17,
+            records: 10_000,
+            threads: 4,
+            serial_secs: 4.0,
+            parallel_secs: 1.0,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"scale\": \"small\""));
+        assert!(json.contains("\"records_per_sec\": 2000.000000"));
+        assert!(json.contains("\"speedup\": 4.000000"));
+        // fig1 has no record stream -> no records key on its line.
+        let fig1 = json.lines().find(|l| l.contains("\"fig1\"")).unwrap();
+        assert!(!fig1.contains("records"));
+        // Brace balance — cheap structural sanity without a JSON parser.
+        assert_eq!(
+            json.matches(['{', '[']).count(),
+            json.matches(['}', ']']).count()
+        );
+    }
+
+    #[test]
+    fn speedup_guards_zero() {
+        let c = CampaignBench {
+            scans: 1,
+            records: 0,
+            threads: 1,
+            serial_secs: 1.0,
+            parallel_secs: 0.0,
+        };
+        assert_eq!(c.speedup(), 0.0);
+    }
+
+    #[test]
+    fn strings_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("\n"), "\"\\u000a\"");
+    }
+}

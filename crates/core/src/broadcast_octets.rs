@@ -84,26 +84,51 @@ pub fn zmap_broadcast_octets(scan: &ZmapScan) -> OctetHistogram {
     hist
 }
 
+/// Per unmatched response, a reflector flood sends hundreds of packets per
+/// survey round while a subnet broadcast responder answers only when its
+/// subnet's broadcast/network address is probed — a handful per round.
+/// Responders above this per-round multiplicity are floods (the paper
+/// analyzes them separately in Section 3.3.2 / Figure 5) and would smear
+/// the octet attribution if left in.
+const FLOOD_UNMATCHED_PER_ROUND: u64 = 8;
+
 /// Figure 3: per last octet of the **most recently probed address in the
 /// same /24**, the number of unmatched responses that followed it.
+///
+/// Reflector floods (Section 3.3.2) are excluded: one flooding address can
+/// outnumber every broadcast responder combined, and its responses arrive
+/// spread over minutes, attributing to whatever octets happened to be
+/// probed next.
 pub fn survey_unmatched_octets(records: &[Record]) -> OctetHistogram {
-    // Probe times per /24 block: (time, last octet), sorted by time.
+    // Probe times per /24 block: (time, last octet), sorted by time. Also
+    // count probes per address — the per-address maximum estimates the
+    // number of survey rounds without needing the survey config here.
     let mut probes: HashMap<u32, Vec<(u32, u8)>> = HashMap::new();
+    let mut probes_per_addr: HashMap<u32, u64> = HashMap::new();
+    let mut unmatched_per_addr: HashMap<u32, u64> = HashMap::new();
     for r in records {
         match r.kind {
             RecordKind::Matched { .. } | RecordKind::Timeout | RecordKind::IcmpError { .. } => {
                 probes.entry(r.addr >> 8).or_default().push((r.time_s, (r.addr & 0xff) as u8));
+                *probes_per_addr.entry(r.addr).or_default() += 1;
             }
-            RecordKind::Unmatched { .. } => {}
+            RecordKind::Unmatched { .. } => {
+                *unmatched_per_addr.entry(r.addr).or_default() += 1;
+            }
         }
     }
     for v in probes.values_mut() {
         v.sort_unstable();
     }
+    let rounds = probes_per_addr.values().copied().max().unwrap_or(1).max(1);
+    let flood_threshold = FLOOD_UNMATCHED_PER_ROUND * rounds;
 
     let mut hist = OctetHistogram::default();
     for r in records {
         let RecordKind::Unmatched { recv_s } = r.kind else { continue };
+        if unmatched_per_addr.get(&r.addr).copied().unwrap_or(0) > flood_threshold {
+            continue;
+        }
         let Some(block_probes) = probes.get(&(r.addr >> 8)) else { continue };
         let i = block_probes.partition_point(|&(t, _)| t <= recv_s);
         if i == 0 {

@@ -7,7 +7,7 @@ use crate::filters::duplicates::{duplicate_offenders, max_responses_per_request}
 use crate::matching::match_unmatched;
 use crate::percentile::LatencySamples;
 use beware_dataset::Record;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Pipeline parameters; defaults are the paper's.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -61,9 +61,11 @@ pub struct PipelineOutput {
     /// matched RTTs (µs precision) plus recovered delayed latencies
     /// (second precision), for addresses that survived both filters.
     pub samples: BTreeMap<u32, LatencySamples>,
-    /// The same, **before** filtering (naive matching) — the "before"
-    /// curve of Figure 6 with its 165/330/495 s bumps.
-    pub naive_samples: BTreeMap<u32, LatencySamples>,
+    /// Samples of the addresses the filters removed. Disjoint from
+    /// `samples`; the union of the two is the naive (pre-filter) dataset —
+    /// see [`naive_samples`](Self::naive_samples). Partitioning by move
+    /// avoids cloning every surviving sample set.
+    pub rejected_samples: BTreeMap<u32, LatencySamples>,
     /// Addresses marked as broadcast responders.
     pub broadcast_responders: BTreeSet<u32>,
     /// Addresses exceeding the duplicate threshold (excluding those
@@ -76,10 +78,30 @@ pub struct PipelineOutput {
     pub accounting: Accounting,
 }
 
-/// Per-address samples from **survey-detected responses only** (Figure 1's
-/// view of the data, clipped at the prober timeout).
-pub fn survey_samples(records: &[Record]) -> BTreeMap<u32, LatencySamples> {
-    let mut out: BTreeMap<u32, LatencySamples> = BTreeMap::new();
+impl PipelineOutput {
+    /// The naive (pre-filter) view — the "before" curve of Figure 6 with
+    /// its 165/330/495 s bumps: every address, surviving or rejected,
+    /// with its unfiltered samples. Filtering removes whole addresses,
+    /// never individual samples, so survivors' naive samples are their
+    /// filtered ones.
+    pub fn naive_samples(&self) -> impl Iterator<Item = (u32, &LatencySamples)> {
+        self.samples
+            .iter()
+            .chain(self.rejected_samples.iter())
+            .map(|(&a, s)| (a, s))
+    }
+
+    /// Naive samples of one address, surviving or rejected.
+    pub fn naive_sample(&self, addr: u32) -> Option<&LatencySamples> {
+        self.samples.get(&addr).or_else(|| self.rejected_samples.get(&addr))
+    }
+}
+
+/// Accumulate matched RTTs per address. Hash-addressed: the B-tree's
+/// ordered structure is only needed at output, so ingestion avoids its
+/// per-record node traffic.
+fn accumulate_matched(records: &[Record]) -> HashMap<u32, LatencySamples> {
+    let mut out: HashMap<u32, LatencySamples> = HashMap::new();
     for r in records {
         if let Some(rtt) = r.rtt_secs() {
             out.entry(r.addr).or_default().push(rtt);
@@ -88,23 +110,39 @@ pub fn survey_samples(records: &[Record]) -> BTreeMap<u32, LatencySamples> {
     out
 }
 
+/// Flush each sample set and emit in address order.
+fn extract_sorted(map: HashMap<u32, LatencySamples>) -> BTreeMap<u32, LatencySamples> {
+    map.into_iter()
+        .map(|(a, mut s)| {
+            s.flush();
+            (a, s)
+        })
+        .collect()
+}
+
+/// Per-address samples from **survey-detected responses only** (Figure 1's
+/// view of the data, clipped at the prober timeout).
+pub fn survey_samples(records: &[Record]) -> BTreeMap<u32, LatencySamples> {
+    extract_sorted(accumulate_matched(records))
+}
+
 /// Run matching, filtering and accounting over one survey's records.
 pub fn run_pipeline(records: &[Record], cfg: &PipelineCfg) -> PipelineOutput {
     // 1. Survey-detected responses.
-    let mut naive_samples = survey_samples(records);
+    let mut acc = accumulate_matched(records);
     let survey_detected = CountRow {
         packets: records.iter().filter(|r| r.is_matched()).count() as u64,
-        addresses: naive_samples.len() as u64,
+        addresses: acc.len() as u64,
     };
 
     // 2. Naive matching of unmatched responses.
     let outcome = match_unmatched(records);
     for d in &outcome.delayed {
-        naive_samples.entry(d.addr).or_default().push(f64::from(d.latency_s));
+        acc.entry(d.addr).or_default().push(f64::from(d.latency_s));
     }
     let naive_matching = CountRow {
         packets: survey_detected.packets + outcome.delayed.len() as u64,
-        addresses: naive_samples.len() as u64,
+        addresses: acc.len() as u64,
     };
 
     // 3. Filters.
@@ -115,29 +153,35 @@ pub fn run_pipeline(records: &[Record], cfg: &PipelineCfg) -> PipelineOutput {
     // counted under broadcast.
     dup_set.retain(|a| !broadcast_responders.contains(a));
 
-    // 4. Accounting of the discarded responses.
-    let count_naive_packets = |addrs: &BTreeSet<u32>| -> u64 {
+    // 4. Partition into survivors and rejects by move — no sample set is
+    // cloned.
+    let mut samples: BTreeMap<u32, LatencySamples> = BTreeMap::new();
+    let mut rejected_samples: BTreeMap<u32, LatencySamples> = BTreeMap::new();
+    for (a, mut s) in acc {
+        s.flush();
+        if broadcast_responders.contains(&a) || dup_set.contains(&a) {
+            rejected_samples.insert(a, s);
+        } else {
+            samples.insert(a, s);
+        }
+    }
+
+    // 5. Accounting of the discarded responses and the final dataset.
+    let count_rejected_packets = |addrs: &BTreeSet<u32>| -> u64 {
         addrs
             .iter()
-            .filter_map(|a| naive_samples.get(a))
+            .filter_map(|a| rejected_samples.get(a))
             .map(|s| s.len() as u64)
             .sum()
     };
     let broadcast_responses = CountRow {
-        packets: count_naive_packets(&broadcast_responders),
+        packets: count_rejected_packets(&broadcast_responders),
         addresses: broadcast_responders.len() as u64,
     };
     let duplicate_responses = CountRow {
-        packets: count_naive_packets(&dup_set),
+        packets: count_rejected_packets(&dup_set),
         addresses: dup_set.len() as u64,
     };
-
-    // 5. The combined, filtered dataset.
-    let samples: BTreeMap<u32, LatencySamples> = naive_samples
-        .iter()
-        .filter(|(a, _)| !broadcast_responders.contains(a) && !dup_set.contains(a))
-        .map(|(a, s)| (*a, s.clone()))
-        .collect();
     let survey_plus_delayed = CountRow {
         packets: samples.values().map(|s| s.len() as u64).sum(),
         addresses: samples.len() as u64,
@@ -145,7 +189,7 @@ pub fn run_pipeline(records: &[Record], cfg: &PipelineCfg) -> PipelineOutput {
 
     PipelineOutput {
         samples,
-        naive_samples,
+        rejected_samples,
         broadcast_responders,
         duplicate_offenders: dup_set,
         max_responses,
@@ -160,17 +204,19 @@ pub fn run_pipeline(records: &[Record], cfg: &PipelineCfg) -> PipelineOutput {
 }
 
 /// Merge per-address samples from several surveys (the paper combines
-/// IT63w and IT63c before computing Table 2).
+/// IT63w and IT63c before computing Table 2). Each input set is already
+/// sorted, so per address this is a k-way merge of sorted runs rather
+/// than a concat-and-resort.
 pub fn merge_samples(
     parts: Vec<BTreeMap<u32, LatencySamples>>,
 ) -> BTreeMap<u32, LatencySamples> {
-    let mut out: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    let mut runs: HashMap<u32, Vec<Vec<f64>>> = HashMap::new();
     for part in parts {
         for (addr, samples) in part {
-            out.entry(addr).or_default().extend_from_slice(samples.values());
+            runs.entry(addr).or_default().push(samples.into_sorted_vec());
         }
     }
-    out.into_iter().map(|(a, v)| (a, LatencySamples::from_values(v))).collect()
+    runs.into_iter().map(|(a, r)| (a, LatencySamples::from_sorted_runs(r))).collect()
 }
 
 #[cfg(test)]
@@ -231,7 +277,11 @@ mod tests {
         let med = b.percentile(50.0).unwrap();
         assert!((15.0..=39.0).contains(&med), "median {med}");
         // The naive (pre-filter) view still shows C's 330 s artifact.
-        assert!((out.naive_samples[&C].percentile(50.0).unwrap() - 330.0).abs() < 1e-9);
+        let c = out.naive_sample(C).expect("C rejected but visible naively");
+        assert!((c.percentile(50.0).unwrap() - 330.0).abs() < 1e-9);
+        // And the naive view is the disjoint union of both partitions.
+        assert_eq!(out.naive_samples().count(), 4);
+        assert!(out.naive_sample(A).is_some());
     }
 
     #[test]
@@ -240,6 +290,9 @@ mod tests {
         assert!(out.broadcast_responders.is_disjoint(&out.duplicate_offenders));
         assert_eq!(out.broadcast_responders, BTreeSet::from([C]));
         assert_eq!(out.duplicate_offenders, BTreeSet::from([D]));
+        let sample_addrs: BTreeSet<u32> = out.samples.keys().copied().collect();
+        let rejected_addrs: BTreeSet<u32> = out.rejected_samples.keys().copied().collect();
+        assert!(sample_addrs.is_disjoint(&rejected_addrs));
     }
 
     #[test]
@@ -265,6 +318,7 @@ mod tests {
         p2.insert(2u32, LatencySamples::from_values(vec![1.0]));
         let merged = merge_samples(vec![p1, p2]);
         assert_eq!(merged[&1].len(), 3);
+        assert_eq!(merged[&1].values().as_ref(), &[0.1, 0.2, 0.3]);
         assert_eq!(merged[&2].len(), 1);
     }
 
@@ -272,6 +326,7 @@ mod tests {
     fn empty_records_yield_empty_output() {
         let out = run_pipeline(&[], &PipelineCfg::default());
         assert!(out.samples.is_empty());
+        assert!(out.rejected_samples.is_empty());
         assert_eq!(out.accounting.survey_detected, CountRow::default());
     }
 }

@@ -58,6 +58,43 @@ proptest! {
         prop_assert!(s.percentile(lo).unwrap() <= s.percentile(hi).unwrap());
     }
 
+    /// The lazy-sort representation (sorted run + unsorted tail) must be
+    /// observationally identical to an eagerly-sorted reference under any
+    /// interleaving of `push` with reads — the reads must never see the
+    /// tail, whether or not a merge happened to run, and an explicit
+    /// `flush` anywhere in the sequence must change nothing observable.
+    #[test]
+    fn lazy_samples_match_eager_reference(
+        ops in proptest::collection::vec((0.0f64..700.0, 0u8..5), 1..250),
+        p in 1.0f64..=100.0,
+        x in 0.0f64..700.0,
+    ) {
+        let mut lazy = LatencySamples::new();
+        let mut pushed: Vec<f64> = Vec::new();
+        for (v, op) in ops {
+            lazy.push(v);
+            pushed.push(v);
+            let eager = LatencySamples::from_values(pushed.clone());
+            match op {
+                0 => prop_assert_eq!(lazy.percentile(p), eager.percentile(p)),
+                1 => prop_assert!(
+                    (lazy.fraction_above(x) - eager.fraction_above(x)).abs() < 1e-12
+                ),
+                2 => prop_assert_eq!(lazy.values().as_ref(), eager.values().as_ref()),
+                3 => lazy.flush(),
+                _ => {} // push-only step
+            }
+            prop_assert_eq!(lazy.len(), eager.len());
+        }
+        let eager = LatencySamples::from_values(pushed);
+        prop_assert_eq!(&lazy, &eager);
+        prop_assert_eq!(
+            lazy.clone().into_sorted_vec(),
+            eager.clone().into_sorted_vec()
+        );
+        prop_assert_eq!(lazy.paper_profile(), eager.paper_profile());
+    }
+
     #[test]
     fn fraction_above_agrees_with_direct_count(values in arb_latencies(), x in 0.0f64..700.0) {
         let s = LatencySamples::from_values(values.clone());

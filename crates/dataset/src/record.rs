@@ -5,10 +5,9 @@
 //! reports is 517 s), survey-relative timestamps in whole seconds as `u32`
 //! (a survey spans two weeks ≈ 1.2 M s).
 
-use serde::{Deserialize, Serialize};
 
 /// What happened to one probe (or one stray response).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecordKind {
     /// The response arrived within the prober's match window; RTT is
     /// microsecond-precise ("survey-detected response").
@@ -33,7 +32,7 @@ pub enum RecordKind {
 }
 
 /// One record of the survey dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Record {
     /// The probed address for `Matched`/`Timeout`/`IcmpError`; the
     /// **source** address of the response for `Unmatched` (the prober

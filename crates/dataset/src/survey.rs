@@ -1,11 +1,10 @@
 //! Survey container, metadata and the streaming sink probers write into.
 
 use crate::record::{Record, RecordKind};
-use serde::{Deserialize, Serialize};
 
 /// Identity of one survey, mirroring ISI's naming (`IT63w` = survey 63
 /// from vantage `w`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SurveyMeta {
     /// Survey name, e.g. `IT63w`.
     pub name: String,
@@ -86,7 +85,7 @@ impl RecordSink for SurveyStats {
 }
 
 /// A survey: metadata plus its records, with derived statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Survey {
     /// Identity.
     pub meta: SurveyMeta,

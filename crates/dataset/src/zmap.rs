@@ -5,10 +5,9 @@
 //! record: who was probed, who answered (they differ for broadcast
 //! responders), and the RTT — no per-probe state at the scanner.
 
-use serde::{Deserialize, Serialize};
 
 /// One response observed by a scan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScanRecord {
     /// Destination originally probed (recovered from the payload).
     pub probed: u32,
@@ -32,7 +31,7 @@ impl ScanRecord {
 }
 
 /// Scan identity, mirroring the paper's Table 3 columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScanMeta {
     /// Human label, e.g. `Apr 17, 2015`.
     pub label: String,
@@ -43,7 +42,7 @@ pub struct ScanMeta {
 }
 
 /// One complete scan: metadata plus every response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZmapScan {
     /// Identity.
     pub meta: ScanMeta,

@@ -125,11 +125,11 @@ pub fn class_of(world_seed: u64, profile: &BlockProfile, addr: u32) -> HostClass
     let s = derive_seed(world_seed, u64::from(addr));
     let p = |st: u64| unit_hash(s, st);
     HostClass {
-        wakeup: profile.wakeup.map_or(false, |w| p(stream::WAKEUP) < w.host_prob),
-        congested: profile.congestion.map_or(false, |c| p(stream::CONGESTED) < c.host_prob),
-        intermittent: profile.episodes.map_or(false, |e| p(stream::INTERMITTENT) < e.host_prob),
-        stormy: profile.storms.map_or(false, |s| p(stream::STORMY) < s.host_prob),
-        reflector: profile.dos.map_or(false, |d| p(stream::REFLECTOR) < d.addr_prob),
+        wakeup: profile.wakeup.is_some_and(|w| p(stream::WAKEUP) < w.host_prob),
+        congested: profile.congestion.is_some_and(|c| p(stream::CONGESTED) < c.host_prob),
+        intermittent: profile.episodes.is_some_and(|e| p(stream::INTERMITTENT) < e.host_prob),
+        stormy: profile.storms.is_some_and(|s| p(stream::STORMY) < s.host_prob),
+        reflector: profile.dos.is_some_and(|d| p(stream::REFLECTOR) < d.addr_prob),
     }
 }
 
@@ -747,7 +747,11 @@ mod tests {
             ..plain_profile()
         };
         let mut h = HostState::new(SEED, &p, 0x0a000005, t(0.0));
-        assert!(h.respond(&p, t(50.0)).is_empty());
+        // The renewal phase is stationary, so a single instant can land in
+        // the ≤ 10 s inter-storm gap; probe a 200 s window instead. With
+        // 1000 s storms at most one gap fits inside it.
+        let dropped = (0..200).filter(|i| h.respond(&p, t(f64::from(*i))).is_empty()).count();
+        assert!(dropped >= 185, "only {dropped}/200 probes dropped by storm loss");
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! Module map: [`time`] and [`event`] are the discrete-event substrate,
 //! [`rng`] the seeded distributions, [`packet`] the packet model bridging
 //! to `beware-wire` bytes, [`profile`]/[`host`]/[`world`] the behavior
-//! models, [`sim`] the agent event loop, and [`scenario`] the
-//! paper-calibrated world builder.
+//! models, [`sim`] the agent event loop, [`scenario`] the
+//! paper-calibrated world builder, and [`exec`] the deterministic worker
+//! pool fanning independent simulations across threads.
 //!
 //! Everything is deterministic under a seed; two runs of the same scenario
 //! produce identical packet traces.
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod exec;
 pub mod host;
 pub mod packet;
 pub mod profile;
@@ -39,6 +41,7 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
+pub use exec::{default_threads, run_tasks};
 pub use packet::{Arrival, Packet, L4};
 pub use profile::BlockProfile;
 pub use scenario::{Scenario, ScenarioCfg, Vantage, VANTAGES};

@@ -150,7 +150,7 @@ impl Scenario {
     /// that interrogate host-level ground truth (e.g. the filter-ablation
     /// experiment asks which addresses *really are* broadcast responders).
     pub fn world_seed(&self) -> u64 {
-        derive_seed(self.cfg.seed, 0x3041_1d)
+        derive_seed(self.cfg.seed, 0x0030_411d)
     }
 
     /// Instantiate the world as seen from the scenario's vantage point.

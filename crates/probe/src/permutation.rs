@@ -108,13 +108,13 @@ fn is_prime(n: u64) -> bool {
         if n == q {
             return true;
         }
-        if n % q == 0 {
+        if n.is_multiple_of(q) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -139,7 +139,7 @@ fn next_prime(mut n: u64) -> u64 {
     if n <= 2 {
         return 2;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         n += 1;
     }
     while !is_prime(n) {
@@ -154,9 +154,9 @@ fn prime_factors(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }

@@ -56,7 +56,7 @@ fn main() {
 
     // Attribute the turtles.
     println!("\ntop Autonomous Systems by addresses with RTT > 1 s:");
-    for r in rank_ases(&[scan.clone()], &db, 1.0).iter().take(8) {
+    for r in rank_ases(std::slice::from_ref(&scan), &db, 1.0).iter().take(8) {
         println!(
             "  {:<9} {:<28} [{}] {:>5} turtles ({:.1}% of its responders)",
             r.asn.to_string(),

@@ -13,6 +13,7 @@
 
 use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
 use beware::analysis::recommend;
+use beware::bench::{ExperimentCtx, Scale};
 use beware::analysis::report::{fmt_count, series_to_csv, Series};
 use beware::analysis::timeout_table::TimeoutTable;
 use beware::analysis::Cdf;
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags),
+        "campaign" => cmd_campaign(&flags),
         "survey" => cmd_survey(&flags),
         "scan" => cmd_scan(&flags),
         "census" => cmd_census(&flags),
@@ -68,6 +70,8 @@ const USAGE: &str = "beware — 'Timeouts: Beware Surprisingly High Delay' toolk
 
 commands:
   generate   --blocks N --year Y --seed S --out plan.tsv
+  campaign   --out DIR [--threads N] [--scale small|bench] [--blocks N]
+             [--survey-blocks N] [--rounds R] [--scans N] [--seed S]
   survey     --plan plan.tsv --rounds R [--sample N] [--seed S] [--vantage w|c|j|g] --out survey.bwss
   scan       --plan plan.tsv [--duration SECS] [--seed S] --out scan.tsv
   census     --plan plan.tsv [--count N] [--seed S] --out blocks.txt
@@ -143,6 +147,99 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
         plan.year,
         plan.registry.len(),
         fmt_count(plan.address_count())
+    );
+    Ok(())
+}
+
+/// Run the full shared campaign (two surveys + pipelines + the zmap scan
+/// campaign) on a worker pool and write the datasets plus a summary
+/// report. The written files are byte-identical for any `--threads`
+/// value — the fan-out is deterministic (see `beware::netsim::exec`).
+fn cmd_campaign(flags: &Flags) -> Result<(), String> {
+    let mut scale = match flags.str("scale").unwrap_or("small") {
+        "small" => Scale::small(),
+        "bench" => Scale::bench(),
+        other => return Err(format!("unknown scale `{other}` (use small or bench)")),
+    };
+    scale.internet_blocks = flags.num("blocks", scale.internet_blocks)?;
+    scale.survey_blocks = flags.num("survey-blocks", scale.survey_blocks)?;
+    scale.survey_rounds = flags.num("rounds", scale.survey_rounds)?;
+    scale.zmap_scans = flags.num("scans", scale.zmap_scans)?;
+    scale.seed = flags.num("seed", scale.seed)?;
+    let threads: usize = flags.num("threads", beware::netsim::default_threads())?;
+    let out_dir = std::path::Path::new(flags.required("out")?);
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+
+    let t0 = std::time::Instant::now();
+    let ctx = ExperimentCtx::build_with_threads(scale, threads);
+
+    for survey in [&ctx.survey_w, &ctx.survey_c] {
+        let name = format!("survey_{}.bwss", survey.meta.vantage);
+        let path = out_dir.join(&name);
+        let file = File::create(&path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+        let mut writer = StreamWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
+        for r in &survey.records {
+            beware::dataset::RecordSink::push(&mut writer, *r);
+        }
+        writer.finish().map_err(|e| e.to_string())?;
+    }
+    for (i, scan) in ctx.scans.iter().enumerate() {
+        let path = out_dir.join(format!("scan_{i:02}.tsv"));
+        let mut w = BufWriter::new(File::create(&path).map_err(|e| e.to_string())?);
+        writeln!(w, "probed\tresponder\trtt_us").map_err(|e| e.to_string())?;
+        for r in &scan.records {
+            writeln!(w, "{}\t{}\t{}", r.probed, r.responder, r.rtt_us).map_err(|e| e.to_string())?;
+        }
+        w.flush().map_err(|e| e.to_string())?;
+    }
+
+    // The report carries only simulation-derived numbers — nothing about
+    // wall-clock or thread count — so it byte-compares across runs.
+    let mut report = String::new();
+    report.push_str(&format!(
+        "campaign seed {} | {} blocks | {} survey blocks x {} rounds | {} scans\n\n",
+        scale.seed, scale.internet_blocks, scale.survey_blocks, scale.survey_rounds,
+        scale.zmap_scans,
+    ));
+    for (survey, pipe) in [(&ctx.survey_w, &ctx.pipeline_w), (&ctx.survey_c, &ctx.pipeline_c)] {
+        let acc = pipe.accounting;
+        report.push_str(&format!(
+            "{}: {} probes, {:.2}% matched, {} unmatched responses\n  \
+             survey-detected {}/{} | naive {}/{} | broadcast -{}/{} | dup -{}/{} | final {}/{}\n",
+            survey.meta.display_name(),
+            survey.stats.probes(),
+            100.0 * survey.stats.response_rate(),
+            survey.stats.unmatched,
+            acc.survey_detected.packets, acc.survey_detected.addresses,
+            acc.naive_matching.packets, acc.naive_matching.addresses,
+            acc.broadcast_responses.packets, acc.broadcast_responses.addresses,
+            acc.duplicate_responses.packets, acc.duplicate_responses.addresses,
+            acc.survey_plus_delayed.packets, acc.survey_plus_delayed.addresses,
+        ));
+    }
+    report.push('\n');
+    if let Some(table) = TimeoutTable::compute(&ctx.combined_samples) {
+        report.push_str(&table.render("minimum timeout (s): c% of pings from r% of addresses"));
+    }
+    report.push('\n');
+    for (i, scan) in ctx.scans.iter().enumerate() {
+        report.push_str(&format!(
+            "scan {i:02} [{} {} {}]: {} responses from {} responders\n",
+            scan.meta.label, scan.meta.day, scan.meta.begin,
+            scan.response_count(), scan.responder_count(),
+        ));
+    }
+    let report_path = out_dir.join("report.txt");
+    std::fs::write(&report_path, report).map_err(|e| e.to_string())?;
+
+    println!(
+        "campaign complete on {threads} thread(s) in {:?}: 2 surveys ({} + {} records), \
+         {} scans -> {}",
+        t0.elapsed(),
+        ctx.survey_w.records.len(),
+        ctx.survey_c.records.len(),
+        ctx.scans.len(),
+        out_dir.display(),
     );
     Ok(())
 }

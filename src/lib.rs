@@ -8,7 +8,9 @@
 //! * [`dataset`] — ISI-survey-like record model and codecs,
 //! * [`probe`] — survey / zmap / scamper probing engines,
 //! * [`analysis`] — the paper's analysis pipeline: unmatched-response
-//!   matching, artifact filters, percentile aggregation and timeout tables.
+//!   matching, artifact filters, percentile aggregation and timeout tables,
+//! * [`bench`] — the campaign harness: scaled experiment contexts and the
+//!   deterministic parallel fan-out behind `beware campaign --threads N`.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and `DESIGN.md` for
 //! the per-experiment index.
@@ -16,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub use beware_asdb as asdb;
+pub use beware_bench as bench;
 pub use beware_core as analysis;
 pub use beware_dataset as dataset;
 pub use beware_netsim as netsim;

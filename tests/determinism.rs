@@ -82,3 +82,60 @@ fn text_and_binary_codecs_agree() {
     let from_text = textfmt::from_text(&text).unwrap();
     assert_eq!(records, from_text);
 }
+
+/// Every file a campaign writes, name → bytes.
+fn dir_contents(dir: &std::path::Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+    let mut out = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("output dir readable") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().into_string().expect("utf-8 file name");
+        out.insert(name, std::fs::read(entry.path()).expect("file readable"));
+    }
+    out
+}
+
+fn run_campaign(out_dir: &std::path::Path, threads: u32) {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_beware"))
+        .args(["campaign", "--threads", &threads.to_string()])
+        .args(["--blocks", "48", "--survey-blocks", "12", "--rounds", "12", "--scans", "4"])
+        .arg("--out")
+        .arg(out_dir)
+        .status()
+        .expect("campaign runs");
+    assert!(status.success(), "campaign --threads {threads} failed");
+}
+
+/// The parallel-determinism contract, end to end: `--threads 4` must
+/// produce byte-identical datasets and reports to `--threads 1` (the
+/// serial reference path). See `beware::netsim::exec` for the contract
+/// and DESIGN.md §6 for the seed-derivation scheme.
+#[test]
+fn parallel_matches_serial() {
+    let base = std::env::temp_dir().join(format!("beware-determinism-{}", std::process::id()));
+    let serial_dir = base.join("threads1");
+    let parallel_dir = base.join("threads4");
+    run_campaign(&serial_dir, 1);
+    run_campaign(&parallel_dir, 4);
+
+    let serial = dir_contents(&serial_dir);
+    let parallel = dir_contents(&parallel_dir);
+    assert!(
+        serial.keys().any(|n| n.starts_with("scan_")),
+        "campaign wrote no scans: {:?}",
+        serial.keys().collect::<Vec<_>>()
+    );
+    assert!(serial.contains_key("survey_w.bwss") && serial.contains_key("report.txt"));
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "file sets differ"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(
+            Some(bytes),
+            parallel.get(name),
+            "{name} differs between --threads 1 and --threads 4"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of criterion 0.5 the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed in
+//! growing batches until a fixed wall-clock budget is spent; the reported
+//! number is the median per-iteration time across batches. No statistical
+//! analysis, plots, or baseline storage — output is one line per benchmark
+//! on stdout. Command-line arguments are treated as substring filters on
+//! benchmark names, like the real harness.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are amortized in [`Bencher::iter_batched`].
+/// The stand-in times every call individually, so the variants only hint
+/// at batch sizing and are otherwise equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small cheap inputs.
+    SmallInput,
+    /// Large inputs whose setup cost rivals the routine.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Accumulated measured time across timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations contributing to `elapsed`.
+    iters: u64,
+    /// How many iterations the harness asks for in this pass.
+    budget: u64,
+}
+
+impl Bencher {
+    /// Time `routine` for this pass's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.budget {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.budget;
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filters: Vec<String>,
+    /// Wall-clock measurement budget per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Everything after a `--` separator (cargo bench passes one) that
+        // is not a flag is a name filter, matching real criterion's CLI.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters, measure_for: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Configure the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure_for = d;
+        self
+    }
+
+    /// Run one benchmark if it passes the CLI name filter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|s| name.contains(s.as_str())) {
+            return self;
+        }
+        // Calibration pass: find how many iterations fit ~10ms.
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, budget: 1 };
+        f(&mut b);
+        let per_iter = if b.iters > 0 && !b.elapsed.is_zero() {
+            b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+        } else {
+            Duration::from_nanos(1)
+        };
+        let per_pass = Duration::from_millis(10).as_nanos();
+        let budget = (per_pass / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        // Measurement passes: per-pass medians over the time budget.
+        let mut pass_times: Vec<f64> = Vec::new();
+        let deadline = Instant::now() + self.measure_for;
+        while Instant::now() < deadline || pass_times.len() < 3 {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, budget };
+            f(&mut b);
+            if b.iters > 0 {
+                pass_times.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if pass_times.len() >= 200 {
+                break;
+            }
+        }
+        pass_times.sort_by(|a, b| a.total_cmp(b));
+        let median = pass_times[pass_times.len() / 2];
+        println!("{:<44} time: [{}]", name, format_time(median));
+        self
+    }
+
+    /// No-op in the stand-in; real criterion writes reports here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_filters() {
+        let mut c = Criterion { filters: vec![], measure_for: Duration::from_millis(5) };
+        let mut hits = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        let mut filtered = Criterion { filters: vec!["nomatch".into()], measure_for: Duration::from_millis(5) };
+        filtered.bench_function("smoke/skipped", |b| {
+            b.iter(|| {
+                hits += 1;
+            })
+        });
+        assert_eq!(hits, 0, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(3.2e-9).ends_with("ns"));
+        assert!(format_time(4.5e-5).ends_with("µs"));
+        assert!(format_time(0.012).ends_with("ms"));
+        assert!(format_time(2.5).ends_with(" s"));
+    }
+}
