@@ -10,10 +10,11 @@
 //! and thread count per experiment, plus a serial-vs-parallel timing of
 //! the zmap scan campaign on the deterministic worker pool.
 
-use beware_bench::ctx::run_scan_campaign;
-use beware_bench::perf::CampaignBench;
+use beware_bench::ctx::{run_scan_campaign, run_scan_campaign_with};
+use beware_bench::perf::{CampaignBench, TelemetryBench};
 use beware_bench::{experiments, BenchReport, ExperimentCtx, Scale};
 use beware_netsim::exec::default_threads;
+use beware_telemetry::Registry;
 use std::time::Instant;
 
 fn main() {
@@ -109,6 +110,44 @@ fn main() {
         campaign.speedup(),
     );
     report.zmap_campaign = Some(campaign);
+
+    // Telemetry overhead: the same campaign with counters off vs on,
+    // best-of-N each to shed scheduler noise (run-to-run swing on a busy
+    // box exceeds the true cost, so the floor needs several samples).
+    // Counters flush once per task, so "on" should track "off" within a
+    // few percent.
+    const TELEMETRY_ITERS: u32 = 5;
+    let mut off_secs = f64::MAX;
+    let mut on_secs = f64::MAX;
+    let mut snapshot = Registry::new();
+    for _ in 0..TELEMETRY_ITERS {
+        let t = Instant::now();
+        let plain = run_scan_campaign(&ctx.scenario, &scale, threads);
+        off_secs = off_secs.min(t.elapsed().as_secs_f64());
+        let mut metrics = Registry::new();
+        let t = Instant::now();
+        let instrumented = run_scan_campaign_with(&ctx.scenario, &scale, threads, &mut metrics);
+        on_secs = on_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            plain.iter().map(|s| s.records.len()).collect::<Vec<_>>(),
+            instrumented.iter().map(|s| s.records.len()).collect::<Vec<_>>(),
+            "telemetry changed the campaign output"
+        );
+        snapshot = metrics;
+    }
+    let telemetry = TelemetryBench {
+        off_secs,
+        on_secs,
+        iterations: TELEMETRY_ITERS,
+        metrics_json: snapshot.to_json(),
+    };
+    println!(
+        "---- telemetry overhead (campaign, best of {TELEMETRY_ITERS}): off {:.3}s, on {:.3}s, {:+.2}% ----\n",
+        telemetry.off_secs,
+        telemetry.on_secs,
+        telemetry.overhead() * 100.0,
+    );
+    report.telemetry = Some(telemetry);
 
     match report.write_default() {
         Ok(path) => println!("perf report -> {}", path.display()),

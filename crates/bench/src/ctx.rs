@@ -3,15 +3,14 @@
 
 use crate::scale::Scale;
 use beware_asdb::AsDb;
-use beware_core::pipeline::{merge_samples, run_pipeline, PipelineCfg, PipelineOutput};
+use beware_core::pipeline::{merge_samples, run_pipeline_with, PipelineCfg, PipelineOutput};
 use beware_core::LatencySamples;
 use beware_dataset::{Record, ScanMeta, SurveyMeta, SurveyStats, ZmapScan};
 use beware_netsim::exec::{default_threads, run_tasks};
 use beware_netsim::rng::derive_seed;
 use beware_netsim::scenario::{vantage, Scenario, ScenarioCfg};
-use beware_probe::scamper::{run_jobs, JobResult, PingJob};
-use beware_probe::survey::{run_survey, SurveyCfg};
-use beware_probe::zmap::{run_scan, ZmapCfg};
+use beware_probe::prelude::*;
+use beware_telemetry::Registry;
 use std::collections::BTreeMap;
 
 /// The 17 scan slots of the paper's Table 3 (date label, weekday, begin).
@@ -102,28 +101,46 @@ impl ExperimentCtx {
     /// Every task (each survey+pipeline, each scan slot) is independently
     /// seeded, so the result does not depend on `threads`.
     pub fn build_with_threads(scale: Scale, threads: usize) -> Self {
+        Self::build_with_metrics(scale, threads, &mut Registry::disabled())
+    }
+
+    /// Like [`build_with_threads`](Self::build_with_threads), additionally
+    /// collecting telemetry. Each fan-out task records into its own
+    /// registry; the per-task registries are merged into `metrics` in
+    /// fixed task order (surveys first, then scan slots ascending), so the
+    /// merged result is byte-identical for any `threads` value.
+    pub fn build_with_metrics(scale: Scale, threads: usize, metrics: &mut Registry) -> Self {
         let scenario = scenario_for(&scale, 2015, 'w');
         let scenario_c = scenario_for(&scale, 2015, 'c');
         let db = scenario.db();
+        let enabled = metrics.enabled();
 
         let mut jobs = vec![BuildJob::Survey('w'), BuildJob::Survey('c')];
         jobs.extend((0..scale.zmap_scans).map(BuildJob::Scan));
-        let outs = run_tasks(threads, jobs, |_, job| match job {
-            BuildJob::Survey(v) => {
-                let (scenario, name) = match v {
-                    'w' => (&scenario, "IT63w"),
-                    _ => (&scenario_c, "IT63c"),
-                };
-                let run = run_survey_like(scenario, &scale, name, v, 0.0);
-                let pipe = run_pipeline(&run.records, &PipelineCfg::default());
-                BuildOut::Survey(Box::new((run, pipe)))
-            }
-            BuildJob::Scan(i) => BuildOut::Scan(Box::new(run_scan_slot(&scenario, &scale, i))),
+        let outs = run_tasks(threads, jobs, |_, job| {
+            let mut local = if enabled { Registry::new() } else { Registry::disabled() };
+            let out = match job {
+                BuildJob::Survey(v) => {
+                    let (scenario, name) = match v {
+                        'w' => (&scenario, "IT63w"),
+                        _ => (&scenario_c, "IT63c"),
+                    };
+                    let run = run_survey_like_with(scenario, &scale, name, v, 0.0, &mut local);
+                    let pipe =
+                        run_pipeline_with(&run.records, &PipelineCfg::paper(), &mut local);
+                    BuildOut::Survey(Box::new((run, pipe)))
+                }
+                BuildJob::Scan(i) => BuildOut::Scan(Box::new(run_scan_slot_with(
+                    &scenario, &scale, i, &mut local,
+                ))),
+            };
+            (out, local)
         });
 
         let mut surveys = Vec::with_capacity(2);
         let mut scans = Vec::with_capacity(scale.zmap_scans);
-        for out in outs {
+        for (out, local) in outs {
+            metrics.merge(&local);
             match out {
                 BuildOut::Survey(b) => surveys.push(*b),
                 BuildOut::Scan(s) => scans.push(*s),
@@ -189,8 +206,13 @@ impl ExperimentCtx {
             chunks.push(std::mem::replace(&mut jobs, rest));
         }
         let results = run_tasks(self.threads, chunks, |i, chunk| {
-            let world = self.scenario.build_world();
-            run_jobs(world, chunk, 0xC0_00_02_07, derive_seed(base, i as u64), grace_secs).0
+            let mut world = self.scenario.build_world();
+            let cfg = ScamperCfg {
+                prober_addr: 0xC0_00_02_07,
+                seed: derive_seed(base, i as u64),
+                grace_secs,
+            };
+            cfg.build(chunk).run(&mut world).0
         });
         results.into_iter().flatten().collect()
     }
@@ -229,6 +251,19 @@ pub fn run_survey_like(
     vantage_code: char,
     match_drop_prob: f64,
 ) -> SurveyRun {
+    run_survey_like_with(scenario, scale, name, vantage_code, match_drop_prob, &mut Registry::disabled())
+}
+
+/// [`run_survey_like`] with telemetry: engine counters land under
+/// `probe/survey/`, world/run counters under `netsim/`.
+pub fn run_survey_like_with(
+    scenario: &Scenario,
+    scale: &Scale,
+    name: &str,
+    vantage_code: char,
+    match_drop_prob: f64,
+    metrics: &mut Registry,
+) -> SurveyRun {
     let blocks = survey_block_sample(scenario, scale.survey_blocks);
     let cfg = SurveyCfg {
         blocks,
@@ -237,8 +272,8 @@ pub fn run_survey_like(
         seed: derive_seed(scale.seed, u64::from(vantage_code as u32)),
         ..Default::default()
     };
-    let world = scenario.build_world();
-    let (records, stats, _) = run_survey(world, cfg, Vec::new());
+    let mut world = scenario.build_world();
+    let ((records, stats), _) = cfg.build(Vec::new()).run_with(&mut world, metrics);
     SurveyRun {
         meta: SurveyMeta {
             name: name.into(),
@@ -258,13 +293,39 @@ pub fn run_survey_like(
 /// slots into its larger fan-out; this standalone entry point exists for
 /// the perf harness, which times the campaign serial vs parallel.
 pub fn run_scan_campaign(scenario: &Scenario, scale: &Scale, threads: usize) -> Vec<ZmapScan> {
-    run_tasks(threads, (0..scale.zmap_scans).collect(), |_, slot| {
-        run_scan_slot(scenario, scale, slot)
-    })
+    run_scan_campaign_with(scenario, scale, threads, &mut Registry::disabled())
+}
+
+/// [`run_scan_campaign`] with telemetry: each slot records into its own
+/// registry, merged into `metrics` in slot order — identical for any
+/// thread count.
+pub fn run_scan_campaign_with(
+    scenario: &Scenario,
+    scale: &Scale,
+    threads: usize,
+    metrics: &mut Registry,
+) -> Vec<ZmapScan> {
+    let enabled = metrics.enabled();
+    let outs = run_tasks(threads, (0..scale.zmap_scans).collect(), |_, slot| {
+        let mut local = if enabled { Registry::new() } else { Registry::disabled() };
+        let scan = run_scan_slot_with(scenario, scale, slot, &mut local);
+        (scan, local)
+    });
+    outs.into_iter()
+        .map(|(scan, local)| {
+            metrics.merge(&local);
+            scan
+        })
+        .collect()
 }
 
 /// Run one scan slot of the campaign.
-fn run_scan_slot(scenario: &Scenario, scale: &Scale, slot: usize) -> ZmapScan {
+fn run_scan_slot_with(
+    scenario: &Scenario,
+    scale: &Scale,
+    slot: usize,
+    metrics: &mut Registry,
+) -> ZmapScan {
     let (label, day, begin) = SCAN_SLOTS[slot % SCAN_SLOTS.len()];
     let blocks: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).collect();
     let cfg = ZmapCfg {
@@ -274,12 +335,9 @@ fn run_scan_slot(scenario: &Scenario, scale: &Scale, slot: usize) -> ZmapScan {
         seed: derive_seed(scale.seed, 0x2a00 + slot as u64),
         ..Default::default()
     };
-    let world = scenario.build_world();
-    let (scan, _) = run_scan(
-        world,
-        cfg,
-        ScanMeta { label: label.into(), day: day.into(), begin: begin.into() },
-    );
+    let mut world = scenario.build_world();
+    let meta = ScanMeta { label: label.into(), day: day.into(), begin: begin.into() };
+    let (scan, _) = cfg.build(meta).run_with(&mut world, metrics);
     scan
 }
 

@@ -13,7 +13,7 @@ use beware_core::matching::match_unmatched;
 use beware_netsim::profile::{BlockProfile, BroadcastCfg};
 use beware_netsim::rng::Dist;
 use beware_netsim::world::World;
-use beware_probe::survey::{run_survey, SurveyCfg};
+use beware_probe::prelude::*;
 use std::sync::Arc;
 
 /// Outcome of the demonstration.
@@ -49,7 +49,7 @@ pub fn run(seed: u64) -> Fig4 {
         }),
     );
     let cfg = SurveyCfg { blocks: vec![0x0a0a0a], rounds: 40, seed, ..Default::default() };
-    let (records, _, _) = run_survey(world, cfg, Vec::new());
+    let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
     let outcome = match_unmatched(&records);
     // The .254 responder's false latencies.
     let false_latencies: Vec<u32> = outcome

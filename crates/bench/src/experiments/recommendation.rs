@@ -5,7 +5,7 @@
 
 use crate::ExperimentCtx;
 use beware_core::report::Table;
-use beware_probe::adaptive::{run_monitor, AdaptiveCfg, OutageReport};
+use beware_probe::prelude::*;
 
 /// Aggregated monitoring outcome.
 #[derive(Debug, Clone)]
@@ -46,7 +46,8 @@ pub fn run(ctx: &ExperimentCtx) -> Recommendation {
         .take(ctx.scale.target_addrs.min(600))
         .collect();
     let cfg = AdaptiveCfg { cycles: 12, ..Default::default() };
-    let (reports, _) = run_monitor(world, addrs, cfg);
+    let mut world = world;
+    let (reports, _) = cfg.build(addrs).run(&mut world);
     let monitored = reports.len();
     let cycles = reports.iter().map(|r| u64::from(r.cycles)).sum();
     let naive_outages = reports.iter().map(|r| u64::from(r.naive_outages)).sum();

@@ -3,9 +3,10 @@
 //!
 //! Every run of the harness records wall-clock, record throughput and
 //! thread count per experiment, plus a serial-vs-parallel timing of the
-//! 17-scan zmap campaign — the canonical fan-out workload. Successive PRs
-//! regenerate the file, giving the repo a measurable perf history instead
-//! of anecdotes.
+//! 17-scan zmap campaign — the canonical fan-out workload — and, since
+//! PR 2, a telemetry-off vs telemetry-on timing of that campaign with the
+//! merged metrics snapshot embedded. Successive PRs regenerate the file,
+//! giving the repo a measurable perf history instead of anecdotes.
 //!
 //! The JSON is hand-rendered (the workspace's vendored dependency set has
 //! no serde); the schema is documented in README.md §Reproducing the
@@ -73,6 +74,34 @@ impl CampaignBench {
     }
 }
 
+/// Telemetry-off vs telemetry-on timing of the scan campaign, plus the
+/// merged metrics snapshot of the instrumented run. Counters are flushed
+/// once per task end, so the overhead should stay well under 5%.
+#[derive(Debug, Clone)]
+pub struct TelemetryBench {
+    /// Best-of-N wall-clock with telemetry disabled.
+    pub off_secs: f64,
+    /// Best-of-N wall-clock with telemetry enabled.
+    pub on_secs: f64,
+    /// Timing iterations each (the minimum was kept).
+    pub iterations: u32,
+    /// The instrumented run's metrics, as telemetry-schema JSON
+    /// ([`beware_telemetry::Registry::to_json`]); embedded verbatim.
+    pub metrics_json: String,
+}
+
+impl TelemetryBench {
+    /// Fractional wall-clock overhead of enabling telemetry (0.03 = 3%).
+    /// Negative values (noise) are reported as measured.
+    pub fn overhead(&self) -> f64 {
+        if self.off_secs > 0.0 {
+            self.on_secs / self.off_secs - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Accumulates timings and renders/writes the JSON report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -84,6 +113,8 @@ pub struct BenchReport {
     pub experiments: Vec<BenchEntry>,
     /// The campaign measurement, when taken.
     pub zmap_campaign: Option<CampaignBench>,
+    /// The telemetry overhead measurement, when taken.
+    pub telemetry: Option<TelemetryBench>,
 }
 
 impl BenchReport {
@@ -94,6 +125,7 @@ impl BenchReport {
             threads,
             experiments: Vec::new(),
             zmap_campaign: None,
+            telemetry: None,
         }
     }
 
@@ -158,12 +190,23 @@ impl BenchReport {
                 json_f64(c.speedup()),
             ));
         }
+        if let Some(t) = &self.telemetry {
+            out.push_str(&format!(
+                ",\n  \"telemetry\": {{\n    \"off_secs\": {}, \"on_secs\": {}, \
+                 \"overhead\": {}, \"iterations\": {},\n    \"metrics\": {}\n  }}",
+                json_f64(t.off_secs),
+                json_f64(t.on_secs),
+                json_f64(t.overhead()),
+                t.iterations,
+                indent_block(&t.metrics_json, "    "),
+            ));
+        }
         out.push_str("\n}\n");
         out
     }
 
     /// The default output path: `$BEWARE_BENCH_JSON` when set, else
-    /// `BENCH_1.json` at the workspace root (resolved relative to this
+    /// `BENCH_2.json` at the workspace root (resolved relative to this
     /// crate, so it lands in the same place no matter which directory
     /// `cargo bench` runs from).
     pub fn default_path() -> PathBuf {
@@ -174,7 +217,7 @@ impl BenchReport {
             .ancestors()
             .nth(2)
             .expect("bench crate lives two levels below the workspace root")
-            .join("BENCH_1.json")
+            .join("BENCH_2.json")
     }
 
     /// Write to [`default_path`](Self::default_path), returning the path.
@@ -183,6 +226,24 @@ impl BenchReport {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+/// Re-indent an embedded pretty-printed JSON document so it nests inside
+/// the report: every line after the first is prefixed with `pad`, and the
+/// trailing newline is dropped.
+fn indent_block(json: &str, pad: &str) -> String {
+    let trimmed = json.trim_end();
+    let mut out = String::with_capacity(trimmed.len());
+    for (i, line) in trimmed.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            if !line.is_empty() {
+                out.push_str(pad);
+            }
+        }
+        out.push_str(line);
+    }
+    out
 }
 
 /// Records per second; zero when the interval is degenerate.
@@ -236,8 +297,16 @@ mod tests {
             serial_secs: 4.0,
             parallel_secs: 1.0,
         });
+        r.telemetry = Some(TelemetryBench {
+            off_secs: 2.0,
+            on_secs: 2.05,
+            iterations: 3,
+            metrics_json: "{\n  \"schema\": 1,\n  \"metrics\": []\n}\n".into(),
+        });
         let json = r.to_json();
         assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"overhead\": 0.025000"));
+        assert!(json.contains("\"metrics\": {"));
         assert!(json.contains("\"scale\": \"small\""));
         assert!(json.contains("\"records_per_sec\": 2000.000000"));
         assert!(json.contains("\"speedup\": 4.000000"));

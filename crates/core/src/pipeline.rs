@@ -14,17 +14,24 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 pub struct PipelineCfg {
     /// Broadcast filter configuration.
     pub broadcast: BroadcastFilterCfg,
-    /// Duplicate filter threshold (paper: 4). Zero means "use the default".
-    pub dup_threshold: u32,
+    /// Duplicate filter threshold. `None` uses the paper's value (4): an
+    /// address is discarded once any single request drew more than this
+    /// many responses.
+    pub dup_threshold: Option<u32>,
 }
 
+/// The paper's duplicate-filter threshold (Section 3.3.2).
+const PAPER_DUP_THRESHOLD: u32 = 4;
+
 impl PipelineCfg {
+    /// The configuration the paper's analysis used. Identical to
+    /// [`Default`], spelled explicitly.
+    pub fn paper() -> Self {
+        PipelineCfg::default()
+    }
+
     fn dup_threshold(&self) -> u32 {
-        if self.dup_threshold == 0 {
-            4
-        } else {
-            self.dup_threshold
-        }
+        self.dup_threshold.unwrap_or(PAPER_DUP_THRESHOLD)
     }
 }
 
@@ -128,6 +135,21 @@ pub fn survey_samples(records: &[Record]) -> BTreeMap<u32, LatencySamples> {
 
 /// Run matching, filtering and accounting over one survey's records.
 pub fn run_pipeline(records: &[Record], cfg: &PipelineCfg) -> PipelineOutput {
+    run_pipeline_with(records, cfg, &mut beware_telemetry::Registry::disabled())
+}
+
+/// Like [`run_pipeline`], additionally flushing per-stage counters under
+/// `pipeline/` into `metrics`: input size, each Table 1 row
+/// (`pipeline/stage/<row>/{packets,addresses}`), match-window outcomes
+/// (`pipeline/match/...`, including a histogram of recovered latencies)
+/// and filter hit counts (`pipeline/filter/...`). Telemetry never alters
+/// the output: the returned [`PipelineOutput`] is identical whether
+/// `metrics` is enabled, disabled, or shared across calls.
+pub fn run_pipeline_with(
+    records: &[Record],
+    cfg: &PipelineCfg,
+    metrics: &mut beware_telemetry::Registry,
+) -> PipelineOutput {
     // 1. Survey-detected responses.
     let mut acc = accumulate_matched(records);
     let survey_detected = CountRow {
@@ -187,19 +209,57 @@ pub fn run_pipeline(records: &[Record], cfg: &PipelineCfg) -> PipelineOutput {
         addresses: samples.len() as u64,
     };
 
+    let accounting = Accounting {
+        survey_detected,
+        naive_matching,
+        broadcast_responses,
+        duplicate_responses,
+        survey_plus_delayed,
+    };
+
+    // 6. Telemetry, flushed once so the hot path above stays untouched.
+    if metrics.enabled() {
+        fn stage_row(
+            stage: &mut beware_telemetry::Scope<'_>,
+            name: &str,
+            row: CountRow,
+        ) {
+            let mut s = stage.scope(name);
+            s.add("packets", row.packets);
+            s.add("addresses", row.addresses);
+        }
+        let mut p = metrics.scope("pipeline");
+        p.add("runs", 1);
+        p.add("records_in", records.len() as u64);
+        {
+            let mut m = p.scope("match");
+            m.add("delayed", outcome.delayed.len() as u64);
+            m.add("leftovers", outcome.leftovers.len() as u64);
+            for d in &outcome.delayed {
+                m.observe("latency_s", u64::from(d.latency_s));
+            }
+        }
+        {
+            let mut f = p.scope("filter");
+            f.add("broadcast_addresses", accounting.broadcast_responses.addresses);
+            f.add("duplicate_addresses", accounting.duplicate_responses.addresses);
+            f.add("rejected_addresses", rejected_samples.len() as u64);
+        }
+        let mut stage = p.scope("stage");
+        stage_row(&mut stage, "survey_detected", accounting.survey_detected);
+        stage_row(&mut stage, "naive_matching", accounting.naive_matching);
+        stage_row(&mut stage, "broadcast_responses", accounting.broadcast_responses);
+        stage_row(&mut stage, "duplicate_responses", accounting.duplicate_responses);
+        stage_row(&mut stage, "survey_plus_delayed", accounting.survey_plus_delayed);
+    }
+
     PipelineOutput {
         samples,
         rejected_samples,
         broadcast_responders,
         duplicate_offenders: dup_set,
         max_responses,
-        accounting: Accounting {
-            survey_detected,
-            naive_matching,
-            broadcast_responses,
-            duplicate_responses,
-            survey_plus_delayed,
-        },
+        accounting,
     }
 }
 
@@ -320,6 +380,73 @@ mod tests {
         assert_eq!(merged[&1].len(), 3);
         assert_eq!(merged[&1].values().as_ref(), &[0.1, 0.2, 0.3]);
         assert_eq!(merged[&2].len(), 1);
+    }
+
+    #[test]
+    fn paper_cfg_is_the_default() {
+        assert_eq!(PipelineCfg::paper(), PipelineCfg::default());
+        assert_eq!(PipelineCfg::paper().dup_threshold(), 4);
+        assert_eq!(PipelineCfg { dup_threshold: Some(9), ..PipelineCfg::paper() }.dup_threshold(), 9);
+    }
+
+    #[test]
+    fn explicit_low_threshold_is_honored() {
+        // With Option, a threshold of 1 is expressible (the old zero
+        // sentinel silently promoted nothing — but made 0 unusable and
+        // easy to conflate with "default").
+        let cfg = PipelineCfg { dup_threshold: Some(1), ..PipelineCfg::default() };
+        let out = run_pipeline(&fixture(), &cfg);
+        // B answers once per round but its *request* draws one response —
+        // max_responses 1, which never exceeds 1, so B survives.
+        assert!(out.samples.contains_key(&B));
+        assert!(out.duplicate_offenders.contains(&D));
+    }
+
+    #[test]
+    fn telemetry_mirrors_accounting() {
+        let records = fixture();
+        let mut metrics = beware_telemetry::Registry::new();
+        let out = run_pipeline_with(&records, &PipelineCfg::paper(), &mut metrics);
+        let acc = out.accounting;
+        assert_eq!(metrics.counter("pipeline/runs"), Some(1));
+        assert_eq!(metrics.counter("pipeline/records_in"), Some(records.len() as u64));
+        assert_eq!(
+            metrics.counter("pipeline/stage/survey_detected/packets"),
+            Some(acc.survey_detected.packets)
+        );
+        assert_eq!(
+            metrics.counter("pipeline/stage/naive_matching/addresses"),
+            Some(acc.naive_matching.addresses)
+        );
+        assert_eq!(
+            metrics.counter("pipeline/stage/survey_plus_delayed/packets"),
+            Some(acc.survey_plus_delayed.packets)
+        );
+        assert_eq!(
+            metrics.counter("pipeline/filter/broadcast_addresses"),
+            Some(acc.broadcast_responses.addresses)
+        );
+        assert_eq!(
+            metrics.counter("pipeline/filter/rejected_addresses"),
+            Some(out.rejected_samples.len() as u64)
+        );
+        // The recovered-latency histogram counts every delayed response.
+        let delayed = acc.naive_matching.packets - acc.survey_detected.packets;
+        assert_eq!(metrics.counter("pipeline/match/delayed"), Some(delayed));
+        match metrics.get("pipeline/match/latency_s") {
+            Some(beware_telemetry::Metric::Histogram(h)) => assert_eq!(h.count, delayed),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_output() {
+        let records = fixture();
+        let plain = run_pipeline(&records, &PipelineCfg::paper());
+        let mut metrics = beware_telemetry::Registry::new();
+        let instrumented = run_pipeline_with(&records, &PipelineCfg::paper(), &mut metrics);
+        assert_eq!(plain, instrumented);
+        assert!(!metrics.is_empty());
     }
 
     #[test]

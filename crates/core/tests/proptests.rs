@@ -4,7 +4,7 @@
 use beware_core::cdf::Cdf;
 use beware_core::matching::match_unmatched;
 use beware_core::percentile::{percentile_sorted, LatencySamples};
-use beware_core::pipeline::{run_pipeline, PipelineCfg};
+use beware_core::pipeline::{run_pipeline, run_pipeline_with, PipelineCfg};
 use beware_core::sketch::TDigest;
 use beware_core::timeout_table::TimeoutTable;
 use beware_dataset::{Record, RecordKind};
@@ -139,6 +139,23 @@ proptest! {
         for a in out.broadcast_responders.iter().chain(&out.duplicate_offenders) {
             prop_assert!(!out.samples.contains_key(a));
         }
+    }
+
+    /// Telemetry is observation only: for any input, running the pipeline
+    /// with an enabled registry must produce bit-for-bit the same output
+    /// as running it without one.
+    #[test]
+    fn pipeline_output_unaffected_by_telemetry(records in arb_records()) {
+        let plain = run_pipeline(&records, &PipelineCfg::paper());
+        let mut metrics = beware_telemetry::Registry::new();
+        let instrumented = run_pipeline_with(&records, &PipelineCfg::paper(), &mut metrics);
+        prop_assert_eq!(&plain, &instrumented);
+        // And the stage counters agree with the returned accounting.
+        prop_assert_eq!(
+            metrics.counter("pipeline/stage/survey_plus_delayed/packets"),
+            Some(plain.accounting.survey_plus_delayed.packets)
+        );
+        prop_assert_eq!(metrics.counter("pipeline/records_in"), Some(records.len() as u64));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::BinaryHeap;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    peak: usize,
 }
 
 #[derive(Debug)]
@@ -48,7 +49,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, peak: 0 }
     }
 
     /// Schedule `event` at `at`.
@@ -56,6 +57,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { key: Reverse((at, seq)), event });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Remove and return the earliest event.
@@ -76,6 +80,11 @@ impl<E> EventQueue<E> {
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// High-water mark: the largest number of events ever pending at once.
+    pub fn peak(&self) -> usize {
+        self.peak
     }
 }
 
@@ -119,6 +128,21 @@ mod tests {
         assert_eq!(q.peek_time(), Some(t(2)));
         q.pop();
         assert_eq!(q.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak(), 0);
+        q.push(t(1), ());
+        q.push(t(2), ());
+        q.push(t(3), ());
+        q.pop();
+        q.pop();
+        q.push(t(4), ());
+        // Peak stays at 3 even though only 2 are pending now.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak(), 3);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod world;
 
 pub use exec::{default_threads, run_tasks};
 pub use packet::{Arrival, Packet, L4};
-pub use profile::BlockProfile;
+pub use profile::{BlockProfile, PROFILE_KINDS};
 pub use scenario::{Scenario, ScenarioCfg, Vantage, VANTAGES};
 pub use sim::{Agent, Ctx, RunSummary, Simulation};
 pub use time::{SimDuration, SimTime};

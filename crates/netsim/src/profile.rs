@@ -332,6 +332,52 @@ impl Default for BlockProfile {
     }
 }
 
+/// Coarse behavior classes a profile can fall into, in precedence order:
+/// a profile combining several mechanisms is labelled by the first one
+/// that applies. Telemetry reports per-kind response counts under
+/// `netsim/responses_by_profile/<kind>`.
+pub const PROFILE_KINDS: [&str; 9] = [
+    "dos",
+    "broadcast",
+    "firewall",
+    "episodes",
+    "storms",
+    "wakeup",
+    "congestion",
+    "satellite",
+    "plain",
+];
+
+impl BlockProfile {
+    /// Index into [`PROFILE_KINDS`] of this profile's dominant behavior.
+    pub fn kind_index(&self) -> usize {
+        if self.dos.is_some() {
+            0
+        } else if self.broadcast.is_some() {
+            1
+        } else if self.firewall.is_some() {
+            2
+        } else if self.episodes.is_some() {
+            3
+        } else if self.storms.is_some() {
+            4
+        } else if self.wakeup.is_some() {
+            5
+        } else if self.congestion.is_some() {
+            6
+        } else if self.rtt_cap.is_some() {
+            7
+        } else {
+            8
+        }
+    }
+
+    /// Human label of this profile's dominant behavior.
+    pub fn kind_label(&self) -> &'static str {
+        PROFILE_KINDS[self.kind_index()]
+    }
+}
+
 impl BlockProfile {
     /// Validate parameter ranges; called by the world builder so a typo in
     /// a scenario fails fast instead of producing nonsense distributions.
@@ -420,6 +466,27 @@ mod tests {
             ..Default::default()
         };
         assert!(p.validate().unwrap_err().contains("buffer_prob"));
+    }
+
+    #[test]
+    fn kind_labels_follow_precedence() {
+        assert_eq!(BlockProfile::default().kind_label(), "plain");
+        let p = BlockProfile { rtt_cap: Some(3.0), ..Default::default() };
+        assert_eq!(p.kind_label(), "satellite");
+        let p = BlockProfile {
+            congestion: Some(Default::default()),
+            wakeup: Some(Default::default()),
+            ..Default::default()
+        };
+        // Wakeup wins over congestion by precedence.
+        assert_eq!(p.kind_label(), "wakeup");
+        let p = BlockProfile {
+            dos: Some(Default::default()),
+            broadcast: Some(Default::default()),
+            ..Default::default()
+        };
+        assert_eq!(p.kind_label(), "dos");
+        assert_eq!(PROFILE_KINDS.len(), 9);
     }
 
     #[test]

@@ -88,6 +88,20 @@ pub struct RunSummary {
     pub packets_sent: u64,
     /// Packets delivered to the agent.
     pub packets_delivered: u64,
+    /// Event-queue depth high-water mark.
+    pub queue_peak: u64,
+}
+
+impl RunSummary {
+    /// Flush the run counters into a telemetry scope: counters `events`,
+    /// `packets_sent`, `packets_delivered` and max-gauge `queue_peak`
+    /// under the scope's prefix.
+    pub fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        scope.add("events", self.events);
+        scope.add("packets_sent", self.packets_sent);
+        scope.add("packets_delivered", self.packets_delivered);
+        scope.gauge_max("queue_peak", self.queue_peak);
+    }
 }
 
 /// Event loop binding an [`Agent`] to a [`World`].
@@ -188,6 +202,7 @@ impl<A: Agent> Simulation<A> {
             events,
             packets_sent: sent,
             packets_delivered: delivered,
+            queue_peak: queue.peak() as u64,
         };
         (self.agent, self.world, summary, trace)
     }
@@ -319,6 +334,26 @@ mod tests {
         let (_, _, _, trace) = Simulation::new(test_world(), agent).run_traced();
         assert!(trace.is_empty());
         assert_eq!(trace.captured, 0);
+    }
+
+    #[test]
+    fn summary_tracks_queue_peak_and_records() {
+        let agent = PingAgent { remaining: 5, next_seq: 0, rtts: Vec::new() };
+        let (_, world, summary) = Simulation::new(test_world(), agent).run();
+        // At least a timer and a pending delivery coexist at some point.
+        assert!(summary.queue_peak >= 2, "peak {}", summary.queue_peak);
+
+        let mut reg = beware_telemetry::Registry::new();
+        let mut scope = reg.scope("netsim");
+        summary.record(&mut scope);
+        world.stats().record(&mut scope);
+        assert_eq!(reg.counter("netsim/packets_sent"), Some(5));
+        assert_eq!(reg.counter("netsim/probes"), Some(5));
+        assert_eq!(reg.counter("netsim/responses_by_profile/plain"), Some(5));
+        assert!(matches!(
+            reg.get("netsim/queue_peak"),
+            Some(beware_telemetry::Metric::Gauge(p)) if *p >= 2
+        ));
     }
 
     #[test]

@@ -90,13 +90,22 @@ pub struct Trace {
     capacity: usize,
     /// Total packets offered (including those evicted from the ring).
     pub captured: u64,
+    /// Packets evicted from the ring to make room — bounded capture used
+    /// to truncate silently; this makes the loss visible (and it surfaces
+    /// through telemetry as `netsim/trace_dropped`).
+    pub dropped_entries: u64,
 }
 
 impl Trace {
     /// A trace keeping the most recent `capacity` packets.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "zero-capacity trace");
-        Trace { entries: VecDeque::with_capacity(capacity.min(4096)), capacity, captured: 0 }
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            captured: 0,
+            dropped_entries: 0,
+        }
     }
 
     /// Record one packet.
@@ -104,8 +113,16 @@ impl Trace {
         self.captured += 1;
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
+            self.dropped_entries += 1;
         }
         self.entries.push_back(TraceEntry { at, dir, pkt: pkt.clone() });
+    }
+
+    /// Flush capture accounting into a telemetry scope (counters
+    /// `trace_captured` / `trace_dropped` under the scope's prefix).
+    pub fn record_into(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        scope.add("trace_captured", self.captured);
+        scope.add("trace_dropped", self.dropped_entries);
     }
 
     /// The retained entries, oldest first.
@@ -159,6 +176,29 @@ mod tests {
     }
 
     #[test]
+    fn overflow_counts_dropped_entries() {
+        let mut tr = Trace::new(4);
+        let p = Packet::echo_request(1, 2, 7, 0, vec![]);
+        // Fill exactly to capacity: nothing dropped yet.
+        for i in 0..4 {
+            tr.record(t(f64::from(i)), Direction::Sent, &p);
+        }
+        assert_eq!(tr.dropped_entries, 0);
+        // Every further record evicts one.
+        for i in 4..20 {
+            tr.record(t(f64::from(i)), Direction::Sent, &p);
+        }
+        assert_eq!(tr.captured, 20);
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.dropped_entries, 16);
+
+        let mut reg = beware_telemetry::Registry::new();
+        tr.record_into(&mut reg.scope("netsim"));
+        assert_eq!(reg.counter("netsim/trace_captured"), Some(20));
+        assert_eq!(reg.counter("netsim/trace_dropped"), Some(16));
+    }
+
+    #[test]
     fn ring_evicts_oldest() {
         let mut tr = Trace::new(3);
         for i in 0..10u16 {
@@ -167,6 +207,7 @@ mod tests {
         }
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.captured, 10);
+        assert_eq!(tr.dropped_entries, 7);
         let seqs: Vec<u16> = tr
             .entries()
             .map(|e| match &e.pkt.l4 {

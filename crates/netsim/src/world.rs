@@ -8,7 +8,7 @@
 
 use crate::host::{self, HostState, Reply};
 use crate::packet::{Arrival, Packet, L4};
-use crate::profile::BlockProfile;
+use crate::profile::{BlockProfile, PROFILE_KINDS};
 use crate::rng::{derive_seed, seeded};
 use crate::time::{SimDuration, SimTime};
 use beware_wire::icmp::IcmpKind;
@@ -25,15 +25,66 @@ pub struct WorldStats {
     pub responses: u64,
     /// Probes that fell on unrouted space.
     pub unrouted: u64,
+    /// Routed probes that drew no response at all (dead address, loss,
+    /// episode blackout, rate limit, ...). Unrouted probes are counted
+    /// under `unrouted` only.
+    pub no_response: u64,
     /// Responses synthesized by firewalls rather than hosts.
     pub firewall_rsts: u64,
     /// Broadcast-triggered responses.
     pub broadcast_responses: u64,
+    /// Responses per dominant profile kind, indexed like
+    /// [`PROFILE_KINDS`].
+    pub responses_by_profile: [u64; PROFILE_KINDS.len()],
+}
+
+impl WorldStats {
+    /// Flush these counters into a telemetry scope (counters `probes`,
+    /// `responses`, `unrouted`, `no_response`, `firewall_rsts`,
+    /// `broadcast_responses` and `responses_by_profile/<kind>` under the
+    /// scope's prefix). Zero per-kind buckets are skipped so the export
+    /// only names profile kinds the run actually exercised.
+    pub fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        scope.add("probes", self.probes);
+        scope.add("responses", self.responses);
+        scope.add("unrouted", self.unrouted);
+        scope.add("no_response", self.no_response);
+        scope.add("firewall_rsts", self.firewall_rsts);
+        scope.add("broadcast_responses", self.broadcast_responses);
+        let mut by_kind = scope.scope("responses_by_profile");
+        for (kind, &n) in PROFILE_KINDS.iter().zip(&self.responses_by_profile) {
+            if n > 0 {
+                by_kind.add(kind, n);
+            }
+        }
+    }
+
+    /// Flush the difference `after - self` into a telemetry scope —
+    /// what a run contributed to a world that already had history.
+    pub fn record_delta(&self, after: &WorldStats, scope: &mut beware_telemetry::Scope<'_>) {
+        let mut d = WorldStats {
+            probes: after.probes - self.probes,
+            responses: after.responses - self.responses,
+            unrouted: after.unrouted - self.unrouted,
+            no_response: after.no_response - self.no_response,
+            firewall_rsts: after.firewall_rsts - self.firewall_rsts,
+            broadcast_responses: after.broadcast_responses - self.broadcast_responses,
+            responses_by_profile: [0; PROFILE_KINDS.len()],
+        };
+        for i in 0..PROFILE_KINDS.len() {
+            d.responses_by_profile[i] =
+                after.responses_by_profile[i] - self.responses_by_profile[i];
+        }
+        d.record(scope);
+    }
 }
 
 #[derive(Debug, Clone)]
 struct BlockEntry {
     profile: Arc<BlockProfile>,
+    /// Cached [`BlockProfile::kind_index`] so the per-probe hot path
+    /// never re-derives it.
+    kind: usize,
 }
 
 /// The simulated address space.
@@ -44,6 +95,15 @@ pub struct World {
     hosts: HashMap<u32, HostState>,
     rng: StdRng,
     stats: WorldStats,
+}
+
+impl Default for World {
+    /// An empty seed-0 world — exists so APIs can `std::mem::take` a
+    /// `&mut World` (the [`crate::sim::Simulation`] constructor consumes
+    /// the world by value).
+    fn default() -> Self {
+        World::new(0)
+    }
 }
 
 impl World {
@@ -65,7 +125,8 @@ impl World {
         if let Err(e) = profile.validate() {
             panic!("invalid BlockProfile for block {prefix24:#08x}: {e}");
         }
-        self.blocks.insert(prefix24, BlockEntry { profile });
+        let kind = profile.kind_index();
+        self.blocks.insert(prefix24, BlockEntry { profile, kind });
     }
 
     /// Whether a /24 block is routed.
@@ -109,6 +170,7 @@ impl World {
             self.stats.unrouted += 1;
             return Vec::new();
         };
+        let kind = entry.kind;
         let profile = Arc::clone(&entry.profile);
 
         // A TCP-answering middlebox intercepts before the host sees it.
@@ -123,6 +185,7 @@ impl World {
                 };
                 self.stats.responses += 1;
                 self.stats.firewall_rsts += 1;
+                self.stats.responses_by_profile[kind] += 1;
                 return vec![Arrival { at: now + SimDuration::from_secs_f64(delay), pkt: rst }];
             }
         }
@@ -134,7 +197,13 @@ impl World {
             let is_net = bcast.network_addr_responds
                 && beware_wire::addr::is_subnet_network(pkt.dst, hb);
             if is_bcast || is_net {
-                return self.broadcast_responses(pkt, now, &profile);
+                let out = self.broadcast_responses(pkt, now, &profile);
+                if out.is_empty() {
+                    self.stats.no_response += 1;
+                } else {
+                    self.stats.responses_by_profile[kind] += out.len() as u64;
+                }
+                return out;
             }
         }
 
@@ -143,6 +212,7 @@ impl World {
         if !host::is_live(self.seed, &profile, pkt.dst)
             || host::broadcast_unicast_silent(self.seed, &profile, pkt.dst)
         {
+            self.stats.no_response += 1;
             return Vec::new();
         }
         let seed = self.seed;
@@ -160,6 +230,11 @@ impl World {
                     pkt: reply,
                 });
             }
+        }
+        if out.is_empty() {
+            self.stats.no_response += 1;
+        } else {
+            self.stats.responses_by_profile[kind] += out.len() as u64;
         }
         self.stats.responses += out.len() as u64;
         out
@@ -544,6 +619,51 @@ mod tests {
         assert_eq!(w.hosts_instantiated(), 1);
         w.probe(&probe, t(1.0));
         assert_eq!(w.hosts_instantiated(), 1);
+    }
+
+    #[test]
+    fn no_response_and_per_profile_counters() {
+        // Sparse block: most addresses are dead → routed silence.
+        let profile = BlockProfile { density: 0.0, ..dense_profile() };
+        let mut w = world_with(profile);
+        let probe = Packet::echo_request(PROBER, 0x0a000010, 9, 1, vec![]);
+        assert!(w.probe(&probe, t(0.0)).is_empty());
+        assert_eq!(w.stats().no_response, 1);
+        // Unrouted space counts separately.
+        let stray = Packet::echo_request(PROBER, 0x0b000010, 9, 1, vec![]);
+        w.probe(&stray, t(0.0));
+        assert_eq!(w.stats().unrouted, 1);
+        assert_eq!(w.stats().no_response, 1);
+
+        // A firewall block attributes its RSTs to the firewall kind.
+        let mut w = world_with(BlockProfile {
+            firewall: Some(FirewallCfg { rst_delay: Dist::Constant(0.2), ttl: 243 }),
+            ..dense_profile()
+        });
+        let ack = Packet {
+            src: PROBER,
+            dst: 0x0a000020,
+            ttl: 64,
+            l4: L4::Tcp(TcpRepr {
+                src_port: 40000,
+                dst_port: 80,
+                seq: 5,
+                ack_no: 77,
+                flags: TcpFlags::ACK,
+                window: 1024,
+            }),
+        };
+        w.probe(&ack, t(0.0));
+        let kind = crate::profile::PROFILE_KINDS.iter().position(|&k| k == "firewall").unwrap();
+        assert_eq!(w.stats().responses_by_profile[kind], 1);
+
+        // Delta recording only reports what the second probe added.
+        let before = w.stats();
+        w.probe(&ack, t(1.0));
+        let mut reg = beware_telemetry::Registry::new();
+        before.record_delta(&w.stats(), &mut reg.scope("netsim"));
+        assert_eq!(reg.counter("netsim/probes"), Some(1));
+        assert_eq!(reg.counter("netsim/responses_by_profile/firewall"), Some(1));
     }
 
     #[test]

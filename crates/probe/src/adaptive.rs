@@ -14,7 +14,7 @@
 //! false-outage rate the paper warns about.
 
 use beware_netsim::packet::{Packet, L4};
-use beware_netsim::sim::{Agent, Ctx, RunSummary, Simulation};
+use beware_netsim::sim::{Agent, Ctx, RunSummary};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::World;
 use beware_wire::icmp::IcmpKind;
@@ -47,6 +47,14 @@ impl Default for AdaptiveCfg {
             cycles: 10,
             prober_addr: 0xC0_00_02_09,
         }
+    }
+}
+
+impl AdaptiveCfg {
+    /// Build a prober monitoring `addrs`. Drive it with
+    /// [`crate::Prober::run`].
+    pub fn build(self, addrs: Vec<u32>) -> AdaptiveProber {
+        AdaptiveProber::new(addrs, self)
     }
 }
 
@@ -246,23 +254,56 @@ impl Agent for AdaptiveProber {
     }
 }
 
+impl crate::Prober for AdaptiveProber {
+    type Output = Vec<OutageReport>;
+
+    fn engine(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        scope.add("targets", self.targets.len() as u64);
+        scope.add("cycles", self.targets.iter().map(|t| u64::from(t.report.cycles)).sum());
+        scope.add("outages", self.targets.iter().map(|t| u64::from(t.report.outages)).sum());
+        scope.add(
+            "naive_outages",
+            self.targets.iter().map(|t| u64::from(t.report.naive_outages)).sum(),
+        );
+        scope.add("rescued", self.targets.iter().map(|t| u64::from(t.report.rescued)).sum());
+    }
+
+    fn finish(self) -> Vec<OutageReport> {
+        self.into_reports()
+    }
+}
+
 /// Run the adaptive prober over `world`.
+#[deprecated(note = "use `AdaptiveCfg::build(addrs)` and `Prober::run(&mut world)`")]
 pub fn run_monitor(
     world: World,
     addrs: Vec<u32>,
     cfg: AdaptiveCfg,
 ) -> (Vec<OutageReport>, RunSummary) {
-    let prober = AdaptiveProber::new(addrs, cfg);
-    let (prober, _world, summary) = Simulation::new(world, prober).run();
-    (prober.into_reports(), summary)
+    let mut world = world;
+    crate::Prober::run(cfg.build(addrs), &mut world)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Prober;
     use beware_netsim::profile::{BlockProfile, EpisodeCfg, WakeupCfg};
     use beware_netsim::rng::Dist;
     use std::sync::Arc;
+
+    /// Test driver over the unified API.
+    fn monitor(
+        mut world: World,
+        addrs: Vec<u32>,
+        cfg: AdaptiveCfg,
+    ) -> (Vec<OutageReport>, RunSummary) {
+        cfg.build(addrs).run(&mut world)
+    }
 
     fn quiet() -> BlockProfile {
         BlockProfile {
@@ -284,7 +325,7 @@ mod tests {
 
     #[test]
     fn healthy_host_never_flagged() {
-        let (reports, _) = run_monitor(
+        let (reports, _) = monitor(
             world(quiet()),
             vec![0x0a000005],
             AdaptiveCfg { cycles: 5, ..Default::default() },
@@ -298,7 +339,7 @@ mod tests {
 
     #[test]
     fn dead_address_flagged_by_both() {
-        let (reports, _) = run_monitor(
+        let (reports, _) = monitor(
             world(BlockProfile { density: 0.0, ..quiet() }),
             vec![0x0a000005],
             AdaptiveCfg { cycles: 4, ..Default::default() },
@@ -314,7 +355,7 @@ mod tests {
         // Constant 20 s RTT: the naive prober (3 s trigger, 2 retries →
         // verdict at 9 s) declares every cycle down; the 60 s listener
         // sees every response.
-        let (reports, _) = run_monitor(
+        let (reports, _) = monitor(
             world(BlockProfile { base_rtt: Dist::Constant(20.0), ..quiet() }),
             vec![0x0a000005],
             AdaptiveCfg { cycles: 6, ..Default::default() },
@@ -339,7 +380,7 @@ mod tests {
             }),
             ..quiet()
         };
-        let (reports, _) = run_monitor(
+        let (reports, _) = monitor(
             world(p),
             vec![0x0a000005],
             AdaptiveCfg { cycles: 5, ..Default::default() },
@@ -366,7 +407,7 @@ mod tests {
             }),
             ..quiet()
         };
-        let (reports, _) = run_monitor(
+        let (reports, _) = monitor(
             world(p),
             vec![0x0a000005],
             AdaptiveCfg { cycles: 20, ..Default::default() },
@@ -378,11 +419,37 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_prober_api() {
+        let cfg = AdaptiveCfg { cycles: 3, ..Default::default() };
+        let (old_reports, old_summary) = run_monitor(world(quiet()), vec![0x0a000005], cfg);
+        let (new_reports, new_summary) = monitor(world(quiet()), vec![0x0a000005], cfg);
+        assert_eq!(old_reports, new_reports);
+        assert_eq!(old_summary, new_summary);
+    }
+
+    #[test]
+    fn telemetry_mirrors_reports() {
+        let mut w = World::new(31);
+        w.add_block(0x0a0000, Arc::new(quiet()));
+        w.add_block(0x0a0001, Arc::new(BlockProfile { density: 0.0, ..quiet() }));
+        let mut metrics = beware_telemetry::Registry::new();
+        let (reports, _) = AdaptiveCfg { cycles: 3, ..Default::default() }
+            .build(vec![0x0a000005, 0x0a000105])
+            .run_with(&mut w, &mut metrics);
+        assert_eq!(metrics.counter("probe/adaptive/targets"), Some(2));
+        assert_eq!(metrics.counter("probe/adaptive/cycles"), Some(6));
+        let outages: u64 = reports.iter().map(|r| u64::from(r.outages)).sum();
+        assert_eq!(metrics.counter("probe/adaptive/outages"), Some(outages));
+        assert_eq!(outages, 3);
+    }
+
+    #[test]
     fn multiple_targets_tracked_independently() {
         let mut w = World::new(31);
         w.add_block(0x0a0000, Arc::new(quiet()));
         w.add_block(0x0a0001, Arc::new(BlockProfile { density: 0.0, ..quiet() }));
-        let (reports, _) = run_monitor(
+        let (reports, _) = monitor(
             w,
             vec![0x0a000005, 0x0a000105],
             AdaptiveCfg { cycles: 3, ..Default::default() },

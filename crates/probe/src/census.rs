@@ -10,7 +10,7 @@
 
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::{derive_seed, unit_hash};
-use beware_netsim::sim::{Agent, Ctx, RunSummary, Simulation};
+use beware_netsim::sim::{Agent, Ctx, RunSummary};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::World;
 use beware_wire::icmp::IcmpKind;
@@ -43,6 +43,13 @@ impl Default for CensusCfg {
             prober_addr: 0xC0_00_02_0A,
             seed: 0xce_05,
         }
+    }
+}
+
+impl CensusCfg {
+    /// Build the census prober. Drive it with [`crate::Prober::run`].
+    pub fn build(self) -> CensusProber {
+        CensusProber::new(self)
     }
 }
 
@@ -195,19 +202,47 @@ impl Agent for CensusProber {
     }
 }
 
+impl crate::Prober for CensusProber {
+    type Output = CensusResult;
+
+    fn engine(&self) -> &'static str {
+        "census"
+    }
+
+    fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        scope.add("probes_sent", self.next as u64);
+        scope.add("responders", u64::from(self.result.responders.values().sum::<u32>()));
+        scope.add(
+            "responsive_blocks",
+            self.result.responders.values().filter(|&&n| n > 0).count() as u64,
+        );
+        scope.add("assessed_blocks", self.result.responders.len() as u64);
+    }
+
+    fn finish(self) -> CensusResult {
+        self.into_result()
+    }
+}
+
 /// Run a census over `world`.
+#[deprecated(note = "use `CensusCfg::build()` and `Prober::run(&mut world)`")]
 pub fn run_census(world: World, cfg: CensusCfg) -> (CensusResult, RunSummary) {
-    let prober = CensusProber::new(cfg);
-    let (prober, _world, summary) = Simulation::new(world, prober).run();
-    (prober.into_result(), summary)
+    let mut world = world;
+    crate::Prober::run(cfg.build(), &mut world)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Prober;
     use beware_netsim::profile::BlockProfile;
     use beware_netsim::rng::Dist;
     use std::sync::Arc;
+
+    /// Test driver over the unified API.
+    fn census(mut world: World, cfg: CensusCfg) -> (CensusResult, RunSummary) {
+        cfg.build().run(&mut world)
+    }
 
     fn world() -> World {
         let mut w = World::new(77);
@@ -235,7 +270,7 @@ mod tests {
 
     #[test]
     fn census_scores_blocks_by_density() {
-        let (result, summary) = run_census(world(), cfg(vec![0x0a0000, 0x0a0001, 0x0a0002]));
+        let (result, summary) = census(world(), cfg(vec![0x0a0000, 0x0a0001, 0x0a0002]));
         assert_eq!(summary.packets_sent, 12);
         assert_eq!(result.responders[&0x0a0000], 4, "dense block fully responsive");
         assert_eq!(result.responders[&0x0a0002], 0, "dead block silent");
@@ -248,7 +283,7 @@ mod tests {
 
     #[test]
     fn selection_keeps_legacy_and_fills_from_census() {
-        let (result, _) = run_census(world(), cfg(vec![0x0a0000, 0x0a0001, 0x0a0002]));
+        let (result, _) = census(world(), cfg(vec![0x0a0000, 0x0a0001, 0x0a0002]));
         // Legacy block 0x0a0002 is dead but stays (ISI probes its 2006
         // panel regardless of responsiveness).
         let blocks = select_survey_blocks(&result, &[0x0a0002], 2, 9);
@@ -261,7 +296,7 @@ mod tests {
 
     #[test]
     fn selection_is_deterministic_and_deduped() {
-        let (result, _) = run_census(world(), cfg(vec![0x0a0000, 0x0a0001]));
+        let (result, _) = census(world(), cfg(vec![0x0a0000, 0x0a0001]));
         let a = select_survey_blocks(&result, &[0x0a0000, 0x0a0000], 2, 3);
         let b = select_survey_blocks(&result, &[0x0a0000, 0x0a0000], 2, 3);
         assert_eq!(a, b);
@@ -269,8 +304,32 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_prober_api() {
+        let (old_result, old_summary) = run_census(world(), cfg(vec![0x0a0000, 0x0a0001]));
+        let (new_result, new_summary) = census(world(), cfg(vec![0x0a0000, 0x0a0001]));
+        assert_eq!(old_result, new_result);
+        assert_eq!(old_summary, new_summary);
+    }
+
+    #[test]
+    fn telemetry_mirrors_census_counts() {
+        let mut w = world();
+        let mut metrics = beware_telemetry::Registry::new();
+        let (result, summary) =
+            cfg(vec![0x0a0000, 0x0a0002]).build().run_with(&mut w, &mut metrics);
+        assert_eq!(metrics.counter("probe/census/probes_sent"), Some(summary.packets_sent));
+        assert_eq!(metrics.counter("probe/census/assessed_blocks"), Some(2));
+        assert_eq!(
+            metrics.counter("probe/census/responders"),
+            Some(u64::from(result.responders.values().sum::<u32>()))
+        );
+        assert_eq!(metrics.counter("probe/census/responsive_blocks"), Some(1));
+    }
+
+    #[test]
     fn census_is_deterministic() {
-        let run = || run_census(world(), cfg(vec![0x0a0000, 0x0a0001])).0;
+        let run = || census(world(), cfg(vec![0x0a0000, 0x0a0001])).0;
         assert_eq!(run(), run());
     }
 }

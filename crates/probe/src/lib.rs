@@ -25,6 +25,13 @@
 //!   (Section 7): retransmit on a short trigger, keep listening long, and
 //!   report how many would-be outages the long listen rescued.
 
+//!
+//! All five engines implement the [`Prober`] trait: build one from its
+//! config (`Cfg::build(..)`), then [`Prober::run`] it against a
+//! `&mut World` — or [`Prober::run_with`] to collect telemetry. The old
+//! per-engine free functions (`run_survey`, `run_scan`, `run_census`,
+//! `run_monitor`, `run_jobs`) remain as deprecated shims.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -35,12 +42,106 @@ pub mod scamper;
 pub mod survey;
 pub mod zmap;
 
-pub use adaptive::{run_monitor, AdaptiveCfg, AdaptiveProber, OutageReport};
-pub use census::{run_census, select_survey_blocks, CensusCfg, CensusResult};
+#[allow(deprecated)]
+pub use adaptive::run_monitor;
+pub use adaptive::{AdaptiveCfg, AdaptiveProber, OutageReport};
+#[allow(deprecated)]
+pub use census::run_census;
+pub use census::{select_survey_blocks, CensusCfg, CensusProber, CensusResult};
 pub use permutation::CyclicPermutation;
-pub use scamper::{JobResult, PingJob, PingProto, ScamperRunner};
-pub use survey::{run_survey, SurveyCfg, SurveyProber};
-pub use zmap::{run_scan, ZmapCfg, ZmapScanner};
+#[allow(deprecated)]
+pub use scamper::run_jobs;
+pub use scamper::{JobResult, PingJob, PingProto, ScamperCfg, ScamperRunner};
+#[allow(deprecated)]
+pub use survey::run_survey;
+pub use survey::{SurveyCfg, SurveyProber};
+#[allow(deprecated)]
+pub use zmap::run_scan;
+pub use zmap::{ZmapCfg, ZmapScanner};
+
+use beware_netsim::sim::{Agent, RunSummary, Simulation};
+use beware_netsim::world::World;
+
+/// The unified probing-engine interface.
+///
+/// Every engine is an [`Agent`] plus a way to extract its output, so one
+/// shape drives all of them:
+///
+/// ```
+/// use beware_probe::prelude::*;
+/// use beware_netsim::{BlockProfile, World};
+/// use std::sync::Arc;
+///
+/// let mut world = World::new(1);
+/// world.add_block(0x0a0000, Arc::new(BlockProfile::default()));
+/// let cfg = SurveyCfg { blocks: vec![0x0a0000], rounds: 1, ..Default::default() };
+/// let mut metrics = Registry::new();
+/// let ((records, stats), summary) =
+///     cfg.build(Vec::new()).run_with(&mut world, &mut metrics);
+/// assert_eq!(stats.probes(), summary.packets_sent);
+/// assert_eq!(metrics.counter("probe/survey/probes_sent"), Some(stats.probes()));
+/// assert!(records.len() as u64 >= stats.probes());
+/// ```
+///
+/// The provided `run`/`run_with` take `&mut World` (the simulation itself
+/// consumes the world by value; the default impl swaps it out and back),
+/// so callers keep ownership and can run several engines over the same
+/// world in sequence.
+pub trait Prober: Agent + Sized {
+    /// What the engine produces.
+    type Output;
+
+    /// Engine name used as the telemetry sub-scope: metrics land under
+    /// `probe/<engine>/...`.
+    fn engine(&self) -> &'static str;
+
+    /// Flush engine-specific counters into `scope` (already prefixed with
+    /// `probe/<engine>`). Called once after the simulation completes.
+    fn record(&self, scope: &mut beware_telemetry::Scope<'_>);
+
+    /// Consume the engine, returning its output.
+    fn finish(self) -> Self::Output;
+
+    /// Run to completion against `world` without telemetry.
+    fn run(self, world: &mut World) -> (Self::Output, RunSummary) {
+        self.run_with(world, &mut beware_telemetry::Registry::disabled())
+    }
+
+    /// Run to completion against `world`, flushing netsim counters (stats
+    /// delta, run summary) under `netsim/` and engine counters under
+    /// `probe/<engine>/` into `metrics`.
+    fn run_with(
+        self,
+        world: &mut World,
+        metrics: &mut beware_telemetry::Registry,
+    ) -> (Self::Output, RunSummary) {
+        let owned = std::mem::take(world);
+        let stats_before = owned.stats();
+        let (agent, mut finished_world, summary) = Simulation::new(owned, self).run();
+        if metrics.enabled() {
+            let mut netsim = metrics.scope("netsim");
+            stats_before.record_delta(&finished_world.stats(), &mut netsim);
+            summary.record(&mut netsim);
+            let mut probe = metrics.scope("probe");
+            let mut engine = probe.scope(agent.engine());
+            agent.record(&mut engine);
+        }
+        std::mem::swap(world, &mut finished_world);
+        (agent.finish(), summary)
+    }
+}
+
+/// One-stop import for driving any engine: the [`Prober`] trait, every
+/// engine config and output type, and the telemetry registry.
+pub mod prelude {
+    pub use crate::adaptive::{AdaptiveCfg, AdaptiveProber, OutageReport};
+    pub use crate::census::{CensusCfg, CensusProber, CensusResult};
+    pub use crate::scamper::{JobResult, PingJob, PingProto, ScamperCfg, ScamperRunner};
+    pub use crate::survey::{SurveyCfg, SurveyProber};
+    pub use crate::zmap::{ZmapCfg, ZmapScanner};
+    pub use crate::Prober;
+    pub use beware_telemetry::Registry;
+}
 
 /// Bit-reverse an octet: the probing order ISI uses within a /24, which
 /// places last octets that differ in bit `b` exactly `256/2^(b+1)` slots

@@ -17,7 +17,7 @@
 
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::derive_seed;
-use beware_netsim::sim::{Agent, Ctx, RunSummary, Simulation};
+use beware_netsim::sim::{Agent, Ctx, RunSummary};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::{quoted_destination, World};
 use beware_wire::icmp::IcmpKind;
@@ -94,6 +94,32 @@ impl JobResult {
         } else {
             self.answered().len() as f64 / self.rtts.len() as f64
         }
+    }
+}
+
+/// Runner configuration: everything but the job list.
+#[derive(Debug, Clone)]
+pub struct ScamperCfg {
+    /// The prober's own address.
+    pub prober_addr: u32,
+    /// Determinism seed (payload key derivation).
+    pub seed: u64,
+    /// Listen time after the last probe of the last job — the paper's
+    /// "indefinite timeout" tcpdump window.
+    pub grace_secs: f64,
+}
+
+impl Default for ScamperCfg {
+    fn default() -> Self {
+        ScamperCfg { prober_addr: 0xC0_00_02_0C, seed: 0x5ca3, grace_secs: 120.0 }
+    }
+}
+
+impl ScamperCfg {
+    /// Build a runner over `jobs`. Drive it with [`crate::Prober::run`].
+    /// Panics on duplicate `(dst, proto)` pairs or oversized schedules.
+    pub fn build(self, jobs: Vec<PingJob>) -> ScamperRunner {
+        ScamperRunner::new(jobs, self.prober_addr, self.seed, self.grace_secs)
     }
 }
 
@@ -321,7 +347,39 @@ impl Agent for ScamperRunner {
     }
 }
 
+impl crate::Prober for ScamperRunner {
+    type Output = Vec<JobResult>;
+
+    fn engine(&self) -> &'static str {
+        "scamper"
+    }
+
+    fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        let sent: u64 = self
+            .send_times
+            .iter()
+            .map(|t| t.iter().filter(|s| s.is_some()).count() as u64)
+            .sum();
+        scope.add("probes_sent", sent);
+        scope.add("jobs", self.jobs.len() as u64);
+        scope.add(
+            "matched",
+            self.results
+                .iter()
+                .map(|r| r.rtts.iter().filter(|x| x.is_some()).count() as u64)
+                .sum(),
+        );
+        scope.add("extra_responses", self.results.iter().map(|r| r.extra_responses).sum());
+        scope.add("errors", self.results.iter().map(|r| r.errors).sum());
+    }
+
+    fn finish(self) -> Vec<JobResult> {
+        self.into_results()
+    }
+}
+
 /// Run a set of jobs over `world`; returns results and the run summary.
+#[deprecated(note = "use `ScamperCfg::build(jobs)` and `Prober::run(&mut world)`")]
 pub fn run_jobs(
     world: World,
     jobs: Vec<PingJob>,
@@ -329,19 +387,34 @@ pub fn run_jobs(
     seed: u64,
     grace_secs: f64,
 ) -> (Vec<JobResult>, RunSummary) {
-    let runner = ScamperRunner::new(jobs, prober_addr, seed, grace_secs);
-    let (runner, _world, summary) = Simulation::new(world, runner).run();
-    (runner.into_results(), summary)
+    let mut world = world;
+    crate::Prober::run(
+        ScamperCfg { prober_addr, seed, grace_secs }.build(jobs),
+        &mut world,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Prober;
     use beware_netsim::profile::{BlockProfile, FirewallCfg, WakeupCfg};
     use beware_netsim::rng::Dist;
     use std::sync::Arc;
 
     const PROBER: u32 = 0x0101_0101;
+
+    /// Test driver over the unified API.
+    fn run(
+        mut world: World,
+        jobs: Vec<PingJob>,
+        seed: u64,
+        grace_secs: f64,
+    ) -> (Vec<JobResult>, RunSummary) {
+        ScamperCfg { prober_addr: PROBER, seed, grace_secs }
+            .build(jobs)
+            .run(&mut world)
+    }
 
     fn quiet_profile() -> BlockProfile {
         BlockProfile {
@@ -364,7 +437,7 @@ mod tests {
     #[test]
     fn icmp_train_measures_every_probe() {
         let jobs = vec![PingJob::train(0x0a000005, PingProto::Icmp, 10, 1.0, 0.0)];
-        let (results, _) = run_jobs(world(quiet_profile()), jobs, PROBER, 1, 30.0);
+        let (results, _) = run(world(quiet_profile()), jobs, 1, 30.0);
         assert_eq!(results.len(), 1);
         let r = &results[0];
         assert_eq!(r.answered().len(), 10);
@@ -379,7 +452,7 @@ mod tests {
             PingJob::train(0x0a000006, PingProto::Udp, 5, 1.0, 0.0),
             PingJob::train(0x0a000006, PingProto::TcpAck, 5, 1.0, 100.0),
         ];
-        let (results, _) = run_jobs(world(quiet_profile()), jobs, PROBER, 1, 30.0);
+        let (results, _) = run(world(quiet_profile()), jobs, 1, 30.0);
         for r in &results {
             assert_eq!(r.answered().len(), 5, "{:?}", r.proto);
             assert!(r.rtts.iter().all(|x| (x.unwrap() - 0.05).abs() < 1e-9));
@@ -397,7 +470,7 @@ mod tests {
             PingJob::train(0x0a000008, PingProto::TcpAck, 3, 1.0, 0.0),
             PingJob::train(0x0a000007, PingProto::Icmp, 3, 1.0, 50.0),
         ];
-        let (results, _) = run_jobs(world(p), jobs, PROBER, 1, 30.0);
+        let (results, _) = run(world(p), jobs, 1, 30.0);
         for r in results.iter().filter(|r| r.proto == PingProto::TcpAck) {
             assert!(r.ttls.iter().all(|t| *t == Some(243)));
             assert!(r.rtts.iter().all(|x| (x.unwrap() - 0.2).abs() < 1e-9));
@@ -418,7 +491,7 @@ mod tests {
             ..quiet_profile()
         };
         let jobs = vec![PingJob::train(0x0a000009, PingProto::Icmp, 5, 1.0, 0.0)];
-        let (results, _) = run_jobs(world(p), jobs, PROBER, 1, 30.0);
+        let (results, _) = run(world(p), jobs, 1, 30.0);
         let rtts = results[0].answered();
         assert!((rtts[0] - 2.05).abs() < 1e-9, "first {}", rtts[0]);
         for r in &rtts[1..] {
@@ -430,7 +503,7 @@ mod tests {
     fn unanswered_probes_are_none() {
         let p = BlockProfile { density: 0.0, ..quiet_profile() };
         let jobs = vec![PingJob::train(0x0a00000a, PingProto::Icmp, 4, 1.0, 0.0)];
-        let (results, _) = run_jobs(world(p), jobs, PROBER, 1, 5.0);
+        let (results, _) = run(world(p), jobs, 1, 5.0);
         assert!(results[0].rtts.iter().all(|x| x.is_none()));
         assert_eq!(results[0].response_rate(), 0.0);
     }
@@ -443,7 +516,7 @@ mod tests {
             offsets: vec![0.0, 5.0, 85.0, 86.0],
             start_secs: 10.0,
         }];
-        let (results, summary) = run_jobs(world(quiet_profile()), jobs, PROBER, 1, 10.0);
+        let (results, summary) = run(world(quiet_profile()), jobs, 1, 10.0);
         assert_eq!(results[0].answered().len(), 4);
         // Last probe at t = 96, grace 10 s.
         assert!((summary.end_time.as_secs_f64() - 106.0).abs() < 0.5);
@@ -464,10 +537,42 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_prober_api() {
+        let jobs = || vec![PingJob::train(0x0a000005, PingProto::Icmp, 6, 1.0, 0.0)];
+        let (old_results, old_summary) =
+            run_jobs(world(quiet_profile()), jobs(), PROBER, 3, 20.0);
+        let (new_results, new_summary) = run(world(quiet_profile()), jobs(), 3, 20.0);
+        assert_eq!(old_results, new_results);
+        assert_eq!(old_summary, new_summary);
+    }
+
+    #[test]
+    fn telemetry_mirrors_job_results() {
+        let mut w = world(quiet_profile());
+        let jobs = vec![
+            PingJob::train(0x0a000005, PingProto::Icmp, 4, 1.0, 0.0),
+            PingJob::train(0x0a000006, PingProto::Udp, 3, 1.0, 50.0),
+        ];
+        let mut metrics = beware_telemetry::Registry::new();
+        let (results, summary) = ScamperCfg { prober_addr: PROBER, seed: 1, grace_secs: 20.0 }
+            .build(jobs)
+            .run_with(&mut w, &mut metrics);
+        assert_eq!(metrics.counter("probe/scamper/probes_sent"), Some(summary.packets_sent));
+        assert_eq!(metrics.counter("probe/scamper/jobs"), Some(2));
+        let matched: u64 = results
+            .iter()
+            .map(|r| r.rtts.iter().filter(|x| x.is_some()).count() as u64)
+            .sum();
+        assert_eq!(metrics.counter("probe/scamper/matched"), Some(matched));
+        assert_eq!(matched, 7);
+    }
+
+    #[test]
     fn deterministic_results() {
         let run = || {
             let jobs = vec![PingJob::train(0x0a000005, PingProto::Icmp, 8, 1.0, 0.0)];
-            run_jobs(world(quiet_profile()), jobs, PROBER, 9, 10.0).0
+            run(world(quiet_profile()), jobs, 9, 10.0).0
         };
         assert_eq!(run(), run());
     }

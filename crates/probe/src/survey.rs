@@ -19,7 +19,7 @@
 use beware_dataset::{Record, RecordSink, SurveyStats};
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::{coin, derive_seed, seeded, unit_hash};
-use beware_netsim::sim::{Agent, Ctx, RunSummary, Simulation};
+use beware_netsim::sim::{Agent, Ctx, RunSummary};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::{quoted_destination, World};
 use beware_wire::icmp::IcmpKind;
@@ -63,6 +63,14 @@ impl Default for SurveyCfg {
             match_drop_prob: 0.0,
             seed: 0x5u64,
         }
+    }
+}
+
+impl SurveyCfg {
+    /// Build the survey prober writing records into `sink`; drive it with
+    /// [`crate::Prober::run`].
+    pub fn build<S: RecordSink>(self, sink: S) -> SurveyProber<S> {
+        SurveyProber::new(self, sink)
     }
 }
 
@@ -252,24 +260,54 @@ impl<S: RecordSink> Agent for SurveyProber<S> {
     }
 }
 
+impl<S: RecordSink> crate::Prober for SurveyProber<S> {
+    type Output = (S, SurveyStats);
+
+    fn engine(&self) -> &'static str {
+        "survey"
+    }
+
+    fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        scope.add("probes_sent", self.stats.probes());
+        scope.add("matched", self.stats.matched);
+        scope.add("timeouts", self.stats.timeouts);
+        // Responses past the match window plus foreign/broadcast arrivals
+        // — the survey's "recovered late" population.
+        scope.add("unmatched", self.stats.unmatched);
+        scope.add("errors", self.stats.errors);
+    }
+
+    fn finish(self) -> (S, SurveyStats) {
+        self.into_parts()
+    }
+}
+
 /// Run a survey over `world` and return `(sink, stats, run summary)`.
+#[deprecated(note = "use `SurveyCfg::build(sink)` and `Prober::run(&mut world)`")]
 pub fn run_survey<S: RecordSink>(
     world: World,
     cfg: SurveyCfg,
     sink: S,
 ) -> (S, SurveyStats, RunSummary) {
-    let prober = SurveyProber::new(cfg, sink);
-    let (prober, _world, summary) = Simulation::new(world, prober).run();
-    let (sink, stats) = prober.into_parts();
+    let mut world = world;
+    let ((sink, stats), summary) = crate::Prober::run(cfg.build(sink), &mut world);
     (sink, stats, summary)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Prober;
+    use beware_dataset::Record;
     use beware_netsim::profile::{BlockProfile, BroadcastCfg};
     use beware_netsim::rng::Dist;
     use std::sync::Arc;
+
+    /// Test driver over the unified API, collecting records in memory.
+    fn survey(mut world: World, cfg: SurveyCfg) -> (Vec<Record>, SurveyStats, RunSummary) {
+        let ((records, stats), summary) = cfg.build(Vec::new()).run(&mut world);
+        (records, stats, summary)
+    }
 
     fn quiet_profile() -> BlockProfile {
         BlockProfile {
@@ -296,7 +334,7 @@ mod tests {
     #[test]
     fn responsive_block_yields_matched_records() {
         let (records, stats, _) =
-            run_survey(one_block_world(quiet_profile()), cfg(2), Vec::new());
+            survey(one_block_world(quiet_profile()), cfg(2));
         // 254 live hosts (.0/.255 excluded) × 2 rounds, all matched.
         assert_eq!(stats.matched, 254 * 2);
         // .0 and .255 never answer (no broadcast configured): timeouts.
@@ -310,7 +348,7 @@ mod tests {
     #[test]
     fn sparse_block_times_out() {
         let profile = BlockProfile { density: 0.0, ..quiet_profile() };
-        let (_, stats, _) = run_survey(one_block_world(profile), cfg(1), Vec::new());
+        let (_, stats, _) = survey(one_block_world(profile), cfg(1));
         assert_eq!(stats.matched, 0);
         assert_eq!(stats.timeouts, 256);
     }
@@ -320,7 +358,7 @@ mod tests {
         // Capture send order via probe times: all probes hit one block, so
         // reconstruct schedule from records of a no-response world.
         let profile = BlockProfile { density: 0.0, ..quiet_profile() };
-        let (records, _, _) = run_survey(one_block_world(profile), cfg(1), Vec::new());
+        let (records, _, _) = survey(one_block_world(profile), cfg(1));
         let mut time_of = HashMap::new();
         for r in &records {
             time_of.insert(r.addr & 0xff, r.time_s);
@@ -338,7 +376,7 @@ mod tests {
     fn slow_host_recorded_as_timeout_plus_unmatched() {
         // Base RTT 20 s: every response arrives past the 3 s window.
         let profile = BlockProfile { base_rtt: Dist::Constant(20.0), ..quiet_profile() };
-        let (records, stats, _) = run_survey(one_block_world(profile), cfg(1), Vec::new());
+        let (records, stats, _) = survey(one_block_world(profile), cfg(1));
         assert_eq!(stats.matched, 0);
         assert_eq!(stats.unmatched, 254);
         assert_eq!(stats.timeouts, 256); // 254 late + 2 dead broadcast addrs
@@ -360,7 +398,7 @@ mod tests {
             broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: false }),
             ..quiet_profile()
         };
-        let (_, stats, _) = run_survey(one_block_world(profile), cfg(1), Vec::new());
+        let (_, stats, _) = survey(one_block_world(profile), cfg(1));
         // Probing .255 triggers 254 neighbor responses; each neighbor
         // either has its own probe open (matched against the wrong probe
         // only if within 3 s — but their probes are ≥2.58 s away, so some
@@ -370,24 +408,24 @@ mod tests {
 
     #[test]
     fn match_drop_prob_breaks_response_rate() {
-        let (_, healthy, _) = run_survey(one_block_world(quiet_profile()), cfg(2), Vec::new());
+        let (_, healthy, _) = survey(one_block_world(quiet_profile()), cfg(2));
         let mut c = cfg(2);
         c.match_drop_prob = 0.999;
-        let (_, broken, _) = run_survey(one_block_world(quiet_profile()), c, Vec::new());
+        let (_, broken, _) = survey(one_block_world(quiet_profile()), c);
         assert!(healthy.response_rate() > 0.9);
         assert!(broken.response_rate() < 0.01, "rate {}", broken.response_rate());
     }
 
     #[test]
     fn deterministic_records() {
-        let run = || run_survey(one_block_world(quiet_profile()), cfg(2), Vec::new()).0;
+        let run = || survey(one_block_world(quiet_profile()), cfg(2)).0;
         assert_eq!(run(), run());
     }
 
     #[test]
     fn icmp_errors_recorded_and_excluded_from_matches() {
         let profile = BlockProfile { error_prob: 1.0, ..quiet_profile() };
-        let (records, stats, _) = run_survey(one_block_world(profile), cfg(1), Vec::new());
+        let (records, stats, _) = survey(one_block_world(profile), cfg(1));
         assert_eq!(stats.matched, 0);
         assert_eq!(stats.errors, 254);
         assert!(records.iter().any(|r| matches!(
@@ -400,5 +438,30 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn empty_block_list_rejected() {
         SurveyProber::new(SurveyCfg::default(), Vec::new());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_prober_api() {
+        let (a_records, a_stats, a_summary) =
+            run_survey(one_block_world(quiet_profile()), cfg(2), Vec::new());
+        let (b_records, b_stats, b_summary) = survey(one_block_world(quiet_profile()), cfg(2));
+        assert_eq!(a_records, b_records);
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(a_summary, b_summary);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        let mut world = one_block_world(quiet_profile());
+        let mut reg = beware_telemetry::Registry::new();
+        let ((_, stats), _) = cfg(2).build(Vec::new()).run_with(&mut world, &mut reg);
+        assert_eq!(reg.counter("probe/survey/matched"), Some(stats.matched));
+        assert_eq!(reg.counter("probe/survey/timeouts"), Some(stats.timeouts));
+        assert_eq!(reg.counter("probe/survey/probes_sent"), Some(stats.probes()));
+        // The netsim family was recorded by the same run.
+        assert_eq!(reg.counter("netsim/probes"), Some(stats.probes()));
+        // The world swap left a usable world behind.
+        assert_eq!(world.stats().probes, stats.probes());
     }
 }

@@ -16,7 +16,7 @@ use beware_asdb::PrefixTrie;
 use beware_dataset::{ScanMeta, ScanRecord, ZmapScan};
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::derive_seed;
-use beware_netsim::sim::{Agent, Ctx, RunSummary, Simulation};
+use beware_netsim::sim::{Agent, Ctx, RunSummary};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::World;
 use beware_wire::icmp::IcmpKind;
@@ -59,6 +59,14 @@ impl Default for ZmapCfg {
             seed: 0x2e7a,
             exclude: Vec::new(),
         }
+    }
+}
+
+impl ZmapCfg {
+    /// Build the scanner; `meta` labels the output scan. Drive it with
+    /// [`crate::Prober::run`].
+    pub fn build(self, meta: ScanMeta) -> ZmapScanner {
+        ZmapScanner::new(self, meta)
     }
 }
 
@@ -177,11 +185,31 @@ impl Agent for ZmapScanner {
     }
 }
 
+impl crate::Prober for ZmapScanner {
+    type Output = ZmapScan;
+
+    fn engine(&self) -> &'static str {
+        "zmap"
+    }
+
+    fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
+        scope.add("probes_sent", self.sent);
+        scope.add("responses", self.scan.records.len() as u64);
+        scope.add("cross_address", self.scan.cross_address_records().count() as u64);
+        scope.add("excluded", self.excluded);
+        scope.add("invalid_payloads", self.invalid_payloads);
+    }
+
+    fn finish(self) -> ZmapScan {
+        self.into_scan()
+    }
+}
+
 /// Run a scan over `world`; returns the scan and the run summary.
+#[deprecated(note = "use `ZmapCfg::build(meta)` and `Prober::run(&mut world)`")]
 pub fn run_scan(world: World, cfg: ZmapCfg, meta: ScanMeta) -> (ZmapScan, RunSummary) {
-    let scanner = ZmapScanner::new(cfg, meta);
-    let (scanner, _world, summary) = Simulation::new(world, scanner).run();
-    (scanner.into_scan(), summary)
+    let mut world = world;
+    crate::Prober::run(cfg.build(meta), &mut world)
 }
 
 #[cfg(test)]
@@ -189,7 +217,13 @@ mod tests {
     use super::*;
     use beware_netsim::profile::{BlockProfile, BroadcastCfg};
     use beware_netsim::rng::Dist;
+    use crate::Prober;
     use std::sync::Arc;
+
+    /// Test driver over the unified API.
+    fn scan(mut world: World, cfg: ZmapCfg) -> (ZmapScan, RunSummary) {
+        cfg.build(meta()).run(&mut world)
+    }
 
     fn meta() -> ScanMeta {
         ScanMeta { label: "test".into(), day: "Mon".into(), begin: "00:00".into() }
@@ -216,7 +250,7 @@ mod tests {
         let mut w = World::new(5);
         w.add_block(0x0a0000, Arc::new(quiet_profile()));
         w.add_block(0x0a0001, Arc::new(quiet_profile()));
-        let (scan, summary) = run_scan(w, cfg(vec![0x0a0000, 0x0a0001]), meta());
+        let (scan, summary) = scan(w, cfg(vec![0x0a0000, 0x0a0001]));
         assert_eq!(summary.packets_sent, 512);
         // 254 live per block (bcast/network dead, no broadcast cfg).
         assert_eq!(scan.response_count(), 508);
@@ -237,7 +271,7 @@ mod tests {
                 ..quiet_profile()
             }),
         );
-        let (scan, _) = run_scan(w, cfg(vec![0x0a0000]), meta());
+        let (scan, _) = scan(w, cfg(vec![0x0a0000]));
         let cross: Vec<_> = scan.cross_address_records().collect();
         // Probing .255 and .0 each triggered 254 neighbor replies.
         assert_eq!(cross.len(), 508);
@@ -269,7 +303,7 @@ mod tests {
         let run = || {
             let mut w = World::new(5);
             w.add_block(0x0a0000, Arc::new(quiet_profile()));
-            let (scan, _) = run_scan(w, cfg(vec![0x0a0000]), meta());
+            let (scan, _) = scan(w, cfg(vec![0x0a0000]));
             scan.records
         };
         assert_eq!(run(), run());
@@ -279,10 +313,40 @@ mod tests {
     fn pacing_spreads_sends_over_duration() {
         let mut w = World::new(5);
         w.add_block(0x0a0000, Arc::new(BlockProfile { density: 0.0, ..quiet_profile() }));
-        let (_, summary) = run_scan(w, cfg(vec![0x0a0000]), meta());
+        let (_, summary) = scan(w, cfg(vec![0x0a0000]));
         // End time ≈ duration + cooldown.
         let end = summary.end_time.as_secs_f64();
         assert!((85.0..95.0).contains(&end), "end {end}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_prober_api() {
+        let world = || {
+            let mut w = World::new(5);
+            w.add_block(0x0a0000, Arc::new(quiet_profile()));
+            w
+        };
+        let (old_scan, old_summary) = run_scan(world(), cfg(vec![0x0a0000]), meta());
+        let (new_scan, new_summary) = scan(world(), cfg(vec![0x0a0000]));
+        assert_eq!(old_scan.records, new_scan.records);
+        assert_eq!(old_summary, new_summary);
+    }
+
+    #[test]
+    fn telemetry_mirrors_scan_counts() {
+        let mut w = World::new(5);
+        w.add_block(0x0a0000, Arc::new(quiet_profile()));
+        let mut metrics = beware_telemetry::Registry::new();
+        let (scan, summary) =
+            cfg(vec![0x0a0000]).build(meta()).run_with(&mut w, &mut metrics);
+        assert_eq!(metrics.counter("probe/zmap/probes_sent"), Some(summary.packets_sent));
+        assert_eq!(
+            metrics.counter("probe/zmap/responses"),
+            Some(scan.records.len() as u64)
+        );
+        assert_eq!(metrics.counter("probe/zmap/excluded"), Some(0));
+        assert_eq!(metrics.counter("netsim/probes"), Some(summary.packets_sent));
     }
 
     #[test]
@@ -292,7 +356,7 @@ mod tests {
             0x0a0000,
             Arc::new(BlockProfile { base_rtt: Dist::Constant(20.0), ..quiet_profile() }),
         );
-        let (scan, _) = run_scan(w, cfg(vec![0x0a0000]), meta());
+        let (scan, _) = scan(w, cfg(vec![0x0a0000]));
         assert_eq!(scan.response_count(), 254);
         assert!(scan.records.iter().all(|r| (r.rtt_secs() - 20.0).abs() < 0.01));
     }

@@ -7,8 +7,7 @@ use beware_netsim::rng::Dist;
 use beware_netsim::world::World;
 use beware_probe::bitrev8;
 use beware_probe::permutation::CyclicPermutation;
-use beware_probe::scamper::{run_jobs, PingJob, PingProto};
-use beware_probe::survey::{run_survey, SurveyCfg};
+use beware_probe::prelude::*;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -51,7 +50,7 @@ proptest! {
             ..Default::default()
         }));
         let cfg = SurveyCfg { blocks: vec![0x0a0000], rounds, seed, ..Default::default() };
-        let (_, stats, summary) = run_survey(w, cfg, Vec::new());
+        let ((_, stats), summary) = cfg.build(Vec::new()).run(&mut w);
         // Every probe becomes exactly one record: matched, timeout or error.
         prop_assert_eq!(stats.probes(), u64::from(rounds) * 256);
         prop_assert_eq!(summary.packets_sent, u64::from(rounds) * 256);
@@ -76,7 +75,9 @@ proptest! {
             .enumerate()
             .map(|(i, &c)| PingJob::train(0x0a000002 + i as u32, PingProto::Icmp, c, 1.0, i as f64))
             .collect();
-        let (results, _) = run_jobs(w, jobs, 0x01010101, seed, 10.0);
+        let (results, _) = ScamperCfg { prober_addr: 0x01010101, seed, grace_secs: 10.0 }
+            .build(jobs)
+            .run(&mut w);
         prop_assert_eq!(results.len(), counts.len());
         for (r, &c) in results.iter().zip(&counts) {
             prop_assert_eq!(r.rtts.len(), c);

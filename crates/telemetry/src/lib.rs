@@ -1,0 +1,610 @@
+//! # beware-telemetry
+//!
+//! Hierarchical, deterministic telemetry for the beware stack: counters,
+//! max-gauges and log-bucketed histograms behind a [`Registry`]/[`Scope`]
+//! API, plus wall-clock span timers that stay out of the deterministic
+//! export.
+//!
+//! Design constraints (see DESIGN.md §7 for the full contract):
+//!
+//! * **Deterministic.** Every metric except the `walltime/` family is a
+//!   pure function of the simulation inputs. [`Registry::to_json`] skips
+//!   `walltime/`, so the JSON export is byte-identical across runs and
+//!   thread counts; [`Registry::merge`] is commutative over `u64`
+//!   arithmetic but callers still merge in fixed task order so even a
+//!   future non-commutative metric kind would stay reproducible.
+//! * **Near-zero cost when disabled.** A registry built with
+//!   [`Registry::disabled`] turns every recording call into a branch on
+//!   one bool; no strings are formatted, no map entries touched. Hot
+//!   loops should still aggregate into plain struct counters and flush
+//!   once at end of run — the per-metric `String` lookup is meant for
+//!   end-of-run recording, not per-packet paths.
+//! * **Hierarchical names.** Metric names are `/`-joined paths
+//!   (`probe/survey/matched`); a [`Scope`] is a registry view with a
+//!   fixed prefix, nestable via [`Scope::scope`].
+//! * **No dependencies.** The workspace is hermetic; the JSON export is
+//!   hand-rendered and read back by a minimal parser covering exactly the
+//!   emitted subset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+
+use std::collections::BTreeMap;
+
+/// Family prefix for wall-clock measurements. Metrics under this prefix
+/// are nondeterministic by nature and are excluded from
+/// [`Registry::to_json`]; they still merge and render as text.
+pub const WALLTIME_FAMILY: &str = "walltime/";
+
+/// Log-bucketed histogram over `u64` values (latencies in µs, sizes in
+/// bytes — the unit is the caller's naming convention).
+///
+/// Bucket `b` holds values `v` with `bucket_of(v) == b`: bucket 0 holds
+/// only `v == 0`, bucket `b ≥ 1` holds `2^(b-1) ≤ v < 2^b`. Buckets are
+/// sparse; only observed buckets are stored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Bucket index → observation count.
+    pub buckets: BTreeMap<u32, u64>,
+}
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1` — pure
+/// integer arithmetic, deterministic on every platform.
+pub fn bucket_of(v: u64) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros()
+    }
+}
+
+/// Inclusive upper bound of a bucket (`2^b - 1`), used for approximate
+/// quantiles in the text report.
+fn bucket_upper(b: u32) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=100): the inclusive upper bound of
+    /// the bucket where the cumulative count crosses `q`% — an upper
+    /// bound on the true quantile, exact to within one power of two.
+    pub fn quantile_upper(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&b, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper(b).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric. The kind is fixed by the first recording under a name;
+/// recording a different kind under the same name is a caller bug and
+/// panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotonic count; merges by sum.
+    Counter(u64),
+    /// High-water mark; merges by max.
+    Gauge(u64),
+    /// Log-bucketed distribution; merges bucket-wise.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    fn merge(&mut self, other: &Metric, name: &str) {
+        match (self, other) {
+            (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+            (Metric::Gauge(a), Metric::Gauge(b)) => *a = (*a).max(*b),
+            (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+            (a, b) => panic!(
+                "telemetry kind mismatch for `{name}`: {} vs {}",
+                a.kind_name(),
+                b.kind_name()
+            ),
+        }
+    }
+}
+
+/// The metric store. Create one per independent unit of work (a task in
+/// a parallel fan-out), record through [`Scope`]s, then [`merge`] the
+/// per-task registries **in task order** into one.
+///
+/// [`merge`]: Registry::merge
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    enabled: bool,
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry { enabled: true, metrics: BTreeMap::new() }
+    }
+
+    /// A disabled registry: every recording call is a no-op costing one
+    /// branch; merge/export see an empty registry.
+    pub fn disabled() -> Self {
+        Registry { enabled: false, metrics: BTreeMap::new() }
+    }
+
+    /// Whether recording is live.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// A recording view prefixed with `name` (e.g. `"netsim"`).
+    pub fn scope(&mut self, name: &str) -> Scope<'_> {
+        Scope { reg: self, prefix: name.to_string() }
+    }
+
+    /// Look up a metric by full name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value by full name (0 when absent; `None` when the name
+    /// holds a different kind).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            None => Some(0),
+            Some(Metric::Counter(v)) => Some(*v),
+            Some(_) => None,
+        }
+    }
+
+    /// Iterate `(name, metric)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn add(&mut self, name: String, delta: u64) {
+        match self.metrics.entry(name) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Metric::Counter(delta));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Metric::Counter(v) => *v += delta,
+                m => {
+                    let kind = m.kind_name();
+                    panic!("telemetry: `{}` is a {kind}, not a counter", e.key())
+                }
+            },
+        }
+    }
+
+    fn gauge_max(&mut self, name: String, value: u64) {
+        match self.metrics.entry(name) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Metric::Gauge(value));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Metric::Gauge(v) => *v = (*v).max(value),
+                m => {
+                    let kind = m.kind_name();
+                    panic!("telemetry: `{}` is a {kind}, not a gauge", e.key())
+                }
+            },
+        }
+    }
+
+    fn observe(&mut self, name: String, value: u64) {
+        match self.metrics.entry(name) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                e.insert(Metric::Histogram(h));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Metric::Histogram(h) => h.observe(value),
+                m => {
+                    let kind = m.kind_name();
+                    panic!("telemetry: `{}` is a {kind}, not a histogram", e.key())
+                }
+            },
+        }
+    }
+
+    /// Merge `other` into `self`: counters sum, gauges take the max,
+    /// histograms merge bucket-wise. Call in **fixed task order** when
+    /// combining parallel work so the result never depends on scheduling.
+    /// A disabled `self` ignores the merge.
+    pub fn merge(&mut self, other: &Registry) {
+        if !self.enabled {
+            return;
+        }
+        for (name, metric) in &other.metrics {
+            match self.metrics.get_mut(name) {
+                Some(m) => m.merge(metric, name),
+                None => {
+                    self.metrics.insert(name.clone(), metric.clone());
+                }
+            }
+        }
+    }
+
+    /// Render the deterministic metrics as JSON (schema in DESIGN.md §7).
+    /// The `walltime/` family is excluded — it is the one nondeterministic
+    /// family, and this export is what the byte-identity contract covers.
+    pub fn to_json(&self) -> String {
+        json::render(self)
+    }
+
+    /// Parse a JSON document produced by [`Registry::to_json`] back into
+    /// an (enabled) registry.
+    pub fn from_json(text: &str) -> Result<Registry, String> {
+        json::parse(text)
+    }
+
+    /// Render a human-readable text report, including `walltime/`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("telemetry report ({} metrics)\n", self.metrics.len()));
+        let width = self.metrics.keys().map(|k| k.len()).max().unwrap_or(0).min(48);
+        let mut family = "";
+        for (name, metric) in &self.metrics {
+            let fam = name.split('/').next().unwrap_or("");
+            if fam != family {
+                family = fam;
+                out.push('\n');
+            }
+            match metric {
+                Metric::Counter(v) => {
+                    out.push_str(&format!("  {name:<width$}  {v}\n"));
+                }
+                Metric::Gauge(v) => {
+                    out.push_str(&format!("  {name:<width$}  {v} (peak)\n"));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "  {name:<width$}  count={} min={} max={} mean={:.1} p50≤{} p99≤{}\n",
+                        h.count,
+                        h.min,
+                        h.max,
+                        h.mean(),
+                        h.quantile_upper(50.0).unwrap_or(0),
+                        h.quantile_upper(99.0).unwrap_or(0),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A prefixed recording view of a [`Registry`]. Metric names passed to
+/// the recording methods are joined to the scope's prefix with `/`.
+#[derive(Debug)]
+pub struct Scope<'a> {
+    reg: &'a mut Registry,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    /// Whether recording is live (callers can skip expensive preparation
+    /// of values when not).
+    pub fn enabled(&self) -> bool {
+        self.reg.enabled
+    }
+
+    /// A nested scope: `self.prefix + "/" + name`.
+    pub fn scope(&mut self, name: &str) -> Scope<'_> {
+        let prefix = if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.prefix)
+        };
+        Scope { reg: self.reg, prefix }
+    }
+
+    fn full(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.prefix)
+        }
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if !self.reg.enabled {
+            return;
+        }
+        self.reg.add(self.full(name), delta);
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Raise the max-gauge `name` to at least `value`.
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        if !self.reg.enabled {
+            return;
+        }
+        self.reg.gauge_max(self.full(name), value);
+    }
+
+    /// Record `value` into the histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if !self.reg.enabled {
+            return;
+        }
+        self.reg.observe(self.full(name), value);
+    }
+
+    /// Time `f` on the wall clock and add the elapsed nanoseconds to the
+    /// counter `walltime/<prefix>/<name>_ns`. Wall-clock metrics live in
+    /// their own top-level family precisely so the deterministic JSON
+    /// export can exclude them (see [`WALLTIME_FAMILY`]).
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.reg.enabled {
+            return f();
+        }
+        let t0 = std::time::Instant::now();
+        let out = f();
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let full = format!("{WALLTIME_FAMILY}{}_ns", self.full(name));
+        self.reg.add(full, ns);
+        out
+    }
+
+    /// Add externally measured wall-clock seconds under
+    /// `walltime/<prefix>/<name>_ns`.
+    pub fn record_wall_secs(&mut self, name: &str, secs: f64) {
+        if !self.reg.enabled {
+            return;
+        }
+        let ns = (secs.max(0.0) * 1e9).round() as u64;
+        let full = format!("{WALLTIME_FAMILY}{}_ns", self.full(name));
+        self.reg.add(full, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let mut reg = Registry::new();
+        let mut s = reg.scope("netsim");
+        s.add("probes", 10);
+        s.incr("probes");
+        s.gauge_max("queue_peak", 5);
+        s.gauge_max("queue_peak", 3);
+        assert_eq!(reg.counter("netsim/probes"), Some(11));
+        assert_eq!(reg.get("netsim/queue_peak"), Some(&Metric::Gauge(5)));
+    }
+
+    #[test]
+    fn nested_scopes_join_with_slash() {
+        let mut reg = Registry::new();
+        let mut probe = reg.scope("probe");
+        let mut survey = probe.scope("survey");
+        survey.add("matched", 7);
+        assert_eq!(reg.counter("probe/survey/matched"), Some(7));
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.sum, 1106);
+        // p50 falls in the bucket of 3 → upper bound 3.
+        assert_eq!(h.quantile_upper(50.0), Some(3));
+        // p99 lands in the last bucket, clamped to the true max.
+        assert_eq!(h.quantile_upper(99.0), Some(1000));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = Registry::disabled();
+        let mut s = reg.scope("x");
+        s.add("a", 1);
+        s.gauge_max("b", 2);
+        s.observe("c", 3);
+        let r = s.time("t", || 42);
+        assert_eq!(r, 42);
+        assert!(reg.is_empty());
+        assert!(!reg.enabled());
+    }
+
+    #[test]
+    fn merge_sums_maxes_and_buckets() {
+        let build = |n: u64| {
+            let mut reg = Registry::new();
+            let mut s = reg.scope("m");
+            s.add("count", n);
+            s.gauge_max("peak", n * 2);
+            s.observe("lat", n);
+            reg
+        };
+        let mut a = build(3);
+        a.merge(&build(5));
+        assert_eq!(a.counter("m/count"), Some(8));
+        assert_eq!(a.get("m/peak"), Some(&Metric::Gauge(10)));
+        match a.get("m/lat") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert_eq!((h.min, h.max), (3, 5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_order_does_not_change_result() {
+        let build = |vals: &[u64]| {
+            let mut reg = Registry::new();
+            let mut s = reg.scope("m");
+            for &v in vals {
+                s.add("c", v);
+                s.observe("h", v);
+                s.gauge_max("g", v);
+            }
+            reg
+        };
+        let (a, b) = (build(&[1, 2, 3]), build(&[10, 20]));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn merge_kind_mismatch_panics() {
+        let mut a = Registry::new();
+        a.scope("m").add("x", 1);
+        let mut b = Registry::new();
+        b.scope("m").gauge_max("x", 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_confusion_panics() {
+        let mut reg = Registry::new();
+        reg.scope("m").gauge_max("x", 1);
+        reg.scope("m").add("x", 1);
+    }
+
+    #[test]
+    fn walltime_excluded_from_json_but_rendered() {
+        let mut reg = Registry::new();
+        let mut s = reg.scope("bench");
+        s.add("steps", 1);
+        s.record_wall_secs("build", 1.5);
+        let json = reg.to_json();
+        assert!(json.contains("bench/steps"));
+        assert!(!json.contains("walltime"), "{json}");
+        let text = reg.render_text();
+        assert!(text.contains("walltime/bench/build_ns"), "{text}");
+    }
+
+    #[test]
+    fn span_timer_records_elapsed() {
+        let mut reg = Registry::new();
+        let out = reg.scope("bench").time("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out, 7);
+        let ns = reg.counter("walltime/bench/work_ns").unwrap();
+        assert!(ns >= 1_000_000, "elapsed {ns} ns");
+    }
+
+    #[test]
+    fn text_report_groups_and_labels() {
+        let mut reg = Registry::new();
+        reg.scope("netsim").add("probes", 3);
+        reg.scope("probe").scope("zmap").observe("rtt_us", 500);
+        reg.scope("netsim").gauge_max("queue_peak", 9);
+        let text = reg.render_text();
+        assert!(text.contains("telemetry report (3 metrics)"), "{text}");
+        assert!(text.contains("netsim/probes"), "{text}");
+        assert!(text.contains("(peak)"), "{text}");
+        assert!(text.contains("count=1"), "{text}");
+    }
+}

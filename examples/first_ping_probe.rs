@@ -8,7 +8,7 @@
 
 use beware::analysis::firstping::{analyze, FirstPingClass};
 use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
-use beware::probe::scamper::{run_jobs, PingJob, PingProto};
+use beware::probe::prelude::*;
 
 fn main() {
     let scenario = Scenario::new(ScenarioCfg {
@@ -40,7 +40,10 @@ fn main() {
         .map(|(i, &dst)| PingJob::train(dst, PingProto::Icmp, 10, 1.0, i as f64 * 0.05))
         .collect();
     println!("probing {} live cellular addresses with 10-ping 1 Hz trains...", jobs.len());
-    let (results, _) = run_jobs(world, jobs, 0xC0000207, 7, 120.0);
+    let mut world = world;
+    let (results, _) = ScamperCfg { prober_addr: 0xC0000207, seed: 7, grace_secs: 120.0 }
+        .build(jobs)
+        .run(&mut world);
 
     let streams: Vec<(u32, Vec<Option<f64>>)> =
         results.iter().map(|r| (r.dst, r.rtts.clone())).collect();

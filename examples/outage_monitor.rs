@@ -13,7 +13,7 @@
 use beware::netsim::profile::{BlockProfile, EpisodeCfg, WakeupCfg};
 use beware::netsim::rng::Dist;
 use beware::netsim::world::World;
-use beware::probe::scamper::{run_jobs, PingJob, PingProto};
+use beware::probe::prelude::*;
 use std::sync::Arc;
 
 /// Thunderping declares an address unresponsive after N consecutive
@@ -75,7 +75,9 @@ fn main() {
         .enumerate()
         .map(|(i, &dst)| PingJob::train(dst, PingProto::Icmp, 1000, 10.0, i as f64 * 0.2))
         .collect();
-    let (results, _) = run_jobs(world, jobs, 0xC0000207, 1, 600.0);
+    let (results, _) = ScamperCfg { prober_addr: 0xC0000207, seed: 1, grace_secs: 600.0 }
+        .build(jobs)
+        .run(&mut world);
 
     println!("monitoring {} always-up cellular hosts, 1,000 pings each:\n", targets.len());
     for (timeout, label) in [(3.0, "conventional 3 s"), (60.0, "paper-recommended 60 s")] {

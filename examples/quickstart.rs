@@ -12,7 +12,7 @@ use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
 use beware::analysis::recommend;
 use beware::analysis::timeout_table::TimeoutTable;
 use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
-use beware::probe::survey::{run_survey, SurveyCfg};
+use beware::probe::prelude::*;
 
 fn main() {
     // 1. A synthetic Internet, 2015 vintage: cellular carriers, satellite
@@ -37,7 +37,8 @@ fn main() {
     let blocks: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).step_by(4).take(64).collect();
     let cfg = SurveyCfg { blocks, rounds: 30, ..Default::default() };
     let world = scenario.build_world();
-    let (records, stats, summary) = run_survey(world, cfg, Vec::new());
+    let mut world = world;
+    let ((records, stats), summary) = cfg.build(Vec::new()).run(&mut world);
     println!(
         "survey: {} probes, {:.1}% answered in-window, {} late/unmatched responses \
          ({} simulated events)",

@@ -13,7 +13,7 @@ use beware::analysis::report::fmt_count;
 use beware::analysis::timeout_table::TimeoutTable;
 use beware::dataset::binfmt;
 use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
-use beware::probe::survey::{run_survey, SurveyCfg};
+use beware::probe::prelude::*;
 
 fn main() {
     let scenario = Scenario::new(ScenarioCfg {
@@ -26,7 +26,8 @@ fn main() {
     let cfg = SurveyCfg { blocks, rounds: 40, ..Default::default() };
 
     println!("== step 1: probe ==");
-    let (records, stats, _) = run_survey(scenario.build_world(), cfg, Vec::new());
+    let mut world = scenario.build_world();
+    let ((records, stats), _) = cfg.build(Vec::new()).run(&mut world);
     println!(
         "{} records: {} matched (µs RTTs), {} timeouts, {} unmatched responses, {} errors",
         fmt_count(records.len() as u64),

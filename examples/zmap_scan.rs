@@ -10,7 +10,7 @@ use beware::analysis::broadcast_octets::zmap_broadcast_octets;
 use beware::analysis::turtles::{rank_ases, rank_continents, turtle_fraction};
 use beware::dataset::ScanMeta;
 use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
-use beware::probe::zmap::{run_scan, ZmapCfg};
+use beware::probe::prelude::*;
 
 fn main() {
     let scenario = Scenario::new(ScenarioCfg {
@@ -30,7 +30,8 @@ fn main() {
         ..Default::default()
     };
     let meta = ScanMeta { label: "demo scan".into(), day: "Thu".into(), begin: "12:00".into() };
-    let (scan, summary) = run_scan(scenario.build_world(), cfg, meta);
+    let mut world = scenario.build_world();
+    let (scan, summary) = cfg.build(meta).run(&mut world);
     println!(
         "scan: {} probes sent, {} echo responses, {} distinct responders",
         summary.packets_sent,

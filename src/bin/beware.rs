@@ -22,9 +22,9 @@ use beware::asdb::persist;
 use beware::dataset::stream::{StreamReader, StreamWriter};
 use beware::dataset::{Record, ScanMeta};
 use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
-use beware::probe::survey::{run_survey, SurveyCfg};
-use beware::probe::census::{run_census, select_survey_blocks, CensusCfg};
-use beware::probe::zmap::{run_scan, ZmapCfg};
+use beware::probe::census::select_survey_blocks;
+use beware::probe::prelude::*;
+use beware::telemetry::Registry;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "scan" => cmd_scan(&flags),
         "census" => cmd_census(&flags),
         "analyze" => cmd_analyze(&flags),
+        "metrics" => cmd_metrics(&flags),
         "recommend" => cmd_recommend(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -72,10 +73,12 @@ commands:
   generate   --blocks N --year Y --seed S --out plan.tsv
   campaign   --out DIR [--threads N] [--scale small|bench] [--blocks N]
              [--survey-blocks N] [--rounds R] [--scans N] [--seed S]
+             [--metrics metrics.json]
   survey     --plan plan.tsv --rounds R [--sample N] [--seed S] [--vantage w|c|j|g] --out survey.bwss
   scan       --plan plan.tsv [--duration SECS] [--seed S] --out scan.tsv
   census     --plan plan.tsv [--count N] [--seed S] --out blocks.txt
   analyze    --survey survey.bwss [--csv cdf.csv]
+  metrics    --in metrics.json
   recommend  --survey survey.bwss [--addr-pct P] [--ping-pct P] [--timeout T]";
 
 /// Parsed `--name value` flags.
@@ -153,8 +156,10 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
 
 /// Run the full shared campaign (two surveys + pipelines + the zmap scan
 /// campaign) on a worker pool and write the datasets plus a summary
-/// report. The written files are byte-identical for any `--threads`
-/// value — the fan-out is deterministic (see `beware::netsim::exec`).
+/// report. The written files — including the `--metrics` telemetry JSON —
+/// are byte-identical for any `--threads` value: the fan-out is
+/// deterministic (see `beware::netsim::exec`) and per-task metrics merge
+/// in fixed task order.
 fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     let mut scale = match flags.str("scale").unwrap_or("small") {
         "small" => Scale::small(),
@@ -170,8 +175,11 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     let out_dir = std::path::Path::new(flags.required("out")?);
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
 
+    let metrics_path = flags.str("metrics");
     let t0 = std::time::Instant::now();
-    let ctx = ExperimentCtx::build_with_threads(scale, threads);
+    let mut metrics =
+        if metrics_path.is_some() { Registry::new() } else { Registry::disabled() };
+    let ctx = ExperimentCtx::build_with_metrics(scale, threads, &mut metrics);
 
     for survey in [&ctx.survey_w, &ctx.survey_c] {
         let name = format!("survey_{}.bwss", survey.meta.vantage);
@@ -232,6 +240,13 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     let report_path = out_dir.join("report.txt");
     std::fs::write(&report_path, report).map_err(|e| e.to_string())?;
 
+    if let Some(path) = metrics_path {
+        // No wall-clock here: walltime/ metrics are excluded from the
+        // JSON export anyway, so the file stays deterministic.
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("telemetry -> {path} ({} metrics)", metrics.len());
+    }
+
     println!(
         "campaign complete on {threads} thread(s) in {:?}: 2 surveys ({} + {} records), \
          {} scans -> {}",
@@ -263,8 +278,8 @@ fn cmd_survey(flags: &Flags) -> Result<(), String> {
     let out_path = flags.required("out")?;
     let file = File::create(out_path).map_err(|e| format!("creating {out_path}: {e}"))?;
     let writer = StreamWriter::new(BufWriter::new(file)).map_err(|e| e.to_string())?;
-    let world = scenario.build_world();
-    let (writer, stats, summary) = run_survey(world, cfg, writer);
+    let mut world = scenario.build_world();
+    let ((writer, stats), summary) = cfg.build(writer).run(&mut world);
     let inner = writer.finish().map_err(|e| e.to_string())?;
     inner.into_inner().map_err(|e| e.to_string())?.sync_all().map_err(|e| e.to_string())?;
     println!(
@@ -287,7 +302,8 @@ fn cmd_scan(flags: &Flags) -> Result<(), String> {
         ..Default::default()
     };
     let meta = ScanMeta { label: "cli scan".into(), day: "-".into(), begin: "-".into() };
-    let (scan, summary) = run_scan(scenario.build_world(), cfg, meta);
+    let mut world = scenario.build_world();
+    let (scan, summary) = cfg.build(meta).run(&mut world);
     let out = flags.required("out")?;
     let mut w = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
     writeln!(w, "probed,responder,rtt_us").map_err(|e| e.to_string())?;
@@ -320,7 +336,8 @@ fn cmd_census(flags: &Flags) -> Result<(), String> {
         seed: flags.num("seed", 7u64)?,
         ..Default::default()
     };
-    let (result, _) = run_census(scenario.build_world(), cfg);
+    let mut world = scenario.build_world();
+    let (result, _) = cfg.build().run(&mut world);
     let count: usize = flags.num("count", 64usize)?;
     let blocks = select_survey_blocks(&result, &[], count, flags.num("seed", 7u64)?);
     let out = flags.required("out")?;
@@ -375,6 +392,15 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
         std::fs::write(csv, series_to_csv(&[series])).map_err(|e| e.to_string())?;
         println!("wrote per-address p99 CDF to {csv}");
     }
+    Ok(())
+}
+
+/// Pretty-print a telemetry JSON file written by `campaign --metrics`.
+fn cmd_metrics(flags: &Flags) -> Result<(), String> {
+    let path = flags.required("in")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let reg = Registry::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    print!("{}", reg.render_text());
     Ok(())
 }
 

@@ -9,7 +9,9 @@
 //! * [`probe`] — survey / zmap / scamper probing engines,
 //! * [`analysis`] — the paper's analysis pipeline: unmatched-response
 //!   matching, artifact filters, percentile aggregation and timeout tables,
-//! * [`bench`] — the campaign harness: scaled experiment contexts and the
+//! * [`telemetry`] — deterministic counters/histograms threaded through the
+//!   whole stack (see DESIGN.md §7 for schema and merge semantics),
+//! * [`mod@bench`] — the campaign harness: scaled experiment contexts and the
 //!   deterministic parallel fan-out behind `beware campaign --threads N`.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and `DESIGN.md` for
@@ -23,4 +25,5 @@ pub use beware_core as analysis;
 pub use beware_dataset as dataset;
 pub use beware_netsim as netsim;
 pub use beware_probe as probe;
+pub use beware_telemetry as telemetry;
 pub use beware_wire as wire;

@@ -4,8 +4,7 @@
 use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
 use beware::dataset::{binfmt, ScanMeta};
 use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
-use beware::probe::survey::{run_survey, SurveyCfg};
-use beware::probe::zmap::{run_scan, ZmapCfg};
+use beware::probe::prelude::*;
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::new(ScenarioCfg {
@@ -20,7 +19,8 @@ fn survey_records(seed: u64) -> Vec<beware::dataset::Record> {
     let sc = scenario(seed);
     let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
     let cfg = SurveyCfg { blocks, rounds: 8, seed, ..Default::default() };
-    run_survey(sc.build_world(), cfg, Vec::new()).0
+    let mut world = sc.build_world();
+    cfg.build(Vec::new()).run(&mut world).0 .0
 }
 
 #[test]
@@ -68,7 +68,8 @@ fn same_seed_identical_zmap_scan() {
             ..Default::default()
         };
         let meta = ScanMeta { label: "d".into(), day: "Mon".into(), begin: "00:00".into() };
-        run_scan(sc.build_world(), cfg, meta).0
+        let mut world = sc.build_world();
+        cfg.build(meta).run(&mut world).0
     };
     assert_eq!(run(3).records, run(3).records);
     assert_ne!(run(3).records, run(4).records);

@@ -8,7 +8,7 @@ use beware::netsim::packet::{Packet, L4};
 use beware::netsim::profile::{BlockProfile, WakeupCfg};
 use beware::netsim::rng::Dist;
 use beware::netsim::world::World;
-use beware::probe::survey::{run_survey, SurveyCfg};
+use beware::probe::prelude::*;
 use beware::wire::payload::ProbePayload;
 use std::sync::Arc;
 
@@ -88,7 +88,7 @@ fn wakeup_world_shows_eleven_minute_survey_pattern() {
         }),
     );
     let cfg = SurveyCfg { blocks: vec![0x0a0000], rounds: 4, ..Default::default() };
-    let (records, stats, _) = run_survey(w, cfg, Vec::new());
+    let ((records, stats), _) = cfg.build(Vec::new()).run(&mut w);
     assert_eq!(stats.matched, 254 * 4);
     let samples = survey_samples(&records);
     for s in samples.values() {
@@ -108,7 +108,7 @@ fn recommendation_api_flags_short_timeouts_on_slow_worlds() {
         Arc::new(BlockProfile { base_rtt: Dist::Constant(4.0), ..quiet() }),
     );
     let cfg = SurveyCfg { blocks: vec![0x0a0000], rounds: 3, ..Default::default() };
-    let (records, _, _) = run_survey(w, cfg, Vec::new());
+    let ((records, _), _) = cfg.build(Vec::new()).run(&mut w);
     let out = run_pipeline(&records, &PipelineCfg::default());
     // All matched-as-delayed (4 s > 3 s window → timeout + unmatched).
     assert!(out.accounting.survey_detected.packets == 0);
@@ -125,7 +125,7 @@ fn icmp_error_addresses_do_not_enter_latency_analysis() {
     let mut w = World::new(4);
     w.add_block(0x0a0000, Arc::new(BlockProfile { error_prob: 1.0, ..quiet() }));
     let cfg = SurveyCfg { blocks: vec![0x0a0000], rounds: 2, ..Default::default() };
-    let (records, stats, _) = run_survey(w, cfg, Vec::new());
+    let ((records, stats), _) = cfg.build(Vec::new()).run(&mut w);
     assert!(stats.errors > 0);
     let out = run_pipeline(&records, &PipelineCfg::default());
     assert!(out.samples.is_empty(), "error-only addresses must yield no samples");
@@ -162,7 +162,7 @@ fn mixed_world_pipeline_is_internally_consistent() {
         rounds: 30,
         ..Default::default()
     };
-    let (records, stats, _) = run_survey(w, cfg, Vec::new());
+    let ((records, stats), _) = cfg.build(Vec::new()).run(&mut w);
     let out = run_pipeline(&records, &PipelineCfg::default());
     // Sample counts never exceed probe counts.
     let total_samples: usize = out.samples.values().map(|s| s.len()).sum();

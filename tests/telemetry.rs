@@ -1,0 +1,93 @@
+//! End-to-end telemetry contracts: `beware campaign --metrics` must write
+//! byte-identical JSON for any `--threads` value, the file must cover the
+//! netsim / probe / pipeline metric families, and `beware metrics` must
+//! pretty-print it. See DESIGN.md §7 for the schema and merge semantics.
+
+use beware::telemetry::{Metric, Registry};
+
+fn run_campaign(out_dir: &std::path::Path, metrics: &std::path::Path, threads: u32) {
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_beware"))
+        .args(["campaign", "--threads", &threads.to_string()])
+        .args(["--blocks", "48", "--survey-blocks", "12", "--rounds", "12", "--scans", "4"])
+        .arg("--metrics")
+        .arg(metrics)
+        .arg("--out")
+        .arg(out_dir)
+        .status()
+        .expect("campaign runs");
+    assert!(status.success(), "campaign --threads {threads} failed");
+}
+
+/// The determinism contract of DESIGN.md §7: per-task registries merge in
+/// fixed task order, so the metrics file is byte-identical no matter how
+/// the tasks were scheduled.
+#[test]
+fn metrics_json_identical_across_thread_counts() {
+    let base = std::env::temp_dir().join(format!("beware-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let m1 = base.join("metrics1.json");
+    let m4 = base.join("metrics4.json");
+    run_campaign(&base.join("out1"), &m1, 1);
+    run_campaign(&base.join("out4"), &m4, 4);
+
+    let json1 = std::fs::read_to_string(&m1).expect("metrics file written");
+    let json4 = std::fs::read_to_string(&m4).expect("metrics file written");
+    assert_eq!(json1, json4, "--metrics output differs between --threads 1 and 4");
+
+    // The snapshot must cover all three instrumented layers.
+    let reg = Registry::from_json(&json1).expect("valid telemetry JSON");
+    for family in ["netsim/", "probe/", "pipeline/"] {
+        assert!(
+            reg.iter().any(|(name, _)| name.starts_with(family)),
+            "no {family} metrics in campaign snapshot"
+        );
+    }
+    // Wall-clock must NOT leak into the deterministic file.
+    assert!(
+        reg.iter().all(|(name, _)| !name.starts_with("walltime/")),
+        "nondeterministic walltime/ metrics in JSON output"
+    );
+
+    // Spot-check cross-layer consistency: every engine probe is a world
+    // probe, and the pipeline ran once per survey.
+    let netsim_probes = reg.counter("netsim/probes").expect("netsim/probes");
+    let survey_probes = reg.counter("probe/survey/probes_sent").expect("survey counter");
+    let zmap_probes = reg.counter("probe/zmap/probes_sent").expect("zmap counter");
+    assert_eq!(netsim_probes, survey_probes + zmap_probes);
+    assert_eq!(reg.counter("pipeline/runs"), Some(2), "one pipeline run per survey");
+    match reg.get("pipeline/match/latency_s") {
+        Some(Metric::Histogram(h)) => {
+            assert_eq!(Some(h.count), reg.counter("pipeline/match/delayed"));
+        }
+        None => {} // legitimately absent if no response was delayed
+        other => panic!("pipeline/match/latency_s has wrong kind: {other:?}"),
+    }
+
+    // Round-trip: parse + re-render is byte-stable.
+    assert_eq!(reg.to_json(), json1);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// `beware metrics --in` renders the snapshot for humans: every family
+/// header present, no JSON syntax leaking through.
+#[test]
+fn metrics_command_renders_snapshot() {
+    let base =
+        std::env::temp_dir().join(format!("beware-telemetry-render-{}", std::process::id()));
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let m = base.join("metrics.json");
+    run_campaign(&base.join("out"), &m, 2);
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_beware"))
+        .arg("metrics")
+        .arg("--in")
+        .arg(&m)
+        .output()
+        .expect("metrics command runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf-8 output");
+    for needle in ["netsim/probes", "probe/survey/probes_sent", "pipeline/runs"] {
+        assert!(text.contains(needle), "`beware metrics` output missing {needle}:\n{text}");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
