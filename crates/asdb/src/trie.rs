@@ -265,4 +265,68 @@ mod tests {
         let mut t = PrefixTrie::new();
         t.insert(0, 33, ());
     }
+
+    #[test]
+    fn host_routes_at_address_space_extremes() {
+        let mut t = PrefixTrie::new();
+        t.insert(0, 32, "zero");
+        t.insert(u32::MAX, 32, "ones");
+        assert_eq!(t.lookup(0), Some(&"zero"));
+        assert_eq!(t.lookup(u32::MAX), Some(&"ones"));
+        assert_eq!(t.lookup(1), None);
+        assert_eq!(t.lookup(u32::MAX - 1), None);
+        assert_eq!(t.get_exact(0, 32), Some(&"zero"));
+        assert_eq!(t.get_exact(u32::MAX, 32), Some(&"ones"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_wins_last_at_every_length() {
+        let mut t = PrefixTrie::new();
+        // /0, /32 and a middle length: repeated insert must replace, not
+        // shadow, and len must not double-count.
+        for (pfx, len) in [(0u32, 0u8), (p("198.51.100.7"), 32), (p("10.0.0.0"), 12)] {
+            assert_eq!(t.insert(pfx, len, "first"), None);
+            assert_eq!(t.insert(pfx, len, "second"), Some("first"));
+            assert_eq!(t.insert(pfx, len, "third"), Some("second"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(p("198.51.100.7")), Some(&"third"));
+        assert_eq!(t.get_exact(0, 0), Some(&"third"));
+        assert_eq!(t.lookup(p("99.99.99.99")), Some(&"third")); // default route
+    }
+
+    #[test]
+    fn default_route_exact_and_iter() {
+        let mut t = PrefixTrie::new();
+        t.insert(0xffff_ffff, 0, "default"); // low bits ignored at /0 too
+        t.insert(p("0.0.0.0"), 32, "zero-host");
+        t.insert(p("255.255.255.255"), 32, "ones-host");
+        assert_eq!(t.get_exact(0, 0), Some(&"default"));
+        assert_eq!(t.get_exact(0x1234_5678, 0), Some(&"default"));
+        // iter must emit the /0 first (it is the root), then both host
+        // routes in address order, with correct lengths.
+        let got: Vec<(u32, u8, &str)> = t.iter().map(|(pfx, l, v)| (pfx, l, *v)).collect();
+        assert_eq!(
+            got,
+            vec![(0, 0, "default"), (0, 32, "zero-host"), (u32::MAX, 32, "ones-host")]
+        );
+    }
+
+    #[test]
+    fn nested_prefixes_on_one_path_all_reachable() {
+        // A full chain 0.0.0.0/0 .. /32 along the zero path: lookup of an
+        // address off the path at depth k must return the /k ancestor.
+        let mut t = PrefixTrie::new();
+        for len in 0..=32u8 {
+            t.insert(0, len, len);
+        }
+        assert_eq!(t.len(), 33);
+        assert_eq!(t.lookup(0), Some(&32));
+        for k in 0..32u8 {
+            // Flip bit k (from the top): diverges after k matching bits.
+            let addr = 1u32 << (31 - k);
+            assert_eq!(t.lookup(addr), Some(&k), "diverging at depth {k}");
+        }
+    }
 }

@@ -59,15 +59,16 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Fletcher-64-style running checksum (two u64 accumulators over u32
-/// words; simple, fast, and order-sensitive).
+/// words; simple, fast, and order-sensitive). Shared with the snapshot
+/// codec ([`crate::snapshot`]), which frames its payload the same way.
 #[derive(Debug, Clone, Copy, Default)]
-struct Fletcher {
+pub(crate) struct Fletcher {
     a: u64,
     b: u64,
 }
 
 impl Fletcher {
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for chunk in bytes.chunks(4) {
             let mut word = [0u8; 4];
             word[..chunk.len()].copy_from_slice(chunk);
@@ -76,7 +77,7 @@ impl Fletcher {
         }
     }
 
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         (self.b << 32) | self.a
     }
 }

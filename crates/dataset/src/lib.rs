@@ -19,18 +19,22 @@
 //! [`binfmt`] a compact binary codec, [`stream`] its incremental
 //! (unbounded-survey) variant, [`textfmt`] a line-oriented text codec, and [`zmap`] the stateless-scanner record model (RTT computed
 //! from the payload-embedded send time; original destination recovered
-//! from the payload).
+//! from the payload). [`snapshot`] is the downstream face of the stack:
+//! the canonical binary format of per-prefix timeout tables that the
+//! `beware-serve` oracle daemon loads and answers queries from.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binfmt;
 pub mod record;
+pub mod snapshot;
 pub mod stream;
 pub mod survey;
 pub mod textfmt;
 pub mod zmap;
 
 pub use record::{Record, RecordKind};
+pub use snapshot::{SnapshotEntry, TimeoutSnapshot};
 pub use survey::{RecordSink, Survey, SurveyMeta, SurveyStats};
 pub use zmap::{ScanMeta, ScanRecord, ZmapScan};

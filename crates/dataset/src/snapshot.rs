@@ -1,0 +1,350 @@
+//! Timeout-oracle snapshot: per-prefix timeout tables in a compact,
+//! canonical binary format.
+//!
+//! A snapshot is what `beware serve` loads at startup: the offline
+//! pipeline's per-address latency distributions, grouped by prefix and
+//! reduced to `TimeoutTable`-style cells ("minimum timeout capturing c%
+//! of pings from r% of addresses"), plus a global fallback table for
+//! addresses no prefix covers. Cells are stored as raw `f64` bits so a
+//! served answer can byte-match the offline computation exactly.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! header:  magic "BWTS" | version u16 | reserved u16
+//! body:    r_count u16 | c_count u16 | entry count u32
+//!          address-percentile levels   u16 × r_count   (tenths of a %)
+//!          ping-percentile levels      u16 × c_count   (tenths of a %)
+//!          fallback cells              u64 × r·c       (f64 bits, row-major)
+//!          entries, each: prefix u32 | len u8 | cells u64 × r·c
+//! trailer: fletcher-64 checksum u64 over all body bytes
+//! ```
+//!
+//! The encoding is **canonical**: [`TimeoutSnapshot::validate`] enforces
+//! strictly increasing percentile levels, entries sorted strictly
+//! ascending by `(prefix, len)` with sub-prefix bits zeroed, and exact
+//! cell counts. A snapshot that decodes therefore re-encodes to the same
+//! bytes — the property the dataset proptests pin down.
+
+use crate::binfmt::{DecodeError, Fletcher};
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BWTS";
+const VERSION: u16 = 1;
+
+/// Hard cap on entries accepted by the decoder — a full /16 split into
+/// host routes is far beyond any realistic survey, and the cap keeps a
+/// corrupt count field from provoking a huge allocation.
+const MAX_ENTRIES: u64 = 1 << 26;
+
+/// Percentile levels are carried as tenths of a percent (`950` = 95.0%),
+/// exact for every level the paper uses and free of float comparisons on
+/// the wire. This bound (`1000` = 100.0%) is the largest valid level.
+pub const MAX_PCT_TENTHS: u16 = 1000;
+
+/// One prefix's timeout table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Network-order prefix bits; bits below `len` are zero.
+    pub prefix: u32,
+    /// Prefix length, 0–32.
+    pub len: u8,
+    /// Row-major `r × c` cells as `f64` bits.
+    pub cells: Vec<u64>,
+}
+
+impl SnapshotEntry {
+    /// The cell at row `ri`, column `ci`, as a float.
+    pub fn cell(&self, ri: usize, ci: usize, c_count: usize) -> f64 {
+        f64::from_bits(self.cells[ri * c_count + ci])
+    }
+}
+
+/// A complete oracle snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeoutSnapshot {
+    /// Address-percentile (row) levels, tenths of a percent, strictly
+    /// increasing.
+    pub address_pct_tenths: Vec<u16>,
+    /// Ping-percentile (column) levels, tenths of a percent, strictly
+    /// increasing.
+    pub ping_pct_tenths: Vec<u16>,
+    /// Global fallback table (`r × c` cells, `f64` bits, row-major) used
+    /// when no prefix covers a queried address.
+    pub fallback: Vec<u64>,
+    /// Per-prefix tables, sorted strictly ascending by `(prefix, len)`.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl TimeoutSnapshot {
+    /// Cells per table (`r × c`).
+    pub fn cell_count(&self) -> usize {
+        self.address_pct_tenths.len() * self.ping_pct_tenths.len()
+    }
+
+    /// Check the canonical-form invariants the codec relies on.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        validate_levels(&self.address_pct_tenths)?;
+        validate_levels(&self.ping_pct_tenths)?;
+        let cells = self.cell_count();
+        if self.fallback.len() != cells {
+            return Err("fallback cell count does not match levels");
+        }
+        let mut prev: Option<(u32, u8)> = None;
+        for e in &self.entries {
+            if e.len > 32 {
+                return Err("prefix length exceeds 32");
+            }
+            if e.prefix & !prefix_mask(e.len) != 0 {
+                return Err("prefix has bits below its length");
+            }
+            if e.cells.len() != cells {
+                return Err("entry cell count does not match levels");
+            }
+            if prev.is_some_and(|p| p >= (e.prefix, e.len)) {
+                return Err("entries not strictly ascending by (prefix, len)");
+            }
+            prev = Some((e.prefix, e.len));
+        }
+        Ok(())
+    }
+}
+
+fn validate_levels(levels: &[u16]) -> Result<(), &'static str> {
+    if levels.is_empty() {
+        return Err("empty percentile levels");
+    }
+    if levels.iter().any(|&l| l == 0 || l > MAX_PCT_TENTHS) {
+        return Err("percentile level out of (0, 100.0] range");
+    }
+    if levels.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("percentile levels not strictly increasing");
+    }
+    Ok(())
+}
+
+/// All-ones mask of the top `len` bits (`len` ≤ 32).
+pub fn prefix_mask(len: u8) -> u32 {
+    match len {
+        0 => 0,
+        32 => u32::MAX,
+        n => !(u32::MAX >> n),
+    }
+}
+
+/// Serialize a snapshot. Fails with `InvalidInput` when the snapshot is
+/// not in canonical form (see [`TimeoutSnapshot::validate`]).
+pub fn write_snapshot<W: Write>(out: &mut W, snap: &TimeoutSnapshot) -> io::Result<()> {
+    snap.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let mut header = Vec::with_capacity(8);
+    header.put_slice(MAGIC);
+    header.put_u16_le(VERSION);
+    header.put_u16_le(0);
+    out.write_all(&header)?;
+
+    let cells = snap.cell_count();
+    let mut body =
+        Vec::with_capacity(8 + 2 * (snap.address_pct_tenths.len() + snap.ping_pct_tenths.len())
+            + 8 * cells * (1 + snap.entries.len())
+            + 5 * snap.entries.len());
+    body.put_u16_le(snap.address_pct_tenths.len() as u16);
+    body.put_u16_le(snap.ping_pct_tenths.len() as u16);
+    body.put_u32_le(snap.entries.len() as u32);
+    for &l in &snap.address_pct_tenths {
+        body.put_u16_le(l);
+    }
+    for &l in &snap.ping_pct_tenths {
+        body.put_u16_le(l);
+    }
+    for &c in &snap.fallback {
+        body.put_u64_le(c);
+    }
+    for e in &snap.entries {
+        body.put_u32_le(e.prefix);
+        body.put_u8(e.len);
+        for &c in &e.cells {
+            body.put_u64_le(c);
+        }
+    }
+    let mut checksum = Fletcher::default();
+    checksum.update(&body);
+    out.write_all(&body)?;
+    out.write_all(&checksum.finish().to_le_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a snapshot previously written by [`write_snapshot`].
+/// The decoded snapshot is re-validated, so `read → write` reproduces the
+/// input bytes exactly.
+pub fn read_snapshot<R: Read>(input: &mut R) -> Result<TimeoutSnapshot, DecodeError> {
+    let mut header = [0u8; 8];
+    input.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let mut magic = [0u8; 4];
+    h.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::Corrupt("bad snapshot magic"));
+    }
+    if h.get_u16_le() != VERSION {
+        return Err(DecodeError::Corrupt("unsupported snapshot version"));
+    }
+
+    // `Fletcher::update` pads each call to 4-byte words, so the digest
+    // depends on call boundaries; buffer the body and hash it in one call
+    // exactly as the writer does.
+    let mut body = Vec::new();
+    let mut counts = [0u8; 8];
+    input.read_exact(&mut counts)?;
+    body.extend_from_slice(&counts);
+    let mut c = &counts[..];
+    let r_count = c.get_u16_le() as usize;
+    let c_count = c.get_u16_le() as usize;
+    let entry_count = u64::from(c.get_u32_le());
+    if r_count == 0 || c_count == 0 {
+        return Err(DecodeError::Corrupt("empty percentile levels"));
+    }
+    if entry_count > MAX_ENTRIES {
+        return Err(DecodeError::Corrupt("entry count exceeds sanity cap"));
+    }
+    let cells = r_count * c_count;
+
+    let mut levels = vec![0u8; 2 * (r_count + c_count)];
+    input.read_exact(&mut levels)?;
+    body.extend_from_slice(&levels);
+    let mut l = &levels[..];
+    let address_pct_tenths: Vec<u16> = (0..r_count).map(|_| l.get_u16_le()).collect();
+    let ping_pct_tenths: Vec<u16> = (0..c_count).map(|_| l.get_u16_le()).collect();
+
+    let read_cells = |input: &mut R, body: &mut Vec<u8>| -> Result<Vec<u64>, DecodeError> {
+        let mut raw = vec![0u8; 8 * cells];
+        input.read_exact(&mut raw)?;
+        body.extend_from_slice(&raw);
+        let mut b = &raw[..];
+        Ok((0..cells).map(|_| b.get_u64_le()).collect())
+    };
+    let fallback = read_cells(input, &mut body)?;
+
+    let mut entries = Vec::with_capacity(entry_count.min(1 << 16) as usize);
+    let mut head = [0u8; 5];
+    for _ in 0..entry_count {
+        input.read_exact(&mut head)?;
+        body.extend_from_slice(&head);
+        let mut b = &head[..];
+        let prefix = b.get_u32_le();
+        let len = b.get_u8();
+        entries.push(SnapshotEntry { prefix, len, cells: read_cells(input, &mut body)? });
+    }
+
+    let mut trailer = [0u8; 8];
+    input.read_exact(&mut trailer)?;
+    let stored = u64::from_le_bytes(trailer);
+    let mut checksum = Fletcher::default();
+    checksum.update(&body);
+    let computed = checksum.finish();
+    if stored != computed {
+        return Err(DecodeError::Checksum { stored, computed });
+    }
+
+    let snap = TimeoutSnapshot { address_pct_tenths, ping_pct_tenths, fallback, entries };
+    snap.validate().map_err(DecodeError::Corrupt)?;
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeoutSnapshot {
+        TimeoutSnapshot {
+            address_pct_tenths: vec![500, 950, 990],
+            ping_pct_tenths: vec![950, 980],
+            fallback: vec![1.0f64.to_bits(); 6],
+            entries: vec![
+                SnapshotEntry {
+                    prefix: 0x0a000000,
+                    len: 8,
+                    cells: (0..6).map(|i| (i as f64 * 0.25).to_bits()).collect(),
+                },
+                SnapshotEntry { prefix: 0x0a010000, len: 16, cells: vec![3.5f64.to_bits(); 6] },
+                SnapshotEntry { prefix: 0xc0000207, len: 32, cells: vec![60.0f64.to_bits(); 6] },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_canonical_rewrite() {
+        let snap = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        let back = read_snapshot(&mut &buf[..]).unwrap();
+        assert_eq!(back, snap);
+        let mut again = Vec::new();
+        write_snapshot(&mut again, &back).unwrap();
+        assert_eq!(again, buf, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn default_route_only_snapshot() {
+        let snap = TimeoutSnapshot {
+            address_pct_tenths: vec![950],
+            ping_pct_tenths: vec![950],
+            fallback: vec![2.0f64.to_bits()],
+            entries: vec![SnapshotEntry { prefix: 0, len: 0, cells: vec![1.0f64.to_bits()] }],
+        };
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        assert_eq!(read_snapshot(&mut &buf[..]).unwrap(), snap);
+    }
+
+    #[test]
+    fn non_canonical_rejected_on_write() {
+        let mut unsorted = sample();
+        unsorted.entries.swap(0, 1);
+        assert!(write_snapshot(&mut Vec::new(), &unsorted).is_err());
+
+        let mut dirty_bits = sample();
+        dirty_bits.entries[0].prefix |= 1;
+        assert!(write_snapshot(&mut Vec::new(), &dirty_bits).is_err());
+
+        let mut bad_levels = sample();
+        bad_levels.ping_pct_tenths = vec![950, 950];
+        assert!(write_snapshot(&mut Vec::new(), &bad_levels).is_err());
+
+        let mut overlong = sample();
+        overlong.entries[2].len = 33;
+        assert!(write_snapshot(&mut Vec::new(), &overlong).is_err());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_snapshot(&mut &buf[..]),
+            Err(DecodeError::Corrupt("bad snapshot magic"))
+        ));
+
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &sample()).unwrap();
+        // Flip a bit inside a fallback cell: framing survives, the
+        // checksum must not.
+        let idx = 8 + 8 + 2 * 5 + 3;
+        buf[idx] ^= 0x01;
+        assert!(matches!(read_snapshot(&mut &buf[..]), Err(DecodeError::Checksum { .. })));
+
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(matches!(read_snapshot(&mut &buf[..]), Err(DecodeError::Io(_))));
+    }
+
+    #[test]
+    fn prefix_masks() {
+        assert_eq!(prefix_mask(0), 0);
+        assert_eq!(prefix_mask(8), 0xff00_0000);
+        assert_eq!(prefix_mask(24), 0xffff_ff00);
+        assert_eq!(prefix_mask(32), u32::MAX);
+    }
+}

@@ -1,0 +1,190 @@
+//! Snapshot construction: pipeline output in, canonical
+//! [`TimeoutSnapshot`] out.
+//!
+//! Addresses are grouped by a fixed prefix length (default /24, the
+//! survey's block granularity) and each group gets its own
+//! [`TimeoutTable`] computed at the configured coverage grid; the global
+//! table over *all* addresses becomes the fallback. Because every cell is
+//! produced by the same `TimeoutTable::compute_at` the offline tools use,
+//! a served answer byte-matches `recommend_timeout` for the same inputs.
+
+use beware_core::percentile::{LatencySamples, PAPER_PERCENTILES};
+use beware_core::timeout_table::TimeoutTable;
+use beware_dataset::snapshot::{prefix_mask, SnapshotEntry, TimeoutSnapshot};
+use std::collections::BTreeMap;
+
+/// Snapshot build parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotCfg {
+    /// Prefix length addresses are grouped under (0–32).
+    pub prefix_len: u8,
+    /// Address-percentile levels, tenths of a percent, strictly
+    /// increasing.
+    pub addr_pct_tenths: Vec<u16>,
+    /// Ping-percentile levels, tenths of a percent, strictly increasing.
+    pub ping_pct_tenths: Vec<u16>,
+    /// Minimum addresses a prefix needs to earn its own table; thinner
+    /// prefixes are left to the fallback.
+    pub min_addresses: usize,
+}
+
+impl Default for SnapshotCfg {
+    fn default() -> Self {
+        let paper: Vec<u16> = PAPER_PERCENTILES.iter().map(|&p| (p * 10.0) as u16).collect();
+        SnapshotCfg {
+            prefix_len: 24,
+            addr_pct_tenths: paper.clone(),
+            ping_pct_tenths: paper,
+            min_addresses: 1,
+        }
+    }
+}
+
+/// Build a snapshot from filtered per-address samples (the analysis
+/// pipeline's `samples` output). Fails when the configuration is invalid
+/// or no address has samples.
+pub fn build_snapshot(
+    samples: &BTreeMap<u32, LatencySamples>,
+    cfg: &SnapshotCfg,
+) -> Result<TimeoutSnapshot, &'static str> {
+    if cfg.prefix_len > 32 {
+        return Err("prefix length exceeds 32");
+    }
+    let addr_levels = levels_to_f64(&cfg.addr_pct_tenths)?;
+    let ping_levels = levels_to_f64(&cfg.ping_pct_tenths)?;
+
+    let fallback_table = TimeoutTable::compute_at(samples, &addr_levels, &ping_levels)
+        .ok_or("no usable samples")?;
+
+    let mask = prefix_mask(cfg.prefix_len);
+    let mut groups: BTreeMap<u32, BTreeMap<u32, LatencySamples>> = BTreeMap::new();
+    for (&addr, s) in samples {
+        if s.is_empty() {
+            continue;
+        }
+        groups.entry(addr & mask).or_default().insert(addr, s.clone());
+    }
+
+    let mut entries = Vec::with_capacity(groups.len());
+    for (prefix, group) in &groups {
+        if group.len() < cfg.min_addresses {
+            continue;
+        }
+        let Some(table) = TimeoutTable::compute_at(group, &addr_levels, &ping_levels) else {
+            continue;
+        };
+        entries.push(SnapshotEntry {
+            prefix: *prefix,
+            len: cfg.prefix_len,
+            cells: flatten_bits(&table),
+        });
+    }
+
+    let snap = TimeoutSnapshot {
+        address_pct_tenths: cfg.addr_pct_tenths.clone(),
+        ping_pct_tenths: cfg.ping_pct_tenths.clone(),
+        fallback: flatten_bits(&fallback_table),
+        entries,
+    };
+    snap.validate()?;
+    Ok(snap)
+}
+
+fn levels_to_f64(tenths: &[u16]) -> Result<Vec<f64>, &'static str> {
+    if tenths.is_empty() {
+        return Err("empty percentile levels");
+    }
+    if tenths.iter().any(|&t| t == 0 || t > 1000) {
+        return Err("percentile level out of (0, 100.0] range");
+    }
+    if tenths.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("percentile levels not strictly increasing");
+    }
+    Ok(tenths.iter().map(|&t| f64::from(t) / 10.0).collect())
+}
+
+fn flatten_bits(table: &TimeoutTable) -> Vec<u64> {
+    table.cells.iter().flatten().map(|v| v.to_bits()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use crate::proto::Status;
+    use beware_core::recommend::recommend_timeout;
+
+    fn samples() -> BTreeMap<u32, LatencySamples> {
+        let mut m = BTreeMap::new();
+        // A fast /24 ...
+        for host in 0..8u32 {
+            m.insert(0x0a000000 | host, LatencySamples::from_values(vec![0.05; 50]));
+        }
+        // ... and a turtle /24.
+        for host in 0..4u32 {
+            let mut v = vec![0.3; 45];
+            v.extend(vec![9.0; 5]);
+            m.insert(0x0a000100 | host, LatencySamples::from_values(v));
+        }
+        m
+    }
+
+    #[test]
+    fn snapshot_groups_by_prefix_and_matches_offline_tables() {
+        let s = samples();
+        let snap = build_snapshot(&s, &SnapshotCfg::default()).unwrap();
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].prefix, 0x0a000000);
+        assert_eq!(snap.entries[1].prefix, 0x0a000100);
+
+        // The fallback must byte-match the offline recommendation over
+        // the full population at every grid point.
+        let oracle = Oracle::from_snapshot(snap).unwrap();
+        for &(r, c) in &[(950u16, 950u16), (990, 980), (500, 10)] {
+            let offline =
+                recommend_timeout(&s, f64::from(r) / 10.0, f64::from(c) / 10.0).unwrap();
+            let served = oracle.lookup(0xdead_beef, r, c).unwrap();
+            assert_eq!(served.status, Status::Fallback);
+            assert_eq!(served.timeout_bits, offline.timeout_secs.to_bits(), "({r},{c})");
+        }
+
+        // A covered address answers from its own /24: the turtle prefix
+        // needs seconds at high coverage, the fast prefix does not.
+        let turtle = oracle.lookup(0x0a000102, 950, 990).unwrap();
+        assert_eq!(turtle.status, Status::Exact);
+        assert!(turtle.timeout_secs() > 5.0, "{}", turtle.timeout_secs());
+        let fast = oracle.lookup(0x0a000007, 950, 990).unwrap();
+        assert!(fast.timeout_secs() < 1.0, "{}", fast.timeout_secs());
+    }
+
+    #[test]
+    fn min_addresses_prunes_thin_prefixes() {
+        let s = samples();
+        let cfg = SnapshotCfg { min_addresses: 5, ..Default::default() };
+        let snap = build_snapshot(&s, &cfg).unwrap();
+        // Only the 8-address fast /24 survives; the 4-address turtle /24
+        // falls back.
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.entries[0].prefix, 0x0a000000);
+    }
+
+    #[test]
+    fn prefix_len_zero_gives_single_default_route() {
+        let s = samples();
+        let cfg = SnapshotCfg { prefix_len: 0, ..Default::default() };
+        let snap = build_snapshot(&s, &cfg).unwrap();
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!((snap.entries[0].prefix, snap.entries[0].len), (0, 0));
+        // The /0 table covers everyone, so it equals the fallback.
+        assert_eq!(snap.entries[0].cells, snap.fallback);
+    }
+
+    #[test]
+    fn empty_or_invalid_inputs_fail() {
+        assert!(build_snapshot(&BTreeMap::new(), &SnapshotCfg::default()).is_err());
+        let cfg = SnapshotCfg { prefix_len: 33, ..Default::default() };
+        assert!(build_snapshot(&samples(), &cfg).is_err());
+        let cfg = SnapshotCfg { addr_pct_tenths: vec![950, 950], ..Default::default() };
+        assert!(build_snapshot(&samples(), &cfg).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Blocking client for the oracle protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues request/reply
+//! round-trips. The client practices what the service preaches: every
+//! read carries a socket timeout, so a stalled server surfaces as
+//! [`ClientError::Io`] instead of hanging the caller forever.
+
+use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A fully decoded query answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Answer {
+    /// Whether a prefix matched or the global fallback answered.
+    pub status: Status,
+    /// The recommended timeout in seconds.
+    pub timeout_secs: f64,
+    /// Raw `f64` bits of the timeout, for byte-exact comparison against
+    /// offline computation.
+    pub timeout_bits: u64,
+    /// The matched prefix (0 when the fallback answered).
+    pub prefix: u32,
+    /// The matched prefix length (0 when the fallback answered).
+    pub prefix_len: u8,
+}
+
+/// Server-side aggregate counters, as returned by a `Stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries answered since startup.
+    pub queries: u64,
+    /// Answers served from a matching prefix table.
+    pub hits_exact: u64,
+    /// Answers served from the global fallback table.
+    pub hits_fallback: u64,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes read timeouts).
+    Io(io::Error),
+    /// The server's reply could not be decoded.
+    Proto(ProtoError),
+    /// The server answered with an explicit protocol error.
+    Server(ErrorCode),
+    /// The server replied with a message that does not answer the
+    /// request (e.g. a `StatsReply` to a `Query`).
+    UnexpectedReply,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(code) => write!(f, "server error: {code:?}"),
+            ClientError::UnexpectedReply => write!(f, "unexpected reply opcode"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io) => ClientError::Io(io),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// One connection to an oracle server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with a bounded read timeout on the resulting connection.
+    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        Ok(Client { stream })
+    }
+
+    /// Connect, retrying on refusal until `deadline` elapses — for racing
+    /// a server that is still binding its socket.
+    pub fn connect_retry(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        deadline: Duration,
+    ) -> Result<Client, ClientError> {
+        let t0 = Instant::now();
+        loop {
+            match Client::connect(addr, read_timeout) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if t0.elapsed() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// Ask for the timeout covering `addr_pct_tenths`‰ of addresses and
+    /// `ping_pct_tenths`‰ of pings to address `addr` (both in tenths of a
+    /// percent, e.g. `950` = 95.0%).
+    pub fn query(
+        &mut self,
+        addr: u32,
+        addr_pct_tenths: u16,
+        ping_pct_tenths: u16,
+    ) -> Result<Answer, ClientError> {
+        let reply = self.round_trip(&Message::Query { addr, addr_pct_tenths, ping_pct_tenths })?;
+        match reply {
+            Message::Answer { status, timeout_bits, prefix, prefix_len } => Ok(Answer {
+                status,
+                timeout_secs: f64::from_bits(timeout_bits),
+                timeout_bits,
+                prefix,
+                prefix_len,
+            }),
+            Message::Error { code } => Err(ClientError::Server(code)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Fetch the server's aggregate counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Message::Stats)? {
+            Message::StatsReply { queries, hits_exact, hits_fallback } => {
+                Ok(ServerStats { queries, hits_exact, hits_fallback })
+            }
+            Message::Error { code } => Err(ClientError::Server(code)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Ask the server to shut down; resolves once the acknowledgement
+    /// arrives.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Message::Shutdown)? {
+            Message::ShutdownAck => Ok(()),
+            Message::Error { code } => Err(ClientError::Server(code)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    fn round_trip(&mut self, msg: &Message) -> Result<Message, ClientError> {
+        proto::write_frame(&mut self.stream, msg)?;
+        Ok(proto::read_frame(&mut self.stream)?)
+    }
+}

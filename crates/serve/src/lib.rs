@@ -1,0 +1,40 @@
+//! # beware-serve
+//!
+//! A timeout-oracle service: the paper's offline analysis, packaged as a
+//! long-running daemon. The pipeline's per-address latency samples are
+//! compiled into a canonical snapshot of per-prefix timeout tables
+//! ([`builder`]), loaded into an immutable longest-prefix-match
+//! [`Oracle`], and served over a compact checksummed binary protocol
+//! ([`proto`]) by a sharded thread-per-core TCP server ([`server`]).
+//! A blocking [`client`] library and a closed-loop [`loadgen`] complete
+//! the loop.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Byte-exact answers.** Every served cell is the `f64` the offline
+//!   `TimeoutTable::compute_at` produced, shipped as raw bits end to end
+//!   — a served answer equals `recommend_timeout` bit for bit.
+//! * **Deterministic metrics.** Per-shard telemetry registries are merged
+//!   in fixed shard order, and scheduling-dependent counters live in the
+//!   `sched/` family the JSON export excludes, so `--metrics` output is
+//!   byte-identical across shard counts.
+//!
+//! The service also applies the paper's lesson to itself: connections are
+//! read with bounded timeouts, never waited on indefinitely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod client;
+pub mod loadgen;
+pub mod oracle;
+pub mod proto;
+pub mod server;
+
+pub use builder::{build_snapshot, SnapshotCfg};
+pub use client::{Answer, Client, ClientError, ServerStats};
+pub use loadgen::{LoadCfg, LoadReport};
+pub use oracle::{Lookup, LookupError, Oracle};
+pub use proto::{ErrorCode, Message, ProtoError, Status, PROTO_VERSION};
+pub use server::{start, ServerCfg, ServerHandle};

@@ -1,0 +1,288 @@
+//! Closed-loop load generator for the oracle service.
+//!
+//! `workers` threads each open one connection and issue
+//! `requests_per_worker` queries back-to-back (closed loop: the next
+//! request waits for the previous answer), drawing addresses from a
+//! shared pool with a per-worker deterministic splitmix64 stream. Wall
+//! time and per-request latencies are collected and summarised into a
+//! [`LoadReport`] with nearest-rank percentiles, rendered as the
+//! `BENCH_3.json` schema.
+
+use crate::client::{Client, ClientError};
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadCfg {
+    /// Concurrent closed-loop workers (≥ 1).
+    pub workers: usize,
+    /// Requests each worker issues.
+    pub requests_per_worker: usize,
+    /// Addresses to draw from, uniformly at random.
+    pub addr_pool: Vec<u32>,
+    /// Address-percentile level queried, tenths of a percent.
+    pub addr_pct_tenths: u16,
+    /// Ping-percentile level queried, tenths of a percent.
+    pub ping_pct_tenths: u16,
+    /// Seed for the per-worker address streams.
+    pub seed: u64,
+    /// Socket read timeout per request.
+    pub read_timeout: Duration,
+}
+
+impl Default for LoadCfg {
+    fn default() -> Self {
+        LoadCfg {
+            workers: 4,
+            requests_per_worker: 1000,
+            addr_pool: Vec::new(),
+            addr_pct_tenths: 950,
+            ping_pct_tenths: 950,
+            seed: 0xbe0a_2e11,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Summary of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Workers that ran.
+    pub workers: usize,
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Requests that failed (transport or server error).
+    pub errors: u64,
+    /// Wall time of the measured window, seconds.
+    pub wall_secs: f64,
+    /// Successful requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Latency percentiles (nearest-rank) and extremes, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Fastest request, microseconds.
+    pub min_us: u64,
+    /// Slowest request, microseconds.
+    pub max_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+}
+
+impl LoadReport {
+    /// Render as the `BENCH_3.json` document (schema 1). Hand-rendered:
+    /// the workspace is hermetic and the schema is flat.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": 1,\n",
+                "  \"bench\": \"serve_loadgen\",\n",
+                "  \"workers\": {},\n",
+                "  \"requests\": {},\n",
+                "  \"errors\": {},\n",
+                "  \"wall_secs\": {:.6},\n",
+                "  \"throughput_rps\": {:.3},\n",
+                "  \"latency_us\": {{\n",
+                "    \"p50\": {},\n",
+                "    \"p99\": {},\n",
+                "    \"p999\": {},\n",
+                "    \"min\": {},\n",
+                "    \"max\": {},\n",
+                "    \"mean\": {:.3}\n",
+                "  }}\n",
+                "}}\n",
+            ),
+            self.workers,
+            self.requests,
+            self.errors,
+            self.wall_secs,
+            self.throughput_rps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.min_us,
+            self.max_us,
+            self.mean_us,
+        )
+    }
+
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} workers, {} ok / {} err in {:.3}s — {:.0} req/s, p50 {}µs p99 {}µs p99.9 {}µs",
+            self.workers,
+            self.requests,
+            self.errors,
+            self.wall_secs,
+            self.throughput_rps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+        )
+    }
+}
+
+/// splitmix64 step — the same tiny generator the rest of the workspace
+/// uses for deterministic streams; duplicated here so the serve crate
+/// does not pull in the simulator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Run the load against a server at `addr`.
+pub fn run(addr: SocketAddr, cfg: &LoadCfg) -> Result<LoadReport, String> {
+    if cfg.workers == 0 || cfg.requests_per_worker == 0 {
+        return Err("workers and requests_per_worker must be >= 1".into());
+    }
+    if cfg.addr_pool.is_empty() {
+        return Err("address pool is empty".into());
+    }
+
+    // Connect everyone first, then release all workers at once so the
+    // measured window contains only request traffic.
+    let barrier = Arc::new(Barrier::new(cfg.workers + 1));
+    let pool = Arc::new(cfg.addr_pool.clone());
+    let mut handles = Vec::with_capacity(cfg.workers);
+    for w in 0..cfg.workers {
+        let barrier = Arc::clone(&barrier);
+        let pool = Arc::clone(&pool);
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, u64), String> {
+            let conn = Client::connect_retry(addr, cfg.read_timeout, Duration::from_secs(2));
+            // Reach the barrier whether or not the connect worked — the
+            // coordinator and every sibling is parked on it.
+            barrier.wait();
+            let mut client = conn.map_err(|e| format!("worker {w}: connect: {e}"))?;
+            let mut rng = cfg.seed ^ (w as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+            let mut lat = Vec::with_capacity(cfg.requests_per_worker);
+            let mut errors = 0u64;
+            for _ in 0..cfg.requests_per_worker {
+                let a = pool[(splitmix64(&mut rng) % pool.len() as u64) as usize];
+                let t0 = Instant::now();
+                match client.query(a, cfg.addr_pct_tenths, cfg.ping_pct_tenths) {
+                    Ok(_) => {
+                        let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        lat.push(us);
+                    }
+                    Err(ClientError::Io(e)) => {
+                        // The connection is gone; bail rather than spin.
+                        return Err(format!("worker {w}: i/o mid-run: {e}"));
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            Ok((lat, errors))
+        }));
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut all = Vec::with_capacity(cfg.workers * cfg.requests_per_worker);
+    let mut errors = 0u64;
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join().expect("loadgen worker panicked") {
+            Ok((lat, e)) => {
+                all.extend_from_slice(&lat);
+                errors += e;
+            }
+            Err(msg) => failures.push(msg),
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    all.sort_unstable();
+    let sum: u64 = all.iter().sum();
+    Ok(LoadReport {
+        workers: cfg.workers,
+        requests: all.len() as u64,
+        errors,
+        wall_secs: wall,
+        throughput_rps: if wall > 0.0 { all.len() as f64 / wall } else { 0.0 },
+        p50_us: percentile(&all, 50.0),
+        p99_us: percentile(&all, 99.0),
+        p999_us: percentile(&all, 99.9),
+        min_us: all.first().copied().unwrap_or(0),
+        max_us: all.last().copied().unwrap_or(0),
+        mean_us: if all.is_empty() { 0.0 } else { sum as f64 / all.len() as f64 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 99.9), 100);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..10 {
+            assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        }
+        assert_ne!(splitmix64(&mut a), {
+            let mut c = 43u64;
+            splitmix64(&mut c)
+        });
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = LoadReport {
+            workers: 4,
+            requests: 4000,
+            errors: 0,
+            wall_secs: 1.25,
+            throughput_rps: 3200.0,
+            p50_us: 80,
+            p99_us: 400,
+            p999_us: 900,
+            min_us: 40,
+            max_us: 1200,
+            mean_us: 95.5,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"serve_loadgen\""));
+        assert!(j.contains("\"p999\": 900"));
+        assert!(j.contains("\"throughput_rps\": 3200.000"));
+        assert!(r.render().contains("p99.9 900µs"));
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        let cfg = LoadCfg { addr_pool: Vec::new(), ..Default::default() };
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(run(addr, &cfg).is_err());
+    }
+}

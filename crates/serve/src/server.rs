@@ -1,0 +1,402 @@
+//! The oracle daemon: a sharded, thread-per-core TCP server.
+//!
+//! One acceptor thread distributes connections round-robin to `shards`
+//! worker threads. Each shard owns its connections outright — a small
+//! nonblocking read loop with per-connection reassembly buffers, a
+//! per-shard answer cache, and a per-shard [`Registry`] — so the hot path
+//! takes no locks and shares no mutable state beyond three global stats
+//! counters. Shard registries are merged **in fixed shard order** when
+//! the server stops, so the deterministic metric families are
+//! byte-identical no matter how connections were scheduled (the
+//! scheduling-dependent counters — cache hits, idle closures, per-shard
+//! assignment — live under the `sched/` family, which the JSON export
+//! excludes; see DESIGN.md §8).
+//!
+//! The paper's own advice is applied to the server itself: connections
+//! are *listened to* with a bound. A connection idle past the configured
+//! timeout is closed rather than waited on forever — bounded listen, not
+//! infinite patience.
+
+use crate::oracle::{LookupError, Oracle};
+use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
+use beware_telemetry::Registry;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerCfg {
+    /// Worker shards (≥ 1). Each shard is one thread owning a disjoint
+    /// set of connections.
+    pub shards: usize,
+    /// Per-connection idle bound: a connection that stays silent this
+    /// long is closed.
+    pub idle_timeout: Duration,
+    /// Whether telemetry is recorded.
+    pub metrics: bool,
+}
+
+impl Default for ServerCfg {
+    fn default() -> Self {
+        ServerCfg {
+            shards: std::thread::available_parallelism().map_or(1, |n| n.get()).min(8),
+            idle_timeout: Duration::from_secs(60),
+            metrics: true,
+        }
+    }
+}
+
+/// Aggregate counters served by the `Stats` request. Shared across
+/// shards; relaxed ordering is fine for monotone counters.
+#[derive(Debug, Default)]
+struct GlobalStats {
+    queries: AtomicU64,
+    hits_exact: AtomicU64,
+    hits_fallback: AtomicU64,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::join`] leaves the threads running detached until a
+/// `Shutdown` frame arrives.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<Registry>>,
+    shards: Vec<JoinHandle<Registry>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown from in-process (equivalent to a `Shutdown`
+    /// frame).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the server to stop (via [`shutdown`](Self::shutdown) or a
+    /// `Shutdown` frame) and return the merged telemetry: acceptor first,
+    /// then every shard in index order — the fixed merge order the
+    /// determinism contract requires.
+    pub fn join(mut self) -> Registry {
+        let mut merged = self
+            .acceptor
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("acceptor thread panicked");
+        for shard in self.shards.drain(..) {
+            merged.merge(&shard.join().expect("shard thread panicked"));
+        }
+        merged
+    }
+}
+
+/// Bind and start serving `oracle` on `bind` (e.g. `"127.0.0.1:0"` for an
+/// ephemeral port).
+pub fn start(oracle: Arc<Oracle>, bind: impl ToSocketAddrs, cfg: ServerCfg) -> io::Result<ServerHandle> {
+    let shards = cfg.shards.max(1);
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(GlobalStats::default());
+
+    let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(shards);
+    let mut shard_handles = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+        senders.push(tx);
+        let oracle = Arc::clone(&oracle);
+        let stop = Arc::clone(&stop);
+        let stats = Arc::clone(&stats);
+        let cfg = cfg.clone();
+        shard_handles.push(std::thread::spawn(move || shard_loop(rx, oracle, stop, stats, &cfg)));
+    }
+
+    let stop_a = Arc::clone(&stop);
+    let metrics = cfg.metrics;
+    let acceptor = std::thread::spawn(move || {
+        let mut reg = if metrics { Registry::new() } else { Registry::disabled() };
+        let mut next = 0usize;
+        loop {
+            if stop_a.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    reg.scope("serve").incr("connections");
+                    // A dead shard (panicked) drops its receiver; fall
+                    // through to the next one rather than losing the
+                    // connection.
+                    let mut conn = Some(stream);
+                    for i in 0..senders.len() {
+                        let tx = &senders[(next + i) % senders.len()];
+                        match tx.send(conn.take().expect("connection unrouted")) {
+                            Ok(()) => break,
+                            Err(std::sync::mpsc::SendError(c)) => conn = Some(c),
+                        }
+                    }
+                    next = next.wrapping_add(1);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => {
+                    reg.scope("serve").incr("accept_errors");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        reg
+    });
+
+    Ok(ServerHandle { addr, stop, acceptor: Some(acceptor), shards: shard_handles })
+}
+
+/// One connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    /// Reassembly buffer for partially received frames.
+    buf: Vec<u8>,
+    last_active: Instant,
+    open: bool,
+}
+
+/// Per-shard answer cache cap; the cache is cleared wholesale when full
+/// (queries repeat heavily under load, so wholesale eviction is rare and
+/// keeps the structure trivial).
+const CACHE_CAP: usize = 8192;
+
+fn shard_loop(
+    rx: Receiver<TcpStream>,
+    oracle: Arc<Oracle>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<GlobalStats>,
+    cfg: &ServerCfg,
+) -> Registry {
+    let mut reg = if cfg.metrics { Registry::new() } else { Registry::disabled() };
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut cache: HashMap<(u32, u16, u16), Message> = HashMap::new();
+    let mut scratch = [0u8; 4096];
+
+    loop {
+        // Adopt newly assigned connections.
+        while let Ok(stream) = rx.try_recv() {
+            reg.scope("sched").scope("serve").incr("connections_assigned");
+            conns.push(Conn { stream, buf: Vec::new(), last_active: Instant::now(), open: true });
+        }
+
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+
+        let mut progress = false;
+        for conn in &mut conns {
+            progress |= service_conn(conn, &oracle, &stop, &stats, &mut cache, &mut reg, &mut scratch);
+            if conn.open && conn.last_active.elapsed() > cfg.idle_timeout {
+                // Dog food: bounded listen. Stop waiting on a silent peer.
+                reg.scope("sched").scope("serve").incr("idle_closed");
+                conn.open = false;
+            }
+        }
+        conns.retain(|c| c.open);
+
+        if !progress {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    reg
+}
+
+/// Pump one connection: read whatever is available, answer every complete
+/// frame. Returns true when any byte moved.
+fn service_conn(
+    conn: &mut Conn,
+    oracle: &Oracle,
+    stop: &AtomicBool,
+    stats: &GlobalStats,
+    cache: &mut HashMap<(u32, u16, u16), Message>,
+    reg: &mut Registry,
+    scratch: &mut [u8],
+) -> bool {
+    let mut progress = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.open = false;
+                break;
+            }
+            Ok(n) => {
+                reg.scope("serve").add("bytes_in", n as u64);
+                conn.buf.extend_from_slice(&scratch[..n]);
+                conn.last_active = Instant::now();
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.open = false;
+                break;
+            }
+        }
+    }
+
+    let mut consumed = 0usize;
+    while conn.open {
+        match proto::try_decode(&conn.buf[consumed..]) {
+            Ok(Some((msg, used))) => {
+                consumed += used;
+                let t0 = Instant::now();
+                let (reply, close) = handle_request(&msg, oracle, stop, stats, cache, reg);
+                let frame = proto::encode(&reply);
+                reg.scope("serve").add("bytes_out", frame.len() as u64);
+                if write_all_nb(&mut conn.stream, &frame).is_err() {
+                    conn.open = false;
+                }
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                reg.scope("walltime").scope("serve").observe("request_ns", ns);
+                if close {
+                    conn.open = false;
+                }
+                progress = true;
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Framing is lost: report once and drop the connection.
+                reg.scope("serve").incr("proto_errors");
+                let code = match e {
+                    ProtoError::Version(_) => ErrorCode::BadVersion,
+                    _ => ErrorCode::Malformed,
+                };
+                let frame = proto::encode(&Message::Error { code });
+                reg.scope("serve").add("bytes_out", frame.len() as u64);
+                let _ = write_all_nb(&mut conn.stream, &frame);
+                conn.open = false;
+                progress = true;
+            }
+        }
+    }
+    conn.buf.drain(..consumed);
+    progress
+}
+
+/// Dispatch one decoded request. Returns the reply and whether the
+/// connection should close afterwards.
+fn handle_request(
+    msg: &Message,
+    oracle: &Oracle,
+    stop: &AtomicBool,
+    stats: &GlobalStats,
+    cache: &mut HashMap<(u32, u16, u16), Message>,
+    reg: &mut Registry,
+) -> (Message, bool) {
+    let mut serve = reg.scope("serve");
+    serve.incr("requests");
+    match *msg {
+        Message::Query { addr, addr_pct_tenths, ping_pct_tenths } => {
+            serve.incr("queries");
+            stats.queries.fetch_add(1, Ordering::Relaxed);
+            let key = (addr, addr_pct_tenths, ping_pct_tenths);
+            if let Some(&cached) = cache.get(&key) {
+                reg.scope("sched").scope("serve").incr("cache_hits");
+                // Deterministic per-request counters must not depend on
+                // whether this shard's cache happened to hold the reply.
+                match cached {
+                    Message::Answer { status, .. } => bump_hit(stats, reg, status),
+                    Message::Error { .. } => {
+                        reg.scope("serve").incr("errors_unsupported_pct");
+                    }
+                    _ => {}
+                }
+                return (cached, false);
+            }
+            reg.scope("sched").scope("serve").incr("cache_misses");
+            let reply = match oracle.lookup(addr, addr_pct_tenths, ping_pct_tenths) {
+                Ok(ans) => {
+                    bump_hit(stats, reg, ans.status);
+                    Message::Answer {
+                        status: ans.status,
+                        timeout_bits: ans.timeout_bits,
+                        prefix: ans.prefix,
+                        prefix_len: ans.prefix_len,
+                    }
+                }
+                Err(LookupError::UnsupportedAddressPercentile(_))
+                | Err(LookupError::UnsupportedPingPercentile(_)) => {
+                    reg.scope("serve").incr("errors_unsupported_pct");
+                    Message::Error { code: ErrorCode::UnsupportedPercentile }
+                }
+            };
+            if cache.len() >= CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, reply);
+            (reply, false)
+        }
+        Message::Stats => {
+            serve.incr("stats_requests");
+            (
+                Message::StatsReply {
+                    queries: stats.queries.load(Ordering::Relaxed),
+                    hits_exact: stats.hits_exact.load(Ordering::Relaxed),
+                    hits_fallback: stats.hits_fallback.load(Ordering::Relaxed),
+                },
+                false,
+            )
+        }
+        Message::Shutdown => {
+            serve.incr("shutdown_requests");
+            stop.store(true, Ordering::SeqCst);
+            (Message::ShutdownAck, true)
+        }
+        // A reply opcode arriving as a request is a confused client.
+        _ => {
+            serve.incr("errors_bad_request");
+            (Message::Error { code: ErrorCode::UnknownOpcode }, false)
+        }
+    }
+}
+
+fn bump_hit(stats: &GlobalStats, reg: &mut Registry, status: Status) {
+    match status {
+        Status::Exact => {
+            stats.hits_exact.fetch_add(1, Ordering::Relaxed);
+            reg.scope("serve").incr("hits_exact");
+        }
+        Status::Fallback => {
+            stats.hits_fallback.fetch_add(1, Ordering::Relaxed);
+            reg.scope("serve").incr("hits_fallback");
+        }
+    }
+}
+
+/// `write_all` over a nonblocking socket: replies are tiny (≤ 66 bytes),
+/// so `WouldBlock` only happens when the peer's receive window is
+/// genuinely full — back off briefly and retry.
+fn write_all_nb(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "peer gone")),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}

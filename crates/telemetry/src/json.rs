@@ -5,15 +5,16 @@
 //! covers exactly the emitted subset: objects, arrays, strings without
 //! escapes beyond `\"`/`\\`, and unsigned integers.
 
-use crate::{Histogram, Metric, Registry, WALLTIME_FAMILY};
+use crate::{Histogram, Metric, Registry, NONDETERMINISTIC_FAMILIES};
 
-/// Render the deterministic metrics (everything outside `walltime/`) as
-/// a stable, pretty-printed JSON document.
+/// Render the deterministic metrics (everything outside the
+/// `walltime/` and `sched/` families) as a stable, pretty-printed JSON
+/// document.
 pub fn render(reg: &Registry) -> String {
     let mut out = String::from("{\n  \"schema\": 1,\n  \"metrics\": [");
     let mut first = true;
     for (name, metric) in reg.iter() {
-        if name.starts_with(WALLTIME_FAMILY) {
+        if NONDETERMINISTIC_FAMILIES.iter().any(|f| name.starts_with(f)) {
             continue;
         }
         if !first {
@@ -332,7 +333,7 @@ mod tests {
         // without it.
         let mut expect = Registry::new();
         for (name, m) in reg.iter() {
-            if !name.starts_with(WALLTIME_FAMILY) {
+            if !NONDETERMINISTIC_FAMILIES.iter().any(|f| name.starts_with(f)) {
                 expect.metrics.insert(name.to_string(), m.clone());
             }
         }

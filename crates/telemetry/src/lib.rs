@@ -38,6 +38,17 @@ use std::collections::BTreeMap;
 /// [`Registry::to_json`]; they still merge and render as text.
 pub const WALLTIME_FAMILY: &str = "walltime/";
 
+/// Family prefix for scheduling-dependent metrics: values that depend on
+/// how work happened to be distributed (which shard a connection landed
+/// on, per-shard cache hits, idle-timeout closures) rather than on the
+/// inputs. Like [`WALLTIME_FAMILY`], the family is excluded from
+/// [`Registry::to_json`] so the deterministic export stays byte-identical
+/// across thread and shard counts; it still merges and renders as text.
+pub const SCHED_FAMILY: &str = "sched/";
+
+/// The family prefixes excluded from the deterministic JSON export.
+pub const NONDETERMINISTIC_FAMILIES: [&str; 2] = [WALLTIME_FAMILY, SCHED_FAMILY];
+
 /// Log-bucketed histogram over `u64` values (latencies in µs, sizes in
 /// bytes — the unit is the caller's naming convention).
 ///
@@ -305,8 +316,8 @@ impl Registry {
     }
 
     /// Render the deterministic metrics as JSON (schema in DESIGN.md §7).
-    /// The `walltime/` family is excluded — it is the one nondeterministic
-    /// family, and this export is what the byte-identity contract covers.
+    /// The [`NONDETERMINISTIC_FAMILIES`] (`walltime/`, `sched/`) are
+    /// excluded — this export is what the byte-identity contract covers.
     pub fn to_json(&self) -> String {
         json::render(self)
     }
@@ -581,6 +592,19 @@ mod tests {
         assert!(!json.contains("walltime"), "{json}");
         let text = reg.render_text();
         assert!(text.contains("walltime/bench/build_ns"), "{text}");
+    }
+
+    #[test]
+    fn sched_family_excluded_from_json_but_rendered() {
+        let mut reg = Registry::new();
+        let mut s = reg.scope("serve");
+        s.add("queries", 4);
+        reg.scope("sched").scope("serve").add("cache_hits", 3);
+        let json = reg.to_json();
+        assert!(json.contains("serve/queries"), "{json}");
+        assert!(!json.contains("sched/"), "{json}");
+        let text = reg.render_text();
+        assert!(text.contains("sched/serve/cache_hits"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Timeout oracle, in process: build a snapshot from a simulated survey
+//! and answer "what timeout for this address?" without a socket.
+//!
+//! The same [`beware::serve::Oracle`] powers the `beware serve` daemon;
+//! embedding it directly gives a prober library the paper's per-prefix
+//! recommendations with one function call — and the answers are
+//! bit-identical to both the daemon's and the offline
+//! `recommend_timeout`.
+//!
+//! ```sh
+//! cargo run --release --example timeout_oracle
+//! ```
+
+use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
+use beware::analysis::recommend::recommend_timeout;
+use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
+use beware::probe::prelude::*;
+use beware::serve::{build_snapshot, Oracle, SnapshotCfg, Status};
+
+fn main() {
+    // 1. Survey a small simulated Internet and run the paper's analysis
+    //    pipeline to get filtered per-address latency samples.
+    let scenario = Scenario::new(ScenarioCfg {
+        year: 2015,
+        seed: 42,
+        total_blocks: 128,
+        vantage: VANTAGES[0],
+    });
+    let blocks: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).step_by(3).take(24).collect();
+    let cfg = SurveyCfg { blocks, rounds: 20, ..Default::default() };
+    let mut world = scenario.build_world();
+    let ((records, stats), _) = cfg.build(Vec::new()).run(&mut world);
+    let out = run_pipeline(&records, &PipelineCfg::default());
+    println!(
+        "survey: {} probes, {:.1}% matched; {} addresses with samples",
+        stats.probes(),
+        100.0 * stats.response_rate(),
+        out.samples.len()
+    );
+
+    // 2. Compile the samples into per-/24 timeout tables plus a global
+    //    fallback — the same snapshot `beware serve` loads at startup.
+    let snap = build_snapshot(&out.samples, &SnapshotCfg::default()).expect("usable samples");
+    println!(
+        "snapshot: {} per-prefix tables over a {}x{} coverage grid",
+        snap.entries.len(),
+        snap.address_pct_tenths.len(),
+        snap.ping_pct_tenths.len()
+    );
+
+    // 3. Load it into an in-process oracle and query it directly.
+    let oracle = Oracle::from_snapshot(snap.clone()).expect("canonical snapshot");
+    let covered = snap.entries[0].prefix | 1; // an address inside a surveyed /24
+    let stranger = 0xc633_6401; // 198.51.100.1 — never surveyed
+    for (label, addr) in [("covered address", covered), ("unknown address", stranger)] {
+        let ans = oracle.lookup(addr, 950, 950).expect("95% is in the grid");
+        let source = match ans.status {
+            Status::Exact => format!(
+                "its own {}/{} table",
+                std::net::Ipv4Addr::from(ans.prefix),
+                ans.prefix_len
+            ),
+            Status::Fallback => "the global fallback".to_string(),
+        };
+        println!(
+            "{label} {}: wait {:.3} s to catch 95% of pings from 95% of addresses ({source})",
+            std::net::Ipv4Addr::from(addr),
+            ans.timeout_secs()
+        );
+    }
+
+    // 4. The oracle's fallback answer is the offline recommendation, bit
+    //    for bit.
+    let offline = recommend_timeout(&out.samples, 95.0, 95.0).expect("usable samples");
+    let served = oracle.lookup(stranger, 950, 950).unwrap();
+    assert_eq!(served.timeout_bits, offline.timeout_secs.to_bits());
+    println!(
+        "oracle and offline analysis agree exactly: {:.6} s (same f64 bits)",
+        offline.timeout_secs
+    );
+}

@@ -24,11 +24,15 @@ use beware::dataset::{Record, ScanMeta};
 use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
 use beware::probe::census::select_survey_blocks;
 use beware::probe::prelude::*;
+use beware::serve::{build_snapshot, loadgen, server, Client, Oracle, SnapshotCfg, Status};
 use beware::telemetry::Registry;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
+use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +56,9 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&flags),
         "metrics" => cmd_metrics(&flags),
         "recommend" => cmd_recommend(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,7 +86,14 @@ commands:
   census     --plan plan.tsv [--count N] [--seed S] --out blocks.txt
   analyze    --survey survey.bwss [--csv cdf.csv]
   metrics    --in metrics.json
-  recommend  --survey survey.bwss [--addr-pct P] [--ping-pct P] [--timeout T]";
+  recommend  --survey survey.bwss [--addr-pct P] [--ping-pct P] [--timeout T]
+  serve      --snapshot snap.bwts | --survey survey.bwss [--prefix-len L] [--min-addrs N]
+             [--bind ADDR] [--port P] [--shards N] [--read-timeout SECS]
+             [--save-snapshot snap.bwts] [--metrics serve-metrics.json]
+  query      --host ADDR:PORT [--addr A.B.C.D] [--addr-pct P] [--ping-pct P]
+             [--op query|stats|shutdown]
+  loadgen    --host ADDR:PORT [--snapshot snap.bwts] [--workers N] [--requests N]
+             [--addr-pct P] [--ping-pct P] [--seed S] [--out BENCH_3.json]";
 
 /// Parsed `--name value` flags.
 struct Flags(HashMap<String, String>);
@@ -422,5 +436,175 @@ fn cmd_recommend(flags: &Flags) -> Result<(), String> {
         "a {timeout} s timeout would impose a false loss rate of ≥5% on {:.2}% of addresses",
         100.0 * frac
     );
+    Ok(())
+}
+
+/// Parse a `--addr-pct`-style flag (percent, possibly fractional like
+/// `99.9`) into the protocol's tenths-of-a-percent representation.
+fn pct_tenths(flags: &Flags, name: &str, default: u16) -> Result<u16, String> {
+    match flags.str(name) {
+        None => Ok(default),
+        Some(v) => {
+            let pct: f64 = v.parse().map_err(|_| format!("bad value for --{name}: `{v}`"))?;
+            let tenths = (pct * 10.0).round();
+            if !(1.0..=1000.0).contains(&tenths) {
+                return Err(format!("--{name} must be in (0, 100], got {v}"));
+            }
+            Ok(tenths as u16)
+        }
+    }
+}
+
+/// Load a snapshot from `--snapshot FILE`, or build one from
+/// `--survey FILE` via the analysis pipeline.
+fn load_or_build_snapshot(flags: &Flags) -> Result<beware::dataset::TimeoutSnapshot, String> {
+    if let Some(path) = flags.str("snapshot") {
+        let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        return beware::dataset::snapshot::read_snapshot(&mut BufReader::new(file))
+            .map_err(|e| format!("reading {path}: {e}"));
+    }
+    if flags.str("survey").is_none() {
+        return Err("need --snapshot FILE or --survey FILE".into());
+    }
+    let records = read_survey(flags)?;
+    let out = run_pipeline(&records, &PipelineCfg::default());
+    let cfg = SnapshotCfg {
+        prefix_len: flags.num("prefix-len", 24u8)?,
+        min_addresses: flags.num("min-addrs", 1usize)?,
+        ..Default::default()
+    };
+    build_snapshot(&out.samples, &cfg).map_err(|e| e.to_string())
+}
+
+fn parse_host(flags: &Flags) -> Result<SocketAddr, String> {
+    let host = flags.str("host").unwrap_or("127.0.0.1:4615");
+    host.parse().map_err(|_| format!("bad --host `{host}` (expected ADDR:PORT)"))
+}
+
+fn connect(flags: &Flags) -> Result<Client, String> {
+    let addr = parse_host(flags)?;
+    Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(2))
+        .map_err(|e| format!("connecting to {addr}: {e}"))
+}
+
+/// Run the timeout-oracle daemon until a shutdown frame arrives.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let snap = load_or_build_snapshot(flags)?;
+    if let Some(path) = flags.str("save-snapshot") {
+        let file = File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        beware::dataset::snapshot::write_snapshot(&mut w, &snap)
+            .and_then(|()| w.flush())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("snapshot ({} prefixes) -> {path}", snap.entries.len());
+    }
+    let oracle = Arc::new(Oracle::from_snapshot(snap).map_err(|e| e.to_string())?);
+    let bind = flags.str("bind").unwrap_or("127.0.0.1");
+    let port: u16 = flags.num("port", 4615u16)?;
+    let metrics_path = flags.str("metrics");
+    let cfg = server::ServerCfg {
+        shards: flags.num("shards", beware::netsim::default_threads())?,
+        idle_timeout: Duration::from_secs_f64(flags.num("read-timeout", 60.0f64)?),
+        metrics: metrics_path.is_some(),
+    };
+    let shards = cfg.shards;
+    let handle = server::start(Arc::clone(&oracle), (bind, port), cfg)
+        .map_err(|e| format!("binding {bind}:{port}: {e}"))?;
+    println!(
+        "oracle listening on {} ({} prefixes, {} shards)",
+        handle.local_addr(),
+        oracle.entry_count(),
+        shards,
+    );
+    // The port line is what scripts (and tests) parse — make sure it is
+    // out before we block.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let metrics = handle.join();
+    if let Some(path) = metrics_path {
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("telemetry -> {path} ({} metrics)", metrics.len());
+    }
+    println!("oracle stopped");
+    Ok(())
+}
+
+/// One round-trip against a running oracle: a query (default), a stats
+/// fetch, or a shutdown request.
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let mut client = connect(flags)?;
+    match flags.str("op").unwrap_or("query") {
+        "query" => {
+            let addr_text = flags.str("addr").unwrap_or("192.0.2.1");
+            let addr: std::net::Ipv4Addr =
+                addr_text.parse().map_err(|_| format!("bad --addr `{addr_text}`"))?;
+            let r = pct_tenths(flags, "addr-pct", 950)?;
+            let c = pct_tenths(flags, "ping-pct", 950)?;
+            let ans = client.query(u32::from(addr), r, c).map_err(|e| e.to_string())?;
+            let source = match ans.status {
+                Status::Exact => format!(
+                    "prefix {}/{}",
+                    std::net::Ipv4Addr::from(ans.prefix),
+                    ans.prefix_len
+                ),
+                Status::Fallback => "global fallback".into(),
+            };
+            println!(
+                "{addr_text} at ({:.1}%, {:.1}%): wait {:.6} s ({source})",
+                f64::from(r) / 10.0,
+                f64::from(c) / 10.0,
+                ans.timeout_secs,
+            );
+        }
+        "stats" => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "queries {} | exact {} | fallback {}",
+                s.queries, s.hits_exact, s.hits_fallback
+            );
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown");
+        }
+        other => return Err(format!("unknown --op `{other}` (use query, stats or shutdown)")),
+    }
+    Ok(())
+}
+
+/// Closed-loop load generator; writes the `BENCH_3.json` report.
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    let addr = parse_host(flags)?;
+    // Address pool: prefixes from the snapshot when given (so most
+    // queries exercise exact-match lookups), plus a deterministic salt of
+    // fallback addresses; otherwise a pure pseudorandom pool.
+    let mut pool = Vec::new();
+    if flags.str("snapshot").is_some() {
+        let snap = load_or_build_snapshot(flags)?;
+        for e in &snap.entries {
+            pool.push(e.prefix);
+            pool.push(e.prefix | (!beware::dataset::snapshot::prefix_mask(e.len) & 0x7));
+        }
+    }
+    let seed: u64 = flags.num("seed", 0xbe0a_2e11u64)?;
+    let mut state = seed ^ 0x5eed_f00d;
+    let extra = if pool.is_empty() { 256 } else { 16 };
+    for _ in 0..extra {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        pool.push((state >> 32) as u32);
+    }
+    let cfg = loadgen::LoadCfg {
+        workers: flags.num("workers", 4usize)?,
+        requests_per_worker: flags.num("requests", 1000usize)?,
+        addr_pool: pool,
+        addr_pct_tenths: pct_tenths(flags, "addr-pct", 950)?,
+        ping_pct_tenths: pct_tenths(flags, "ping-pct", 950)?,
+        seed,
+        read_timeout: Duration::from_secs(5),
+    };
+    let report = loadgen::run(addr, &cfg)?;
+    println!("{}", report.render());
+    let out = flags.str("out").unwrap_or("BENCH_3.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("report -> {out}");
     Ok(())
 }

@@ -11,6 +11,9 @@
 //!   matching, artifact filters, percentile aggregation and timeout tables,
 //! * [`telemetry`] — deterministic counters/histograms threaded through the
 //!   whole stack (see DESIGN.md §7 for schema and merge semantics),
+//! * [`serve`] — the timeout-oracle service: snapshot builder, sharded TCP
+//!   daemon, binary wire protocol, client library and load generator
+//!   (see DESIGN.md §8),
 //! * [`mod@bench`] — the campaign harness: scaled experiment contexts and the
 //!   deterministic parallel fan-out behind `beware campaign --threads N`.
 //!
@@ -25,5 +28,6 @@ pub use beware_core as analysis;
 pub use beware_dataset as dataset;
 pub use beware_netsim as netsim;
 pub use beware_probe as probe;
+pub use beware_serve as serve;
 pub use beware_telemetry as telemetry;
 pub use beware_wire as wire;

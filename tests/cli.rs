@@ -92,6 +92,107 @@ fn unknown_command_and_missing_flags_fail_cleanly() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The oracle-service loop through the CLI: build a snapshot while
+/// starting the daemon, query it, run the load generator, and shut it
+/// down over the wire.
+#[test]
+fn serve_query_loadgen_workflow() {
+    use std::io::BufRead as _;
+    let dir = tempdir("serve");
+
+    let out = beware(
+        &["generate", "--blocks", "64", "--year", "2015", "--seed", "7", "--out", "plan.tsv"],
+        &dir,
+    );
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = beware(
+        &[
+            "survey", "--plan", "plan.tsv", "--rounds", "10", "--sample", "8", "--seed", "7",
+            "--out", "survey.bwss",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "survey failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Start the daemon on an ephemeral port and parse the advertised
+    // address from its first stdout line.
+    let mut server = std::process::Command::new(env!("CARGO_BIN_EXE_beware"))
+        .args([
+            "serve", "--survey", "survey.bwss", "--save-snapshot", "snap.bwts", "--port", "0",
+            "--shards", "2", "--metrics", "serve-metrics.json",
+        ])
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut reader = std::io::BufReader::new(server.stdout.take().unwrap());
+    let host = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "serve exited before listening");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+
+    let out = beware(&["query", "--host", &host, "--addr", "198.51.100.9"], &dir);
+    assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wait"), "{stdout}");
+
+    let out = beware(
+        &[
+            "loadgen", "--host", &host, "--snapshot", "snap.bwts", "--workers", "4",
+            "--requests", "200", "--out", "BENCH_3.json",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "loadgen failed: {}", String::from_utf8_lossy(&out.stderr));
+    let bench = std::fs::read_to_string(dir.join("BENCH_3.json")).unwrap();
+    for key in ["throughput_rps", "\"p50\"", "\"p99\"", "\"p999\""] {
+        assert!(bench.contains(key), "BENCH_3.json missing {key}: {bench}");
+    }
+
+    let out = beware(&["query", "--host", &host, "--op", "stats"], &dir);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("queries"));
+
+    let out = beware(&["query", "--host", &host, "--op", "shutdown"], &dir);
+    assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
+    let status = server.wait().expect("serve exits");
+    assert!(status.success(), "serve exited non-zero");
+    let metrics = std::fs::read_to_string(dir.join("serve-metrics.json")).unwrap();
+    assert!(metrics.contains("serve/queries"), "{metrics}");
+
+    // A saved snapshot can be served directly.
+    let out = beware(&["serve", "--snapshot", "does-not-exist.bwts"], &dir);
+    assert!(!out.status.success(), "serve must fail on a missing snapshot");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does-not-exist.bwts"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Exit codes for the service subcommands' failure modes.
+#[test]
+fn serve_subcommand_errors_fail_cleanly() {
+    let dir = tempdir("serve-errs");
+    // No snapshot source at all.
+    let out = beware(&["serve"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--snapshot"));
+
+    // Unreachable server: query and loadgen must fail, not hang.
+    let out = beware(&["query", "--host", "127.0.0.1:1", "--addr", "10.0.0.1"], &dir);
+    assert!(!out.status.success());
+
+    let out = beware(&["query", "--host", "not-an-address"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--host"));
+
+    let out = beware(&["loadgen", "--host", "127.0.0.1:1", "--requests", "1"], &dir);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cli_outputs_are_deterministic() {
     let dir = tempdir("det");

@@ -1,0 +1,164 @@
+//! End-to-end oracle service test: a simulated campaign becomes a
+//! snapshot, the snapshot is served over TCP, and concurrent clients must
+//! receive answers that byte-match the offline analysis. Also pins the
+//! determinism contract: the metrics JSON export is byte-identical across
+//! shard counts.
+
+use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
+use beware::analysis::percentile::LatencySamples;
+use beware::analysis::recommend::recommend_timeout;
+use beware::analysis::timeout_table::TimeoutTable;
+use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
+use beware::probe::prelude::*;
+use beware::serve::{build_snapshot, server, Client, Oracle, SnapshotCfg, Status};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Simulated campaign → filtered per-address samples.
+fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
+    let sc = Scenario::new(ScenarioCfg {
+        year: 2015,
+        seed: 11,
+        total_blocks: 48,
+        vantage: VANTAGES[0],
+    });
+    let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
+    let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
+    let mut world = sc.build_world();
+    let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
+    run_pipeline(&records, &PipelineCfg::default()).samples
+}
+
+fn serve_cfg(shards: usize) -> server::ServerCfg {
+    server::ServerCfg {
+        shards,
+        idle_timeout: Duration::from_secs(30),
+        metrics: true,
+    }
+}
+
+#[test]
+fn served_answers_bit_match_offline_analysis() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    assert!(!snap.entries.is_empty(), "campaign produced no per-prefix tables");
+    let oracle = Arc::new(Oracle::from_snapshot(snap.clone()).unwrap());
+
+    let handle =
+        server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(4)).unwrap();
+    let addr = handle.local_addr();
+
+    // The offline truth: the global fallback must equal recommend_timeout
+    // over the full sample set, and each prefix's cells must equal a
+    // TimeoutTable computed over just that prefix's addresses.
+    let addr_levels: Vec<f64> =
+        snap.address_pct_tenths.iter().map(|&t| f64::from(t) / 10.0).collect();
+    let ping_levels: Vec<f64> =
+        snap.ping_pct_tenths.iter().map(|&t| f64::from(t) / 10.0).collect();
+    let offline_grid = TimeoutTable::compute_at(&samples, &addr_levels, &ping_levels).unwrap();
+
+    // ≥ 4 concurrent clients, each checking a different slice of the
+    // query space against the offline computation.
+    let mut workers = Vec::new();
+    for w in 0..4usize {
+        let samples = samples.clone();
+        let snap = snap.clone();
+        let grid = offline_grid.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client =
+                Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(2))
+                    .unwrap();
+            let levels = snap.address_pct_tenths.clone();
+            for (ri, &r) in levels.iter().enumerate() {
+                for (ci, &c) in levels.iter().enumerate() {
+                    if (ri + ci) % 4 != w {
+                        continue;
+                    }
+                    // Fallback answer == recommend_timeout over everyone.
+                    let ans = client.query(0xc633_6401, r, c).unwrap();
+                    assert_eq!(ans.status, Status::Fallback);
+                    let offline =
+                        recommend_timeout(&samples, f64::from(r) / 10.0, f64::from(c) / 10.0)
+                            .unwrap();
+                    assert_eq!(
+                        ans.timeout_bits,
+                        offline.timeout_secs.to_bits(),
+                        "fallback ({r},{c})"
+                    );
+                    assert_eq!(ans.timeout_bits, grid.cells[ri][ci].to_bits());
+
+                    // Exact answers == per-prefix offline tables.
+                    for e in snap.entries.iter().step_by(3) {
+                        let probe_addr = e.prefix | 1;
+                        let ans = client.query(probe_addr, r, c).unwrap();
+                        assert_eq!(ans.status, Status::Exact, "{probe_addr:08x}");
+                        assert_eq!((ans.prefix, ans.prefix_len), (e.prefix, e.len));
+                        let n = snap.ping_pct_tenths.len();
+                        assert_eq!(
+                            ans.timeout_bits,
+                            e.cells[ri * n + ci],
+                            "prefix {:08x} ({r},{c})",
+                            e.prefix
+                        );
+                    }
+                }
+            }
+            // Every worker also exercises stats.
+            let stats = client.stats().unwrap();
+            assert!(stats.queries > 0);
+            assert_eq!(stats.queries, stats.hits_exact + stats.hits_fallback);
+        }));
+    }
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    let mut client =
+        Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(2)).unwrap();
+    client.shutdown().unwrap();
+    let metrics = handle.join();
+    assert!(metrics.counter("serve/queries").unwrap() > 0);
+}
+
+/// The deterministic metric families must not depend on how connections
+/// were scheduled across shards: the same client workload against a
+/// 1-shard and a 4-shard server must export byte-identical JSON.
+#[test]
+fn metrics_export_identical_across_shard_counts() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap.clone()).unwrap());
+
+    let run_workload = |shards: usize| -> String {
+        let handle =
+            server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(shards)).unwrap();
+        let addr = handle.local_addr();
+        // Fixed workload: 3 connections, each with a deterministic set of
+        // queries (one bad percentile each to exercise the error path).
+        let mut conns = Vec::new();
+        for k in 0..3u32 {
+            let mut client =
+                Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(2))
+                    .unwrap();
+            for i in 0..40u32 {
+                let a = 0x0a00_0000 ^ (i.wrapping_mul(2654435761) ^ k);
+                client.query(a, 950, 950).unwrap();
+            }
+            assert!(client.query(1, 123, 950).is_err());
+            conns.push(client);
+        }
+        conns[0].stats().unwrap();
+        conns[1].shutdown().unwrap();
+        handle.join().to_json()
+    };
+
+    let single = run_workload(1);
+    let sharded = run_workload(4);
+    assert_eq!(single, sharded, "metrics JSON must be shard-count-invariant");
+    assert!(single.contains("serve/queries"));
+    assert!(single.contains("serve/errors_unsupported_pct"));
+    // Scheduling-dependent families must stay out of the export.
+    assert!(!single.contains("sched/"));
+    assert!(!single.contains("walltime/"));
+}
