@@ -1,0 +1,113 @@
+//! # beware-faultsim
+//!
+//! Deterministic fault injection for the serving stack. The paper's whole
+//! point is that real networks deliver bytes late, in pieces, or not at
+//! all — this crate makes our own TCP control plane meet such networks on
+//! demand, reproducibly.
+//!
+//! Two layers:
+//!
+//! * [`FaultyTransport`] wraps any `Read + Write` transport and applies a
+//!   seeded schedule of byte-level faults: writes split at arbitrary
+//!   boundaries, reads that time out, corrupted bytes, mid-stream
+//!   truncation, abrupt closes. It is pure and in-process — the right tool
+//!   for unit tests of codec and client robustness.
+//! * [`ChaosProxy`](proxy::ChaosProxy) is an in-process TCP proxy that
+//!   sits between a real client and a real server and injects the same
+//!   fault repertoire into live traffic — the right tool for end-to-end
+//!   chaos suites (`tests/chaos.rs`, `beware chaos`).
+//!
+//! Every decision is drawn from a splitmix64 stream derived with the same
+//! seed-derivation discipline as `beware_netsim::rng::derive_seed`
+//! (identical finalizer constants): connection *i* of a run seeded `s`
+//! draws from `derive_seed(s, i)`, so the *sequence* of fault decisions
+//! per connection is a pure function of `(seed, connection index)`. What
+//! wall-clock moment each decision lands on still depends on the kernel's
+//! scheduling — which is why every fault counter lives in the
+//! nondeterministic `faults/` telemetry family (see DESIGN.md §9).
+//!
+//! The contract this crate exists to enforce is stated once, here: under
+//! any fault schedule, a request either completes with a correct answer
+//! or fails with a **typed** error in bounded time. No hangs, no silently
+//! wrong answers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proxy;
+pub mod rng;
+mod transport;
+
+pub use proxy::ChaosProxy;
+pub use transport::FaultyTransport;
+
+/// Fault-injection parameters shared by [`FaultyTransport`] and
+/// [`ChaosProxy`]. All probabilities are per *decision point* (one chunk
+/// of bytes moved, or one connection-lifetime event), in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct FaultCfg {
+    /// Root seed; connection `i` draws from `rng::derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Forward/write at most this many bytes per chunk, with the actual
+    /// chunk length drawn uniformly from `1..=max_chunk`. `0` disables
+    /// splitting (chunks pass through whole).
+    pub max_chunk: usize,
+    /// Probability a chunk is delayed before being forwarded.
+    pub delay_prob: f64,
+    /// Upper bound on one injected delay, milliseconds (drawn uniformly
+    /// from `1..=max_delay_ms`).
+    pub max_delay_ms: u64,
+    /// Probability one byte of a chunk is corrupted (XOR with a nonzero
+    /// mask) before being forwarded.
+    pub corrupt_prob: f64,
+    /// Per-chunk probability the connection is truncated: the chunk and
+    /// everything after it is swallowed and the connection closed, i.e. a
+    /// frame can be cut anywhere, including inside its length prefix.
+    pub truncate_prob: f64,
+    /// Per-chunk probability of an abrupt close (RST-like: both
+    /// directions die immediately, nothing is flushed).
+    pub close_prob: f64,
+    /// Per-chunk probability a direction stalls: bytes keep being
+    /// accepted but nothing is forwarded ever again — the "peer stops
+    /// reading" case that must not hang anyone.
+    pub stall_prob: f64,
+}
+
+impl FaultCfg {
+    /// No faults at all: traffic passes through verbatim (the proxy still
+    /// counts connections and bytes).
+    pub fn disabled(seed: u64) -> FaultCfg {
+        FaultCfg {
+            seed,
+            max_chunk: 0,
+            delay_prob: 0.0,
+            max_delay_ms: 0,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
+            close_prob: 0.0,
+            stall_prob: 0.0,
+        }
+    }
+
+    /// The standard chaos mix used by `beware chaos` and the chaos test
+    /// suite: aggressive splitting, occasional delays, and a steady trickle
+    /// of corruption, truncation, stalls and aborts.
+    pub fn chaos(seed: u64) -> FaultCfg {
+        FaultCfg {
+            seed,
+            max_chunk: 7,
+            delay_prob: 0.05,
+            max_delay_ms: 3,
+            corrupt_prob: 0.02,
+            truncate_prob: 0.005,
+            close_prob: 0.005,
+            stall_prob: 0.003,
+        }
+    }
+
+    /// Splitting only: every frame arrives in dribbles but intact — for
+    /// exercising reassembly paths without any failures.
+    pub fn split_only(seed: u64) -> FaultCfg {
+        FaultCfg { max_chunk: 3, ..FaultCfg::disabled(seed) }
+    }
+}

@@ -49,6 +49,11 @@ pub enum ClientError {
     /// The server replied with a message that does not answer the
     /// request (e.g. a `StatsReply` to a `Query`).
     UnexpectedReply,
+    /// The connection was poisoned by an earlier mid-frame failure (for
+    /// example a `read_timeout` that fired with a reply half-received):
+    /// the stream position is unknown, so any further round-trip would
+    /// decode garbage. Open a new connection.
+    Poisoned,
 }
 
 impl std::fmt::Display for ClientError {
@@ -58,6 +63,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Proto(e) => write!(f, "protocol: {e}"),
             ClientError::Server(code) => write!(f, "server error: {code:?}"),
             ClientError::UnexpectedReply => write!(f, "unexpected reply opcode"),
+            ClientError::Poisoned => {
+                write!(f, "connection poisoned by an earlier mid-frame failure; reconnect")
+            }
         }
     }
 }
@@ -79,10 +87,27 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// Whether a connect-time failure can be cured by waiting: only refusal
+/// and its accept-race kin mean "the server is not listening *yet*".
+/// Anything else — unroutable network, permission, bad socket options —
+/// will not improve within any deadline, so retrying just burns it.
+fn connect_error_is_retryable(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(io) if matches!(
+            io.kind(),
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+        )
+    )
+}
+
 /// One connection to an oracle server.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    poisoned: bool,
 }
 
 impl Client {
@@ -91,11 +116,13 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(read_timeout))?;
-        Ok(Client { stream })
+        Ok(Client { stream, poisoned: false })
     }
 
     /// Connect, retrying on refusal until `deadline` elapses — for racing
-    /// a server that is still binding its socket.
+    /// a server that is still binding its socket. Non-refusal errors (an
+    /// unroutable address, say) fail immediately rather than spinning for
+    /// the full deadline.
     pub fn connect_retry(
         addr: SocketAddr,
         read_timeout: Duration,
@@ -106,13 +133,19 @@ impl Client {
             match Client::connect(addr, read_timeout) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
-                    if t0.elapsed() >= deadline {
+                    if !connect_error_is_retryable(&e) || t0.elapsed() >= deadline {
                         return Err(e);
                     }
                     std::thread::sleep(Duration::from_millis(10));
                 }
             }
         }
+    }
+
+    /// Whether an earlier mid-frame failure has poisoned this connection
+    /// (every further round-trip returns [`ClientError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Ask for the timeout covering `addr_pct_tenths`‰ of addresses and
@@ -160,7 +193,164 @@ impl Client {
     }
 
     fn round_trip(&mut self, msg: &Message) -> Result<Message, ClientError> {
-        proto::write_frame(&mut self.stream, msg)?;
-        Ok(proto::read_frame(&mut self.stream)?)
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        if let Err(e) = proto::write_frame(&mut self.stream, msg) {
+            // A failed or partial request write leaves the server's
+            // decoder in an unknown state.
+            self.poisoned = true;
+            return Err(ClientError::Io(e));
+        }
+        match proto::read_frame(&mut self.stream) {
+            Ok(m) => Ok(m),
+            Err(e) => {
+                // Any transport or framing failure mid-reply leaves the
+                // stream position unknown — most insidiously a
+                // `read_timeout` firing with a frame half-received: the
+                // abandoned bytes arrive later and shift every subsequent
+                // frame, so reuse would decode garbage forever. Poison
+                // the connection so the *next* call fails with a typed
+                // error instead. (Server-level errors and well-framed
+                // unexpected replies keep the connection usable.)
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpListener;
+
+    fn io_err(kind: io::ErrorKind) -> ClientError {
+        ClientError::Io(io::Error::new(kind, "test"))
+    }
+
+    #[test]
+    fn only_refusal_kin_are_retryable() {
+        assert!(connect_error_is_retryable(&io_err(io::ErrorKind::ConnectionRefused)));
+        assert!(connect_error_is_retryable(&io_err(io::ErrorKind::ConnectionReset)));
+        assert!(connect_error_is_retryable(&io_err(io::ErrorKind::ConnectionAborted)));
+        assert!(!connect_error_is_retryable(&io_err(io::ErrorKind::TimedOut)));
+        assert!(!connect_error_is_retryable(&io_err(io::ErrorKind::PermissionDenied)));
+        assert!(!connect_error_is_retryable(&io_err(io::ErrorKind::AddrNotAvailable)));
+        assert!(!connect_error_is_retryable(&io_err(io::ErrorKind::Other)));
+        assert!(!connect_error_is_retryable(&ClientError::Poisoned));
+        assert!(!connect_error_is_retryable(&ClientError::UnexpectedReply));
+    }
+
+    #[test]
+    fn connect_retry_fails_fast_on_unroutable_address() {
+        // 255.255.255.255 is never connectable; the kernel rejects it
+        // immediately with a non-refusal error. With a 10 s deadline, the
+        // old retry-everything loop would spin the whole deadline —
+        // fail-fast must return well under it.
+        let addr: SocketAddr = "255.255.255.255:9".parse().unwrap();
+        let t0 = Instant::now();
+        let out =
+            Client::connect_retry(addr, Duration::from_secs(1), Duration::from_secs(10));
+        assert!(out.is_err());
+        assert!(
+            t0.elapsed() < Duration::from_secs(3),
+            "non-retryable connect error spun for {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn connect_retry_still_waits_out_refusals() {
+        // A bound-then-dropped listener's port is (almost certainly)
+        // refused: the deadline must be honored, then the refusal
+        // surfaced.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let t0 = Instant::now();
+        let out =
+            Client::connect_retry(addr, Duration::from_secs(1), Duration::from_millis(80));
+        assert!(out.is_err());
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(80), "gave up after {waited:?}");
+        assert!(waited < Duration::from_secs(5), "spun too long: {waited:?}");
+    }
+
+    #[test]
+    fn mid_frame_timeout_poisons_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Consume the query, then answer with HALF a frame and stall.
+            let mut buf = [0u8; 64];
+            let _ = s.read(&mut buf);
+            let reply = proto::encode(&Message::Answer {
+                status: Status::Exact,
+                timeout_bits: 3.0f64.to_bits(),
+                prefix: 0x0a000000,
+                prefix_len: 24,
+            });
+            s.write_all(&reply[..reply.len() / 2]).unwrap();
+            // Hold the socket open until the client is done asserting, so
+            // the tail bytes never arrive and the timeout genuinely fires
+            // mid-frame.
+            let _ = done_rx.recv_timeout(Duration::from_secs(10));
+        });
+
+        let mut client = Client::connect(addr, Duration::from_millis(100)).unwrap();
+        assert!(!client.is_poisoned());
+        match client.query(1, 950, 950) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected a timeout Io error, got {other:?}"),
+        }
+        assert!(client.is_poisoned());
+        // Reuse must fail with the dedicated variant, not decode garbage.
+        match client.query(1, 950, 950) {
+            Err(ClientError::Poisoned) => {}
+            other => panic!("expected Poisoned on reuse, got {other:?}"),
+        }
+        match client.stats() {
+            Err(ClientError::Poisoned) => {}
+            other => panic!("expected Poisoned on reuse, got {other:?}"),
+        }
+        done_tx.send(()).ok();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn server_level_errors_do_not_poison() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 64];
+            for reply in [
+                Message::Error { code: ErrorCode::UnsupportedPercentile },
+                Message::ShutdownAck, // wrong opcode for a query
+                Message::Answer {
+                    status: Status::Fallback,
+                    timeout_bits: 60.0f64.to_bits(),
+                    prefix: 0,
+                    prefix_len: 0,
+                },
+            ] {
+                let _ = s.read(&mut buf);
+                s.write_all(&proto::encode(&reply)).unwrap();
+            }
+        });
+
+        let mut client = Client::connect(addr, Duration::from_secs(5)).unwrap();
+        assert!(matches!(client.query(1, 123, 950), Err(ClientError::Server(_))));
+        assert!(!client.is_poisoned(), "a well-framed server error must not poison");
+        assert!(matches!(client.query(1, 950, 950), Err(ClientError::UnexpectedReply)));
+        assert!(!client.is_poisoned(), "a well-framed wrong opcode must not poison");
+        let ans = client.query(1, 950, 950).unwrap();
+        assert_eq!(ans.status, Status::Fallback);
+        server.join().unwrap();
     }
 }

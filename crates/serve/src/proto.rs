@@ -206,6 +206,15 @@ pub fn encode(msg: &Message) -> Vec<u8> {
     let mut ck = Checksum::new();
     ck.add_bytes(&body);
     let ck = ck.finish();
+    // Every current payload is far below MAX_FRAME by construction, but a
+    // future opcode with a bigger payload would silently truncate the u16
+    // length prefix (and desynchronize every decoder downstream) — fail
+    // loudly at the encode site instead.
+    assert!(
+        body.len() + 2 <= MAX_FRAME,
+        "encoded body ({} bytes + 2 checksum) exceeds MAX_FRAME ({MAX_FRAME})",
+        body.len()
+    );
     let mut frame = Vec::with_capacity(body.len() + 4);
     frame.put_u16_le((body.len() + 2) as u16);
     frame.extend_from_slice(&body);
@@ -364,6 +373,53 @@ mod tests {
             let (incr, used) = try_decode(&frame).unwrap().unwrap();
             assert_eq!(incr, msg);
             assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn length_prefix_matches_body_and_respects_max_frame() {
+        for msg in all_messages() {
+            let frame = encode(&msg);
+            let declared = u16::from_le_bytes([frame[0], frame[1]]) as usize;
+            assert_eq!(declared, frame.len() - 2, "{msg:?}");
+            assert!(declared <= MAX_FRAME, "{msg:?} declares {declared} > MAX_FRAME");
+            assert!(declared >= 4, "{msg:?} declares an impossible body");
+        }
+    }
+
+    #[test]
+    fn fragmented_decode_equals_whole_decode() {
+        // Split every frame at every boundary, and also feed it byte at a
+        // time: an accumulation buffer must decode the same message no
+        // matter how the bytes were fragmented.
+        for msg in all_messages() {
+            let frame = encode(&msg);
+            for cut in 0..=frame.len() {
+                let mut buf = Vec::new();
+                buf.extend_from_slice(&frame[..cut]);
+                let early = try_decode(&buf).unwrap();
+                if cut < frame.len() {
+                    assert!(early.is_none(), "{msg:?} decoded from {cut} bytes");
+                }
+                buf.extend_from_slice(&frame[cut..]);
+                let (got, used) = try_decode(&buf).unwrap().unwrap();
+                assert_eq!(got, msg, "split at {cut}");
+                assert_eq!(used, frame.len());
+            }
+            let mut buf = Vec::new();
+            let mut decoded = None;
+            for (i, &b) in frame.iter().enumerate() {
+                buf.push(b);
+                match try_decode(&buf).unwrap() {
+                    Some((m, used)) => {
+                        assert_eq!(i, frame.len() - 1, "decoded before the last byte");
+                        assert_eq!(used, frame.len());
+                        decoded = Some(m);
+                    }
+                    None => assert!(i < frame.len() - 1),
+                }
+            }
+            assert_eq!(decoded, Some(msg));
         }
     }
 

@@ -12,10 +12,16 @@
 //! assignment — live under the `sched/` family, which the JSON export
 //! excludes; see DESIGN.md §8).
 //!
-//! The paper's own advice is applied to the server itself: connections
-//! are *listened to* with a bound. A connection idle past the configured
-//! timeout is closed rather than waited on forever — bounded listen, not
-//! infinite patience.
+//! No peer can make a shard wait (DESIGN.md §9). Replies go through a
+//! **bounded per-connection output queue** drained by the poll loop with
+//! nonblocking writes: a peer that stops reading costs its shard nothing,
+//! and is closed outright once [`OUT_QUEUE_CAP`] reply bytes pile up.
+//! Reads are budgeted per poll iteration ([`READ_BUDGET`]) so one
+//! firehose connection cannot starve its shard siblings, and a
+//! connection idle past the configured timeout is closed rather than
+//! waited on forever — bounded listen, not infinite patience, applied to
+//! ourselves. Faults handled on the way (write backpressure, queue
+//! overflows) are counted under the nondeterministic `faults/` family.
 
 use crate::oracle::{LookupError, Oracle};
 use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
@@ -171,14 +177,61 @@ struct Conn {
     stream: TcpStream,
     /// Reassembly buffer for partially received frames.
     buf: Vec<u8>,
+    /// Bounded outbound queue. Replies are *enqueued* here and drained by
+    /// the shard's poll loop with nonblocking writes — the shard never
+    /// waits on a peer's receive window, so one connection that stops
+    /// reading cannot head-of-line-block every other connection on the
+    /// shard (the old `write_all_nb` sleep-retry loop did exactly that).
+    out: Vec<u8>,
+    /// Offset of the not-yet-written suffix of `out`.
+    out_pos: usize,
     last_active: Instant,
     open: bool,
+    /// Reply of record is queued (error frame, shutdown ack): stop
+    /// reading, close once `out` drains.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            last_active: Instant::now(),
+            open: true,
+            close_after_flush: false,
+        }
+    }
+
+    /// Bytes queued but not yet on the wire.
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
 }
 
 /// Per-shard answer cache cap; the cache is cleared wholesale when full
 /// (queries repeat heavily under load, so wholesale eviction is rare and
 /// keeps the structure trivial).
 const CACHE_CAP: usize = 8192;
+
+/// Upper bound on one connection's queued-but-unsent reply bytes. A peer
+/// that keeps sending queries without draining its answers is a slow
+/// reader at best and an attacker at worst; past this bound the
+/// connection is closed (`faults/serve/queue_overflow_closed`) instead of
+/// buffering without limit.
+const OUT_QUEUE_CAP: usize = 64 * 1024;
+
+/// Per-connection, per-poll-iteration read budget. One firehose
+/// connection may fill at most this many bytes before the loop moves on
+/// to its shard siblings, so ingress bandwidth is shared round-robin
+/// instead of drained connection-by-connection.
+const READ_BUDGET: usize = 16 * 1024;
+
+/// After shutdown is requested, shards keep draining queued replies
+/// (most importantly the `ShutdownAck`) for at most this long.
+const SHUTDOWN_DRAIN: Duration = Duration::from_millis(500);
 
 fn shard_loop(
     rx: Receiver<TcpStream>,
@@ -191,28 +244,44 @@ fn shard_loop(
     let mut conns: Vec<Conn> = Vec::new();
     let mut cache: HashMap<(u32, u16, u16), Message> = HashMap::new();
     let mut scratch = [0u8; 4096];
+    // Set when the stop flag is first observed: replies already queued
+    // (the ShutdownAck above all) still get a bounded chance to drain.
+    let mut drain_deadline: Option<Instant> = None;
 
     loop {
         // Adopt newly assigned connections.
         while let Ok(stream) = rx.try_recv() {
             reg.scope("sched").scope("serve").incr("connections_assigned");
-            conns.push(Conn { stream, buf: Vec::new(), last_active: Instant::now(), open: true });
+            conns.push(Conn::new(stream));
         }
 
-        if stop.load(Ordering::SeqCst) {
-            break;
+        if drain_deadline.is_none() && stop.load(Ordering::SeqCst) {
+            drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN);
         }
+        let draining = drain_deadline.is_some();
 
         let mut progress = false;
         for conn in &mut conns {
-            progress |= service_conn(conn, &oracle, &stop, &stats, &mut cache, &mut reg, &mut scratch);
+            if !draining {
+                progress |=
+                    service_conn(conn, &oracle, &stop, &stats, &mut cache, &mut reg, &mut scratch);
+            }
+            progress |= flush_conn(conn, &mut reg);
             if conn.open && conn.last_active.elapsed() > cfg.idle_timeout {
-                // Dog food: bounded listen. Stop waiting on a silent peer.
+                // Dog food: bounded listen. Stop waiting on a silent peer
+                // — whether it has gone quiet or stopped draining replies.
                 reg.scope("sched").scope("serve").incr("idle_closed");
                 conn.open = false;
             }
         }
         conns.retain(|c| c.open);
+
+        if let Some(deadline) = drain_deadline {
+            let drained = conns.iter().all(|c| c.backlog() == 0);
+            if drained || Instant::now() >= deadline {
+                break;
+            }
+        }
 
         if !progress {
             std::thread::sleep(Duration::from_micros(500));
@@ -221,8 +290,58 @@ fn shard_loop(
     reg
 }
 
-/// Pump one connection: read whatever is available, answer every complete
-/// frame. Returns true when any byte moved.
+/// Nonblocking drain of one connection's output queue. Never waits: a
+/// full peer window surfaces as `faults/serve/write_backpressure` and the
+/// remaining bytes stay queued for the next poll iteration.
+fn flush_conn(conn: &mut Conn, reg: &mut Registry) -> bool {
+    let mut progress = false;
+    while conn.open && conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.open = false;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                reg.scope("faults").scope("serve").incr("write_backpressure");
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.open = false;
+            }
+        }
+    }
+    if conn.out_pos >= conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.close_after_flush {
+            conn.open = false;
+        }
+    } else if conn.out_pos >= OUT_QUEUE_CAP / 2 {
+        // Keep the queue's memory proportional to the *unsent* bytes.
+        conn.out.drain(..conn.out_pos);
+        conn.out_pos = 0;
+    }
+    progress
+}
+
+/// Queue a reply frame on a connection, enforcing the output bound. A
+/// peer that has let [`OUT_QUEUE_CAP`] bytes pile up is cut off.
+fn enqueue_reply(conn: &mut Conn, frame: &[u8], reg: &mut Registry) {
+    if conn.backlog() + frame.len() > OUT_QUEUE_CAP {
+        reg.scope("faults").scope("serve").incr("queue_overflow_closed");
+        conn.open = false;
+        return;
+    }
+    conn.out.extend_from_slice(frame);
+}
+
+/// Pump one connection: read what is available (bounded by
+/// [`READ_BUDGET`]), decode, and queue a reply for every complete frame.
+/// Returns true when any byte moved.
 fn service_conn(
     conn: &mut Conn,
     oracle: &Oracle,
@@ -233,13 +352,22 @@ fn service_conn(
     scratch: &mut [u8],
 ) -> bool {
     let mut progress = false;
-    loop {
-        match conn.stream.read(scratch) {
+    let mut budget = READ_BUDGET;
+    while conn.open && !conn.close_after_flush {
+        if budget == 0 {
+            // Fairness: leave the rest for the next poll iteration so a
+            // firehose peer cannot starve its shard siblings.
+            reg.scope("sched").scope("serve").incr("read_budget_deferrals");
+            break;
+        }
+        let want = scratch.len().min(budget);
+        match conn.stream.read(&mut scratch[..want]) {
             Ok(0) => {
                 conn.open = false;
                 break;
             }
             Ok(n) => {
+                budget -= n;
                 reg.scope("serve").add("bytes_in", n as u64);
                 conn.buf.extend_from_slice(&scratch[..n]);
                 conn.last_active = Instant::now();
@@ -255,7 +383,7 @@ fn service_conn(
     }
 
     let mut consumed = 0usize;
-    while conn.open {
+    while conn.open && !conn.close_after_flush {
         match proto::try_decode(&conn.buf[consumed..]) {
             Ok(Some((msg, used))) => {
                 consumed += used;
@@ -263,19 +391,18 @@ fn service_conn(
                 let (reply, close) = handle_request(&msg, oracle, stop, stats, cache, reg);
                 let frame = proto::encode(&reply);
                 reg.scope("serve").add("bytes_out", frame.len() as u64);
-                if write_all_nb(&mut conn.stream, &frame).is_err() {
-                    conn.open = false;
-                }
+                enqueue_reply(conn, &frame, reg);
                 let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 reg.scope("walltime").scope("serve").observe("request_ns", ns);
                 if close {
-                    conn.open = false;
+                    conn.close_after_flush = true;
                 }
                 progress = true;
             }
             Ok(None) => break,
             Err(e) => {
-                // Framing is lost: report once and drop the connection.
+                // Framing is lost: queue one error report, then close
+                // once it has drained.
                 reg.scope("serve").incr("proto_errors");
                 let code = match e {
                     ProtoError::Version(_) => ErrorCode::BadVersion,
@@ -283,8 +410,8 @@ fn service_conn(
                 };
                 let frame = proto::encode(&Message::Error { code });
                 reg.scope("serve").add("bytes_out", frame.len() as u64);
-                let _ = write_all_nb(&mut conn.stream, &frame);
-                conn.open = false;
+                enqueue_reply(conn, &frame, reg);
+                conn.close_after_flush = true;
                 progress = true;
             }
         }
@@ -383,20 +510,3 @@ fn bump_hit(stats: &GlobalStats, reg: &mut Registry, status: Status) {
     }
 }
 
-/// `write_all` over a nonblocking socket: replies are tiny (≤ 66 bytes),
-/// so `WouldBlock` only happens when the peer's receive window is
-/// genuinely full — back off briefly and retry.
-fn write_all_nb(stream: &mut TcpStream, mut buf: &[u8]) -> io::Result<()> {
-    while !buf.is_empty() {
-        match stream.write(buf) {
-            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "peer gone")),
-            Ok(n) => buf = &buf[n..],
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(100));
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
-}

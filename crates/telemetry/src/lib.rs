@@ -46,8 +46,18 @@ pub const WALLTIME_FAMILY: &str = "walltime/";
 /// across thread and shard counts; it still merges and renders as text.
 pub const SCHED_FAMILY: &str = "sched/";
 
+/// Family prefix for fault counters: faults injected by the chaos layer
+/// (`beware-faultsim`) and faults *handled* by the serving stack (write
+/// backpressure, bounded-queue overflows, poisoned client connections).
+/// Whether and when a fault fires depends on wall-clock races between
+/// peers, so the family is excluded from [`Registry::to_json`] like
+/// [`WALLTIME_FAMILY`] and [`SCHED_FAMILY`]; it still merges and renders
+/// as text.
+pub const FAULTS_FAMILY: &str = "faults/";
+
 /// The family prefixes excluded from the deterministic JSON export.
-pub const NONDETERMINISTIC_FAMILIES: [&str; 2] = [WALLTIME_FAMILY, SCHED_FAMILY];
+pub const NONDETERMINISTIC_FAMILIES: [&str; 3] =
+    [WALLTIME_FAMILY, SCHED_FAMILY, FAULTS_FAMILY];
 
 /// Log-bucketed histogram over `u64` values (latencies in µs, sizes in
 /// bytes — the unit is the caller's naming convention).
@@ -316,8 +326,9 @@ impl Registry {
     }
 
     /// Render the deterministic metrics as JSON (schema in DESIGN.md §7).
-    /// The [`NONDETERMINISTIC_FAMILIES`] (`walltime/`, `sched/`) are
-    /// excluded — this export is what the byte-identity contract covers.
+    /// The [`NONDETERMINISTIC_FAMILIES`] (`walltime/`, `sched/`,
+    /// `faults/`) are excluded — this export is what the byte-identity
+    /// contract covers.
     pub fn to_json(&self) -> String {
         json::render(self)
     }
@@ -605,6 +616,19 @@ mod tests {
         assert!(!json.contains("sched/"), "{json}");
         let text = reg.render_text();
         assert!(text.contains("sched/serve/cache_hits"), "{text}");
+    }
+
+    #[test]
+    fn faults_family_excluded_from_json_but_rendered() {
+        let mut reg = Registry::new();
+        reg.scope("serve").add("queries", 4);
+        reg.scope("faults").scope("injected").add("corruptions", 2);
+        reg.scope("faults").scope("serve").add("queue_overflow_closed", 1);
+        let json = reg.to_json();
+        assert!(json.contains("serve/queries"), "{json}");
+        assert!(!json.contains("faults/"), "{json}");
+        let text = reg.render_text();
+        assert!(text.contains("faults/injected/corruptions"), "{text}");
     }
 
     #[test]

@@ -24,7 +24,8 @@ use beware::dataset::{Record, ScanMeta};
 use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
 use beware::probe::census::select_survey_blocks;
 use beware::probe::prelude::*;
-use beware::serve::{build_snapshot, loadgen, server, Client, Oracle, SnapshotCfg, Status};
+use beware::faultsim::{ChaosProxy, FaultCfg};
+use beware::serve::{build_snapshot, loadgen, server, Client, ClientError, Oracle, SnapshotCfg, Status};
 use beware::telemetry::Registry;
 use std::collections::HashMap;
 use std::fs::File;
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
         "loadgen" => cmd_loadgen(&flags),
+        "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -93,7 +95,10 @@ commands:
   query      --host ADDR:PORT [--addr A.B.C.D] [--addr-pct P] [--ping-pct P]
              [--op query|stats|shutdown]
   loadgen    --host ADDR:PORT [--snapshot snap.bwts] [--workers N] [--requests N]
-             [--addr-pct P] [--ping-pct P] [--seed S] [--out BENCH_3.json]";
+             [--addr-pct P] [--ping-pct P] [--seed S] [--out BENCH_3.json]
+  chaos      [--snapshot snap.bwts | --survey survey.bwss] [--seed S]
+             [--profile chaos|split|off] [--workers N] [--requests N]
+             [--shards N] [--metrics chaos-metrics.json]";
 
 /// Parsed `--name value` flags.
 struct Flags(HashMap<String, String>);
@@ -567,6 +572,153 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             println!("server acknowledged shutdown");
         }
         other => return Err(format!("unknown --op `{other}` (use query, stats or shutdown)")),
+    }
+    Ok(())
+}
+
+/// Self-contained chaos run: serve a snapshot, put the seeded fault proxy
+/// in front of it, hammer it with verifying clients, and report whether
+/// the no-hang / no-wrong-answer contract held (see DESIGN.md §9).
+///
+/// Without `--snapshot`/`--survey` a small built-in simulated campaign
+/// supplies the snapshot, so `beware chaos --seed 101` works out of the
+/// box (and in CI).
+fn cmd_chaos(flags: &Flags) -> Result<(), String> {
+    let snap = if flags.str("snapshot").is_some() || flags.str("survey").is_some() {
+        load_or_build_snapshot(flags)?
+    } else {
+        // Built-in fixture: the same small campaign the chaos test suite
+        // uses (the oracle's content is irrelevant to the fault layer; it
+        // only has to be non-trivial and offline-recomputable).
+        let sc = Scenario::new(ScenarioCfg {
+            year: 2015,
+            seed: 11,
+            total_blocks: 48,
+            vantage: vantage('w').expect("built-in vantage"),
+        });
+        let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
+        let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
+        let mut world = sc.build_world();
+        let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
+        let samples = run_pipeline(&records, &PipelineCfg::default()).samples;
+        build_snapshot(&samples, &SnapshotCfg::default()).map_err(|e| e.to_string())?
+    };
+    let oracle = Arc::new(Oracle::from_snapshot(snap).map_err(|e| e.to_string())?);
+
+    let seed: u64 = flags.num("seed", 101u64)?;
+    let fault_cfg = match flags.str("profile").unwrap_or("chaos") {
+        "chaos" => FaultCfg::chaos(seed),
+        "split" => FaultCfg::split_only(seed),
+        "off" => FaultCfg::disabled(seed),
+        other => return Err(format!("unknown --profile `{other}` (use chaos, split or off)")),
+    };
+    let workers: usize = flags.num("workers", 3usize)?;
+    let requests: u32 = flags.num("requests", 200u32)?;
+    let metrics_path = flags.str("metrics");
+
+    let cfg = server::ServerCfg {
+        shards: flags.num("shards", 2usize)?,
+        idle_timeout: Duration::from_secs(30),
+        metrics: metrics_path.is_some(),
+    };
+    let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", cfg)
+        .map_err(|e| format!("binding the chaos target server: {e}"))?;
+    let server_addr = handle.local_addr();
+    let proxy = ChaosProxy::start(server_addr, fault_cfg)
+        .map_err(|e| format!("starting the chaos proxy: {e}"))?;
+    let proxy_addr = proxy.local_addr();
+    println!(
+        "chaos: oracle {server_addr} behind fault proxy {proxy_addr} \
+         (seed {seed}, {workers} workers x {requests} requests)"
+    );
+
+    // Workers: every answered query is verified bit-for-bit against the
+    // in-process oracle; every failure must be a typed ClientError; a
+    // faulted connection is replaced. `(ok, typed errors, wrong answers)`
+    // per worker.
+    let mut joins = Vec::new();
+    for w in 0..workers as u64 {
+        let oracle = Arc::clone(&oracle);
+        joins.push(std::thread::spawn(move || {
+            let mut state = seed ^ w.wrapping_mul(0x9e37_79b9);
+            let step = |s: &mut u64| {
+                *s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = *s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let connect = || {
+                Client::connect_retry(proxy_addr, Duration::from_secs(2), Duration::from_secs(2))
+            };
+            let (mut ok, mut errs, mut wrong) = (0u64, 0u64, 0u64);
+            let Ok(mut client) = connect() else { return (0, 1, 0) };
+            for _ in 0..requests {
+                let addr = step(&mut state) as u32;
+                match client.query(addr, 950, 950) {
+                    Ok(ans) => {
+                        let truth = oracle.lookup(addr, 950, 950).expect("950 supported");
+                        if ans.timeout_bits == truth.timeout_bits && ans.status == truth.status
+                        {
+                            ok += 1;
+                        } else {
+                            wrong += 1;
+                        }
+                    }
+                    Err(
+                        ClientError::Io(_)
+                        | ClientError::Proto(_)
+                        | ClientError::Server(_)
+                        | ClientError::UnexpectedReply
+                        | ClientError::Poisoned,
+                    ) => {
+                        errs += 1;
+                        match connect() {
+                            Ok(c) => client = c,
+                            Err(_) => {
+                                errs += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            (ok, errs, wrong)
+        }));
+    }
+    let (mut ok, mut errs, mut wrong) = (0u64, 0u64, 0u64);
+    for j in joins {
+        let (o, e, x) = j.join().map_err(|_| "chaos worker panicked")?;
+        ok += o;
+        errs += e;
+        wrong += x;
+    }
+
+    proxy.stop();
+    let fault_metrics = proxy.join();
+    let mut c = Client::connect_retry(server_addr, Duration::from_secs(5), Duration::from_secs(2))
+        .map_err(|e| format!("reconnecting for shutdown: {e}"))?;
+    c.shutdown().map_err(|e| format!("shutting the target server down: {e}"))?;
+    let mut metrics = handle.join();
+
+    let count = |name: &str| fault_metrics.counter(name).unwrap_or(0);
+    println!(
+        "injected: {} splits, {} delays, {} corruptions, {} truncations, {} closes, {} stalls",
+        count("faults/injected/splits"),
+        count("faults/injected/delays"),
+        count("faults/injected/corruptions"),
+        count("faults/injected/truncations"),
+        count("faults/injected/closes"),
+        count("faults/injected/stalls"),
+    );
+    println!("requests: {ok} correct, {errs} typed errors, {wrong} wrong answers");
+    if let Some(path) = metrics_path {
+        metrics.merge(&fault_metrics);
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("telemetry -> {path} ({} metrics)", metrics.len());
+    }
+    if wrong > 0 {
+        return Err(format!("{wrong} wrong answer(s) under fault injection"));
     }
     Ok(())
 }

@@ -14,6 +14,9 @@
 //! * [`serve`] — the timeout-oracle service: snapshot builder, sharded TCP
 //!   daemon, binary wire protocol, client library and load generator
 //!   (see DESIGN.md §8),
+//! * [`faultsim`] — seeded fault injection for the service: a byte-level
+//!   `FaultyTransport` wrapper and an in-process TCP chaos proxy backing
+//!   `beware chaos` and the chaos test suite (see DESIGN.md §9),
 //! * [`mod@bench`] — the campaign harness: scaled experiment contexts and the
 //!   deterministic parallel fan-out behind `beware campaign --threads N`.
 //!
@@ -26,6 +29,7 @@ pub use beware_asdb as asdb;
 pub use beware_bench as bench;
 pub use beware_core as analysis;
 pub use beware_dataset as dataset;
+pub use beware_faultsim as faultsim;
 pub use beware_netsim as netsim;
 pub use beware_probe as probe;
 pub use beware_serve as serve;

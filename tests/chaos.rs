@@ -1,0 +1,392 @@
+//! Chaos suite: the oracle service behind a seeded fault-injecting TCP
+//! proxy must never hang and never serve a wrong answer. Every request
+//! either completes with the bit-identical offline answer or fails with a
+//! *typed* [`ClientError`] in bounded time — the whole run sits under a
+//! wall-clock watchdog so a regression to an unbounded wait fails the
+//! test instead of wedging CI.
+//!
+//! Also pins the PR's hardening as regressions:
+//!
+//! * a stalled reader (a connection that writes queries but never drains
+//!   replies) must not delay a concurrent well-behaved connection on the
+//!   *same* shard — the bounded output queue + read budget fix;
+//! * the deterministic metric families must be byte-identical with and
+//!   without the fault layer in the path (faults only ever count into the
+//!   excluded `faults/` family).
+
+use beware::analysis::percentile::LatencySamples;
+use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
+use beware::faultsim::{ChaosProxy, FaultCfg};
+use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
+use beware::probe::prelude::*;
+use beware::serve::{build_snapshot, server, Client, ClientError, Oracle, SnapshotCfg};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Simulated campaign → filtered per-address samples (same fixture as
+/// tests/serve.rs, smaller plan: chaos runs many requests per seed).
+fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
+    let sc = Scenario::new(ScenarioCfg {
+        year: 2015,
+        seed: 11,
+        total_blocks: 48,
+        vantage: VANTAGES[0],
+    });
+    let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
+    let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
+    let mut world = sc.build_world();
+    let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
+    run_pipeline(&records, &PipelineCfg::default()).samples
+}
+
+fn serve_cfg(shards: usize) -> server::ServerCfg {
+    server::ServerCfg { shards, idle_timeout: Duration::from_secs(30), metrics: true }
+}
+
+/// Run `f` on its own thread and panic if it has not finished within
+/// `limit` — the suite's no-hang enforcement.
+fn with_watchdog<T: Send + 'static>(
+    limit: Duration,
+    name: &'static str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let out = f();
+        tx.send(()).ok();
+        out
+    });
+    match rx.recv_timeout(limit) {
+        Ok(()) => worker.join().expect("watchdogged body panicked"),
+        Err(_) => panic!("watchdog: {name} still running after {limit:?} — hang"),
+    }
+}
+
+/// Splitmix64 step — the repo-wide seeding discipline, used here to
+/// derive per-worker query schedules.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Assert `ans` equals the offline oracle bit for bit.
+fn assert_answer_matches(oracle: &Oracle, addr: u32, ans: &beware::serve::Answer) {
+    let truth = oracle.lookup(addr, 950, 950).expect("950 is always a supported level");
+    assert_eq!(ans.status, truth.status, "status for {addr:08x}");
+    assert_eq!(
+        ans.timeout_bits, truth.timeout_bits,
+        "WRONG ANSWER for {addr:08x}: served {} != offline {}",
+        f64::from_bits(ans.timeout_bits),
+        f64::from_bits(truth.timeout_bits),
+    );
+    assert_eq!((ans.prefix, ans.prefix_len), (truth.prefix, truth.prefix_len));
+}
+
+/// Drive `requests` queries through `addr`, reconnecting (bounded) after
+/// every error. Returns `(ok, errors)`. Panics on a wrong answer or an
+/// answer/error that takes unboundedly long (the caller's watchdog backs
+/// that up).
+fn drive_queries(
+    addr: SocketAddr,
+    oracle: &Oracle,
+    schedule_seed: u64,
+    requests: u32,
+    probe_prefixes: &[(u32, u8)],
+) -> (u32, u32) {
+    let mut state = schedule_seed;
+    let mut ok = 0u32;
+    let mut errs = 0u32;
+    let connect =
+        || Client::connect_retry(addr, Duration::from_secs(2), Duration::from_secs(2));
+    let mut client = match connect() {
+        Ok(c) => c,
+        Err(_) => return (0, 1),
+    };
+    for i in 0..requests {
+        // Alternate between addresses inside known prefixes (exact
+        // answers) and arbitrary addresses (mostly fallback).
+        let r = splitmix(&mut state);
+        let q_addr = if i % 2 == 0 && !probe_prefixes.is_empty() {
+            let (p, len) = probe_prefixes[(r as usize) % probe_prefixes.len()];
+            let host_mask = ((1u64 << (32 - u32::from(len))) - 1) as u32;
+            p | ((r >> 32) as u32 & host_mask)
+        } else {
+            r as u32
+        };
+        match client.query(q_addr, 950, 950) {
+            Ok(ans) => {
+                assert_answer_matches(oracle, q_addr, &ans);
+                ok += 1;
+            }
+            Err(e) => {
+                // Every failure must be one of the typed variants; the
+                // match is the assertion (a new variant extends it).
+                match e {
+                    ClientError::Io(_)
+                    | ClientError::Proto(_)
+                    | ClientError::Server(_)
+                    | ClientError::UnexpectedReply
+                    | ClientError::Poisoned => errs += 1,
+                }
+                // A faulted connection is dead weight: reconnect.
+                match connect() {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        errs += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (ok, errs)
+}
+
+/// Three fixed seeds, full chaos schedule: splits, delays, corruptions,
+/// truncations, abrupt closes and stalls. Every request must either
+/// return the bit-identical offline answer or fail typed; the run must
+/// finish under the watchdog.
+#[test]
+fn chaos_requests_complete_or_fail_typed_never_hang() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+    assert!(oracle.entry_count() > 0);
+
+    for seed in [101u64, 202, 303] {
+        let oracle = Arc::clone(&oracle);
+        let (ok, errs, splits) =
+            with_watchdog(Duration::from_secs(90), "chaos seed run", move || {
+                let handle =
+                    server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(2)).unwrap();
+                let server_addr = handle.local_addr();
+                let proxy = ChaosProxy::start(server_addr, FaultCfg::chaos(seed)).unwrap();
+                let proxy_addr = proxy.local_addr();
+
+                let mut workers = Vec::new();
+                for w in 0..3u64 {
+                    let oracle = Arc::clone(&oracle);
+                    let prefixes = oracle.prefixes().to_vec();
+                    workers.push(std::thread::spawn(move || {
+                        drive_queries(
+                            proxy_addr,
+                            &oracle,
+                            seed ^ w.wrapping_mul(0x9e37_79b9),
+                            80,
+                            &prefixes,
+                        )
+                    }));
+                }
+                let mut ok = 0u32;
+                let mut errs = 0u32;
+                for w in workers {
+                    let (o, e) = w.join().expect("worker panicked (wrong answer?)");
+                    ok += o;
+                    errs += e;
+                }
+
+                // Tear down: proxy first (stops injecting), then the
+                // server via a clean direct connection.
+                proxy.stop();
+                let proxy_metrics = proxy.join();
+                let mut c =
+                    Client::connect_retry(server_addr, Duration::from_secs(5), Duration::from_secs(2))
+                        .unwrap();
+                c.shutdown().unwrap();
+                let server_metrics = handle.join();
+                assert!(server_metrics.counter("serve/queries").unwrap_or(0) > 0);
+                let splits =
+                    proxy_metrics.counter("faults/injected/splits").unwrap_or(0);
+                (ok, errs, splits)
+            });
+        assert!(ok > 0, "seed {seed}: no request ever succeeded under chaos");
+        assert!(
+            splits > 0,
+            "seed {seed}: chaos schedule injected nothing (proxy not in the path?)"
+        );
+        eprintln!("chaos seed {seed}: {ok} ok, {errs} typed errors, {splits} splits");
+    }
+}
+
+/// With only write-splitting enabled (every fragmentation, no loss), the
+/// proxy is semantically transparent: every single request must succeed
+/// with the bit-identical answer — the server's reassembly and the
+/// client's framed reads cannot depend on TCP segmentation.
+#[test]
+fn split_only_proxy_is_semantically_transparent() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+
+    let oracle2 = Arc::clone(&oracle);
+    with_watchdog(Duration::from_secs(60), "split-only run", move || {
+        let handle = server::start(Arc::clone(&oracle2), "127.0.0.1:0", serve_cfg(2)).unwrap();
+        let proxy = ChaosProxy::start(handle.local_addr(), FaultCfg::split_only(7)).unwrap();
+
+        let (ok, errs) =
+            drive_queries(proxy.local_addr(), &oracle2, 7, 120, oracle2.prefixes());
+        assert_eq!(errs, 0, "split-only faults must be invisible to the protocol");
+        assert_eq!(ok, 120);
+
+        proxy.stop();
+        let metrics = proxy.join();
+        assert!(metrics.counter("faults/injected/splits").unwrap_or(0) > 0);
+        let mut c = Client::connect_retry(
+            handle.local_addr(),
+            Duration::from_secs(5),
+            Duration::from_secs(2),
+        )
+        .unwrap();
+        c.shutdown().unwrap();
+        handle.join();
+    });
+}
+
+/// The head-of-line regression test: on a 1-shard server, a connection
+/// that floods queries and never reads a byte of its replies must not
+/// delay a concurrent well-behaved connection. Before the bounded output
+/// queue, the shard thread sat in `write_all_nb`'s sleep-retry loop once
+/// the stalled peer's socket buffers filled, starving every other
+/// connection on the shard forever.
+#[test]
+fn stalled_reader_does_not_block_same_shard_connections() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+
+    with_watchdog(Duration::from_secs(60), "stalled-reader run", move || {
+        let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(1)).unwrap();
+        let addr = handle.local_addr();
+
+        // The abuser: write queries as fast as the kernel accepts them,
+        // never read a reply. Replies outgrow the abuser's receive buffer
+        // and the server-side send buffer, then pile into the bounded
+        // output queue until the server closes the connection — all
+        // without ever blocking the shard thread.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let abuser = std::thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_nonblocking(true).unwrap();
+            let frame = beware::serve::proto::encode(&beware::serve::Message::Query {
+                addr: 0x0a00_0001,
+                addr_pct_tenths: 950,
+                ping_pct_tenths: 950,
+            });
+            // ~64 KiB bursts of back-to-back queries.
+            let burst: Vec<u8> = frame
+                .iter()
+                .copied()
+                .cycle()
+                .take(frame.len() * 4800)
+                .collect();
+            let mut sent = 0usize;
+            while !stop2.load(Ordering::Relaxed) && sent < 4 << 20 {
+                match (&s).write(&burst) {
+                    Ok(n) => sent += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    // Server closed us (queue overflow) — the intended
+                    // outcome; keep the socket open, still never reading.
+                    Err(_) => break,
+                }
+            }
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            drop(s);
+            sent
+        });
+
+        // Give the abuser a head start so its backlog is already choking
+        // the shard when the well-behaved client arrives.
+        std::thread::sleep(Duration::from_millis(300));
+
+        let mut client =
+            Client::connect_retry(addr, Duration::from_secs(2), Duration::from_secs(5)).unwrap();
+        let truth = oracle.lookup(0x0a00_0001, 950, 950).unwrap();
+        let t0 = Instant::now();
+        let mut worst = Duration::ZERO;
+        for _ in 0..50 {
+            let q0 = Instant::now();
+            let ans = client
+                .query(0x0a00_0001, 950, 950)
+                .expect("well-behaved connection starved by a stalled reader");
+            worst = worst.max(q0.elapsed());
+            assert_eq!(ans.timeout_bits, truth.timeout_bits);
+        }
+        let elapsed = t0.elapsed();
+        // Loose but meaningful: 50 loopback round-trips take milliseconds
+        // when the shard is live; the old code never answered at all.
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "50 round-trips took {elapsed:?} next to a stalled reader (worst {worst:?})"
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        let sent = abuser.join().unwrap();
+        assert!(sent > 0, "abuser never got a byte in — test exercised nothing");
+
+        client.shutdown().unwrap();
+        let metrics = handle.join();
+        assert!(metrics.counter("serve/queries").unwrap_or(0) >= 50);
+    });
+}
+
+/// Determinism: the exported metrics JSON must be byte-identical whether
+/// or not the fault layer sits in the path (with faults disabled), and
+/// across shard counts — fault accounting lives entirely in the excluded
+/// `faults/` family.
+#[test]
+fn metrics_json_identical_with_and_without_faultsim() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+
+    let run_workload = |shards: usize, through_proxy: bool| -> String {
+        let handle =
+            server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(shards)).unwrap();
+        let server_addr = handle.local_addr();
+        let proxy = if through_proxy {
+            Some(ChaosProxy::start(server_addr, FaultCfg::disabled(99)).unwrap())
+        } else {
+            None
+        };
+        let target = proxy.as_ref().map_or(server_addr, |p| p.local_addr());
+
+        let mut client =
+            Client::connect_retry(target, Duration::from_secs(5), Duration::from_secs(2))
+                .unwrap();
+        for i in 0..32u32 {
+            client.query(0x0a00_0000 ^ i.wrapping_mul(2654435761), 950, 950).unwrap();
+        }
+        assert!(client.query(1, 123, 950).is_err());
+        client.stats().unwrap();
+        drop(client);
+        if let Some(p) = proxy {
+            p.stop();
+            p.join();
+        }
+        let mut direct =
+            Client::connect_retry(server_addr, Duration::from_secs(5), Duration::from_secs(2))
+                .unwrap();
+        direct.shutdown().unwrap();
+        handle.join().to_json()
+    };
+
+    let direct = run_workload(1, false);
+    let proxied = run_workload(1, true);
+    let proxied_sharded = run_workload(4, true);
+    assert_eq!(direct, proxied, "a disabled fault layer must be metrics-invisible");
+    assert_eq!(proxied, proxied_sharded, "metrics JSON must be shard-count-invariant");
+    assert!(direct.contains("serve/queries"));
+    assert!(!direct.contains("faults/"), "faults/ must stay out of the JSON export");
+}
