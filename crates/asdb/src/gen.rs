@@ -254,7 +254,11 @@ impl InternetPlan {
                     break;
                 }
                 let len = 24 - chunk.trailing_zeros() as u8;
-                allocations.push(PrefixAllocation { prefix: cursor << 8, len, asn: Asn(entry.asn) });
+                allocations.push(PrefixAllocation {
+                    prefix: cursor << 8,
+                    len,
+                    asn: Asn(entry.asn),
+                });
                 cursor += chunk;
                 blocks -= chunk;
             }
@@ -285,11 +289,7 @@ impl InternetPlan {
 
     /// /24 blocks of one AS.
     pub fn blocks_of(&self, asn: Asn) -> Vec<u32> {
-        self.allocations
-            .iter()
-            .filter(|a| a.asn == asn)
-            .flat_map(|a| a.block_prefixes())
-            .collect()
+        self.allocations.iter().filter(|a| a.asn == asn).flat_map(|a| a.block_prefixes()).collect()
     }
 }
 
@@ -369,11 +369,8 @@ mod tests {
     fn cellular_space_grows_with_year() {
         let blocks_in = |year: u16| {
             let plan = InternetPlan::generate(&GenConfig { year, ..Default::default() });
-            let cellular: usize = plan
-                .registry
-                .of_kind(AsKind::Cellular)
-                .map(|i| plan.blocks_of(i.asn).len())
-                .sum();
+            let cellular: usize =
+                plan.registry.of_kind(AsKind::Cellular).map(|i| plan.blocks_of(i.asn).len()).sum();
             (cellular, plan.block_count() as usize)
         };
         let (c2006, t2006) = blocks_in(2006);

@@ -4,7 +4,6 @@
 //! RTT > 1 s; this module provides the continent enumeration and its
 //! display names as they appear in that table.
 
-
 /// The six populated continents the paper's Table 5 reports on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Continent {

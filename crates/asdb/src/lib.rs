@@ -44,7 +44,10 @@ pub struct AsDb {
 
 impl AsDb {
     /// Build from a registry and a set of prefix allocations.
-    pub fn new(registry: AsRegistry, allocations: impl IntoIterator<Item = PrefixAllocation>) -> Self {
+    pub fn new(
+        registry: AsRegistry,
+        allocations: impl IntoIterator<Item = PrefixAllocation>,
+    ) -> Self {
         let mut prefixes = PrefixTrie::new();
         for alloc in allocations {
             prefixes.insert(alloc.prefix, alloc.len, alloc.asn);
@@ -81,8 +84,20 @@ mod tests {
     #[test]
     fn db_lookup_resolves_most_specific() {
         let mut reg = AsRegistry::new();
-        reg.insert(AsInfo::new(Asn(100), "Coarse Transit", AsKind::Transit, "US", Continent::NorthAmerica));
-        reg.insert(AsInfo::new(Asn(200), "Fine Cellular", AsKind::Cellular, "BR", Continent::SouthAmerica));
+        reg.insert(AsInfo::new(
+            Asn(100),
+            "Coarse Transit",
+            AsKind::Transit,
+            "US",
+            Continent::NorthAmerica,
+        ));
+        reg.insert(AsInfo::new(
+            Asn(200),
+            "Fine Cellular",
+            AsKind::Cellular,
+            "BR",
+            Continent::SouthAmerica,
+        ));
         let db = AsDb::new(
             reg,
             [

@@ -101,13 +101,7 @@ pub fn save(plan: &InternetPlan) -> String {
         );
     }
     for a in &plan.allocations {
-        let _ = writeln!(
-            out,
-            "pfx\t{}/{}\t{}",
-            std::net::Ipv4Addr::from(a.prefix),
-            a.len,
-            a.asn.0
-        );
+        let _ = writeln!(out, "pfx\t{}/{}\t{}", std::net::Ipv4Addr::from(a.prefix), a.len, a.asn.0);
     }
     out
 }
@@ -131,34 +125,23 @@ pub fn load(text: &str) -> Result<InternetPlan, LoadError> {
         let mut fields = line.split('\t');
         match fields.next() {
             Some("year") => {
-                year = fields
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or(LoadError::BadLine(lineno))?;
+                year =
+                    fields.next().and_then(|v| v.parse().ok()).ok_or(LoadError::BadLine(lineno))?;
             }
             Some("as") => {
-                let asn: u32 = fields
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or(LoadError::BadLine(lineno))?;
-                let kind = fields
-                    .next()
-                    .and_then(kind_parse)
-                    .ok_or(LoadError::BadLine(lineno))?;
+                let asn: u32 =
+                    fields.next().and_then(|v| v.parse().ok()).ok_or(LoadError::BadLine(lineno))?;
+                let kind = fields.next().and_then(kind_parse).ok_or(LoadError::BadLine(lineno))?;
                 let country = fields.next().ok_or(LoadError::BadLine(lineno))?;
-                let continent = fields
-                    .next()
-                    .and_then(continent_parse)
-                    .ok_or(LoadError::BadLine(lineno))?;
+                let continent =
+                    fields.next().and_then(continent_parse).ok_or(LoadError::BadLine(lineno))?;
                 let name = fields.next().ok_or(LoadError::BadLine(lineno))?;
                 registry.insert(AsInfo::new(Asn(asn), name, kind, country, continent));
             }
             Some("pfx") => {
                 let cidr = fields.next().ok_or(LoadError::BadLine(lineno))?;
-                let asn: u32 = fields
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or(LoadError::BadLine(lineno))?;
+                let asn: u32 =
+                    fields.next().and_then(|v| v.parse().ok()).ok_or(LoadError::BadLine(lineno))?;
                 let (addr, len) = cidr.split_once('/').ok_or(LoadError::BadLine(lineno))?;
                 let prefix: u32 = addr
                     .parse::<std::net::Ipv4Addr>()

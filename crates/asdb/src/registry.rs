@@ -143,9 +143,21 @@ mod tests {
 
     fn sample() -> AsRegistry {
         let mut r = AsRegistry::new();
-        r.insert(AsInfo::new(Asn(26599), "TELEFONICA BRASIL", AsKind::Cellular, "BR", Continent::SouthAmerica));
+        r.insert(AsInfo::new(
+            Asn(26599),
+            "TELEFONICA BRASIL",
+            AsKind::Cellular,
+            "BR",
+            Continent::SouthAmerica,
+        ));
         r.insert(AsInfo::new(Asn(4134), "Chinanet", AsKind::Transit, "CN", Continent::Asia));
-        r.insert(AsInfo::new(Asn(9829), "National Internet Backbone", AsKind::MixedCellular, "IN", Continent::Asia));
+        r.insert(AsInfo::new(
+            Asn(9829),
+            "National Internet Backbone",
+            AsKind::MixedCellular,
+            "IN",
+            Continent::Asia,
+        ));
         r
     }
 
@@ -169,7 +181,13 @@ mod tests {
     #[test]
     fn replace_returns_previous() {
         let mut r = sample();
-        let prev = r.insert(AsInfo::new(Asn(4134), "Chinanet (renamed)", AsKind::Transit, "CN", Continent::Asia));
+        let prev = r.insert(AsInfo::new(
+            Asn(4134),
+            "Chinanet (renamed)",
+            AsKind::Transit,
+            "CN",
+            Continent::Asia,
+        ));
         assert_eq!(prev.unwrap().name, "Chinanet");
         assert_eq!(r.len(), 3);
     }

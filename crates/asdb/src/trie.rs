@@ -307,10 +307,7 @@ mod tests {
         // iter must emit the /0 first (it is the root), then both host
         // routes in address order, with correct lengths.
         let got: Vec<(u32, u8, &str)> = t.iter().map(|(pfx, l, v)| (pfx, l, *v)).collect();
-        assert_eq!(
-            got,
-            vec![(0, 0, "default"), (0, 32, "zero-host"), (u32::MAX, 32, "ones-host")]
-        );
+        assert_eq!(got, vec![(0, 0, "default"), (0, 32, "zero-host"), (u32::MAX, 32, "ones-host")]);
     }
 
     #[test]

@@ -15,9 +15,7 @@ use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion
 
 fn bench_checksum(c: &mut Criterion) {
     let data = vec![0xa5u8; 1500];
-    c.bench_function("wire/checksum_1500B", |b| {
-        b.iter(|| internet_checksum(black_box(&data)))
-    });
+    c.bench_function("wire/checksum_1500B", |b| b.iter(|| internet_checksum(black_box(&data))));
 }
 
 fn bench_packet_codec(c: &mut Criterion) {
@@ -118,11 +116,7 @@ fn bench_matching(c: &mut Criterion) {
         }
     }
     c.bench_function("core/match_unmatched_130k_records", |b| {
-        b.iter_batched(
-            || records.clone(),
-            |r| match_unmatched(&r),
-            BatchSize::LargeInput,
-        )
+        b.iter_batched(|| records.clone(), |r| match_unmatched(&r), BatchSize::LargeInput)
     });
 }
 
@@ -189,11 +183,7 @@ fn bench_merge_samples(c: &mut Criterion) {
     };
     let (w, c_part) = (part(1), part(2));
     c.bench_function("core/merge_samples_kway_2x500x200", |b| {
-        b.iter_batched(
-            || vec![w.clone(), c_part.clone()],
-            merge_samples,
-            BatchSize::LargeInput,
-        )
+        b.iter_batched(|| vec![w.clone(), c_part.clone()], merge_samples, BatchSize::LargeInput)
     });
     // Ablation: concat-and-resort, the seed's merge strategy.
     c.bench_function("core/merge_samples_resort_2x500x200", |b| {

@@ -26,8 +26,7 @@ fn main() {
     let scale = if small { Scale::small() } else { Scale::bench() };
     let threads = default_threads();
     println!("== beware paper experiments (scale: {scale:?}, {threads} thread(s)) ==\n");
-    let mut report =
-        BenchReport::new(if small { "small" } else { "bench" }, threads);
+    let mut report = BenchReport::new(if small { "small" } else { "bench" }, threads);
 
     let t0 = Instant::now();
     let ctx = ExperimentCtx::build(scale);
@@ -67,9 +66,7 @@ fn main() {
     step("Figure 9", "fig9", threads, &mut || experiments::fig9::run(&scale).render());
     step("Figure 10", "fig10", 1, &mut || experiments::fig10::run(&ctx).render());
     step("Figure 11", "fig11", 1, &mut || experiments::fig11::run(&ctx).render());
-    step("Figures 12-14", "fig12_14", threads, &mut || {
-        experiments::fig12_14::run(&ctx).render()
-    });
+    step("Figures 12-14", "fig12_14", threads, &mut || experiments::fig12_14::run(&ctx).render());
     step("Tables 4-6", "table4_6", 1, &mut || experiments::table4_6::run(&ctx).render());
     step("Table 7", "table7", threads, &mut || experiments::table7::run(&ctx).render());
     step("Ablation: broadcast filter", "ablation", 1, &mut || {

@@ -14,39 +14,64 @@ fn main() {
     let ctx = ExperimentCtx::build(scale);
     eprintln!("ctx built in {:?}", t0.elapsed());
 
-    println!("survey_w: matched={} timeouts={} unmatched={} errors={} rate={:.3}",
-        ctx.survey_w.stats.matched, ctx.survey_w.stats.timeouts,
-        ctx.survey_w.stats.unmatched, ctx.survey_w.stats.errors,
-        ctx.survey_w.stats.response_rate());
+    println!(
+        "survey_w: matched={} timeouts={} unmatched={} errors={} rate={:.3}",
+        ctx.survey_w.stats.matched,
+        ctx.survey_w.stats.timeouts,
+        ctx.survey_w.stats.unmatched,
+        ctx.survey_w.stats.errors,
+        ctx.survey_w.stats.response_rate()
+    );
     let acc = ctx.pipeline_w.accounting;
-    println!("table1-ish: detected={:?} naive={:?} bcast={:?} dup={:?} final={:?}",
-        acc.survey_detected, acc.naive_matching, acc.broadcast_responses,
-        acc.duplicate_responses, acc.survey_plus_delayed);
+    println!(
+        "table1-ish: detected={:?} naive={:?} bcast={:?} dup={:?} final={:?}",
+        acc.survey_detected,
+        acc.naive_matching,
+        acc.broadcast_responses,
+        acc.duplicate_responses,
+        acc.survey_plus_delayed
+    );
 
     if let Some(t) = TimeoutTable::compute(&ctx.combined_samples) {
         println!("addresses: {}", t.addresses);
         for r in [50.0, 90.0, 95.0, 98.0, 99.0] {
-            let row: Vec<String> = [50.0, 90.0, 95.0, 98.0, 99.0].iter()
-                .map(|&c| format!("{:.2}", t.cell(r, c).unwrap())).collect();
+            let row: Vec<String> = [50.0, 90.0, 95.0, 98.0, 99.0]
+                .iter()
+                .map(|&c| format!("{:.2}", t.cell(r, c).unwrap()))
+                .collect();
             println!("  r={r}%: {}", row.join("  "));
         }
     }
 
     for scan in &ctx.scans {
-        println!("scan {}: responses={} turtle_frac={:.4} sleepy={:.5}",
-            scan.meta.label, scan.response_count(),
+        println!(
+            "scan {}: responses={} turtle_frac={:.4} sleepy={:.5}",
+            scan.meta.label,
+            scan.response_count(),
             turtles::turtle_fraction(scan, 1.0),
-            turtles::turtle_fraction(scan, 100.0));
+            turtles::turtle_fraction(scan, 100.0)
+        );
     }
     let tscans: Vec<_> = ctx.turtle_scans().into_iter().cloned().collect();
     let ranked = turtles::rank_ases(&tscans, &ctx.db, 1.0);
     for r in ranked.iter().take(10) {
-        println!("AS rank: {} {} [{}] total={} pct={:.1}",
-            r.asn, r.name, r.kind.label(), r.total_turtles, r.per_scan[0].percent());
+        println!(
+            "AS rank: {} {} [{}] total={} pct={:.1}",
+            r.asn,
+            r.name,
+            r.kind.label(),
+            r.total_turtles,
+            r.per_scan[0].percent()
+        );
     }
     let conts = turtles::rank_continents(&tscans, &ctx.db, 1.0);
     for c in &conts {
-        println!("continent: {} total={} pct={:.1}", c.continent, c.total_turtles, c.per_scan[0].percent());
+        println!(
+            "continent: {} total={} pct={:.1}",
+            c.continent,
+            c.total_turtles,
+            c.per_scan[0].percent()
+        );
     }
     eprintln!("total {:?}", t0.elapsed());
 }

@@ -7,9 +7,9 @@ use beware_core::pipeline::{merge_samples, run_pipeline_with, PipelineCfg, Pipel
 use beware_core::LatencySamples;
 use beware_dataset::{Record, ScanMeta, SurveyMeta, SurveyStats, ZmapScan};
 use beware_netsim::exec::{default_threads, run_tasks};
-use beware_netsim::rng::derive_seed;
 use beware_netsim::scenario::{vantage, Scenario, ScenarioCfg};
 use beware_probe::prelude::*;
+use beware_runtime::rng::derive_seed;
 use beware_telemetry::Registry;
 use std::collections::BTreeMap;
 
@@ -126,13 +126,12 @@ impl ExperimentCtx {
                         _ => (&scenario_c, "IT63c"),
                     };
                     let run = run_survey_like_with(scenario, &scale, name, v, 0.0, &mut local);
-                    let pipe =
-                        run_pipeline_with(&run.records, &PipelineCfg::paper(), &mut local);
+                    let pipe = run_pipeline_with(&run.records, &PipelineCfg::paper(), &mut local);
                     BuildOut::Survey(Box::new((run, pipe)))
                 }
-                BuildJob::Scan(i) => BuildOut::Scan(Box::new(run_scan_slot_with(
-                    &scenario, &scale, i, &mut local,
-                ))),
+                BuildJob::Scan(i) => {
+                    BuildOut::Scan(Box::new(run_scan_slot_with(&scenario, &scale, i, &mut local)))
+                }
             };
             (out, local)
         });
@@ -251,7 +250,14 @@ pub fn run_survey_like(
     vantage_code: char,
     match_drop_prob: f64,
 ) -> SurveyRun {
-    run_survey_like_with(scenario, scale, name, vantage_code, match_drop_prob, &mut Registry::disabled())
+    run_survey_like_with(
+        scenario,
+        scale,
+        name,
+        vantage_code,
+        match_drop_prob,
+        &mut Registry::disabled(),
+    )
 }
 
 /// [`run_survey_like`] with telemetry: engine counters land under

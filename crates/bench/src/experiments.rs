@@ -14,8 +14,8 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod recommendation;
 pub mod table1;
 pub mod table2;
 pub mod table4_6;
-pub mod recommendation;
 pub mod table7;

@@ -37,11 +37,7 @@ pub fn run(ctx: &ExperimentCtx) -> Fig1 {
     let curves: Vec<(f64, Cdf)> =
         LEVELS.iter().copied().zip(per_level.into_iter().map(Cdf::new)).collect();
     let p95 = &curves.iter().find(|(p, _)| *p == 95.0).expect("level present").1;
-    Fig1 {
-        addresses: samples.len(),
-        p95_within_window: p95.fraction_at(3.0),
-        curves,
-    }
+    Fig1 { addresses: samples.len(), p95_within_window: p95.fraction_at(3.0), curves }
 }
 
 impl Fig1 {

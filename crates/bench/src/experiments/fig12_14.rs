@@ -52,8 +52,7 @@ pub fn run(ctx: &ExperimentCtx) -> Fig12To14 {
         .iter()
         .filter(|r| {
             let answered = r.answered();
-            !answered.is_empty()
-                && answered.iter().sum::<f64>() / answered.len() as f64 >= 0.2
+            !answered.is_empty() && answered.iter().sum::<f64>() / answered.len() as f64 >= 0.2
         })
         .map(|r| r.dst)
         .collect();
@@ -64,7 +63,8 @@ pub fn run(ctx: &ExperimentCtx) -> Fig12To14 {
         .enumerate()
         .map(|(i, &dst)| PingJob::train(dst, PingProto::Icmp, 10, 1.0, 200.0 + i as f64 * 0.07))
         .collect();
-    let trains = if train_jobs.is_empty() { Vec::new() } else { ctx.run_scamper(train_jobs, 300.0) };
+    let trains =
+        if train_jobs.is_empty() { Vec::new() } else { ctx.run_scamper(train_jobs, 300.0) };
     let streams: Vec<(u32, Vec<Option<f64>>)> =
         trains.iter().map(|r| (r.dst, r.rtts.clone())).collect();
     let analysis = analyze(&streams);

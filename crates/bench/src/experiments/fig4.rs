@@ -52,12 +52,8 @@ pub fn run(seed: u64) -> Fig4 {
     let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
     let outcome = match_unmatched(&records);
     // The .254 responder's false latencies.
-    let false_latencies: Vec<u32> = outcome
-        .delayed
-        .iter()
-        .filter(|d| d.addr & 0xff == 254)
-        .map(|d| d.latency_s)
-        .collect();
+    let false_latencies: Vec<u32> =
+        outcome.delayed.iter().filter(|d| d.addr & 0xff == 254).map(|d| d.latency_s).collect();
     let filtered =
         detect_broadcast_responders(&outcome.delayed, &BroadcastFilterCfg::default()).len();
     Fig4 { false_latencies, filtered }

@@ -22,13 +22,8 @@ pub struct Fig5 {
 
 /// Compute from the `w` survey's pipeline output.
 pub fn run(ctx: &ExperimentCtx) -> Fig5 {
-    let maxima: Vec<u32> = ctx
-        .pipeline_w
-        .max_responses
-        .values()
-        .copied()
-        .filter(|&m| m > 2)
-        .collect();
+    let maxima: Vec<u32> =
+        ctx.pipeline_w.max_responses.values().copied().filter(|&m| m > 2).collect();
     Fig5 {
         addresses: maxima.len(),
         over_1000: maxima.iter().filter(|&&m| m >= 1000).count(),

@@ -63,11 +63,8 @@ pub fn run_with_threads(scale: &Scale, threads: usize) -> Fig9 {
         SurveyPoint::compute(run.meta, &pipe.samples, &run.stats)
     });
     let series = timeout_series(&points, 0.02);
-    let screened_out = points
-        .iter()
-        .filter(|p| !p.is_usable(0.02))
-        .map(|p| p.meta.name.clone())
-        .collect();
+    let screened_out =
+        points.iter().filter(|p| !p.is_usable(0.02)).map(|p| p.meta.name.clone()).collect();
     Fig9 { points, series, screened_out }
 }
 
@@ -76,8 +73,7 @@ impl Fig9 {
     /// paper reports growth "from near two seconds in 2007 to near five
     /// seconds in 2011".
     pub fn p95_growth(&self) -> Option<(f64, f64)> {
-        let usable: Vec<&SurveyPoint> =
-            self.points.iter().filter(|p| p.is_usable(0.02)).collect();
+        let usable: Vec<&SurveyPoint> = self.points.iter().filter(|p| p.is_usable(0.02)).collect();
         let first = usable.first()?.diagonal_at(95.0)?;
         let last = usable.last()?.diagonal_at(95.0)?;
         Some((first, last))
@@ -85,8 +81,7 @@ impl Fig9 {
 
     /// Render both panels.
     pub fn render(&self) -> String {
-        let usable: Vec<&SurveyPoint> =
-            self.points.iter().filter(|p| p.is_usable(0.02)).collect();
+        let usable: Vec<&SurveyPoint> = self.points.iter().filter(|p| p.is_usable(0.02)).collect();
         let top: Vec<Series> = self
             .series
             .iter()
@@ -108,11 +103,8 @@ impl Fig9 {
             72,
             16,
         );
-        let rates: Vec<(f64, f64)> = self
-            .points
-            .iter()
-            .map(|p| (p.meta.year as f64, 100.0 * p.response_rate))
-            .collect();
+        let rates: Vec<(f64, f64)> =
+            self.points.iter().map(|p| (p.meta.year as f64, 100.0 * p.response_rate)).collect();
         out.push_str(&ascii_plot(
             "Figure 9 (bottom): response rate (%) per survey",
             &[Series::new("rate", rates)],

@@ -40,9 +40,9 @@ impl Table2 {
 
     /// Render the full matrix plus the comparison rows.
     pub fn render(&self) -> String {
-        let mut out = self.table.render(
-            "Table 2: minimum timeout (s) capturing c% of pings from r% of addresses",
-        );
+        let mut out = self
+            .table
+            .render("Table 2: minimum timeout (s) capturing c% of pings from r% of addresses");
         out.push_str("\npaper vs measured (diagonal and spot cells):\n");
         for (r, c, paper) in PAPER_CELLS {
             let measured = self.table.cell(r, c).expect("cell exists");

@@ -41,8 +41,7 @@ impl Tables4To6 {
             let mut t = Table::new(title, &["ASN", "Owner", "kind", "total", "%", "rank s1/s2/s3"]);
             for r in rows.iter().take(limit).filter(|r| r.total_turtles > 0) {
                 let pct = if r.per_scan.is_empty() { 0.0 } else { r.per_scan[0].percent() };
-                let ranks: Vec<String> =
-                    r.per_scan.iter().map(|e| e.rank.to_string()).collect();
+                let ranks: Vec<String> = r.per_scan.iter().map(|e| e.rank.to_string()).collect();
                 t.row(vec![
                     r.asn.to_string(),
                     r.name.clone(),

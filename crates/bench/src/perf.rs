@@ -140,13 +140,7 @@ impl BenchReport {
     }
 
     /// Record one experiment with a record stream (throughput derivable).
-    pub fn push_with_records(
-        &mut self,
-        name: &str,
-        wall_secs: f64,
-        records: u64,
-        threads: usize,
-    ) {
+    pub fn push_with_records(&mut self, name: &str, wall_secs: f64, records: u64, threads: usize) {
         self.experiments.push(BenchEntry {
             name: name.to_string(),
             wall_secs,
@@ -314,10 +308,7 @@ mod tests {
         let fig1 = json.lines().find(|l| l.contains("\"fig1\"")).unwrap();
         assert!(!fig1.contains("records"));
         // Brace balance — cheap structural sanity without a JSON parser.
-        assert_eq!(
-            json.matches(['{', '[']).count(),
-            json.matches(['}', ']']).count()
-        );
+        assert_eq!(json.matches(['{', '[']).count(), json.matches(['}', ']']).count());
     }
 
     #[test]

@@ -145,11 +145,8 @@ mod tests {
     use beware_dataset::{ScanMeta, ScanRecord};
 
     fn scan(records: Vec<ScanRecord>) -> ZmapScan {
-        let mut s = ZmapScan::new(ScanMeta {
-            label: "t".into(),
-            day: "Mon".into(),
-            begin: "12:00".into(),
-        });
+        let mut s =
+            ZmapScan::new(ScanMeta { label: "t".into(), day: "Mon".into(), begin: "12:00".into() });
         s.records = records;
         s
     }
@@ -180,10 +177,10 @@ mod tests {
     #[test]
     fn survey_histogram_attributes_to_most_recent_probe() {
         let records = vec![
-            Record::timeout(0x0a000010, 100),      // octet 0x10 probed at 100
-            Record::timeout(0x0a0000ff, 430),      // octet 255 probed at 430
-            Record::unmatched(0x0a000010, 431),    // follows the 255 probe
-            Record::unmatched(0x0a000011, 101),    // follows the 0x10 probe
+            Record::timeout(0x0a000010, 100),   // octet 0x10 probed at 100
+            Record::timeout(0x0a0000ff, 430),   // octet 255 probed at 430
+            Record::unmatched(0x0a000010, 431), // follows the 255 probe
+            Record::unmatched(0x0a000011, 101), // follows the 0x10 probe
         ];
         let h = survey_unmatched_octets(&records);
         assert_eq!(h.counts[255], 1);
@@ -193,19 +190,13 @@ mod tests {
 
     #[test]
     fn unmatched_before_any_probe_uncounted() {
-        let records = vec![
-            Record::unmatched(0x0a000010, 5),
-            Record::timeout(0x0a000010, 100),
-        ];
+        let records = vec![Record::unmatched(0x0a000010, 5), Record::timeout(0x0a000010, 100)];
         assert_eq!(survey_unmatched_octets(&records).total(), 0);
     }
 
     #[test]
     fn unmatched_in_unprobed_block_uncounted() {
-        let records = vec![
-            Record::timeout(0x0a000010, 100),
-            Record::unmatched(0x0b000010, 101),
-        ];
+        let records = vec![Record::timeout(0x0a000010, 100), Record::unmatched(0x0b000010, 101)];
         assert_eq!(survey_unmatched_octets(&records).total(), 0);
     }
 

@@ -68,9 +68,8 @@ pub fn detect_broadcast_responders(
         for &round in &round_ids {
             let prev = rounds.get(&round.wrapping_sub(1));
             for &lat in &rounds[&round] {
-                let hit = prev.is_some_and(|p| {
-                    p.iter().any(|&pl| pl.abs_diff(lat) <= cfg.tolerance_s)
-                });
+                let hit =
+                    prev.is_some_and(|p| p.iter().any(|&pl| pl.abs_diff(lat) <= cfg.tolerance_s));
                 ewma = (1.0 - cfg.alpha) * ewma + cfg.alpha * f64::from(u8::from(hit));
                 max_ewma = max_ewma.max(ewma);
             }
@@ -124,8 +123,7 @@ mod tests {
     #[test]
     fn tolerance_allows_second_quantization_wobble() {
         // Latency alternates 330/331 (timestamp truncation): still marked.
-        let d: Vec<DelayedResponse> =
-            (0..100).map(|r| delayed(3, r, 330 + r % 2)).collect();
+        let d: Vec<DelayedResponse> = (0..100).map(|r| delayed(3, r, 330 + r % 2)).collect();
         let marked = detect_broadcast_responders(&d, &BroadcastFilterCfg::default());
         assert!(marked.contains(&3));
     }
@@ -134,10 +132,8 @@ mod tests {
     fn occasional_responder_evades_default_filter() {
         // The paper's observed false negatives: responses only once every
         // ~50 rounds never accumulate EWMA (the previous round is empty).
-        let d: Vec<DelayedResponse> = (0..200)
-            .filter(|r| r % 50 == 0)
-            .map(|r| delayed(11, r, 330))
-            .collect();
+        let d: Vec<DelayedResponse> =
+            (0..200).filter(|r| r % 50 == 0).map(|r| delayed(11, r, 330)).collect();
         let marked = detect_broadcast_responders(&d, &BroadcastFilterCfg::default());
         assert!(!marked.contains(&11), "sparse responder should pass undetected");
     }

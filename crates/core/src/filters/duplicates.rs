@@ -64,15 +64,8 @@ pub fn max_responses_per_request(records: &[Record]) -> BTreeMap<u32, u32> {
 
 /// Addresses whose maximum per-request response count exceeds
 /// `threshold` (paper: 4). Their records must be discarded entirely.
-pub fn duplicate_offenders(
-    max_counts: &BTreeMap<u32, u32>,
-    threshold: u32,
-) -> BTreeSet<u32> {
-    max_counts
-        .iter()
-        .filter(|&(_, &max)| max > threshold)
-        .map(|(&addr, _)| addr)
-        .collect()
+pub fn duplicate_offenders(max_counts: &BTreeMap<u32, u32>, threshold: u32) -> BTreeSet<u32> {
+    max_counts.iter().filter(|&(_, &max)| max > threshold).map(|(&addr, _)| addr).collect()
 }
 
 #[cfg(test)]
@@ -147,11 +140,8 @@ mod tests {
 
     #[test]
     fn addresses_independent() {
-        let records = vec![
-            Record::timeout(A, 0),
-            Record::unmatched(A, 1),
-            Record::matched(B, 0, 10),
-        ];
+        let records =
+            vec![Record::timeout(A, 0), Record::unmatched(A, 1), Record::matched(B, 0, 10)];
         let m = max_responses_per_request(&records);
         assert_eq!(m[&A], 1);
         assert_eq!(m[&B], 1);

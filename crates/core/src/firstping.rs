@@ -184,10 +184,7 @@ impl FirstPingAnalysis {
                 e.0 += 1;
             }
         }
-        per_prefix
-            .into_iter()
-            .map(|(p, (above, total))| (p, above as f64 / total as f64))
-            .collect()
+        per_prefix.into_iter().map(|(p, (above, total))| (p, above as f64 / total as f64)).collect()
     }
 }
 
@@ -202,7 +199,7 @@ mod tests {
     #[test]
     fn classification_basics() {
         let streams = vec![
-            stream(1, &[3.0, 0.2, 0.3, 0.25, 0.2]), // above max
+            stream(1, &[3.0, 0.2, 0.3, 0.25, 0.2]),  // above max
             stream(2, &[0.26, 0.2, 0.3, 0.25, 0.2]), // between median (0.25?) and max
             stream(3, &[0.1, 0.2, 0.3, 0.25, 0.2]),  // below median
         ];
@@ -250,11 +247,7 @@ mod tests {
         let curve = a.fig12_probability_curve(-1.0, 1.5, 5);
         // Bucket containing diff 1.0 has probability 1; bucket with 0 has 0.
         let p_at = |x: f64| {
-            curve
-                .iter()
-                .min_by(|a, b| (a.0 - x).abs().total_cmp(&(b.0 - x).abs()))
-                .unwrap()
-                .1
+            curve.iter().min_by(|a, b| (a.0 - x).abs().total_cmp(&(b.0 - x).abs())).unwrap().1
         };
         assert_eq!(p_at(1.0), 1.0);
         assert_eq!(p_at(0.0), 0.0);

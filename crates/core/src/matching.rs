@@ -121,10 +121,7 @@ mod tests {
             Record::unmatched(A, 790),
         ];
         let m = match_unmatched(&records);
-        assert_eq!(
-            m.delayed,
-            vec![DelayedResponse { addr: A, sent_s: 760, latency_s: 30 }]
-        );
+        assert_eq!(m.delayed, vec![DelayedResponse { addr: A, sent_s: 760, latency_s: 30 }]);
         assert!(m.leftovers.is_empty());
     }
 

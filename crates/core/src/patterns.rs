@@ -77,8 +77,7 @@ pub struct PatternTable {
 impl PatternTable {
     /// `(pings, events, addresses)` for one pattern.
     pub fn totals(&self, pattern: HighRttPattern) -> (usize, usize, usize) {
-        let evs: Vec<&HighRttEvent> =
-            self.events.iter().filter(|e| e.pattern == pattern).collect();
+        let evs: Vec<&HighRttEvent> = self.events.iter().filter(|e| e.pattern == pattern).collect();
         let pings = evs.iter().map(|e| e.high_pings).sum();
         let addrs: BTreeSet<u32> = evs.iter().map(|e| e.addr).collect();
         (pings, evs.len(), addrs.len())
@@ -96,10 +95,7 @@ const HIGH_LATENCY: f64 = 10.0;
 
 /// Classify every >`threshold` event in a set of 1 Hz probe trains.
 /// `streams` holds `(addr, per-probe RTTs)`; `None` is an unanswered probe.
-pub fn classify_streams(
-    streams: &[(u32, Vec<Option<f64>>)],
-    threshold: f64,
-) -> PatternTable {
+pub fn classify_streams(streams: &[(u32, Vec<Option<f64>>)], threshold: f64) -> PatternTable {
     let mut table = PatternTable::default();
     for (addr, rtts) in streams {
         classify_one(*addr, rtts, threshold, &mut table.events);
@@ -188,8 +184,7 @@ fn classify_event(rtts: &[Option<f64>], s: usize, e: usize) -> HighRttPattern {
         }
     }
     let run_len = run_end - run_start + 1;
-    let answered_in_run =
-        (run_start..=run_end).filter(|&i| rtts[i].is_some()).count();
+    let answered_in_run = (run_start..=run_end).filter(|&i| rtts[i].is_some()).count();
 
     if run_len >= 3 && answered_in_run >= 3 && run_end >= e {
         // A genuine staircase covering the whole event. What preceded it?
@@ -204,8 +199,7 @@ fn classify_event(rtts: &[Option<f64>], s: usize, e: usize) -> HighRttPattern {
     }
 
     // Not a staircase. Isolated single high ping between losses?
-    let answered_highs =
-        (s..=e).filter(|&i| rtts[i].is_some_and(|r| r > HIGH_LATENCY)).count();
+    let answered_highs = (s..=e).filter(|&i| rtts[i].is_some_and(|r| r > HIGH_LATENCY)).count();
     if answered_highs == 1 {
         let before_lost = s == 0 || rtts[s - 1].is_none();
         let after_lost = s + 1 >= rtts.len() || rtts[s + 1].is_none();
@@ -286,10 +280,7 @@ mod tests {
             rtts[i] = if i % 2 == 0 { Some(120.0 + (i % 17) as f64) } else { None };
         }
         let t = classify_streams(&[(1, rtts)], 100.0);
-        assert!(t
-            .events
-            .iter()
-            .any(|e| e.pattern == HighRttPattern::SustainedHighLatencyAndLoss));
+        assert!(t.events.iter().any(|e| e.pattern == HighRttPattern::SustainedHighLatencyAndLoss));
     }
 
     #[test]
@@ -302,10 +293,7 @@ mod tests {
         }
         let t = classify_streams(&[(3, rtts)], 100.0);
         assert!(!t.events.is_empty());
-        assert!(t
-            .events
-            .iter()
-            .all(|e| e.pattern == HighRttPattern::SustainedHighLatencyAndLoss));
+        assert!(t.events.iter().all(|e| e.pattern == HighRttPattern::SustainedHighLatencyAndLoss));
     }
 
     #[test]

@@ -151,8 +151,8 @@ impl LatencySamples {
         if n == 0 {
             return 0.0;
         }
-        let below_or_eq = self.run.partition_point(|&v| v <= x)
-            + self.tail.iter().filter(|&&v| v <= x).count();
+        let below_or_eq =
+            self.run.partition_point(|&v| v <= x) + self.tail.iter().filter(|&&v| v <= x).count();
         (n - below_or_eq) as f64 / n as f64
     }
 
@@ -298,12 +298,8 @@ mod tests {
 
     #[test]
     fn sorted_runs_merge_matches_resort() {
-        let runs = vec![
-            vec![0.1, 0.4, 0.4, 9.0],
-            vec![],
-            vec![0.2],
-            vec![0.0, 0.3, 0.35, 0.5, 12.0],
-        ];
+        let runs =
+            vec![vec![0.1, 0.4, 0.4, 9.0], vec![], vec![0.2], vec![0.0, 0.3, 0.35, 0.5, 12.0]];
         let mut flat: Vec<f64> = runs.iter().flatten().copied().collect();
         flat.sort_by(f64::total_cmp);
         assert_eq!(LatencySamples::from_sorted_runs(runs).into_sorted_vec(), flat);

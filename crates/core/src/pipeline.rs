@@ -92,10 +92,7 @@ impl PipelineOutput {
     /// never individual samples, so survivors' naive samples are their
     /// filtered ones.
     pub fn naive_samples(&self) -> impl Iterator<Item = (u32, &LatencySamples)> {
-        self.samples
-            .iter()
-            .chain(self.rejected_samples.iter())
-            .map(|(&a, s)| (a, s))
+        self.samples.iter().chain(self.rejected_samples.iter()).map(|(&a, s)| (a, s))
     }
 
     /// Naive samples of one address, surviving or rejected.
@@ -190,20 +187,14 @@ pub fn run_pipeline_with(
 
     // 5. Accounting of the discarded responses and the final dataset.
     let count_rejected_packets = |addrs: &BTreeSet<u32>| -> u64 {
-        addrs
-            .iter()
-            .filter_map(|a| rejected_samples.get(a))
-            .map(|s| s.len() as u64)
-            .sum()
+        addrs.iter().filter_map(|a| rejected_samples.get(a)).map(|s| s.len() as u64).sum()
     };
     let broadcast_responses = CountRow {
         packets: count_rejected_packets(&broadcast_responders),
         addresses: broadcast_responders.len() as u64,
     };
-    let duplicate_responses = CountRow {
-        packets: count_rejected_packets(&dup_set),
-        addresses: dup_set.len() as u64,
-    };
+    let duplicate_responses =
+        CountRow { packets: count_rejected_packets(&dup_set), addresses: dup_set.len() as u64 };
     let survey_plus_delayed = CountRow {
         packets: samples.values().map(|s| s.len() as u64).sum(),
         addresses: samples.len() as u64,
@@ -219,11 +210,7 @@ pub fn run_pipeline_with(
 
     // 6. Telemetry, flushed once so the hot path above stays untouched.
     if metrics.enabled() {
-        fn stage_row(
-            stage: &mut beware_telemetry::Scope<'_>,
-            name: &str,
-            row: CountRow,
-        ) {
+        fn stage_row(stage: &mut beware_telemetry::Scope<'_>, name: &str, row: CountRow) {
             let mut s = stage.scope(name);
             s.add("packets", row.packets);
             s.add("addresses", row.addresses);
@@ -267,9 +254,7 @@ pub fn run_pipeline_with(
 /// IT63w and IT63c before computing Table 2). Each input set is already
 /// sorted, so per address this is a k-way merge of sorted runs rather
 /// than a concat-and-resort.
-pub fn merge_samples(
-    parts: Vec<BTreeMap<u32, LatencySamples>>,
-) -> BTreeMap<u32, LatencySamples> {
+pub fn merge_samples(parts: Vec<BTreeMap<u32, LatencySamples>>) -> BTreeMap<u32, LatencySamples> {
     let mut runs: HashMap<u32, Vec<Vec<f64>>> = HashMap::new();
     for part in parts {
         for (addr, samples) in part {
@@ -386,7 +371,10 @@ mod tests {
     fn paper_cfg_is_the_default() {
         assert_eq!(PipelineCfg::paper(), PipelineCfg::default());
         assert_eq!(PipelineCfg::paper().dup_threshold(), 4);
-        assert_eq!(PipelineCfg { dup_threshold: Some(9), ..PipelineCfg::paper() }.dup_threshold(), 9);
+        assert_eq!(
+            PipelineCfg { dup_threshold: Some(9), ..PipelineCfg::paper() }.dup_threshold(),
+            9
+        );
     }
 
     #[test]

@@ -144,12 +144,7 @@ mod tests {
     use super::*;
 
     fn triplet(addr: u32, proto: Proto, rtts: [f64; 3], ttl: u8) -> TripletResult {
-        TripletResult {
-            addr,
-            proto,
-            rtts: rtts.map(Some),
-            ttls: [Some(ttl); 3],
-        }
+        TripletResult { addr, proto, rtts: rtts.map(Some), ttls: [Some(ttl); 3] }
     }
 
     #[test]

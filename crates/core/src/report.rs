@@ -53,7 +53,8 @@ impl Table {
                 }
                 let pad = widths[i].saturating_sub(cell.len());
                 // Right-align numeric-looking cells, left-align text.
-                let numeric = cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.');
+                let numeric =
+                    cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '.');
                 if numeric {
                     s.push_str(&" ".repeat(pad));
                     s.push_str(cell);

@@ -47,8 +47,7 @@ impl SatelliteSplit {
         if self.satellite.is_empty() {
             return 0.0;
         }
-        self.satellite.iter().filter(|p| p.p99 < limit).count() as f64
-            / self.satellite.len() as f64
+        self.satellite.iter().filter(|p| p.p99 < limit).count() as f64 / self.satellite.len() as f64
     }
 }
 
@@ -99,8 +98,20 @@ mod tests {
 
     fn db() -> AsDb {
         let mut reg = AsRegistry::new();
-        reg.insert(AsInfo::new(Asn(1), "GeoBird", AsKind::Satellite, "US", Continent::NorthAmerica));
-        reg.insert(AsInfo::new(Asn(2), "SlowCell", AsKind::Cellular, "BR", Continent::SouthAmerica));
+        reg.insert(AsInfo::new(
+            Asn(1),
+            "GeoBird",
+            AsKind::Satellite,
+            "US",
+            Continent::NorthAmerica,
+        ));
+        reg.insert(AsInfo::new(
+            Asn(2),
+            "SlowCell",
+            AsKind::Cellular,
+            "BR",
+            Continent::SouthAmerica,
+        ));
         AsDb::new(
             reg,
             [
@@ -118,7 +129,10 @@ mod tests {
     fn split_separates_satellite_from_other() {
         let mut m = BTreeMap::new();
         // Satellite: floor 0.55, p99 1.2.
-        m.insert(0x0a000001u32, samples_of((0..100).map(|i| 0.55 + 0.0066 * f64::from(i)).collect()));
+        m.insert(
+            0x0a000001u32,
+            samples_of((0..100).map(|i| 0.55 + 0.0066 * f64::from(i)).collect()),
+        );
         // Cellular turtle: floor 0.4, p99 40.
         m.insert(0x0b000001u32, samples_of((0..100).map(|i| 0.4 + 0.4 * f64::from(i)).collect()));
         // Fast address: excluded by min_p1.

@@ -214,8 +214,7 @@ impl TDigest {
                 let mid = cum + c.weight / 2.0;
                 let span = c.mean - prev_mean;
                 let t = if span > 0.0 { (x - prev_mean) / span } else { 1.0 };
-                return ((prev_mid + t.clamp(0.0, 1.0) * (mid - prev_mid)) / total)
-                    .clamp(0.0, 1.0);
+                return ((prev_mid + t.clamp(0.0, 1.0) * (mid - prev_mid)) / total).clamp(0.0, 1.0);
             }
             cum += c.weight;
         }

@@ -86,8 +86,7 @@ mod tests {
     fn uniform_samples(n_addrs: u32, max_latency: f64) -> BTreeMap<u32, LatencySamples> {
         (0..n_addrs)
             .map(|a| {
-                let values =
-                    (0..100).map(|i| max_latency * f64::from(i) / 99.0).collect();
+                let values = (0..100).map(|i| max_latency * f64::from(i) / 99.0).collect();
                 (a, LatencySamples::from_values(values))
             })
             .collect()
@@ -95,8 +94,10 @@ mod tests {
 
     #[test]
     fn diagonal_scales_with_latency() {
-        let fast = SurveyPoint::compute(meta("IT50w", 2012), &uniform_samples(10, 1.0), &stats(80, 20));
-        let slow = SurveyPoint::compute(meta("IT63w", 2015), &uniform_samples(10, 10.0), &stats(80, 20));
+        let fast =
+            SurveyPoint::compute(meta("IT50w", 2012), &uniform_samples(10, 1.0), &stats(80, 20));
+        let slow =
+            SurveyPoint::compute(meta("IT63w", 2015), &uniform_samples(10, 10.0), &stats(80, 20));
         assert!(slow.diagonal_at(95.0).unwrap() > fast.diagonal_at(95.0).unwrap());
         assert!((fast.response_rate - 0.8).abs() < 1e-12);
     }
@@ -106,8 +107,11 @@ mod tests {
         let broken =
             SurveyPoint::compute(meta("IT59j", 2014), &uniform_samples(10, 1.0), &stats(2, 9998));
         assert!(!broken.is_usable(0.05));
-        let healthy =
-            SurveyPoint::compute(meta("IT63w", 2015), &uniform_samples(10, 1.0), &stats(2000, 8000));
+        let healthy = SurveyPoint::compute(
+            meta("IT63w", 2015),
+            &uniform_samples(10, 1.0),
+            &stats(2000, 8000),
+        );
         assert!(healthy.is_usable(0.05));
         let series = timeout_series(&[broken, healthy], 0.05);
         assert_eq!(series.len(), 7);

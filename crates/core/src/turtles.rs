@@ -68,9 +68,7 @@ fn responder_rtts(scan: &ZmapScan) -> HashMap<u32, f64> {
             continue;
         }
         let rtt = r.rtt_secs();
-        out.entry(r.responder)
-            .and_modify(|v| *v = v.min(rtt))
-            .or_insert(rtt);
+        out.entry(r.responder).and_modify(|v| *v = v.min(rtt)).or_insert(rtt);
     }
     out
 }
@@ -83,11 +81,8 @@ pub fn rank_ases(scans: &[ZmapScan], db: &AsDb, threshold_secs: f64) -> Vec<AsRa
         let mut counts: HashMap<Asn, ScanEntry> = HashMap::new();
         for (addr, rtt) in responder_rtts(scan) {
             let Some(info) = db.lookup(addr) else { continue };
-            let e = counts.entry(info.asn).or_insert(ScanEntry {
-                turtles: 0,
-                responding: 0,
-                rank: 0,
-            });
+            let e =
+                counts.entry(info.asn).or_insert(ScanEntry { turtles: 0, responding: 0, rank: 0 });
             e.responding += 1;
             if rtt > threshold_secs {
                 e.turtles += 1;
@@ -95,8 +90,7 @@ pub fn rank_ases(scans: &[ZmapScan], db: &AsDb, threshold_secs: f64) -> Vec<AsRa
         }
         // Rank within the scan by turtle count (ties by ASN for
         // determinism).
-        let mut order: Vec<(Asn, u64)> =
-            counts.iter().map(|(&a, e)| (a, e.turtles)).collect();
+        let mut order: Vec<(Asn, u64)> = counts.iter().map(|(&a, e)| (a, e.turtles)).collect();
         order.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         for (rank0, (asn, _)) in order.iter().enumerate() {
             counts.get_mut(asn).expect("asn from counts").rank = rank0 + 1;
@@ -114,13 +108,7 @@ pub fn rank_ases(scans: &[ZmapScan], db: &AsDb, threshold_secs: f64) -> Vec<AsRa
         .filter_map(|(asn, per_scan)| {
             let info = db.as_info(asn)?;
             let total_turtles = per_scan.iter().map(|e| e.turtles).sum();
-            Some(AsRank {
-                asn,
-                name: info.name.clone(),
-                kind: info.kind,
-                per_scan,
-                total_turtles,
-            })
+            Some(AsRank { asn, name: info.name.clone(), kind: info.kind, per_scan, total_turtles })
         })
         .collect();
     rows.sort_by(|a, b| b.total_turtles.cmp(&a.total_turtles).then(a.asn.cmp(&b.asn)));
@@ -128,11 +116,7 @@ pub fn rank_ases(scans: &[ZmapScan], db: &AsDb, threshold_secs: f64) -> Vec<AsRa
 }
 
 /// Rank continents by turtle count across `scans` (Table 5).
-pub fn rank_continents(
-    scans: &[ZmapScan],
-    db: &AsDb,
-    threshold_secs: f64,
-) -> Vec<ContinentRank> {
+pub fn rank_continents(scans: &[ZmapScan], db: &AsDb, threshold_secs: f64) -> Vec<ContinentRank> {
     let mut per_ct: HashMap<Continent, Vec<ScanEntry>> = HashMap::new();
     for (scan_idx, scan) in scans.iter().enumerate() {
         for (addr, rtt) in responder_rtts(scan) {
@@ -177,8 +161,20 @@ mod tests {
 
     fn db() -> AsDb {
         let mut reg = AsRegistry::new();
-        reg.insert(AsInfo::new(Asn(100), "Slow Cellular", AsKind::Cellular, "BR", Continent::SouthAmerica));
-        reg.insert(AsInfo::new(Asn(200), "Fast Cable", AsKind::Broadband, "US", Continent::NorthAmerica));
+        reg.insert(AsInfo::new(
+            Asn(100),
+            "Slow Cellular",
+            AsKind::Cellular,
+            "BR",
+            Continent::SouthAmerica,
+        ));
+        reg.insert(AsInfo::new(
+            Asn(200),
+            "Fast Cable",
+            AsKind::Broadband,
+            "US",
+            Continent::NorthAmerica,
+        ));
         AsDb::new(
             reg,
             [
@@ -189,11 +185,8 @@ mod tests {
     }
 
     fn scan(records: Vec<(u32, f64)>) -> ZmapScan {
-        let mut s = ZmapScan::new(ScanMeta {
-            label: "t".into(),
-            day: "Mon".into(),
-            begin: "12:00".into(),
-        });
+        let mut s =
+            ZmapScan::new(ScanMeta { label: "t".into(), day: "Mon".into(), begin: "12:00".into() });
         for (addr, rtt) in records {
             s.records.push(ScanRecord {
                 probed: addr,
@@ -258,7 +251,11 @@ mod tests {
         let mut s = scan(vec![(0x0a000001, 0.1)]);
         // A broadcast response with an absurd implied latency must not
         // make 0x0a000002 a turtle.
-        s.records.push(ScanRecord { probed: 0x0a0000ff, responder: 0x0a000002, rtt_us: 300_000_000 });
+        s.records.push(ScanRecord {
+            probed: 0x0a0000ff,
+            responder: 0x0a000002,
+            rtt_us: 300_000_000,
+        });
         let rows = rank_ases(&[s], &db(), 1.0);
         assert_eq!(rows[0].per_scan[0].turtles, 0);
         assert_eq!(rows[0].per_scan[0].responding, 1);
@@ -272,7 +269,8 @@ mod tests {
 
     #[test]
     fn turtle_fraction_counts() {
-        let s = scan(vec![(0x0a000001, 2.0), (0x0a000002, 0.2), (0x0b000001, 0.3), (0x0b000002, 1.2)]);
+        let s =
+            scan(vec![(0x0a000001, 2.0), (0x0a000002, 0.2), (0x0b000001, 0.3), (0x0b000002, 1.2)]);
         assert!((turtle_fraction(&s, 1.0) - 0.5).abs() < 1e-12);
         assert_eq!(turtle_fraction(&scan(vec![]), 1.0), 0.0);
     }

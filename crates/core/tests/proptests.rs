@@ -16,11 +16,7 @@ fn arb_latencies() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn arb_records() -> impl Strategy<Value = Vec<Record>> {
-    proptest::collection::vec(
-        (0u32..64, 0u32..100_000, arb_kind()),
-        0..300,
-    )
-    .prop_map(|entries| {
+    proptest::collection::vec((0u32..64, 0u32..100_000, arb_kind()), 0..300).prop_map(|entries| {
         entries
             .into_iter()
             .map(|(addr, time_s, kind)| match kind {

@@ -5,7 +5,6 @@
 //! reports is 517 s), survey-relative timestamps in whole seconds as `u32`
 //! (a survey spans two weeks ≈ 1.2 M s).
 
-
 /// What happened to one probe (or one stray response).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecordKind {

@@ -144,10 +144,11 @@ pub fn write_snapshot<W: Write>(out: &mut W, snap: &TimeoutSnapshot) -> io::Resu
     out.write_all(&header)?;
 
     let cells = snap.cell_count();
-    let mut body =
-        Vec::with_capacity(8 + 2 * (snap.address_pct_tenths.len() + snap.ping_pct_tenths.len())
+    let mut body = Vec::with_capacity(
+        8 + 2 * (snap.address_pct_tenths.len() + snap.ping_pct_tenths.len())
             + 8 * cells * (1 + snap.entries.len())
-            + 5 * snap.entries.len());
+            + 5 * snap.entries.len(),
+    );
     body.put_u16_le(snap.address_pct_tenths.len() as u16);
     body.put_u16_le(snap.ping_pct_tenths.len() as u16);
     body.put_u32_le(snap.entries.len() as u32);

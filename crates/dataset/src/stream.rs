@@ -307,7 +307,9 @@ mod tests {
         let reader = StreamReader::new(&bytes[..]).unwrap();
         let result: Result<Vec<Record>, StreamError> = reader.collect();
         match result {
-            Err(StreamError::TrailerMismatch) | Err(StreamError::Io(_)) | Err(StreamError::Corrupt(_)) => {}
+            Err(StreamError::TrailerMismatch)
+            | Err(StreamError::Io(_))
+            | Err(StreamError::Corrupt(_)) => {}
             other => panic!("corruption slipped through: {other:?}"),
         }
     }
@@ -324,8 +326,7 @@ mod tests {
 
     #[test]
     fn compatible_with_large_streams() {
-        let records: Vec<Record> =
-            (0..50_000u32).map(|i| Record::matched(i, i, i * 2)).collect();
+        let records: Vec<Record> = (0..50_000u32).map(|i| Record::matched(i, i, i * 2)).collect();
         let bytes = write_stream(&records);
         let n = StreamReader::new(&bytes[..]).unwrap().map(Result::unwrap).count();
         assert_eq!(n, 50_000);
@@ -335,9 +336,6 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = write_stream(&sample());
         bytes[0] = b'X';
-        assert!(matches!(
-            StreamReader::new(&bytes[..]),
-            Err(StreamError::Corrupt("bad magic"))
-        ));
+        assert!(matches!(StreamReader::new(&bytes[..]), Err(StreamError::Corrupt("bad magic"))));
     }
 }

@@ -5,7 +5,6 @@
 //! record: who was probed, who answered (they differ for broadcast
 //! responders), and the RTT — no per-probe state at the scanner.
 
-
 /// One response observed by a scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScanRecord {

@@ -8,8 +8,11 @@ use beware_dataset::{binfmt, textfmt, Record, RecordKind};
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = Record> {
-    (any::<u32>(), any::<u32>(), arb_kind())
-        .prop_map(|(addr, time_s, kind)| Record { addr, time_s, kind })
+    (any::<u32>(), any::<u32>(), arb_kind()).prop_map(|(addr, time_s, kind)| Record {
+        addr,
+        time_s,
+        kind,
+    })
 }
 
 fn arb_kind() -> impl Strategy<Value = RecordKind> {
@@ -130,23 +133,15 @@ fn arb_snapshot() -> impl Strategy<Value = TimeoutSnapshot> {
             c.dedup();
             let cells = r.len() * c.len();
 
-            let mut keys: Vec<(u32, u8)> = raw_entries
-                .into_iter()
-                .map(|(p, l)| (p & prefix_mask(l), l))
-                .collect();
+            let mut keys: Vec<(u32, u8)> =
+                raw_entries.into_iter().map(|(p, l)| (p & prefix_mask(l), l)).collect();
             keys.sort_unstable();
             keys.dedup();
 
-            // Arbitrary cell bits from a splitmix64 stream — the codec
-            // treats them as opaque u64s.
-            let mut state = cell_seed;
-            let mut next = move || {
-                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                let mut z = state;
-                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                z ^ (z >> 31)
-            };
+            // Arbitrary cell bits from the canonical SplitMix64 stream —
+            // the codec treats them as opaque u64s.
+            let mut rng = beware_runtime::rng::SplitMix64::new(cell_seed);
+            let mut next = move || rng.next_u64();
             TimeoutSnapshot {
                 address_pct_tenths: r,
                 ping_pct_tenths: c,

@@ -17,14 +17,18 @@
 //!   fault repertoire into live traffic — the right tool for end-to-end
 //!   chaos suites (`tests/chaos.rs`, `beware chaos`).
 //!
-//! Every decision is drawn from a splitmix64 stream derived with the same
-//! seed-derivation discipline as `beware_netsim::rng::derive_seed`
-//! (identical finalizer constants): connection *i* of a run seeded `s`
-//! draws from `derive_seed(s, i)`, so the *sequence* of fault decisions
-//! per connection is a pure function of `(seed, connection index)`. What
-//! wall-clock moment each decision lands on still depends on the kernel's
-//! scheduling — which is why every fault counter lives in the
-//! nondeterministic `faults/` telemetry family (see DESIGN.md §9).
+//! Every decision is drawn from the workspace's canonical SplitMix64
+//! stream (`beware_runtime::rng`), derived with the shared
+//! seed-derivation discipline: connection *i* of a run seeded `s` draws
+//! from `derive_seed(s, i)`, so the *sequence* of fault decisions per
+//! connection is a pure function of `(seed, connection index)`. What
+//! wall-clock moment each decision lands on depends on the
+//! [`Clock`](beware_runtime::Clock) in use — real time by default, or a
+//! [`VirtualClock`](beware_runtime::VirtualClock) under which a 145 s
+//! delay schedule replays in microseconds (see DESIGN.md §10). Under a
+//! wall clock the landing moments still depend on kernel scheduling,
+//! which is why every fault counter lives in the nondeterministic
+//! `faults/` telemetry family (see DESIGN.md §9).
 //!
 //! The contract this crate exists to enforce is stated once, here: under
 //! any fault schedule, a request either completes with a correct answer
@@ -35,8 +39,18 @@
 #![warn(missing_docs)]
 
 pub mod proxy;
-pub mod rng;
 mod transport;
+
+/// The seeding discipline, re-exported from `beware-runtime` — the single
+/// canonical SplitMix64 in the workspace. This crate used to carry its
+/// own character-for-character copy; `beware_runtime::rng`'s tests pin
+/// today's streams to that retired copy bit for bit.
+pub mod rng {
+    pub use beware_runtime::rng::{derive_seed, SplitMix64};
+
+    /// The decision-stream type's historical name in this crate.
+    pub type SplitMix = SplitMix64;
+}
 
 pub use proxy::ChaosProxy;
 pub use transport::FaultyTransport;
@@ -109,5 +123,20 @@ impl FaultCfg {
     /// exercising reassembly paths without any failures.
     pub fn split_only(seed: u64) -> FaultCfg {
         FaultCfg { max_chunk: 3, ..FaultCfg::disabled(seed) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rng::{derive_seed, SplitMix};
+
+    #[test]
+    fn reexported_rng_is_the_retired_fault_stream() {
+        // The values this crate's private copy produced before the dedup,
+        // frozen here: fault schedules must survive the re-export.
+        assert_eq!(derive_seed(7, 1), 0xf75f_04cb_b5a1_a1dd);
+        let mut r = SplitMix::new(derive_seed(0xbe0a, 3));
+        assert_eq!(r.next_u64(), 0x9357_2081_16c5_6e3c);
+        assert!(r.unit() < 1.0);
     }
 }

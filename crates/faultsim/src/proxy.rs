@@ -12,9 +12,20 @@
 //! every socket is nonblocking, every forward retry is bounded, and a
 //! stalled direction parks until the proxy is stopped rather than
 //! spinning. `join` always returns.
+//!
+//! Injected delays are **deferred releases**, not inline sleeps: a
+//! delayed chunk is scheduled on a [`DeadlineWheel`] and held while the
+//! *other* direction keeps flowing — a delay on the response path must
+//! not freeze the request path, exactly the head-of-line distinction the
+//! paper's measurements turn on. All waiting goes through a
+//! [`Clock`](beware_runtime::Clock), so a virtual clock replays
+//! multi-minute delay schedules in microseconds of wall time
+//! ([`start_with_clock`](ChaosProxy::start_with_clock)).
 
 use crate::rng::{derive_seed, SplitMix};
 use crate::FaultCfg;
+use beware_runtime::clock::{SharedClock, WallClock};
+use beware_runtime::wheel::DeadlineWheel;
 use beware_telemetry::Registry;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -35,8 +46,21 @@ pub struct ChaosProxy {
 
 impl ChaosProxy {
     /// Bind `127.0.0.1:0` and start proxying to `upstream` with the given
-    /// fault schedule.
+    /// fault schedule. All waits are real time; see
+    /// [`start_with_clock`](ChaosProxy::start_with_clock).
     pub fn start(upstream: SocketAddr, cfg: FaultCfg) -> io::Result<ChaosProxy> {
+        ChaosProxy::start_with_clock(upstream, cfg, WallClock::shared())
+    }
+
+    /// Like [`start`](ChaosProxy::start), but every nap, retry backoff
+    /// and injected-delay release deadline runs on `clock` — hand in a
+    /// [`VirtualClock`](beware_runtime::VirtualClock) handle to replay a
+    /// long delay schedule without waiting it out.
+    pub fn start_with_clock(
+        upstream: SocketAddr,
+        cfg: FaultCfg,
+        clock: SharedClock,
+    ) -> io::Result<ChaosProxy> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -57,16 +81,17 @@ impl ChaosProxy {
                         index += 1;
                         let cfg = cfg.clone();
                         let stop = Arc::clone(&stop_a);
+                        let clock = Arc::clone(&clock);
                         handlers.push(std::thread::spawn(move || {
-                            pump_connection(client, upstream, &cfg, seed, &stop)
+                            pump_connection(client, upstream, &cfg, seed, &stop, &clock)
                         }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(1));
+                        clock.sleep(Duration::from_millis(1));
                     }
                     Err(_) => {
                         reg.scope("faults").scope("proxy").incr("accept_errors");
-                        std::thread::sleep(Duration::from_millis(1));
+                        clock.sleep(Duration::from_millis(1));
                     }
                 }
             }
@@ -109,13 +134,17 @@ struct Pipe {
     /// A stall fault fired: accept (and discard) source bytes forever,
     /// forward nothing.
     stalled: bool,
+    /// Length of the chunk whose fault decisions are already drawn but
+    /// which has not finished forwarding — held while a deferred delay
+    /// for this direction is live on the wheel.
+    planned: Option<usize>,
     /// Telemetry suffix: `"up"` (client→server) or `"down"`.
     label: &'static str,
 }
 
 impl Pipe {
     fn new(label: &'static str) -> Pipe {
-        Pipe { pending: Vec::new(), pos: 0, src_eof: false, stalled: false, label }
+        Pipe { pending: Vec::new(), pos: 0, src_eof: false, stalled: false, planned: None, label }
     }
 
     fn done(&self) -> bool {
@@ -133,11 +162,13 @@ fn pump_connection(
     cfg: &FaultCfg,
     seed: u64,
     stop: &AtomicBool,
+    clock: &SharedClock,
 ) -> Registry {
     let mut reg = Registry::new();
     let mut rng = SplitMix::new(seed);
     let mut client = client;
-    let mut server: TcpStream = match TcpStream::connect_timeout(&upstream, Duration::from_secs(2)) {
+    let mut server: TcpStream = match TcpStream::connect_timeout(&upstream, Duration::from_secs(2))
+    {
         Ok(s) => s,
         Err(_) => {
             reg.scope("faults").scope("proxy").incr("upstream_connect_errors");
@@ -151,22 +182,44 @@ fn pump_connection(
 
     let mut up = Pipe::new("up"); // client → server
     let mut down = Pipe::new("down"); // server → client
+                                      // Deferred-delay release deadlines, keyed by direction. A live entry
+                                      // for a pipe's label means its planned chunk is being held.
+    let mut wheel: DeadlineWheel<&'static str> = DeadlineWheel::new();
 
     while !stop.load(Ordering::SeqCst) {
-        let moved_up = match pump_dir(&mut client, &mut server, &mut up, cfg, &mut rng, &mut reg) {
+        // Release any direction whose injected delay has elapsed.
+        while wheel.pop_expired(clock.now()).is_some() {}
+        let moved_up = match pump_dir(
+            &mut client,
+            &mut server,
+            &mut up,
+            cfg,
+            &mut rng,
+            &mut reg,
+            &mut wheel,
+            clock,
+        ) {
             Ok(m) => m,
             Err(()) => break,
         };
-        let moved_down =
-            match pump_dir(&mut server, &mut client, &mut down, cfg, &mut rng, &mut reg) {
-                Ok(m) => m,
-                Err(()) => break,
-            };
+        let moved_down = match pump_dir(
+            &mut server,
+            &mut client,
+            &mut down,
+            cfg,
+            &mut rng,
+            &mut reg,
+            &mut wheel,
+            clock,
+        ) {
+            Ok(m) => m,
+            Err(()) => break,
+        };
         if up.done() && down.done() {
             break;
         }
         if !(moved_up || moved_down) {
-            std::thread::sleep(Duration::from_micros(500));
+            clock.sleep(Duration::from_micros(500));
         }
     }
     reg
@@ -174,6 +227,7 @@ fn pump_connection(
 
 /// Move bytes one hop in one direction. `Err(())` means the connection is
 /// dead (abrupt-close fault, or a peer error) and the pump should end.
+#[allow(clippy::too_many_arguments)]
 fn pump_dir(
     src: &mut TcpStream,
     dst: &mut TcpStream,
@@ -181,6 +235,8 @@ fn pump_dir(
     cfg: &FaultCfg,
     rng: &mut SplitMix,
     reg: &mut Registry,
+    wheel: &mut DeadlineWheel<&'static str>,
+    clock: &SharedClock,
 ) -> Result<bool, ()> {
     let mut moved = false;
     let mut scratch = [0u8; 2048];
@@ -223,55 +279,73 @@ fn pump_dir(
         return Ok(moved);
     }
 
-    // Forward the backlog, one faulted chunk at a time.
+    // Forward the backlog, one faulted chunk at a time. Decisions for a
+    // chunk are drawn once (`pipe.planned`); a delay fault schedules a
+    // release deadline on the wheel and *holds this direction only* —
+    // the caller keeps pumping the opposite direction meanwhile, so an
+    // injected response delay cannot freeze the request path the way the
+    // old inline sleep did.
     while pipe.pos < pipe.pending.len() {
         let avail = pipe.pending.len() - pipe.pos;
-        if rng.coin(cfg.close_prob) {
-            reg.scope("faults").scope("injected").incr("closes");
-            let _ = src.shutdown(std::net::Shutdown::Both);
-            let _ = dst.shutdown(std::net::Shutdown::Both);
-            return Err(());
+        let n = match pipe.planned {
+            Some(n) => n.min(avail),
+            None => {
+                if rng.coin(cfg.close_prob) {
+                    reg.scope("faults").scope("injected").incr("closes");
+                    let _ = src.shutdown(std::net::Shutdown::Both);
+                    let _ = dst.shutdown(std::net::Shutdown::Both);
+                    return Err(());
+                }
+                if rng.coin(cfg.truncate_prob) {
+                    // Swallow the rest and half-close downstream: the peer
+                    // sees a stream that ends, possibly mid-frame.
+                    reg.scope("faults").scope("injected").incr("truncations");
+                    pipe.pending.clear();
+                    pipe.pos = 0;
+                    pipe.src_eof = true;
+                    let _ = dst.shutdown(std::net::Shutdown::Write);
+                    return Ok(true);
+                }
+                if !pipe.stalled && rng.coin(cfg.stall_prob) {
+                    reg.scope("faults").scope("injected").incr("stalls");
+                    pipe.stalled = true;
+                    pipe.pending.clear();
+                    pipe.pos = 0;
+                    return Ok(moved);
+                }
+                let drawn = rng.one_to(cfg.max_chunk as u64) as usize;
+                let n = if cfg.max_chunk == 0 { avail } else { drawn.min(avail) };
+                if n < avail {
+                    reg.scope("faults").scope("injected").incr("splits");
+                }
+                if rng.coin(cfg.delay_prob) {
+                    let ms = rng.one_to(cfg.max_delay_ms.max(1));
+                    reg.scope("faults").scope("injected").incr("delays");
+                    wheel.schedule(pipe.label, clock.now() + Duration::from_millis(ms));
+                }
+                if rng.coin(cfg.corrupt_prob) {
+                    let at = pipe.pos + (rng.next_u64() as usize) % n;
+                    let mask = rng.one_to(255) as u8;
+                    pipe.pending[at] ^= mask;
+                    reg.scope("faults").scope("injected").incr("corruptions");
+                }
+                pipe.planned = Some(n);
+                n
+            }
+        };
+        if wheel.deadline_of(&pipe.label).is_some() {
+            // The planned chunk is held by a deferred delay; nothing more
+            // moves in this direction until the wheel releases it.
+            break;
         }
-        if rng.coin(cfg.truncate_prob) {
-            // Swallow the rest and half-close downstream: the peer sees a
-            // stream that ends, possibly mid-frame.
-            reg.scope("faults").scope("injected").incr("truncations");
-            pipe.pending.clear();
-            pipe.pos = 0;
-            pipe.src_eof = true;
-            let _ = dst.shutdown(std::net::Shutdown::Write);
-            return Ok(true);
-        }
-        if !pipe.stalled && rng.coin(cfg.stall_prob) {
-            reg.scope("faults").scope("injected").incr("stalls");
-            pipe.stalled = true;
-            pipe.pending.clear();
-            pipe.pos = 0;
-            return Ok(moved);
-        }
-        let drawn = rng.one_to(cfg.max_chunk as u64) as usize;
-        let n = if cfg.max_chunk == 0 { avail } else { drawn.min(avail) };
-        if n < avail {
-            reg.scope("faults").scope("injected").incr("splits");
-        }
-        if rng.coin(cfg.delay_prob) {
-            let ms = rng.one_to(cfg.max_delay_ms.max(1));
-            reg.scope("faults").scope("injected").incr("delays");
-            std::thread::sleep(Duration::from_millis(ms));
-        }
-        if rng.coin(cfg.corrupt_prob) {
-            let at = pipe.pos + (rng.next_u64() as usize) % n;
-            let mask = rng.one_to(255) as u8;
-            pipe.pending[at] ^= mask;
-            reg.scope("faults").scope("injected").incr("corruptions");
-        }
-        match write_bounded(dst, &pipe.pending[pipe.pos..pipe.pos + n]) {
+        match write_bounded(dst, &pipe.pending[pipe.pos..pipe.pos + n], clock) {
             Ok(written) => {
                 if written == 0 {
                     // Downstream is not draining; try again next round.
                     break;
                 }
                 pipe.pos += written;
+                pipe.planned = None;
                 moved = true;
             }
             Err(_) => return Err(()),
@@ -291,7 +365,7 @@ fn pump_dir(
 /// apart. Returns how many bytes went through (possibly 0 when the
 /// destination's buffer stays full — the caller retries next round, so
 /// the proxy never blocks on a slow reader).
-fn write_bounded(dst: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
+fn write_bounded(dst: &mut TcpStream, buf: &[u8], clock: &SharedClock) -> io::Result<usize> {
     let mut written = 0;
     let mut tries = 0;
     while written < buf.len() && tries < 8 {
@@ -300,7 +374,7 @@ fn write_bounded(dst: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
             Ok(n) => written += n,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 tries += 1;
-                std::thread::sleep(Duration::from_millis(1));
+                clock.sleep(Duration::from_millis(1));
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -371,6 +445,23 @@ mod tests {
         server.join().unwrap();
         let reg = proxy.join();
         assert!(reg.counter("faults/injected/splits").unwrap() > 0);
+    }
+
+    #[test]
+    fn deferred_delays_release_and_deliver() {
+        let (upstream, server) = echo_server();
+        let cfg = FaultCfg { delay_prob: 1.0, max_delay_ms: 5, ..FaultCfg::disabled(9) };
+        let proxy = ChaosProxy::start(upstream, cfg).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(b"delayed but intact").unwrap();
+        let mut got = [0u8; 18];
+        c.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"delayed but intact");
+        drop(c);
+        server.join().unwrap();
+        let reg = proxy.join();
+        assert!(reg.counter("faults/injected/delays").unwrap() > 0, "every chunk is delayed");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::rng::{derive_seed, SplitMix};
 use crate::FaultCfg;
+use beware_runtime::clock::{SharedClock, WallClock};
 use beware_telemetry::Registry;
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -35,13 +36,29 @@ pub struct FaultyTransport<T> {
     state: State,
     /// A fired stall makes every later read time out.
     read_stalled: bool,
+    /// Injected delays sleep on this clock — a virtual clock replays a
+    /// multi-minute delay schedule with zero real waiting.
+    clock: SharedClock,
     reg: Registry,
 }
 
 impl<T> FaultyTransport<T> {
     /// Wrap `inner`, drawing decisions from stream `stream_index` of
-    /// `cfg.seed`.
+    /// `cfg.seed`. Delays sleep on real time; see
+    /// [`with_clock`](FaultyTransport::with_clock) to substitute a
+    /// virtual clock.
     pub fn new(inner: T, cfg: FaultCfg, stream_index: u64) -> FaultyTransport<T> {
+        FaultyTransport::with_clock(inner, cfg, stream_index, WallClock::shared())
+    }
+
+    /// Like [`new`](FaultyTransport::new), but injected delays sleep on
+    /// `clock` — the virtual-time entry point.
+    pub fn with_clock(
+        inner: T,
+        cfg: FaultCfg,
+        stream_index: u64,
+        clock: SharedClock,
+    ) -> FaultyTransport<T> {
         let rng = SplitMix::new(derive_seed(cfg.seed, stream_index));
         FaultyTransport {
             inner,
@@ -49,6 +66,7 @@ impl<T> FaultyTransport<T> {
             rng,
             state: State::Open,
             read_stalled: false,
+            clock,
             reg: Registry::new(),
         }
     }
@@ -84,7 +102,7 @@ impl<T> FaultyTransport<T> {
         if self.rng.coin(p) {
             let ms = self.rng.one_to(self.cfg.max_delay_ms.max(1));
             self.count("delays");
-            std::thread::sleep(Duration::from_millis(ms));
+            self.clock.sleep(Duration::from_millis(ms));
         }
     }
 }
@@ -258,6 +276,22 @@ mod tests {
         // Stalls are sticky: the next read times out too.
         assert_eq!(t.read(&mut buf).unwrap_err().kind(), io::ErrorKind::TimedOut);
         assert_eq!(t.metrics().counter("faults/injected/stalls"), Some(1));
+    }
+
+    #[test]
+    fn delays_sleep_on_the_injected_clock() {
+        use beware_runtime::{Clock, VirtualClock};
+        let vc = VirtualClock::new();
+        let cfg = FaultCfg { delay_prob: 1.0, max_delay_ms: 150_000, ..FaultCfg::disabled(8) };
+        let mut t = FaultyTransport::with_clock(Loopback::default(), cfg, 0, vc.handle());
+        let wall = std::time::Instant::now();
+        t.write(b"x").unwrap();
+        assert!(vc.now() >= Duration::from_millis(1), "the delay advanced virtual time");
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "a (up to) 150 s injected delay must not consume wall time"
+        );
+        assert_eq!(t.metrics().counter("faults/injected/delays"), Some(1));
     }
 
     #[test]

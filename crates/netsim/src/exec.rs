@@ -57,8 +57,7 @@ where
 
     // Feed queue: each slot is taken exactly once, by the worker that
     // claims its index; result slots are written exactly once each.
-    let inputs: Vec<Mutex<Option<I>>> =
-        items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let inputs: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = threads.min(n);
@@ -84,9 +83,7 @@ where
     results
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every task ran to completion")
+            slot.into_inner().expect("result slot poisoned").expect("every task ran to completion")
         })
         .collect()
 }

@@ -287,10 +287,7 @@ impl HostState {
                     } else {
                         self.rng.gen_range(0.0..dos.spread_secs.max(0.001))
                     };
-                    out.push(Response {
-                        delay_secs: self.base_rtt + offset,
-                        kind: Reply::Normal,
-                    });
+                    out.push(Response { delay_secs: self.base_rtt + offset, kind: Reply::Normal });
                 }
                 return out;
             }
@@ -357,9 +354,7 @@ impl HostState {
             if let Some(c) = &profile.congestion {
                 // Diurnal modulation: heavier queues and loss at the
                 // block's local peak hour.
-                let load = profile
-                    .diurnal
-                    .map_or(1.0, |d| d.factor(now.as_secs_f64()));
+                let load = profile.diurnal.map_or(1.0, |d| d.factor(now.as_secs_f64()));
                 if coin(&mut self.rng, (c.busy_loss * load).min(1.0)) {
                     return Vec::new();
                 }
@@ -453,8 +448,7 @@ impl HostState {
             let dur = cfg.duration.sample(&mut self.rng).clamp(1.0, cfg.max_duration_secs);
             let start = ep.next_at;
             ep.until = start + SimDuration::from_secs_f64(dur);
-            let blackout =
-                self.rng.gen_range(0.0..cfg.blackout_secs_max.max(1e-6)).min(dur * 0.5);
+            let blackout = self.rng.gen_range(0.0..cfg.blackout_secs_max.max(1e-6)).min(dur * 0.5);
             ep.buffer_from = start + SimDuration::from_secs_f64(blackout);
             ep.next_at = ep.until + SimDuration::from_secs_f64(cfg.interval.sample(&mut self.rng));
             ep.buffered = 0;
@@ -526,11 +520,7 @@ mod tests {
     #[test]
     fn wakeup_applies_when_idle_and_not_when_connected() {
         let p = BlockProfile {
-            wakeup: Some(WakeupCfg {
-                host_prob: 1.0,
-                delay: Dist::Constant(2.0),
-                tail_secs: 10.0,
-            }),
+            wakeup: Some(WakeupCfg { host_prob: 1.0, delay: Dist::Constant(2.0), tail_secs: 10.0 }),
             ..plain_profile()
         };
         let mut h = HostState::new(SEED, &p, 0x0a000005, t(0.0));
@@ -562,7 +552,11 @@ mod tests {
         assert!((r[0].delay_secs - 1.55).abs() < 1e-9);
         // With busy_loss = 1, everything drops.
         let p2 = BlockProfile {
-            congestion: Some(CongestionCfg { host_prob: 1.0, extra: Dist::Constant(1.5), busy_loss: 1.0 }),
+            congestion: Some(CongestionCfg {
+                host_prob: 1.0,
+                extra: Dist::Constant(1.5),
+                busy_loss: 1.0,
+            }),
             ..plain_profile()
         };
         let mut h2 = HostState::new(SEED, &p2, 0x0a000005, t(0.0));
@@ -610,9 +604,7 @@ mod tests {
     /// dropped), for phase-robust episode/storm assertions.
     fn sample_train(p: &BlockProfile, secs: usize) -> Vec<Option<f64>> {
         let mut h = HostState::new(SEED, p, 0x0a000005, t(0.0));
-        (0..secs)
-            .map(|i| h.respond(p, t(i as f64)).first().map(|r| r.delay_secs))
-            .collect()
+        (0..secs).map(|i| h.respond(p, t(i as f64)).first().map(|r| r.delay_secs)).collect()
     }
 
     #[test]
@@ -645,10 +637,7 @@ mod tests {
         let same_episode: Vec<&(usize, f64)> =
             buffered.iter().filter(|(i, _)| (*i as f64) < arrival).collect();
         for (i, d) in &same_episode {
-            assert!(
-                ((*i as f64 + d) - arrival).abs() < 0.6,
-                "staircase broken at {i}: {d}"
-            );
+            assert!(((*i as f64 + d) - arrival).abs() < 0.6, "staircase broken at {i}: {d}");
         }
         // Episodes are bounded: normal responses exist too.
         assert!(train.iter().flatten().any(|&d| d < 0.1), "never returned to normal");

@@ -119,8 +119,11 @@ impl Packet {
                 repr.emit(payload, body).expect("buffer sized from repr");
             }
             L4::Udp { src_port, dst_port, payload } => {
-                let repr =
-                    UdpRepr { src_port: *src_port, dst_port: *dst_port, payload_len: payload.len() };
+                let repr = UdpRepr {
+                    src_port: *src_port,
+                    dst_port: *dst_port,
+                    payload_len: payload.len(),
+                };
                 repr.emit(&ip, payload, body).expect("buffer sized from repr");
             }
             L4::Tcp(repr) => {
@@ -223,9 +226,19 @@ mod tests {
             _ => panic!("not icmp"),
         }
         // Non-echo packets have no reply.
-        let rst = Packet { src: 1, dst: 2, ttl: 3, l4: L4::Tcp(TcpRepr {
-            src_port: 0, dst_port: 0, seq: 0, ack_no: 0, flags: TcpFlags::RST, window: 0,
-        })};
+        let rst = Packet {
+            src: 1,
+            dst: 2,
+            ttl: 3,
+            l4: L4::Tcp(TcpRepr {
+                src_port: 0,
+                dst_port: 0,
+                seq: 0,
+                ack_no: 0,
+                flags: TcpFlags::RST,
+                window: 0,
+            }),
+        };
         assert!(rst.echo_reply_from(9).is_none());
     }
 

@@ -95,8 +95,8 @@ impl Default for DiurnalCfg {
 impl DiurnalCfg {
     /// The load factor at time `t_secs`.
     pub fn factor(&self, t_secs: f64) -> f64 {
-        let phase = (t_secs - self.peak_offset_secs) / self.period_secs.max(1.0)
-            * std::f64::consts::TAU;
+        let phase =
+            (t_secs - self.peak_offset_secs) / self.period_secs.max(1.0) * std::f64::consts::TAU;
         1.0 + self.amplitude.clamp(0.0, 1.0) * phase.cos()
     }
 }

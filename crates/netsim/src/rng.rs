@@ -18,19 +18,16 @@ pub fn seeded(seed: u64) -> StdRng {
 
 /// Derive a child seed from a parent seed and a stream index, so distinct
 /// components (per-host, per-block, per-scan) get decorrelated streams
-/// without sharing a mutable RNG. SplitMix64 finalizer.
-pub fn derive_seed(parent: u64, stream: u64) -> u64 {
-    let mut x = parent ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+/// without sharing a mutable RNG. SplitMix64 finalizer — re-exported from
+/// `beware_runtime::rng`, the workspace's single implementation (this
+/// module carried its own copy before the dedup; the runtime crate's
+/// tests pin the streams to it bit for bit).
+pub use beware_runtime::rng::derive_seed;
 
 /// A deterministic per-entity hash in `[0, 1)`, used for density decisions
 /// ("is this address a live host?") that must not consume RNG state.
-pub fn unit_hash(parent: u64, entity: u64) -> f64 {
-    (derive_seed(parent, entity) >> 11) as f64 / (1u64 << 53) as f64
-}
+/// Re-exported from `beware_runtime::rng`.
+pub use beware_runtime::rng::unit_hash;
 
 /// Continuous distributions over positive reals.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -42,7 +42,11 @@ pub struct Vantage {
 /// The four ISI vantage points: Marina del Rey "w", Ft. Collins "c",
 /// Fujisawa-shi "j", Athens "g".
 pub const VANTAGES: [Vantage; 4] = [
-    Vantage { code: 'w', location: "Marina del Rey, California", continent: Continent::NorthAmerica },
+    Vantage {
+        code: 'w',
+        location: "Marina del Rey, California",
+        continent: Continent::NorthAmerica,
+    },
     Vantage { code: 'c', location: "Ft. Collins, Colorado", continent: Continent::NorthAmerica },
     Vantage { code: 'j', location: "Fujisawa-shi, Kanagawa, Japan", continent: Continent::Asia },
     Vantage { code: 'g', location: "Athens, Greece", continent: Continent::Europe },

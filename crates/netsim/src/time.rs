@@ -58,6 +58,16 @@ impl SimTime {
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// This instant as a [`std::time::Duration`] since the simulation
+    /// epoch — the bridge onto the `beware_runtime::Clock` timebase,
+    /// whose timestamps are `Duration`s since *its* epoch. Lets a
+    /// simulated schedule drive a
+    /// [`VirtualClock`](beware_runtime::VirtualClock) (or be compared
+    /// against one) without unit juggling.
+    pub const fn as_duration(self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0)
+    }
 }
 
 impl SimDuration {
@@ -131,6 +141,20 @@ impl SimDuration {
     /// Scale by an integer factor, saturating.
     pub fn saturating_mul(self, k: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> std::time::Duration {
+        std::time::Duration::from_nanos(d.0)
+    }
+}
+
+impl From<std::time::Duration> for SimDuration {
+    /// Saturates at the u64 nanosecond horizon (~584 years), matching
+    /// every other saturating operation on simulation time.
+    fn from(d: std::time::Duration) -> SimDuration {
+        SimDuration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
     }
 }
 
@@ -225,6 +249,18 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn std_duration_bridge_roundtrips_and_saturates() {
+        use std::time::Duration;
+        let d = SimDuration::from_millis(1234);
+        assert_eq!(Duration::from(d), Duration::from_millis(1234));
+        assert_eq!(SimDuration::from(Duration::from_micros(7)), SimDuration::from_us(7));
+        let t = SimTime::EPOCH + SimDuration::from_secs(145);
+        assert_eq!(t.as_duration(), Duration::from_secs(145));
+        // A Duration can exceed u64 nanoseconds; the bridge saturates.
+        assert_eq!(SimDuration::from(Duration::from_secs(u64::MAX / 4)).as_ns(), u64::MAX);
     }
 
     #[test]

@@ -194,8 +194,8 @@ impl World {
         if let Some(bcast) = &profile.broadcast {
             let hb = u32::from(profile.subnet_host_bits);
             let is_bcast = beware_wire::addr::is_subnet_broadcast(pkt.dst, hb);
-            let is_net = bcast.network_addr_responds
-                && beware_wire::addr::is_subnet_network(pkt.dst, hb);
+            let is_net =
+                bcast.network_addr_responds && beware_wire::addr::is_subnet_network(pkt.dst, hb);
             if is_bcast || is_net {
                 let out = self.broadcast_responses(pkt, now, &profile);
                 if out.is_empty() {
@@ -267,10 +267,8 @@ impl World {
                 continue;
             }
             let seed = self.seed;
-            let state = self
-                .hosts
-                .entry(addr)
-                .or_insert_with(|| HostState::new(seed, profile, addr, now));
+            let state =
+                self.hosts.entry(addr).or_insert_with(|| HostState::new(seed, profile, addr, now));
             for r in state.respond(profile, now) {
                 // Broadcast responses are echo replies from the neighbor.
                 if r.kind == Reply::Normal {
@@ -418,7 +416,12 @@ mod tests {
     #[test]
     fn broadcast_probe_draws_neighbor_responses() {
         let profile = BlockProfile {
-            broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: true }),
+            broadcast: Some(BroadcastCfg {
+                responder_prob: 1.0,
+                edge_responder_prob: 1.0,
+                unicast_silent_prob: 0.0,
+                network_addr_responds: true,
+            }),
             ..dense_profile()
         };
         let mut w = world_with(profile);
@@ -428,8 +431,7 @@ mod tests {
         // from its own address, never from the broadcast address.
         assert_eq!(arrivals.len(), 254);
         assert!(arrivals.iter().all(|a| a.pkt.src != 0x0a0000ff));
-        let srcs: std::collections::HashSet<u32> =
-            arrivals.iter().map(|a| a.pkt.src).collect();
+        let srcs: std::collections::HashSet<u32> = arrivals.iter().map(|a| a.pkt.src).collect();
         assert_eq!(srcs.len(), 254);
         assert_eq!(w.stats().broadcast_responses, 254);
         // The payload (with the embedded original destination) is echoed.
@@ -442,7 +444,12 @@ mod tests {
     #[test]
     fn network_address_responds_only_when_configured() {
         let profile = BlockProfile {
-            broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: false }),
+            broadcast: Some(BroadcastCfg {
+                responder_prob: 1.0,
+                edge_responder_prob: 1.0,
+                unicast_silent_prob: 0.0,
+                network_addr_responds: false,
+            }),
             ..dense_profile()
         };
         let mut w = world_with(profile);
@@ -455,7 +462,12 @@ mod tests {
     fn subnetted_block_has_multiple_broadcast_addrs() {
         let profile = BlockProfile {
             subnet_host_bits: 6, // /26 subnets: .63, .127, .191, .255
-            broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: false }),
+            broadcast: Some(BroadcastCfg {
+                responder_prob: 1.0,
+                edge_responder_prob: 1.0,
+                unicast_silent_prob: 0.0,
+                network_addr_responds: false,
+            }),
             ..dense_profile()
         };
         let mut w = world_with(profile);
@@ -602,7 +614,8 @@ mod tests {
             });
             let mut arrivals = Vec::new();
             for i in 0..64u32 {
-                let probe = Packet::echo_request(PROBER, 0x0a000000 + (i % 250) + 2, 1, i as u16, vec![]);
+                let probe =
+                    Packet::echo_request(PROBER, 0x0a000000 + (i % 250) + 2, 1, i as u16, vec![]);
                 arrivals.extend(w.probe(&probe, t(f64::from(i))));
             }
             arrivals

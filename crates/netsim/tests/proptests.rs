@@ -15,7 +15,8 @@ fn arb_dist() -> impl Strategy<Value = Dist> {
         (0.0f64..10.0).prop_map(Dist::Constant),
         (0.0f64..5.0, 0.1f64..5.0).prop_map(|(lo, w)| Dist::Uniform { lo, hi: lo + w }),
         (0.001f64..10.0).prop_map(|mean| Dist::Exponential { mean }),
-        (0.001f64..10.0, 0.05f64..2.0).prop_map(|(median, sigma)| Dist::LogNormal { median, sigma }),
+        (0.001f64..10.0, 0.05f64..2.0)
+            .prop_map(|(median, sigma)| Dist::LogNormal { median, sigma }),
         (0.001f64..10.0, 0.3f64..4.0).prop_map(|(xm, alpha)| Dist::Pareto { xm, alpha }),
         (0.001f64..10.0, 0.3f64..4.0).prop_map(|(scale, shape)| Dist::Weibull { scale, shape }),
     ]
@@ -55,7 +56,8 @@ fn arb_profile() -> impl Strategy<Value = BlockProfile> {
                         tail_secs: tail,
                         ..Default::default()
                     }),
-                    congestion: congest.map(|p| CongestionCfg { host_prob: p, ..Default::default() }),
+                    congestion: congest
+                        .map(|p| CongestionCfg { host_prob: p, ..Default::default() }),
                     episodes: episodes.map(|p| EpisodeCfg { host_prob: p, ..Default::default() }),
                     storms: storms.map(|(p, loss)| StormCfg {
                         host_prob: p,

@@ -96,12 +96,7 @@ fn token(target: usize, cycle: u32, kind: u64, attempt: u32) -> u64 {
 }
 
 fn untoken(t: u64) -> (usize, u32, u64, u32) {
-    (
-        (t >> 40) as usize,
-        ((t >> 16) & 0xff_ffff) as u32,
-        (t >> 8) & 0xff,
-        (t & 0xff) as u32,
-    )
+    ((t >> 40) as usize, ((t >> 16) & 0xff_ffff) as u32, (t >> 8) & 0xff, (t & 0xff) as u32)
 }
 
 /// The adaptive prober agent.
@@ -128,13 +123,7 @@ impl AdaptiveProber {
                 cycle: 0,
                 responded: false,
                 responded_naive: false,
-                report: OutageReport {
-                    addr,
-                    cycles: 0,
-                    outages: 0,
-                    naive_outages: 0,
-                    rescued: 0,
-                },
+                report: OutageReport { addr, cycles: 0, outages: 0, naive_outages: 0, rescued: 0 },
             })
             .collect();
         AdaptiveProber { cfg, targets, by_addr, ident: 0xada7 }
@@ -373,18 +362,11 @@ mod tests {
         // radio and answers within its own window — retries work exactly
         // as the paper describes for wake-up, without a long timeout.
         let p = BlockProfile {
-            wakeup: Some(WakeupCfg {
-                host_prob: 1.0,
-                delay: Dist::Constant(5.0),
-                tail_secs: 10.0,
-            }),
+            wakeup: Some(WakeupCfg { host_prob: 1.0, delay: Dist::Constant(5.0), tail_secs: 10.0 }),
             ..quiet()
         };
-        let (reports, _) = monitor(
-            world(p),
-            vec![0x0a000005],
-            AdaptiveCfg { cycles: 5, ..Default::default() },
-        );
+        let (reports, _) =
+            monitor(world(p), vec![0x0a000005], AdaptiveCfg { cycles: 5, ..Default::default() });
         let r = &reports[0];
         assert_eq!(r.outages, 0);
         assert_eq!(r.naive_outages, 0, "retry at 3 s answers in time");
@@ -407,11 +389,8 @@ mod tests {
             }),
             ..quiet()
         };
-        let (reports, _) = monitor(
-            world(p),
-            vec![0x0a000005],
-            AdaptiveCfg { cycles: 20, ..Default::default() },
-        );
+        let (reports, _) =
+            monitor(world(p), vec![0x0a000005], AdaptiveCfg { cycles: 20, ..Default::default() });
         let r = &reports[0];
         assert!(r.naive_outages > 0, "episodes must trip the naive prober");
         assert_eq!(r.outages, 0, "40 s flushes sit inside the 60 s listen window");

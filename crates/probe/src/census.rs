@@ -66,11 +66,7 @@ impl CensusResult {
     /// Blocks with at least `min_responders` answering addresses, in
     /// ascending block order.
     pub fn responsive_blocks(&self, min_responders: u32) -> Vec<u32> {
-        self.responders
-            .iter()
-            .filter(|&(_, &n)| n >= min_responders)
-            .map(|(&b, _)| b)
-            .collect()
+        self.responders.iter().filter(|&(_, &n)| n >= min_responders).map(|(&b, _)| b).collect()
     }
 
     /// Fraction of assessed blocks with any responder.
@@ -78,8 +74,7 @@ impl CensusResult {
         if self.responders.is_empty() {
             return 0.0;
         }
-        self.responders.values().filter(|&&n| n > 0).count() as f64
-            / self.responders.len() as f64
+        self.responders.values().filter(|&&n| n > 0).count() as f64 / self.responders.len() as f64
     }
 }
 
@@ -96,11 +91,8 @@ pub fn select_survey_blocks(
     out.sort_unstable();
     out.dedup();
     let taken: std::collections::BTreeSet<u32> = out.iter().copied().collect();
-    let mut candidates: Vec<u32> = census
-        .responsive_blocks(1)
-        .into_iter()
-        .filter(|b| !taken.contains(b))
-        .collect();
+    let mut candidates: Vec<u32> =
+        census.responsive_blocks(1).into_iter().filter(|b| !taken.contains(b)).collect();
     // Deterministic shuffle by per-block hash.
     candidates.sort_by_key(|&b| derive_seed(seed, u64::from(b)));
     for b in candidates {

@@ -54,7 +54,13 @@ pub struct PingJob {
 
 impl PingJob {
     /// `count` probes every `interval_secs`, the classic ping train.
-    pub fn train(dst: u32, proto: PingProto, count: usize, interval_secs: f64, start_secs: f64) -> Self {
+    pub fn train(
+        dst: u32,
+        proto: PingProto,
+        count: usize,
+        interval_secs: f64,
+        start_secs: f64,
+    ) -> Self {
         PingJob {
             dst,
             proto,
@@ -151,10 +157,7 @@ impl ScamperRunner {
         let mut by_key = HashMap::new();
         for (i, job) in jobs.iter().enumerate() {
             assert!(job.offsets.len() <= 65_536, "schedule exceeds sequence space");
-            assert!(
-                job.offsets.windows(2).all(|w| w[0] <= w[1]),
-                "offsets must be ascending"
-            );
+            assert!(job.offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be ascending");
             let prev = by_key.insert((job.dst, job.proto), i);
             assert!(prev.is_none(), "duplicate job for dst/proto");
         }
@@ -199,8 +202,8 @@ impl ScamperRunner {
         let job = &self.jobs[job_idx];
         match job.proto {
             PingProto::Icmp => {
-                let payload = ProbePayload { dest: job.dst, send_ns: now.as_ns() }
-                    .encode(self.payload_key);
+                let payload =
+                    ProbePayload { dest: job.dst, send_ns: now.as_ns() }.encode(self.payload_key);
                 Packet::echo_request(
                     self.prober_addr,
                     job.dst,
@@ -264,10 +267,7 @@ impl Agent for ScamperRunner {
             ctx.set_timer(self.job_probe_time(job_idx, 0), job_idx as u64);
         }
         if self.jobs_done == self.jobs.len() {
-            ctx.set_timer(
-                ctx.now() + SimDuration::from_secs_f64(self.grace_secs),
-                END_TOKEN,
-            );
+            ctx.set_timer(ctx.now() + SimDuration::from_secs_f64(self.grace_secs), END_TOKEN);
         }
     }
 
@@ -355,19 +355,13 @@ impl crate::Prober for ScamperRunner {
     }
 
     fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
-        let sent: u64 = self
-            .send_times
-            .iter()
-            .map(|t| t.iter().filter(|s| s.is_some()).count() as u64)
-            .sum();
+        let sent: u64 =
+            self.send_times.iter().map(|t| t.iter().filter(|s| s.is_some()).count() as u64).sum();
         scope.add("probes_sent", sent);
         scope.add("jobs", self.jobs.len() as u64);
         scope.add(
             "matched",
-            self.results
-                .iter()
-                .map(|r| r.rtts.iter().filter(|x| x.is_some()).count() as u64)
-                .sum(),
+            self.results.iter().map(|r| r.rtts.iter().filter(|x| x.is_some()).count() as u64).sum(),
         );
         scope.add("extra_responses", self.results.iter().map(|r| r.extra_responses).sum());
         scope.add("errors", self.results.iter().map(|r| r.errors).sum());
@@ -388,10 +382,7 @@ pub fn run_jobs(
     grace_secs: f64,
 ) -> (Vec<JobResult>, RunSummary) {
     let mut world = world;
-    crate::Prober::run(
-        ScamperCfg { prober_addr, seed, grace_secs }.build(jobs),
-        &mut world,
-    )
+    crate::Prober::run(ScamperCfg { prober_addr, seed, grace_secs }.build(jobs), &mut world)
 }
 
 #[cfg(test)]
@@ -411,9 +402,7 @@ mod tests {
         seed: u64,
         grace_secs: f64,
     ) -> (Vec<JobResult>, RunSummary) {
-        ScamperCfg { prober_addr: PROBER, seed, grace_secs }
-            .build(jobs)
-            .run(&mut world)
+        ScamperCfg { prober_addr: PROBER, seed, grace_secs }.build(jobs).run(&mut world)
     }
 
     fn quiet_profile() -> BlockProfile {
@@ -483,11 +472,7 @@ mod tests {
     #[test]
     fn first_ping_effect_visible_in_train() {
         let p = BlockProfile {
-            wakeup: Some(WakeupCfg {
-                host_prob: 1.0,
-                delay: Dist::Constant(2.0),
-                tail_secs: 10.0,
-            }),
+            wakeup: Some(WakeupCfg { host_prob: 1.0, delay: Dist::Constant(2.0), tail_secs: 10.0 }),
             ..quiet_profile()
         };
         let jobs = vec![PingJob::train(0x0a000009, PingProto::Icmp, 5, 1.0, 0.0)];
@@ -540,8 +525,7 @@ mod tests {
     #[allow(deprecated)]
     fn deprecated_shim_matches_prober_api() {
         let jobs = || vec![PingJob::train(0x0a000005, PingProto::Icmp, 6, 1.0, 0.0)];
-        let (old_results, old_summary) =
-            run_jobs(world(quiet_profile()), jobs(), PROBER, 3, 20.0);
+        let (old_results, old_summary) = run_jobs(world(quiet_profile()), jobs(), PROBER, 3, 20.0);
         let (new_results, new_summary) = run(world(quiet_profile()), jobs(), 3, 20.0);
         assert_eq!(old_results, new_results);
         assert_eq!(old_summary, new_summary);
@@ -560,10 +544,8 @@ mod tests {
             .run_with(&mut w, &mut metrics);
         assert_eq!(metrics.counter("probe/scamper/probes_sent"), Some(summary.packets_sent));
         assert_eq!(metrics.counter("probe/scamper/jobs"), Some(2));
-        let matched: u64 = results
-            .iter()
-            .map(|r| r.rtts.iter().filter(|x| x.is_some()).count() as u64)
-            .sum();
+        let matched: u64 =
+            results.iter().map(|r| r.rtts.iter().filter(|x| x.is_some()).count() as u64).sum();
         assert_eq!(metrics.counter("probe/scamper/matched"), Some(matched));
         assert_eq!(matched, 7);
     }

@@ -142,7 +142,6 @@ impl<S: RecordSink> SurveyProber<S> {
         self.sink.push(record);
     }
 
-
     /// Close a still-outstanding probe as a timeout.
     fn close_as_timeout(&mut self, addr: u32, sent: SimTime) {
         self.emit(Record::timeout(addr, sent.as_secs() as u32));
@@ -177,13 +176,11 @@ impl<S: RecordSink> Agent for SurveyProber<S> {
             } else {
                 let octet = crate::bitrev8((block.pos % 256) as u8);
                 let dst = (block.prefix24 << 8) | u32::from(octet);
-                let send_at = SimTime::EPOCH
-                    + block.stagger
-                    + self.slot.saturating_mul(u64::from(block.pos));
+                let send_at =
+                    SimTime::EPOCH + block.stagger + self.slot.saturating_mul(u64::from(block.pos));
                 block.pos += 1;
-                let next_at = SimTime::EPOCH
-                    + block.stagger
-                    + self.slot.saturating_mul(u64::from(block.pos));
+                let next_at =
+                    SimTime::EPOCH + block.stagger + self.slot.saturating_mul(u64::from(block.pos));
                 (dst, send_at, next_at, false)
             }
         };
@@ -333,15 +330,13 @@ mod tests {
 
     #[test]
     fn responsive_block_yields_matched_records() {
-        let (records, stats, _) =
-            survey(one_block_world(quiet_profile()), cfg(2));
+        let (records, stats, _) = survey(one_block_world(quiet_profile()), cfg(2));
         // 254 live hosts (.0/.255 excluded) × 2 rounds, all matched.
         assert_eq!(stats.matched, 254 * 2);
         // .0 and .255 never answer (no broadcast configured): timeouts.
         assert_eq!(stats.timeouts, 2 * 2);
         assert_eq!(stats.unmatched, 0);
-        let rtts: Vec<f64> =
-            records.iter().filter_map(|r| r.rtt_secs()).collect();
+        let rtts: Vec<f64> = records.iter().filter_map(|r| r.rtt_secs()).collect();
         assert!(rtts.iter().all(|&r| (r - 0.05).abs() < 1e-3));
     }
 
@@ -380,12 +375,9 @@ mod tests {
         assert_eq!(stats.matched, 0);
         assert_eq!(stats.unmatched, 254);
         assert_eq!(stats.timeouts, 256); // 254 late + 2 dead broadcast addrs
-        // Unmatched recv = probe time + 20 s.
-        let sent: HashMap<u32, u32> = records
-            .iter()
-            .filter(|r| r.is_timeout())
-            .map(|r| (r.addr, r.time_s))
-            .collect();
+                                         // Unmatched recv = probe time + 20 s.
+        let sent: HashMap<u32, u32> =
+            records.iter().filter(|r| r.is_timeout()).map(|r| (r.addr, r.time_s)).collect();
         for r in records.iter().filter(|r| r.is_unmatched()) {
             let lat = i64::from(r.time_s) - i64::from(sent[&r.addr]);
             assert!((lat - 20).abs() <= 1, "latency {lat}");
@@ -395,7 +387,12 @@ mod tests {
     #[test]
     fn broadcast_block_produces_unmatched_responses() {
         let profile = BlockProfile {
-            broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: false }),
+            broadcast: Some(BroadcastCfg {
+                responder_prob: 1.0,
+                edge_responder_prob: 1.0,
+                unicast_silent_prob: 0.0,
+                network_addr_responds: false,
+            }),
             ..quiet_profile()
         };
         let (_, stats, _) = survey(one_block_world(profile), cfg(1));
@@ -428,10 +425,9 @@ mod tests {
         let (records, stats, _) = survey(one_block_world(profile), cfg(1));
         assert_eq!(stats.matched, 0);
         assert_eq!(stats.errors, 254);
-        assert!(records.iter().any(|r| matches!(
-            r.kind,
-            beware_dataset::RecordKind::IcmpError { code: 1 }
-        )));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.kind, beware_dataset::RecordKind::IcmpError { code: 1 })));
     }
 
     #[test]

@@ -151,8 +151,7 @@ impl Agent for ZmapScanner {
                 continue;
             }
             let now = ctx.now();
-            let payload =
-                ProbePayload { dest: dst, send_ns: now.as_ns() }.encode(self.payload_key);
+            let payload = ProbePayload { dest: dst, send_ns: now.as_ns() }.encode(self.payload_key);
             let seq = (self.sent & 0xffff) as u16;
             self.sent += 1;
             ctx.send(Packet::echo_request(
@@ -215,9 +214,9 @@ pub fn run_scan(world: World, cfg: ZmapCfg, meta: ScanMeta) -> (ZmapScan, RunSum
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Prober;
     use beware_netsim::profile::{BlockProfile, BroadcastCfg};
     use beware_netsim::rng::Dist;
-    use crate::Prober;
     use std::sync::Arc;
 
     /// Test driver over the unified API.
@@ -267,7 +266,12 @@ mod tests {
         w.add_block(
             0x0a0000,
             Arc::new(BlockProfile {
-                broadcast: Some(BroadcastCfg { responder_prob: 1.0, edge_responder_prob: 1.0, unicast_silent_prob: 0.0, network_addr_responds: true }),
+                broadcast: Some(BroadcastCfg {
+                    responder_prob: 1.0,
+                    edge_responder_prob: 1.0,
+                    unicast_silent_prob: 0.0,
+                    network_addr_responds: true,
+                }),
                 ..quiet_profile()
             }),
         );
@@ -294,8 +298,10 @@ mod tests {
         assert_eq!(scanner.excluded, 256 + 128);
         assert_eq!(summary.packets_sent, 512 - 256 - 128);
         let scan = scanner.into_scan();
-        assert!(scan.records.iter().all(|r| r.probed < 0x0a000080),
-            "no probed address may fall in an excluded range");
+        assert!(
+            scan.records.iter().all(|r| r.probed < 0x0a000080),
+            "no probed address may fall in an excluded range"
+        );
     }
 
     #[test]
@@ -338,13 +344,9 @@ mod tests {
         let mut w = World::new(5);
         w.add_block(0x0a0000, Arc::new(quiet_profile()));
         let mut metrics = beware_telemetry::Registry::new();
-        let (scan, summary) =
-            cfg(vec![0x0a0000]).build(meta()).run_with(&mut w, &mut metrics);
+        let (scan, summary) = cfg(vec![0x0a0000]).build(meta()).run_with(&mut w, &mut metrics);
         assert_eq!(metrics.counter("probe/zmap/probes_sent"), Some(summary.packets_sent));
-        assert_eq!(
-            metrics.counter("probe/zmap/responses"),
-            Some(scan.records.len() as u64)
-        );
+        assert_eq!(metrics.counter("probe/zmap/responses"), Some(scan.records.len() as u64));
         assert_eq!(metrics.counter("probe/zmap/excluded"), Some(0));
         assert_eq!(metrics.counter("netsim/probes"), Some(summary.packets_sent));
     }

@@ -1,0 +1,43 @@
+//! # beware-runtime
+//!
+//! The runtime substrate every layer above the simulator shares: **one
+//! clock, one RNG, one deadline scheduler**.
+//!
+//! The paper's central finding is that realistic timeouts stretch to
+//! 5–145 s. Code that handles such timeouts can only be tested honestly
+//! if time itself is an injectable dependency — otherwise every test of a
+//! 145 s stall costs 145 s of wall clock, so the tests are never written
+//! and the timeout logic goes unexercised (exactly the failure mode
+//! Jain's divergence analysis warns about). This crate supplies the three
+//! seams that make the serving and chaos layers time-testable:
+//!
+//! * [`Clock`] — a monotonic time source with two implementations:
+//!   [`WallClock`] (thin wrapper over [`std::time::Instant`]) and
+//!   [`VirtualClock`], a deterministic, manually-advanced clock whose
+//!   `sleep` advances simulated time instead of parking the thread. A
+//!   seeded fault schedule spanning simulated minutes replays in
+//!   milliseconds under it.
+//! * [`rng`] — the canonical SplitMix64 stream generator and
+//!   seed-derivation finalizer. This is the **only** implementation in
+//!   the workspace; `beware-netsim`, `beware-faultsim` and
+//!   `beware-serve` all re-export or delegate to it, with equivalence
+//!   tests pinning the streams to the retired private copies.
+//! * [`DeadlineWheel`] — a binary-heap deadline scheduler with lazy
+//!   cancellation, shared by the oracle server's shard poll loop (idle
+//!   eviction) and the chaos proxy (deferred delayed chunks), replacing
+//!   their ad-hoc `last_active` / inline-sleep deadline math.
+//!
+//! Determinism contract: under a [`VirtualClock`] every timestamp a
+//! component observes is a pure function of its inputs and seeds — no
+//! kernel scheduling, no wall time. See DESIGN.md §10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod rng;
+pub mod wheel;
+
+pub use clock::{Clock, SharedClock, VirtualClock, WallClock};
+pub use rng::{derive_seed, unit_hash, SplitMix64};
+pub use wheel::DeadlineWheel;

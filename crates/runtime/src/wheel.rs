@@ -1,0 +1,222 @@
+//! A binary-heap deadline scheduler ("timer wheel" API).
+//!
+//! Poll loops that juggle many deadlines — one idle-eviction deadline per
+//! connection, a shutdown drain deadline, deferred chunk releases in the
+//! chaos proxy — used to each keep their own `last_active` fields and
+//! re-derive "has anything expired?" by scanning every object every
+//! iteration. [`DeadlineWheel`] centralizes that: schedule a key at a
+//! [`Duration`] timestamp (the [`crate::Clock`] timebase), ask for the
+//! next interesting deadline, and pop keys whose time has come.
+//!
+//! Reschedules and cancellations are **lazy**: the heap keeps stale
+//! entries and skips them on pop by comparing a per-key generation
+//! counter, so rescheduling a hot connection's idle deadline on every
+//! read is one `HashMap` update plus one heap push — no heap surgery.
+//! Expiry order is deterministic: by deadline, ties broken by scheduling
+//! order (the generation counter), never by hash order.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+use std::time::Duration;
+
+/// One pending heap entry. Ordered by `(at, gen)` only — `gen` is unique
+/// per schedule call, so the order is total without requiring `K: Ord`,
+/// and FIFO among equal deadlines.
+#[derive(Debug)]
+struct Entry<K> {
+    at: Duration,
+    gen: u64,
+    key: K,
+}
+
+impl<K> PartialEq for Entry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.gen) == (other.at, other.gen)
+    }
+}
+
+impl<K> Eq for Entry<K> {}
+
+impl<K> PartialOrd for Entry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K> Ord for Entry<K> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // deadline on top.
+        (other.at, other.gen).cmp(&(self.at, self.gen))
+    }
+}
+
+/// A deadline scheduler over keys of type `K`.
+///
+/// Each key has at most one live deadline; [`schedule`] on an existing
+/// key replaces it. Timestamps are [`Duration`]s on whatever
+/// [`crate::Clock`] the caller uses — the wheel itself never reads a
+/// clock, which is what keeps it trivially virtual-time-compatible.
+///
+/// [`schedule`]: DeadlineWheel::schedule
+#[derive(Debug, Default)]
+pub struct DeadlineWheel<K> {
+    heap: BinaryHeap<Entry<K>>,
+    /// key → (generation of the live entry, its deadline).
+    live: HashMap<K, (u64, Duration)>,
+    next_gen: u64,
+}
+
+impl<K: Eq + Hash + Clone> DeadlineWheel<K> {
+    /// An empty wheel.
+    pub fn new() -> DeadlineWheel<K> {
+        DeadlineWheel { heap: BinaryHeap::new(), live: HashMap::new(), next_gen: 0 }
+    }
+
+    /// Schedule (or reschedule) `key` to expire at `at`. Replaces any
+    /// existing deadline for the key.
+    pub fn schedule(&mut self, key: K, at: Duration) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.live.insert(key.clone(), (gen, at));
+        self.heap.push(Entry { at, gen, key });
+    }
+
+    /// Cancel `key`'s deadline. Returns whether one was live. The heap
+    /// entry is dropped lazily on a later pop.
+    pub fn cancel(&mut self, key: &K) -> bool {
+        self.live.remove(key).is_some()
+    }
+
+    /// The live deadline of `key`, if any.
+    pub fn deadline_of(&self, key: &K) -> Option<Duration> {
+        self.live.get(key).map(|&(_, at)| at)
+    }
+
+    /// The earliest live deadline (sweeping stale entries off the top).
+    pub fn next_deadline(&mut self) -> Option<Duration> {
+        self.sweep();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop one key whose deadline is `<= now`, with its deadline.
+    /// Deterministic order: earliest deadline first, FIFO among equals.
+    pub fn pop_expired(&mut self, now: Duration) -> Option<(K, Duration)> {
+        self.sweep();
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            let e = self.heap.pop().expect("peeked entry present");
+            self.live.remove(&e.key);
+            return Some((e.key, e.at));
+        }
+        None
+    }
+
+    /// Number of live deadlines.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no deadline is live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Drop stale heap entries (cancelled or superseded by a reschedule)
+    /// off the top.
+    fn sweep(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            match self.live.get(&top.key) {
+                Some(&(gen, _)) if gen == top.gen => return,
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> Duration {
+        Duration::from_secs(n)
+    }
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut w = DeadlineWheel::new();
+        w.schedule("b", s(20));
+        w.schedule("a", s(10));
+        w.schedule("c", s(30));
+        assert_eq!(w.next_deadline(), Some(s(10)));
+        assert_eq!(w.pop_expired(s(25)), Some(("a", s(10))));
+        assert_eq!(w.pop_expired(s(25)), Some(("b", s(20))));
+        assert_eq!(w.pop_expired(s(25)), None, "c is not due yet");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_expired(s(30)), Some(("c", s(30))));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equal_deadlines_pop_fifo() {
+        let mut w = DeadlineWheel::new();
+        w.schedule(1u32, s(5));
+        w.schedule(2u32, s(5));
+        w.schedule(3u32, s(5));
+        assert_eq!(w.pop_expired(s(5)), Some((1, s(5))));
+        assert_eq!(w.pop_expired(s(5)), Some((2, s(5))));
+        assert_eq!(w.pop_expired(s(5)), Some((3, s(5))));
+    }
+
+    #[test]
+    fn reschedule_replaces_and_old_entry_goes_stale() {
+        let mut w = DeadlineWheel::new();
+        w.schedule("conn", s(10));
+        w.schedule("conn", s(100)); // activity: push the deadline out
+        assert_eq!(w.deadline_of(&"conn"), Some(s(100)));
+        assert_eq!(w.pop_expired(s(50)), None, "the stale s(10) entry must be skipped");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_expired(s(100)), Some(("conn", s(100))));
+    }
+
+    #[test]
+    fn reschedule_can_also_pull_a_deadline_in() {
+        let mut w = DeadlineWheel::new();
+        w.schedule("drain", s(100));
+        w.schedule("drain", s(1));
+        assert_eq!(w.next_deadline(), Some(s(1)));
+        assert_eq!(w.pop_expired(s(1)), Some(("drain", s(1))));
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn cancel_removes_lazily() {
+        let mut w = DeadlineWheel::new();
+        w.schedule("x", s(1));
+        w.schedule("y", s(2));
+        assert!(w.cancel(&"x"));
+        assert!(!w.cancel(&"x"), "double cancel reports nothing live");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_deadline(), Some(s(2)), "cancelled top entry swept");
+        assert_eq!(w.pop_expired(s(5)), Some(("y", s(2))));
+        assert_eq!(w.pop_expired(s(5)), None);
+    }
+
+    #[test]
+    fn heavy_rescheduling_stays_consistent() {
+        // A hot connection rescheduling on every read: the heap
+        // accumulates stale entries, the live view must never lie.
+        let mut w = DeadlineWheel::new();
+        for i in 0..10_000u64 {
+            w.schedule("hot", s(i + 1));
+        }
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.deadline_of(&"hot"), Some(s(10_000)));
+        assert_eq!(w.pop_expired(s(9_999)), None);
+        assert_eq!(w.pop_expired(s(10_000)), Some(("hot", s(10_000))));
+        assert!(w.is_empty());
+    }
+}

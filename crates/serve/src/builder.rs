@@ -53,8 +53,8 @@ pub fn build_snapshot(
     let addr_levels = levels_to_f64(&cfg.addr_pct_tenths)?;
     let ping_levels = levels_to_f64(&cfg.ping_pct_tenths)?;
 
-    let fallback_table = TimeoutTable::compute_at(samples, &addr_levels, &ping_levels)
-        .ok_or("no usable samples")?;
+    let fallback_table =
+        TimeoutTable::compute_at(samples, &addr_levels, &ping_levels).ok_or("no usable samples")?;
 
     let mask = prefix_mask(cfg.prefix_len);
     let mut groups: BTreeMap<u32, BTreeMap<u32, LatencySamples>> = BTreeMap::new();
@@ -141,8 +141,7 @@ mod tests {
         // the full population at every grid point.
         let oracle = Oracle::from_snapshot(snap).unwrap();
         for &(r, c) in &[(950u16, 950u16), (990, 980), (500, 10)] {
-            let offline =
-                recommend_timeout(&s, f64::from(r) / 10.0, f64::from(c) / 10.0).unwrap();
+            let offline = recommend_timeout(&s, f64::from(r) / 10.0, f64::from(c) / 10.0).unwrap();
             let served = oracle.lookup(0xdead_beef, r, c).unwrap();
             assert_eq!(served.status, Status::Fallback);
             assert_eq!(served.timeout_bits, offline.timeout_secs.to_bits(), "({r},{c})");

@@ -6,9 +6,10 @@
 //! [`ClientError::Io`] instead of hanging the caller forever.
 
 use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
-use std::io;
+use beware_runtime::clock::{SharedClock, WallClock};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A fully decoded query answer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,13 +105,21 @@ fn connect_error_is_retryable(e: &ClientError) -> bool {
 }
 
 /// One connection to an oracle server.
+///
+/// Generic over the transport: production code uses the
+/// [`TcpStream`] default via [`connect`](Client::connect), tests feed any
+/// `Read + Write` — e.g. a
+/// [`FaultyTransport`](../../beware_faultsim/struct.FaultyTransport.html)
+/// over an in-memory oracle — through
+/// [`from_transport`](Client::from_transport), so the poisoning contract
+/// is checkable without sockets or real timeouts.
 #[derive(Debug)]
-pub struct Client {
-    stream: TcpStream,
+pub struct Client<T = TcpStream> {
+    stream: T,
     poisoned: bool,
 }
 
-impl Client {
+impl Client<TcpStream> {
     /// Connect with a bounded read timeout on the resulting connection.
     pub fn connect(addr: SocketAddr, read_timeout: Duration) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
@@ -128,18 +137,39 @@ impl Client {
         read_timeout: Duration,
         deadline: Duration,
     ) -> Result<Client, ClientError> {
-        let t0 = Instant::now();
+        Client::connect_retry_with_clock(addr, read_timeout, deadline, &WallClock::shared())
+    }
+
+    /// [`connect_retry`](Client::connect_retry) with the retry deadline
+    /// and backoff measured on `clock` — under a virtual clock the
+    /// deadline arithmetic is testable without waiting it out.
+    pub fn connect_retry_with_clock(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        deadline: Duration,
+        clock: &SharedClock,
+    ) -> Result<Client, ClientError> {
+        let t0 = clock.now();
         loop {
             match Client::connect(addr, read_timeout) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
-                    if !connect_error_is_retryable(&e) || t0.elapsed() >= deadline {
+                    if !connect_error_is_retryable(&e) || clock.since(t0) >= deadline {
                         return Err(e);
                     }
-                    std::thread::sleep(Duration::from_millis(10));
+                    clock.sleep(Duration::from_millis(10));
                 }
             }
         }
+    }
+}
+
+impl<T: Read + Write> Client<T> {
+    /// Wrap an already-established transport. The caller owns any
+    /// timeout configuration the transport needs; the poisoning rules
+    /// are identical to a TCP client's.
+    pub fn from_transport(stream: T) -> Client<T> {
+        Client { stream, poisoned: false }
     }
 
     /// Whether an earlier mid-frame failure has poisoned this connection
@@ -223,8 +253,8 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read as _, Write as _};
     use std::net::TcpListener;
+    use std::time::Instant;
 
     fn io_err(kind: io::ErrorKind) -> ClientError {
         ClientError::Io(io::Error::new(kind, "test"))
@@ -251,8 +281,7 @@ mod tests {
         // fail-fast must return well under it.
         let addr: SocketAddr = "255.255.255.255:9".parse().unwrap();
         let t0 = Instant::now();
-        let out =
-            Client::connect_retry(addr, Duration::from_secs(1), Duration::from_secs(10));
+        let out = Client::connect_retry(addr, Duration::from_secs(1), Duration::from_secs(10));
         assert!(out.is_err());
         assert!(
             t0.elapsed() < Duration::from_secs(3),
@@ -271,8 +300,7 @@ mod tests {
             l.local_addr().unwrap()
         };
         let t0 = Instant::now();
-        let out =
-            Client::connect_retry(addr, Duration::from_secs(1), Duration::from_millis(80));
+        let out = Client::connect_retry(addr, Duration::from_secs(1), Duration::from_millis(80));
         assert!(out.is_err());
         let waited = t0.elapsed();
         assert!(waited >= Duration::from_millis(80), "gave up after {waited:?}");

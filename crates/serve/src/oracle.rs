@@ -159,12 +159,7 @@ mod tests {
             address_pct_tenths: vec![500, 950],
             ping_pct_tenths: vec![950, 990],
             // fallback cells: [f00 f01; f10 f11]
-            fallback: vec![
-                0.5f64.to_bits(),
-                0.9f64.to_bits(),
-                5.0f64.to_bits(),
-                60.0f64.to_bits(),
-            ],
+            fallback: vec![0.5f64.to_bits(), 0.9f64.to_bits(), 5.0f64.to_bits(), 60.0f64.to_bits()],
             entries: vec![
                 SnapshotEntry { prefix: 0x0a000000, len: 8, cells: vec![1.0f64.to_bits(); 4] },
                 SnapshotEntry {
@@ -212,14 +207,8 @@ mod tests {
     #[test]
     fn unsupported_levels_rejected() {
         let o = Oracle::from_snapshot(snap()).unwrap();
-        assert_eq!(
-            o.lookup(1, 800, 950),
-            Err(LookupError::UnsupportedAddressPercentile(800))
-        );
-        assert_eq!(
-            o.lookup(1, 950, 10),
-            Err(LookupError::UnsupportedPingPercentile(10))
-        );
+        assert_eq!(o.lookup(1, 800, 950), Err(LookupError::UnsupportedAddressPercentile(800)));
+        assert_eq!(o.lookup(1, 950, 10), Err(LookupError::UnsupportedPingPercentile(10)));
     }
 
     #[test]

@@ -293,8 +293,8 @@ pub fn decode_body(body: &[u8]) -> Result<Message, ProtoError> {
         }
         OP_ERROR => {
             need(1)?;
-            let code = ErrorCode::from_u8(b.get_u8())
-                .ok_or(ProtoError::Corrupt("unknown error code"))?;
+            let code =
+                ErrorCode::from_u8(b.get_u8()).ok_or(ProtoError::Corrupt("unknown error code"))?;
             Ok(Message::Error { code })
         }
         _ => Err(ProtoError::Corrupt("unknown opcode")),
@@ -463,7 +463,7 @@ mod tests {
     fn version_mismatch_reported() {
         let mut frame = encode(&Message::Stats);
         frame[2] = 9; // version byte
-        // Checksum now fails first unless recomputed; patch it.
+                      // Checksum now fails first unless recomputed; patch it.
         let body_len = frame.len() - 2;
         let mut ck = Checksum::new();
         ck.add_bytes(&frame[2..body_len]);
@@ -486,9 +486,6 @@ mod tests {
     #[test]
     fn truncated_stream_is_io_error() {
         let frame = encode(&Message::Stats);
-        assert!(matches!(
-            read_frame(&mut &frame[..frame.len() - 1]),
-            Err(ProtoError::Io(_))
-        ));
+        assert!(matches!(read_frame(&mut &frame[..frame.len() - 1]), Err(ProtoError::Io(_))));
     }
 }

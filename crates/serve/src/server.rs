@@ -25,6 +25,8 @@
 
 use crate::oracle::{LookupError, Oracle};
 use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
+use beware_runtime::clock::{SharedClock, WallClock};
+use beware_runtime::wheel::DeadlineWheel;
 use beware_telemetry::Registry;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -33,7 +35,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -44,8 +46,18 @@ pub struct ServerCfg {
     /// Per-connection idle bound: a connection that stays silent this
     /// long is closed.
     pub idle_timeout: Duration,
+    /// After shutdown is requested, shards keep draining queued replies
+    /// (most importantly the `ShutdownAck`) for at most this long.
+    pub drain_timeout: Duration,
+    /// Upper bound on one connection's queued-but-unsent reply bytes;
+    /// past it the connection is closed (see [`enqueue_reply`]).
+    pub out_queue_cap: usize,
     /// Whether telemetry is recorded.
     pub metrics: bool,
+    /// Time source for every deadline, stamp and nap in the server. Wall
+    /// time by default; a [`VirtualClock`](beware_runtime::VirtualClock)
+    /// handle makes hour-scale idle timeouts testable in milliseconds.
+    pub clock: SharedClock,
 }
 
 impl Default for ServerCfg {
@@ -53,7 +65,10 @@ impl Default for ServerCfg {
         ServerCfg {
             shards: std::thread::available_parallelism().map_or(1, |n| n.get()).min(8),
             idle_timeout: Duration::from_secs(60),
+            drain_timeout: Duration::from_millis(500),
+            out_queue_cap: OUT_QUEUE_CAP,
             metrics: true,
+            clock: WallClock::shared(),
         }
     }
 }
@@ -110,7 +125,11 @@ impl ServerHandle {
 
 /// Bind and start serving `oracle` on `bind` (e.g. `"127.0.0.1:0"` for an
 /// ephemeral port).
-pub fn start(oracle: Arc<Oracle>, bind: impl ToSocketAddrs, cfg: ServerCfg) -> io::Result<ServerHandle> {
+pub fn start(
+    oracle: Arc<Oracle>,
+    bind: impl ToSocketAddrs,
+    cfg: ServerCfg,
+) -> io::Result<ServerHandle> {
     let shards = cfg.shards.max(1);
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
@@ -132,6 +151,7 @@ pub fn start(oracle: Arc<Oracle>, bind: impl ToSocketAddrs, cfg: ServerCfg) -> i
 
     let stop_a = Arc::clone(&stop);
     let metrics = cfg.metrics;
+    let clock = Arc::clone(&cfg.clock);
     let acceptor = std::thread::spawn(move || {
         let mut reg = if metrics { Registry::new() } else { Registry::disabled() };
         let mut next = 0usize;
@@ -158,11 +178,11 @@ pub fn start(oracle: Arc<Oracle>, bind: impl ToSocketAddrs, cfg: ServerCfg) -> i
                     next = next.wrapping_add(1);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
+                    clock.sleep(Duration::from_millis(2));
                 }
                 Err(_) => {
                     reg.scope("serve").incr("accept_errors");
-                    std::thread::sleep(Duration::from_millis(2));
+                    clock.sleep(Duration::from_millis(2));
                 }
             }
         }
@@ -174,6 +194,9 @@ pub fn start(oracle: Arc<Oracle>, bind: impl ToSocketAddrs, cfg: ServerCfg) -> i
 
 /// One connection owned by a shard.
 struct Conn {
+    /// Shard-local identity — the key of this connection's idle deadline
+    /// on the shard's [`DeadlineWheel`].
+    id: u64,
     stream: TcpStream,
     /// Reassembly buffer for partially received frames.
     buf: Vec<u8>,
@@ -185,23 +208,26 @@ struct Conn {
     out: Vec<u8>,
     /// Offset of the not-yet-written suffix of `out`.
     out_pos: usize,
-    last_active: Instant,
     open: bool,
     /// Reply of record is queued (error frame, shutdown ack): stop
     /// reading, close once `out` drains.
     close_after_flush: bool,
+    /// Read activity since the last poll pass; the shard loop pushes the
+    /// idle deadline out (reschedules the wheel) when set.
+    touched: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Conn {
+    fn new(id: u64, stream: TcpStream) -> Conn {
         Conn {
+            id,
             stream,
             buf: Vec::new(),
             out: Vec::new(),
             out_pos: 0,
-            last_active: Instant::now(),
             open: true,
             close_after_flush: false,
+            touched: false,
         }
     }
 
@@ -216,11 +242,12 @@ impl Conn {
 /// keeps the structure trivial).
 const CACHE_CAP: usize = 8192;
 
-/// Upper bound on one connection's queued-but-unsent reply bytes. A peer
-/// that keeps sending queries without draining its answers is a slow
-/// reader at best and an attacker at worst; past this bound the
-/// connection is closed (`faults/serve/queue_overflow_closed`) instead of
-/// buffering without limit.
+/// Default for [`ServerCfg::out_queue_cap`]: the upper bound on one
+/// connection's queued-but-unsent reply bytes. A peer that keeps sending
+/// queries without draining its answers is a slow reader at best and an
+/// attacker at worst; past this bound the connection is closed
+/// (`faults/serve/queue_overflow_closed`) instead of buffering without
+/// limit.
 const OUT_QUEUE_CAP: usize = 64 * 1024;
 
 /// Per-connection, per-poll-iteration read budget. One firehose
@@ -229,10 +256,6 @@ const OUT_QUEUE_CAP: usize = 64 * 1024;
 /// instead of drained connection-by-connection.
 const READ_BUDGET: usize = 16 * 1024;
 
-/// After shutdown is requested, shards keep draining queued replies
-/// (most importantly the `ShutdownAck`) for at most this long.
-const SHUTDOWN_DRAIN: Duration = Duration::from_millis(500);
-
 fn shard_loop(
     rx: Receiver<TcpStream>,
     oracle: Arc<Oracle>,
@@ -240,51 +263,84 @@ fn shard_loop(
     stats: Arc<GlobalStats>,
     cfg: &ServerCfg,
 ) -> Registry {
+    let clock = Arc::clone(&cfg.clock);
     let mut reg = if cfg.metrics { Registry::new() } else { Registry::disabled() };
     let mut conns: Vec<Conn> = Vec::new();
     let mut cache: HashMap<(u32, u16, u16), Message> = HashMap::new();
     let mut scratch = [0u8; 4096];
+    // Every idle deadline on this shard lives in one wheel, keyed by
+    // connection id: scheduled on adoption, pushed out on read activity,
+    // popped (→ eviction) when simulated-or-real time passes it.
+    let mut wheel: DeadlineWheel<u64> = DeadlineWheel::new();
+    let mut next_conn_id = 0u64;
     // Set when the stop flag is first observed: replies already queued
     // (the ShutdownAck above all) still get a bounded chance to drain.
-    let mut drain_deadline: Option<Instant> = None;
+    let mut drain_deadline: Option<Duration> = None;
 
     loop {
         // Adopt newly assigned connections.
         while let Ok(stream) = rx.try_recv() {
             reg.scope("sched").scope("serve").incr("connections_assigned");
-            conns.push(Conn::new(stream));
+            let id = next_conn_id;
+            next_conn_id += 1;
+            wheel.schedule(id, clock.now() + cfg.idle_timeout);
+            conns.push(Conn::new(id, stream));
         }
 
         if drain_deadline.is_none() && stop.load(Ordering::SeqCst) {
-            drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN);
+            drain_deadline = Some(clock.now() + cfg.drain_timeout);
         }
         let draining = drain_deadline.is_some();
 
         let mut progress = false;
         for conn in &mut conns {
             if !draining {
-                progress |=
-                    service_conn(conn, &oracle, &stop, &stats, &mut cache, &mut reg, &mut scratch);
+                progress |= service_conn(
+                    conn,
+                    &oracle,
+                    &stop,
+                    &stats,
+                    &mut cache,
+                    &mut reg,
+                    &mut scratch,
+                    &clock,
+                    cfg.out_queue_cap,
+                );
             }
-            progress |= flush_conn(conn, &mut reg);
-            if conn.open && conn.last_active.elapsed() > cfg.idle_timeout {
-                // Dog food: bounded listen. Stop waiting on a silent peer
-                // — whether it has gone quiet or stopped draining replies.
-                reg.scope("sched").scope("serve").incr("idle_closed");
-                conn.open = false;
+            progress |= flush_conn(conn, &mut reg, cfg.out_queue_cap);
+            if conn.touched {
+                conn.touched = false;
+                wheel.schedule(conn.id, clock.now() + cfg.idle_timeout);
             }
         }
-        conns.retain(|c| c.open);
+        // Dog food: bounded listen. Stop waiting on a silent peer —
+        // whether it has gone quiet or stopped draining replies.
+        while let Some((id, _)) = wheel.pop_expired(clock.now()) {
+            if let Some(conn) = conns.iter_mut().find(|c| c.id == id) {
+                if conn.open {
+                    reg.scope("sched").scope("serve").incr("idle_closed");
+                    conn.open = false;
+                }
+            }
+        }
+        conns.retain(|c| {
+            if c.open {
+                true
+            } else {
+                wheel.cancel(&c.id);
+                false
+            }
+        });
 
         if let Some(deadline) = drain_deadline {
             let drained = conns.iter().all(|c| c.backlog() == 0);
-            if drained || Instant::now() >= deadline {
+            if drained || clock.now() >= deadline {
                 break;
             }
         }
 
         if !progress {
-            std::thread::sleep(Duration::from_micros(500));
+            clock.sleep(Duration::from_micros(500));
         }
     }
     reg
@@ -293,7 +349,7 @@ fn shard_loop(
 /// Nonblocking drain of one connection's output queue. Never waits: a
 /// full peer window surfaces as `faults/serve/write_backpressure` and the
 /// remaining bytes stay queued for the next poll iteration.
-fn flush_conn(conn: &mut Conn, reg: &mut Registry) -> bool {
+fn flush_conn(conn: &mut Conn, reg: &mut Registry, out_queue_cap: usize) -> bool {
     let mut progress = false;
     while conn.open && conn.out_pos < conn.out.len() {
         match conn.stream.write(&conn.out[conn.out_pos..]) {
@@ -320,7 +376,7 @@ fn flush_conn(conn: &mut Conn, reg: &mut Registry) -> bool {
         if conn.close_after_flush {
             conn.open = false;
         }
-    } else if conn.out_pos >= OUT_QUEUE_CAP / 2 {
+    } else if conn.out_pos >= out_queue_cap / 2 {
         // Keep the queue's memory proportional to the *unsent* bytes.
         conn.out.drain(..conn.out_pos);
         conn.out_pos = 0;
@@ -329,9 +385,10 @@ fn flush_conn(conn: &mut Conn, reg: &mut Registry) -> bool {
 }
 
 /// Queue a reply frame on a connection, enforcing the output bound. A
-/// peer that has let [`OUT_QUEUE_CAP`] bytes pile up is cut off.
-fn enqueue_reply(conn: &mut Conn, frame: &[u8], reg: &mut Registry) {
-    if conn.backlog() + frame.len() > OUT_QUEUE_CAP {
+/// peer that has let [`ServerCfg::out_queue_cap`] bytes pile up is cut
+/// off.
+fn enqueue_reply(conn: &mut Conn, frame: &[u8], reg: &mut Registry, out_queue_cap: usize) {
+    if conn.backlog() + frame.len() > out_queue_cap {
         reg.scope("faults").scope("serve").incr("queue_overflow_closed");
         conn.open = false;
         return;
@@ -342,6 +399,7 @@ fn enqueue_reply(conn: &mut Conn, frame: &[u8], reg: &mut Registry) {
 /// Pump one connection: read what is available (bounded by
 /// [`READ_BUDGET`]), decode, and queue a reply for every complete frame.
 /// Returns true when any byte moved.
+#[allow(clippy::too_many_arguments)]
 fn service_conn(
     conn: &mut Conn,
     oracle: &Oracle,
@@ -350,6 +408,8 @@ fn service_conn(
     cache: &mut HashMap<(u32, u16, u16), Message>,
     reg: &mut Registry,
     scratch: &mut [u8],
+    clock: &SharedClock,
+    out_queue_cap: usize,
 ) -> bool {
     let mut progress = false;
     let mut budget = READ_BUDGET;
@@ -370,7 +430,7 @@ fn service_conn(
                 budget -= n;
                 reg.scope("serve").add("bytes_in", n as u64);
                 conn.buf.extend_from_slice(&scratch[..n]);
-                conn.last_active = Instant::now();
+                conn.touched = true;
                 progress = true;
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -387,12 +447,12 @@ fn service_conn(
         match proto::try_decode(&conn.buf[consumed..]) {
             Ok(Some((msg, used))) => {
                 consumed += used;
-                let t0 = Instant::now();
+                let t0 = clock.now();
                 let (reply, close) = handle_request(&msg, oracle, stop, stats, cache, reg);
                 let frame = proto::encode(&reply);
                 reg.scope("serve").add("bytes_out", frame.len() as u64);
-                enqueue_reply(conn, &frame, reg);
-                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                enqueue_reply(conn, &frame, reg, out_queue_cap);
+                let ns = u64::try_from(clock.since(t0).as_nanos()).unwrap_or(u64::MAX);
                 reg.scope("walltime").scope("serve").observe("request_ns", ns);
                 if close {
                     conn.close_after_flush = true;
@@ -410,7 +470,7 @@ fn service_conn(
                 };
                 let frame = proto::encode(&Message::Error { code });
                 reg.scope("serve").add("bytes_out", frame.len() as u64);
-                enqueue_reply(conn, &frame, reg);
+                enqueue_reply(conn, &frame, reg, out_queue_cap);
                 conn.close_after_flush = true;
                 progress = true;
             }
@@ -509,4 +569,3 @@ fn bump_hit(stats: &GlobalStats, reg: &mut Registry, status: Status) {
         }
     }
 }
-

@@ -82,11 +82,8 @@ pub fn parse(text: &str) -> Result<Registry, String> {
         .ok_or("`metrics` is not an array")?;
     let mut reg = Registry::new();
     for m in metrics {
-        let name = m
-            .field("name")
-            .and_then(Json::as_str)
-            .ok_or("metric missing `name`")?
-            .to_string();
+        let name =
+            m.field("name").and_then(Json::as_str).ok_or("metric missing `name`")?.to_string();
         let kind = m.field("kind").and_then(Json::as_str).ok_or("metric missing `kind`")?;
         let metric = match kind {
             "counter" => Metric::Counter(num_field(m, "value")?),
@@ -122,9 +119,7 @@ pub fn parse(text: &str) -> Result<Registry, String> {
 }
 
 fn num_field(m: &Json, name: &str) -> Result<u64, String> {
-    m.field(name)
-        .and_then(Json::as_num)
-        .ok_or_else(|| format!("metric missing numeric `{name}`"))
+    m.field(name).and_then(Json::as_num).ok_or_else(|| format!("metric missing numeric `{name}`"))
 }
 
 enum Json {
@@ -284,9 +279,7 @@ impl Parser<'_> {
                         _ => 4,
                     };
                     let chunk = s.get(..ch_len).ok_or("truncated string")?;
-                    out.push_str(
-                        std::str::from_utf8(chunk).map_err(|e| e.to_string())?,
-                    );
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
                     self.pos += ch_len;
                 }
                 None => return Err("unterminated string".into()),

@@ -31,6 +31,7 @@
 
 mod json;
 
+use beware_runtime::clock::SharedClock;
 use std::collections::BTreeMap;
 
 /// Family prefix for wall-clock measurements. Metrics under this prefix
@@ -56,8 +57,7 @@ pub const SCHED_FAMILY: &str = "sched/";
 pub const FAULTS_FAMILY: &str = "faults/";
 
 /// The family prefixes excluded from the deterministic JSON export.
-pub const NONDETERMINISTIC_FAMILIES: [&str; 3] =
-    [WALLTIME_FAMILY, SCHED_FAMILY, FAULTS_FAMILY];
+pub const NONDETERMINISTIC_FAMILIES: [&str; 3] = [WALLTIME_FAMILY, SCHED_FAMILY, FAULTS_FAMILY];
 
 /// Log-bucketed histogram over `u64` values (latencies in µs, sizes in
 /// bytes — the unit is the caller's naming convention).
@@ -206,18 +206,36 @@ impl Metric {
 pub struct Registry {
     enabled: bool,
     metrics: BTreeMap<String, Metric>,
+    /// Time source for [`Scope::time`]. `None` means real time
+    /// ([`std::time::Instant`]); tests inject a
+    /// `beware_runtime::VirtualClock` to make the `walltime/` family
+    /// deterministic. The clock never affects the JSON export either way
+    /// — `walltime/` stays excluded (see [`WALLTIME_FAMILY`]).
+    clock: Option<SharedClock>,
 }
 
 impl Registry {
     /// An enabled, empty registry.
     pub fn new() -> Self {
-        Registry { enabled: true, metrics: BTreeMap::new() }
+        Registry { enabled: true, metrics: BTreeMap::new(), clock: None }
     }
 
     /// A disabled registry: every recording call is a no-op costing one
     /// branch; merge/export see an empty registry.
     pub fn disabled() -> Self {
-        Registry { enabled: false, metrics: BTreeMap::new() }
+        Registry { enabled: false, metrics: BTreeMap::new(), clock: None }
+    }
+
+    /// An enabled registry whose [`Scope::time`] spans are measured on
+    /// `clock` instead of the wall — the seam that makes the `walltime/`
+    /// family testable under a virtual clock.
+    pub fn with_clock(clock: SharedClock) -> Self {
+        Registry { enabled: true, metrics: BTreeMap::new(), clock: Some(clock) }
+    }
+
+    /// Install (or replace) the span-timer clock on an existing registry.
+    pub fn set_clock(&mut self, clock: SharedClock) {
+        self.clock = Some(clock);
     }
 
     /// Whether recording is live.
@@ -437,7 +455,9 @@ impl Scope<'_> {
         self.reg.observe(self.full(name), value);
     }
 
-    /// Time `f` on the wall clock and add the elapsed nanoseconds to the
+    /// Time `f` on the registry's clock (the wall by default, a
+    /// `beware_runtime::VirtualClock` when one was injected via
+    /// [`Registry::with_clock`]) and add the elapsed nanoseconds to the
     /// counter `walltime/<prefix>/<name>_ns`. Wall-clock metrics live in
     /// their own top-level family precisely so the deterministic JSON
     /// export can exclude them (see [`WALLTIME_FAMILY`]).
@@ -445,9 +465,19 @@ impl Scope<'_> {
         if !self.reg.enabled {
             return f();
         }
-        let t0 = std::time::Instant::now();
-        let out = f();
-        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let (out, elapsed) = match self.reg.clock.clone() {
+            Some(clock) => {
+                let t0 = clock.now();
+                let out = f();
+                (out, clock.since(t0))
+            }
+            None => {
+                let t0 = std::time::Instant::now();
+                let out = f();
+                (out, t0.elapsed())
+            }
+        };
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let full = format!("{WALLTIME_FAMILY}{}_ns", self.full(name));
         self.reg.add(full, ns);
         out
@@ -641,6 +671,27 @@ mod tests {
         assert_eq!(out, 7);
         let ns = reg.counter("walltime/bench/work_ns").unwrap();
         assert!(ns >= 1_000_000, "elapsed {ns} ns");
+    }
+
+    #[test]
+    fn span_timer_on_a_virtual_clock_is_deterministic() {
+        use beware_runtime::VirtualClock;
+        // The walltime/ family becomes a pure function of the clock
+        // schedule: 145 simulated seconds elapse with no real wait.
+        let vc = VirtualClock::new();
+        let mut reg = Registry::with_clock(vc.handle());
+        let out = reg.scope("serve").time("stall", || {
+            vc.advance(std::time::Duration::from_secs(145));
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(reg.counter("walltime/serve/stall_ns"), Some(145_000_000_000));
+        // Export exclusion is clock-independent: walltime/ stays out of
+        // the JSON either way.
+        reg.scope("serve").incr("queries");
+        let json = reg.to_json();
+        assert!(json.contains("serve/queries"), "{json}");
+        assert!(!json.contains("walltime"), "{json}");
     }
 
     #[test]

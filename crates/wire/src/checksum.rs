@@ -103,8 +103,10 @@ mod tests {
 
     #[test]
     fn verification_of_embedded_checksum() {
-        let mut data = [0x45u8, 0x00, 0x00, 0x1c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x01, 0, 0,
-                        0xac, 0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c];
+        let mut data = [
+            0x45u8, 0x00, 0x00, 0x1c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x01, 0, 0, 0xac, 0x10, 0x0a,
+            0x63, 0xac, 0x10, 0x0a, 0x0c,
+        ];
         let ck = internet_checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         assert!(verify(&data));

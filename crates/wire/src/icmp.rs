@@ -194,10 +194,8 @@ mod tests {
 
     #[test]
     fn echo_request_roundtrip() {
-        let repr = IcmpRepr {
-            kind: IcmpKind::EchoRequest { ident: 0x4242, seq: 7 },
-            payload_len: 16,
-        };
+        let repr =
+            IcmpRepr { kind: IcmpKind::EchoRequest { ident: 0x4242, seq: 7 }, payload_len: 16 };
         let payload = [0xa5u8; 16];
         let mut buf = vec![0u8; repr.len()];
         assert_eq!(repr.emit(&payload, &mut buf).unwrap(), 24);

@@ -240,7 +240,10 @@ mod tests {
         let mut buf = vec![0u8; hdr.total_len()];
         hdr.emit(&mut buf).unwrap();
         buf[0] = 0x65;
-        assert_eq!(Ipv4Packet::parse(&buf[..]).unwrap_err(), WireError::Malformed("IP version is not 4"));
+        assert_eq!(
+            Ipv4Packet::parse(&buf[..]).unwrap_err(),
+            WireError::Malformed("IP version is not 4")
+        );
     }
 
     #[test]

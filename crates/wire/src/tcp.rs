@@ -36,17 +36,14 @@ impl TcpFlags {
     pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, rst: true, fin: false };
 
     fn to_byte(self) -> u8 {
-        (u8::from(self.fin)) | (u8::from(self.syn) << 1) | (u8::from(self.rst) << 2)
+        (u8::from(self.fin))
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
             | (u8::from(self.ack) << 4)
     }
 
     fn from_byte(b: u8) -> Self {
-        TcpFlags {
-            fin: b & 0x01 != 0,
-            syn: b & 0x02 != 0,
-            rst: b & 0x04 != 0,
-            ack: b & 0x10 != 0,
-        }
+        TcpFlags { fin: b & 0x01 != 0, syn: b & 0x02 != 0, rst: b & 0x04 != 0, ack: b & 0x10 != 0 }
     }
 }
 

@@ -166,7 +166,10 @@ mod tests {
         repr.emit(&ip, &[], &mut buf).unwrap();
         let mut wrong_ip = ip;
         wrong_ip.src = wrong_ip.src.wrapping_add(1);
-        assert!(matches!(UdpPacket::parse(&buf[..], &wrong_ip), Err(WireError::BadChecksum { .. })));
+        assert!(matches!(
+            UdpPacket::parse(&buf[..], &wrong_ip),
+            Err(WireError::BadChecksum { .. })
+        ));
     }
 
     #[test]

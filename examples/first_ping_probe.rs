@@ -24,9 +24,7 @@ fn main() {
     let targets: Vec<u32> = scenario
         .plan
         .blocks()
-        .filter(|&(b, asn)| {
-            db.as_info(asn).is_some_and(|i| i.kind.serves_cellular()) && b % 2 == 0
-        })
+        .filter(|&(b, asn)| db.as_info(asn).is_some_and(|i| i.kind.serves_cellular()) && b % 2 == 0)
         .flat_map(|(b, _)| (0u32..256).map(move |o| (b << 8) | o))
         .take(4000)
         .collect();

@@ -65,11 +65,8 @@ fn main() {
     );
 
     // Monitor 40 live hosts: one ping every 10 s for ~3 hours each.
-    let targets: Vec<u32> = (0u32..256)
-        .map(|o| 0x0a000000 + o)
-        .filter(|&a| world.is_live(a))
-        .take(40)
-        .collect();
+    let targets: Vec<u32> =
+        (0u32..256).map(|o| 0x0a000000 + o).filter(|&a| world.is_live(a)).take(40).collect();
     let jobs: Vec<PingJob> = targets
         .iter()
         .enumerate()
@@ -81,10 +78,8 @@ fn main() {
 
     println!("monitoring {} always-up cellular hosts, 1,000 pings each:\n", targets.len());
     for (timeout, label) in [(3.0, "conventional 3 s"), (60.0, "paper-recommended 60 s")] {
-        let outages: usize =
-            results.iter().map(|r| false_outages(&r.rtts, timeout, 3)).sum();
-        let affected =
-            results.iter().filter(|r| false_outages(&r.rtts, timeout, 3) > 0).count();
+        let outages: usize = results.iter().map(|r| false_outages(&r.rtts, timeout, 3)).sum();
+        let affected = results.iter().filter(|r| false_outages(&r.rtts, timeout, 3) > 0).count();
         println!(
             "timeout = {label:<24} → {outages:>4} FALSE outage declarations across \
              {affected:>2} hosts"

@@ -55,11 +55,7 @@ fn main() {
         fmt_count(outcome.leftovers.len() as u64)
     );
     // Show the Figure 4 artifact live: stable ~330 s latencies.
-    let artifacts = outcome
-        .delayed
-        .iter()
-        .filter(|d| (328..=332).contains(&d.latency_s))
-        .count();
+    let artifacts = outcome.delayed.iter().filter(|d| (328..=332).contains(&d.latency_s)).count();
     println!("of these, {artifacts} carry the suspicious ~330 s broadcast signature");
 
     println!("\n== step 4: filter artifacts ==");

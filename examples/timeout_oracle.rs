@@ -55,11 +55,9 @@ fn main() {
     for (label, addr) in [("covered address", covered), ("unknown address", stranger)] {
         let ans = oracle.lookup(addr, 950, 950).expect("95% is in the grid");
         let source = match ans.status {
-            Status::Exact => format!(
-                "its own {}/{} table",
-                std::net::Ipv4Addr::from(ans.prefix),
-                ans.prefix_len
-            ),
+            Status::Exact => {
+                format!("its own {}/{} table", std::net::Ipv4Addr::from(ans.prefix), ans.prefix_len)
+            }
             Status::Fallback => "the global fallback".to_string(),
         };
         println!(

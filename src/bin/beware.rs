@@ -13,19 +13,21 @@
 
 use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
 use beware::analysis::recommend;
-use beware::bench::{ExperimentCtx, Scale};
 use beware::analysis::report::{fmt_count, series_to_csv, Series};
 use beware::analysis::timeout_table::TimeoutTable;
 use beware::analysis::Cdf;
 use beware::asdb::gen::{GenConfig, InternetPlan};
 use beware::asdb::persist;
+use beware::bench::{ExperimentCtx, Scale};
 use beware::dataset::stream::{StreamReader, StreamWriter};
 use beware::dataset::{Record, ScanMeta};
+use beware::faultsim::{ChaosProxy, FaultCfg};
 use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
 use beware::probe::census::select_survey_blocks;
 use beware::probe::prelude::*;
-use beware::faultsim::{ChaosProxy, FaultCfg};
-use beware::serve::{build_snapshot, loadgen, server, Client, ClientError, Oracle, SnapshotCfg, Status};
+use beware::serve::{
+    build_snapshot, loadgen, server, Client, ClientError, Oracle, SnapshotCfg, Status,
+};
 use beware::telemetry::Registry;
 use std::collections::HashMap;
 use std::fs::File;
@@ -111,8 +113,7 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
-            let value =
-                it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
             map.insert(name.to_string(), value.clone());
         }
         Ok(Flags(map))
@@ -196,8 +197,7 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
 
     let metrics_path = flags.str("metrics");
     let t0 = std::time::Instant::now();
-    let mut metrics =
-        if metrics_path.is_some() { Registry::new() } else { Registry::disabled() };
+    let mut metrics = if metrics_path.is_some() { Registry::new() } else { Registry::disabled() };
     let ctx = ExperimentCtx::build_with_metrics(scale, threads, &mut metrics);
 
     for survey in [&ctx.survey_w, &ctx.survey_c] {
@@ -215,7 +215,8 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         let mut w = BufWriter::new(File::create(&path).map_err(|e| e.to_string())?);
         writeln!(w, "probed\tresponder\trtt_us").map_err(|e| e.to_string())?;
         for r in &scan.records {
-            writeln!(w, "{}\t{}\t{}", r.probed, r.responder, r.rtt_us).map_err(|e| e.to_string())?;
+            writeln!(w, "{}\t{}\t{}", r.probed, r.responder, r.rtt_us)
+                .map_err(|e| e.to_string())?;
         }
         w.flush().map_err(|e| e.to_string())?;
     }
@@ -225,7 +226,10 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     let mut report = String::new();
     report.push_str(&format!(
         "campaign seed {} | {} blocks | {} survey blocks x {} rounds | {} scans\n\n",
-        scale.seed, scale.internet_blocks, scale.survey_blocks, scale.survey_rounds,
+        scale.seed,
+        scale.internet_blocks,
+        scale.survey_blocks,
+        scale.survey_rounds,
         scale.zmap_scans,
     ));
     for (survey, pipe) in [(&ctx.survey_w, &ctx.pipeline_w), (&ctx.survey_c, &ctx.pipeline_c)] {
@@ -237,11 +241,16 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
             survey.stats.probes(),
             100.0 * survey.stats.response_rate(),
             survey.stats.unmatched,
-            acc.survey_detected.packets, acc.survey_detected.addresses,
-            acc.naive_matching.packets, acc.naive_matching.addresses,
-            acc.broadcast_responses.packets, acc.broadcast_responses.addresses,
-            acc.duplicate_responses.packets, acc.duplicate_responses.addresses,
-            acc.survey_plus_delayed.packets, acc.survey_plus_delayed.addresses,
+            acc.survey_detected.packets,
+            acc.survey_detected.addresses,
+            acc.naive_matching.packets,
+            acc.naive_matching.addresses,
+            acc.broadcast_responses.packets,
+            acc.broadcast_responses.addresses,
+            acc.duplicate_responses.packets,
+            acc.duplicate_responses.addresses,
+            acc.survey_plus_delayed.packets,
+            acc.survey_plus_delayed.addresses,
         ));
     }
     report.push('\n');
@@ -252,8 +261,11 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     for (i, scan) in ctx.scans.iter().enumerate() {
         report.push_str(&format!(
             "scan {i:02} [{} {} {}]: {} responses from {} responders\n",
-            scan.meta.label, scan.meta.day, scan.meta.begin,
-            scan.response_count(), scan.responder_count(),
+            scan.meta.label,
+            scan.meta.day,
+            scan.meta.begin,
+            scan.response_count(),
+            scan.responder_count(),
         ));
     }
     let report_path = out_dir.join("report.txt");
@@ -405,8 +417,7 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     };
     println!("\n{}", table.render("minimum timeout (s): c% of pings from r% of addresses"));
     if let Some(csv) = flags.str("csv") {
-        let p99: Vec<f64> =
-            out.samples.values().filter_map(|s| s.percentile(99.0)).collect();
+        let p99: Vec<f64> = out.samples.values().filter_map(|s| s.percentile(99.0)).collect();
         let series = Series::new("p99_per_address", Cdf::new(p99).to_series(400));
         std::fs::write(csv, series_to_csv(&[series])).map_err(|e| e.to_string())?;
         println!("wrote per-address p99 CDF to {csv}");
@@ -511,6 +522,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         shards: flags.num("shards", beware::netsim::default_threads())?,
         idle_timeout: Duration::from_secs_f64(flags.num("read-timeout", 60.0f64)?),
         metrics: metrics_path.is_some(),
+        ..server::ServerCfg::default()
     };
     let shards = cfg.shards;
     let handle = server::start(Arc::clone(&oracle), (bind, port), cfg)
@@ -546,11 +558,9 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             let c = pct_tenths(flags, "ping-pct", 950)?;
             let ans = client.query(u32::from(addr), r, c).map_err(|e| e.to_string())?;
             let source = match ans.status {
-                Status::Exact => format!(
-                    "prefix {}/{}",
-                    std::net::Ipv4Addr::from(ans.prefix),
-                    ans.prefix_len
-                ),
+                Status::Exact => {
+                    format!("prefix {}/{}", std::net::Ipv4Addr::from(ans.prefix), ans.prefix_len)
+                }
                 Status::Fallback => "global fallback".into(),
             };
             println!(
@@ -620,6 +630,7 @@ fn cmd_chaos(flags: &Flags) -> Result<(), String> {
         shards: flags.num("shards", 2usize)?,
         idle_timeout: Duration::from_secs(30),
         metrics: metrics_path.is_some(),
+        ..server::ServerCfg::default()
     };
     let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", cfg)
         .map_err(|e| format!("binding the chaos target server: {e}"))?;
@@ -640,26 +651,18 @@ fn cmd_chaos(flags: &Flags) -> Result<(), String> {
     for w in 0..workers as u64 {
         let oracle = Arc::clone(&oracle);
         joins.push(std::thread::spawn(move || {
-            let mut state = seed ^ w.wrapping_mul(0x9e37_79b9);
-            let step = |s: &mut u64| {
-                *s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                let mut z = *s;
-                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                z ^ (z >> 31)
-            };
+            let mut rng = beware::runtime::rng::SplitMix64::new(seed ^ w.wrapping_mul(0x9e37_79b9));
             let connect = || {
                 Client::connect_retry(proxy_addr, Duration::from_secs(2), Duration::from_secs(2))
             };
             let (mut ok, mut errs, mut wrong) = (0u64, 0u64, 0u64);
             let Ok(mut client) = connect() else { return (0, 1, 0) };
             for _ in 0..requests {
-                let addr = step(&mut state) as u32;
+                let addr = rng.next_u64() as u32;
                 match client.query(addr, 950, 950) {
                     Ok(ans) => {
                         let truth = oracle.lookup(addr, 950, 950).expect("950 supported");
-                        if ans.timeout_bits == truth.timeout_bits && ans.status == truth.status
-                        {
+                        if ans.timeout_bits == truth.timeout_bits && ans.status == truth.status {
                             ok += 1;
                         } else {
                             wrong += 1;

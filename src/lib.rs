@@ -2,6 +2,10 @@
 //!
 //! Umbrella crate re-exporting the full stack of the IMC 2015 reproduction:
 //!
+//! * [`runtime`] — the shared execution substrate: the `Clock` trait
+//!   (wall and deterministic virtual time), the canonical SplitMix64 RNG
+//!   and seed derivation, and the `DeadlineWheel` scheduler every timeout
+//!   loop runs on (see DESIGN.md §10),
 //! * [`wire`] — IPv4/ICMP/UDP/TCP codecs and the zmap-style payload embedding,
 //! * [`asdb`] — longest-prefix-match AS/geo database and address-space generator,
 //! * [`netsim`] — deterministic discrete-event Internet simulator,
@@ -32,6 +36,7 @@ pub use beware_dataset as dataset;
 pub use beware_faultsim as faultsim;
 pub use beware_netsim as netsim;
 pub use beware_probe as probe;
+pub use beware_runtime as runtime;
 pub use beware_serve as serve;
 pub use beware_telemetry as telemetry;
 pub use beware_wire as wire;

@@ -64,10 +64,7 @@ fn first_percentile_latency_is_low_for_nearly_everyone() {
 #[test]
 fn broadcast_filter_finds_responders_and_cleans_bumps() {
     let out = &ctx().pipeline_w;
-    assert!(
-        !out.broadcast_responders.is_empty(),
-        "no broadcast responders detected"
-    );
+    assert!(!out.broadcast_responders.is_empty(), "no broadcast responders detected");
     let f6 = experiments::fig6::run(ctx());
     assert!(
         f6.bump_mass_after < f6.bump_mass_before,
@@ -108,11 +105,8 @@ fn telefonica_brasil_tops_turtle_ranking_and_cellular_dominates() {
 fn south_america_leads_continents_and_north_america_is_low() {
     let t = experiments::table4_6::run(ctx());
     assert_eq!(t.continents[0].continent, beware_asdb::Continent::SouthAmerica);
-    let na = t
-        .continents
-        .iter()
-        .find(|c| c.continent == beware_asdb::Continent::NorthAmerica)
-        .unwrap();
+    let na =
+        t.continents.iter().find(|c| c.continent == beware_asdb::Continent::NorthAmerica).unwrap();
     assert!(na.per_scan[0].percent() < 5.0, "NA turtle share {}", na.per_scan[0].percent());
     let sa = &t.continents[0];
     assert!(sa.per_scan[0].percent() > 15.0, "SA turtle share {}", sa.per_scan[0].percent());
@@ -177,10 +171,7 @@ fn protocol_parity_holds_and_firewalls_are_found() {
     // a factor, not orders of magnitude.
     let spread = f10.parity_spread();
     assert!(spread < 2.0, "protocol medians diverge by {spread}");
-    assert!(
-        !f10.comparison.firewall_blocks.is_empty(),
-        "no firewall-fronted /24s detected"
-    );
+    assert!(!f10.comparison.firewall_blocks.is_empty(), "no firewall-fronted /24s detected");
     // Excluding firewall blocks removes the fast constant-TTL cluster.
     let raw = f10.comparison.seq0_median(beware_core::protocols::Proto::Tcp);
     let clean = f10.comparison.tcp_seq0_no_firewall.quantile(0.5);

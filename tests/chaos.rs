@@ -23,19 +23,15 @@ use beware::serve::{build_snapshot, server, Client, ClientError, Oracle, Snapsho
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Simulated campaign → filtered per-address samples (same fixture as
 /// tests/serve.rs, smaller plan: chaos runs many requests per seed).
 fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
-    let sc = Scenario::new(ScenarioCfg {
-        year: 2015,
-        seed: 11,
-        total_blocks: 48,
-        vantage: VANTAGES[0],
-    });
+    let sc =
+        Scenario::new(ScenarioCfg { year: 2015, seed: 11, total_blocks: 48, vantage: VANTAGES[0] });
     let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
     let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
     let mut world = sc.build_world();
@@ -44,7 +40,12 @@ fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
 }
 
 fn serve_cfg(shards: usize) -> server::ServerCfg {
-    server::ServerCfg { shards, idle_timeout: Duration::from_secs(30), metrics: true }
+    server::ServerCfg {
+        shards,
+        idle_timeout: Duration::from_secs(30),
+        metrics: true,
+        ..server::ServerCfg::default()
+    }
 }
 
 /// Run `f` on its own thread and panic if it has not finished within
@@ -66,22 +67,13 @@ fn with_watchdog<T: Send + 'static>(
     }
 }
 
-/// Splitmix64 step — the repo-wide seeding discipline, used here to
-/// derive per-worker query schedules.
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// Assert `ans` equals the offline oracle bit for bit.
 fn assert_answer_matches(oracle: &Oracle, addr: u32, ans: &beware::serve::Answer) {
     let truth = oracle.lookup(addr, 950, 950).expect("950 is always a supported level");
     assert_eq!(ans.status, truth.status, "status for {addr:08x}");
     assert_eq!(
-        ans.timeout_bits, truth.timeout_bits,
+        ans.timeout_bits,
+        truth.timeout_bits,
         "WRONG ANSWER for {addr:08x}: served {} != offline {}",
         f64::from_bits(ans.timeout_bits),
         f64::from_bits(truth.timeout_bits),
@@ -100,11 +92,10 @@ fn drive_queries(
     requests: u32,
     probe_prefixes: &[(u32, u8)],
 ) -> (u32, u32) {
-    let mut state = schedule_seed;
+    let mut rng = beware::runtime::rng::SplitMix64::new(schedule_seed);
     let mut ok = 0u32;
     let mut errs = 0u32;
-    let connect =
-        || Client::connect_retry(addr, Duration::from_secs(2), Duration::from_secs(2));
+    let connect = || Client::connect_retry(addr, Duration::from_secs(2), Duration::from_secs(2));
     let mut client = match connect() {
         Ok(c) => c,
         Err(_) => return (0, 1),
@@ -112,7 +103,7 @@ fn drive_queries(
     for i in 0..requests {
         // Alternate between addresses inside known prefixes (exact
         // answers) and arbitrary addresses (mostly fallback).
-        let r = splitmix(&mut state);
+        let r = rng.next_u64();
         let q_addr = if i % 2 == 0 && !probe_prefixes.is_empty() {
             let (p, len) = probe_prefixes[(r as usize) % probe_prefixes.len()];
             let host_mask = ((1u64 << (32 - u32::from(len))) - 1) as u32;
@@ -196,14 +187,16 @@ fn chaos_requests_complete_or_fail_typed_never_hang() {
                 // server via a clean direct connection.
                 proxy.stop();
                 let proxy_metrics = proxy.join();
-                let mut c =
-                    Client::connect_retry(server_addr, Duration::from_secs(5), Duration::from_secs(2))
-                        .unwrap();
+                let mut c = Client::connect_retry(
+                    server_addr,
+                    Duration::from_secs(5),
+                    Duration::from_secs(2),
+                )
+                .unwrap();
                 c.shutdown().unwrap();
                 let server_metrics = handle.join();
                 assert!(server_metrics.counter("serve/queries").unwrap_or(0) > 0);
-                let splits =
-                    proxy_metrics.counter("faults/injected/splits").unwrap_or(0);
+                let splits = proxy_metrics.counter("faults/injected/splits").unwrap_or(0);
                 (ok, errs, splits)
             });
         assert!(ok > 0, "seed {seed}: no request ever succeeded under chaos");
@@ -230,8 +223,7 @@ fn split_only_proxy_is_semantically_transparent() {
         let handle = server::start(Arc::clone(&oracle2), "127.0.0.1:0", serve_cfg(2)).unwrap();
         let proxy = ChaosProxy::start(handle.local_addr(), FaultCfg::split_only(7)).unwrap();
 
-        let (ok, errs) =
-            drive_queries(proxy.local_addr(), &oracle2, 7, 120, oracle2.prefixes());
+        let (ok, errs) = drive_queries(proxy.local_addr(), &oracle2, 7, 120, oracle2.prefixes());
         assert_eq!(errs, 0, "split-only faults must be invisible to the protocol");
         assert_eq!(ok, 120);
 
@@ -272,6 +264,10 @@ fn stalled_reader_does_not_block_same_shard_connections() {
         // without ever blocking the shard thread.
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let sent_bytes = Arc::new(AtomicUsize::new(0));
+        let sent_bytes2 = Arc::clone(&sent_bytes);
+        let backlog_built = Arc::new(AtomicBool::new(false));
+        let backlog_built2 = Arc::clone(&backlog_built);
         let abuser = std::thread::spawn(move || {
             let s = TcpStream::connect(addr).unwrap();
             s.set_nonblocking(true).unwrap();
@@ -281,16 +277,14 @@ fn stalled_reader_does_not_block_same_shard_connections() {
                 ping_pct_tenths: 950,
             });
             // ~64 KiB bursts of back-to-back queries.
-            let burst: Vec<u8> = frame
-                .iter()
-                .copied()
-                .cycle()
-                .take(frame.len() * 4800)
-                .collect();
+            let burst: Vec<u8> = frame.iter().copied().cycle().take(frame.len() * 4800).collect();
             let mut sent = 0usize;
             while !stop2.load(Ordering::Relaxed) && sent < 4 << 20 {
                 match (&s).write(&burst) {
-                    Ok(n) => sent += n,
+                    Ok(n) => {
+                        sent += n;
+                        sent_bytes2.store(sent, Ordering::Relaxed);
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
                     }
@@ -299,6 +293,7 @@ fn stalled_reader_does_not_block_same_shard_connections() {
                     Err(_) => break,
                 }
             }
+            backlog_built2.store(true, Ordering::Relaxed);
             while !stop2.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(10));
             }
@@ -306,9 +301,20 @@ fn stalled_reader_does_not_block_same_shard_connections() {
             sent
         });
 
-        // Give the abuser a head start so its backlog is already choking
-        // the shard when the well-behaved client arrives.
-        std::thread::sleep(Duration::from_millis(300));
+        // Wait (bounded) until the abuser's backlog is demonstrably
+        // choking the shard before the well-behaved client arrives — a
+        // condition, not a fixed nap, so slow CI cannot race it.
+        let head_start = Instant::now();
+        while sent_bytes.load(Ordering::Relaxed) < 256 << 10
+            && !backlog_built.load(Ordering::Relaxed)
+        {
+            assert!(
+                head_start.elapsed() < Duration::from_secs(20),
+                "abuser never built a backlog ({} bytes sent)",
+                sent_bytes.load(Ordering::Relaxed)
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
 
         let mut client =
             Client::connect_retry(addr, Duration::from_secs(2), Duration::from_secs(5)).unwrap();
@@ -352,8 +358,7 @@ fn metrics_json_identical_with_and_without_faultsim() {
     let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
 
     let run_workload = |shards: usize, through_proxy: bool| -> String {
-        let handle =
-            server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(shards)).unwrap();
+        let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(shards)).unwrap();
         let server_addr = handle.local_addr();
         let proxy = if through_proxy {
             Some(ChaosProxy::start(server_addr, FaultCfg::disabled(99)).unwrap())
@@ -363,8 +368,7 @@ fn metrics_json_identical_with_and_without_faultsim() {
         let target = proxy.as_ref().map_or(server_addr, |p| p.local_addr());
 
         let mut client =
-            Client::connect_retry(target, Duration::from_secs(5), Duration::from_secs(2))
-                .unwrap();
+            Client::connect_retry(target, Duration::from_secs(5), Duration::from_secs(2)).unwrap();
         for i in 0..32u32 {
             client.query(0x0a00_0000 ^ i.wrapping_mul(2654435761), 950, 950).unwrap();
         }

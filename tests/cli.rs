@@ -36,8 +36,17 @@ fn full_cli_workflow() {
     // survey
     let out = beware(
         &[
-            "survey", "--plan", "plan.tsv", "--rounds", "12", "--sample", "24", "--seed", "9",
-            "--out", "survey.bwss",
+            "survey",
+            "--plan",
+            "plan.tsv",
+            "--rounds",
+            "12",
+            "--sample",
+            "24",
+            "--seed",
+            "9",
+            "--out",
+            "survey.bwss",
         ],
         &dir,
     );
@@ -60,10 +69,8 @@ fn full_cli_workflow() {
     assert!(stdout.contains("false loss"), "{stdout}");
 
     // scan
-    let out = beware(
-        &["scan", "--plan", "plan.tsv", "--duration", "120", "--out", "scan.csv"],
-        &dir,
-    );
+    let out =
+        beware(&["scan", "--plan", "plan.tsv", "--duration", "120", "--out", "scan.csv"], &dir);
     assert!(out.status.success(), "scan failed: {}", String::from_utf8_lossy(&out.stderr));
     let csv = std::fs::read_to_string(dir.join("scan.csv")).unwrap();
     assert!(csv.starts_with("probed,responder,rtt_us"));
@@ -107,8 +114,17 @@ fn serve_query_loadgen_workflow() {
     assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
     let out = beware(
         &[
-            "survey", "--plan", "plan.tsv", "--rounds", "10", "--sample", "8", "--seed", "7",
-            "--out", "survey.bwss",
+            "survey",
+            "--plan",
+            "plan.tsv",
+            "--rounds",
+            "10",
+            "--sample",
+            "8",
+            "--seed",
+            "7",
+            "--out",
+            "survey.bwss",
         ],
         &dir,
     );
@@ -118,8 +134,17 @@ fn serve_query_loadgen_workflow() {
     // address from its first stdout line.
     let mut server = std::process::Command::new(env!("CARGO_BIN_EXE_beware"))
         .args([
-            "serve", "--survey", "survey.bwss", "--save-snapshot", "snap.bwts", "--port", "0",
-            "--shards", "2", "--metrics", "serve-metrics.json",
+            "serve",
+            "--survey",
+            "survey.bwss",
+            "--save-snapshot",
+            "snap.bwts",
+            "--port",
+            "0",
+            "--shards",
+            "2",
+            "--metrics",
+            "serve-metrics.json",
         ])
         .current_dir(&dir)
         .stdout(std::process::Stdio::piped())
@@ -141,8 +166,17 @@ fn serve_query_loadgen_workflow() {
 
     let out = beware(
         &[
-            "loadgen", "--host", &host, "--snapshot", "snap.bwts", "--workers", "4",
-            "--requests", "200", "--out", "BENCH_3.json",
+            "loadgen",
+            "--host",
+            &host,
+            "--snapshot",
+            "snap.bwts",
+            "--workers",
+            "4",
+            "--requests",
+            "200",
+            "--out",
+            "BENCH_3.json",
         ],
         &dir,
     );
@@ -197,10 +231,7 @@ fn serve_subcommand_errors_fail_cleanly() {
 fn cli_outputs_are_deterministic() {
     let dir = tempdir("det");
     for name in ["a.tsv", "b.tsv"] {
-        let out = beware(
-            &["generate", "--blocks", "64", "--seed", "4", "--out", name],
-            &dir,
-        );
+        let out = beware(&["generate", "--blocks", "64", "--seed", "4", "--out", name], &dir);
         assert!(out.status.success());
     }
     let a = std::fs::read(dir.join("a.tsv")).unwrap();

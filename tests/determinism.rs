@@ -7,12 +7,7 @@ use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
 use beware::probe::prelude::*;
 
 fn scenario(seed: u64) -> Scenario {
-    Scenario::new(ScenarioCfg {
-        year: 2015,
-        seed,
-        total_blocks: 48,
-        vantage: VANTAGES[0],
-    })
+    Scenario::new(ScenarioCfg { year: 2015, seed, total_blocks: 48, vantage: VANTAGES[0] })
 }
 
 fn survey_records(seed: u64) -> Vec<beware::dataset::Record> {

@@ -79,11 +79,7 @@ fn wakeup_world_shows_eleven_minute_survey_pattern() {
     w.add_block(
         0x0a0000,
         Arc::new(BlockProfile {
-            wakeup: Some(WakeupCfg {
-                host_prob: 1.0,
-                delay: Dist::Constant(1.5),
-                tail_secs: 10.0,
-            }),
+            wakeup: Some(WakeupCfg { host_prob: 1.0, delay: Dist::Constant(1.5), tail_secs: 10.0 }),
             ..quiet()
         }),
     );
@@ -103,10 +99,7 @@ fn recommendation_api_flags_short_timeouts_on_slow_worlds() {
     // false loss, a 60 s timeout implies none; the recommended 95/95
     // timeout exceeds 4 s.
     let mut w = World::new(1);
-    w.add_block(
-        0x0a0000,
-        Arc::new(BlockProfile { base_rtt: Dist::Constant(4.0), ..quiet() }),
-    );
+    w.add_block(0x0a0000, Arc::new(BlockProfile { base_rtt: Dist::Constant(4.0), ..quiet() }));
     let cfg = SurveyCfg { blocks: vec![0x0a0000], rounds: 3, ..Default::default() };
     let ((records, _), _) = cfg.build(Vec::new()).run(&mut w);
     let out = run_pipeline(&records, &PipelineCfg::default());
@@ -157,11 +150,8 @@ fn mixed_world_pipeline_is_internally_consistent() {
             ..quiet()
         }),
     );
-    let cfg = SurveyCfg {
-        blocks: vec![0x0a0000, 0x0a0001, 0x0a0002],
-        rounds: 30,
-        ..Default::default()
-    };
+    let cfg =
+        SurveyCfg { blocks: vec![0x0a0000, 0x0a0001, 0x0a0002], rounds: 30, ..Default::default() };
     let ((records, stats), _) = cfg.build(Vec::new()).run(&mut w);
     let out = run_pipeline(&records, &PipelineCfg::default());
     // Sample counts never exceed probe counts.

@@ -4,8 +4,8 @@
 //! determinism contract: the metrics JSON export is byte-identical across
 //! shard counts.
 
-use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
 use beware::analysis::percentile::LatencySamples;
+use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
 use beware::analysis::recommend::recommend_timeout;
 use beware::analysis::timeout_table::TimeoutTable;
 use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
@@ -17,12 +17,8 @@ use std::time::Duration;
 
 /// Simulated campaign → filtered per-address samples.
 fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
-    let sc = Scenario::new(ScenarioCfg {
-        year: 2015,
-        seed: 11,
-        total_blocks: 48,
-        vantage: VANTAGES[0],
-    });
+    let sc =
+        Scenario::new(ScenarioCfg { year: 2015, seed: 11, total_blocks: 48, vantage: VANTAGES[0] });
     let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
     let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
     let mut world = sc.build_world();
@@ -35,6 +31,7 @@ fn serve_cfg(shards: usize) -> server::ServerCfg {
         shards,
         idle_timeout: Duration::from_secs(30),
         metrics: true,
+        ..server::ServerCfg::default()
     }
 }
 
@@ -45,8 +42,7 @@ fn served_answers_bit_match_offline_analysis() {
     assert!(!snap.entries.is_empty(), "campaign produced no per-prefix tables");
     let oracle = Arc::new(Oracle::from_snapshot(snap.clone()).unwrap());
 
-    let handle =
-        server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(4)).unwrap();
+    let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(4)).unwrap();
     let addr = handle.local_addr();
 
     // The offline truth: the global fallback must equal recommend_timeout
@@ -54,8 +50,7 @@ fn served_answers_bit_match_offline_analysis() {
     // TimeoutTable computed over just that prefix's addresses.
     let addr_levels: Vec<f64> =
         snap.address_pct_tenths.iter().map(|&t| f64::from(t) / 10.0).collect();
-    let ping_levels: Vec<f64> =
-        snap.ping_pct_tenths.iter().map(|&t| f64::from(t) / 10.0).collect();
+    let ping_levels: Vec<f64> = snap.ping_pct_tenths.iter().map(|&t| f64::from(t) / 10.0).collect();
     let offline_grid = TimeoutTable::compute_at(&samples, &addr_levels, &ping_levels).unwrap();
 
     // ≥ 4 concurrent clients, each checking a different slice of the
@@ -131,8 +126,7 @@ fn metrics_export_identical_across_shard_counts() {
     let oracle = Arc::new(Oracle::from_snapshot(snap.clone()).unwrap());
 
     let run_workload = |shards: usize| -> String {
-        let handle =
-            server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(shards)).unwrap();
+        let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(shards)).unwrap();
         let addr = handle.local_addr();
         // Fixed workload: 3 connections, each with a deterministic set of
         // queries (one bad percentile each to exercise the error path).

@@ -72,8 +72,7 @@ fn metrics_json_identical_across_thread_counts() {
 /// header present, no JSON syntax leaking through.
 #[test]
 fn metrics_command_renders_snapshot() {
-    let base =
-        std::env::temp_dir().join(format!("beware-telemetry-render-{}", std::process::id()));
+    let base = std::env::temp_dir().join(format!("beware-telemetry-render-{}", std::process::id()));
     std::fs::create_dir_all(&base).expect("temp dir");
     let m = base.join("metrics.json");
     run_campaign(&base.join("out"), &m, 2);

@@ -81,10 +81,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // Everything after a `--` separator (cargo bench passes one) that
         // is not a flag is a name filter, matching real criterion's CLI.
-        let filters = std::env::args()
-            .skip(1)
-            .filter(|a| !a.starts_with('-'))
-            .collect();
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
         Criterion { filters, measure_for: Duration::from_millis(300) }
     }
 }
@@ -181,7 +178,8 @@ mod tests {
         c.bench_function("smoke/batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
-        let mut filtered = Criterion { filters: vec!["nomatch".into()], measure_for: Duration::from_millis(5) };
+        let mut filtered =
+            Criterion { filters: vec!["nomatch".into()], measure_for: Duration::from_millis(5) };
         filtered.bench_function("smoke/skipped", |b| {
             b.iter(|| {
                 hits += 1;
