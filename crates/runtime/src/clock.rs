@@ -41,6 +41,14 @@ pub trait Clock: std::fmt::Debug + Send + Sync {
     fn since(&self, earlier: Duration) -> Duration {
         self.now().saturating_sub(earlier)
     }
+
+    /// Whether this timeline is simulated. A virtual timeline only moves
+    /// when someone sleeps *on it*, so code that would otherwise park the
+    /// OS thread (an `epoll_wait`, say) must poll-and-nap on the clock
+    /// instead — see [`reactor::make_reactor`](crate::reactor::make_reactor).
+    fn is_virtual(&self) -> bool {
+        false
+    }
 }
 
 /// Real time: [`Clock::now`] is `Instant` elapsed since construction,
@@ -146,6 +154,25 @@ impl Clock for VirtualClock {
         // Let any thread this sleep was politely waiting on actually run;
         // virtual sleeps must not turn poll loops into pure spin.
         std::thread::yield_now();
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+/// CPU time this process has consumed so far (user + system), or `None`
+/// where the platform offers no cheap way to ask. Used by the
+/// mass-connection benchmark to price a request — and an *idle*
+/// connection — in CPU rather than wall time.
+pub fn process_cpu_time() -> Option<Duration> {
+    #[cfg(target_os = "linux")]
+    {
+        crate::sys::sys_process_cpu_time()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 

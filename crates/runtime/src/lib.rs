@@ -23,21 +23,39 @@
 //!   `beware-serve` all re-export or delegate to it, with equivalence
 //!   tests pinning the streams to the retired private copies.
 //! * [`DeadlineWheel`] — a binary-heap deadline scheduler with lazy
-//!   cancellation, shared by the oracle server's shard poll loop (idle
+//!   cancellation, shared by the oracle server's shard loop (idle
 //!   eviction) and the chaos proxy (deferred delayed chunks), replacing
 //!   their ad-hoc `last_active` / inline-sleep deadline math.
+//! * [`reactor`] — readiness-driven I/O: a minimal epoll reactor (with
+//!   its own `extern "C"` glibc bindings — the build is hermetic, so no
+//!   `mio`/`libc`) plus a clock-paced polling fallback behind one
+//!   [`Reactor`] trait, so the serve path blocks on *I/O or the next
+//!   wheel deadline* instead of napping on a fixed interval.
 //!
 //! Determinism contract: under a [`VirtualClock`] every timestamp a
 //! component observes is a pure function of its inputs and seeds — no
 //! kernel scheduling, no wall time. See DESIGN.md §10.
+//!
+//! Unsafe policy (DESIGN.md §11): this crate is `#![deny(unsafe_code)]`
+//! with a single `#[allow]` on the private `sys` module, whose safe
+//! wrappers are the only FFI surface in the workspace; every other crate
+//! keeps `#![forbid(unsafe_code)]`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod reactor;
 pub mod rng;
+#[cfg(target_os = "linux")]
+mod sys;
 pub mod wheel;
 
-pub use clock::{Clock, SharedClock, VirtualClock, WallClock};
+pub use clock::{process_cpu_time, Clock, SharedClock, VirtualClock, WallClock};
+#[cfg(target_os = "linux")]
+pub use reactor::EpollReactor;
+pub use reactor::{
+    make_reactor, Event, Interest, PollReactor, Reactor, ReactorKind, StopSignal, Waker,
+};
 pub use rng::{derive_seed, unit_hash, SplitMix64};
 pub use wheel::DeadlineWheel;

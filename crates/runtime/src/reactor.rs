@@ -1,0 +1,691 @@
+//! Readiness-driven I/O: a minimal epoll reactor with a clock-paced
+//! polling fallback.
+//!
+//! The serve path used to spin-poll every nonblocking connection under a
+//! read budget with fixed 2 ms naps — fine at hundreds of connections,
+//! ruinous at 100k+ where an idle connection must cost ~zero CPU. A
+//! [`Reactor`] inverts that: the caller registers file descriptors with
+//! an [`Interest`] and then **blocks** in [`Reactor::wait`] until the
+//! kernel reports readiness, another thread rings a [`Waker`], or a
+//! caller-supplied timeout (derived from a
+//! [`DeadlineWheel`](crate::DeadlineWheel) next-deadline) elapses.
+//!
+//! Two implementations, one contract:
+//!
+//! * [`EpollReactor`] (Linux) — real readiness from `epoll_wait`, with
+//!   eventfd doorbells for cross-thread wakeups. The handful of glibc
+//!   symbols it needs are declared in the crate's one unsafe module
+//!   (`sys`); everything here is safe code.
+//! * [`PollReactor`] — the retired budgeted poll loop, packaged behind
+//!   the same trait: `wait` naps one bounded step on the injected
+//!   [`Clock`](crate::Clock) and then reports every registration as
+//!   ready ("assume-ready"). Under a
+//!   [`VirtualClock`](crate::VirtualClock) those naps *advance simulated
+//!   time*, which is exactly what the virtual-time suites need — an
+//!   epoll reactor would park the OS thread on a timeline that never
+//!   moves on its own.
+//!
+//! [`make_reactor`] picks between them: an explicit [`ReactorKind`], or
+//! `Auto` — epoll for real time, the polling fallback whenever the clock
+//! is virtual (see [`Clock::is_virtual`](crate::Clock::is_virtual)) or
+//! epoll is unavailable.
+
+use crate::clock::SharedClock;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+use crate::sys;
+
+/// What a registration wants to hear about. Plain bitset semantics:
+/// combine with [`Interest::and`], query with the accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// No events (keep the fd registered but silent).
+    pub const NONE: Interest = Interest(0);
+    /// Readable (and peer-hangup) events.
+    pub const READABLE: Interest = Interest(1);
+    /// Writable events.
+    pub const WRITABLE: Interest = Interest(2);
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest(3);
+
+    const EDGE: u8 = 4;
+
+    /// Union of two interests.
+    pub fn and(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Edge-triggered variant: report a readiness *transition* once
+    /// instead of re-reporting while the condition holds. The epoll
+    /// reactor maps this to `EPOLLET`; the polling fallback has no
+    /// readiness signal to edge on and ignores it.
+    pub fn edge(self) -> Interest {
+        Interest(self.0 | Interest::EDGE)
+    }
+
+    /// Whether readable events are wanted.
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether writable events are wanted.
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Whether the registration is edge-triggered.
+    pub fn is_edge(self) -> bool {
+        self.0 & Interest::EDGE != 0
+    }
+}
+
+/// One readiness report from [`Reactor::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd (or waker) was registered with.
+    pub token: u64,
+    /// Reading will not block (includes error/hangup conditions, which
+    /// surface through the next `read`).
+    pub readable: bool,
+    /// Writing will not block (includes error conditions).
+    pub writable: bool,
+    /// The peer hung up.
+    pub hangup: bool,
+}
+
+/// A cross-thread doorbell that interrupts [`Reactor::wait`].
+///
+/// On Linux the waker owns an eventfd the epoll reactor registers like
+/// any other fd; everywhere (and for the polling fallback) it also keeps
+/// an atomic flag, so a wake is never lost even when no reactor is
+/// watching the fd. Waking is idempotent and cheap; the flag (and
+/// eventfd counter) reset when the wake is delivered.
+#[derive(Debug)]
+pub struct Waker {
+    flag: AtomicBool,
+    #[cfg(target_os = "linux")]
+    efd: RawFd,
+}
+
+impl Waker {
+    /// A fresh doorbell.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            flag: AtomicBool::new(false),
+            #[cfg(target_os = "linux")]
+            efd: sys::sys_eventfd()?,
+        })
+    }
+
+    /// Ring: any in-flight or future [`Reactor::wait`] watching this
+    /// waker returns (with the waker's token among the events).
+    pub fn wake(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        sys::sys_eventfd_signal(self.efd);
+    }
+
+    /// Consume a pending wake, if any.
+    fn take(&self) -> bool {
+        let was = self.flag.swap(false, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if was {
+            sys::sys_eventfd_drain(self.efd);
+        }
+        was
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::sys_close(self.efd);
+    }
+}
+
+/// A stop flag fused to a set of wakers: one `request_stop` both raises
+/// the flag and rings every subscribed doorbell, so threads blocked in
+/// [`Reactor::wait`] observe the stop promptly instead of at their next
+/// timeout. This is how `ServerHandle::shutdown` (or a `Shutdown` frame
+/// handled on one shard) reaches every other shard and the acceptor.
+#[derive(Debug, Default)]
+pub struct StopSignal {
+    stopped: AtomicBool,
+    wakers: Mutex<Vec<Arc<Waker>>>,
+}
+
+impl StopSignal {
+    /// A fresh, un-stopped signal.
+    pub fn new() -> StopSignal {
+        StopSignal::default()
+    }
+
+    /// Add a doorbell to ring on stop. (If the stop already happened,
+    /// ring it immediately — late subscribers must not block forever.)
+    pub fn subscribe(&self, waker: Arc<Waker>) {
+        if self.is_stopped() {
+            waker.wake();
+        }
+        self.wakers.lock().expect("stop signal lock").push(waker);
+    }
+
+    /// Raise the flag and ring every subscribed waker.
+    pub fn request_stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        for w in self.wakers.lock().expect("stop signal lock").iter() {
+            w.wake();
+        }
+    }
+
+    /// Whether stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+}
+
+/// A readiness source: register fds by token, block in [`wait`] until
+/// something is ready, a [`Waker`] rings, or the timeout passes.
+///
+/// The timeout contract is the wheel⇄reactor seam (DESIGN.md §11): the
+/// caller derives `timeout` as `DeadlineWheel::next_deadline()` minus
+/// `clock.now()`, so a shard sleeps **exactly** until either I/O or
+/// the next deadline it owns — never on a fixed nap.
+///
+/// [`wait`]: Reactor::wait
+pub trait Reactor: Send + std::fmt::Debug {
+    /// Start watching `fd` under `token` with `interest`.
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Change an existing registration's token/interest.
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Stop watching `fd`. Pending events for it are dropped.
+    fn deregister(&mut self, fd: RawFd, token: u64) -> io::Result<()>;
+
+    /// Watch a [`Waker`] under `token`; its wakes surface as events.
+    fn add_waker(&mut self, waker: Arc<Waker>, token: u64) -> io::Result<()>;
+
+    /// Block until readiness, a wake, or `timeout` (`None` = forever).
+    /// `events` is cleared and refilled; an empty result means the
+    /// timeout (or a signal) ended the wait.
+    fn wait(&mut self, timeout: Option<Duration>, events: &mut Vec<Event>) -> io::Result<()>;
+}
+
+/// Which reactor [`make_reactor`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactorKind {
+    /// Epoll for wall clocks on Linux; the polling fallback for virtual
+    /// clocks or platforms without epoll.
+    #[default]
+    Auto,
+    /// Force epoll (errors off-Linux).
+    Epoll,
+    /// Force the clock-paced polling fallback.
+    Poll,
+}
+
+/// Build a reactor of `kind` for code paced by `clock`.
+pub fn make_reactor(kind: ReactorKind, clock: &SharedClock) -> io::Result<Box<dyn Reactor>> {
+    match kind {
+        ReactorKind::Poll => Ok(Box::new(PollReactor::new(Arc::clone(clock)))),
+        ReactorKind::Epoll => {
+            #[cfg(target_os = "linux")]
+            {
+                Ok(Box::new(EpollReactor::new()?))
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                Err(io::Error::new(io::ErrorKind::Unsupported, "epoll requires Linux"))
+            }
+        }
+        ReactorKind::Auto => {
+            // A virtual timeline only moves when someone sleeps on the
+            // injected clock — parking the OS thread in epoll_wait would
+            // deadlock simulated time, so Auto refuses to.
+            if clock.is_virtual() {
+                return Ok(Box::new(PollReactor::new(Arc::clone(clock))));
+            }
+            #[cfg(target_os = "linux")]
+            {
+                match EpollReactor::new() {
+                    Ok(r) => Ok(Box::new(r)),
+                    Err(_) => Ok(Box::new(PollReactor::new(Arc::clone(clock)))),
+                }
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                Ok(Box::new(PollReactor::new(Arc::clone(clock))))
+            }
+        }
+    }
+}
+
+/// Real readiness from `epoll` (Linux only; see the crate's `sys`
+/// module for the FFI surface and DESIGN.md §11 for the unsafe policy).
+/// Level-triggered by default — unconsumed input re-reports on the next
+/// [`wait`](Reactor::wait), which is what makes per-connection read
+/// budgets safe — with [`Interest::edge`] opting in to `EPOLLET`.
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+pub struct EpollReactor {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+    wakers: Vec<(u64, Arc<Waker>)>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollReactor {
+    /// A fresh epoll instance.
+    pub fn new() -> io::Result<EpollReactor> {
+        Ok(EpollReactor {
+            epfd: sys::sys_epoll_create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+            wakers: Vec::new(),
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0u32;
+        if interest.is_readable() {
+            m |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if interest.is_writable() {
+            m |= sys::EPOLLOUT;
+        }
+        if interest.is_edge() {
+            m |= sys::EPOLLET;
+        }
+        m
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollReactor {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Reactor for EpollReactor {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, Self::mask(interest), token)
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, Self::mask(interest), token)
+    }
+
+    fn deregister(&mut self, fd: RawFd, _token: u64) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn add_waker(&mut self, waker: Arc<Waker>, token: u64) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, waker.efd, sys::EPOLLIN, token)?;
+        self.wakers.push((token, waker));
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout: Option<Duration>, events: &mut Vec<Event>) -> io::Result<()> {
+        events.clear();
+        // Round *up* to whole milliseconds so we never wake before the
+        // caller's deadline and spin on a not-yet-due wheel.
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(t) => i32::try_from(t.as_nanos().div_ceil(1_000_000)).unwrap_or(i32::MAX),
+        };
+        let n = sys::sys_epoll_wait(self.epfd, &mut self.buf, timeout_ms)?;
+        for raw in &self.buf[..n] {
+            let (mask, token) = (raw.events, raw.data);
+            if let Some((_, w)) = self.wakers.iter().find(|(t, _)| *t == token) {
+                w.take(); // drain the eventfd + flag
+                events.push(Event { token, readable: false, writable: false, hangup: false });
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: mask & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP)
+                    != 0,
+                writable: mask & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                hangup: mask & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The retired budgeted poll loop behind the [`Reactor`] trait: naps one
+/// bounded step on the injected clock, then reports **every**
+/// registration as ready in registration order ("assume-ready" — the
+/// caller's nonblocking reads/writes discover the truth, exactly as the
+/// old spin loop did). Deterministic-time-compatible: under a
+/// [`VirtualClock`](crate::VirtualClock) the naps advance the simulated
+/// timeline, so wheel deadlines measured on it still fire.
+#[derive(Debug)]
+pub struct PollReactor {
+    clock: SharedClock,
+    step: Duration,
+    registered: Vec<(RawFd, u64, Interest)>,
+    wakers: Vec<(u64, Arc<Waker>)>,
+}
+
+impl PollReactor {
+    /// Default pacing step between poll rounds (the old shard loop's
+    /// no-progress nap).
+    pub const DEFAULT_STEP: Duration = Duration::from_micros(500);
+
+    /// A polling reactor paced on `clock` with the default step.
+    pub fn new(clock: SharedClock) -> PollReactor {
+        PollReactor::with_step(clock, PollReactor::DEFAULT_STEP)
+    }
+
+    /// A polling reactor with an explicit pacing step.
+    pub fn with_step(clock: SharedClock, step: Duration) -> PollReactor {
+        PollReactor { clock, step, registered: Vec::new(), wakers: Vec::new() }
+    }
+
+    /// Collect pending wakes into `events`; true if any fired.
+    fn take_wakes(&self, events: &mut Vec<Event>) -> bool {
+        let mut any = false;
+        for (token, w) in &self.wakers {
+            if w.take() {
+                events.push(Event {
+                    token: *token,
+                    readable: false,
+                    writable: false,
+                    hangup: false,
+                });
+                any = true;
+            }
+        }
+        any
+    }
+}
+
+impl Reactor for PollReactor {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if self.registered.iter().any(|&(f, _, _)| f == fd) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        self.registered.push((fd, token, interest));
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self.registered.iter_mut().find(|(f, _, _)| *f == fd) {
+            Some(slot) => {
+                *slot = (fd, token, interest);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn deregister(&mut self, fd: RawFd, _token: u64) -> io::Result<()> {
+        let before = self.registered.len();
+        self.registered.retain(|&(f, _, _)| f != fd);
+        if self.registered.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+
+    fn add_waker(&mut self, waker: Arc<Waker>, token: u64) -> io::Result<()> {
+        self.wakers.push((token, waker));
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout: Option<Duration>, events: &mut Vec<Event>) -> io::Result<()> {
+        events.clear();
+        // A pending wake short-circuits the nap entirely.
+        if self.take_wakes(events) {
+            return Ok(());
+        }
+        let nap = timeout.map_or(self.step, |t| t.min(self.step));
+        if !nap.is_zero() {
+            self.clock.sleep(nap);
+        }
+        self.take_wakes(events);
+        for &(_, token, interest) in &self.registered {
+            if interest.is_readable() || interest.is_writable() {
+                events.push(Event {
+                    token,
+                    readable: interest.is_readable(),
+                    writable: interest.is_writable(),
+                    hangup: false,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, VirtualClock, WallClock};
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    /// A connected loopback pair (both ends blocking).
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nodelay(true).unwrap();
+        b.set_nodelay(true).unwrap();
+        (a, b)
+    }
+
+    fn events_for(events: &[Event], token: u64) -> Vec<Event> {
+        events.iter().copied().filter(|e| e.token == token).collect()
+    }
+
+    #[cfg(target_os = "linux")]
+    mod epoll {
+        use super::*;
+
+        #[test]
+        fn level_triggered_rereports_until_drained() {
+            let (mut a, b) = tcp_pair();
+            let mut r = EpollReactor::new().unwrap();
+            r.register(b.as_raw_fd(), 7, Interest::READABLE).unwrap();
+            a.write_all(b"hello").unwrap();
+
+            let mut events = Vec::new();
+            for round in 0..2 {
+                r.wait(Some(Duration::from_secs(2)), &mut events).unwrap();
+                let got = events_for(&events, 7);
+                assert_eq!(got.len(), 1, "round {round}: {events:?}");
+                assert!(got[0].readable, "round {round}: unread input must re-report (level)");
+            }
+
+            // Drain, then readiness must stop.
+            let mut buf = [0u8; 16];
+            let mut b2 = &b;
+            assert_eq!(b2.read(&mut buf).unwrap(), 5);
+            r.wait(Some(Duration::from_millis(50)), &mut events).unwrap();
+            assert!(events_for(&events, 7).is_empty(), "drained fd still reported: {events:?}");
+        }
+
+        #[test]
+        fn edge_triggered_reports_once_per_burst() {
+            let (mut a, b) = tcp_pair();
+            let mut r = EpollReactor::new().unwrap();
+            r.register(b.as_raw_fd(), 9, Interest::READABLE.edge()).unwrap();
+            a.write_all(b"x").unwrap();
+
+            let mut events = Vec::new();
+            r.wait(Some(Duration::from_secs(2)), &mut events).unwrap();
+            assert_eq!(events_for(&events, 9).len(), 1);
+            // Nothing consumed, but no new burst: edge mode stays quiet.
+            r.wait(Some(Duration::from_millis(50)), &mut events).unwrap();
+            assert!(events_for(&events, 9).is_empty(), "edge re-reported: {events:?}");
+            // A fresh burst re-arms it.
+            a.write_all(b"y").unwrap();
+            r.wait(Some(Duration::from_secs(2)), &mut events).unwrap();
+            assert_eq!(events_for(&events, 9).len(), 1);
+        }
+
+        #[test]
+        fn deregister_while_armed_silences_the_fd() {
+            // A pipe with data in flight is armed; deregistering must
+            // drop it from every later wait.
+            let (reader, mut writer) = std::io::pipe().unwrap();
+            let mut r = EpollReactor::new().unwrap();
+            r.register(reader.as_raw_fd(), 3, Interest::READABLE).unwrap();
+            writer.write_all(b"armed").unwrap();
+
+            let mut events = Vec::new();
+            r.wait(Some(Duration::from_secs(2)), &mut events).unwrap();
+            assert_eq!(events_for(&events, 3).len(), 1);
+
+            r.deregister(reader.as_raw_fd(), 3).unwrap();
+            r.wait(Some(Duration::from_millis(50)), &mut events).unwrap();
+            assert!(events.is_empty(), "deregistered fd still reported: {events:?}");
+        }
+
+        #[test]
+        fn interest_flips_between_readable_and_writable() {
+            let (a, b) = tcp_pair();
+            let mut r = EpollReactor::new().unwrap();
+            // A fresh socket with an empty send buffer is writable.
+            r.register(b.as_raw_fd(), 5, Interest::WRITABLE).unwrap();
+            let mut events = Vec::new();
+            r.wait(Some(Duration::from_secs(2)), &mut events).unwrap();
+            assert!(events_for(&events, 5)[0].writable);
+            // Flip to readable-only: writability must stop reporting.
+            r.reregister(b.as_raw_fd(), 5, Interest::READABLE).unwrap();
+            r.wait(Some(Duration::from_millis(50)), &mut events).unwrap();
+            assert!(events_for(&events, 5).is_empty(), "{events:?}");
+            drop(a);
+        }
+
+        #[test]
+        fn waker_unblocks_a_blocking_wait() {
+            let mut r = EpollReactor::new().unwrap();
+            let waker = Arc::new(Waker::new().unwrap());
+            r.add_waker(Arc::clone(&waker), 42).unwrap();
+
+            let ringer = Arc::clone(&waker);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                ringer.wake();
+            });
+            let t0 = Instant::now();
+            let mut events = Vec::new();
+            // No timeout: only the waker can end this wait.
+            r.wait(None, &mut events).unwrap();
+            assert_eq!(
+                events,
+                vec![Event { token: 42, readable: false, writable: false, hangup: false }]
+            );
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            t.join().unwrap();
+
+            // The doorbell resets: the next wait times out quietly.
+            r.wait(Some(Duration::from_millis(20)), &mut events).unwrap();
+            assert!(events.is_empty(), "stale wake re-delivered: {events:?}");
+        }
+
+        #[test]
+        fn peer_hangup_surfaces_as_readable() {
+            let (a, b) = tcp_pair();
+            let mut r = EpollReactor::new().unwrap();
+            r.register(b.as_raw_fd(), 1, Interest::READABLE).unwrap();
+            drop(a);
+            let mut events = Vec::new();
+            r.wait(Some(Duration::from_secs(2)), &mut events).unwrap();
+            let got = events_for(&events, 1);
+            assert_eq!(got.len(), 1);
+            assert!(got[0].readable, "hangup must be readable so read() observes the EOF");
+            assert!(got[0].hangup);
+        }
+    }
+
+    #[test]
+    fn poll_fallback_reports_registrations_and_paces_on_the_clock() {
+        let vc = VirtualClock::new();
+        let mut r = PollReactor::with_step(vc.handle(), Duration::from_millis(10));
+        r.register(0, 11, Interest::READABLE).unwrap();
+        r.register(1, 12, Interest::BOTH).unwrap();
+        r.register(2, 13, Interest::NONE).unwrap();
+
+        let mut events = Vec::new();
+        r.wait(Some(Duration::from_secs(60)), &mut events).unwrap();
+        assert_eq!(vc.now(), Duration::from_millis(10), "one pacing step of virtual time");
+        assert_eq!(events.len(), 2, "NONE interest stays silent: {events:?}");
+        assert!(events_for(&events, 11)[0].readable);
+        let both = events_for(&events, 12)[0];
+        assert!(both.readable && both.writable);
+
+        // Timeouts below the step clamp the nap: a wheel deadline 2 ms
+        // out must not be overslept by 10 ms.
+        r.wait(Some(Duration::from_millis(2)), &mut events).unwrap();
+        assert_eq!(vc.now(), Duration::from_millis(12));
+
+        r.deregister(1, 12).unwrap();
+        r.wait(Some(Duration::from_millis(10)), &mut events).unwrap();
+        assert!(events_for(&events, 12).is_empty(), "deregistered fd still reported");
+    }
+
+    #[test]
+    fn poll_fallback_wake_short_circuits_the_nap() {
+        let vc = VirtualClock::new();
+        let mut r = PollReactor::with_step(vc.handle(), Duration::from_millis(10));
+        let waker = Arc::new(Waker::new().unwrap());
+        r.add_waker(Arc::clone(&waker), 99).unwrap();
+        waker.wake();
+        let mut events = Vec::new();
+        r.wait(Some(Duration::from_secs(60)), &mut events).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 99);
+        assert_eq!(vc.now(), Duration::ZERO, "a pending wake must skip the nap");
+    }
+
+    #[test]
+    fn stop_signal_raises_flag_and_rings_every_subscriber() {
+        let stop = StopSignal::new();
+        let a = Arc::new(Waker::new().unwrap());
+        let b = Arc::new(Waker::new().unwrap());
+        stop.subscribe(Arc::clone(&a));
+        stop.subscribe(Arc::clone(&b));
+        assert!(!stop.is_stopped());
+        assert!(!a.take() && !b.take());
+
+        stop.request_stop();
+        assert!(stop.is_stopped());
+        assert!(a.take() && b.take());
+
+        // Late subscribers get rung immediately.
+        let c = Arc::new(Waker::new().unwrap());
+        stop.subscribe(Arc::clone(&c));
+        assert!(c.take());
+    }
+
+    #[test]
+    fn auto_kind_respects_virtual_clocks() {
+        let wall = WallClock::shared();
+        let virt = VirtualClock::new().handle();
+        let for_wall = make_reactor(ReactorKind::Auto, &wall).unwrap();
+        let for_virt = make_reactor(ReactorKind::Auto, &virt).unwrap();
+        let name = |r: &Box<dyn Reactor>| format!("{r:?}");
+        #[cfg(target_os = "linux")]
+        assert!(name(&for_wall).starts_with("EpollReactor"), "{for_wall:?}");
+        #[cfg(not(target_os = "linux"))]
+        assert!(name(&for_wall).starts_with("PollReactor"), "{for_wall:?}");
+        assert!(
+            name(&for_virt).starts_with("PollReactor"),
+            "virtual time must never park in epoll: {for_virt:?}"
+        );
+    }
+}

@@ -11,8 +11,9 @@
 
 use crate::client::{Client, ClientError};
 use beware_runtime::clock::{SharedClock, WallClock};
+use beware_runtime::process_cpu_time;
 use beware_runtime::rng::SplitMix64;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -236,6 +237,255 @@ pub fn run_with_clock(
     })
 }
 
+/// Mass-connection run parameters: a pool of `conns` connections that
+/// are opened and then held **idle**, plus a hot subset of
+/// `hot_workers` closed-loop workers issuing requests — the shape the
+/// readiness-driven serve path exists for. The interesting numbers are
+/// the ones a spin-polling server cannot produce: near-zero process CPU
+/// while only the idle pool is connected, and a CPU-per-request figure
+/// that does not grow with the number of parked connections.
+#[derive(Debug, Clone)]
+pub struct MassCfg {
+    /// Idle connections to open and hold for the whole run.
+    pub conns: usize,
+    /// Closed-loop workers in the hot subset (each opens its own
+    /// connection on top of the idle pool).
+    pub hot_workers: usize,
+    /// Requests each hot worker issues.
+    pub requests_per_worker: usize,
+    /// Addresses the hot workers draw from.
+    pub addr_pool: Vec<u32>,
+    /// Address-percentile level queried, tenths of a percent.
+    pub addr_pct_tenths: u16,
+    /// Ping-percentile level queried, tenths of a percent.
+    pub ping_pct_tenths: u16,
+    /// Seed for the hot workers' address streams.
+    pub seed: u64,
+    /// Socket read timeout per hot request.
+    pub read_timeout: Duration,
+    /// Wall-clock window over which idle CPU is sampled, after the pool
+    /// is open and before any hot traffic.
+    pub idle_settle: Duration,
+    /// The server's shard count — recorded so the report can state the
+    /// connections-per-shard load (the benchmark driver knows it; a
+    /// remote server's client does not, so pass 0 for "unknown").
+    pub shards: usize,
+}
+
+impl Default for MassCfg {
+    fn default() -> Self {
+        MassCfg {
+            conns: 1000,
+            hot_workers: 4,
+            requests_per_worker: 1000,
+            addr_pool: Vec::new(),
+            addr_pct_tenths: 950,
+            ping_pct_tenths: 950,
+            seed: 0xbe0a_2e11,
+            read_timeout: Duration::from_secs(5),
+            idle_settle: Duration::from_millis(500),
+            shards: 0,
+        }
+    }
+}
+
+/// Summary of one mass-connection run at one connection scale.
+#[derive(Debug, Clone)]
+pub struct MassReport {
+    /// Idle connections held open through the run.
+    pub conns: usize,
+    /// Server shard count (0 when unknown).
+    pub shards: usize,
+    /// `conns / shards` (0 when the shard count is unknown).
+    pub conns_per_shard: f64,
+    /// Process CPU consumed during the idle window, as a percentage of
+    /// the window's wall time. `None` where the platform offers no
+    /// process-CPU clock — and meaningful only when the server runs in
+    /// this process (the benchmark driver's in-process mode).
+    pub idle_cpu_pct: Option<f64>,
+    /// Process CPU per successful request during the hot phase,
+    /// microseconds. In in-process mode this prices the whole loop —
+    /// server shards *and* the client workers driving them.
+    pub cpu_per_request_us: Option<f64>,
+    /// The hot subset's closed-loop summary.
+    pub load: LoadReport,
+}
+
+impl MassReport {
+    /// Render as one entry of the `BENCH_4.json` `runs` array.
+    fn to_json_entry(&self) -> String {
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"conns\": {},\n",
+                "      \"shards\": {},\n",
+                "      \"conns_per_shard\": {:.1},\n",
+                "      \"idle_cpu_pct\": {},\n",
+                "      \"cpu_per_request_us\": {},\n",
+                "      \"hot_workers\": {},\n",
+                "      \"requests\": {},\n",
+                "      \"errors\": {},\n",
+                "      \"throughput_rps\": {:.3},\n",
+                "      \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {} }}\n",
+                "    }}",
+            ),
+            self.conns,
+            self.shards,
+            self.conns_per_shard,
+            fmt_opt(self.idle_cpu_pct),
+            fmt_opt(self.cpu_per_request_us),
+            self.load.workers,
+            self.load.requests,
+            self.load.errors,
+            self.load.throughput_rps,
+            self.load.p50_us,
+            self.load.p99_us,
+            self.load.p999_us,
+        )
+    }
+
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        let idle = match self.idle_cpu_pct {
+            Some(p) => format!("{p:.2}% idle CPU"),
+            None => "idle CPU n/a".into(),
+        };
+        let per_req = match self.cpu_per_request_us {
+            Some(us) => format!("{us:.1}µs CPU/req"),
+            None => "CPU/req n/a".into(),
+        };
+        format!(
+            "{} idle conns ({:.0}/shard): {} — hot: {:.0} req/s, p50 {}µs p99 {}µs p99.9 {}µs, {}",
+            self.conns,
+            self.conns_per_shard,
+            idle,
+            self.load.throughput_rps,
+            self.load.p50_us,
+            self.load.p99_us,
+            self.load.p999_us,
+            per_req,
+        )
+    }
+}
+
+/// Render a sweep of mass-connection runs as the `BENCH_4.json` document
+/// (schema 1).
+pub fn mass_sweep_json(runs: &[MassReport]) -> String {
+    let entries: Vec<String> = runs.iter().map(MassReport::to_json_entry).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"bench\": \"serve_mass_conns\",\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n",
+        ),
+        entries.join(",\n"),
+    )
+}
+
+/// Open `n` connections and hold them (the caller keeps the pool alive
+/// for the duration of the measurement).
+///
+/// Uses `connect_timeout` with a short deadline on purpose: a connect
+/// storm occasionally overflows the listener's accept queue, the kernel
+/// drops the SYN, and a plain blocking `connect` then sits out the full
+/// 1 s TCP retransmit timer — the paper's "surprisingly high delay"
+/// biting its own benchmark. Capping the wait and retrying immediately
+/// (the queue has long since drained) opens 5k connections in ~300 ms
+/// instead of tens of seconds.
+fn open_idle_pool(addr: SocketAddr, n: usize) -> Result<Vec<TcpStream>, String> {
+    let mut pool = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut attempts = 0u32;
+        loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(50)) {
+                Ok(s) => {
+                    // Idle conns never write; nodelay only matters for
+                    // symmetry with the served side's accept path.
+                    let _ = s.set_nodelay(true);
+                    pool.push(s);
+                    break;
+                }
+                Err(e) if attempts < 200 => {
+                    attempts += 1;
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "idle connection {i}/{n} failed after {attempts} retries: {e} \
+                         (fd limit? `ulimit -n`)"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(pool)
+}
+
+/// Run one mass-connection measurement against a server at `addr`:
+/// open the idle pool, sample process CPU over a quiet settle window,
+/// then drive the hot subset closed-loop and price its requests in CPU.
+///
+/// The CPU figures come from `CLOCK_PROCESS_CPUTIME_ID`, so they are
+/// meaningful when the server runs **in this process** (the `beware
+/// loadgen --conns` driver starts one); against a remote server they
+/// measure only the client side and the driver reports them as such.
+pub fn run_mass(addr: SocketAddr, cfg: &MassCfg) -> Result<MassReport, String> {
+    if cfg.conns == 0 {
+        return Err("mass run needs --conns >= 1".into());
+    }
+    let clock: SharedClock = WallClock::shared();
+    let pool = open_idle_pool(addr, cfg.conns)?;
+
+    // Let the acceptor finish handing the pool to the shards and the
+    // shards park again before the idle window opens.
+    std::thread::sleep(Duration::from_millis(100));
+    let idle_cpu0 = process_cpu_time();
+    let idle_t0 = clock.now();
+    std::thread::sleep(cfg.idle_settle);
+    let idle_wall = clock.since(idle_t0).as_secs_f64();
+    let idle_cpu_pct = match (idle_cpu0, process_cpu_time()) {
+        (Some(a), Some(b)) if idle_wall > 0.0 => {
+            Some(100.0 * b.saturating_sub(a).as_secs_f64() / idle_wall)
+        }
+        _ => None,
+    };
+
+    let load_cfg = LoadCfg {
+        workers: cfg.hot_workers,
+        requests_per_worker: cfg.requests_per_worker,
+        addr_pool: cfg.addr_pool.clone(),
+        addr_pct_tenths: cfg.addr_pct_tenths,
+        ping_pct_tenths: cfg.ping_pct_tenths,
+        seed: cfg.seed,
+        read_timeout: cfg.read_timeout,
+    };
+    let hot_cpu0 = process_cpu_time();
+    let load = run_with_clock(addr, &load_cfg, Arc::clone(&clock))?;
+    let cpu_per_request_us = match (hot_cpu0, process_cpu_time()) {
+        (Some(a), Some(b)) if load.requests > 0 => {
+            Some(b.saturating_sub(a).as_secs_f64() * 1e6 / load.requests as f64)
+        }
+        _ => None,
+    };
+    drop(pool);
+
+    Ok(MassReport {
+        conns: cfg.conns,
+        shards: cfg.shards,
+        conns_per_shard: if cfg.shards > 0 { cfg.conns as f64 / cfg.shards as f64 } else { 0.0 },
+        idle_cpu_pct,
+        cpu_per_request_us,
+        load,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +534,55 @@ mod tests {
         assert!(j.contains("\"p999\": 900"));
         assert!(j.contains("\"throughput_rps\": 3200.000"));
         assert!(r.render().contains("p99.9 900µs"));
+    }
+
+    #[test]
+    fn mass_sweep_json_shape() {
+        let load = LoadReport {
+            workers: 2,
+            requests: 200,
+            errors: 0,
+            wall_secs: 0.5,
+            throughput_rps: 400.0,
+            p50_us: 90,
+            p99_us: 500,
+            p999_us: 800,
+            min_us: 50,
+            max_us: 900,
+            mean_us: 110.0,
+        };
+        let runs = vec![
+            MassReport {
+                conns: 1000,
+                shards: 4,
+                conns_per_shard: 250.0,
+                idle_cpu_pct: Some(0.42),
+                cpu_per_request_us: Some(12.5),
+                load: load.clone(),
+            },
+            MassReport {
+                conns: 10_000,
+                shards: 4,
+                conns_per_shard: 2500.0,
+                idle_cpu_pct: None,
+                cpu_per_request_us: None,
+                load,
+            },
+        ];
+        let j = mass_sweep_json(&runs);
+        assert!(j.contains("\"bench\": \"serve_mass_conns\""));
+        assert!(j.contains("\"conns\": 10000"));
+        assert!(j.contains("\"idle_cpu_pct\": 0.420"));
+        assert!(j.contains("\"idle_cpu_pct\": null"), "missing CPU clock renders as null");
+        assert!(j.contains("\"conns_per_shard\": 2500.0"));
+        assert!(runs[0].render().contains("1000 idle conns"));
+    }
+
+    #[test]
+    fn mass_zero_conns_rejected() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let cfg = MassCfg { conns: 0, ..Default::default() };
+        assert!(run_mass(addr, &cfg).is_err());
     }
 
     #[test]

@@ -1,37 +1,52 @@
-//! The oracle daemon: a sharded, thread-per-core TCP server.
+//! The oracle daemon: a sharded, thread-per-core, readiness-driven TCP
+//! server.
 //!
 //! One acceptor thread distributes connections round-robin to `shards`
-//! worker threads. Each shard owns its connections outright — a small
-//! nonblocking read loop with per-connection reassembly buffers, a
-//! per-shard answer cache, and a per-shard [`Registry`] — so the hot path
-//! takes no locks and shares no mutable state beyond three global stats
-//! counters. Shard registries are merged **in fixed shard order** when
-//! the server stops, so the deterministic metric families are
-//! byte-identical no matter how connections were scheduled (the
-//! scheduling-dependent counters — cache hits, idle closures, per-shard
-//! assignment — live under the `sched/` family, which the JSON export
-//! excludes; see DESIGN.md §8).
+//! worker threads. Each shard owns its connections outright — a
+//! [`Reactor`] (epoll on Linux, clock-paced polling under a virtual
+//! clock), per-connection reassembly buffers, a per-shard answer cache,
+//! and a per-shard [`Registry`] — so the hot path takes no locks and
+//! shares no mutable state beyond three global stats counters. Shard
+//! registries are merged **in fixed shard order** when the server stops,
+//! so the deterministic metric families are byte-identical no matter how
+//! connections were scheduled (the scheduling-dependent counters —
+//! cache hits, idle closures, wakeup counts, per-shard assignment —
+//! live under the `sched/` family, which the JSON export excludes; see
+//! DESIGN.md §8).
+//!
+//! **Nobody spins.** A shard blocks in [`Reactor::wait`] with a timeout
+//! derived from its [`DeadlineWheel`] next deadline (idle eviction, the
+//! shutdown drain bound), so an idle connection costs ~zero CPU: the
+//! shard wakes on I/O readiness, on an eventfd ring from the acceptor
+//! (new connection) or a [`StopSignal`] (shutdown), or when a deadline
+//! it owns comes due — never on a fixed nap (DESIGN.md §11). Interest
+//! flips between readable and writable as a connection's output queue
+//! fills and drains.
 //!
 //! No peer can make a shard wait (DESIGN.md §9). Replies go through a
-//! **bounded per-connection output queue** drained by the poll loop with
-//! nonblocking writes: a peer that stops reading costs its shard nothing,
-//! and is closed outright once [`OUT_QUEUE_CAP`] reply bytes pile up.
-//! Reads are budgeted per poll iteration ([`READ_BUDGET`]) so one
-//! firehose connection cannot starve its shard siblings, and a
+//! **bounded per-connection output queue** drained on writability with
+//! nonblocking writes: a peer that stops reading costs its shard
+//! nothing, and is closed outright once [`OUT_QUEUE_CAP`] reply bytes
+//! pile up. Reads are budgeted per readiness event ([`READ_BUDGET`]) so
+//! one firehose connection cannot starve its shard siblings — the
+//! level-triggered reactor simply re-reports the leftover — and a
 //! connection idle past the configured timeout is closed rather than
-//! waited on forever — bounded listen, not infinite patience, applied to
+//! waited on forever: bounded listen, not infinite patience, applied to
 //! ourselves. Faults handled on the way (write backpressure, queue
 //! overflows) are counted under the nondeterministic `faults/` family.
 
 use crate::oracle::{LookupError, Oracle};
 use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
 use beware_runtime::clock::{SharedClock, WallClock};
+pub use beware_runtime::reactor::ReactorKind;
+use beware_runtime::reactor::{make_reactor, Event, Interest, Reactor, StopSignal, Waker};
 use beware_runtime::wheel::DeadlineWheel;
 use beware_telemetry::Registry;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -54,10 +69,16 @@ pub struct ServerCfg {
     pub out_queue_cap: usize,
     /// Whether telemetry is recorded.
     pub metrics: bool,
-    /// Time source for every deadline, stamp and nap in the server. Wall
+    /// Time source for every deadline and stamp in the server. Wall
     /// time by default; a [`VirtualClock`](beware_runtime::VirtualClock)
     /// handle makes hour-scale idle timeouts testable in milliseconds.
     pub clock: SharedClock,
+    /// Readiness source for every shard and the acceptor.
+    /// [`ReactorKind::Auto`] (the default) picks epoll for wall clocks
+    /// and the clock-paced polling fallback for virtual ones — epoll
+    /// would park the OS thread on a timeline that never moves on its
+    /// own.
+    pub reactor: ReactorKind,
 }
 
 impl Default for ServerCfg {
@@ -69,6 +90,7 @@ impl Default for ServerCfg {
             out_queue_cap: OUT_QUEUE_CAP,
             metrics: true,
             clock: WallClock::shared(),
+            reactor: ReactorKind::Auto,
         }
     }
 }
@@ -88,7 +110,7 @@ struct GlobalStats {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
     acceptor: Option<JoinHandle<Registry>>,
     shards: Vec<JoinHandle<Registry>>,
 }
@@ -100,9 +122,11 @@ impl ServerHandle {
     }
 
     /// Request shutdown from in-process (equivalent to a `Shutdown`
-    /// frame).
+    /// frame): raises the stop flag and rings every shard's and the
+    /// acceptor's wakeup doorbell, so threads blocked in
+    /// [`Reactor::wait`] notice immediately.
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.request_stop();
     }
 
     /// Wait for the server to stop (via [`shutdown`](Self::shutdown) or a
@@ -123,6 +147,12 @@ impl ServerHandle {
     }
 }
 
+/// Token every reactor reserves for its wakeup doorbell; connection
+/// tokens count up from zero and can never collide with it.
+const WAKER_TOKEN: u64 = u64::MAX;
+/// The acceptor's token for the listening socket.
+const LISTENER_TOKEN: u64 = 0;
+
 /// Bind and start serving `oracle` on `bind` (e.g. `"127.0.0.1:0"` for an
 /// ephemeral port).
 pub fn start(
@@ -134,31 +164,67 @@ pub fn start(
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(StopSignal::new());
     let stats = Arc::new(GlobalStats::default());
 
-    let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(shards);
+    // Reactors and doorbells are created here, not in the threads, so a
+    // resource failure (fd limit, unsupported platform) surfaces as an
+    // `Err` from `start` instead of a dead shard.
+    let mut senders: Vec<(Sender<TcpStream>, Arc<Waker>)> = Vec::with_capacity(shards);
     let mut shard_handles = Vec::with_capacity(shards);
     for _ in 0..shards {
         let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
-        senders.push(tx);
+        let waker = Arc::new(Waker::new()?);
+        let mut reactor = make_reactor(cfg.reactor, &cfg.clock)?;
+        reactor.add_waker(Arc::clone(&waker), WAKER_TOKEN)?;
+        stop.subscribe(Arc::clone(&waker));
+        senders.push((tx, waker));
         let oracle = Arc::clone(&oracle);
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
         let cfg = cfg.clone();
-        shard_handles.push(std::thread::spawn(move || shard_loop(rx, oracle, stop, stats, &cfg)));
+        shard_handles
+            .push(std::thread::spawn(move || shard_loop(rx, reactor, oracle, stop, stats, &cfg)));
     }
+
+    let acceptor_waker = Arc::new(Waker::new()?);
+    let mut acceptor_reactor = make_reactor(cfg.reactor, &cfg.clock)?;
+    acceptor_reactor.add_waker(Arc::clone(&acceptor_waker), WAKER_TOKEN)?;
+    acceptor_reactor.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+    stop.subscribe(acceptor_waker);
 
     let stop_a = Arc::clone(&stop);
     let metrics = cfg.metrics;
     let clock = Arc::clone(&cfg.clock);
     let acceptor = std::thread::spawn(move || {
-        let mut reg = if metrics { Registry::new() } else { Registry::disabled() };
-        let mut next = 0usize;
+        acceptor_loop(listener, acceptor_reactor, senders, stop_a, metrics, clock)
+    });
+
+    Ok(ServerHandle { addr, stop, acceptor: Some(acceptor), shards: shard_handles })
+}
+
+/// Accept loop: drain every pending connection, hand each to a shard
+/// (round-robin, skipping dead shards) and ring that shard's doorbell,
+/// then block in the reactor until the listener is readable again or the
+/// stop signal rings. No fixed naps: the only sleep left is a short
+/// error backoff for accept failures that epoll would otherwise convert
+/// into a hot loop (`EMFILE` reports the listener readable forever).
+fn acceptor_loop(
+    listener: TcpListener,
+    mut reactor: Box<dyn Reactor>,
+    senders: Vec<(Sender<TcpStream>, Arc<Waker>)>,
+    stop: Arc<StopSignal>,
+    metrics: bool,
+    clock: SharedClock,
+) -> Registry {
+    let mut reg = if metrics { Registry::new() } else { Registry::disabled() };
+    let mut next = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        if stop.is_stopped() {
+            break;
+        }
         loop {
-            if stop_a.load(Ordering::SeqCst) {
-                break;
-            }
             match listener.accept() {
                 Ok((stream, _)) => {
                     let _ = stream.set_nodelay(true);
@@ -169,42 +235,52 @@ pub fn start(
                     // connection.
                     let mut conn = Some(stream);
                     for i in 0..senders.len() {
-                        let tx = &senders[(next + i) % senders.len()];
+                        let (tx, waker) = &senders[(next + i) % senders.len()];
                         match tx.send(conn.take().expect("connection unrouted")) {
-                            Ok(()) => break,
+                            Ok(()) => {
+                                waker.wake();
+                                break;
+                            }
                             Err(std::sync::mpsc::SendError(c)) => conn = Some(c),
                         }
                     }
                     next = next.wrapping_add(1);
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    clock.sleep(Duration::from_millis(2));
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {
+                    // The peer gave up between SYN and accept — routine
+                    // under mass connects; take the next one.
+                    reg.scope("serve").incr("accept_errors");
                 }
                 Err(_) => {
                     reg.scope("serve").incr("accept_errors");
+                    // Error backoff (fd exhaustion, ENOMEM): the pending
+                    // connection keeps the listener readable, so waiting
+                    // on the reactor would return instantly and spin.
                     clock.sleep(Duration::from_millis(2));
                 }
             }
         }
-        reg
-    });
-
-    Ok(ServerHandle { addr, stop, acceptor: Some(acceptor), shards: shard_handles })
+        let _ = reactor.wait(None, &mut events);
+    }
+    reg
 }
 
 /// One connection owned by a shard.
 struct Conn {
-    /// Shard-local identity — the key of this connection's idle deadline
-    /// on the shard's [`DeadlineWheel`].
+    /// Shard-local identity — the reactor registration token and the key
+    /// of this connection's idle deadline on the shard's
+    /// [`DeadlineWheel`].
     id: u64,
     stream: TcpStream,
     /// Reassembly buffer for partially received frames.
     buf: Vec<u8>,
-    /// Bounded outbound queue. Replies are *enqueued* here and drained by
-    /// the shard's poll loop with nonblocking writes — the shard never
-    /// waits on a peer's receive window, so one connection that stops
-    /// reading cannot head-of-line-block every other connection on the
-    /// shard (the old `write_all_nb` sleep-retry loop did exactly that).
+    /// Bounded outbound queue. Replies are *enqueued* here and drained
+    /// on writability with nonblocking writes — the shard never waits on
+    /// a peer's receive window, so one connection that stops reading
+    /// cannot head-of-line-block every other connection on the shard
+    /// (the old `write_all_nb` sleep-retry loop did exactly that).
     out: Vec<u8>,
     /// Offset of the not-yet-written suffix of `out`.
     out_pos: usize,
@@ -212,9 +288,12 @@ struct Conn {
     /// Reply of record is queued (error frame, shutdown ack): stop
     /// reading, close once `out` drains.
     close_after_flush: bool,
-    /// Read activity since the last poll pass; the shard loop pushes the
-    /// idle deadline out (reschedules the wheel) when set.
+    /// Read activity since the last service pass; the shard loop pushes
+    /// the idle deadline out (reschedules the wheel) when set.
     touched: bool,
+    /// The interest currently registered with the reactor; flipped to
+    /// include writability exactly while a backlog exists.
+    interest: Interest,
 }
 
 impl Conn {
@@ -228,12 +307,27 @@ impl Conn {
             open: true,
             close_after_flush: false,
             touched: false,
+            interest: Interest::READABLE,
         }
     }
 
     /// Bytes queued but not yet on the wire.
     fn backlog(&self) -> usize {
         self.out.len() - self.out_pos
+    }
+
+    /// The interest this connection's state wants registered: readable
+    /// while we still accept requests, writable exactly while a backlog
+    /// exists.
+    fn desired_interest(&self, draining: bool) -> Interest {
+        let mut want = Interest::NONE;
+        if !self.close_after_flush && !draining {
+            want = want.and(Interest::READABLE);
+        }
+        if self.backlog() > 0 {
+            want = want.and(Interest::WRITABLE);
+        }
+        want
     }
 }
 
@@ -250,51 +344,151 @@ const CACHE_CAP: usize = 8192;
 /// limit.
 const OUT_QUEUE_CAP: usize = 64 * 1024;
 
-/// Per-connection, per-poll-iteration read budget. One firehose
-/// connection may fill at most this many bytes before the loop moves on
-/// to its shard siblings, so ingress bandwidth is shared round-robin
+/// Per-connection, per-readiness-event read budget. One firehose
+/// connection may fill at most this many bytes before the shard moves on
+/// to its siblings' events; the level-triggered reactor re-reports the
+/// leftover on the next wait, so ingress bandwidth is shared round-robin
 /// instead of drained connection-by-connection.
 const READ_BUDGET: usize = 16 * 1024;
 
+/// Re-register a connection when its desired interest changed. A failed
+/// re-registration is unrecoverable for the connection (the reactor has
+/// lost track of it), so it is closed and counted.
+fn sync_interest(
+    reactor: &mut Box<dyn Reactor>,
+    conn: &mut Conn,
+    draining: bool,
+    reg: &mut Registry,
+) {
+    let want = conn.desired_interest(draining);
+    if want == conn.interest || !conn.open {
+        return;
+    }
+    match reactor.reregister(conn.stream.as_raw_fd(), conn.id, want) {
+        Ok(()) => conn.interest = want,
+        Err(_) => {
+            reg.scope("faults").scope("serve").incr("reactor_lost");
+            conn.open = false;
+        }
+    }
+}
+
 fn shard_loop(
     rx: Receiver<TcpStream>,
+    mut reactor: Box<dyn Reactor>,
     oracle: Arc<Oracle>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
     stats: Arc<GlobalStats>,
     cfg: &ServerCfg,
 ) -> Registry {
     let clock = Arc::clone(&cfg.clock);
     let mut reg = if cfg.metrics { Registry::new() } else { Registry::disabled() };
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut cache: HashMap<(u32, u16, u16), Message> = HashMap::new();
     let mut scratch = [0u8; 4096];
     // Every idle deadline on this shard lives in one wheel, keyed by
     // connection id: scheduled on adoption, pushed out on read activity,
-    // popped (→ eviction) when simulated-or-real time passes it.
+    // popped (→ eviction) when simulated-or-real time passes it. Its
+    // next deadline is also the shard's wait timeout — the wheel⇄reactor
+    // contract (DESIGN.md §11).
     let mut wheel: DeadlineWheel<u64> = DeadlineWheel::new();
     let mut next_conn_id = 0u64;
-    // Set when the stop flag is first observed: replies already queued
+    // Set when the stop signal is first observed: replies already queued
     // (the ShutdownAck above all) still get a bounded chance to drain.
     let mut drain_deadline: Option<Duration> = None;
+    let mut events: Vec<Event> = Vec::new();
 
     loop {
-        // Adopt newly assigned connections.
+        // Adopt newly assigned connections (the acceptor rang our
+        // doorbell — or we were between waits anyway).
         while let Ok(stream) = rx.try_recv() {
             reg.scope("sched").scope("serve").incr("connections_assigned");
             let id = next_conn_id;
             next_conn_id += 1;
-            wheel.schedule(id, clock.now() + cfg.idle_timeout);
-            conns.push(Conn::new(id, stream));
+            let conn = Conn::new(id, stream);
+            match reactor.register(conn.stream.as_raw_fd(), id, Interest::READABLE) {
+                Ok(()) => {
+                    wheel.schedule(id, clock.now() + cfg.idle_timeout);
+                    conns.insert(id, conn);
+                }
+                Err(_) => {
+                    // Dropping the stream closes it; the peer sees a
+                    // reset rather than a black hole.
+                    reg.scope("faults").scope("serve").incr("reactor_lost");
+                }
+            }
         }
+        reg.scope("sched").scope("serve").gauge_max("conns_open", conns.len() as u64);
 
-        if drain_deadline.is_none() && stop.load(Ordering::SeqCst) {
+        if drain_deadline.is_none() && stop.is_stopped() {
             drain_deadline = Some(clock.now() + cfg.drain_timeout);
+            // Draining: stop reading everywhere, keep writability only
+            // where a backlog remains — a flooding peer must not keep
+            // waking a shard that will never answer it again.
+            for conn in conns.values_mut() {
+                sync_interest(&mut reactor, conn, true, &mut reg);
+            }
         }
         let draining = drain_deadline.is_some();
 
+        // Dog food: bounded listen. Stop waiting on a silent peer —
+        // whether it has gone quiet or stopped draining replies.
+        while let Some((id, _)) = wheel.pop_expired(clock.now()) {
+            if let Some(conn) = conns.get_mut(&id) {
+                if conn.open {
+                    reg.scope("sched").scope("serve").incr("idle_closed");
+                    conn.open = false;
+                }
+            }
+        }
+        conns.retain(|id, c| {
+            if c.open {
+                true
+            } else {
+                // Deregister before the fd closes on drop so the
+                // fallback reactor's table stays truthful (epoll drops
+                // closed fds on its own).
+                let _ = reactor.deregister(c.stream.as_raw_fd(), *id);
+                wheel.cancel(id);
+                false
+            }
+        });
+
+        if let Some(deadline) = drain_deadline {
+            let drained = conns.values().all(|c| c.backlog() == 0);
+            if drained || clock.now() >= deadline {
+                break;
+            }
+        }
+
+        // Sleep until I/O, a doorbell, or the next deadline this shard
+        // owns — idle eviction or the drain bound, whichever is sooner.
+        // No deadline and no I/O means a blocking wait: an idle shard
+        // costs nothing.
+        let mut next_deadline = wheel.next_deadline();
+        if let Some(d) = drain_deadline {
+            next_deadline = Some(next_deadline.map_or(d, |n| n.min(d)));
+        }
+        let timeout = next_deadline.map(|at| at.saturating_sub(clock.now()));
+        if reactor.wait(timeout, &mut events).is_err() {
+            // A broken reactor cannot deliver another event; abandoning
+            // the shard beats spinning on the error.
+            reg.scope("faults").scope("serve").incr("reactor_lost");
+            break;
+        }
+        reg.scope("sched").scope("serve").incr("epoll_wakeups");
+
         let mut progress = false;
-        for conn in &mut conns {
-            if !draining {
+        let mut conn_events = false;
+        for &ev in &events {
+            if ev.token == WAKER_TOKEN {
+                // Doorbell: adoption and stop are handled at the top of
+                // the loop.
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else { continue };
+            conn_events = true;
+            if ev.readable && !draining {
                 progress |= service_conn(
                     conn,
                     &oracle,
@@ -307,48 +501,26 @@ fn shard_loop(
                     cfg.out_queue_cap,
                 );
             }
-            progress |= flush_conn(conn, &mut reg, cfg.out_queue_cap);
+            if conn.open && (ev.writable || conn.backlog() > 0) {
+                progress |= flush_conn(conn, &mut reg, cfg.out_queue_cap);
+            }
             if conn.touched {
                 conn.touched = false;
                 wheel.schedule(conn.id, clock.now() + cfg.idle_timeout);
             }
+            sync_interest(&mut reactor, conn, draining, &mut reg);
         }
-        // Dog food: bounded listen. Stop waiting on a silent peer —
-        // whether it has gone quiet or stopped draining replies.
-        while let Some((id, _)) = wheel.pop_expired(clock.now()) {
-            if let Some(conn) = conns.iter_mut().find(|c| c.id == id) {
-                if conn.open {
-                    reg.scope("sched").scope("serve").incr("idle_closed");
-                    conn.open = false;
-                }
-            }
-        }
-        conns.retain(|c| {
-            if c.open {
-                true
-            } else {
-                wheel.cancel(&c.id);
-                false
-            }
-        });
-
-        if let Some(deadline) = drain_deadline {
-            let drained = conns.iter().all(|c| c.backlog() == 0);
-            if drained || clock.now() >= deadline {
-                break;
-            }
-        }
-
-        if !progress {
-            clock.sleep(Duration::from_micros(500));
+        if conn_events && !progress {
+            reg.scope("sched").scope("serve").incr("spurious_wakeups");
         }
     }
     reg
 }
 
 /// Nonblocking drain of one connection's output queue. Never waits: a
-/// full peer window surfaces as `faults/serve/write_backpressure` and the
-/// remaining bytes stay queued for the next poll iteration.
+/// full peer window surfaces as `faults/serve/write_backpressure` plus a
+/// writable-interest registration, and the remaining bytes stay queued
+/// until the reactor reports writability.
 fn flush_conn(conn: &mut Conn, reg: &mut Registry, out_queue_cap: usize) -> bool {
     let mut progress = false;
     while conn.open && conn.out_pos < conn.out.len() {
@@ -403,7 +575,7 @@ fn enqueue_reply(conn: &mut Conn, frame: &[u8], reg: &mut Registry, out_queue_ca
 fn service_conn(
     conn: &mut Conn,
     oracle: &Oracle,
-    stop: &AtomicBool,
+    stop: &StopSignal,
     stats: &GlobalStats,
     cache: &mut HashMap<(u32, u16, u16), Message>,
     reg: &mut Registry,
@@ -415,8 +587,8 @@ fn service_conn(
     let mut budget = READ_BUDGET;
     while conn.open && !conn.close_after_flush {
         if budget == 0 {
-            // Fairness: leave the rest for the next poll iteration so a
-            // firehose peer cannot starve its shard siblings.
+            // Fairness: leave the rest for the next readiness report so
+            // a firehose peer cannot starve its shard siblings.
             reg.scope("sched").scope("serve").incr("read_budget_deferrals");
             break;
         }
@@ -485,7 +657,7 @@ fn service_conn(
 fn handle_request(
     msg: &Message,
     oracle: &Oracle,
-    stop: &AtomicBool,
+    stop: &StopSignal,
     stats: &GlobalStats,
     cache: &mut HashMap<(u32, u16, u16), Message>,
     reg: &mut Registry,
@@ -546,7 +718,9 @@ fn handle_request(
         }
         Message::Shutdown => {
             serve.incr("shutdown_requests");
-            stop.store(true, Ordering::SeqCst);
+            // Raise the flag *and* ring every shard and the acceptor —
+            // they are blocked in their reactors, not polling a flag.
+            stop.request_stop();
             (Message::ShutdownAck, true)
         }
         // A reply opcode arriving as a request is a confused client.

@@ -98,6 +98,9 @@ commands:
              [--op query|stats|shutdown]
   loadgen    --host ADDR:PORT [--snapshot snap.bwts] [--workers N] [--requests N]
              [--addr-pct P] [--ping-pct P] [--seed S] [--out BENCH_3.json]
+             mass mode (in-process server, idle-pool sweep -> BENCH_4.json):
+             --conns N [--hot-workers N] [--shards N] [--idle-settle SECS]
+             [--requests N] [--seed S] [--out BENCH_4.json]
   chaos      [--snapshot snap.bwts | --survey survey.bwss] [--seed S]
              [--profile chaos|split|off] [--workers N] [--requests N]
              [--shards N] [--metrics chaos-metrics.json]";
@@ -492,6 +495,24 @@ fn load_or_build_snapshot(flags: &Flags) -> Result<beware::dataset::TimeoutSnaps
     build_snapshot(&out.samples, &cfg).map_err(|e| e.to_string())
 }
 
+/// Built-in fixture snapshot: a small simulated campaign, so self-hosted
+/// commands (`chaos`, `loadgen --conns`) work with no input files — the
+/// oracle's content only has to be non-trivial and offline-recomputable.
+fn builtin_snapshot() -> Result<beware::dataset::TimeoutSnapshot, String> {
+    let sc = Scenario::new(ScenarioCfg {
+        year: 2015,
+        seed: 11,
+        total_blocks: 48,
+        vantage: vantage('w').expect("built-in vantage"),
+    });
+    let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
+    let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
+    let mut world = sc.build_world();
+    let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
+    let samples = run_pipeline(&records, &PipelineCfg::default()).samples;
+    build_snapshot(&samples, &SnapshotCfg::default()).map_err(|e| e.to_string())
+}
+
 fn parse_host(flags: &Flags) -> Result<SocketAddr, String> {
     let host = flags.str("host").unwrap_or("127.0.0.1:4615");
     host.parse().map_err(|_| format!("bad --host `{host}` (expected ADDR:PORT)"))
@@ -597,21 +618,7 @@ fn cmd_chaos(flags: &Flags) -> Result<(), String> {
     let snap = if flags.str("snapshot").is_some() || flags.str("survey").is_some() {
         load_or_build_snapshot(flags)?
     } else {
-        // Built-in fixture: the same small campaign the chaos test suite
-        // uses (the oracle's content is irrelevant to the fault layer; it
-        // only has to be non-trivial and offline-recomputable).
-        let sc = Scenario::new(ScenarioCfg {
-            year: 2015,
-            seed: 11,
-            total_blocks: 48,
-            vantage: vantage('w').expect("built-in vantage"),
-        });
-        let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
-        let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
-        let mut world = sc.build_world();
-        let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
-        let samples = run_pipeline(&records, &PipelineCfg::default()).samples;
-        build_snapshot(&samples, &SnapshotCfg::default()).map_err(|e| e.to_string())?
+        builtin_snapshot()?
     };
     let oracle = Arc::new(Oracle::from_snapshot(snap).map_err(|e| e.to_string())?);
 
@@ -726,31 +733,42 @@ fn cmd_chaos(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Closed-loop load generator; writes the `BENCH_3.json` report.
-fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
-    let addr = parse_host(flags)?;
-    // Address pool: prefixes from the snapshot when given (so most
-    // queries exercise exact-match lookups), plus a deterministic salt of
-    // fallback addresses; otherwise a pure pseudorandom pool.
+/// Address pool for load generation: prefixes from the snapshot when
+/// given (so most queries exercise exact-match lookups), plus a
+/// deterministic salt of fallback addresses; otherwise a pure
+/// pseudorandom pool.
+fn addr_pool_from(snap: Option<&beware::dataset::TimeoutSnapshot>, seed: u64) -> Vec<u32> {
     let mut pool = Vec::new();
-    if flags.str("snapshot").is_some() {
-        let snap = load_or_build_snapshot(flags)?;
+    if let Some(snap) = snap {
         for e in &snap.entries {
             pool.push(e.prefix);
             pool.push(e.prefix | (!beware::dataset::snapshot::prefix_mask(e.len) & 0x7));
         }
     }
-    let seed: u64 = flags.num("seed", 0xbe0a_2e11u64)?;
     let mut state = seed ^ 0x5eed_f00d;
     let extra = if pool.is_empty() { 256 } else { 16 };
     for _ in 0..extra {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         pool.push((state >> 32) as u32);
     }
+    pool
+}
+
+/// Closed-loop load generator; writes the `BENCH_3.json` report. With
+/// `--conns N` it switches to the mass-connection benchmark instead
+/// (see [`cmd_loadgen_mass`]).
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    if flags.str("conns").is_some() {
+        return cmd_loadgen_mass(flags);
+    }
+    let addr = parse_host(flags)?;
+    let seed: u64 = flags.num("seed", 0xbe0a_2e11u64)?;
+    let snap =
+        if flags.str("snapshot").is_some() { Some(load_or_build_snapshot(flags)?) } else { None };
     let cfg = loadgen::LoadCfg {
         workers: flags.num("workers", 4usize)?,
         requests_per_worker: flags.num("requests", 1000usize)?,
-        addr_pool: pool,
+        addr_pool: addr_pool_from(snap.as_ref(), seed),
         addr_pct_tenths: pct_tenths(flags, "addr-pct", 950)?,
         ping_pct_tenths: pct_tenths(flags, "ping-pct", 950)?,
         seed,
@@ -760,6 +778,77 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
     println!("{}", report.render());
     let out = flags.str("out").unwrap_or("BENCH_3.json");
     std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("report -> {out}");
+    Ok(())
+}
+
+/// Mass-connection benchmark (`loadgen --conns N`): start an in-process
+/// oracle server, then sweep idle-connection pools up to `N` — at each
+/// scale hold the pool open, sample process CPU over a quiet window, and
+/// drive a hot closed-loop subset — writing `BENCH_4.json`. In-process
+/// is what makes the CPU numbers honest: `CLOCK_PROCESS_CPUTIME_ID`
+/// covers the server's shards, so near-zero idle CPU at 10k connections
+/// demonstrates the readiness-driven serve path (a spin-polling server
+/// burns CPU proportional to connections whether or not they speak).
+fn cmd_loadgen_mass(flags: &Flags) -> Result<(), String> {
+    let conns: usize = flags.num("conns", 1000usize)?;
+    if conns == 0 {
+        return Err("--conns must be >= 1".into());
+    }
+    let seed: u64 = flags.num("seed", 0xbe0a_2e11u64)?;
+    let snap = if flags.str("snapshot").is_some() || flags.str("survey").is_some() {
+        load_or_build_snapshot(flags)?
+    } else {
+        builtin_snapshot()?
+    };
+    let pool = addr_pool_from(Some(&snap), seed);
+    let oracle = Arc::new(Oracle::from_snapshot(snap).map_err(|e| e.to_string())?);
+
+    let shards: usize = flags.num("shards", beware::netsim::default_threads())?;
+    let cfg = server::ServerCfg {
+        shards,
+        // The idle pool must survive the whole sweep: eviction here would
+        // measure the server closing connections, not holding them.
+        idle_timeout: Duration::from_secs(600),
+        metrics: false,
+        ..server::ServerCfg::default()
+    };
+    let handle = server::start(oracle, "127.0.0.1:0", cfg)
+        .map_err(|e| format!("starting the in-process oracle: {e}"))?;
+    let addr = handle.local_addr();
+    println!("mass benchmark: in-process oracle on {addr} ({shards} shards)");
+
+    // Three scales up to the requested count (fewer when they collapse),
+    // so one invocation records how cost moves with connection count.
+    let mut scales = vec![(conns / 10).clamp(100, conns), (conns / 2).clamp(100, conns), conns];
+    scales.sort_unstable();
+    scales.dedup();
+
+    let idle_settle = Duration::from_secs_f64(flags.num("idle-settle", 0.5f64)?);
+    let mut runs = Vec::new();
+    for &n in &scales {
+        let mcfg = loadgen::MassCfg {
+            conns: n,
+            hot_workers: flags.num("hot-workers", 4usize)?,
+            requests_per_worker: flags.num("requests", 1000usize)?,
+            addr_pool: pool.clone(),
+            addr_pct_tenths: pct_tenths(flags, "addr-pct", 950)?,
+            ping_pct_tenths: pct_tenths(flags, "ping-pct", 950)?,
+            seed,
+            read_timeout: Duration::from_secs(5),
+            idle_settle,
+            shards,
+        };
+        let report = loadgen::run_mass(addr, &mcfg)?;
+        println!("{}", report.render());
+        runs.push(report);
+    }
+
+    handle.shutdown();
+    let _ = handle.join();
+    let out = flags.str("out").unwrap_or("BENCH_4.json");
+    std::fs::write(out, loadgen::mass_sweep_json(&runs))
+        .map_err(|e| format!("writing {out}: {e}"))?;
     println!("report -> {out}");
     Ok(())
 }

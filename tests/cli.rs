@@ -205,6 +205,58 @@ fn serve_query_loadgen_workflow() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The mass-connection benchmark through the CLI: `loadgen --conns`
+/// starts its own in-process server (no --host, no input files — the
+/// built-in fixture snapshot), sweeps idle-pool scales, and writes the
+/// BENCH_4.json sweep. Small here; CI's smoke job runs the raised-ulimit
+/// 5k-connection version.
+#[test]
+fn loadgen_mass_mode_writes_bench4() {
+    let dir = tempdir("mass");
+    let out = beware(
+        &[
+            "loadgen",
+            "--conns",
+            "300",
+            "--hot-workers",
+            "2",
+            "--requests",
+            "100",
+            "--idle-settle",
+            "0.2",
+            "--shards",
+            "2",
+            "--out",
+            "BENCH_4.json",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "mass loadgen failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("in-process oracle"), "{stdout}");
+    assert!(stdout.contains("idle conns"), "{stdout}");
+
+    let bench = std::fs::read_to_string(dir.join("BENCH_4.json")).unwrap();
+    for key in [
+        "\"bench\": \"serve_mass_conns\"",
+        "\"conns\": 300",
+        "\"conns_per_shard\"",
+        "\"idle_cpu_pct\"",
+        "\"cpu_per_request_us\"",
+        "\"throughput_rps\"",
+        "\"p999\"",
+    ] {
+        assert!(bench.contains(key), "BENCH_4.json missing {key}: {bench}");
+    }
+    // The sweep records multiple scales (100, 150, 300 for --conns 300).
+    assert!(bench.matches("\"conns\":").count() >= 2, "sweep recorded one scale only: {bench}");
+
+    // Bad scale rejected cleanly.
+    let out = beware(&["loadgen", "--conns", "0"], &dir);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Exit codes for the service subcommands' failure modes.
 #[test]
 fn serve_subcommand_errors_fail_cleanly() {

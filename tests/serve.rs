@@ -10,8 +10,11 @@ use beware::analysis::recommend::recommend_timeout;
 use beware::analysis::timeout_table::TimeoutTable;
 use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
 use beware::probe::prelude::*;
-use beware::serve::{build_snapshot, server, Client, Oracle, SnapshotCfg, Status};
+use beware::serve::proto;
+use beware::serve::{build_snapshot, server, Client, Message, Oracle, SnapshotCfg, Status};
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -114,6 +117,72 @@ fn served_answers_bit_match_offline_analysis() {
     client.shutdown().unwrap();
     let metrics = handle.join();
     assert!(metrics.counter("serve/queries").unwrap() > 0);
+}
+
+/// Frame reassembly under pathological delivery: a query dripped one
+/// byte per write (each byte its own readiness event for the shard's
+/// reactor) must reassemble into exactly the answer a well-formed client
+/// gets. This is the wire-level cousin of the fault-injection split
+/// tests — here the splits are real TCP segments against the real epoll
+/// loop, so it also pins the readiness path's partial-read handling and
+/// the new `sched/` wakeup telemetry.
+#[test]
+fn request_reassembles_from_one_byte_drips() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+    let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", serve_cfg(1)).unwrap();
+    let addr = handle.local_addr();
+
+    // The answer of record, via a well-formed client.
+    let mut client =
+        Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(2)).unwrap();
+    let truth = client.query(0xc633_6401, 950, 950).unwrap();
+    drop(client);
+
+    // The same query, one byte per segment.
+    let frame = proto::encode(&Message::Query {
+        addr: 0xc633_6401,
+        addr_pct_tenths: 950,
+        ping_pct_tenths: 950,
+    });
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for &b in &frame {
+        s.write_all(&[b]).unwrap();
+        s.flush().unwrap();
+        // Give the segment time to arrive alone: distinct readiness
+        // events, not one coalesced read.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 256];
+    let reply = loop {
+        let n = s.read(&mut tmp).expect("server must answer the dripped query");
+        assert!(n > 0, "server closed before answering");
+        buf.extend_from_slice(&tmp[..n]);
+        if let Some((msg, _)) = proto::try_decode(&buf).unwrap() {
+            break msg;
+        }
+    };
+    match reply {
+        Message::Answer { status, timeout_bits, .. } => {
+            assert_eq!(status, truth.status);
+            assert_eq!(timeout_bits, truth.timeout_bits, "dripped query answered differently");
+        }
+        other => panic!("expected an Answer, got {other:?}"),
+    }
+    drop(s);
+
+    let mut c2 =
+        Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(2)).unwrap();
+    c2.shutdown().unwrap();
+    let metrics = handle.join();
+    // The readiness loop's scheduling-dependent counters exist in the
+    // in-process registry (the JSON export excludes them; see below).
+    assert!(metrics.counter("sched/serve/epoll_wakeups").unwrap_or(0) > 0);
+    assert!(metrics.render_text().contains("sched/serve/conns_open"));
 }
 
 /// The deterministic metric families must not depend on how connections

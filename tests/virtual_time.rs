@@ -182,6 +182,7 @@ fn shutdown_drain_deadline_elapses_in_virtual_time() {
         out_queue_cap: 256 << 20,
         metrics: true,
         clock: vc.handle(),
+        reactor: server::ReactorKind::Auto,
     };
     let handle = server::start(tiny_oracle(), "127.0.0.1:0", cfg).unwrap();
 
