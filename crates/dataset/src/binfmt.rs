@@ -36,6 +36,10 @@ pub enum DecodeError {
         /// Checksum recomputed over the records read.
         computed: u64,
     },
+    /// The payload decoded and checksummed cleanly but failed semantic
+    /// validation (snapshot/delta canonical-form invariants — produced
+    /// by [`crate::snapshot`], never by the record codec itself).
+    Invalid(crate::snapshot::SnapshotError),
 }
 
 impl From<io::Error> for DecodeError {
@@ -52,6 +56,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Checksum { stored, computed } => {
                 write!(f, "checksum mismatch: stored {stored:#x}, computed {computed:#x}")
             }
+            DecodeError::Invalid(e) => write!(f, "invalid snapshot: {e}"),
         }
     }
 }

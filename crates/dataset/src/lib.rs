@@ -35,6 +35,6 @@ pub mod textfmt;
 pub mod zmap;
 
 pub use record::{Record, RecordKind};
-pub use snapshot::{SnapshotEntry, TimeoutSnapshot};
+pub use snapshot::{SnapshotDelta, SnapshotEntry, SnapshotError, TimeoutSnapshot};
 pub use survey::{RecordSink, Survey, SurveyMeta, SurveyStats};
 pub use zmap::{ScanMeta, ScanRecord, ZmapScan};

@@ -92,6 +92,44 @@ proptest! {
     }
 
     #[test]
+    fn delta_roundtrips_and_applies_bit_identically((base, target) in arb_snapshot_pair()) {
+        let delta = snapshot::diff_snapshot(&base, &target).unwrap();
+
+        // The wire form is canonical and lossless.
+        let mut buf = Vec::new();
+        snapshot::write_delta(&mut buf, &delta).unwrap();
+        let back = snapshot::read_delta(&mut &buf[..]).unwrap();
+        prop_assert_eq!(&back, &delta, "delta decode must be lossless");
+        let mut again = Vec::new();
+        snapshot::write_delta(&mut again, &back).unwrap();
+        prop_assert_eq!(again, buf, "delta re-encode must be byte-identical");
+
+        // Applying the decoded delta reproduces the target snapshot
+        // byte-for-byte: same encoding, same identity checksum.
+        let applied = back.apply(&base).unwrap();
+        prop_assert_eq!(&applied, &target);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        snapshot::write_snapshot(&mut a, &applied).unwrap();
+        snapshot::write_snapshot(&mut b, &target).unwrap();
+        prop_assert_eq!(a, b, "apply(base, delta) must equal the full rebuild");
+    }
+
+    #[test]
+    fn delta_rejects_a_stale_base((base, target) in arb_snapshot_pair()) {
+        prop_assume!(snapshot::snapshot_checksum(&base) != snapshot::snapshot_checksum(&target));
+        let delta = snapshot::diff_snapshot(&base, &target).unwrap();
+        // The target shares the base's grid but not its checksum — the
+        // shape of a delta arriving after the snapshot already moved on.
+        match delta.apply(&target) {
+            Err(beware_dataset::SnapshotError::StaleDelta { expected, got }) => {
+                prop_assert_eq!(expected, snapshot::snapshot_checksum(&base));
+                prop_assert_eq!(got, snapshot::snapshot_checksum(&target));
+            }
+            other => prop_assert!(false, "stale base accepted: {other:?}"),
+        }
+    }
+
+    #[test]
     fn snapshot_detects_single_byte_corruption(
         snap in arb_snapshot(),
         byte in any::<u8>(),
@@ -119,6 +157,47 @@ proptest! {
 /// `(0, 1000]`, entries strictly ascending by `(prefix, len)` with host
 /// bits masked off, and arbitrary `f64`-bit cells (including NaNs and
 /// infinities — the codec must not care).
+/// A base snapshot and a same-grid target: some base entries carried
+/// over verbatim (absent from the delta), some rewritten or added with
+/// fresh cells (upserts), the rest dropped (removals), and the fallback
+/// kept or replaced — every shape a delta can take.
+fn arb_snapshot_pair() -> impl Strategy<Value = (TimeoutSnapshot, TimeoutSnapshot)> {
+    (
+        arb_snapshot(),
+        proptest::collection::vec((any::<u32>(), 0..=32u8), 0..12),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(base, raw_keys, cell_seed, keep_fallback)| {
+            let cells = base.address_pct_tenths.len() * base.ping_pct_tenths.len();
+            let mut rng = beware_runtime::rng::SplitMix64::new(cell_seed);
+            // Keep every other base entry bit-for-bit; the rest vanish
+            // unless a fresh key below resurrects them (as an upsert).
+            let mut map = std::collections::BTreeMap::new();
+            for e in base.entries.iter().step_by(2) {
+                map.insert((e.prefix, e.len), e.cells.clone());
+            }
+            for (p, l) in raw_keys {
+                let key = (p & prefix_mask(l), l);
+                map.entry(key).or_insert_with(|| (0..cells).map(|_| rng.next_u64()).collect());
+            }
+            let target = TimeoutSnapshot {
+                address_pct_tenths: base.address_pct_tenths.clone(),
+                ping_pct_tenths: base.ping_pct_tenths.clone(),
+                fallback: if keep_fallback {
+                    base.fallback.clone()
+                } else {
+                    (0..cells).map(|_| rng.next_u64()).collect()
+                },
+                entries: map
+                    .into_iter()
+                    .map(|((prefix, len), cells)| SnapshotEntry { prefix, len, cells })
+                    .collect(),
+            };
+            (base, target)
+        })
+}
+
 fn arb_snapshot() -> impl Strategy<Value = TimeoutSnapshot> {
     (
         proptest::collection::vec(1..=1000u16, 1..5),

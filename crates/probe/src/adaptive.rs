@@ -14,9 +14,8 @@
 //! false-outage rate the paper warns about.
 
 use beware_netsim::packet::{Packet, L4};
-use beware_netsim::sim::{Agent, Ctx, RunSummary};
+use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
-use beware_netsim::world::World;
 use beware_wire::icmp::IcmpKind;
 
 /// Adaptive prober configuration.
@@ -266,23 +265,14 @@ impl crate::Prober for AdaptiveProber {
     }
 }
 
-/// Run the adaptive prober over `world`.
-#[deprecated(note = "use `AdaptiveCfg::build(addrs)` and `Prober::run(&mut world)`")]
-pub fn run_monitor(
-    world: World,
-    addrs: Vec<u32>,
-    cfg: AdaptiveCfg,
-) -> (Vec<OutageReport>, RunSummary) {
-    let mut world = world;
-    crate::Prober::run(cfg.build(addrs), &mut world)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Prober;
     use beware_netsim::profile::{BlockProfile, EpisodeCfg, WakeupCfg};
     use beware_netsim::rng::Dist;
+    use beware_netsim::sim::RunSummary;
+    use beware_netsim::world::World;
     use std::sync::Arc;
 
     /// Test driver over the unified API.
@@ -395,16 +385,6 @@ mod tests {
         assert!(r.naive_outages > 0, "episodes must trip the naive prober");
         assert_eq!(r.outages, 0, "40 s flushes sit inside the 60 s listen window");
         assert_eq!(r.rescued, r.naive_outages);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_prober_api() {
-        let cfg = AdaptiveCfg { cycles: 3, ..Default::default() };
-        let (old_reports, old_summary) = run_monitor(world(quiet()), vec![0x0a000005], cfg);
-        let (new_reports, new_summary) = monitor(world(quiet()), vec![0x0a000005], cfg);
-        assert_eq!(old_reports, new_reports);
-        assert_eq!(old_summary, new_summary);
     }
 
     #[test]

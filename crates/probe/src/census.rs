@@ -10,9 +10,8 @@
 
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::{derive_seed, unit_hash};
-use beware_netsim::sim::{Agent, Ctx, RunSummary};
+use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
-use beware_netsim::world::World;
 use beware_wire::icmp::IcmpKind;
 use std::collections::BTreeMap;
 
@@ -216,19 +215,14 @@ impl crate::Prober for CensusProber {
     }
 }
 
-/// Run a census over `world`.
-#[deprecated(note = "use `CensusCfg::build()` and `Prober::run(&mut world)`")]
-pub fn run_census(world: World, cfg: CensusCfg) -> (CensusResult, RunSummary) {
-    let mut world = world;
-    crate::Prober::run(cfg.build(), &mut world)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Prober;
     use beware_netsim::profile::BlockProfile;
     use beware_netsim::rng::Dist;
+    use beware_netsim::sim::RunSummary;
+    use beware_netsim::world::World;
     use std::sync::Arc;
 
     /// Test driver over the unified API.
@@ -293,15 +287,6 @@ mod tests {
         let b = select_survey_blocks(&result, &[0x0a0000, 0x0a0000], 2, 3);
         assert_eq!(a, b);
         assert_eq!(a.iter().filter(|&&x| x == 0x0a0000).count(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_prober_api() {
-        let (old_result, old_summary) = run_census(world(), cfg(vec![0x0a0000, 0x0a0001]));
-        let (new_result, new_summary) = census(world(), cfg(vec![0x0a0000, 0x0a0001]));
-        assert_eq!(old_result, new_result);
-        assert_eq!(old_summary, new_summary);
     }
 
     #[test]

@@ -28,9 +28,8 @@
 //!
 //! All five engines implement the [`Prober`] trait: build one from its
 //! config (`Cfg::build(..)`), then [`Prober::run`] it against a
-//! `&mut World` — or [`Prober::run_with`] to collect telemetry. The old
-//! per-engine free functions (`run_survey`, `run_scan`, `run_census`,
-//! `run_monitor`, `run_jobs`) remain as deprecated shims.
+//! `&mut World` — or [`Prober::run_with`] to collect telemetry. Pull
+//! the whole surface in at once through [`prelude`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,21 +41,11 @@ pub mod scamper;
 pub mod survey;
 pub mod zmap;
 
-#[allow(deprecated)]
-pub use adaptive::run_monitor;
 pub use adaptive::{AdaptiveCfg, AdaptiveProber, OutageReport};
-#[allow(deprecated)]
-pub use census::run_census;
 pub use census::{select_survey_blocks, CensusCfg, CensusProber, CensusResult};
 pub use permutation::CyclicPermutation;
-#[allow(deprecated)]
-pub use scamper::run_jobs;
 pub use scamper::{JobResult, PingJob, PingProto, ScamperCfg, ScamperRunner};
-#[allow(deprecated)]
-pub use survey::run_survey;
 pub use survey::{SurveyCfg, SurveyProber};
-#[allow(deprecated)]
-pub use zmap::run_scan;
 pub use zmap::{ZmapCfg, ZmapScanner};
 
 use beware_netsim::sim::{Agent, RunSummary, Simulation};

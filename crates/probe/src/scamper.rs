@@ -17,9 +17,9 @@
 
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::derive_seed;
-use beware_netsim::sim::{Agent, Ctx, RunSummary};
+use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
-use beware_netsim::world::{quoted_destination, World};
+use beware_netsim::world::quoted_destination;
 use beware_wire::icmp::IcmpKind;
 use beware_wire::payload::ProbePayload;
 use beware_wire::tcp::{TcpFlags, TcpRepr};
@@ -372,25 +372,14 @@ impl crate::Prober for ScamperRunner {
     }
 }
 
-/// Run a set of jobs over `world`; returns results and the run summary.
-#[deprecated(note = "use `ScamperCfg::build(jobs)` and `Prober::run(&mut world)`")]
-pub fn run_jobs(
-    world: World,
-    jobs: Vec<PingJob>,
-    prober_addr: u32,
-    seed: u64,
-    grace_secs: f64,
-) -> (Vec<JobResult>, RunSummary) {
-    let mut world = world;
-    crate::Prober::run(ScamperCfg { prober_addr, seed, grace_secs }.build(jobs), &mut world)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Prober;
     use beware_netsim::profile::{BlockProfile, FirewallCfg, WakeupCfg};
     use beware_netsim::rng::Dist;
+    use beware_netsim::sim::RunSummary;
+    use beware_netsim::world::World;
     use std::sync::Arc;
 
     const PROBER: u32 = 0x0101_0101;
@@ -519,16 +508,6 @@ mod tests {
             1,
             1.0,
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_prober_api() {
-        let jobs = || vec![PingJob::train(0x0a000005, PingProto::Icmp, 6, 1.0, 0.0)];
-        let (old_results, old_summary) = run_jobs(world(quiet_profile()), jobs(), PROBER, 3, 20.0);
-        let (new_results, new_summary) = run(world(quiet_profile()), jobs(), 3, 20.0);
-        assert_eq!(old_results, new_results);
-        assert_eq!(old_summary, new_summary);
     }
 
     #[test]

@@ -19,9 +19,9 @@
 use beware_dataset::{Record, RecordSink, SurveyStats};
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::{coin, derive_seed, seeded, unit_hash};
-use beware_netsim::sim::{Agent, Ctx, RunSummary};
+use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
-use beware_netsim::world::{quoted_destination, World};
+use beware_netsim::world::quoted_destination;
 use beware_wire::icmp::IcmpKind;
 use beware_wire::payload::ProbePayload;
 use rand::rngs::StdRng;
@@ -279,18 +279,6 @@ impl<S: RecordSink> crate::Prober for SurveyProber<S> {
     }
 }
 
-/// Run a survey over `world` and return `(sink, stats, run summary)`.
-#[deprecated(note = "use `SurveyCfg::build(sink)` and `Prober::run(&mut world)`")]
-pub fn run_survey<S: RecordSink>(
-    world: World,
-    cfg: SurveyCfg,
-    sink: S,
-) -> (S, SurveyStats, RunSummary) {
-    let mut world = world;
-    let ((sink, stats), summary) = crate::Prober::run(cfg.build(sink), &mut world);
-    (sink, stats, summary)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +286,8 @@ mod tests {
     use beware_dataset::Record;
     use beware_netsim::profile::{BlockProfile, BroadcastCfg};
     use beware_netsim::rng::Dist;
+    use beware_netsim::sim::RunSummary;
+    use beware_netsim::world::World;
     use std::sync::Arc;
 
     /// Test driver over the unified API, collecting records in memory.
@@ -434,17 +424,6 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn empty_block_list_rejected() {
         SurveyProber::new(SurveyCfg::default(), Vec::new());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_prober_api() {
-        let (a_records, a_stats, a_summary) =
-            run_survey(one_block_world(quiet_profile()), cfg(2), Vec::new());
-        let (b_records, b_stats, b_summary) = survey(one_block_world(quiet_profile()), cfg(2));
-        assert_eq!(a_records, b_records);
-        assert_eq!(a_stats, b_stats);
-        assert_eq!(a_summary, b_summary);
     }
 
     #[test]

@@ -16,9 +16,8 @@ use beware_asdb::PrefixTrie;
 use beware_dataset::{ScanMeta, ScanRecord, ZmapScan};
 use beware_netsim::packet::{Packet, L4};
 use beware_netsim::rng::derive_seed;
-use beware_netsim::sim::{Agent, Ctx, RunSummary};
+use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
-use beware_netsim::world::World;
 use beware_wire::icmp::IcmpKind;
 use beware_wire::payload::ProbePayload;
 
@@ -204,19 +203,14 @@ impl crate::Prober for ZmapScanner {
     }
 }
 
-/// Run a scan over `world`; returns the scan and the run summary.
-#[deprecated(note = "use `ZmapCfg::build(meta)` and `Prober::run(&mut world)`")]
-pub fn run_scan(world: World, cfg: ZmapCfg, meta: ScanMeta) -> (ZmapScan, RunSummary) {
-    let mut world = world;
-    crate::Prober::run(cfg.build(meta), &mut world)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Prober;
     use beware_netsim::profile::{BlockProfile, BroadcastCfg};
     use beware_netsim::rng::Dist;
+    use beware_netsim::sim::RunSummary;
+    use beware_netsim::world::World;
     use std::sync::Arc;
 
     /// Test driver over the unified API.
@@ -323,20 +317,6 @@ mod tests {
         // End time ≈ duration + cooldown.
         let end = summary.end_time.as_secs_f64();
         assert!((85.0..95.0).contains(&end), "end {end}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_prober_api() {
-        let world = || {
-            let mut w = World::new(5);
-            w.add_block(0x0a0000, Arc::new(quiet_profile()));
-            w
-        };
-        let (old_scan, old_summary) = run_scan(world(), cfg(vec![0x0a0000]), meta());
-        let (new_scan, new_summary) = scan(world(), cfg(vec![0x0a0000]));
-        assert_eq!(old_scan.records, new_scan.records);
-        assert_eq!(old_summary, new_summary);
     }
 
     #[test]

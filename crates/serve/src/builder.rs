@@ -10,7 +10,7 @@
 
 use beware_core::percentile::{LatencySamples, PAPER_PERCENTILES};
 use beware_core::timeout_table::TimeoutTable;
-use beware_dataset::snapshot::{prefix_mask, SnapshotEntry, TimeoutSnapshot};
+use beware_dataset::snapshot::{prefix_mask, SnapshotEntry, SnapshotError, TimeoutSnapshot};
 use std::collections::BTreeMap;
 
 /// Snapshot build parameters.
@@ -41,20 +41,20 @@ impl Default for SnapshotCfg {
 }
 
 /// Build a snapshot from filtered per-address samples (the analysis
-/// pipeline's `samples` output). Fails when the configuration is invalid
-/// or no address has samples.
+/// pipeline's `samples` output). Fails with a [`SnapshotError`] when the
+/// configuration is invalid or no address has samples.
 pub fn build_snapshot(
     samples: &BTreeMap<u32, LatencySamples>,
     cfg: &SnapshotCfg,
-) -> Result<TimeoutSnapshot, &'static str> {
+) -> Result<TimeoutSnapshot, SnapshotError> {
     if cfg.prefix_len > 32 {
-        return Err("prefix length exceeds 32");
+        return Err(SnapshotError::PrefixTooLong(cfg.prefix_len));
     }
     let addr_levels = levels_to_f64(&cfg.addr_pct_tenths)?;
     let ping_levels = levels_to_f64(&cfg.ping_pct_tenths)?;
 
-    let fallback_table =
-        TimeoutTable::compute_at(samples, &addr_levels, &ping_levels).ok_or("no usable samples")?;
+    let fallback_table = TimeoutTable::compute_at(samples, &addr_levels, &ping_levels)
+        .ok_or(SnapshotError::NoSamples)?;
 
     let mask = prefix_mask(cfg.prefix_len);
     let mut groups: BTreeMap<u32, BTreeMap<u32, LatencySamples>> = BTreeMap::new();
@@ -90,15 +90,15 @@ pub fn build_snapshot(
     Ok(snap)
 }
 
-fn levels_to_f64(tenths: &[u16]) -> Result<Vec<f64>, &'static str> {
+fn levels_to_f64(tenths: &[u16]) -> Result<Vec<f64>, SnapshotError> {
     if tenths.is_empty() {
-        return Err("empty percentile levels");
+        return Err(SnapshotError::EmptyLevels);
     }
-    if tenths.iter().any(|&t| t == 0 || t > 1000) {
-        return Err("percentile level out of (0, 100.0] range");
+    if let Some(&t) = tenths.iter().find(|&&t| t == 0 || t > 1000) {
+        return Err(SnapshotError::LevelOutOfRange(t));
     }
     if tenths.windows(2).any(|w| w[0] >= w[1]) {
-        return Err("percentile levels not strictly increasing");
+        return Err(SnapshotError::LevelsNotIncreasing);
     }
     Ok(tenths.iter().map(|&t| f64::from(t) / 10.0).collect())
 }
@@ -180,10 +180,15 @@ mod tests {
 
     #[test]
     fn empty_or_invalid_inputs_fail() {
-        assert!(build_snapshot(&BTreeMap::new(), &SnapshotCfg::default()).is_err());
+        assert_eq!(
+            build_snapshot(&BTreeMap::new(), &SnapshotCfg::default()),
+            Err(SnapshotError::NoSamples)
+        );
         let cfg = SnapshotCfg { prefix_len: 33, ..Default::default() };
-        assert!(build_snapshot(&samples(), &cfg).is_err());
+        assert_eq!(build_snapshot(&samples(), &cfg), Err(SnapshotError::PrefixTooLong(33)));
         let cfg = SnapshotCfg { addr_pct_tenths: vec![950, 950], ..Default::default() };
-        assert!(build_snapshot(&samples(), &cfg).is_err());
+        assert_eq!(build_snapshot(&samples(), &cfg), Err(SnapshotError::LevelsNotIncreasing));
+        let cfg = SnapshotCfg { ping_pct_tenths: vec![500, 1001], ..Default::default() };
+        assert_eq!(build_snapshot(&samples(), &cfg), Err(SnapshotError::LevelOutOfRange(1001)));
     }
 }

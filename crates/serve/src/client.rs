@@ -5,7 +5,7 @@
 //! read carries a socket timeout, so a stalled server surfaces as
 //! [`ClientError::Io`] instead of hanging the caller forever.
 
-use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
+use crate::proto::{self, ErrorCode, Message, ProtoError, ReloadKind, Status};
 use beware_runtime::clock::{SharedClock, WallClock};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -36,6 +36,20 @@ pub struct ServerStats {
     pub hits_exact: u64,
     /// Answers served from the global fallback table.
     pub hits_fallback: u64,
+}
+
+/// The serving snapshot's identity, as returned by a `SnapshotInfo`
+/// request — and by a successful `Reload`, which reports the snapshot
+/// it just installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Snapshot version (epoch): 1 at startup, +1 per successful reload.
+    pub version: u64,
+    /// Number of per-prefix tables in the serving snapshot.
+    pub entries: u32,
+    /// Content identity: the snapshot's fletcher-64 trailer checksum —
+    /// the value a delta's base checksum must match.
+    pub checksum: u64,
 }
 
 /// Client-side failures.
@@ -206,6 +220,34 @@ impl<T: Read + Write> Client<T> {
         match self.round_trip(&Message::Stats)? {
             Message::StatsReply { queries, hits_exact, hits_fallback } => {
                 Ok(ServerStats { queries, hits_exact, hits_fallback })
+            }
+            Message::Error { code } => Err(ClientError::Server(code)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Ask which snapshot the server is currently answering from.
+    pub fn snapshot_info(&mut self) -> Result<SnapshotInfo, ClientError> {
+        match self.round_trip(&Message::SnapshotInfo)? {
+            Message::SnapshotInfoReply { version, entries, checksum } => {
+                Ok(SnapshotInfo { version, entries, checksum })
+            }
+            Message::Error { code } => Err(ClientError::Server(code)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Ask the server to hot-reload its snapshot from the configured
+    /// source (`--reload-from`); resolves to the identity of the
+    /// snapshot now being served. Failures come back typed:
+    /// [`ErrorCode::ReloadUnavailable`] (no source configured),
+    /// [`ErrorCode::SnapshotRejected`] (unreadable or invalid source —
+    /// the old snapshot keeps serving), or [`ErrorCode::StaleDelta`]
+    /// (the delta's base is not the serving snapshot).
+    pub fn reload(&mut self, kind: ReloadKind) -> Result<SnapshotInfo, ClientError> {
+        match self.round_trip(&Message::Reload { kind })? {
+            Message::SnapshotInfoReply { version, entries, checksum } => {
+                Ok(SnapshotInfo { version, entries, checksum })
             }
             Message::Error { code } => Err(ClientError::Server(code)),
             _ => Err(ClientError::UnexpectedReply),

@@ -31,10 +31,12 @@ pub mod loadgen;
 pub mod oracle;
 pub mod proto;
 pub mod server;
+pub mod swap;
 
 pub use builder::{build_snapshot, SnapshotCfg};
-pub use client::{Answer, Client, ClientError, ServerStats};
-pub use loadgen::{LoadCfg, LoadReport};
-pub use oracle::{Lookup, LookupError, Oracle};
-pub use proto::{ErrorCode, Message, ProtoError, Status, PROTO_VERSION};
-pub use server::{start, ServerCfg, ServerHandle};
+pub use client::{Answer, Client, ClientError, ServerStats, SnapshotInfo};
+pub use loadgen::{LoadCfg, LoadReport, ReloadCfg, ReloadReport};
+pub use oracle::{Lookup, LookupError, Oracle, OracleError};
+pub use proto::{ErrorCode, Message, ProtoError, ReloadKind, Status, PROTO_VERSION};
+pub use server::{start, ConfigError, ServerCfg, ServerCfgBuilder, ServerHandle};
+pub use swap::{OracleHandle, OracleReader};

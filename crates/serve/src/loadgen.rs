@@ -10,10 +10,12 @@
 //! `BENCH_3.json` schema.
 
 use crate::client::{Client, ClientError};
+use crate::oracle::Oracle;
 use beware_runtime::clock::{SharedClock, WallClock};
 use beware_runtime::process_cpu_time;
 use beware_runtime::rng::SplitMix64;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -486,6 +488,304 @@ pub fn run_mass(addr: SocketAddr, cfg: &MassCfg) -> Result<MassReport, String> {
     })
 }
 
+/// Reload-under-load run parameters: closed-loop workers hammer the
+/// query path while the coordinator fires snapshot reloads through a
+/// caller-supplied driver, and **every answer is verified bit-for-bit**
+/// against the set of snapshot generations that could legitimately be
+/// serving — the wire-level check of the no-torn-reads guarantee.
+#[derive(Debug, Clone)]
+pub struct ReloadCfg {
+    /// Concurrent closed-loop workers (≥ 1). They run until the last
+    /// reload (plus `cooldown`) lands, so every reload happens under
+    /// load by construction.
+    pub workers: usize,
+    /// Addresses to draw from, uniformly at random.
+    pub addr_pool: Vec<u32>,
+    /// Address-percentile level queried, tenths of a percent.
+    pub addr_pct_tenths: u16,
+    /// Ping-percentile level queried, tenths of a percent.
+    pub ping_pct_tenths: u16,
+    /// Seed for the per-worker address streams.
+    pub seed: u64,
+    /// Socket read timeout per request.
+    pub read_timeout: Duration,
+    /// Reloads the coordinator fires.
+    pub reloads: usize,
+    /// Quiet gap before each reload, letting query traffic build up.
+    pub reload_gap: Duration,
+    /// Extra load after the final reload, so its aftermath is measured
+    /// too.
+    pub cooldown: Duration,
+    /// Every snapshot generation the server could be serving at any
+    /// point in the run. An answer is correct iff it byte-matches what
+    /// **some** generation's oracle computes — old or new, never a
+    /// mixture.
+    pub truth: Vec<Oracle>,
+}
+
+impl Default for ReloadCfg {
+    fn default() -> Self {
+        ReloadCfg {
+            workers: 4,
+            addr_pool: Vec::new(),
+            addr_pct_tenths: 950,
+            ping_pct_tenths: 950,
+            seed: 0xbe0a_2e11,
+            read_timeout: Duration::from_secs(5),
+            reloads: 4,
+            reload_gap: Duration::from_millis(100),
+            cooldown: Duration::from_millis(100),
+            truth: Vec::new(),
+        }
+    }
+}
+
+/// Summary of one reload-under-load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReloadReport {
+    /// Workers that ran.
+    pub workers: usize,
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Requests that failed (transport or server error).
+    pub errors: u64,
+    /// Answers that matched **no** snapshot generation bit-for-bit —
+    /// must be zero for the no-torn-reads guarantee to hold.
+    pub wrong_answers: u64,
+    /// Reloads that completed successfully.
+    pub reloads: u64,
+    /// Wall time of the measured window, seconds.
+    pub wall_secs: f64,
+    /// Successful requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Median query latency with reloads in flight, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile query latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile query latency — the headline number: what a
+    /// snapshot swap costs the tail, microseconds.
+    pub p999_us: u64,
+    /// Slowest query, microseconds.
+    pub max_us: u64,
+    /// Slowest reload round-trip (admin op, file read, swap),
+    /// microseconds.
+    pub reload_max_us: u64,
+    /// Mean reload round-trip, microseconds.
+    pub reload_mean_us: f64,
+}
+
+impl ReloadReport {
+    /// Render as the `BENCH_5.json` document (schema 1).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": 1,\n",
+                "  \"bench\": \"serve_reload\",\n",
+                "  \"workers\": {},\n",
+                "  \"requests\": {},\n",
+                "  \"errors\": {},\n",
+                "  \"wrong_answers\": {},\n",
+                "  \"reloads\": {},\n",
+                "  \"wall_secs\": {:.6},\n",
+                "  \"throughput_rps\": {:.3},\n",
+                "  \"latency_us\": {{\n",
+                "    \"p50\": {},\n",
+                "    \"p99\": {},\n",
+                "    \"p999\": {},\n",
+                "    \"max\": {}\n",
+                "  }},\n",
+                "  \"reload_us\": {{ \"max\": {}, \"mean\": {:.3} }}\n",
+                "}}\n",
+            ),
+            self.workers,
+            self.requests,
+            self.errors,
+            self.wrong_answers,
+            self.reloads,
+            self.wall_secs,
+            self.throughput_rps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us,
+            self.reload_max_us,
+            self.reload_mean_us,
+        )
+    }
+
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} workers, {} ok / {} err / {} wrong across {} reloads in {:.3}s — \
+             {:.0} req/s, p99.9 {}µs (reload max {}µs)",
+            self.workers,
+            self.requests,
+            self.errors,
+            self.wrong_answers,
+            self.reloads,
+            self.wall_secs,
+            self.throughput_rps,
+            self.p999_us,
+            self.reload_max_us,
+        )
+    }
+}
+
+/// Does `ans` byte-match what some generation in `truth` would answer?
+fn answer_in_truth_set(
+    truth: &[Oracle],
+    addr: u32,
+    addr_pct_tenths: u16,
+    ping_pct_tenths: u16,
+    ans: &crate::client::Answer,
+) -> bool {
+    truth.iter().any(|o| match o.lookup(addr, addr_pct_tenths, ping_pct_tenths) {
+        Ok(l) => {
+            l.timeout_bits == ans.timeout_bits
+                && l.status == ans.status
+                && l.prefix == ans.prefix
+                && l.prefix_len == ans.prefix_len
+        }
+        Err(_) => false,
+    })
+}
+
+/// Drive query load while `do_reload` fires snapshot swaps: workers run
+/// closed-loop from barrier-release until the last reload (plus
+/// cooldown) has landed, verifying every answer against the truth set.
+/// `do_reload(i)` performs the `i`-th reload end to end — typically
+/// "write the next snapshot/delta file, send the `Reload` admin frame" —
+/// and its round-trip is timed into the report.
+pub fn run_reload(
+    addr: SocketAddr,
+    cfg: &ReloadCfg,
+    mut do_reload: impl FnMut(usize) -> Result<(), String>,
+) -> Result<ReloadReport, String> {
+    if cfg.workers == 0 {
+        return Err("workers must be >= 1".into());
+    }
+    if cfg.addr_pool.is_empty() {
+        return Err("address pool is empty".into());
+    }
+    if cfg.truth.is_empty() {
+        return Err("truth set is empty: nothing to verify answers against".into());
+    }
+    let clock: SharedClock = WallClock::shared();
+
+    let barrier = Arc::new(Barrier::new(cfg.workers + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pool = Arc::new(cfg.addr_pool.clone());
+    let truth = Arc::new(cfg.truth.clone());
+    let mut handles = Vec::with_capacity(cfg.workers);
+    for w in 0..cfg.workers {
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&stop);
+        let pool = Arc::clone(&pool);
+        let truth = Arc::clone(&truth);
+        let cfg = cfg.clone();
+        let clock = Arc::clone(&clock);
+        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, u64, u64), String> {
+            let conn = Client::connect_retry(addr, cfg.read_timeout, Duration::from_secs(2));
+            barrier.wait();
+            let mut client = conn.map_err(|e| format!("worker {w}: connect: {e}"))?;
+            let mut rng =
+                SplitMix64::new(cfg.seed ^ (w as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+            let mut lat = Vec::new();
+            let mut errors = 0u64;
+            let mut wrong = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let a = pool[(rng.next_u64() % pool.len() as u64) as usize];
+                let t0 = clock.now();
+                match client.query(a, cfg.addr_pct_tenths, cfg.ping_pct_tenths) {
+                    Ok(ans) => {
+                        let us = u64::try_from(clock.since(t0).as_micros()).unwrap_or(u64::MAX);
+                        lat.push(us);
+                        if !answer_in_truth_set(
+                            &truth,
+                            a,
+                            cfg.addr_pct_tenths,
+                            cfg.ping_pct_tenths,
+                            &ans,
+                        ) {
+                            wrong += 1;
+                        }
+                    }
+                    Err(ClientError::Io(e)) => {
+                        return Err(format!("worker {w}: i/o mid-run: {e}"));
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            Ok((lat, errors, wrong))
+        }));
+    }
+
+    barrier.wait();
+    let t0 = clock.now();
+    let mut reload_us = Vec::with_capacity(cfg.reloads);
+    let mut reload_err = None;
+    for i in 0..cfg.reloads {
+        clock.sleep(cfg.reload_gap);
+        let r0 = clock.now();
+        match do_reload(i) {
+            Ok(()) => {
+                reload_us.push(u64::try_from(clock.since(r0).as_micros()).unwrap_or(u64::MAX));
+            }
+            Err(e) => {
+                reload_err = Some(format!("reload {i}: {e}"));
+                break;
+            }
+        }
+    }
+    clock.sleep(cfg.cooldown);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut all = Vec::new();
+    let mut errors = 0u64;
+    let mut wrong = 0u64;
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join().expect("reload loadgen worker panicked") {
+            Ok((lat, e, wr)) => {
+                all.extend_from_slice(&lat);
+                errors += e;
+                wrong += wr;
+            }
+            Err(msg) => failures.push(msg),
+        }
+    }
+    let wall = clock.since(t0).as_secs_f64();
+    if let Some(e) = reload_err {
+        failures.push(e);
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    all.sort_unstable();
+    let reload_sum: u64 = reload_us.iter().sum();
+    Ok(ReloadReport {
+        workers: cfg.workers,
+        requests: all.len() as u64,
+        errors,
+        wrong_answers: wrong,
+        reloads: reload_us.len() as u64,
+        wall_secs: wall,
+        throughput_rps: if wall > 0.0 { all.len() as f64 / wall } else { 0.0 },
+        p50_us: percentile(&all, 50.0),
+        p99_us: percentile(&all, 99.0),
+        p999_us: percentile(&all, 99.9),
+        max_us: all.last().copied().unwrap_or(0),
+        reload_max_us: reload_us.iter().copied().max().unwrap_or(0),
+        reload_mean_us: if reload_us.is_empty() {
+            0.0
+        } else {
+            reload_sum as f64 / reload_us.len() as f64
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +876,39 @@ mod tests {
         assert!(j.contains("\"idle_cpu_pct\": null"), "missing CPU clock renders as null");
         assert!(j.contains("\"conns_per_shard\": 2500.0"));
         assert!(runs[0].render().contains("1000 idle conns"));
+    }
+
+    #[test]
+    fn reload_report_json_shape() {
+        let r = ReloadReport {
+            workers: 4,
+            requests: 9000,
+            errors: 0,
+            wrong_answers: 0,
+            reloads: 4,
+            wall_secs: 0.8,
+            throughput_rps: 11250.0,
+            p50_us: 70,
+            p99_us: 300,
+            p999_us: 750,
+            max_us: 2100,
+            reload_max_us: 1800,
+            reload_mean_us: 1200.5,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"bench\": \"serve_reload\""));
+        assert!(j.contains("\"wrong_answers\": 0"));
+        assert!(j.contains("\"p999\": 750"));
+        assert!(j.contains("\"reload_us\": { \"max\": 1800, \"mean\": 1200.500 }"));
+        assert!(r.render().contains("across 4 reloads"));
+    }
+
+    #[test]
+    fn reload_run_rejects_empty_truth_set() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let cfg = ReloadCfg { addr_pool: vec![1], ..Default::default() };
+        let out = run_reload(addr, &cfg, |_| Ok(()));
+        assert!(out.unwrap_err().contains("truth set"));
     }
 
     #[test]

@@ -10,7 +10,41 @@
 
 use crate::proto::Status;
 use beware_asdb::PrefixTrie;
-use beware_dataset::snapshot::TimeoutSnapshot;
+use beware_dataset::snapshot::{snapshot_checksum, SnapshotError, TimeoutSnapshot};
+
+/// Why an [`Oracle`] could not be built.
+///
+/// `#[non_exhaustive]`: oracle construction may grow failure modes
+/// beyond snapshot validity (resource limits, say) without a breaking
+/// change.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The snapshot failed canonical-form validation.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Snapshot(e) => write!(f, "invalid snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OracleError::Snapshot(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapshotError> for OracleError {
+    fn from(e: SnapshotError) -> Self {
+        OracleError::Snapshot(e)
+    }
+}
 
 /// A query answer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,12 +102,17 @@ pub struct Oracle {
     /// `(prefix, len)` of each entry, parallel to table order.
     prefixes: Vec<(u32, u8)>,
     trie: PrefixTrie<u32>,
+    /// Identity of the snapshot this oracle was built from
+    /// ([`snapshot_checksum`]) — what `SnapshotInfo` reports and what a
+    /// delta reload's base check compares against.
+    checksum: u64,
 }
 
 impl Oracle {
     /// Build from a validated snapshot.
-    pub fn from_snapshot(snap: TimeoutSnapshot) -> Result<Oracle, &'static str> {
+    pub fn from_snapshot(snap: TimeoutSnapshot) -> Result<Oracle, OracleError> {
         snap.validate()?;
+        let checksum = snapshot_checksum(&snap);
         let per_table = snap.cell_count();
         let mut cells = Vec::with_capacity(per_table * (1 + snap.entries.len()));
         cells.extend_from_slice(&snap.fallback);
@@ -90,12 +129,42 @@ impl Oracle {
             cells,
             prefixes,
             trie,
+            checksum,
         })
     }
 
     /// Number of per-prefix tables.
     pub fn entry_count(&self) -> usize {
         self.prefixes.len()
+    }
+
+    /// Identity of the snapshot this oracle serves — the fletcher-64
+    /// trailer checksum of its canonical encoding.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Reconstruct the canonical snapshot this oracle was built from.
+    /// Exact inverse of [`from_snapshot`](Oracle::from_snapshot) (same
+    /// bytes, same [`checksum`](Oracle::checksum)) — the base a delta
+    /// reload applies against without keeping a second copy resident.
+    pub fn to_snapshot(&self) -> TimeoutSnapshot {
+        let per_table = self.addr_levels.len() * self.ping_levels.len();
+        TimeoutSnapshot {
+            address_pct_tenths: self.addr_levels.clone(),
+            ping_pct_tenths: self.ping_levels.clone(),
+            fallback: self.cells[..per_table].to_vec(),
+            entries: self
+                .prefixes
+                .iter()
+                .enumerate()
+                .map(|(i, &(prefix, len))| beware_dataset::snapshot::SnapshotEntry {
+                    prefix,
+                    len,
+                    cells: self.cells[(i + 1) * per_table..(i + 2) * per_table].to_vec(),
+                })
+                .collect(),
+        }
     }
 
     /// The address-percentile levels served, tenths of a percent.
@@ -215,6 +284,19 @@ mod tests {
     fn invalid_snapshot_rejected() {
         let mut bad = snap();
         bad.entries.swap(0, 1);
-        assert!(Oracle::from_snapshot(bad).is_err());
+        assert_eq!(
+            Oracle::from_snapshot(bad).unwrap_err(),
+            OracleError::Snapshot(SnapshotError::EntriesNotAscending)
+        );
+    }
+
+    #[test]
+    fn to_snapshot_is_the_exact_inverse() {
+        let s = snap();
+        let o = Oracle::from_snapshot(s.clone()).unwrap();
+        assert_eq!(o.to_snapshot(), s);
+        assert_eq!(o.checksum(), snapshot_checksum(&s));
+        // Rebuilding from the reconstruction preserves the identity.
+        assert_eq!(Oracle::from_snapshot(o.to_snapshot()).unwrap().checksum(), o.checksum());
     }
 }

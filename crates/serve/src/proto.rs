@@ -53,6 +53,15 @@ pub enum ErrorCode {
     UnsupportedPercentile = 3,
     /// Payload failed structural validation.
     Malformed = 4,
+    /// A `Reload` arrived but the server has no configured reload source
+    /// (`beware serve --reload-from`).
+    ReloadUnavailable = 5,
+    /// The reload source could not be read, decoded, or validated —
+    /// the serving snapshot is unchanged.
+    SnapshotRejected = 6,
+    /// A delta reload's base checksum did not match the serving
+    /// snapshot: the delta was computed against a different generation.
+    StaleDelta = 7,
 }
 
 impl ErrorCode {
@@ -62,6 +71,9 @@ impl ErrorCode {
             2 => Some(ErrorCode::UnknownOpcode),
             3 => Some(ErrorCode::UnsupportedPercentile),
             4 => Some(ErrorCode::Malformed),
+            5 => Some(ErrorCode::ReloadUnavailable),
+            6 => Some(ErrorCode::SnapshotRejected),
+            7 => Some(ErrorCode::StaleDelta),
             _ => None,
         }
     }
@@ -74,9 +86,22 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::UnknownOpcode => "unknown opcode",
             ErrorCode::UnsupportedPercentile => "unsupported percentile level",
             ErrorCode::Malformed => "malformed payload",
+            ErrorCode::ReloadUnavailable => "no reload source configured",
+            ErrorCode::SnapshotRejected => "reload source rejected; snapshot unchanged",
+            ErrorCode::StaleDelta => "delta computed against a different snapshot generation",
         };
         f.write_str(s)
     }
+}
+
+/// Which kind of reload source a [`Message::Reload`] asks the server to
+/// apply from its configured path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReloadKind {
+    /// The path holds a complete `BWTS` snapshot.
+    Full = 0,
+    /// The path holds a `BWTD` delta against the serving snapshot.
+    Delta = 1,
 }
 
 /// A protocol message, request or reply.
@@ -117,6 +142,28 @@ pub enum Message {
     },
     /// Reply to [`Message::Shutdown`]: the server is stopping.
     ShutdownAck,
+    /// Admin: describe the serving snapshot (version, entry count,
+    /// checksum). Answered with [`Message::SnapshotInfoReply`].
+    SnapshotInfo,
+    /// Admin: load the configured reload source (`--reload-from`) and
+    /// atomically swap the serving snapshot. Answered with
+    /// [`Message::SnapshotInfoReply`] describing the post-reload state,
+    /// or an [`Message::Error`] (`ReloadUnavailable`, `SnapshotRejected`,
+    /// `StaleDelta`) with the serving snapshot unchanged.
+    Reload {
+        /// Whether the source is a full snapshot or a delta.
+        kind: ReloadKind,
+    },
+    /// Reply to [`Message::SnapshotInfo`] and [`Message::Reload`].
+    SnapshotInfoReply {
+        /// Snapshot version (epoch): 1 at startup, +1 per reload.
+        version: u64,
+        /// Per-prefix entry count of the serving snapshot.
+        entries: u32,
+        /// Identity of the serving snapshot — the fletcher-64 trailer
+        /// checksum of its canonical encoding.
+        checksum: u64,
+    },
     /// Error reply.
     Error {
         /// What went wrong.
@@ -127,9 +174,12 @@ pub enum Message {
 const OP_QUERY: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
+const OP_SNAPSHOT_INFO: u8 = 0x04;
+const OP_RELOAD: u8 = 0x05;
 const OP_ANSWER: u8 = 0x81;
 const OP_STATS_REPLY: u8 = 0x82;
 const OP_SHUTDOWN_ACK: u8 = 0x83;
+const OP_SNAPSHOT_INFO_REPLY: u8 = 0x84;
 const OP_ERROR: u8 = 0x7f;
 
 /// Errors arising while decoding a frame.
@@ -198,6 +248,17 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             body.put_u64_le(hits_fallback);
         }
         Message::ShutdownAck => body.put_u8(OP_SHUTDOWN_ACK),
+        Message::SnapshotInfo => body.put_u8(OP_SNAPSHOT_INFO),
+        Message::Reload { kind } => {
+            body.put_u8(OP_RELOAD);
+            body.put_u8(kind as u8);
+        }
+        Message::SnapshotInfoReply { version, entries, checksum } => {
+            body.put_u8(OP_SNAPSHOT_INFO_REPLY);
+            body.put_u64_le(version);
+            body.put_u32_le(entries);
+            body.put_u64_le(checksum);
+        }
         Message::Error { code } => {
             body.put_u8(OP_ERROR);
             body.put_u8(code as u8);
@@ -291,6 +352,27 @@ pub fn decode_body(body: &[u8]) -> Result<Message, ProtoError> {
             need(0)?;
             Ok(Message::ShutdownAck)
         }
+        OP_SNAPSHOT_INFO => {
+            need(0)?;
+            Ok(Message::SnapshotInfo)
+        }
+        OP_RELOAD => {
+            need(1)?;
+            let kind = match b.get_u8() {
+                0 => ReloadKind::Full,
+                1 => ReloadKind::Delta,
+                _ => return Err(ProtoError::Corrupt("unknown reload kind")),
+            };
+            Ok(Message::Reload { kind })
+        }
+        OP_SNAPSHOT_INFO_REPLY => {
+            need(20)?;
+            Ok(Message::SnapshotInfoReply {
+                version: b.get_u64_le(),
+                entries: b.get_u32_le(),
+                checksum: b.get_u64_le(),
+            })
+        }
         OP_ERROR => {
             need(1)?;
             let code =
@@ -359,7 +441,18 @@ mod tests {
             },
             Message::StatsReply { queries: 10, hits_exact: 7, hits_fallback: 3 },
             Message::ShutdownAck,
+            Message::SnapshotInfo,
+            Message::Reload { kind: ReloadKind::Full },
+            Message::Reload { kind: ReloadKind::Delta },
+            Message::SnapshotInfoReply {
+                version: 3,
+                entries: 1771,
+                checksum: 0xdead_beef_0bada110,
+            },
             Message::Error { code: ErrorCode::UnsupportedPercentile },
+            Message::Error { code: ErrorCode::ReloadUnavailable },
+            Message::Error { code: ErrorCode::SnapshotRejected },
+            Message::Error { code: ErrorCode::StaleDelta },
         ]
     }
 

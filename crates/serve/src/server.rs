@@ -36,7 +36,9 @@
 //! overflows) are counted under the nondeterministic `faults/` family.
 
 use crate::oracle::{LookupError, Oracle};
-use crate::proto::{self, ErrorCode, Message, ProtoError, Status};
+use crate::proto::{self, ErrorCode, Message, ProtoError, ReloadKind, Status};
+use crate::swap::{OracleHandle, OracleReader};
+use beware_dataset::snapshot::{read_delta, read_snapshot, snapshot_checksum, SnapshotError};
 use beware_runtime::clock::{SharedClock, WallClock};
 pub use beware_runtime::reactor::ReactorKind;
 use beware_runtime::reactor::{make_reactor, Event, Interest, Reactor, StopSignal, Waker};
@@ -46,13 +48,21 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server configuration.
+///
+/// `#[non_exhaustive]`: construct one with [`ServerCfg::builder`] (or
+/// take [`ServerCfg::default`] as-is). The fields stay `pub` for
+/// reading, but a new knob is no longer a breaking change for every
+/// downstream struct literal, and [`ServerCfgBuilder::build`] gets to
+/// validate combinations up front.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct ServerCfg {
     /// Worker shards (≥ 1). Each shard is one thread owning a disjoint
@@ -79,6 +89,16 @@ pub struct ServerCfg {
     /// would park the OS thread on a timeline that never moves on its
     /// own.
     pub reactor: ReactorKind,
+    /// Snapshot source for hot reloads: the file `Reload` admin frames
+    /// (and the poller, if enabled) load from — a full `.bwts` snapshot
+    /// or a `.bwtd` delta. `None` disables the reload plane; `Reload`
+    /// then answers [`ErrorCode::ReloadUnavailable`].
+    pub reload_from: Option<PathBuf>,
+    /// When set, shard 0 re-reads [`reload_from`](Self::reload_from) on
+    /// this period through its deadline wheel — no extra thread, no
+    /// fixed nap — and swaps the oracle whenever the file's content no
+    /// longer matches the snapshot being served.
+    pub reload_poll: Option<Duration>,
 }
 
 impl Default for ServerCfg {
@@ -91,9 +111,155 @@ impl Default for ServerCfg {
             metrics: true,
             clock: WallClock::shared(),
             reactor: ReactorKind::Auto,
+            reload_from: None,
+            reload_poll: None,
         }
     }
 }
+
+impl ServerCfg {
+    /// Start from the defaults and adjust:
+    /// `ServerCfg::builder().shards(2).build()?`.
+    pub fn builder() -> ServerCfgBuilder {
+        ServerCfgBuilder { cfg: ServerCfg::default() }
+    }
+}
+
+/// Builder for [`ServerCfg`] — the way to spell a non-default
+/// configuration now that the struct is `#[non_exhaustive]`.
+/// [`build`](Self::build) validates the combination so a zero shard
+/// count or an output queue that cannot hold one reply frame fails at
+/// configuration time instead of surfacing as a hung server.
+#[derive(Debug, Clone)]
+pub struct ServerCfgBuilder {
+    cfg: ServerCfg,
+}
+
+impl Default for ServerCfgBuilder {
+    fn default() -> Self {
+        ServerCfg::builder()
+    }
+}
+
+impl ServerCfgBuilder {
+    /// Worker shard count. See [`ServerCfg::shards`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// See [`ServerCfg::idle_timeout`].
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.cfg.idle_timeout = d;
+        self
+    }
+
+    /// See [`ServerCfg::drain_timeout`].
+    pub fn drain_timeout(mut self, d: Duration) -> Self {
+        self.cfg.drain_timeout = d;
+        self
+    }
+
+    /// See [`ServerCfg::out_queue_cap`].
+    pub fn out_queue_cap(mut self, cap: usize) -> Self {
+        self.cfg.out_queue_cap = cap;
+        self
+    }
+
+    /// See [`ServerCfg::metrics`].
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.cfg.metrics = on;
+        self
+    }
+
+    /// See [`ServerCfg::clock`].
+    pub fn clock(mut self, clock: SharedClock) -> Self {
+        self.cfg.clock = clock;
+        self
+    }
+
+    /// See [`ServerCfg::reactor`].
+    pub fn reactor(mut self, kind: ReactorKind) -> Self {
+        self.cfg.reactor = kind;
+        self
+    }
+
+    /// See [`ServerCfg::reload_from`].
+    pub fn reload_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.reload_from = Some(path.into());
+        self
+    }
+
+    /// See [`ServerCfg::reload_poll`]. Requires a reload source.
+    pub fn reload_poll(mut self, period: Duration) -> Self {
+        self.cfg.reload_poll = Some(period);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServerCfg, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if cfg.idle_timeout.is_zero() {
+            return Err(ConfigError::ZeroIdleTimeout);
+        }
+        let min = proto::MAX_FRAME + 2;
+        if cfg.out_queue_cap < min {
+            return Err(ConfigError::QueueCapTooSmall { min, got: cfg.out_queue_cap });
+        }
+        match cfg.reload_poll {
+            Some(_) if cfg.reload_from.is_none() => return Err(ConfigError::PollWithoutSource),
+            Some(p) if p.is_zero() => return Err(ConfigError::ZeroReloadPoll),
+            _ => {}
+        }
+        Ok(cfg)
+    }
+}
+
+/// Why [`ServerCfgBuilder::build`] refused a configuration.
+///
+/// `#[non_exhaustive]`: validation grows with the config surface.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `shards == 0`: the server would accept and never answer.
+    ZeroShards,
+    /// A zero idle timeout would evict every connection on its first
+    /// wheel tick.
+    ZeroIdleTimeout,
+    /// The output queue cannot hold even one maximum-size reply frame,
+    /// so every connection would be closed on its first answer.
+    QueueCapTooSmall {
+        /// Smallest workable cap (one encoded max-size frame).
+        min: usize,
+        /// The cap that was requested.
+        got: usize,
+    },
+    /// `reload_poll` was set without `reload_from`: nothing to poll.
+    PollWithoutSource,
+    /// A zero poll period would busy-loop shard 0.
+    ZeroReloadPoll,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ConfigError::ZeroIdleTimeout => write!(f, "idle timeout must be nonzero"),
+            ConfigError::QueueCapTooSmall { min, got } => {
+                write!(f, "output queue cap {got} cannot hold one reply frame (min {min})")
+            }
+            ConfigError::PollWithoutSource => {
+                write!(f, "reload poll requires a reload source (reload_from)")
+            }
+            ConfigError::ZeroReloadPoll => write!(f, "reload poll period must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Aggregate counters served by the `Stats` request. Shared across
 /// shards; relaxed ordering is fine for monotone counters.
@@ -111,6 +277,7 @@ struct GlobalStats {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<StopSignal>,
+    oracle: OracleHandle,
     acceptor: Option<JoinHandle<Registry>>,
     shards: Vec<JoinHandle<Registry>>,
 }
@@ -119,6 +286,14 @@ impl ServerHandle {
     /// The bound address (resolves an ephemeral port request).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The swappable oracle slot this server answers from. Publishing
+    /// through it is an in-process hot reload — every shard picks up
+    /// the new snapshot on its next request, mid-connection, with no
+    /// listener downtime.
+    pub fn oracle(&self) -> &OracleHandle {
+        &self.oracle
     }
 
     /// Request shutdown from in-process (equivalent to a `Shutdown`
@@ -155,36 +330,49 @@ const LISTENER_TOKEN: u64 = 0;
 
 /// Bind and start serving `oracle` on `bind` (e.g. `"127.0.0.1:0"` for an
 /// ephemeral port).
+///
+/// `oracle` is anything convertible into an [`OracleHandle`]: a bare
+/// [`Oracle`] or `Arc<Oracle>` wraps into a fresh slot at version 1;
+/// passing an existing handle shares the slot, so the caller can
+/// publish hot reloads from outside the server.
 pub fn start(
-    oracle: Arc<Oracle>,
+    oracle: impl Into<OracleHandle>,
     bind: impl ToSocketAddrs,
     cfg: ServerCfg,
 ) -> io::Result<ServerHandle> {
+    let handle = oracle.into();
     let shards = cfg.shards.max(1);
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let stop = Arc::new(StopSignal::new());
     let stats = Arc::new(GlobalStats::default());
+    let reload = Arc::new(ReloadCtx {
+        handle: handle.clone(),
+        source: cfg.reload_from.clone(),
+        lock: Mutex::new(()),
+    });
 
     // Reactors and doorbells are created here, not in the threads, so a
     // resource failure (fd limit, unsupported platform) surfaces as an
     // `Err` from `start` instead of a dead shard.
     let mut senders: Vec<(Sender<TcpStream>, Arc<Waker>)> = Vec::with_capacity(shards);
     let mut shard_handles = Vec::with_capacity(shards);
-    for _ in 0..shards {
+    for shard_index in 0..shards {
         let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
         let waker = Arc::new(Waker::new()?);
         let mut reactor = make_reactor(cfg.reactor, &cfg.clock)?;
         reactor.add_waker(Arc::clone(&waker), WAKER_TOKEN)?;
         stop.subscribe(Arc::clone(&waker));
         senders.push((tx, waker));
-        let oracle = Arc::clone(&oracle);
+        let reader = handle.reader();
+        let reload = Arc::clone(&reload);
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
         let cfg = cfg.clone();
-        shard_handles
-            .push(std::thread::spawn(move || shard_loop(rx, reactor, oracle, stop, stats, &cfg)));
+        shard_handles.push(std::thread::spawn(move || {
+            shard_loop(rx, reactor, reader, reload, shard_index, stop, stats, &cfg)
+        }));
     }
 
     let acceptor_waker = Arc::new(Waker::new()?);
@@ -200,7 +388,134 @@ pub fn start(
         acceptor_loop(listener, acceptor_reactor, senders, stop_a, metrics, clock)
     });
 
-    Ok(ServerHandle { addr, stop, acceptor: Some(acceptor), shards: shard_handles })
+    Ok(ServerHandle { addr, stop, oracle: handle, acceptor: Some(acceptor), shards: shard_handles })
+}
+
+/// Everything a shard needs to execute a reload: the slot to publish
+/// into, the configured source path, and a lock that makes each
+/// reload's read-base → apply → publish sequence atomic against
+/// concurrent reloads on other shards (without it, two racing delta
+/// reloads could both read the same base and the loser would publish a
+/// snapshot the winner's delta never saw).
+struct ReloadCtx {
+    handle: OracleHandle,
+    source: Option<PathBuf>,
+    lock: Mutex<()>,
+}
+
+/// What a reload attempt did.
+enum ReloadOutcome {
+    /// A new oracle was published at `version`.
+    Swapped { version: u64, entries: u32, checksum: u64 },
+    /// Poll only: the source already matches what is being served.
+    Unchanged,
+    /// The delta was computed against a base that is not the serving
+    /// snapshot.
+    Stale,
+    /// Corrupt or invalid source; the serving snapshot is untouched.
+    Rejected,
+}
+
+/// Decode `bytes` as a snapshot source (full or delta), apply, and
+/// publish. With `explicit` the kind is the operator's claim — a
+/// mismatched magic decodes as garbage and is `Rejected`. `None` (the
+/// poller) sniffs the magic and reports an already-applied source as
+/// `Unchanged`, which is what makes polling idempotent.
+fn apply_reload(ctx: &ReloadCtx, bytes: &[u8], explicit: Option<ReloadKind>) -> ReloadOutcome {
+    let _guard = ctx.lock.lock().expect("reload lock poisoned");
+    let current = ctx.handle.current();
+    let is_delta = match explicit {
+        Some(ReloadKind::Full) => false,
+        Some(ReloadKind::Delta) => true,
+        None => bytes.starts_with(b"BWTD"),
+    };
+    let built = if is_delta {
+        let Ok(delta) = read_delta(&mut &bytes[..]) else { return ReloadOutcome::Rejected };
+        if explicit.is_none() && delta.target_checksum == current.checksum() {
+            return ReloadOutcome::Unchanged;
+        }
+        // The base the delta applies to is reconstructed from the
+        // serving oracle itself — `apply` then enforces the base
+        // checksum, so a delta against any other generation is Stale.
+        match delta.apply(&current.to_snapshot()) {
+            Ok(snap) => Oracle::from_snapshot(snap),
+            Err(SnapshotError::StaleDelta { .. }) => return ReloadOutcome::Stale,
+            Err(_) => return ReloadOutcome::Rejected,
+        }
+    } else {
+        let Ok(snap) = read_snapshot(&mut &bytes[..]) else { return ReloadOutcome::Rejected };
+        if explicit.is_none() && snapshot_checksum(&snap) == current.checksum() {
+            return ReloadOutcome::Unchanged;
+        }
+        Oracle::from_snapshot(snap)
+    };
+    match built {
+        Ok(oracle) => {
+            let entries = oracle.entry_count() as u32;
+            let checksum = oracle.checksum();
+            let version = ctx.handle.publish(Arc::new(oracle));
+            ReloadOutcome::Swapped { version, entries, checksum }
+        }
+        Err(_) => ReloadOutcome::Rejected,
+    }
+}
+
+/// Execute an explicit `Reload` admin frame against the configured
+/// source, accounting under `oracle/`.
+fn admin_reload(kind: ReloadKind, ctx: &ReloadCtx, reg: &mut Registry) -> Message {
+    let Some(path) = ctx.source.as_ref() else {
+        reg.scope("oracle").incr("reload_failures");
+        return Message::Error { code: ErrorCode::ReloadUnavailable };
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(_) => {
+            reg.scope("oracle").incr("reload_failures");
+            return Message::Error { code: ErrorCode::SnapshotRejected };
+        }
+    };
+    match apply_reload(ctx, &bytes, Some(kind)) {
+        ReloadOutcome::Swapped { version, entries, checksum } => {
+            let mut oracle_scope = reg.scope("oracle");
+            oracle_scope.incr("reloads");
+            oracle_scope.gauge_max("snapshot_version", version);
+            Message::SnapshotInfoReply { version, entries, checksum }
+        }
+        ReloadOutcome::Stale => {
+            reg.scope("oracle").incr("stale_delta_rejected");
+            Message::Error { code: ErrorCode::StaleDelta }
+        }
+        ReloadOutcome::Rejected | ReloadOutcome::Unchanged => {
+            reg.scope("oracle").incr("reload_failures");
+            Message::Error { code: ErrorCode::SnapshotRejected }
+        }
+    }
+}
+
+/// One wheel-scheduled poll of the reload source. A read failure is
+/// transient by assumption (the file is mid-copy or not yet dropped)
+/// and counted under `sched/`; decode and apply failures are operator
+/// mistakes and land under `oracle/` where dashboards watch.
+fn poll_reload(ctx: &ReloadCtx, reg: &mut Registry) {
+    let Some(path) = ctx.source.as_ref() else { return };
+    let Ok(bytes) = std::fs::read(path) else {
+        reg.scope("sched").scope("serve").incr("reload_poll_errors");
+        return;
+    };
+    match apply_reload(ctx, &bytes, None) {
+        ReloadOutcome::Swapped { version, .. } => {
+            let mut oracle_scope = reg.scope("oracle");
+            oracle_scope.incr("reloads");
+            oracle_scope.gauge_max("snapshot_version", version);
+        }
+        ReloadOutcome::Unchanged => {}
+        ReloadOutcome::Stale => {
+            reg.scope("oracle").incr("stale_delta_rejected");
+        }
+        ReloadOutcome::Rejected => {
+            reg.scope("oracle").incr("reload_failures");
+        }
+    }
 }
 
 /// Accept loop: drain every pending connection, hand each to a shard
@@ -373,10 +688,17 @@ fn sync_interest(
     }
 }
 
+/// Deadline-wheel key reserved for shard 0's reload poll. Connection
+/// ids count up from zero and can never reach it.
+const RELOAD_WHEEL_KEY: u64 = u64::MAX;
+
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     rx: Receiver<TcpStream>,
     mut reactor: Box<dyn Reactor>,
-    oracle: Arc<Oracle>,
+    mut reader: OracleReader,
+    reload: Arc<ReloadCtx>,
+    shard_index: usize,
     stop: Arc<StopSignal>,
     stats: Arc<GlobalStats>,
     cfg: &ServerCfg,
@@ -385,6 +707,12 @@ fn shard_loop(
     let mut reg = if cfg.metrics { Registry::new() } else { Registry::disabled() };
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut cache: HashMap<(u32, u16, u16), Message> = HashMap::new();
+    // Snapshot version the cache's entries were answered from; a swap
+    // invalidates them wholesale (see `handle_request`).
+    let mut cache_version = reader.version();
+    // The gauge exists on every shard so the merged export is identical
+    // whichever shard (if any) ends up handling a reload.
+    reg.scope("oracle").gauge_max("snapshot_version", reader.version());
     let mut scratch = [0u8; 4096];
     // Every idle deadline on this shard lives in one wheel, keyed by
     // connection id: scheduled on adoption, pushed out on read activity,
@@ -392,6 +720,13 @@ fn shard_loop(
     // next deadline is also the shard's wait timeout — the wheel⇄reactor
     // contract (DESIGN.md §11).
     let mut wheel: DeadlineWheel<u64> = DeadlineWheel::new();
+    // The reload poll rides the same wheel on shard 0 only — one poller
+    // per server; every shard can still execute an admin `Reload`.
+    if shard_index == 0 && reload.source.is_some() {
+        if let Some(period) = cfg.reload_poll {
+            wheel.schedule(RELOAD_WHEEL_KEY, clock.now() + period);
+        }
+    }
     let mut next_conn_id = 0u64;
     // Set when the stop signal is first observed: replies already queued
     // (the ShutdownAck above all) still get a bounded chance to drain.
@@ -434,6 +769,14 @@ fn shard_loop(
         // Dog food: bounded listen. Stop waiting on a silent peer —
         // whether it has gone quiet or stopped draining replies.
         while let Some((id, _)) = wheel.pop_expired(clock.now()) {
+            if id == RELOAD_WHEEL_KEY {
+                reg.scope("sched").scope("serve").incr("reload_polls");
+                poll_reload(&reload, &mut reg);
+                if let Some(period) = cfg.reload_poll {
+                    wheel.schedule(RELOAD_WHEEL_KEY, clock.now() + period);
+                }
+                continue;
+            }
             if let Some(conn) = conns.get_mut(&id) {
                 if conn.open {
                     reg.scope("sched").scope("serve").incr("idle_closed");
@@ -491,10 +834,12 @@ fn shard_loop(
             if ev.readable && !draining {
                 progress |= service_conn(
                     conn,
-                    &oracle,
+                    &mut reader,
+                    &reload,
                     &stop,
                     &stats,
                     &mut cache,
+                    &mut cache_version,
                     &mut reg,
                     &mut scratch,
                     &clock,
@@ -574,10 +919,12 @@ fn enqueue_reply(conn: &mut Conn, frame: &[u8], reg: &mut Registry, out_queue_ca
 #[allow(clippy::too_many_arguments)]
 fn service_conn(
     conn: &mut Conn,
-    oracle: &Oracle,
+    reader: &mut OracleReader,
+    reload: &ReloadCtx,
     stop: &StopSignal,
     stats: &GlobalStats,
     cache: &mut HashMap<(u32, u16, u16), Message>,
+    cache_version: &mut u64,
     reg: &mut Registry,
     scratch: &mut [u8],
     clock: &SharedClock,
@@ -620,7 +967,8 @@ fn service_conn(
             Ok(Some((msg, used))) => {
                 consumed += used;
                 let t0 = clock.now();
-                let (reply, close) = handle_request(&msg, oracle, stop, stats, cache, reg);
+                let (reply, close) =
+                    handle_request(&msg, reader, reload, stop, stats, cache, cache_version, reg);
                 let frame = proto::encode(&reply);
                 reg.scope("serve").add("bytes_out", frame.len() as u64);
                 enqueue_reply(conn, &frame, reg, out_queue_cap);
@@ -654,12 +1002,15 @@ fn service_conn(
 
 /// Dispatch one decoded request. Returns the reply and whether the
 /// connection should close afterwards.
+#[allow(clippy::too_many_arguments)]
 fn handle_request(
     msg: &Message,
-    oracle: &Oracle,
+    reader: &mut OracleReader,
+    reload: &ReloadCtx,
     stop: &StopSignal,
     stats: &GlobalStats,
     cache: &mut HashMap<(u32, u16, u16), Message>,
+    cache_version: &mut u64,
     reg: &mut Registry,
 ) -> (Message, bool) {
     let mut serve = reg.scope("serve");
@@ -668,6 +1019,15 @@ fn handle_request(
         Message::Query { addr, addr_pct_tenths, ping_pct_tenths } => {
             serve.incr("queries");
             stats.queries.fetch_add(1, Ordering::Relaxed);
+            // Resolve the oracle exactly once; the whole answer comes
+            // from this one immutable snapshot, so a swap mid-request
+            // can never produce a torn reply.
+            let oracle = Arc::clone(reader.current());
+            if reader.version() != *cache_version {
+                // Cached replies belong to the previous snapshot.
+                cache.clear();
+                *cache_version = reader.version();
+            }
             let key = (addr, addr_pct_tenths, ping_pct_tenths);
             if let Some(&cached) = cache.get(&key) {
                 reg.scope("sched").scope("serve").incr("cache_hits");
@@ -715,6 +1075,24 @@ fn handle_request(
                 },
                 false,
             )
+        }
+        Message::SnapshotInfo => {
+            serve.incr("info_requests");
+            // `current()` refreshes the cached pair under the slot lock,
+            // so the (version, oracle) this reply reports is consistent.
+            let oracle = Arc::clone(reader.current());
+            (
+                Message::SnapshotInfoReply {
+                    version: reader.version(),
+                    entries: oracle.entry_count() as u32,
+                    checksum: oracle.checksum(),
+                },
+                false,
+            )
+        }
+        Message::Reload { kind } => {
+            serve.incr("reload_requests");
+            (admin_reload(kind, reload, reg), false)
         }
         Message::Shutdown => {
             serve.incr("shutdown_requests");

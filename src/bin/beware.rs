@@ -26,7 +26,7 @@ use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
 use beware::probe::census::select_survey_blocks;
 use beware::probe::prelude::*;
 use beware::serve::{
-    build_snapshot, loadgen, server, Client, ClientError, Oracle, SnapshotCfg, Status,
+    build_snapshot, loadgen, server, Client, ClientError, Oracle, ReloadKind, SnapshotCfg, Status,
 };
 use beware::telemetry::Registry;
 use std::collections::HashMap;
@@ -37,17 +37,95 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// A classified CLI failure. The variant picks the process exit code, so
+/// scripts (and the CI reload smoke job) can tell a typo'd flag from a
+/// missing file from a corrupt snapshot without parsing stderr:
+///
+/// * `Usage`   → exit 2 (bad flags, bad values, invalid server config)
+/// * `Io`      → exit 3 (missing/unreadable/unwritable files)
+/// * `Corrupt` → exit 4 (snapshot/delta decode or validation failures)
+/// * `Other`   → exit 1 (everything else)
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Io(String),
+    Corrupt(String),
+    Other(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Corrupt(_) => 4,
+        })
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(m) => write!(f, "{m}"),
+            CliError::Corrupt(m) => write!(f, "{m}"),
+            CliError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Legacy plumbing: unclassified `String` errors stay exit 1.
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Other(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Other(m.to_string())
+    }
+}
+
+/// Rejected server configuration is a usage error: the flags asked for
+/// something the server refuses to run with.
+impl From<server::ConfigError> for CliError {
+    fn from(e: server::ConfigError) -> Self {
+        CliError::Usage(e.to_string())
+    }
+}
+
+/// Classify a snapshot/delta decode failure: transport problems are I/O,
+/// everything else means the bytes themselves are bad.
+fn decode_err(path: &str, e: beware::dataset::binfmt::DecodeError) -> CliError {
+    use beware::dataset::binfmt::DecodeError as E;
+    match e {
+        E::Io(e) => CliError::Io(format!("reading {path}: {e}")),
+        other => CliError::Corrupt(format!("decoding {path}: {other}")),
+    }
+}
+
+/// Same classification for survey stream decode failures.
+fn stream_err(path: &str, e: beware::dataset::stream::StreamError) -> CliError {
+    use beware::dataset::stream::StreamError as E;
+    match e {
+        E::Io(e) => CliError::Io(format!("reading {path}: {e}")),
+        other => CliError::Corrupt(format!("decoding {path}: {other}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let flags = match Flags::parse(rest) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match cmd.as_str() {
@@ -61,19 +139,20 @@ fn main() -> ExitCode {
         "recommend" => cmd_recommend(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "admin" => cmd_admin(&flags),
         "loadgen" => cmd_loadgen(&flags),
         "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            e.exit_code()
         }
     }
 }
@@ -93,17 +172,26 @@ commands:
   recommend  --survey survey.bwss [--addr-pct P] [--ping-pct P] [--timeout T]
   serve      --snapshot snap.bwts | --survey survey.bwss [--prefix-len L] [--min-addrs N]
              [--bind ADDR] [--port P] [--shards N] [--read-timeout SECS]
+             [--reload-from snap.bwts [--reload-poll SECS]]
              [--save-snapshot snap.bwts] [--metrics serve-metrics.json]
   query      --host ADDR:PORT [--addr A.B.C.D] [--addr-pct P] [--ping-pct P]
              [--op query|stats|shutdown]
+  admin      --op info                   --host ADDR:PORT
+             --op reload [--kind full|delta] --host ADDR:PORT
+             --op diff --base old.bwts --target new.bwts --out delta.bwtd
   loadgen    --host ADDR:PORT [--snapshot snap.bwts] [--workers N] [--requests N]
              [--addr-pct P] [--ping-pct P] [--seed S] [--out BENCH_3.json]
              mass mode (in-process server, idle-pool sweep -> BENCH_4.json):
              --conns N [--hot-workers N] [--shards N] [--idle-settle SECS]
              [--requests N] [--seed S] [--out BENCH_4.json]
+             reload mode (in-process server, hot reloads under load -> BENCH_5.json):
+             --reload-bench N [--workers N] [--shards N] [--gap-ms MS]
+             [--cooldown-ms MS] [--seed S] [--out BENCH_5.json]
   chaos      [--snapshot snap.bwts | --survey survey.bwss] [--seed S]
              [--profile chaos|split|off] [--workers N] [--requests N]
-             [--shards N] [--metrics chaos-metrics.json]";
+             [--shards N] [--metrics chaos-metrics.json]
+
+exit codes: 0 ok | 1 runtime failure | 2 usage/config | 3 file I/O | 4 corrupt snapshot";
 
 /// Parsed `--name value` flags.
 struct Flags(HashMap<String, String>);
@@ -126,31 +214,32 @@ impl Flags {
         self.0.get(name).map(String::as_str)
     }
 
-    fn required(&self, name: &str) -> Result<&str, String> {
-        self.str(name).ok_or_else(|| format!("missing required flag --{name}"))
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.str(name).ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
     }
 
-    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.str(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: `{v}`")),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::Usage(format!("bad value for --{name}: `{v}`")))
+            }
         }
     }
 }
 
-fn load_plan(flags: &Flags) -> Result<InternetPlan, String> {
+fn load_plan(flags: &Flags) -> Result<InternetPlan, CliError> {
     let path = flags.required("plan")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    persist::load(&text).map_err(|e| format!("parsing {path}: {e}"))
+    persist::load(&text).map_err(|e| CliError::Corrupt(format!("parsing {path}: {e}")))
 }
 
-fn scenario_from(flags: &Flags, plan: InternetPlan) -> Result<Scenario, String> {
+fn scenario_from(flags: &Flags, plan: InternetPlan) -> Result<Scenario, CliError> {
     let code = flags.str("vantage").unwrap_or("w");
-    let v = code
-        .chars()
-        .next()
-        .and_then(vantage)
-        .ok_or_else(|| format!("unknown vantage `{code}` (use w, c, j or g)"))?;
+    let v =
+        code.chars().next().and_then(vantage).ok_or_else(|| {
+            CliError::Usage(format!("unknown vantage `{code}` (use w, c, j or g)"))
+        })?;
     let seed = flags.num("seed", 7u64)?;
     Ok(Scenario::from_plan(
         ScenarioCfg { year: plan.year, seed, total_blocks: 0, vantage: v },
@@ -158,7 +247,7 @@ fn scenario_from(flags: &Flags, plan: InternetPlan) -> Result<Scenario, String> 
     ))
 }
 
-fn cmd_generate(flags: &Flags) -> Result<(), String> {
+fn cmd_generate(flags: &Flags) -> Result<(), CliError> {
     let cfg = GenConfig {
         year: flags.num("year", 2015u16)?,
         seed: flags.num("seed", 7u64)?,
@@ -183,11 +272,13 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
 /// are byte-identical for any `--threads` value: the fan-out is
 /// deterministic (see `beware::netsim::exec`) and per-task metrics merge
 /// in fixed task order.
-fn cmd_campaign(flags: &Flags) -> Result<(), String> {
+fn cmd_campaign(flags: &Flags) -> Result<(), CliError> {
     let mut scale = match flags.str("scale").unwrap_or("small") {
         "small" => Scale::small(),
         "bench" => Scale::bench(),
-        other => return Err(format!("unknown scale `{other}` (use small or bench)")),
+        other => {
+            return Err(CliError::Usage(format!("unknown scale `{other}` (use small or bench)")))
+        }
     };
     scale.internet_blocks = flags.num("blocks", scale.internet_blocks)?;
     scale.survey_blocks = flags.num("survey-blocks", scale.survey_blocks)?;
@@ -293,7 +384,7 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_survey(flags: &Flags) -> Result<(), String> {
+fn cmd_survey(flags: &Flags) -> Result<(), CliError> {
     let plan = load_plan(flags)?;
     let scenario = scenario_from(flags, plan)?;
     let all: Vec<u32> = scenario.plan.blocks().map(|(b, _)| b).collect();
@@ -326,7 +417,7 @@ fn cmd_survey(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_scan(flags: &Flags) -> Result<(), String> {
+fn cmd_scan(flags: &Flags) -> Result<(), CliError> {
     let plan = load_plan(flags)?;
     let scenario = scenario_from(flags, plan)?;
     let cfg = ZmapCfg {
@@ -361,7 +452,7 @@ fn cmd_scan(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_census(flags: &Flags) -> Result<(), String> {
+fn cmd_census(flags: &Flags) -> Result<(), CliError> {
     let plan = load_plan(flags)?;
     let scenario = scenario_from(flags, plan)?;
     let cfg = CensusCfg {
@@ -389,14 +480,14 @@ fn cmd_census(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn read_survey(flags: &Flags) -> Result<Vec<Record>, String> {
+fn read_survey(flags: &Flags) -> Result<Vec<Record>, CliError> {
     let path = flags.required("survey")?;
-    let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
-    let reader = StreamReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
-    reader.collect::<Result<Vec<Record>, _>>().map_err(|e| e.to_string())
+    let file = File::open(path).map_err(|e| CliError::Io(format!("opening {path}: {e}")))?;
+    let reader = StreamReader::new(BufReader::new(file)).map_err(|e| stream_err(path, e))?;
+    reader.collect::<Result<Vec<Record>, _>>().map_err(|e| stream_err(path, e))
 }
 
-fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
     let records = read_survey(flags)?;
     let out = run_pipeline(&records, &PipelineCfg::default());
     let acc = out.accounting;
@@ -429,7 +520,7 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
 }
 
 /// Pretty-print a telemetry JSON file written by `campaign --metrics`.
-fn cmd_metrics(flags: &Flags) -> Result<(), String> {
+fn cmd_metrics(flags: &Flags) -> Result<(), CliError> {
     let path = flags.required("in")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let reg = Registry::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
@@ -437,7 +528,7 @@ fn cmd_metrics(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recommend(flags: &Flags) -> Result<(), String> {
+fn cmd_recommend(flags: &Flags) -> Result<(), CliError> {
     let records = read_survey(flags)?;
     let out = run_pipeline(&records, &PipelineCfg::default());
     let addr_pct: f64 = flags.num("addr-pct", 95.0)?;
@@ -460,14 +551,14 @@ fn cmd_recommend(flags: &Flags) -> Result<(), String> {
 
 /// Parse a `--addr-pct`-style flag (percent, possibly fractional like
 /// `99.9`) into the protocol's tenths-of-a-percent representation.
-fn pct_tenths(flags: &Flags, name: &str, default: u16) -> Result<u16, String> {
+fn pct_tenths(flags: &Flags, name: &str, default: u16) -> Result<u16, CliError> {
     match flags.str(name) {
         None => Ok(default),
         Some(v) => {
             let pct: f64 = v.parse().map_err(|_| format!("bad value for --{name}: `{v}`"))?;
             let tenths = (pct * 10.0).round();
             if !(1.0..=1000.0).contains(&tenths) {
-                return Err(format!("--{name} must be in (0, 100], got {v}"));
+                return Err(CliError::Usage(format!("--{name} must be in (0, 100], got {v}")));
             }
             Ok(tenths as u16)
         }
@@ -476,14 +567,14 @@ fn pct_tenths(flags: &Flags, name: &str, default: u16) -> Result<u16, String> {
 
 /// Load a snapshot from `--snapshot FILE`, or build one from
 /// `--survey FILE` via the analysis pipeline.
-fn load_or_build_snapshot(flags: &Flags) -> Result<beware::dataset::TimeoutSnapshot, String> {
+fn load_or_build_snapshot(flags: &Flags) -> Result<beware::dataset::TimeoutSnapshot, CliError> {
     if let Some(path) = flags.str("snapshot") {
-        let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+        let file = File::open(path).map_err(|e| CliError::Io(format!("opening {path}: {e}")))?;
         return beware::dataset::snapshot::read_snapshot(&mut BufReader::new(file))
-            .map_err(|e| format!("reading {path}: {e}"));
+            .map_err(|e| decode_err(path, e));
     }
     if flags.str("survey").is_none() {
-        return Err("need --snapshot FILE or --survey FILE".into());
+        return Err(CliError::Usage("need --snapshot FILE or --survey FILE".into()));
     }
     let records = read_survey(flags)?;
     let out = run_pipeline(&records, &PipelineCfg::default());
@@ -492,13 +583,22 @@ fn load_or_build_snapshot(flags: &Flags) -> Result<beware::dataset::TimeoutSnaps
         min_addresses: flags.num("min-addrs", 1usize)?,
         ..Default::default()
     };
-    build_snapshot(&out.samples, &cfg).map_err(|e| e.to_string())
+    build_snapshot(&out.samples, &cfg).map_err(|e| CliError::Other(e.to_string()))
 }
 
 /// Built-in fixture snapshot: a small simulated campaign, so self-hosted
 /// commands (`chaos`, `loadgen --conns`) work with no input files — the
 /// oracle's content only has to be non-trivial and offline-recomputable.
-fn builtin_snapshot() -> Result<beware::dataset::TimeoutSnapshot, String> {
+fn builtin_snapshot() -> Result<beware::dataset::TimeoutSnapshot, CliError> {
+    builtin_snapshot_gen(0)
+}
+
+/// Generation `gen` of the built-in snapshot: the same simulated
+/// Internet surveyed with a different probe seed, so successive
+/// generations share most prefixes but differ in their timeout cells —
+/// exactly the shape a periodic re-survey produces, and what the
+/// reload benchmark swaps between.
+fn builtin_snapshot_gen(gen: u64) -> Result<beware::dataset::TimeoutSnapshot, CliError> {
     let sc = Scenario::new(ScenarioCfg {
         year: 2015,
         seed: 11,
@@ -506,26 +606,47 @@ fn builtin_snapshot() -> Result<beware::dataset::TimeoutSnapshot, String> {
         vantage: vantage('w').expect("built-in vantage"),
     });
     let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
-    let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
+    let cfg = SurveyCfg { blocks, rounds: 10, seed: 11 + 13 * gen, ..Default::default() };
     let mut world = sc.build_world();
     let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
     let samples = run_pipeline(&records, &PipelineCfg::default()).samples;
-    build_snapshot(&samples, &SnapshotCfg::default()).map_err(|e| e.to_string())
+    build_snapshot(&samples, &SnapshotCfg::default()).map_err(|e| e.to_string().into())
 }
 
-fn parse_host(flags: &Flags) -> Result<SocketAddr, String> {
+fn parse_host(flags: &Flags) -> Result<SocketAddr, CliError> {
     let host = flags.str("host").unwrap_or("127.0.0.1:4615");
-    host.parse().map_err(|_| format!("bad --host `{host}` (expected ADDR:PORT)"))
+    host.parse().map_err(|_| CliError::Usage(format!("bad --host `{host}` (expected ADDR:PORT)")))
 }
 
-fn connect(flags: &Flags) -> Result<Client, String> {
+fn connect(flags: &Flags) -> Result<Client, CliError> {
     let addr = parse_host(flags)?;
     Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(2))
-        .map_err(|e| format!("connecting to {addr}: {e}"))
+        .map_err(|e| CliError::Other(format!("connecting to {addr}: {e}")))
 }
 
 /// Run the timeout-oracle daemon until a shutdown frame arrives.
-fn cmd_serve(flags: &Flags) -> Result<(), String> {
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    // Validate the server configuration before any expensive input work,
+    // so flag mistakes surface as usage errors no matter what the
+    // snapshot flags point at.
+    let bind = flags.str("bind").unwrap_or("127.0.0.1");
+    let port: u16 = flags.num("port", 4615u16)?;
+    let metrics_path = flags.str("metrics");
+    let mut builder = server::ServerCfg::builder()
+        .shards(flags.num("shards", beware::netsim::default_threads())?)
+        .idle_timeout(Duration::from_secs_f64(flags.num("read-timeout", 60.0f64)?))
+        .metrics(metrics_path.is_some());
+    if let Some(path) = flags.str("reload-from") {
+        builder = builder.reload_from(path);
+    }
+    if let Some(secs) = flags.str("reload-poll") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad value for --reload-poll: `{secs}`")))?;
+        builder = builder.reload_poll(Duration::from_secs_f64(secs));
+    }
+    let cfg = builder.build()?;
+
     let snap = load_or_build_snapshot(flags)?;
     if let Some(path) = flags.str("save-snapshot") {
         let file = File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
@@ -536,15 +657,6 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         println!("snapshot ({} prefixes) -> {path}", snap.entries.len());
     }
     let oracle = Arc::new(Oracle::from_snapshot(snap).map_err(|e| e.to_string())?);
-    let bind = flags.str("bind").unwrap_or("127.0.0.1");
-    let port: u16 = flags.num("port", 4615u16)?;
-    let metrics_path = flags.str("metrics");
-    let cfg = server::ServerCfg {
-        shards: flags.num("shards", beware::netsim::default_threads())?,
-        idle_timeout: Duration::from_secs_f64(flags.num("read-timeout", 60.0f64)?),
-        metrics: metrics_path.is_some(),
-        ..server::ServerCfg::default()
-    };
     let shards = cfg.shards;
     let handle = server::start(Arc::clone(&oracle), (bind, port), cfg)
         .map_err(|e| format!("binding {bind}:{port}: {e}"))?;
@@ -568,7 +680,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 
 /// One round-trip against a running oracle: a query (default), a stats
 /// fetch, or a shutdown request.
-fn cmd_query(flags: &Flags) -> Result<(), String> {
+fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let mut client = connect(flags)?;
     match flags.str("op").unwrap_or("query") {
         "query" => {
@@ -602,7 +714,76 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             client.shutdown().map_err(|e| e.to_string())?;
             println!("server acknowledged shutdown");
         }
-        other => return Err(format!("unknown --op `{other}` (use query, stats or shutdown)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --op `{other}` (use query, stats or shutdown)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Operational commands around hot snapshot reload: inspect the served
+/// snapshot, trigger a reload over the wire, or build a `.bwtd` delta
+/// offline.
+fn cmd_admin(flags: &Flags) -> Result<(), CliError> {
+    let read_snap = |path: &str| -> Result<beware::dataset::TimeoutSnapshot, CliError> {
+        let file = File::open(path).map_err(|e| CliError::Io(format!("opening {path}: {e}")))?;
+        beware::dataset::snapshot::read_snapshot(&mut BufReader::new(file))
+            .map_err(|e| decode_err(path, e))
+    };
+    match flags.required("op")? {
+        "info" => {
+            let mut client = connect(flags)?;
+            let info = client.snapshot_info().map_err(|e| e.to_string())?;
+            println!(
+                "snapshot version {} | {} prefixes | checksum {:016x}",
+                info.version, info.entries, info.checksum
+            );
+        }
+        "reload" => {
+            let kind = match flags.str("kind").unwrap_or("full") {
+                "full" => ReloadKind::Full,
+                "delta" => ReloadKind::Delta,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown --kind `{other}` (use full or delta)"
+                    )))
+                }
+            };
+            let mut client = connect(flags)?;
+            let info = client.reload(kind).map_err(|e| e.to_string())?;
+            println!(
+                "reloaded: version {} | {} prefixes | checksum {:016x}",
+                info.version, info.entries, info.checksum
+            );
+        }
+        "diff" => {
+            let base = read_snap(flags.required("base")?)?;
+            let target = read_snap(flags.required("target")?)?;
+            let delta = beware::dataset::snapshot::diff_snapshot(&base, &target)
+                .map_err(|e| CliError::Corrupt(format!("diffing snapshots: {e}")))?;
+            let out = flags.required("out")?;
+            let file =
+                File::create(out).map_err(|e| CliError::Io(format!("creating {out}: {e}")))?;
+            let mut w = BufWriter::new(file);
+            beware::dataset::snapshot::write_delta(&mut w, &delta)
+                .and_then(|()| w.flush())
+                .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+            println!(
+                "delta {:016x} -> {:016x}: {} upserts, {} removals{} -> {out}",
+                delta.base_checksum,
+                delta.target_checksum,
+                delta.upserts.len(),
+                delta.removed.len(),
+                if delta.new_fallback.is_some() { ", new fallback" } else { "" },
+            );
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --op `{other}` (use info, reload or diff)"
+            )))
+        }
     }
     Ok(())
 }
@@ -614,7 +795,7 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
 /// Without `--snapshot`/`--survey` a small built-in simulated campaign
 /// supplies the snapshot, so `beware chaos --seed 101` works out of the
 /// box (and in CI).
-fn cmd_chaos(flags: &Flags) -> Result<(), String> {
+fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
     let snap = if flags.str("snapshot").is_some() || flags.str("survey").is_some() {
         load_or_build_snapshot(flags)?
     } else {
@@ -627,18 +808,21 @@ fn cmd_chaos(flags: &Flags) -> Result<(), String> {
         "chaos" => FaultCfg::chaos(seed),
         "split" => FaultCfg::split_only(seed),
         "off" => FaultCfg::disabled(seed),
-        other => return Err(format!("unknown --profile `{other}` (use chaos, split or off)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --profile `{other}` (use chaos, split or off)"
+            )))
+        }
     };
     let workers: usize = flags.num("workers", 3usize)?;
     let requests: u32 = flags.num("requests", 200u32)?;
     let metrics_path = flags.str("metrics");
 
-    let cfg = server::ServerCfg {
-        shards: flags.num("shards", 2usize)?,
-        idle_timeout: Duration::from_secs(30),
-        metrics: metrics_path.is_some(),
-        ..server::ServerCfg::default()
-    };
+    let cfg = server::ServerCfg::builder()
+        .shards(flags.num("shards", 2usize)?)
+        .idle_timeout(Duration::from_secs(30))
+        .metrics(metrics_path.is_some())
+        .build()?;
     let handle = server::start(Arc::clone(&oracle), "127.0.0.1:0", cfg)
         .map_err(|e| format!("binding the chaos target server: {e}"))?;
     let server_addr = handle.local_addr();
@@ -728,7 +912,7 @@ fn cmd_chaos(flags: &Flags) -> Result<(), String> {
         println!("telemetry -> {path} ({} metrics)", metrics.len());
     }
     if wrong > 0 {
-        return Err(format!("{wrong} wrong answer(s) under fault injection"));
+        return Err(format!("{wrong} wrong answer(s) under fault injection").into());
     }
     Ok(())
 }
@@ -757,7 +941,10 @@ fn addr_pool_from(snap: Option<&beware::dataset::TimeoutSnapshot>, seed: u64) ->
 /// Closed-loop load generator; writes the `BENCH_3.json` report. With
 /// `--conns N` it switches to the mass-connection benchmark instead
 /// (see [`cmd_loadgen_mass`]).
-fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
+    if flags.str("reload-bench").is_some() {
+        return cmd_loadgen_reload(flags);
+    }
     if flags.str("conns").is_some() {
         return cmd_loadgen_mass(flags);
     }
@@ -790,7 +977,7 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
 /// covers the server's shards, so near-zero idle CPU at 10k connections
 /// demonstrates the readiness-driven serve path (a spin-polling server
 /// burns CPU proportional to connections whether or not they speak).
-fn cmd_loadgen_mass(flags: &Flags) -> Result<(), String> {
+fn cmd_loadgen_mass(flags: &Flags) -> Result<(), CliError> {
     let conns: usize = flags.num("conns", 1000usize)?;
     if conns == 0 {
         return Err("--conns must be >= 1".into());
@@ -805,14 +992,13 @@ fn cmd_loadgen_mass(flags: &Flags) -> Result<(), String> {
     let oracle = Arc::new(Oracle::from_snapshot(snap).map_err(|e| e.to_string())?);
 
     let shards: usize = flags.num("shards", beware::netsim::default_threads())?;
-    let cfg = server::ServerCfg {
-        shards,
-        // The idle pool must survive the whole sweep: eviction here would
-        // measure the server closing connections, not holding them.
-        idle_timeout: Duration::from_secs(600),
-        metrics: false,
-        ..server::ServerCfg::default()
-    };
+    // The idle pool must survive the whole sweep: eviction here would
+    // measure the server closing connections, not holding them.
+    let cfg = server::ServerCfg::builder()
+        .shards(shards)
+        .idle_timeout(Duration::from_secs(600))
+        .metrics(false)
+        .build()?;
     let handle = server::start(oracle, "127.0.0.1:0", cfg)
         .map_err(|e| format!("starting the in-process oracle: {e}"))?;
     let addr = handle.local_addr();
@@ -849,6 +1035,123 @@ fn cmd_loadgen_mass(flags: &Flags) -> Result<(), String> {
     let out = flags.str("out").unwrap_or("BENCH_4.json");
     std::fs::write(out, loadgen::mass_sweep_json(&runs))
         .map_err(|e| format!("writing {out}: {e}"))?;
+    println!("report -> {out}");
+    Ok(())
+}
+
+/// Reload-under-load benchmark (`loadgen --reload-bench N`): start an
+/// in-process oracle server with a reload source file, hammer it with
+/// verifying workers, and hot-swap the snapshot `N` times mid-load —
+/// alternating full (`.bwts`) and delta (`.bwtd`) reloads — writing
+/// `BENCH_5.json`. Every answer is checked bit-for-bit against the set
+/// of snapshot generations, so a nonzero `wrong_answers` means a torn
+/// read escaped the epoch swap; the run fails on any wrong answer or
+/// reload failure.
+fn cmd_loadgen_reload(flags: &Flags) -> Result<(), CliError> {
+    let reloads: usize = flags.num("reload-bench", 4usize)?;
+    if reloads == 0 {
+        return Err(CliError::Usage("--reload-bench must be >= 1".into()));
+    }
+    let seed: u64 = flags.num("seed", 0xbe0a_2e11u64)?;
+    let shards: usize = flags.num("shards", 2usize)?;
+
+    // One snapshot generation per reload, plus the one served at boot.
+    let mut snaps = Vec::with_capacity(reloads + 1);
+    for g in 0..=reloads as u64 {
+        snaps.push(builtin_snapshot_gen(g)?);
+    }
+    let truth = snaps
+        .iter()
+        .map(|s| Oracle::from_snapshot(s.clone()).map_err(|e| CliError::Other(e.to_string())))
+        .collect::<Result<Vec<Oracle>, CliError>>()?;
+
+    // The reload source lives in the temp dir; full and delta files are
+    // both written there and the server is pointed at whichever the next
+    // reload should pick up.
+    let source = std::env::temp_dir().join(format!("beware-reload-{}.snap", std::process::id()));
+    let write_file = |bytes: Vec<u8>| -> Result<(), String> {
+        std::fs::write(&source, bytes).map_err(|e| format!("writing {}: {e}", source.display()))
+    };
+    let full_bytes = |snap: &beware::dataset::TimeoutSnapshot| -> Result<Vec<u8>, String> {
+        let mut buf = Vec::new();
+        beware::dataset::snapshot::write_snapshot(&mut buf, snap).map_err(|e| e.to_string())?;
+        Ok(buf)
+    };
+
+    let cfg = server::ServerCfg::builder()
+        .shards(shards)
+        .idle_timeout(Duration::from_secs(60))
+        .metrics(true)
+        .reload_from(&source)
+        .build()?;
+    let oracle = Oracle::from_snapshot(snaps[0].clone()).map_err(|e| e.to_string())?;
+    let handle = server::start(oracle, "127.0.0.1:0", cfg)
+        .map_err(|e| format!("starting the in-process oracle: {e}"))?;
+    let addr = handle.local_addr();
+    println!(
+        "reload benchmark: in-process oracle on {addr} ({shards} shards, \
+         {reloads} reloads, source {})",
+        source.display()
+    );
+
+    let mut admin = Client::connect_retry(addr, Duration::from_secs(5), Duration::from_secs(5))
+        .map_err(|e| format!("connecting the admin client: {e}"))?;
+    let rcfg = loadgen::ReloadCfg {
+        workers: flags.num("workers", 4usize)?,
+        addr_pool: addr_pool_from(Some(&snaps[0]), seed),
+        addr_pct_tenths: pct_tenths(flags, "addr-pct", 950)?,
+        ping_pct_tenths: pct_tenths(flags, "ping-pct", 950)?,
+        seed,
+        reloads,
+        reload_gap: Duration::from_millis(flags.num("gap-ms", 100u64)?),
+        cooldown: Duration::from_millis(flags.num("cooldown-ms", 100u64)?),
+        truth,
+        ..Default::default()
+    };
+    let result = loadgen::run_reload(addr, &rcfg, |i| {
+        // Alternate full and delta reloads so both paths are exercised;
+        // either way the server must end up serving generation i+1.
+        let target = &snaps[i + 1];
+        let kind = if i % 2 == 0 {
+            write_file(full_bytes(target)?)?;
+            ReloadKind::Full
+        } else {
+            let delta = beware::dataset::snapshot::diff_snapshot(&snaps[i], target)
+                .map_err(|e| e.to_string())?;
+            let mut buf = Vec::new();
+            beware::dataset::snapshot::write_delta(&mut buf, &delta).map_err(|e| e.to_string())?;
+            write_file(buf)?;
+            ReloadKind::Delta
+        };
+        let info = admin.reload(kind).map_err(|e| format!("reload {i}: {e}"))?;
+        if info.checksum != beware::dataset::snapshot::snapshot_checksum(target) {
+            return Err(format!(
+                "reload {i} landed on checksum {:016x}, wanted {:016x}",
+                info.checksum,
+                beware::dataset::snapshot::snapshot_checksum(target)
+            ));
+        }
+        Ok(())
+    });
+    handle.shutdown();
+    let metrics = handle.join();
+    let _ = std::fs::remove_file(&source);
+    let report = result?;
+
+    println!("{}", report.render());
+    let failures = metrics.counter("oracle/reload_failures").unwrap_or(0);
+    if failures > 0 {
+        return Err(format!("{failures} reload failure(s) recorded by the server").into());
+    }
+    if report.wrong_answers > 0 {
+        return Err(format!(
+            "{} answer(s) matched no snapshot generation: torn read",
+            report.wrong_answers
+        )
+        .into());
+    }
+    let out = flags.str("out").unwrap_or("BENCH_5.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
     println!("report -> {out}");
     Ok(())
 }

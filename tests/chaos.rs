@@ -40,12 +40,12 @@ fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
 }
 
 fn serve_cfg(shards: usize) -> server::ServerCfg {
-    server::ServerCfg {
-        shards,
-        idle_timeout: Duration::from_secs(30),
-        metrics: true,
-        ..server::ServerCfg::default()
-    }
+    server::ServerCfg::builder()
+        .shards(shards)
+        .idle_timeout(Duration::from_secs(30))
+        .metrics(true)
+        .build()
+        .unwrap()
 }
 
 /// Run `f` on its own thread and panic if it has not finished within

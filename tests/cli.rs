@@ -291,3 +291,149 @@ fn cli_outputs_are_deterministic() {
     assert_eq!(a, b, "same seed must produce identical plans");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The hot-reload admin surface through the CLI: serve with a reload
+/// source, inspect the snapshot over the wire, build a delta offline
+/// with `admin --op diff`, and walk the version forward with full and
+/// delta reloads.
+#[test]
+fn admin_info_reload_and_diff_workflow() {
+    use beware::analysis::percentile::LatencySamples;
+    use beware::dataset::snapshot::{snapshot_checksum, write_snapshot};
+    use beware::serve::{build_snapshot, SnapshotCfg};
+    use std::collections::BTreeMap;
+    use std::io::BufRead as _;
+
+    let dir = tempdir("admin");
+    // Two snapshot generations, written straight from the library — the
+    // CLI only has to move them around.
+    let snap_for = |scale: f64| {
+        let mut samples = BTreeMap::new();
+        for i in 0..10u32 {
+            samples.insert(
+                0x0a00_0000 + (i << 8) + 1,
+                LatencySamples::from_values((1..=8).map(|v| scale * 0.02 * f64::from(v)).collect()),
+            );
+        }
+        build_snapshot(&samples, &SnapshotCfg::default()).unwrap()
+    };
+    let (gen0, gen1) = (snap_for(1.0), snap_for(1.4));
+    for (name, snap) in [("gen0.bwts", &gen0), ("gen1.bwts", &gen1)] {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, snap).unwrap();
+        std::fs::write(dir.join(name), buf).unwrap();
+    }
+    // The reload source starts as generation 0 (what is being served).
+    std::fs::copy(dir.join("gen0.bwts"), dir.join("source.snap")).unwrap();
+
+    let mut server = std::process::Command::new(env!("CARGO_BIN_EXE_beware"))
+        .args([
+            "serve",
+            "--snapshot",
+            "gen0.bwts",
+            "--reload-from",
+            "source.snap",
+            "--port",
+            "0",
+            "--shards",
+            "1",
+        ])
+        .current_dir(&dir)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut reader = std::io::BufReader::new(server.stdout.take().unwrap());
+    let host = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "serve exited before listening");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest.split_whitespace().next().unwrap().to_string();
+        }
+    };
+
+    let out = beware(&["admin", "--op", "info", "--host", &host], &dir);
+    assert!(out.status.success(), "info failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("version 1"), "{stdout}");
+    assert!(stdout.contains(&format!("{:016x}", snapshot_checksum(&gen0))), "{stdout}");
+
+    // Offline delta build, then: full reload to gen1, delta is now stale.
+    let out = beware(
+        &[
+            "admin",
+            "--op",
+            "diff",
+            "--base",
+            "gen0.bwts",
+            "--target",
+            "gen1.bwts",
+            "--out",
+            "delta.bwtd",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "diff failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("upserts"));
+
+    std::fs::copy(dir.join("gen1.bwts"), dir.join("source.snap")).unwrap();
+    let out = beware(&["admin", "--op", "reload", "--host", &host], &dir);
+    assert!(out.status.success(), "reload failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("version 2"), "{stdout}");
+    assert!(stdout.contains(&format!("{:016x}", snapshot_checksum(&gen1))), "{stdout}");
+
+    // The delta's base (gen0) is no longer serving: a delta reload must
+    // fail and leave the version alone.
+    std::fs::copy(dir.join("delta.bwtd"), dir.join("source.snap")).unwrap();
+    let out = beware(&["admin", "--op", "reload", "--kind", "delta", "--host", &host], &dir);
+    assert!(!out.status.success(), "stale delta must fail");
+    let out = beware(&["admin", "--op", "info", "--host", &host], &dir);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("version 2"));
+
+    let out = beware(&["query", "--host", &host, "--op", "shutdown"], &dir);
+    assert!(out.status.success());
+    assert!(server.wait().expect("serve exits").success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Failure classes surface as distinct exit codes: usage/config = 2,
+/// missing files = 3, corrupt snapshots = 4.
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    let dir = tempdir("codes");
+
+    // Usage: unknown command, unknown flag value, invalid server config.
+    assert_eq!(beware(&["frobnicate"], &dir).status.code(), Some(2));
+    assert_eq!(beware(&["serve"], &dir).status.code(), Some(2), "no snapshot source");
+    assert_eq!(
+        beware(&["generate", "--blocks", "not-a-number", "--out", "p.tsv"], &dir).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        beware(&["serve", "--snapshot", "x.bwts", "--reload-poll", "5"], &dir).status.code(),
+        Some(2),
+        "--reload-poll without --reload-from is a usage error"
+    );
+    assert_eq!(beware(&["admin", "--op", "bogus"], &dir).status.code(), Some(2));
+
+    // I/O: files that do not exist.
+    assert_eq!(beware(&["serve", "--snapshot", "missing.bwts"], &dir).status.code(), Some(3));
+    assert_eq!(beware(&["analyze", "--survey", "missing.bwss"], &dir).status.code(), Some(3));
+    assert_eq!(
+        beware(
+            &["admin", "--op", "diff", "--base", "a.bwts", "--target", "b.bwts", "--out", "d"],
+            &dir
+        )
+        .status
+        .code(),
+        Some(3)
+    );
+
+    // Corrupt: bytes exist but do not decode.
+    std::fs::write(dir.join("bad.bwts"), b"BWTSgarbage that is not a snapshot").unwrap();
+    assert_eq!(beware(&["serve", "--snapshot", "bad.bwts"], &dir).status.code(), Some(4));
+    std::fs::write(dir.join("bad.bwss"), b"not a survey stream either").unwrap();
+    assert_eq!(beware(&["analyze", "--survey", "bad.bwss"], &dir).status.code(), Some(4));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -30,12 +30,12 @@ fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
 }
 
 fn serve_cfg(shards: usize) -> server::ServerCfg {
-    server::ServerCfg {
-        shards,
-        idle_timeout: Duration::from_secs(30),
-        metrics: true,
-        ..server::ServerCfg::default()
-    }
+    server::ServerCfg::builder()
+        .shards(shards)
+        .idle_timeout(Duration::from_secs(30))
+        .metrics(true)
+        .build()
+        .unwrap()
 }
 
 #[test]

@@ -135,14 +135,14 @@ fn long_chaos_schedules_replay_identically_without_wall_time() {
 #[test]
 fn idle_eviction_fires_after_a_virtual_hour() {
     let vc = VirtualClock::with_min_step(Duration::from_millis(100));
-    let cfg = server::ServerCfg {
-        shards: 1,
-        idle_timeout: Duration::from_secs(3600),
-        drain_timeout: Duration::from_secs(5),
-        metrics: true,
-        clock: vc.handle(),
-        ..server::ServerCfg::default()
-    };
+    let cfg = server::ServerCfg::builder()
+        .shards(1)
+        .idle_timeout(Duration::from_secs(3600))
+        .drain_timeout(Duration::from_secs(5))
+        .metrics(true)
+        .clock(vc.handle())
+        .build()
+        .unwrap();
     let handle = server::start(tiny_oracle(), "127.0.0.1:0", cfg).unwrap();
 
     // Connect and go silent. The server must give up on us.
@@ -175,15 +175,16 @@ fn idle_eviction_fires_after_a_virtual_hour() {
 #[test]
 fn shutdown_drain_deadline_elapses_in_virtual_time() {
     let vc = VirtualClock::with_min_step(Duration::from_millis(100));
-    let cfg = server::ServerCfg {
-        shards: 1,
-        idle_timeout: Duration::from_secs(7200),
-        drain_timeout: Duration::from_secs(200),
-        out_queue_cap: 256 << 20,
-        metrics: true,
-        clock: vc.handle(),
-        reactor: server::ReactorKind::Auto,
-    };
+    let cfg = server::ServerCfg::builder()
+        .shards(1)
+        .idle_timeout(Duration::from_secs(7200))
+        .drain_timeout(Duration::from_secs(200))
+        .out_queue_cap(256 << 20)
+        .metrics(true)
+        .clock(vc.handle())
+        .reactor(server::ReactorKind::Auto)
+        .build()
+        .unwrap();
     let handle = server::start(tiny_oracle(), "127.0.0.1:0", cfg).unwrap();
 
     // Flood 32 MiB of frame-aligned queries, never reading a reply: the
@@ -349,4 +350,77 @@ fn connect_retry_waits_out_a_virtual_deadline_instantly() {
         "a 300 s virtual deadline cost {:?} of wall clock",
         wall.elapsed()
     );
+}
+
+/// A wheel-scheduled snapshot reload: `reload_poll` arms a deadline on
+/// the shard's wheel, and the shard's virtual naps carry the clock past
+/// it — the source file is picked up and hot-swapped after ten *virtual*
+/// minutes, with zero real sleeps anywhere in server or test.
+#[test]
+fn scheduled_reload_fires_through_the_wheel_in_virtual_time() {
+    let vc = VirtualClock::with_min_step(Duration::from_millis(100));
+    // The file the poller watches holds a different snapshot than the
+    // one served at boot, so the first poll that fires must swap.
+    let mut samples = BTreeMap::new();
+    for i in 0..8u32 {
+        samples.insert(
+            0x0a00_0200 + i,
+            LatencySamples::from_values(vec![0.02, 0.04, 0.1, 0.2, 0.5, 1.0, 2.0, 4.0]),
+        );
+    }
+    let next_snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let source = std::env::temp_dir().join(format!("beware-vt-reload-{}.bwts", std::process::id()));
+    let mut buf = Vec::new();
+    beware::dataset::snapshot::write_snapshot(&mut buf, &next_snap).unwrap();
+    std::fs::write(&source, buf).unwrap();
+
+    let cfg = server::ServerCfg::builder()
+        .shards(1)
+        .idle_timeout(Duration::from_secs(7200))
+        .metrics(true)
+        .clock(vc.handle())
+        .reload_from(&source)
+        .reload_poll(Duration::from_secs(600))
+        .build()
+        .unwrap();
+    let handle = server::start(tiny_oracle(), "127.0.0.1:0", cfg).unwrap();
+    let connect = || {
+        Client::connect_retry(handle.local_addr(), Duration::from_secs(5), Duration::from_secs(5))
+            .unwrap()
+    };
+    let mut client = connect();
+    assert_eq!(client.snapshot_info().unwrap().version, 1);
+
+    let wall = Instant::now();
+    let info = loop {
+        match client.snapshot_info() {
+            Ok(info) if info.version >= 2 => break info,
+            Ok(_) => {}
+            // Idle eviction can beat a request when virtual time leaps;
+            // a fresh connection sees the same swapped oracle.
+            Err(_) => client = connect(),
+        }
+        assert!(
+            wall.elapsed() < Duration::from_secs(30),
+            "ten virtual minutes never elapsed; the scheduled reload never fired"
+        );
+        std::thread::yield_now();
+    };
+    assert_eq!(info.checksum, beware::dataset::snapshot::snapshot_checksum(&next_snap));
+    assert!(
+        vc.now() >= Duration::from_secs(600),
+        "poll fired after only {:?} of virtual time",
+        vc.now()
+    );
+    assert!(
+        wall.elapsed() < Duration::from_secs(30),
+        "a 10-minute poll period cost {:?} of wall clock",
+        wall.elapsed()
+    );
+
+    handle.shutdown();
+    let metrics = handle.join();
+    std::fs::remove_file(&source).ok();
+    assert!(metrics.counter("sched/serve/reload_polls").unwrap_or(0) >= 1, "wheel never ticked");
+    assert_eq!(metrics.counter("oracle/reloads"), Some(1), "exactly one content change");
 }
