@@ -368,6 +368,19 @@ impl HostState {
         // link's normal queue cap.
         delay += extra + storm_extra;
 
+        // Regime shift (COVID-style step change): once `at_secs` passes,
+        // the whole path slows down and loses more. The RNG is only
+        // consulted while the new regime is active, so profiles without a
+        // shift — and probes before it — keep their exact draw sequences.
+        if let Some(shift) = profile.shift {
+            if now.as_secs_f64() >= shift.at_secs {
+                if coin(&mut self.rng, shift.extra_loss) {
+                    return Vec::new();
+                }
+                delay *= shift.rtt_scale;
+            }
+        }
+
         // Host-side ICMP rate limiting.
         if let Some(rl) = &profile.icmp_rate_limit {
             let bucket = self.bucket.as_mut().expect("bucket exists when cfg does");
@@ -585,6 +598,50 @@ mod tests {
         let trough = h.respond(&p, t(43_200.0))[0].delay_secs;
         assert!((peak - (0.05 + 3.0)).abs() < 1e-9, "peak {peak}");
         assert!((trough - (0.05 + 1.0)).abs() < 1e-9, "trough {trough}");
+    }
+
+    #[test]
+    fn shift_scales_delay_and_adds_loss_only_after_onset() {
+        use crate::profile::ShiftCfg;
+        let p = BlockProfile {
+            shift: Some(ShiftCfg { at_secs: 100.0, rtt_scale: 2.0, extra_loss: 0.0 }),
+            ..plain_profile()
+        };
+        let mut h = HostState::new(SEED, &p, 0x0a000005, t(0.0));
+        let before = h.respond(&p, t(50.0))[0].delay_secs;
+        let after = h.respond(&p, t(150.0))[0].delay_secs;
+        assert!((before - 0.05).abs() < 1e-9, "pre-shift {before}");
+        assert!((after - 0.10).abs() < 1e-9, "post-shift {after}");
+
+        // Extra loss engages only in the new regime.
+        let p2 = BlockProfile {
+            shift: Some(ShiftCfg { at_secs: 100.0, rtt_scale: 1.0, extra_loss: 1.0 }),
+            ..plain_profile()
+        };
+        let mut h2 = HostState::new(SEED, &p2, 0x0a000005, t(0.0));
+        assert_eq!(h2.respond(&p2, t(50.0)).len(), 1);
+        assert!(h2.respond(&p2, t(150.0)).is_empty());
+    }
+
+    #[test]
+    fn pre_shift_behavior_matches_unshifted_profile() {
+        use crate::profile::ShiftCfg;
+        let plain = plain_profile();
+        let shifted = BlockProfile {
+            shift: Some(ShiftCfg { at_secs: 1e6, rtt_scale: 3.0, extra_loss: 0.5 }),
+            jitter: Dist::Exponential { mean: 0.004 },
+            ..plain_profile()
+        };
+        let jittery_plain = BlockProfile { jitter: Dist::Exponential { mean: 0.004 }, ..plain };
+        let mut a = HostState::new(SEED, &jittery_plain, 0x0a000005, t(0.0));
+        let mut b = HostState::new(SEED, &shifted, 0x0a000005, t(0.0));
+        // Same seeds, shift far in the future: identical draw sequences.
+        for i in 0..50 {
+            assert_eq!(
+                a.respond(&jittery_plain, t(f64::from(i))),
+                b.respond(&shifted, t(f64::from(i)))
+            );
+        }
     }
 
     #[test]

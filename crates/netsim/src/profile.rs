@@ -101,6 +101,32 @@ impl DiurnalCfg {
     }
 }
 
+/// A one-way regime shift at a fixed instant: from `at_secs` on, every
+/// response's delay is scaled and extra loss applies.
+///
+/// This is the COVID-19 lockdown signature the latency studies in
+/// PAPERS.md document — residential baseline RTT stepping up by tens of
+/// percent essentially overnight and staying there — and the scenario
+/// that makes a pre-shift timeout snapshot *stale*. Unlike
+/// [`DiurnalCfg`] (periodic, mean-reverting) the shift never reverts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftCfg {
+    /// Simulation second at which the new regime begins.
+    pub at_secs: f64,
+    /// Factor applied to the whole response delay from `at_secs` on
+    /// (1.0 = no change; the COVID studies report ~1.2–2× for
+    /// oversubscribed residential links).
+    pub rtt_scale: f64,
+    /// Additional per-probe loss probability in the new regime.
+    pub extra_loss: f64,
+}
+
+impl Default for ShiftCfg {
+    fn default() -> Self {
+        ShiftCfg { at_secs: 0.0, rtt_scale: 1.6, extra_loss: 0.05 }
+    }
+}
+
 /// Congestion storms: bounded periods in which an oversubscribed link
 /// holds a near-full queue, so every surviving probe sees tens-to-hundreds
 /// of seconds of queueing delay and loss is heavy. This is the mechanism
@@ -290,6 +316,8 @@ pub struct BlockProfile {
     pub storms: Option<StormCfg>,
     /// Diurnal congestion modulation, if any.
     pub diurnal: Option<DiurnalCfg>,
+    /// Permanent latency/loss regime shift at a fixed instant, if any.
+    pub shift: Option<ShiftCfg>,
     /// Cap in seconds on jitter+congestion extras (satellite modems bound
     /// their queues: Fig. 11 shows 99th percentiles predominantly < 3 s).
     pub rtt_cap: Option<f64>,
@@ -321,6 +349,7 @@ impl Default for BlockProfile {
             episodes: None,
             storms: None,
             diurnal: None,
+            shift: None,
             rtt_cap: None,
             broadcast: None,
             firewall: None,
@@ -417,6 +446,15 @@ impl BlockProfile {
                 return Err("diurnal.period_secs must be positive".into());
             }
         }
+        if let Some(s) = &self.shift {
+            prob("shift.extra_loss", s.extra_loss)?;
+            if s.rtt_scale <= 0.0 {
+                return Err("shift.rtt_scale must be positive".into());
+            }
+            if s.at_secs < 0.0 {
+                return Err("shift.at_secs must be non-negative".into());
+            }
+        }
         if let Some(b) = &self.broadcast {
             prob("broadcast.responder_prob", b.responder_prob)?;
             prob("broadcast.edge_responder_prob", b.edge_responder_prob)?;
@@ -466,6 +504,24 @@ mod tests {
             ..Default::default()
         };
         assert!(p.validate().unwrap_err().contains("buffer_prob"));
+    }
+
+    #[test]
+    fn shift_parameters_checked() {
+        let p = BlockProfile {
+            shift: Some(ShiftCfg { at_secs: 10.0, rtt_scale: 0.0, extra_loss: 0.0 }),
+            ..Default::default()
+        };
+        assert!(p.validate().unwrap_err().contains("rtt_scale"));
+        let p = BlockProfile {
+            shift: Some(ShiftCfg { extra_loss: 1.5, ..Default::default() }),
+            ..Default::default()
+        };
+        assert!(p.validate().unwrap_err().contains("extra_loss"));
+        let p = BlockProfile { shift: Some(ShiftCfg::default()), ..Default::default() };
+        p.validate().unwrap();
+        // A shift does not change the profile's dominant-kind label.
+        assert_eq!(p.kind_label(), "plain");
     }
 
     #[test]

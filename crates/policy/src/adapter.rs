@@ -1,0 +1,213 @@
+//! The paper's static oracle, scored through the [`TimeoutPolicy`]
+//! interface.
+//!
+//! An [`OracleTable`] freezes one grid cell of a BWTS snapshot — "the
+//! minimum timeout capturing c% of pings from r% of addresses" — into an
+//! LPM trie of raw `f64` bits. [`OracleTable::policy_for`] then hands
+//! out per-prefix [`OracleAdapter`]s: estimators that never adapt
+//! (observe and on_timeout are no-ops) and whose
+//! [`current_timeout`](TimeoutPolicy::current_timeout) is the snapshot's
+//! recommendation, **bit-for-bit** — the integration suite pins the
+//! adapter's answers to the offline `recommend_timeout` computation.
+
+use crate::{RttSample, TimeoutPolicy};
+use beware_asdb::PrefixTrie;
+use beware_dataset::snapshot::TimeoutSnapshot;
+
+/// Why an [`OracleTable`] could not be built from a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdapterError {
+    /// The requested percentile pair is not a grid point of the snapshot.
+    CellMissing {
+        /// Requested address percentile, tenths of a percent.
+        addr_pct_tenths: u16,
+        /// Requested ping percentile, tenths of a percent.
+        ping_pct_tenths: u16,
+    },
+}
+
+impl std::fmt::Display for AdapterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdapterError::CellMissing { addr_pct_tenths, ping_pct_tenths } => write!(
+                f,
+                "snapshot has no cell at address pct {}.{}% / ping pct {}.{}%",
+                addr_pct_tenths / 10,
+                addr_pct_tenths % 10,
+                ping_pct_tenths / 10,
+                ping_pct_tenths % 10
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdapterError {}
+
+/// One grid cell of a BWTS snapshot, frozen for policy scoring. See the
+/// module docs.
+#[derive(Debug)]
+pub struct OracleTable {
+    trie: PrefixTrie<u64>,
+    fallback_bits: u64,
+    /// Per-prefix canonical encoding cost (prefix u32 + len u8 + one
+    /// u64 cell), for the memory scoring.
+    serialized_bytes: usize,
+}
+
+impl OracleTable {
+    /// Freeze `snap` at the `(addr_pct_tenths, ping_pct_tenths)` grid
+    /// cell.
+    pub fn from_snapshot(
+        snap: &TimeoutSnapshot,
+        addr_pct_tenths: u16,
+        ping_pct_tenths: u16,
+    ) -> Result<OracleTable, AdapterError> {
+        let missing = || AdapterError::CellMissing { addr_pct_tenths, ping_pct_tenths };
+        let ri = snap
+            .address_pct_tenths
+            .iter()
+            .position(|&t| t == addr_pct_tenths)
+            .ok_or_else(missing)?;
+        let ci =
+            snap.ping_pct_tenths.iter().position(|&t| t == ping_pct_tenths).ok_or_else(missing)?;
+        let c_count = snap.ping_pct_tenths.len();
+        let cell = ri * c_count + ci;
+        let mut trie = PrefixTrie::new();
+        for entry in &snap.entries {
+            trie.insert(entry.prefix, entry.len, entry.cells[cell]);
+        }
+        Ok(OracleTable {
+            trie,
+            fallback_bits: snap.fallback[cell],
+            // prefix u32 + len u8 + cell u64, the snapshot codec's cost
+            // per entry at a 1×1 grid, plus the fallback cell.
+            serialized_bytes: 8 + snap.entries.len() * (4 + 1 + 8),
+        })
+    }
+
+    /// The frozen recommendation for `addr`, raw bits (LPM entry or the
+    /// snapshot's global fallback).
+    pub fn timeout_bits(&self, addr: u32) -> u64 {
+        self.trie.lookup(addr).copied().unwrap_or(self.fallback_bits)
+    }
+
+    /// The frozen recommendation for `addr`, seconds.
+    pub fn timeout_secs(&self, addr: u32) -> f64 {
+        f64::from_bits(self.timeout_bits(addr))
+    }
+
+    /// The per-prefix policy instance: every address under one prefix
+    /// shares one frozen timeout.
+    pub fn policy_for(&self, addr: u32) -> OracleAdapter {
+        OracleAdapter { bits: self.timeout_bits(addr) }
+    }
+
+    /// Serialized size of the frozen table — what shipping this state
+    /// would cost, charged by the shootout's memory scoring.
+    pub fn state_bytes(&self) -> usize {
+        self.serialized_bytes
+    }
+
+    /// Number of per-prefix entries.
+    pub fn entries(&self) -> usize {
+        self.trie.len()
+    }
+}
+
+/// The static oracle as a (non-)estimator. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleAdapter {
+    /// The frozen recommendation, raw `f64` bits.
+    bits: u64,
+}
+
+impl OracleAdapter {
+    /// A frozen policy quoting exactly `timeout_secs` forever.
+    pub fn fixed(timeout_secs: f64) -> OracleAdapter {
+        OracleAdapter { bits: timeout_secs.to_bits() }
+    }
+}
+
+impl TimeoutPolicy for OracleAdapter {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn observe(&mut self, _sample: RttSample) {
+        // Static by construction: the snapshot does not learn.
+    }
+
+    fn current_timeout(&self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+
+    fn on_timeout(&mut self) {
+        // No backoff either: the paper's table is an open-loop setting.
+    }
+
+    fn state_bytes(&self) -> usize {
+        // The per-prefix marginal cost is one frozen cell; the shared
+        // table is charged once via `OracleTable::state_bytes`.
+        std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beware_dataset::snapshot::SnapshotEntry;
+
+    fn snap() -> TimeoutSnapshot {
+        TimeoutSnapshot {
+            address_pct_tenths: vec![500, 950],
+            ping_pct_tenths: vec![800, 950],
+            // Row-major 2×2: [(500,800), (500,950), (950,800), (950,950)].
+            fallback: vec![1.0f64.to_bits(), 2.0f64.to_bits(), 3.0f64.to_bits(), 4.0f64.to_bits()],
+            entries: vec![SnapshotEntry {
+                prefix: 0x0a000000,
+                len: 24,
+                cells: vec![
+                    10.0f64.to_bits(),
+                    20.0f64.to_bits(),
+                    30.0f64.to_bits(),
+                    40.0f64.to_bits(),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn selects_the_requested_grid_cell() {
+        let t = OracleTable::from_snapshot(&snap(), 950, 950).unwrap();
+        assert_eq!(t.timeout_secs(0x0a000007), 40.0);
+        assert_eq!(t.timeout_secs(0x0b000007), 4.0); // fallback
+        let t = OracleTable::from_snapshot(&snap(), 500, 800).unwrap();
+        assert_eq!(t.timeout_secs(0x0a000007), 10.0);
+        assert_eq!(t.timeout_secs(0x0b000007), 1.0);
+    }
+
+    #[test]
+    fn missing_cell_is_an_error() {
+        let err = OracleTable::from_snapshot(&snap(), 990, 950).unwrap_err();
+        assert!(err.to_string().contains("99.0%"), "{err}");
+    }
+
+    #[test]
+    fn adapter_is_frozen() {
+        let t = OracleTable::from_snapshot(&snap(), 950, 950).unwrap();
+        let mut p = t.policy_for(0x0a000001);
+        let before = p.current_timeout();
+        p.observe(RttSample::new(0.001, 1.0));
+        p.on_timeout();
+        p.on_timeout();
+        assert_eq!(p.current_timeout(), before);
+        assert_eq!(p.current_timeout(), 40.0);
+    }
+
+    #[test]
+    fn state_accounting_scales_with_entries() {
+        let t = OracleTable::from_snapshot(&snap(), 950, 950).unwrap();
+        assert_eq!(t.entries(), 1);
+        assert_eq!(t.state_bytes(), 8 + 13);
+    }
+}

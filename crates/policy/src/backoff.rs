@@ -1,0 +1,114 @@
+//! Pure exponential backoff: the conventional prober the paper
+//! critiques.
+//!
+//! No RTT feedback at all — a fixed base timeout (the classic 3 s),
+//! multiplied on every failure, reset on every success. This is the
+//! baseline behavior of zmap-style scanners and most ad-hoc probers;
+//! the paper's Table 1 shows how much of the response tail it cuts off.
+
+use crate::{RttSample, TimeoutPolicy, INITIAL_TIMEOUT_SECS, MAX_TIMEOUT_SECS};
+
+/// Tunables for [`ExpBackoff`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffCfg {
+    /// Timeout quoted when not backing off (conventional prober: 3 s).
+    pub base: f64,
+    /// Factor applied per consecutive timeout.
+    pub multiplier: f64,
+    /// Upper clamp on the quoted timeout.
+    pub max_timeout: f64,
+    /// Cap on consecutive-timeout exponent.
+    pub max_exp: u32,
+}
+
+impl Default for BackoffCfg {
+    fn default() -> Self {
+        BackoffCfg {
+            base: INITIAL_TIMEOUT_SECS,
+            multiplier: 2.0,
+            max_timeout: MAX_TIMEOUT_SECS,
+            max_exp: 6,
+        }
+    }
+}
+
+/// Fixed base × multiplier exponential backoff. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpBackoff {
+    cfg: BackoffCfg,
+    /// Consecutive unanswered timeouts.
+    exp: u32,
+}
+
+impl Default for ExpBackoff {
+    fn default() -> Self {
+        ExpBackoff::new(BackoffCfg::default())
+    }
+}
+
+impl ExpBackoff {
+    /// Build a backoff policy with explicit tunables.
+    pub fn new(cfg: BackoffCfg) -> ExpBackoff {
+        ExpBackoff { cfg, exp: 0 }
+    }
+}
+
+impl TimeoutPolicy for ExpBackoff {
+    fn name(&self) -> &'static str {
+        "exp-backoff"
+    }
+
+    fn observe(&mut self, _sample: RttSample) {
+        // The RTT itself is ignored — success merely ends the backoff
+        // run. That blindness is the point of this baseline.
+        self.exp = 0;
+    }
+
+    fn current_timeout(&self) -> f64 {
+        (self.cfg.base * self.cfg.multiplier.powi(self.exp.min(self.cfg.max_exp) as i32))
+            .min(self.cfg.max_timeout)
+    }
+
+    fn on_timeout(&mut self) {
+        self.exp = (self.exp + 1).min(self.cfg.max_exp);
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_per_timeout_and_resets_on_success() {
+        let mut p = ExpBackoff::default();
+        assert_eq!(p.current_timeout(), 3.0);
+        p.on_timeout();
+        assert_eq!(p.current_timeout(), 6.0);
+        p.on_timeout();
+        assert_eq!(p.current_timeout(), 12.0);
+        p.observe(RttSample::new(0.4, 1.0));
+        assert_eq!(p.current_timeout(), 3.0);
+    }
+
+    #[test]
+    fn clamps_at_max() {
+        let mut p = ExpBackoff::default();
+        for _ in 0..32 {
+            p.on_timeout();
+        }
+        assert_eq!(p.current_timeout(), MAX_TIMEOUT_SECS);
+    }
+
+    #[test]
+    fn ignores_the_rtt_value() {
+        let mut a = ExpBackoff::default();
+        let mut b = ExpBackoff::default();
+        a.observe(RttSample::new(0.001, 0.0));
+        b.observe(RttSample::new(59.0, 0.0));
+        assert_eq!(a.current_timeout(), b.current_timeout());
+    }
+}

@@ -1,0 +1,185 @@
+//! CoDel-flavoured sliding-window quantile tracker.
+//!
+//! CoDel's insight is to control on a *windowed statistic of recent
+//! measurements* instead of a long-memory EWMA. Translated to timeout
+//! selection: remember the last `window` RTTs, quote a safety margin
+//! above their `quantile` (nearest-rank, matching the repo's offline
+//! percentile convention), and back off multiplicatively while probes
+//! keep dying. Against a step change in baseline latency this forgets
+//! the old regime after `window` samples — the property the shootout's
+//! COVID scenario is designed to expose.
+
+use crate::{RttSample, TimeoutPolicy, INITIAL_TIMEOUT_SECS, MAX_TIMEOUT_SECS, MIN_TIMEOUT_SECS};
+use std::collections::VecDeque;
+
+/// Tunables for [`CodelQuantile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodelCfg {
+    /// Samples remembered (the sliding window).
+    pub window: usize,
+    /// Quantile of the window the timeout tracks, in `(0, 1]`.
+    pub quantile: f64,
+    /// Multiplicative safety margin over the window quantile.
+    pub margin: f64,
+    /// Lower clamp on the quoted timeout.
+    pub min_timeout: f64,
+    /// Upper clamp on the quoted timeout.
+    pub max_timeout: f64,
+    /// Cap on the backoff exponent.
+    pub max_backoff_exp: u32,
+}
+
+impl Default for CodelCfg {
+    fn default() -> Self {
+        CodelCfg {
+            window: 64,
+            quantile: 0.95,
+            margin: 1.5,
+            min_timeout: MIN_TIMEOUT_SECS,
+            max_timeout: MAX_TIMEOUT_SECS,
+            max_backoff_exp: 6,
+        }
+    }
+}
+
+/// Sliding-window quantile tracker. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodelQuantile {
+    cfg: CodelCfg,
+    /// Samples in arrival order, oldest first (ring of `cfg.window`).
+    recent: VecDeque<f64>,
+    /// The same samples kept sorted, so the quantile is O(log w) to read
+    /// and O(w) to maintain — cheaper than sorting per quote.
+    sorted: Vec<f64>,
+    backoff: u32,
+}
+
+impl Default for CodelQuantile {
+    fn default() -> Self {
+        CodelQuantile::new(CodelCfg::default())
+    }
+}
+
+impl CodelQuantile {
+    /// Build a tracker with explicit tunables.
+    pub fn new(cfg: CodelCfg) -> CodelQuantile {
+        assert!(cfg.window > 0, "window must hold at least one sample");
+        assert!(cfg.quantile > 0.0 && cfg.quantile <= 1.0, "quantile must be in (0, 1]");
+        CodelQuantile {
+            recent: VecDeque::with_capacity(cfg.window),
+            sorted: Vec::with_capacity(cfg.window),
+            cfg,
+            backoff: 0,
+        }
+    }
+
+    /// Nearest-rank quantile of the current window.
+    fn window_quantile(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((self.cfg.quantile * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+}
+
+impl TimeoutPolicy for CodelQuantile {
+    fn name(&self) -> &'static str {
+        "codel-quantile"
+    }
+
+    fn observe(&mut self, sample: RttSample) {
+        let rtt = sample.rtt_secs;
+        if self.recent.len() == self.cfg.window {
+            let evicted = self.recent.pop_front().expect("window is non-empty");
+            let at = self
+                .sorted
+                .binary_search_by(|x| x.partial_cmp(&evicted).expect("RTTs are never NaN"))
+                .expect("evicted sample is present in the sorted mirror");
+            self.sorted.remove(at);
+        }
+        self.recent.push_back(rtt);
+        let at = match self
+            .sorted
+            .binary_search_by(|x| x.partial_cmp(&rtt).expect("RTTs are never NaN"))
+        {
+            Ok(i) | Err(i) => i,
+        };
+        self.sorted.insert(at, rtt);
+        self.backoff = 0;
+    }
+
+    fn current_timeout(&self) -> f64 {
+        let base = match self.window_quantile() {
+            Some(q) => q * self.cfg.margin,
+            None => INITIAL_TIMEOUT_SECS,
+        };
+        let scaled = base * f64::from(1u32 << self.backoff.min(self.cfg.max_backoff_exp));
+        scaled.clamp(self.cfg.min_timeout, self.cfg.max_timeout)
+    }
+
+    fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(self.cfg.max_backoff_exp);
+    }
+
+    fn state_bytes(&self) -> usize {
+        // The window dominates: both the ring and its sorted mirror are
+        // sized to capacity up front.
+        std::mem::size_of::<Self>() + 2 * self.cfg.window * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(rtt: f64) -> RttSample {
+        RttSample::new(rtt, 0.0)
+    }
+
+    #[test]
+    fn tracks_the_window_quantile_with_margin() {
+        let mut p = CodelQuantile::new(CodelCfg { window: 10, ..CodelCfg::default() });
+        for i in 1..=10 {
+            p.observe(s(f64::from(i) / 10.0));
+        }
+        // p95 of 0.1..=1.0 (nearest rank, 10 samples) = 1.0; × 1.5 margin.
+        assert!((p.current_timeout() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forgets_the_old_regime_after_window_samples() {
+        let mut p = CodelQuantile::new(CodelCfg { window: 8, ..CodelCfg::default() });
+        for _ in 0..8 {
+            p.observe(s(10.0));
+        }
+        assert!(p.current_timeout() > 10.0);
+        for _ in 0..8 {
+            p.observe(s(0.1));
+        }
+        // All the 10 s samples have slid out.
+        assert!((p.current_timeout() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_scales_and_resets() {
+        let mut p = CodelQuantile::default();
+        p.observe(s(1.0));
+        let base = p.current_timeout();
+        p.on_timeout();
+        assert!((p.current_timeout() - (base * 2.0).min(MAX_TIMEOUT_SECS)).abs() < 1e-12);
+        p.observe(s(1.0));
+        assert!((p.current_timeout() - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_rtts_evict_cleanly() {
+        let mut p = CodelQuantile::new(CodelCfg { window: 4, ..CodelCfg::default() });
+        for _ in 0..12 {
+            p.observe(s(0.2));
+        }
+        assert_eq!(p.recent.len(), 4);
+        assert_eq!(p.sorted.len(), 4);
+    }
+}

@@ -1,0 +1,183 @@
+//! Jacobson/Karn retransmission-timeout estimator (RFC 6298 flavour).
+//!
+//! The TCP lineage: smooth the RTT (`SRTT`) and its variation
+//! (`RTTVAR`) with the classic 1/8 and 1/4 gains, quote
+//! `SRTT + K·RTTVAR`, double on every timeout, and apply **Karn's
+//! rule** — after a timeout the next measured sample is ambiguous (the
+//! answer may belong to the original, long-gone probe), so it is
+//! discarded rather than folded into the estimator.
+
+use crate::{RttSample, TimeoutPolicy, INITIAL_TIMEOUT_SECS, MAX_TIMEOUT_SECS, MIN_TIMEOUT_SECS};
+
+/// Tunables for [`JacobsonKarn`]. The defaults are RFC 6298's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtoCfg {
+    /// SRTT gain (RFC 6298: 1/8).
+    pub alpha: f64,
+    /// RTTVAR gain (RFC 6298: 1/4).
+    pub beta: f64,
+    /// Variation multiplier in `SRTT + K·RTTVAR` (RFC 6298: 4).
+    pub k: f64,
+    /// Lower clamp on the quoted timeout.
+    pub min_timeout: f64,
+    /// Upper clamp on the quoted timeout.
+    pub max_timeout: f64,
+    /// Cap on the backoff exponent (2^6 = 64x is already past any
+    /// sane max_timeout).
+    pub max_backoff_exp: u32,
+}
+
+impl Default for RtoCfg {
+    fn default() -> Self {
+        RtoCfg {
+            alpha: 0.125,
+            beta: 0.25,
+            k: 4.0,
+            min_timeout: MIN_TIMEOUT_SECS,
+            max_timeout: MAX_TIMEOUT_SECS,
+            max_backoff_exp: 6,
+        }
+    }
+}
+
+/// RFC 6298-style SRTT/RTTVAR estimator with Karn's rule and
+/// exponential backoff. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JacobsonKarn {
+    cfg: RtoCfg,
+    /// Smoothed RTT; `None` until the first (unambiguous) sample.
+    srtt: Option<f64>,
+    rttvar: f64,
+    /// Backoff exponent: the quoted timeout is the base RTO × 2^backoff.
+    backoff: u32,
+    /// Karn's rule: the first sample after a timeout is ambiguous and
+    /// must be discarded.
+    ambiguous: bool,
+}
+
+impl Default for JacobsonKarn {
+    fn default() -> Self {
+        JacobsonKarn::new(RtoCfg::default())
+    }
+}
+
+impl JacobsonKarn {
+    /// Build an estimator with explicit tunables.
+    pub fn new(cfg: RtoCfg) -> JacobsonKarn {
+        JacobsonKarn { cfg, srtt: None, rttvar: 0.0, backoff: 0, ambiguous: false }
+    }
+
+    /// The un-backed-off RTO this estimator would quote.
+    fn base_rto(&self) -> f64 {
+        match self.srtt {
+            Some(srtt) => srtt + self.cfg.k * self.rttvar,
+            None => INITIAL_TIMEOUT_SECS,
+        }
+    }
+}
+
+impl TimeoutPolicy for JacobsonKarn {
+    fn name(&self) -> &'static str {
+        "jacobson-karn"
+    }
+
+    fn observe(&mut self, sample: RttSample) {
+        if self.ambiguous {
+            // Karn's rule: this answer may belong to the probe we
+            // already declared dead; its RTT proves nothing.
+            self.ambiguous = false;
+            return;
+        }
+        let rtt = sample.rtt_secs;
+        match self.srtt {
+            None => {
+                // RFC 6298 (2.2): first measurement seeds both.
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2.0;
+            }
+            Some(srtt) => {
+                // RFC 6298 (2.3): RTTVAR before SRTT, in this order.
+                self.rttvar =
+                    (1.0 - self.cfg.beta) * self.rttvar + self.cfg.beta * (srtt - rtt).abs();
+                self.srtt = Some((1.0 - self.cfg.alpha) * srtt + self.cfg.alpha * rtt);
+            }
+        }
+        // A fresh, unambiguous measurement ends any backoff run.
+        self.backoff = 0;
+    }
+
+    fn current_timeout(&self) -> f64 {
+        let scaled =
+            self.base_rto() * f64::from(1u32 << self.backoff.min(self.cfg.max_backoff_exp));
+        scaled.clamp(self.cfg.min_timeout, self.cfg.max_timeout)
+    }
+
+    fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(self.cfg.max_backoff_exp);
+        self.ambiguous = true;
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(rtt: f64) -> RttSample {
+        RttSample::new(rtt, 0.0)
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt_and_rttvar() {
+        let mut p = JacobsonKarn::default();
+        assert_eq!(p.current_timeout(), INITIAL_TIMEOUT_SECS);
+        p.observe(s(0.2));
+        // RTO = 0.2 + 4 * 0.1 = 0.6.
+        assert!((p.current_timeout() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_samples_converge_toward_srtt() {
+        let mut p = JacobsonKarn::default();
+        for _ in 0..200 {
+            p.observe(s(0.1));
+        }
+        // RTTVAR decays toward zero on a constant stream; the RTO floors
+        // at min_timeout.
+        assert!(p.current_timeout() < 0.12, "rto = {}", p.current_timeout());
+        assert!(p.current_timeout() >= MIN_TIMEOUT_SECS);
+    }
+
+    #[test]
+    fn timeouts_double_and_clamp() {
+        let mut p = JacobsonKarn::default();
+        p.observe(s(1.0));
+        let base = p.current_timeout();
+        p.on_timeout();
+        p.on_timeout();
+        assert!((p.current_timeout() - (base * 4.0).min(MAX_TIMEOUT_SECS)).abs() < 1e-12);
+        for _ in 0..20 {
+            p.on_timeout();
+        }
+        assert!(p.current_timeout() <= MAX_TIMEOUT_SECS);
+    }
+
+    #[test]
+    fn karn_discards_first_sample_after_timeout() {
+        let mut p = JacobsonKarn::default();
+        p.observe(s(0.5));
+        let before = p.clone();
+        p.on_timeout();
+        // The ambiguous sample must change nothing but clear the flag…
+        p.observe(s(30.0));
+        assert_eq!(p.srtt, before.srtt);
+        assert_eq!(p.rttvar, before.rttvar);
+        // …but backoff persists until a clean sample lands.
+        assert!(p.current_timeout() > before.current_timeout());
+        p.observe(s(0.5));
+        assert_eq!(p.backoff, 0);
+    }
+}

@@ -1,0 +1,798 @@
+//! The RTO shootout: replay ground-truth survey records through every
+//! policy and score them against each other.
+//!
+//! # Replay semantics (DESIGN.md §13)
+//!
+//! Records come from a [`Scenario`] survey with a ground-truth-wide
+//! match window, in canonical `(time, addr, kind)` order. For each
+//! record the covering estimator quotes a timeout `T`:
+//!
+//! * `Matched{rtt}` with `rtt ≤ T` — the prober waits `rtt` and gets
+//!   the answer; the estimator observes the sample.
+//! * `Matched{rtt}` with `rtt > T` — a **false timeout**: the host
+//!   answered, but the policy gave up first. The prober waits `T`,
+//!   counts a failure, and the estimator backs off. Per Karn's rule the
+//!   (ambiguous) RTT is *not* fed back.
+//! * `Timeout` — a true loss; the prober waits `T` and backs off.
+//! * `Unmatched` / `IcmpError` — counted, otherwise ignored: the first
+//!   is unattributable by construction, the second aborts the wait
+//!   early and carries no RTT signal.
+//!
+//! The **cost** of a policy is `mean wait per probe + penalty ×
+//! false-timeout rate` — seconds burned waiting, plus a fixed charge
+//! (default 10 s) for every answer thrown away, the paper's framing of
+//! what a too-short timeout destroys.
+//!
+//! # Staleness sweep
+//!
+//! On the step-change scenario, the last `eval_frac` of the span is the
+//! evaluation window. For each age `a` the oracle is rebuilt from only
+//! the records older than `eval_start − a` and scored on the window;
+//! online policies replay the whole stream (warm state) but are scored
+//! on the window only. The **crossover** is the smallest age at which
+//! the best online policy's cost beats the stale oracle's — how stale a
+//! snapshot can get before you should stop trusting it.
+//!
+//! Everything here is pure computation over pure simulation: the report
+//! and the `policy/` telemetry family are byte-identical across
+//! `--threads` (enforced by the integration suite).
+
+use crate::scenario::Scenario;
+use crate::{OracleTable, PolicyKind, PrefixPolicyMap, RttSample};
+use beware_core::LatencySamples;
+use beware_dataset::snapshot::TimeoutSnapshot;
+use beware_dataset::{Record, RecordKind};
+use beware_netsim::exec::run_tasks;
+use beware_telemetry::Registry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builds a BWTS snapshot from per-address samples at a given
+/// percentile grid. Injected by the caller (the CLI passes the serve
+/// crate's `build_snapshot`) so this crate does not depend on the serve
+/// path.
+pub type SnapshotBuild<'a> = &'a (dyn Fn(&BTreeMap<u32, LatencySamples>, u16, u16) -> Result<TimeoutSnapshot, String>
+         + Sync);
+
+/// Staleness-sweep parameters.
+#[derive(Debug, Clone)]
+pub struct StalenessCfg {
+    /// Fraction of the span (from the end) forming the eval window.
+    pub eval_frac: f64,
+    /// Snapshot ages to test, as fractions of the span.
+    pub age_fracs: Vec<f64>,
+}
+
+impl Default for StalenessCfg {
+    fn default() -> Self {
+        StalenessCfg {
+            eval_frac: 1.0 / 3.0,
+            age_fracs: vec![0.0, 1.0 / 12.0, 1.0 / 8.0, 1.0 / 6.0, 1.0 / 4.0, 1.0 / 3.0, 0.5],
+        }
+    }
+}
+
+/// Shootout configuration.
+#[derive(Debug, Clone)]
+pub struct ShootoutCfg {
+    /// The scenario matrix.
+    pub scenarios: Vec<Scenario>,
+    /// Worker threads for the scenario/replay fan-out. Scores are
+    /// byte-identical for any value.
+    pub threads: usize,
+    /// Address percentile (tenths) of the oracle's grid cell.
+    pub addr_pct_tenths: u16,
+    /// Ping percentile (tenths) of the oracle's grid cell.
+    pub ping_pct_tenths: u16,
+    /// Seconds charged per unit of false-timeout rate in the cost.
+    pub penalty_secs: f64,
+    /// Staleness sweep, run on the first scenario with a step change.
+    pub staleness: Option<StalenessCfg>,
+}
+
+impl ShootoutCfg {
+    /// The standard matrix at a given scale: three regimes, the paper's
+    /// r95 address percentile with a c99 ping percentile, 10 s penalty,
+    /// staleness sweep on.
+    pub fn standard(seed: u64, blocks: u32, rounds: u32, round_secs: f64, threads: usize) -> Self {
+        ShootoutCfg {
+            scenarios: Scenario::standard(seed, blocks, rounds, round_secs),
+            threads,
+            addr_pct_tenths: 950,
+            ping_pct_tenths: 990,
+            penalty_secs: 10.0,
+            staleness: Some(StalenessCfg::default()),
+        }
+    }
+}
+
+/// One policy's score on one scenario (or eval window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyScore {
+    /// Policy name.
+    pub name: &'static str,
+    /// Scored probes (matched + true timeouts).
+    pub probes: u64,
+    /// Probes the host answered (ground truth).
+    pub matched: u64,
+    /// Answers the policy actually waited long enough to collect.
+    pub answered: u64,
+    /// Answers thrown away because the quoted timeout was too short.
+    pub false_timeouts: u64,
+    /// True losses.
+    pub losses: u64,
+    /// Unattributable responses (ignored by replay).
+    pub unmatched: u64,
+    /// ICMP errors (ignored by replay).
+    pub icmp_errors: u64,
+    /// `false_timeouts / matched`.
+    pub false_timeout_rate: f64,
+    /// Median wait, microseconds.
+    pub wait_p50_us: u64,
+    /// 99th-percentile wait, microseconds.
+    pub wait_p99_us: u64,
+    /// 99.9th-percentile wait, microseconds.
+    pub wait_p999_us: u64,
+    /// Total waiting time over all scored probes, seconds.
+    pub total_wait_secs: f64,
+    /// Estimator memory at end of replay, bytes.
+    pub state_bytes: u64,
+    /// Prefixes with live estimator state.
+    pub tracked_prefixes: u64,
+}
+
+impl PolicyScore {
+    /// Mean wait plus the false-timeout charge. Lower is better.
+    pub fn cost(&self, penalty_secs: f64) -> f64 {
+        if self.probes == 0 {
+            return f64::INFINITY;
+        }
+        self.total_wait_secs / self.probes as f64 + penalty_secs * self.false_timeout_rate
+    }
+}
+
+/// One scenario's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Records replayed.
+    pub records: u64,
+    /// Simulated span, seconds.
+    pub sim_span_secs: f64,
+    /// Scores in [`PolicyKind::ALL`] order.
+    pub scores: Vec<PolicyScore>,
+}
+
+/// One age step of the staleness sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StalenessPoint {
+    /// Snapshot age in seconds (eval-window start minus data cutoff).
+    pub age_secs: f64,
+    /// Prefix entries the stale snapshot still had.
+    pub snapshot_entries: u64,
+    /// The stale oracle's cost on the eval window.
+    pub oracle_cost: f64,
+    /// Whether the best online policy beats this oracle.
+    pub online_wins: bool,
+}
+
+/// The staleness sweep's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StalenessSweep {
+    /// Scenario swept (the step-change one).
+    pub scenario: &'static str,
+    /// Eval window start, simulation seconds.
+    pub eval_start_secs: f64,
+    /// Step instant, simulation seconds.
+    pub shift_at_secs: f64,
+    /// Each online policy's eval-window cost, [`PolicyKind::ONLINE`] order.
+    pub online_costs: Vec<(&'static str, f64)>,
+    /// Best online policy.
+    pub best_online: &'static str,
+    /// Its cost.
+    pub best_online_cost: f64,
+    /// Per-age oracle costs, ascending age.
+    pub points: Vec<StalenessPoint>,
+    /// Smallest tested age at which the best online policy beats the
+    /// stale oracle; `None` if the oracle won at every tested age.
+    pub crossover_age_secs: Option<f64>,
+}
+
+/// The full shootout outcome; [`to_json`](Self::to_json) is BENCH_6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShootoutReport {
+    /// Oracle grid cell, address axis (tenths of a percent).
+    pub addr_pct_tenths: u16,
+    /// Oracle grid cell, ping axis (tenths of a percent).
+    pub ping_pct_tenths: u16,
+    /// Cost penalty, seconds per unit false-timeout rate.
+    pub penalty_secs: f64,
+    /// Total simulated seconds across scenarios.
+    pub sim_total_secs: f64,
+    /// Per-scenario results, configuration order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// The staleness sweep, when configured and applicable.
+    pub staleness: Option<StalenessSweep>,
+}
+
+/// Collapse matched records (optionally only those sent before
+/// `cutoff_secs`) into per-address latency samples — the offline
+/// pipeline's input.
+pub fn samples_from(records: &[Record], cutoff_secs: Option<f64>) -> BTreeMap<u32, LatencySamples> {
+    let mut samples: BTreeMap<u32, LatencySamples> = BTreeMap::new();
+    for r in records {
+        if let Some(cut) = cutoff_secs {
+            if f64::from(r.time_s) >= cut {
+                continue;
+            }
+        }
+        if let Some(rtt) = r.rtt_secs() {
+            samples.entry(r.addr).or_default().push(rtt);
+        }
+    }
+    samples
+}
+
+/// Nearest-rank percentile of an ascending slice (the loadgen/offline
+/// convention); 0 when empty.
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Replay `records` through `map`, scoring only records sent at or
+/// after `score_from_secs` (state still evolves over the full stream).
+pub fn replay(
+    map: &mut PrefixPolicyMap,
+    records: &[Record],
+    score_from_secs: f64,
+    name: &'static str,
+) -> PolicyScore {
+    let mut waits_us: Vec<u64> = Vec::new();
+    let mut score = PolicyScore {
+        name,
+        probes: 0,
+        matched: 0,
+        answered: 0,
+        false_timeouts: 0,
+        losses: 0,
+        unmatched: 0,
+        icmp_errors: 0,
+        false_timeout_rate: 0.0,
+        wait_p50_us: 0,
+        wait_p99_us: 0,
+        wait_p999_us: 0,
+        total_wait_secs: 0.0,
+        state_bytes: 0,
+        tracked_prefixes: 0,
+    };
+    for r in records {
+        let at = f64::from(r.time_s);
+        let scored = at >= score_from_secs;
+        match r.kind {
+            RecordKind::Matched { rtt_us } => {
+                let armed_us = (map.timeout_for(r.addr) * 1e6).round() as u64;
+                if u64::from(rtt_us) <= armed_us {
+                    map.observe(r.addr, RttSample::new(f64::from(rtt_us) / 1e6, at));
+                    if scored {
+                        score.probes += 1;
+                        score.matched += 1;
+                        score.answered += 1;
+                        waits_us.push(u64::from(rtt_us));
+                    }
+                } else {
+                    // False timeout: the answer existed, the policy quit.
+                    // Karn: the ambiguous RTT is not observed.
+                    map.on_timeout(r.addr);
+                    if scored {
+                        score.probes += 1;
+                        score.matched += 1;
+                        score.false_timeouts += 1;
+                        waits_us.push(armed_us);
+                    }
+                }
+            }
+            RecordKind::Timeout => {
+                let armed_us = (map.timeout_for(r.addr) * 1e6).round() as u64;
+                map.on_timeout(r.addr);
+                if scored {
+                    score.probes += 1;
+                    score.losses += 1;
+                    waits_us.push(armed_us);
+                }
+            }
+            RecordKind::Unmatched { .. } => {
+                if scored {
+                    score.unmatched += 1;
+                }
+            }
+            RecordKind::IcmpError { .. } => {
+                if scored {
+                    score.icmp_errors += 1;
+                }
+            }
+        }
+    }
+    waits_us.sort_unstable();
+    score.wait_p50_us = percentile_us(&waits_us, 50.0);
+    score.wait_p99_us = percentile_us(&waits_us, 99.0);
+    score.wait_p999_us = percentile_us(&waits_us, 99.9);
+    score.total_wait_secs = waits_us.iter().map(|&w| w as f64 / 1e6).sum();
+    if score.matched > 0 {
+        score.false_timeout_rate = score.false_timeouts as f64 / score.matched as f64;
+    }
+    score.state_bytes = map.state_bytes() as u64;
+    score.tracked_prefixes = map.tracked() as u64;
+    score
+}
+
+fn build_oracle_table(
+    samples: &BTreeMap<u32, LatencySamples>,
+    cfg: &ShootoutCfg,
+    build: SnapshotBuild<'_>,
+) -> Result<OracleTable, String> {
+    let snap = build(samples, cfg.addr_pct_tenths, cfg.ping_pct_tenths)?;
+    OracleTable::from_snapshot(&snap, cfg.addr_pct_tenths, cfg.ping_pct_tenths)
+        .map_err(|e| e.to_string())
+}
+
+fn map_for(kind: PolicyKind, oracle: &Arc<OracleTable>) -> PrefixPolicyMap {
+    match kind {
+        PolicyKind::Oracle => PrefixPolicyMap::with_oracle(Arc::clone(oracle)),
+        online => PrefixPolicyMap::for_kind(online),
+    }
+}
+
+/// Run the whole shootout. `build` turns per-address samples into a
+/// BWTS snapshot (the CLI passes the serve crate's builder); `metrics`
+/// collects the deterministic `policy/` family plus the scenarios'
+/// `netsim/` and `probe/` counters.
+pub fn run(
+    cfg: &ShootoutCfg,
+    build: SnapshotBuild<'_>,
+    metrics: &mut Registry,
+) -> Result<ShootoutReport, String> {
+    if cfg.scenarios.is_empty() {
+        return Err("shootout needs at least one scenario".into());
+    }
+
+    // Phase 1: survey every scenario (embarrassingly parallel).
+    let surveys = run_tasks(cfg.threads, cfg.scenarios.clone(), |_, sc| {
+        let mut reg = Registry::new();
+        let records = sc.run(&mut reg);
+        (records, reg)
+    });
+    let mut record_sets: Vec<Vec<Record>> = Vec::with_capacity(surveys.len());
+    for (records, reg) in surveys {
+        metrics.merge(&reg);
+        record_sets.push(records);
+    }
+
+    // Fresh (full-history) oracle per scenario.
+    let mut oracles: Vec<Arc<OracleTable>> = Vec::with_capacity(record_sets.len());
+    for records in &record_sets {
+        let table = build_oracle_table(&samples_from(records, None), cfg, build)?;
+        oracles.push(Arc::new(table));
+    }
+
+    // Phase 2: replay every (scenario × policy) pair.
+    let pairs: Vec<(usize, PolicyKind)> = (0..record_sets.len())
+        .flat_map(|si| PolicyKind::ALL.into_iter().map(move |k| (si, k)))
+        .collect();
+    let scores = run_tasks(cfg.threads, pairs, |_, (si, kind)| {
+        let mut map = map_for(kind, &oracles[si]);
+        replay(&mut map, &record_sets[si], 0.0, kind.name())
+    });
+
+    let mut scenarios = Vec::with_capacity(record_sets.len());
+    for (si, sc) in cfg.scenarios.iter().enumerate() {
+        let chunk = &scores[si * PolicyKind::ALL.len()..(si + 1) * PolicyKind::ALL.len()];
+        scenarios.push(ScenarioResult {
+            name: sc.name,
+            records: record_sets[si].len() as u64,
+            sim_span_secs: sc.span_secs(),
+            scores: chunk.to_vec(),
+        });
+    }
+
+    // Phase 3: staleness sweep on the first step-change scenario.
+    let staleness = match &cfg.staleness {
+        None => None,
+        Some(st) => match cfg.scenarios.iter().position(|s| s.shift_at_secs().is_some()) {
+            None => None,
+            Some(si) => Some(sweep(cfg, st, si, &record_sets[si], build)?),
+        },
+    };
+
+    record_policy_metrics(metrics, cfg, &scenarios, staleness.as_ref());
+
+    Ok(ShootoutReport {
+        addr_pct_tenths: cfg.addr_pct_tenths,
+        ping_pct_tenths: cfg.ping_pct_tenths,
+        penalty_secs: cfg.penalty_secs,
+        sim_total_secs: cfg.scenarios.iter().map(Scenario::span_secs).sum(),
+        scenarios,
+        staleness,
+    })
+}
+
+fn sweep(
+    cfg: &ShootoutCfg,
+    st: &StalenessCfg,
+    si: usize,
+    records: &[Record],
+    build: SnapshotBuild<'_>,
+) -> Result<StalenessSweep, String> {
+    let sc = &cfg.scenarios[si];
+    let span = sc.span_secs();
+    let shift_at = sc.shift_at_secs().expect("sweep scenario has a shift");
+    let eval_start = span * (1.0 - st.eval_frac.clamp(0.05, 0.95));
+
+    // Stale oracle per age (ages that leave no pre-cutoff data are skipped).
+    let mut ages: Vec<f64> = st.age_fracs.iter().map(|f| f * span).collect();
+    ages.sort_by(|a, b| a.partial_cmp(b).expect("age fractions are finite"));
+    ages.dedup();
+    let mut aged_tables: Vec<(f64, Arc<OracleTable>)> = Vec::new();
+    for &age in &ages {
+        let cutoff = eval_start - age;
+        if cutoff <= 0.0 {
+            continue;
+        }
+        let samples = samples_from(records, Some(cutoff));
+        if samples.is_empty() {
+            continue;
+        }
+        aged_tables.push((age, Arc::new(build_oracle_table(&samples, cfg, build)?)));
+    }
+
+    // Everything scored on the eval window: online policies warm up over
+    // the full stream; each stale oracle answers statically.
+    enum Task {
+        Online(PolicyKind),
+        Aged(usize),
+    }
+    let tasks: Vec<Task> = PolicyKind::ONLINE
+        .into_iter()
+        .map(Task::Online)
+        .chain((0..aged_tables.len()).map(Task::Aged))
+        .collect();
+    let outcomes = run_tasks(cfg.threads, tasks, |_, task| match task {
+        Task::Online(kind) => {
+            let mut map = PrefixPolicyMap::for_kind(kind);
+            replay(&mut map, records, eval_start, kind.name())
+        }
+        Task::Aged(i) => {
+            let mut map = PrefixPolicyMap::with_oracle(Arc::clone(&aged_tables[i].1));
+            replay(&mut map, records, eval_start, PolicyKind::Oracle.name())
+        }
+    });
+
+    let online_costs: Vec<(&'static str, f64)> = PolicyKind::ONLINE
+        .iter()
+        .zip(&outcomes)
+        .map(|(k, s)| (k.name(), s.cost(cfg.penalty_secs)))
+        .collect();
+    let (best_online, best_online_cost) = online_costs
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+        .expect("at least one online policy");
+
+    let mut points = Vec::with_capacity(aged_tables.len());
+    for (i, (age, table)) in aged_tables.iter().enumerate() {
+        let oracle_cost = outcomes[PolicyKind::ONLINE.len() + i].cost(cfg.penalty_secs);
+        points.push(StalenessPoint {
+            age_secs: *age,
+            snapshot_entries: table.entries() as u64,
+            oracle_cost,
+            online_wins: best_online_cost < oracle_cost,
+        });
+    }
+    let crossover_age_secs = points.iter().find(|p| p.online_wins).map(|p| p.age_secs);
+
+    Ok(StalenessSweep {
+        scenario: sc.name,
+        eval_start_secs: eval_start,
+        shift_at_secs: shift_at,
+        online_costs,
+        best_online,
+        best_online_cost,
+        points,
+        crossover_age_secs,
+    })
+}
+
+/// The deterministic `policy/` telemetry family: counters only, summed
+/// over replays whose record streams are thread-count independent.
+fn record_policy_metrics(
+    metrics: &mut Registry,
+    cfg: &ShootoutCfg,
+    scenarios: &[ScenarioResult],
+    staleness: Option<&StalenessSweep>,
+) {
+    if !metrics.enabled() {
+        return;
+    }
+    let mut policy = metrics.scope("policy");
+    let mut shootout = policy.scope("shootout");
+    shootout.add("scenarios", scenarios.len() as u64);
+    shootout.add("penalty_tenths", (cfg.penalty_secs * 10.0).round() as u64);
+    for sc in scenarios {
+        let mut s = shootout.scope(sc.name);
+        s.add("records", sc.records);
+        for score in &sc.scores {
+            let mut p = s.scope(score.name);
+            p.add("probes", score.probes);
+            p.add("answered", score.answered);
+            p.add("false_timeouts", score.false_timeouts);
+            p.add("losses", score.losses);
+            p.add("wait_us_total", (score.total_wait_secs * 1e6).round() as u64);
+            p.add("state_bytes", score.state_bytes);
+        }
+    }
+    if let Some(sw) = staleness {
+        let mut s = shootout.scope("staleness");
+        s.add("points", sw.points.len() as u64);
+        s.add("online_wins", sw.points.iter().filter(|p| p.online_wins).count() as u64);
+        if let Some(age) = sw.crossover_age_secs {
+            s.add("crossover_age_secs", age.round() as u64);
+        }
+    }
+}
+
+fn push_score(out: &mut String, s: &PolicyScore, penalty: f64) {
+    use std::fmt::Write;
+    write!(
+        out,
+        concat!(
+            "{{\"policy\": \"{}\", \"probes\": {}, \"matched\": {}, \"answered\": {}, ",
+            "\"false_timeouts\": {}, \"losses\": {}, \"unmatched\": {}, \"icmp_errors\": {}, ",
+            "\"false_timeout_rate\": {:.6}, ",
+            "\"wait_us\": {{\"p50\": {}, \"p99\": {}, \"p999\": {}}}, ",
+            "\"total_wait_secs\": {:.6}, \"cost\": {:.6}, ",
+            "\"state_bytes\": {}, \"tracked_prefixes\": {}}}"
+        ),
+        s.name,
+        s.probes,
+        s.matched,
+        s.answered,
+        s.false_timeouts,
+        s.losses,
+        s.unmatched,
+        s.icmp_errors,
+        s.false_timeout_rate,
+        s.wait_p50_us,
+        s.wait_p99_us,
+        s.wait_p999_us,
+        s.total_wait_secs,
+        s.cost(penalty),
+        s.state_bytes,
+        s.tracked_prefixes,
+    )
+    .expect("writing to a String cannot fail");
+}
+
+impl ShootoutReport {
+    /// Render BENCH_6.json. Contains **no wall-clock values**: the bytes
+    /// are a pure function of the configuration and seeds, identical for
+    /// any `--threads`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": 1,\n  \"bench\": \"policy_shootout\",\n");
+        write!(
+            out,
+            "  \"address_pct\": {:.1},\n  \"ping_pct\": {:.1},\n  \"penalty_secs\": {:.3},\n  \"sim_total_secs\": {:.1},\n",
+            f64::from(self.addr_pct_tenths) / 10.0,
+            f64::from(self.ping_pct_tenths) / 10.0,
+            self.penalty_secs,
+            self.sim_total_secs,
+        )
+        .expect("writing to a String cannot fail");
+        out.push_str("  \"scenarios\": [\n");
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            writeln!(
+                out,
+                "    {{\"scenario\": \"{}\", \"records\": {}, \"sim_span_secs\": {:.1}, \"policies\": [",
+                sc.name, sc.records, sc.sim_span_secs
+            )
+            .expect("writing to a String cannot fail");
+            for (j, score) in sc.scores.iter().enumerate() {
+                out.push_str("      ");
+                push_score(&mut out, score, self.penalty_secs);
+                out.push_str(if j + 1 < sc.scores.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(if i + 1 < self.scenarios.len() { "    ]},\n" } else { "    ]}\n" });
+        }
+        out.push_str("  ],\n");
+        match &self.staleness {
+            None => out.push_str("  \"staleness\": null\n"),
+            Some(sw) => {
+                write!(
+                    out,
+                    "  \"staleness\": {{\n    \"scenario\": \"{}\",\n    \"eval_start_secs\": {:.1},\n    \"shift_at_secs\": {:.1},\n",
+                    sw.scenario, sw.eval_start_secs, sw.shift_at_secs
+                )
+                .expect("writing to a String cannot fail");
+                out.push_str("    \"online_costs\": [");
+                for (i, (name, cost)) in sw.online_costs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write!(out, "{{\"policy\": \"{name}\", \"cost\": {cost:.6}}}")
+                        .expect("writing to a String cannot fail");
+                }
+                write!(
+                    out,
+                    "],\n    \"best_online\": \"{}\",\n    \"best_online_cost\": {:.6},\n    \"points\": [\n",
+                    sw.best_online, sw.best_online_cost
+                )
+                .expect("writing to a String cannot fail");
+                for (i, p) in sw.points.iter().enumerate() {
+                    write!(
+                        out,
+                        "      {{\"age_secs\": {:.1}, \"snapshot_entries\": {}, \"oracle_cost\": {:.6}, \"online_wins\": {}}}{}",
+                        p.age_secs,
+                        p.snapshot_entries,
+                        p.oracle_cost,
+                        p.online_wins,
+                        if i + 1 < sw.points.len() { ",\n" } else { "\n" }
+                    )
+                    .expect("writing to a String cannot fail");
+                }
+                out.push_str("    ],\n");
+                match sw.crossover_age_secs {
+                    Some(age) => {
+                        writeln!(out, "    \"crossover_age_secs\": {age:.1}")
+                            .expect("writing to a String cannot fail");
+                    }
+                    None => out.push_str("    \"crossover_age_secs\": null\n"),
+                }
+                out.push_str("  }\n");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable stdout summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for sc in &self.scenarios {
+            writeln!(out, "{} ({} records, {:.0} sim-s):", sc.name, sc.records, sc.sim_span_secs)
+                .expect("writing to a String cannot fail");
+            for s in &sc.scores {
+                writeln!(
+                    out,
+                    "  {:<16} cost {:>9.4}  false-rate {:>8.4}  p99 wait {:>9.3} s  mem {} B",
+                    s.name,
+                    s.cost(self.penalty_secs),
+                    s.false_timeout_rate,
+                    s.wait_p99_us as f64 / 1e6,
+                    s.state_bytes,
+                )
+                .expect("writing to a String cannot fail");
+            }
+        }
+        if let Some(sw) = &self.staleness {
+            writeln!(
+                out,
+                "staleness ({}): best online {} at cost {:.4}; crossover {}",
+                sw.scenario,
+                sw.best_online,
+                sw.best_online_cost,
+                match sw.crossover_age_secs {
+                    Some(a) => format!("at snapshot age {a:.0} s"),
+                    None => "not reached (oracle wins at every tested age)".into(),
+                }
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beware_core::TimeoutTable;
+
+    /// A snapshot builder good enough for tests: one global table, no
+    /// per-prefix entries (prefix grouping is the serve crate's job).
+    fn test_build(
+        samples: &BTreeMap<u32, LatencySamples>,
+        addr_t: u16,
+        ping_t: u16,
+    ) -> Result<TimeoutSnapshot, String> {
+        let table = TimeoutTable::compute_at(
+            samples,
+            &[f64::from(addr_t) / 10.0],
+            &[f64::from(ping_t) / 10.0],
+        )
+        .ok_or("no samples")?;
+        Ok(TimeoutSnapshot {
+            address_pct_tenths: vec![addr_t],
+            ping_pct_tenths: vec![ping_t],
+            fallback: vec![table.cells[0][0].to_bits()],
+            entries: vec![],
+        })
+    }
+
+    fn small_cfg(threads: usize) -> ShootoutCfg {
+        ShootoutCfg::standard(11, 2, 6, 30.0, threads)
+    }
+
+    #[test]
+    fn replay_scores_false_timeouts_and_losses() {
+        let records = vec![
+            Record::matched(0x0a000001, 0, 100_000),   // 0.1 s, under 3 s
+            Record::matched(0x0a000001, 1, 5_000_000), // 5 s, over: false timeout
+            Record::timeout(0x0a000001, 2),
+            Record::unmatched(0x0a000001, 3),
+            Record::icmp_error(0x0a000002, 4, 1),
+        ];
+        let mut map = PrefixPolicyMap::for_kind(PolicyKind::ExpBackoff);
+        let s = replay(&mut map, &records, 0.0, "exp-backoff");
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.matched, 2);
+        assert_eq!(s.answered, 1);
+        assert_eq!(s.false_timeouts, 1);
+        assert_eq!(s.losses, 1);
+        assert_eq!(s.unmatched, 1);
+        assert_eq!(s.icmp_errors, 1);
+        assert!((s.false_timeout_rate - 0.5).abs() < 1e-12);
+        // Waits: 0.1 (answer), 3.0 (false timeout), 6.0 (loss after backoff).
+        assert!((s.total_wait_secs - 9.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_window_masks_but_state_warms() {
+        let records = vec![
+            Record::matched(0x0a000001, 0, 100_000),
+            Record::matched(0x0a000001, 100, 100_000),
+        ];
+        let mut map = PrefixPolicyMap::for_kind(PolicyKind::JacobsonKarn);
+        let s = replay(&mut map, &records, 50.0, "jacobson-karn");
+        assert_eq!(s.probes, 1);
+        // Both samples were observed: the estimator warmed up on the
+        // unscored prefix of the stream.
+        assert!(map.timeout_for(0x0a000001) < 1.0);
+    }
+
+    #[test]
+    fn shootout_is_thread_count_invariant() {
+        let mut m1 = Registry::new();
+        let mut m4 = Registry::new();
+        let r1 = run(&small_cfg(1), &test_build, &mut m1).unwrap();
+        let r4 = run(&small_cfg(4), &test_build, &mut m4).unwrap();
+        assert_eq!(r1, r4);
+        assert_eq!(r1.to_json(), r4.to_json());
+        assert_eq!(m1.to_json(), m4.to_json());
+    }
+
+    #[test]
+    fn report_covers_all_policies_and_scenarios() {
+        let mut metrics = Registry::new();
+        let report = run(&small_cfg(2), &test_build, &mut metrics).unwrap();
+        assert_eq!(report.scenarios.len(), 3);
+        for sc in &report.scenarios {
+            assert_eq!(sc.scores.len(), 4);
+            assert!(sc.records > 0);
+            for s in &sc.scores {
+                assert!(s.probes > 0, "{}/{} scored nothing", sc.name, s.name);
+            }
+        }
+        let sweep = report.staleness.as_ref().expect("covid_step sweep present");
+        assert_eq!(sweep.scenario, "covid_step");
+        assert!(!sweep.points.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"policy_shootout\""));
+        assert!(json.contains("jacobson-karn"));
+        assert_eq!(metrics.counter("policy/shootout/scenarios"), Some(3));
+    }
+}

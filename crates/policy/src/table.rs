@@ -1,0 +1,95 @@
+//! Published, immutable policy state: what the serve path swaps.
+//!
+//! A live [`crate::PrefixPolicyMap`] is mutable and lives behind a lock;
+//! requests must never wait on it. Instead the engine periodically
+//! freezes the map into a [`PolicyTable`] — each tracked prefix's
+//! current timeout, as raw `f64` bits — and publishes it through the
+//! runtime's epoch-swap slot (`beware_runtime::swap::Slot`), exactly the
+//! way snapshot reloads publish a new oracle. Readers then answer
+//! queries from the frozen table with one LPM lookup and zero locks.
+
+use beware_asdb::PrefixTrie;
+
+/// One query's answer from a [`PolicyTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyAnswer {
+    /// The recommended timeout in seconds.
+    pub timeout_secs: f64,
+    /// True when a tracked prefix covered the address (as opposed to the
+    /// table's fallback).
+    pub exact: bool,
+}
+
+/// An immutable freeze of per-prefix timeouts. See the module docs.
+#[derive(Debug)]
+pub struct PolicyTable {
+    prefix_len: u8,
+    trie: PrefixTrie<u64>,
+    fallback_bits: u64,
+}
+
+impl PolicyTable {
+    /// An empty table quoting `fallback_secs` everywhere: what a policy
+    /// server answers before any RTT report has arrived.
+    pub fn empty(prefix_len: u8, fallback_secs: f64) -> PolicyTable {
+        PolicyTable { prefix_len, trie: PrefixTrie::new(), fallback_bits: fallback_secs.to_bits() }
+    }
+
+    /// Build a table from `(prefix, timeout_secs)` pairs, all at
+    /// `prefix_len`.
+    pub fn from_entries(
+        prefix_len: u8,
+        fallback_secs: f64,
+        entries: impl IntoIterator<Item = (u32, f64)>,
+    ) -> PolicyTable {
+        let mut trie = PrefixTrie::new();
+        for (prefix, secs) in entries {
+            trie.insert(prefix, prefix_len, secs.to_bits());
+        }
+        PolicyTable { prefix_len, trie, fallback_bits: fallback_secs.to_bits() }
+    }
+
+    /// Tracked-prefix length (the serve path publishes /24 state).
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of tracked prefixes.
+    pub fn entries(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Answer a query for `addr`.
+    pub fn lookup(&self, addr: u32) -> PolicyAnswer {
+        match self.trie.lookup(addr) {
+            Some(&bits) => PolicyAnswer { timeout_secs: f64::from_bits(bits), exact: true },
+            None => PolicyAnswer { timeout_secs: f64::from_bits(self.fallback_bits), exact: false },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_answers_fallback() {
+        let t = PolicyTable::empty(24, 3.0);
+        assert_eq!(t.entries(), 0);
+        let a = t.lookup(0x0a000001);
+        assert_eq!(a.timeout_secs, 3.0);
+        assert!(!a.exact);
+    }
+
+    #[test]
+    fn entries_answer_exact_and_preserve_bits() {
+        let odd = f64::from_bits(0x3ff_0000_0000_0001); // slightly above 1.0
+        let t = PolicyTable::from_entries(24, 3.0, [(0x0a000000u32, odd), (0x0a000100, 7.5)]);
+        assert_eq!(t.entries(), 2);
+        let a = t.lookup(0x0a000042);
+        assert!(a.exact);
+        assert_eq!(a.timeout_secs.to_bits(), odd.to_bits());
+        assert_eq!(t.lookup(0x0a000105).timeout_secs, 7.5);
+        assert!(!t.lookup(0x0b000001).exact);
+    }
+}

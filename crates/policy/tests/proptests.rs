@@ -1,0 +1,112 @@
+//! Property tests: every registered policy is a deterministic, bounded
+//! function of its event stream.
+
+use beware_policy::{PolicyKind, PrefixPolicyMap, RttSample, MAX_TIMEOUT_SECS, MIN_TIMEOUT_SECS};
+use proptest::prelude::*;
+
+/// One step of an estimator's life.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A measured RTT in microseconds (bounded to keep samples finite).
+    Observe { rtt_us: u32 },
+    /// An armed timeout expired.
+    Timeout,
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    // ~4:1 observes to timeouts, like a mostly-responsive network.
+    proptest::collection::vec(
+        (any::<u8>(), 1u32..120_000_000).prop_map(|(pick, rtt_us)| {
+            if pick < 204 {
+                Event::Observe { rtt_us }
+            } else {
+                Event::Timeout
+            }
+        }),
+        0..200,
+    )
+}
+
+/// Drive a fresh policy of `kind` through `events`, recording the
+/// timeout quoted before each step.
+fn timeout_trace(kind: PolicyKind, events: &[Event]) -> Vec<u64> {
+    let mut policy = kind.build();
+    let mut trace = Vec::with_capacity(events.len() + 1);
+    for (i, ev) in events.iter().enumerate() {
+        trace.push(policy.current_timeout().to_bits());
+        match *ev {
+            Event::Observe { rtt_us } => {
+                policy.observe(RttSample::new(f64::from(rtt_us) / 1e6, i as f64));
+            }
+            Event::Timeout => policy.on_timeout(),
+        }
+    }
+    trace.push(policy.current_timeout().to_bits());
+    trace
+}
+
+proptest! {
+    /// Same event stream ⇒ bit-identical timeout sequence, for every
+    /// online policy. (The oracle is frozen by construction and pinned
+    /// against the offline pipeline in tests/policy.rs instead.)
+    #[test]
+    fn policies_are_deterministic(events in arb_events()) {
+        for kind in PolicyKind::ONLINE {
+            let a = timeout_trace(kind, &events);
+            let b = timeout_trace(kind, &events);
+            prop_assert_eq!(a, b, "{} diverged", kind.name());
+        }
+    }
+
+    /// Quoted timeouts stay finite and inside the global clamp no matter
+    /// what the network does.
+    #[test]
+    fn timeouts_stay_bounded(events in arb_events()) {
+        for kind in PolicyKind::ONLINE {
+            let mut policy = kind.build();
+            for (i, ev) in events.iter().enumerate() {
+                let t = policy.current_timeout();
+                prop_assert!(t.is_finite(), "{}: non-finite timeout", kind.name());
+                prop_assert!(
+                    (MIN_TIMEOUT_SECS..=MAX_TIMEOUT_SECS).contains(&t),
+                    "{}: {} outside [{MIN_TIMEOUT_SECS}, {MAX_TIMEOUT_SECS}]",
+                    kind.name(),
+                    t
+                );
+                match *ev {
+                    Event::Observe { rtt_us } => {
+                        policy.observe(RttSample::new(f64::from(rtt_us) / 1e6, i as f64));
+                    }
+                    Event::Timeout => policy.on_timeout(),
+                }
+            }
+        }
+    }
+
+    /// The per-prefix map is as deterministic as its estimators: same
+    /// (addr, event) stream ⇒ identical quotes and state accounting.
+    #[test]
+    fn prefix_map_replay_is_deterministic(
+        steps in proptest::collection::vec((any::<u32>(), arb_events()), 0..8)
+    ) {
+        for kind in PolicyKind::ONLINE {
+            let run = || {
+                let mut map = PrefixPolicyMap::for_kind(kind);
+                let mut quotes = Vec::new();
+                for (addr, events) in &steps {
+                    for (i, ev) in events.iter().enumerate() {
+                        quotes.push(map.timeout_for(*addr).to_bits());
+                        match *ev {
+                            Event::Observe { rtt_us } => {
+                                map.observe(*addr, RttSample::new(f64::from(rtt_us) / 1e6, i as f64));
+                            }
+                            Event::Timeout => map.on_timeout(*addr),
+                        }
+                    }
+                }
+                (quotes, map.state_bytes(), map.tracked())
+            };
+            prop_assert_eq!(run(), run(), "{} map diverged", kind.name());
+        }
+    }
+}

@@ -31,6 +31,11 @@
 //!   `mio`/`libc`) plus a clock-paced polling fallback behind one
 //!   [`Reactor`] trait, so the serve path blocks on *I/O or the next
 //!   wheel deadline* instead of napping on a fixed interval.
+//! * [`Slot`] — the epoch-swapped publication slot behind zero-downtime
+//!   state swaps: writers publish an immutable `Arc`, per-shard
+//!   [`SlotReader`]s see it with a single acquire load. The serve path
+//!   uses it for oracle snapshots, the policy subsystem for published
+//!   estimator tables.
 //!
 //! Determinism contract: under a [`VirtualClock`] every timestamp a
 //! component observes is a pure function of its inputs and seeds — no
@@ -47,6 +52,7 @@
 pub mod clock;
 pub mod reactor;
 pub mod rng;
+pub mod swap;
 #[cfg(target_os = "linux")]
 mod sys;
 pub mod wheel;
@@ -58,4 +64,5 @@ pub use reactor::{
     make_reactor, Event, Interest, PollReactor, Reactor, ReactorKind, StopSignal, Waker,
 };
 pub use rng::{derive_seed, unit_hash, SplitMix64};
+pub use swap::{Slot, SlotReader};
 pub use wheel::DeadlineWheel;

@@ -237,6 +237,18 @@ impl<T: Read + Write> Client<T> {
         }
     }
 
+    /// Feed the server's online policy one measured RTT for `addr`
+    /// (`beware serve --policy`); resolves to the server's running
+    /// report count. A snapshot-only server answers
+    /// [`ErrorCode::PolicyUnavailable`].
+    pub fn report(&mut self, addr: u32, rtt_us: u32) -> Result<u64, ClientError> {
+        match self.round_trip(&Message::Report { addr, rtt_us })? {
+            Message::ReportAck { reports } => Ok(reports),
+            Message::Error { code } => Err(ClientError::Server(code)),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+
     /// Ask the server to hot-reload its snapshot from the configured
     /// source (`--reload-from`); resolves to the identity of the
     /// snapshot now being served. Failures come back typed:

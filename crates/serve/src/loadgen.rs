@@ -36,6 +36,11 @@ pub struct LoadCfg {
     pub seed: u64,
     /// Socket read timeout per request.
     pub read_timeout: Duration,
+    /// After each successful query, feed the measured round-trip back to
+    /// the server as a `Report` frame — the closed loop a policy-mode
+    /// server (`beware serve --policy`) learns from. Reports that the
+    /// server rejects (snapshot-only mode) count as errors.
+    pub report_rtts: bool,
 }
 
 impl Default for LoadCfg {
@@ -48,6 +53,7 @@ impl Default for LoadCfg {
             ping_pct_tenths: 950,
             seed: 0xbe0a_2e11,
             read_timeout: Duration::from_secs(5),
+            report_rtts: false,
         }
     }
 }
@@ -61,6 +67,9 @@ pub struct LoadReport {
     pub requests: u64,
     /// Requests that failed (transport or server error).
     pub errors: u64,
+    /// RTT reports acknowledged by the server (0 unless
+    /// [`LoadCfg::report_rtts`]).
+    pub reports: u64,
     /// Wall time of the measured window, seconds.
     pub wall_secs: f64,
     /// Successful requests per wall-clock second.
@@ -91,6 +100,7 @@ impl LoadReport {
                 "  \"workers\": {},\n",
                 "  \"requests\": {},\n",
                 "  \"errors\": {},\n",
+                "  \"reports\": {},\n",
                 "  \"wall_secs\": {:.6},\n",
                 "  \"throughput_rps\": {:.3},\n",
                 "  \"latency_us\": {{\n",
@@ -106,6 +116,7 @@ impl LoadReport {
             self.workers,
             self.requests,
             self.errors,
+            self.reports,
             self.wall_secs,
             self.throughput_rps,
             self.p50_us,
@@ -174,7 +185,7 @@ pub fn run_with_clock(
         let pool = Arc::clone(&pool);
         let cfg = cfg.clone();
         let clock = Arc::clone(&clock);
-        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, u64), String> {
+        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, u64, u64), String> {
             let conn = Client::connect_retry(addr, cfg.read_timeout, Duration::from_secs(2));
             // Reach the barrier whether or not the connect worked — the
             // coordinator and every sibling is parked on it.
@@ -184,6 +195,7 @@ pub fn run_with_clock(
                 SplitMix64::new(cfg.seed ^ (w as u64).wrapping_mul(0xa076_1d64_78bd_642f));
             let mut lat = Vec::with_capacity(cfg.requests_per_worker);
             let mut errors = 0u64;
+            let mut reports = 0u64;
             for _ in 0..cfg.requests_per_worker {
                 let a = pool[(rng.next_u64() % pool.len() as u64) as usize];
                 let t0 = clock.now();
@@ -191,6 +203,16 @@ pub fn run_with_clock(
                     Ok(_) => {
                         let us = u64::try_from(clock.since(t0).as_micros()).unwrap_or(u64::MAX);
                         lat.push(us);
+                        if cfg.report_rtts {
+                            let rtt = u32::try_from(us).unwrap_or(u32::MAX);
+                            match client.report(a, rtt) {
+                                Ok(_) => reports += 1,
+                                Err(ClientError::Io(e)) => {
+                                    return Err(format!("worker {w}: i/o mid-run: {e}"));
+                                }
+                                Err(_) => errors += 1,
+                            }
+                        }
                     }
                     Err(ClientError::Io(e)) => {
                         // The connection is gone; bail rather than spin.
@@ -199,7 +221,7 @@ pub fn run_with_clock(
                     Err(_) => errors += 1,
                 }
             }
-            Ok((lat, errors))
+            Ok((lat, errors, reports))
         }));
     }
 
@@ -207,12 +229,14 @@ pub fn run_with_clock(
     let t0 = clock.now();
     let mut all = Vec::with_capacity(cfg.workers * cfg.requests_per_worker);
     let mut errors = 0u64;
+    let mut reports = 0u64;
     let mut failures = Vec::new();
     for h in handles {
         match h.join().expect("loadgen worker panicked") {
-            Ok((lat, e)) => {
+            Ok((lat, e, r)) => {
                 all.extend_from_slice(&lat);
                 errors += e;
+                reports += r;
             }
             Err(msg) => failures.push(msg),
         }
@@ -228,6 +252,7 @@ pub fn run_with_clock(
         workers: cfg.workers,
         requests: all.len() as u64,
         errors,
+        reports,
         wall_secs: wall,
         throughput_rps: if wall > 0.0 { all.len() as f64 / wall } else { 0.0 },
         p50_us: percentile(&all, 50.0),
@@ -467,6 +492,7 @@ pub fn run_mass(addr: SocketAddr, cfg: &MassCfg) -> Result<MassReport, String> {
         ping_pct_tenths: cfg.ping_pct_tenths,
         seed: cfg.seed,
         read_timeout: cfg.read_timeout,
+        report_rtts: false,
     };
     let hot_cpu0 = process_cpu_time();
     let load = run_with_clock(addr, &load_cfg, Arc::clone(&clock))?;
@@ -820,6 +846,7 @@ mod tests {
             workers: 4,
             requests: 4000,
             errors: 0,
+            reports: 0,
             wall_secs: 1.25,
             throughput_rps: 3200.0,
             p50_us: 80,
@@ -842,6 +869,7 @@ mod tests {
             workers: 2,
             requests: 200,
             errors: 0,
+            reports: 0,
             wall_secs: 0.5,
             throughput_rps: 400.0,
             p50_us: 90,

@@ -62,6 +62,9 @@ pub enum ErrorCode {
     /// A delta reload's base checksum did not match the serving
     /// snapshot: the delta was computed against a different generation.
     StaleDelta = 7,
+    /// A `Report` arrived but the server is not running an online policy
+    /// (`beware serve --policy`): there is no estimator to feed.
+    PolicyUnavailable = 8,
 }
 
 impl ErrorCode {
@@ -74,6 +77,7 @@ impl ErrorCode {
             5 => Some(ErrorCode::ReloadUnavailable),
             6 => Some(ErrorCode::SnapshotRejected),
             7 => Some(ErrorCode::StaleDelta),
+            8 => Some(ErrorCode::PolicyUnavailable),
             _ => None,
         }
     }
@@ -89,6 +93,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::ReloadUnavailable => "no reload source configured",
             ErrorCode::SnapshotRejected => "reload source rejected; snapshot unchanged",
             ErrorCode::StaleDelta => "delta computed against a different snapshot generation",
+            ErrorCode::PolicyUnavailable => "server is not running an online policy",
         };
         f.write_str(s)
     }
@@ -164,6 +169,21 @@ pub enum Message {
         /// checksum of its canonical encoding.
         checksum: u64,
     },
+    /// A measured RTT for `addr`, feeding the server's online policy
+    /// (`beware serve --policy`). Answered with [`Message::ReportAck`],
+    /// or [`ErrorCode::PolicyUnavailable`] when the server is snapshot-
+    /// only.
+    Report {
+        /// Address the RTT was measured against.
+        addr: u32,
+        /// Round-trip time in microseconds.
+        rtt_us: u32,
+    },
+    /// Reply to [`Message::Report`].
+    ReportAck {
+        /// RTT reports absorbed so far (across all connections).
+        reports: u64,
+    },
     /// Error reply.
     Error {
         /// What went wrong.
@@ -176,10 +196,12 @@ const OP_STATS: u8 = 0x02;
 const OP_SHUTDOWN: u8 = 0x03;
 const OP_SNAPSHOT_INFO: u8 = 0x04;
 const OP_RELOAD: u8 = 0x05;
+const OP_REPORT: u8 = 0x06;
 const OP_ANSWER: u8 = 0x81;
 const OP_STATS_REPLY: u8 = 0x82;
 const OP_SHUTDOWN_ACK: u8 = 0x83;
 const OP_SNAPSHOT_INFO_REPLY: u8 = 0x84;
+const OP_REPORT_ACK: u8 = 0x86;
 const OP_ERROR: u8 = 0x7f;
 
 /// Errors arising while decoding a frame.
@@ -258,6 +280,15 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             body.put_u64_le(version);
             body.put_u32_le(entries);
             body.put_u64_le(checksum);
+        }
+        Message::Report { addr, rtt_us } => {
+            body.put_u8(OP_REPORT);
+            body.put_u32_le(addr);
+            body.put_u32_le(rtt_us);
+        }
+        Message::ReportAck { reports } => {
+            body.put_u8(OP_REPORT_ACK);
+            body.put_u64_le(reports);
         }
         Message::Error { code } => {
             body.put_u8(OP_ERROR);
@@ -373,6 +404,14 @@ pub fn decode_body(body: &[u8]) -> Result<Message, ProtoError> {
                 checksum: b.get_u64_le(),
             })
         }
+        OP_REPORT => {
+            need(8)?;
+            Ok(Message::Report { addr: b.get_u32_le(), rtt_us: b.get_u32_le() })
+        }
+        OP_REPORT_ACK => {
+            need(8)?;
+            Ok(Message::ReportAck { reports: b.get_u64_le() })
+        }
         OP_ERROR => {
             need(1)?;
             let code =
@@ -449,10 +488,13 @@ mod tests {
                 entries: 1771,
                 checksum: 0xdead_beef_0bada110,
             },
+            Message::Report { addr: 0x0a010203, rtt_us: 137_421 },
+            Message::ReportAck { reports: 98_765 },
             Message::Error { code: ErrorCode::UnsupportedPercentile },
             Message::Error { code: ErrorCode::ReloadUnavailable },
             Message::Error { code: ErrorCode::SnapshotRejected },
             Message::Error { code: ErrorCode::StaleDelta },
+            Message::Error { code: ErrorCode::PolicyUnavailable },
         ]
     }
 

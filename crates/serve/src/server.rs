@@ -38,10 +38,14 @@
 use crate::oracle::{LookupError, Oracle};
 use crate::proto::{self, ErrorCode, Message, ProtoError, ReloadKind, Status};
 use crate::swap::{OracleHandle, OracleReader};
-use beware_dataset::snapshot::{read_delta, read_snapshot, snapshot_checksum, SnapshotError};
+use beware_dataset::snapshot::{
+    prefix_mask, read_delta, read_snapshot, snapshot_checksum, SnapshotError,
+};
+use beware_policy::{PolicyKind, PolicyTable, PrefixPolicyMap, RttSample, INITIAL_TIMEOUT_SECS};
 use beware_runtime::clock::{SharedClock, WallClock};
 pub use beware_runtime::reactor::ReactorKind;
 use beware_runtime::reactor::{make_reactor, Event, Interest, Reactor, StopSignal, Waker};
+use beware_runtime::swap::{Slot, SlotReader};
 use beware_runtime::wheel::DeadlineWheel;
 use beware_telemetry::Registry;
 use std::collections::HashMap;
@@ -99,6 +103,14 @@ pub struct ServerCfg {
     /// fixed nap — and swaps the oracle whenever the file's content no
     /// longer matches the snapshot being served.
     pub reload_poll: Option<Duration>,
+    /// When set, the server answers queries from an **online estimator**
+    /// of this kind instead of the static snapshot: clients feed it
+    /// measured RTTs via `Report` frames, and the per-prefix state is
+    /// periodically frozen into a [`PolicyTable`] published through the
+    /// same epoch-swap mechanism hot reloads use. `None` (the default)
+    /// serves the snapshot; `Report` then answers
+    /// [`ErrorCode::PolicyUnavailable`].
+    pub policy: Option<PolicyKind>,
 }
 
 impl Default for ServerCfg {
@@ -113,6 +125,7 @@ impl Default for ServerCfg {
             reactor: ReactorKind::Auto,
             reload_from: None,
             reload_poll: None,
+            policy: None,
         }
     }
 }
@@ -196,6 +209,16 @@ impl ServerCfgBuilder {
         self
     }
 
+    /// See [`ServerCfg::policy`]. [`PolicyKind::Oracle`] means "serve the
+    /// snapshot" and is the same as not setting a policy at all.
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.cfg.policy = match kind {
+            PolicyKind::Oracle => None,
+            online => Some(online),
+        };
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ServerCfg, ConfigError> {
         let cfg = self.cfg;
@@ -268,6 +291,52 @@ struct GlobalStats {
     queries: AtomicU64,
     hits_exact: AtomicU64,
     hits_fallback: AtomicU64,
+    reports: AtomicU64,
+}
+
+/// How many absorbed `Report`s between [`PolicyTable`] publications.
+/// Small enough that a fresh estimate reaches the read path promptly,
+/// large enough that the freeze-and-swap cost amortizes.
+const POLICY_PUBLISH_EVERY: u64 = 64;
+
+/// The online-estimator plane, shared by every shard when
+/// [`ServerCfg::policy`] is set. The mutable per-prefix map lives behind
+/// a mutex touched only by `Report` handling; the read path answers
+/// from the last published [`PolicyTable`] through a lock-free slot
+/// reader — a query never waits on a report.
+struct PolicyCtx {
+    map: Mutex<PrefixPolicyMap>,
+    table: Slot<PolicyTable>,
+}
+
+impl PolicyCtx {
+    fn new(kind: PolicyKind) -> PolicyCtx {
+        let map = PrefixPolicyMap::for_kind(kind);
+        let empty = PolicyTable::empty(map.prefix_len(), INITIAL_TIMEOUT_SECS);
+        PolicyCtx { map: Mutex::new(map), table: Slot::new(Arc::new(empty)) }
+    }
+
+    /// Absorb one RTT report; freeze and publish the table every
+    /// [`POLICY_PUBLISH_EVERY`] reports. Returns the running report
+    /// count.
+    fn absorb(&self, addr: u32, rtt_us: u32, stats: &GlobalStats) -> u64 {
+        let mut map = self.map.lock().expect("policy map poisoned");
+        let n = stats.reports.fetch_add(1, Ordering::Relaxed) + 1;
+        // Estimators key on order, not wall time; the report sequence
+        // number is a deterministic monotone stand-in.
+        map.observe(addr, RttSample::new(f64::from(rtt_us) / 1e6, n as f64));
+        if n.is_multiple_of(POLICY_PUBLISH_EVERY) {
+            self.table.publish(Arc::new(map.snapshot_table(INITIAL_TIMEOUT_SECS)));
+        }
+        n
+    }
+}
+
+/// A shard's view of the policy plane: the shared context plus its own
+/// lock-free table reader.
+struct PolicyPlane {
+    ctx: Arc<PolicyCtx>,
+    reader: SlotReader<PolicyTable>,
 }
 
 /// A running server. Dropping the handle without calling
@@ -347,6 +416,7 @@ pub fn start(
     listener.set_nonblocking(true)?;
     let stop = Arc::new(StopSignal::new());
     let stats = Arc::new(GlobalStats::default());
+    let policy = cfg.policy.map(|kind| Arc::new(PolicyCtx::new(kind)));
     let reload = Arc::new(ReloadCtx {
         handle: handle.clone(),
         source: cfg.reload_from.clone(),
@@ -369,9 +439,10 @@ pub fn start(
         let reload = Arc::clone(&reload);
         let stop = Arc::clone(&stop);
         let stats = Arc::clone(&stats);
+        let policy = policy.as_ref().map(Arc::clone);
         let cfg = cfg.clone();
         shard_handles.push(std::thread::spawn(move || {
-            shard_loop(rx, reactor, reader, reload, shard_index, stop, stats, &cfg)
+            shard_loop(rx, reactor, reader, reload, policy, shard_index, stop, stats, &cfg)
         }));
     }
 
@@ -698,11 +769,13 @@ fn shard_loop(
     mut reactor: Box<dyn Reactor>,
     mut reader: OracleReader,
     reload: Arc<ReloadCtx>,
+    policy: Option<Arc<PolicyCtx>>,
     shard_index: usize,
     stop: Arc<StopSignal>,
     stats: Arc<GlobalStats>,
     cfg: &ServerCfg,
 ) -> Registry {
+    let mut policy = policy.map(|ctx| PolicyPlane { reader: ctx.table.reader(), ctx });
     let clock = Arc::clone(&cfg.clock);
     let mut reg = if cfg.metrics { Registry::new() } else { Registry::disabled() };
     let mut conns: HashMap<u64, Conn> = HashMap::new();
@@ -836,6 +909,7 @@ fn shard_loop(
                     conn,
                     &mut reader,
                     &reload,
+                    policy.as_mut(),
                     &stop,
                     &stats,
                     &mut cache,
@@ -921,6 +995,7 @@ fn service_conn(
     conn: &mut Conn,
     reader: &mut OracleReader,
     reload: &ReloadCtx,
+    mut policy: Option<&mut PolicyPlane>,
     stop: &StopSignal,
     stats: &GlobalStats,
     cache: &mut HashMap<(u32, u16, u16), Message>,
@@ -967,8 +1042,17 @@ fn service_conn(
             Ok(Some((msg, used))) => {
                 consumed += used;
                 let t0 = clock.now();
-                let (reply, close) =
-                    handle_request(&msg, reader, reload, stop, stats, cache, cache_version, reg);
+                let (reply, close) = handle_request(
+                    &msg,
+                    reader,
+                    reload,
+                    policy.as_deref_mut(),
+                    stop,
+                    stats,
+                    cache,
+                    cache_version,
+                    reg,
+                );
                 let frame = proto::encode(&reply);
                 reg.scope("serve").add("bytes_out", frame.len() as u64);
                 enqueue_reply(conn, &frame, reg, out_queue_cap);
@@ -1007,6 +1091,7 @@ fn handle_request(
     msg: &Message,
     reader: &mut OracleReader,
     reload: &ReloadCtx,
+    policy: Option<&mut PolicyPlane>,
     stop: &StopSignal,
     stats: &GlobalStats,
     cache: &mut HashMap<(u32, u16, u16), Message>,
@@ -1019,6 +1104,31 @@ fn handle_request(
         Message::Query { addr, addr_pct_tenths, ping_pct_tenths } => {
             serve.incr("queries");
             stats.queries.fetch_add(1, Ordering::Relaxed);
+            if let Some(plane) = policy {
+                // Policy mode: answer from the last published estimator
+                // table. Coverage percentiles don't apply to an online
+                // estimate; they are accepted and ignored so clients need
+                // no mode-specific query. No reply cache either — the
+                // table turns over every few reports, so a cache would
+                // mostly serve invalidation.
+                let table = plane.reader.current();
+                let ans = table.lookup(addr);
+                let (status, prefix, prefix_len) = if ans.exact {
+                    (Status::Exact, addr & prefix_mask(table.prefix_len()), table.prefix_len())
+                } else {
+                    (Status::Fallback, 0, 0)
+                };
+                bump_hit(stats, reg, status);
+                return (
+                    Message::Answer {
+                        status,
+                        timeout_bits: ans.timeout_secs.to_bits(),
+                        prefix,
+                        prefix_len,
+                    },
+                    false,
+                );
+            }
             // Resolve the oracle exactly once; the whole answer comes
             // from this one immutable snapshot, so a swap mid-request
             // can never produce a torn reply.
@@ -1093,6 +1203,19 @@ fn handle_request(
         Message::Reload { kind } => {
             serve.incr("reload_requests");
             (admin_reload(kind, reload, reg), false)
+        }
+        Message::Report { addr, rtt_us } => {
+            serve.incr("report_requests");
+            match policy {
+                Some(plane) => {
+                    let reports = plane.ctx.absorb(addr, rtt_us, stats);
+                    (Message::ReportAck { reports }, false)
+                }
+                None => {
+                    reg.scope("serve").incr("errors_policy_unavailable");
+                    (Message::Error { code: ErrorCode::PolicyUnavailable }, false)
+                }
+            }
         }
         Message::Shutdown => {
             serve.incr("shutdown_requests");

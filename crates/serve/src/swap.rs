@@ -1,17 +1,15 @@
 //! Atomic oracle swap: the primitive behind zero-downtime snapshot
 //! reloads.
 //!
-//! An [`OracleHandle`] owns the current [`Oracle`] behind an epoch
-//! counter. Writers ([`OracleHandle::publish`]) install a new oracle and
-//! bump the epoch atomically; readers hold an [`OracleReader`] — one per
-//! shard — whose [`current`](OracleReader::current) is **one relaxed-hot
-//! atomic load** on the fast path: only when the epoch has moved since
-//! the reader's last refresh does it take the (uncontended) slot lock to
-//! clone the new `Arc`. A request therefore resolves its oracle exactly
-//! once and serves the whole answer from that one immutable snapshot —
-//! the *no-torn-reads* guarantee: every reply is consistent with either
-//! the pre-swap or the post-swap snapshot, never a mixture (DESIGN.md
-//! §12).
+//! The mechanism lives in [`beware_runtime::swap`] as the generic
+//! [`Slot`]/[`SlotReader`] pair; this module pins the serve-path
+//! instantiation. An [`OracleHandle`] owns the current [`Oracle`] behind
+//! an epoch counter; writers ([`Slot::publish`]) install a new oracle
+//! and bump the epoch atomically, and each shard's [`OracleReader`]
+//! resolves it with **one acquire atomic load** on the fast path. A
+//! request resolves its oracle exactly once and serves the whole answer
+//! from that one immutable snapshot — the *no-torn-reads* guarantee
+//! (DESIGN.md §12).
 //!
 //! Epochs are the "snapshot version" the admin plane reports: version 1
 //! is the snapshot the server started with, and every successful publish
@@ -20,114 +18,21 @@
 //! `SnapshotInfo` returns on the wire.
 
 use crate::oracle::Oracle;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-
-#[derive(Debug)]
-struct Shared {
-    /// Bumped (release) after the slot is replaced; readers acquire-load
-    /// it to decide whether their cached `Arc` is current.
-    epoch: AtomicU64,
-    /// The current oracle, tagged with the epoch it was published at so
-    /// a reader that races a publish records a consistent pair.
-    slot: Mutex<(u64, Arc<Oracle>)>,
-}
+use beware_runtime::swap::{Slot, SlotReader};
 
 /// Shared, swappable access to the serving oracle. Cheap to clone;
 /// all clones publish to and read from the same slot.
-#[derive(Debug, Clone)]
-pub struct OracleHandle {
-    shared: Arc<Shared>,
-}
-
-impl OracleHandle {
-    /// Wrap `oracle` as version 1.
-    pub fn new(oracle: Arc<Oracle>) -> OracleHandle {
-        OracleHandle {
-            shared: Arc::new(Shared { epoch: AtomicU64::new(1), slot: Mutex::new((1, oracle)) }),
-        }
-    }
-
-    /// The current snapshot version (epoch). Starts at 1, incremented by
-    /// every successful [`publish`](Self::publish).
-    pub fn version(&self) -> u64 {
-        self.shared.epoch.load(Ordering::Acquire)
-    }
-
-    /// The current oracle. Takes the slot lock — fine for admin and
-    /// control paths; per-request code should hold an [`OracleReader`].
-    pub fn current(&self) -> Arc<Oracle> {
-        self.shared.slot.lock().expect("oracle slot poisoned").1.clone()
-    }
-
-    /// Atomically install `oracle` as the new current snapshot and
-    /// return the version it was assigned. Readers observe the swap on
-    /// their next [`OracleReader::current`] call; requests already
-    /// resolved keep answering from the snapshot they started with.
-    pub fn publish(&self, oracle: Arc<Oracle>) -> u64 {
-        let mut slot = self.shared.slot.lock().expect("oracle slot poisoned");
-        let version = slot.0 + 1;
-        *slot = (version, oracle);
-        // Publish the epoch while still holding the lock so a reader
-        // that sees the new epoch always finds at-least-that-new a slot.
-        self.shared.epoch.store(version, Ordering::Release);
-        version
-    }
-
-    /// A per-thread reader whose fast path is a single atomic load.
-    pub fn reader(&self) -> OracleReader {
-        let slot = self.shared.slot.lock().expect("oracle slot poisoned");
-        OracleReader { shared: Arc::clone(&self.shared), seen: slot.0, cached: slot.1.clone() }
-    }
-}
-
-impl From<Arc<Oracle>> for OracleHandle {
-    fn from(oracle: Arc<Oracle>) -> OracleHandle {
-        OracleHandle::new(oracle)
-    }
-}
-
-impl From<Oracle> for OracleHandle {
-    fn from(oracle: Oracle) -> OracleHandle {
-        OracleHandle::new(Arc::new(oracle))
-    }
-}
+pub type OracleHandle = Slot<Oracle>;
 
 /// One shard's cached view of the [`OracleHandle`]. Not `Sync` by
 /// design: each shard owns one.
-#[derive(Debug)]
-pub struct OracleReader {
-    shared: Arc<Shared>,
-    /// Version of `cached`.
-    seen: u64,
-    cached: Arc<Oracle>,
-}
-
-impl OracleReader {
-    /// The current oracle — the versioned read guard a request takes.
-    /// One `Acquire` load when the epoch is unchanged; a slot-lock clone
-    /// only in the window right after a publish.
-    pub fn current(&mut self) -> &Arc<Oracle> {
-        if self.shared.epoch.load(Ordering::Acquire) != self.seen {
-            let slot = self.shared.slot.lock().expect("oracle slot poisoned");
-            self.seen = slot.0;
-            self.cached = slot.1.clone();
-        }
-        &self.cached
-    }
-
-    /// Version of the oracle [`current`](Self::current) last returned.
-    /// Shards compare it against their cache-stamp to invalidate
-    /// version-dependent state (the reply cache) after a swap.
-    pub fn version(&self) -> u64 {
-        self.seen
-    }
-}
+pub type OracleReader = SlotReader<Oracle>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use beware_dataset::snapshot::{SnapshotEntry, TimeoutSnapshot};
+    use std::sync::Arc;
 
     fn oracle(cell: f64) -> Arc<Oracle> {
         let snap = TimeoutSnapshot {
@@ -170,36 +75,10 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_readers_always_see_old_or_new() {
-        let handle = OracleHandle::new(oracle(1.0));
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let mut threads = Vec::new();
-        for _ in 0..4 {
-            let handle = handle.clone();
-            let stop = Arc::clone(&stop);
-            threads.push(std::thread::spawn(move || {
-                let mut reader = handle.reader();
-                let mut last_version = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    let o = reader.current();
-                    let secs = o.lookup(1, 950, 950).unwrap().timeout_secs();
-                    assert!(secs == 1.0 || secs == 2.0, "torn value {secs}");
-                    let v = reader.version();
-                    assert!(v >= last_version, "version moved backwards: {last_version} -> {v}");
-                    // Version and content must agree: version 1 is the
-                    // 1.0 oracle, anything later the 2.0 one.
-                    assert_eq!(secs, if v == 1 { 1.0 } else { 2.0 });
-                    last_version = v;
-                }
-            }));
-        }
-        for _ in 0..100 {
-            handle.publish(oracle(2.0));
-        }
-        stop.store(true, Ordering::Relaxed);
-        for t in threads {
-            t.join().unwrap();
-        }
-        assert_eq!(handle.version(), 101);
+    fn from_impls_wrap_as_version_one() {
+        let snap = oracle(3.0);
+        let from_arc: OracleHandle = Arc::clone(&snap).into();
+        assert_eq!(from_arc.version(), 1);
+        assert_eq!(from_arc.current().checksum(), snap.checksum());
     }
 }

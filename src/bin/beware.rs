@@ -23,6 +23,7 @@ use beware::dataset::stream::{StreamReader, StreamWriter};
 use beware::dataset::{Record, ScanMeta};
 use beware::faultsim::{ChaosProxy, FaultCfg};
 use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
+use beware::policy::{shootout, PolicyKind, ShootoutCfg};
 use beware::probe::census::select_survey_blocks;
 use beware::probe::prelude::*;
 use beware::serve::{
@@ -141,6 +142,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&flags),
         "admin" => cmd_admin(&flags),
         "loadgen" => cmd_loadgen(&flags),
+        "shootout" => cmd_shootout(&flags),
         "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -172,6 +174,8 @@ commands:
   recommend  --survey survey.bwss [--addr-pct P] [--ping-pct P] [--timeout T]
   serve      --snapshot snap.bwts | --survey survey.bwss [--prefix-len L] [--min-addrs N]
              [--bind ADDR] [--port P] [--shards N] [--read-timeout SECS]
+             [--policy NAME] (answer from an online estimator fed by Report frames;
+             see `shootout --list-policies`; `oracle` = snapshot mode)
              [--reload-from snap.bwts [--reload-poll SECS]]
              [--save-snapshot snap.bwts] [--metrics serve-metrics.json]
   query      --host ADDR:PORT [--addr A.B.C.D] [--addr-pct P] [--ping-pct P]
@@ -180,18 +184,24 @@ commands:
              --op reload [--kind full|delta] --host ADDR:PORT
              --op diff --base old.bwts --target new.bwts --out delta.bwtd
   loadgen    --host ADDR:PORT [--snapshot snap.bwts] [--workers N] [--requests N]
-             [--addr-pct P] [--ping-pct P] [--seed S] [--out BENCH_3.json]
+             [--addr-pct P] [--ping-pct P] [--seed S] [--report-rtts] [--out BENCH_3.json]
              mass mode (in-process server, idle-pool sweep -> BENCH_4.json):
              --conns N [--hot-workers N] [--shards N] [--idle-settle SECS]
              [--requests N] [--seed S] [--out BENCH_4.json]
              reload mode (in-process server, hot reloads under load -> BENCH_5.json):
              --reload-bench N [--workers N] [--shards N] [--gap-ms MS]
              [--cooldown-ms MS] [--seed S] [--out BENCH_5.json]
+  shootout   [--blocks N] [--rounds R] [--round-secs SECS] [--seed S] [--threads N]
+             [--addr-pct P] [--ping-pct P] [--penalty SECS] [--out BENCH_6.json]
+             [--metrics shootout-metrics.json] | --list-policies
   chaos      [--snapshot snap.bwts | --survey survey.bwss] [--seed S]
              [--profile chaos|split|off] [--workers N] [--requests N]
              [--shards N] [--metrics chaos-metrics.json]
 
 exit codes: 0 ok | 1 runtime failure | 2 usage/config | 3 file I/O | 4 corrupt snapshot";
+
+/// Flags that are pure switches: present means `true`, no value token.
+const SWITCH_FLAGS: &[&str] = &["list-policies", "report-rtts"];
 
 /// Parsed `--name value` flags.
 struct Flags(HashMap<String, String>);
@@ -204,6 +214,10 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, got `{flag}`"))?;
+            if SWITCH_FLAGS.contains(&name) {
+                map.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
             map.insert(name.to_string(), value.clone());
         }
@@ -636,6 +650,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         .shards(flags.num("shards", beware::netsim::default_threads())?)
         .idle_timeout(Duration::from_secs_f64(flags.num("read-timeout", 60.0f64)?))
         .metrics(metrics_path.is_some());
+    let policy = match flags.str("policy") {
+        None => None,
+        Some(name) => Some(PolicyKind::from_name(name).ok_or_else(|| {
+            let known: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+            CliError::Usage(format!("unknown --policy `{name}` (use {})", known.join(", ")))
+        })?),
+    };
+    if let Some(kind) = policy {
+        builder = builder.policy(kind);
+    }
     if let Some(path) = flags.str("reload-from") {
         builder = builder.reload_from(path);
     }
@@ -647,7 +671,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     }
     let cfg = builder.build()?;
 
-    let snap = load_or_build_snapshot(flags)?;
+    // Policy mode answers from the online estimator, so the snapshot is
+    // only the boot-time fallback — the built-in fixture will do when no
+    // input was named.
+    let snap =
+        if cfg.policy.is_some() && flags.str("snapshot").is_none() && flags.str("survey").is_none()
+        {
+            builtin_snapshot()?
+        } else {
+            load_or_build_snapshot(flags)?
+        };
     if let Some(path) = flags.str("save-snapshot") {
         let file = File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
         let mut w = BufWriter::new(file);
@@ -658,10 +691,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     }
     let oracle = Arc::new(Oracle::from_snapshot(snap).map_err(|e| e.to_string())?);
     let shards = cfg.shards;
+    let mode = match cfg.policy {
+        Some(kind) => format!(", online policy {}", kind.name()),
+        None => String::new(),
+    };
     let handle = server::start(Arc::clone(&oracle), (bind, port), cfg)
         .map_err(|e| format!("binding {bind}:{port}: {e}"))?;
     println!(
-        "oracle listening on {} ({} prefixes, {} shards)",
+        "oracle listening on {} ({} prefixes, {} shards{mode})",
         handle.local_addr(),
         oracle.entry_count(),
         shards,
@@ -960,6 +997,7 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
         ping_pct_tenths: pct_tenths(flags, "ping-pct", 950)?,
         seed,
         read_timeout: Duration::from_secs(5),
+        report_rtts: flags.num("report-rtts", false)?,
     };
     let report = loadgen::run(addr, &cfg)?;
     println!("{}", report.render());
@@ -1153,5 +1191,61 @@ fn cmd_loadgen_reload(flags: &Flags) -> Result<(), CliError> {
     let out = flags.str("out").unwrap_or("BENCH_5.json");
     std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
     println!("report -> {out}");
+    Ok(())
+}
+
+/// Adaptive-RTO shootout (`beware shootout`): replay simulated probe
+/// campaigns through every registered timeout policy — the three online
+/// estimators plus the paper's static oracle — and score false-timeout
+/// rate, tail waiting cost and estimator memory under regime shifts,
+/// including a staleness sweep that finds the snapshot age where online
+/// adaptation overtakes the stale oracle. Writes `BENCH_6.json`; every
+/// number in it is simulation-derived, so the file is byte-identical
+/// for any `--threads` value.
+fn cmd_shootout(flags: &Flags) -> Result<(), CliError> {
+    if flags.str("list-policies").is_some() {
+        for k in PolicyKind::ALL {
+            println!("{:<16} {}", k.name(), k.summary());
+        }
+        return Ok(());
+    }
+    let threads: usize = flags.num("threads", beware::netsim::default_threads())?;
+    let mut cfg = ShootoutCfg::standard(
+        flags.num("seed", 7u64)?,
+        flags.num("blocks", 6u32)?,
+        flags.num("rounds", 60u32)?,
+        flags.num("round-secs", 60.0f64)?,
+        threads,
+    );
+    cfg.addr_pct_tenths = pct_tenths(flags, "addr-pct", cfg.addr_pct_tenths)?;
+    cfg.ping_pct_tenths = pct_tenths(flags, "ping-pct", cfg.ping_pct_tenths)?;
+    cfg.penalty_secs = flags.num("penalty", cfg.penalty_secs)?;
+
+    let metrics_path = flags.str("metrics");
+    let mut metrics = if metrics_path.is_some() { Registry::new() } else { Registry::disabled() };
+    let t0 = std::time::Instant::now();
+    let build: shootout::SnapshotBuild<'_> = &|samples, addr_t, ping_t| {
+        let cfg = SnapshotCfg {
+            addr_pct_tenths: vec![addr_t],
+            ping_pct_tenths: vec![ping_t],
+            ..Default::default()
+        };
+        build_snapshot(samples, &cfg).map_err(|e| e.to_string())
+    };
+    let report = shootout::run(&cfg, build, &mut metrics)?;
+    print!("{}", report.summary());
+
+    let out = flags.str("out").unwrap_or("BENCH_6.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    let sim_secs: f64 = report.scenarios.iter().map(|s| s.sim_span_secs).sum();
+    println!(
+        "shootout complete on {threads} thread(s): {:.0} simulated seconds in {:?} -> {out}",
+        sim_secs,
+        t0.elapsed()
+    );
+    if let Some(path) = metrics_path {
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("telemetry -> {path} ({} metrics)", metrics.len());
+    }
     Ok(())
 }

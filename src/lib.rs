@@ -18,6 +18,9 @@
 //! * [`serve`] — the timeout-oracle service: snapshot builder, sharded TCP
 //!   daemon, binary wire protocol, client library and load generator
 //!   (see DESIGN.md §8),
+//! * [`policy`] — online adaptive-timeout estimators (Jacobson/Karn RTO,
+//!   exponential backoff, windowed quantile) plus the replay shootout
+//!   that scores them against the static oracle (see DESIGN.md §13),
 //! * [`faultsim`] — seeded fault injection for the service: a byte-level
 //!   `FaultyTransport` wrapper and an in-process TCP chaos proxy backing
 //!   `beware chaos` and the chaos test suite (see DESIGN.md §9),
@@ -35,6 +38,7 @@ pub use beware_core as analysis;
 pub use beware_dataset as dataset;
 pub use beware_faultsim as faultsim;
 pub use beware_netsim as netsim;
+pub use beware_policy as policy;
 pub use beware_probe as probe;
 pub use beware_runtime as runtime;
 pub use beware_serve as serve;

@@ -437,3 +437,85 @@ fn exit_codes_distinguish_failure_classes() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `shootout --list-policies` enumerates the policy registry, and
+/// `serve --policy` rejects names that are not in it as a usage error —
+/// before any snapshot work happens.
+#[test]
+fn policy_flags_validate_against_the_registry() {
+    let dir = tempdir("policy-flags");
+
+    let out = beware(&["shootout", "--list-policies"], &dir);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["jacobson-karn", "exp-backoff", "codel-quantile", "oracle"] {
+        assert!(stdout.contains(name), "--list-policies is missing {name}: {stdout}");
+    }
+
+    let out = beware(&["serve", "--policy", "bogus"], &dir);
+    assert_eq!(out.status.code(), Some(2), "unknown policy is a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bogus"), "{stderr}");
+    assert!(stderr.contains("jacobson-karn"), "the error should list valid names: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The committed BENCH_6 contract, end to end: the shootout CLI writes
+/// byte-identical reports and telemetry for any `--threads` value.
+#[test]
+fn shootout_cli_is_thread_count_invariant() {
+    let dir = tempdir("shootout");
+
+    let run = |threads: &str, out: &str, metrics: &str| {
+        let o = beware(
+            &[
+                "shootout",
+                "--blocks",
+                "2",
+                "--rounds",
+                "8",
+                "--round-secs",
+                "30",
+                "--seed",
+                "13",
+                "--threads",
+                threads,
+                "--out",
+                out,
+                "--metrics",
+                metrics,
+            ],
+            &dir,
+        );
+        assert!(o.status.success(), "shootout failed: {}", String::from_utf8_lossy(&o.stderr));
+        String::from_utf8_lossy(&o.stdout).into_owned()
+    };
+    let stdout_1 = run("1", "a.json", "a-metrics.json");
+    let stdout_3 = run("3", "b.json", "b-metrics.json");
+
+    let a = std::fs::read(dir.join("a.json")).unwrap();
+    let b = std::fs::read(dir.join("b.json")).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "BENCH_6 differs between --threads 1 and --threads 3");
+    let am = std::fs::read(dir.join("a-metrics.json")).unwrap();
+    let bm = std::fs::read(dir.join("b-metrics.json")).unwrap();
+    assert_eq!(am, bm, "shootout telemetry differs between thread counts");
+
+    // The report names every policy on every scenario.
+    let text = String::from_utf8(a).unwrap();
+    assert!(text.contains("\"bench\": \"policy_shootout\""));
+    for name in ["jacobson-karn", "exp-backoff", "codel-quantile", "oracle"] {
+        assert!(text.contains(name), "BENCH_6 is missing {name}");
+    }
+    for scenario in ["steady", "covid_step", "diurnal_drift"] {
+        assert!(text.contains(scenario), "BENCH_6 is missing scenario {scenario}");
+    }
+    // The summary lines (the stdout contract) are sim-derived too.
+    assert_eq!(
+        stdout_1.lines().filter(|l| l.contains("cost")).count(),
+        stdout_3.lines().filter(|l| l.contains("cost")).count()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,181 @@
+//! Integration tests for the online adaptive-timeout subsystem
+//! (`beware-policy`) and its serve-path wiring:
+//!
+//! * the frozen [`OracleTable`] adapter answers **bit-for-bit** like the
+//!   offline `recommend_timeout` computation and the served oracle,
+//! * a `--policy` server adapts its answers to loadgen-reported RTTs,
+//!   while a snapshot-only server rejects `Report` frames with a typed
+//!   error,
+//! * the shootout replays hours of simulated campaign time in seconds
+//!   of wall clock — the whole harness runs on virtual time.
+
+use beware::analysis::pipeline::{run_pipeline, PipelineCfg};
+use beware::analysis::recommend::recommend_timeout;
+use beware::analysis::LatencySamples;
+use beware::netsim::scenario::{Scenario, ScenarioCfg, VANTAGES};
+use beware::policy::{shootout, OracleTable, PolicyKind, ShootoutCfg, INITIAL_TIMEOUT_SECS};
+use beware::probe::prelude::*;
+use beware::serve::proto::ErrorCode;
+use beware::serve::{build_snapshot, server, Client, ClientError, Oracle, SnapshotCfg, Status};
+use beware::telemetry::Registry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Simulated campaign → filtered per-address samples (the serve test
+/// fixture, reused so the snapshot is non-trivial).
+fn campaign_samples() -> BTreeMap<u32, LatencySamples> {
+    let sc =
+        Scenario::new(ScenarioCfg { year: 2015, seed: 11, total_blocks: 48, vantage: VANTAGES[0] });
+    let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).take(12).collect();
+    let cfg = SurveyCfg { blocks, rounds: 10, seed: 11, ..Default::default() };
+    let mut world = sc.build_world();
+    let ((records, _), _) = cfg.build(Vec::new()).run(&mut world);
+    run_pipeline(&records, &PipelineCfg::default()).samples
+}
+
+/// The frozen adapter must answer exactly like the offline analysis and
+/// the served oracle — same LPM walk, same fallback, same bits.
+#[test]
+fn oracle_adapter_bit_matches_offline_and_served_oracle() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    assert!(!snap.entries.is_empty(), "campaign produced no per-prefix tables");
+    let table = OracleTable::from_snapshot(&snap, 950, 950).unwrap();
+    let oracle = Oracle::from_snapshot(snap.clone()).unwrap();
+
+    // Every covered prefix (a few offsets deep) and a pseudorandom salt
+    // of mostly-fallback addresses: the adapter and the server must give
+    // the same bits everywhere.
+    let mut probes: Vec<u32> = Vec::new();
+    for e in &snap.entries {
+        probes.extend([e.prefix, e.prefix | 0x7, e.prefix | 0xff]);
+    }
+    let mut state = 0x5eed_f00du64;
+    for _ in 0..256 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        probes.push((state >> 32) as u32);
+    }
+    let mut fallbacks = 0u32;
+    for addr in probes {
+        let truth = oracle.lookup(addr, 950, 950).expect("950/950 is a grid cell");
+        assert_eq!(
+            table.timeout_bits(addr),
+            truth.timeout_bits,
+            "adapter disagrees with the served oracle at {addr:#010x}"
+        );
+        if truth.status == Status::Fallback {
+            fallbacks += 1;
+            // The fallback cell is the paper's global recommendation.
+            let rec = recommend_timeout(&samples, 95.0, 95.0).expect("samples are non-empty");
+            assert_eq!(table.timeout_bits(addr), rec.timeout_secs.to_bits());
+        }
+    }
+    assert!(fallbacks > 0, "salt produced no fallback lookups");
+}
+
+fn policy_server_cfg(kind: Option<PolicyKind>) -> server::ServerCfg {
+    let mut b =
+        server::ServerCfg::builder().shards(2).idle_timeout(Duration::from_secs(30)).metrics(false);
+    if let Some(kind) = kind {
+        b = b.policy(kind);
+    }
+    b.build().unwrap()
+}
+
+/// A `--policy` server starts out quoting the conventional initial
+/// timeout, then adapts once reported RTTs reach the publish cadence.
+#[test]
+fn policy_server_adapts_to_reported_rtts() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+    let handle =
+        server::start(oracle, "127.0.0.1:0", policy_server_cfg(Some(PolicyKind::JacobsonKarn)))
+            .unwrap();
+    let mut client =
+        Client::connect_retry(handle.local_addr(), Duration::from_secs(5), Duration::from_secs(2))
+            .unwrap();
+
+    let addr = 0x0a01_0203u32;
+    // No reports yet: the published table is empty, so the answer is the
+    // fallback initial timeout — not the snapshot's.
+    let ans = client.query(addr, 950, 950).unwrap();
+    assert_eq!(ans.status, Status::Fallback);
+    assert_eq!(ans.timeout_bits, INITIAL_TIMEOUT_SECS.to_bits());
+
+    // Feed one publish interval of steady 120 ms RTTs.
+    let mut acked = 0;
+    for _ in 0..64 {
+        acked = client.report(addr, 120_000).unwrap();
+    }
+    assert_eq!(acked, 64, "every report acknowledged");
+
+    let ans = client.query(addr, 950, 950).unwrap();
+    assert_eq!(ans.status, Status::Exact, "the reported prefix now has its own estimator");
+    assert_eq!(ans.prefix, addr & 0xffff_ff00);
+    assert_eq!(ans.prefix_len, 24);
+    assert!(
+        ans.timeout_secs < INITIAL_TIMEOUT_SECS && ans.timeout_secs > 0.12,
+        "Jacobson/Karn on steady 120 ms RTTs should quote between the RTT and the \
+         initial 3 s, got {}",
+        ans.timeout_secs
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// A snapshot-only server answers `Report` with a typed error — and the
+/// connection survives it (a server-level error is not a framing fault).
+#[test]
+fn snapshot_server_rejects_reports_with_typed_error() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+    let handle = server::start(oracle, "127.0.0.1:0", policy_server_cfg(None)).unwrap();
+    let mut client =
+        Client::connect_retry(handle.local_addr(), Duration::from_secs(5), Duration::from_secs(2))
+            .unwrap();
+
+    match client.report(0x0a01_0203, 120_000) {
+        Err(ClientError::Server(ErrorCode::PolicyUnavailable)) => {}
+        other => panic!("expected PolicyUnavailable, got {other:?}"),
+    }
+    // Same connection still answers queries.
+    client.query(0x0a01_0203, 950, 950).unwrap();
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// The whole shootout runs on virtual time: a hundred thousand simulated
+/// seconds — about 33 hours of campaign — must replay in wall-clock
+/// seconds, not hours.
+#[test]
+fn shootout_covers_hours_of_virtual_time_in_seconds() {
+    let build: shootout::SnapshotBuild<'_> = &|samples, addr_t, ping_t| {
+        let cfg = SnapshotCfg {
+            addr_pct_tenths: vec![addr_t],
+            ping_pct_tenths: vec![ping_t],
+            ..Default::default()
+        };
+        build_snapshot(samples, &cfg).map_err(|e| e.to_string())
+    };
+    let t0 = Instant::now();
+    // 40 rounds x 1000 s per round x 3 scenarios = 120k simulated seconds.
+    let cfg = ShootoutCfg::standard(3, 4, 40, 1000.0, 2);
+    let report = shootout::run(&cfg, build, &mut Registry::disabled()).unwrap();
+    let wall = t0.elapsed();
+
+    let sim_secs: f64 = report.scenarios.iter().map(|s| s.sim_span_secs).sum();
+    assert!(sim_secs >= 100_000.0, "expected 100k+ simulated seconds, got {sim_secs}");
+    assert_eq!(report.scenarios.len(), 3);
+    for sc in &report.scenarios {
+        assert_eq!(sc.scores.len(), PolicyKind::ALL.len(), "{} is missing a policy", sc.name);
+    }
+    assert!(
+        wall < Duration::from_secs(60),
+        "virtual-time shootout took {wall:?} of wall clock for {sim_secs} simulated seconds"
+    );
+}
