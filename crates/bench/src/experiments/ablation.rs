@@ -78,8 +78,8 @@ fn ground_truth(ctx: &ExperimentCtx) -> BTreeSet<u32> {
             continue;
         }
         for addr in (b << 8)..(b << 8) + 256 {
-            if host::is_live(wseed, profile, addr)
-                && host::broadcast_unicast_silent(wseed, profile, addr)
+            if host::is_live(wseed, &profile, addr)
+                && host::broadcast_unicast_silent(wseed, &profile, addr)
             {
                 truth.insert(addr);
             }

@@ -16,9 +16,11 @@
 
 pub mod ctx;
 pub mod experiments;
+pub mod fullspace;
 pub mod perf;
 pub mod scale;
 
 pub use ctx::ExperimentCtx;
+pub use fullspace::{FullSpaceCfg, FullSpaceReport};
 pub use perf::BenchReport;
 pub use scale::Scale;

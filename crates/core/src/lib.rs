@@ -48,7 +48,7 @@ pub mod turtles;
 
 pub use cdf::Cdf;
 pub use matching::{match_unmatched, DelayedResponse, MatchOutcome};
-pub use percentile::{percentile_sorted, LatencySamples, PAPER_PERCENTILES};
+pub use percentile::{nearest_rank, percentile_sorted, LatencySamples, PAPER_PERCENTILES};
 pub use pipeline::{run_pipeline, run_pipeline_with, survey_samples, PipelineCfg, PipelineOutput};
 pub use recommend::{recommend_timeout, Recommendation};
 pub use timeout_table::TimeoutTable;

@@ -17,6 +17,23 @@ use std::borrow::Cow;
 /// The percentile levels the paper's tables use.
 pub const PAPER_PERCENTILES: [f64; 7] = [1.0, 50.0, 80.0, 90.0, 95.0, 98.0, 99.0];
 
+/// Nearest-rank index (1-based) for fraction `q ∈ (0, 1]` of `n` samples:
+/// `⌈q·n⌉`, clamped into `1..=n`.
+///
+/// The product is snapped to the nearest integer before the ceiling when
+/// it lands within float error of one: `0.9 * 10` evaluates to
+/// `9.000000000000002` in f64, and a plain `ceil()` would quote rank 10 —
+/// one sample higher than the nearest-rank definition asks for. Every
+/// quantile consumer in the repo (offline tables, the CoDel window, the
+/// loadgen report) must route through this so on- and offline ranks agree.
+pub fn nearest_rank(q: f64, n: usize) -> usize {
+    let scaled = q * n as f64;
+    let snapped = scaled.round();
+    let rank =
+        if (scaled - snapped).abs() <= scaled.abs() * 1e-12 { snapped } else { scaled.ceil() };
+    (rank as usize).clamp(1, n)
+}
+
 /// Nearest-rank percentile of a **sorted** slice. `p` in `(0, 100]`.
 /// Returns `None` on an empty slice.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
@@ -25,9 +42,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
     }
     debug_assert!(p > 0.0 && p <= 100.0, "percentile {p} out of range");
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice not sorted");
-    let n = sorted.len();
-    let rank = ((p / 100.0) * n as f64).ceil() as usize;
-    Some(sorted[rank.clamp(1, n) - 1])
+    Some(sorted[nearest_rank(p / 100.0, sorted.len()) - 1])
 }
 
 /// Don't bother merging the tail into the run below this size: reads scan
@@ -240,6 +255,29 @@ mod tests {
         assert_eq!(percentile_sorted(&s, 100.0), Some(4.0));
         assert_eq!(percentile_sorted(&s, 1.0), Some(1.0));
         assert_eq!(percentile_sorted(&[], 50.0), None);
+    }
+
+    #[test]
+    fn integral_rank_products_do_not_drift_up() {
+        // 0.9 * 10 is 9.000000000000002 in f64; a plain ceil() quotes
+        // rank 10. Nearest-rank says rank 9.
+        let s: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&s, 90.0), Some(9.0));
+        assert_eq!(percentile_sorted(&s, 30.0), Some(3.0));
+        assert_eq!(percentile_sorted(&s, 70.0), Some(7.0));
+    }
+
+    #[test]
+    fn nearest_rank_boundaries_at_small_n() {
+        // Pin the exact rank for every window fill a fresh tracker walks
+        // through: q = 0.5 and q = 0.95 at n = 1..5.
+        let half: Vec<usize> = (1..=5).map(|n| nearest_rank(0.5, n)).collect();
+        assert_eq!(half, vec![1, 1, 2, 2, 3]);
+        let p95: Vec<usize> = (1..=5).map(|n| nearest_rank(0.95, n)).collect();
+        assert_eq!(p95, vec![1, 2, 3, 4, 5]);
+        // q = 1.0 is always the max; tiny q clamps up to rank 1.
+        assert_eq!(nearest_rank(1.0, 5), 5);
+        assert_eq!(nearest_rank(0.001, 5), 1);
     }
 
     #[test]

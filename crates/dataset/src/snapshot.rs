@@ -939,6 +939,61 @@ mod tests {
     }
 
     #[test]
+    fn empty_delta_roundtrips_through_the_codec() {
+        // base == target: zero removals, zero upserts, no fallback flag —
+        // the smallest legal delta must survive the wire unchanged.
+        let base = sample();
+        let delta = diff_snapshot(&base, &base).unwrap();
+        let mut buf = Vec::new();
+        write_delta(&mut buf, &delta).unwrap();
+        let back = read_delta(&mut &buf[..]).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(back.apply(&base).unwrap(), base);
+    }
+
+    #[test]
+    fn fallback_only_delta_applies_and_roundtrips() {
+        // Only the fallback table differs: the delta must carry the new
+        // fallback and nothing else, and apply must reproduce the target.
+        let base = sample();
+        let mut target = base.clone();
+        target.fallback = vec![7.5f64.to_bits(); 6];
+        let delta = diff_snapshot(&base, &target).unwrap();
+        assert_eq!(delta.change_count(), 1);
+        assert!(delta.removed.is_empty(), "no entry changed");
+        assert!(delta.upserts.is_empty(), "no entry changed");
+        assert_eq!(delta.new_fallback.as_deref(), Some(target.fallback.as_slice()));
+        assert_eq!(delta.apply(&base).unwrap(), target);
+
+        let mut buf = Vec::new();
+        write_delta(&mut buf, &delta).unwrap();
+        assert_eq!(read_delta(&mut &buf[..]).unwrap(), delta);
+    }
+
+    #[test]
+    fn removal_past_the_last_base_entry_rejected() {
+        // The absent key sorts *after* every base entry, so the merge walk
+        // exhausts the base with the removal still pending — the tail
+        // check must answer with the typed error, not a panic or a silent
+        // no-op.
+        let base = sample();
+        let delta = SnapshotDelta {
+            base_checksum: snapshot_checksum(&base),
+            target_checksum: 0xdead_beef,
+            r_count: 3,
+            c_count: 2,
+            new_fallback: None,
+            removed: vec![(0xe000_0000, 8)],
+            upserts: Vec::new(),
+        };
+        delta.validate().unwrap();
+        match delta.apply(&base) {
+            Err(SnapshotError::RemovedKeyAbsent { prefix: 0xe000_0000, len: 8 }) => {}
+            other => panic!("expected RemovedKeyAbsent for the tail key, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn delta_roundtrips_through_the_codec() {
         let delta = diff_snapshot(&sample(), &sample_v2()).unwrap();
         let mut buf = Vec::new();

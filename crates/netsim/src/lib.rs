@@ -19,9 +19,13 @@
 //! Module map: [`time`] and [`event`] are the discrete-event substrate,
 //! [`rng`] the seeded distributions, [`packet`] the packet model bridging
 //! to `beware-wire` bytes, [`profile`]/[`host`]/[`world`] the behavior
-//! models, [`sim`] the agent event loop, [`scenario`] the
-//! paper-calibrated world builder, and [`exec`] the deterministic worker
-//! pool fanning independent simulations across threads.
+//! models, [`space`] the procedural (resolve-on-demand) address space and
+//! bounded host table that let a full-IPv4-scale sweep stream in fixed
+//! memory, [`link`] the shared router/link layer that turns one congested
+//! uplink into correlated delay across every host behind it, [`sim`] the
+//! agent event loop, [`scenario`] the paper-calibrated world builder, and
+//! [`exec`] the deterministic worker pool fanning independent simulations
+//! across threads.
 //!
 //! Everything is deterministic under a seed; two runs of the same scenario
 //! produce identical packet traces.
@@ -32,19 +36,23 @@
 pub mod event;
 pub mod exec;
 pub mod host;
+pub mod link;
 pub mod packet;
 pub mod profile;
 pub mod rng;
 pub mod scenario;
 pub mod sim;
+pub mod space;
 pub mod time;
 pub mod trace;
 pub mod world;
 
 pub use exec::{default_threads, run_tasks};
+pub use link::{LinkCfg, LinkEvent, LinkEventKind, LinkId};
 pub use packet::{Arrival, Packet, L4};
 pub use profile::{BlockProfile, PROFILE_KINDS};
 pub use scenario::{Scenario, ScenarioCfg, Vantage, VANTAGES};
 pub use sim::{Agent, Ctx, RunSummary, Simulation};
+pub use space::{LazyCfg, ProfileSource, ResolvedBlock};
 pub use time::{SimDuration, SimTime};
 pub use world::{World, WorldStats};

@@ -19,11 +19,13 @@
 //! Vantage points model the four ISI collection sites; the inter-continent
 //! propagation matrix feeds each block's base RTT.
 
+use crate::link::{LinkCfg, LinkEvent};
 use crate::profile::{
     BlockProfile, BroadcastCfg, CongestionCfg, DosCfg, EpisodeCfg, FirewallCfg, RateLimitCfg,
     StormCfg, WakeupCfg,
 };
 use crate::rng::{derive_seed, unit_hash, Dist};
+use crate::space::{LazyCfg, ProfileSource, ResolvedBlock};
 use crate::world::World;
 use beware_asdb::{AsKind, Asn, Continent, GenConfig, InternetPlan};
 use std::sync::Arc;
@@ -166,6 +168,31 @@ impl Scenario {
             world.add_block(block, Arc::new(profile));
         }
         world
+    }
+
+    /// The procedural view of this scenario's address space: the same
+    /// profiles [`Self::build_world`] precomputes, resolved on demand.
+    /// Build it once and share it (`Arc`) across the per-chunk worlds of
+    /// a full-space campaign.
+    pub fn lazy_space(&self) -> ProceduralSpace {
+        ProceduralSpace { scenario: self.clone(), db: self.db() }
+    }
+
+    /// Instantiate a procedural world over [`Self::lazy_space`], with
+    /// host state bounded per `lazy`. For any probe sequence it answers
+    /// byte-identically to [`Self::build_world`] (modulo host eviction
+    /// on re-probes, see [`crate::space`]) while materializing only the
+    /// blocks and hosts the sequence actually touches.
+    pub fn build_lazy_world(&self, lazy: &LazyCfg) -> World {
+        World::procedural(self.world_seed(), Arc::new(self.lazy_space()), lazy)
+    }
+
+    /// The link-layer configuration scenarios attach to their worlds:
+    /// default tier capacities, a seed derived from the scenario seed
+    /// (independent of the behavior streams), and the given event
+    /// schedule.
+    pub fn link_cfg(&self, events: Vec<LinkEvent>) -> LinkCfg {
+        LinkCfg { seed: derive_seed(self.cfg.seed, 0x0040_11aa), events, ..LinkCfg::default() }
     }
 
     /// Deterministic per-block behavior profile.
@@ -351,6 +378,30 @@ impl Scenario {
 /// seed, keeping it independent of the world's behavior streams.
 const PLAN_SEED_STREAM: u64 = 0x1a40;
 
+/// A [`ProfileSource`] over a scenario: block profiles as a pure function
+/// of the prefix, computed exactly as [`Scenario::build_world`] would —
+/// longest-prefix-match the attribution database for the announcing AS,
+/// then derive the per-block profile from the scenario seed. Because both
+/// steps are pure, a resolution can be recomputed at any time; nothing
+/// about the space ever needs to stay resident.
+#[derive(Debug)]
+pub struct ProceduralSpace {
+    scenario: Scenario,
+    db: beware_asdb::AsDb,
+}
+
+impl ProfileSource for ProceduralSpace {
+    fn resolve(&self, prefix24: u32) -> Option<ResolvedBlock> {
+        let info = self.db.lookup(prefix24 << 8)?;
+        let profile = self.scenario.block_profile(prefix24, info.asn, info.kind, info.continent);
+        Some(ResolvedBlock { profile, asn: info.asn, continent: info.continent })
+    }
+
+    fn routed_blocks(&self) -> usize {
+        self.scenario.plan.block_count() as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,5 +501,41 @@ mod tests {
         let w_us = mk(VANTAGES[0]).build_world();
         let w_jp = mk(VANTAGES[2]).build_world();
         assert_eq!(w_us.block_count(), w_jp.block_count());
+    }
+
+    /// The procedural world is observationally identical to the eager
+    /// one: same routed space, same profiles, and byte-identical probe
+    /// responses over an interleaved routed + unrouted sweep.
+    #[test]
+    fn lazy_world_answers_exactly_like_the_eager_world() {
+        use crate::packet::Packet;
+        use crate::time::{SimDuration, SimTime};
+        let sc = Scenario::new(ScenarioCfg { total_blocks: 48, ..Default::default() });
+        let mut eager = sc.build_world();
+        let mut lazy = sc.build_lazy_world(&LazyCfg::default());
+        assert_eq!(eager.block_count(), lazy.block_count());
+
+        let blocks: Vec<u32> = sc.plan.blocks().map(|(b, _)| b).collect();
+        for &block in &blocks {
+            assert!(lazy.has_block(block));
+            assert_eq!(eager.block_profile(block), lazy.block_profile(block), "{block:#08x}");
+        }
+        // An unallocated prefix is unrouted in both.
+        let stray = (0u32..).find(|p| !blocks.contains(p)).unwrap();
+        assert!(!eager.has_block(stray) && !lazy.has_block(stray));
+
+        let mut at = SimTime::EPOCH;
+        for (i, &block) in blocks.iter().enumerate().take(24) {
+            for off in [1u32, 7, 0xc8, 0xff] {
+                let dst = (block << 8) | off;
+                let probe = Packet::echo_request(0x0101_0101, dst, 9, i as u16, vec![0xee; 8]);
+                at += SimDuration::from_millis(3);
+                assert_eq!(eager.probe(&probe, at), lazy.probe(&probe, at), "{dst:#010x}");
+            }
+            let miss = Packet::echo_request(0x0101_0101, (stray << 8) | 5, 9, i as u16, vec![]);
+            assert_eq!(eager.probe(&miss, at), lazy.probe(&miss, at));
+        }
+        assert_eq!(eager.stats(), lazy.stats());
+        assert_eq!(eager.hosts_instantiated(), lazy.hosts_instantiated());
     }
 }

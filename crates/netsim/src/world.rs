@@ -5,12 +5,29 @@
 //! and the current time; the world returns the arrivals that packet causes.
 //! All host state advances lazily on access, which is what lets a scan of a
 //! million addresses run without a million timer events.
+//!
+//! Two address-space backings share this transfer function:
+//!
+//! * **routed** ([`World::new`] + [`World::add_block`]) — an explicit
+//!   block table, the right tool for small scripted worlds;
+//! * **procedural** ([`World::procedural`]) — blocks resolved on demand
+//!   from a pure [`ProfileSource`], with host state bounded by
+//!   [`LazyCfg`], which is what lets a full-IPv4-scale sweep stream in
+//!   fixed memory (see [`crate::space`] for the eviction invariants).
+//!
+//! Either backing can additionally route probes through a shared
+//! [`crate::link::LinkLayer`] ([`World::with_links`]): prefixes then share
+//! queues, and congestion or a scenario-scheduled degrade on one uplink
+//! shows up as *correlated* extra delay across every host behind it.
 
 use crate::host::{self, HostState, Reply};
+use crate::link::{LinkCfg, LinkId, LinkLayer};
 use crate::packet::{Arrival, Packet, L4};
 use crate::profile::{BlockProfile, PROFILE_KINDS};
 use crate::rng::{derive_seed, seeded};
+use crate::space::{HostTable, LazyCfg, ProfileCache, ProfileSource};
 use crate::time::{SimDuration, SimTime};
+use beware_asdb::{Asn, Continent};
 use beware_wire::icmp::IcmpKind;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -36,14 +53,26 @@ pub struct WorldStats {
     /// Responses per dominant profile kind, indexed like
     /// [`PROFILE_KINDS`].
     pub responses_by_profile: [u64; PROFILE_KINDS.len()],
+    /// Host state machines reclaimed by the bounded host table (capacity
+    /// plus quiescence evictions). Zero for unbounded worlds.
+    pub hosts_evicted: u64,
+    /// High-water mark of simultaneously resident host state machines —
+    /// the number a memory ceiling must accommodate.
+    pub hosts_peak: u64,
+    /// Probes black-holed by the link layer (partitions + full queues).
+    pub link_drops: u64,
+    /// High-water queueing backlog across all shared links, microseconds.
+    pub link_queue_peak_us: u64,
 }
 
 impl WorldStats {
     /// Flush these counters into a telemetry scope (counters `probes`,
     /// `responses`, `unrouted`, `no_response`, `firewall_rsts`,
-    /// `broadcast_responses` and `responses_by_profile/<kind>` under the
-    /// scope's prefix). Zero per-kind buckets are skipped so the export
-    /// only names profile kinds the run actually exercised.
+    /// `broadcast_responses`, `hosts_evicted`, `link_drops` and
+    /// `responses_by_profile/<kind>` under the scope's prefix, plus
+    /// max-merged gauges `hosts_peak` and `link_queue_peak_us`). Zero
+    /// buckets and zero gauges are skipped so the export only names what
+    /// the run actually exercised.
     pub fn record(&self, scope: &mut beware_telemetry::Scope<'_>) {
         scope.add("probes", self.probes);
         scope.add("responses", self.responses);
@@ -51,6 +80,18 @@ impl WorldStats {
         scope.add("no_response", self.no_response);
         scope.add("firewall_rsts", self.firewall_rsts);
         scope.add("broadcast_responses", self.broadcast_responses);
+        if self.hosts_evicted > 0 {
+            scope.add("hosts_evicted", self.hosts_evicted);
+        }
+        if self.link_drops > 0 {
+            scope.add("link_drops", self.link_drops);
+        }
+        if self.hosts_peak > 0 {
+            scope.gauge_max("hosts_peak", self.hosts_peak);
+        }
+        if self.link_queue_peak_us > 0 {
+            scope.gauge_max("link_queue_peak_us", self.link_queue_peak_us);
+        }
         let mut by_kind = scope.scope("responses_by_profile");
         for (kind, &n) in PROFILE_KINDS.iter().zip(&self.responses_by_profile) {
             if n > 0 {
@@ -61,6 +102,8 @@ impl WorldStats {
 
     /// Flush the difference `after - self` into a telemetry scope —
     /// what a run contributed to a world that already had history.
+    /// Counters subtract; the peak gauges carry `after`'s high-water mark
+    /// unchanged (gauges merge by max, so re-reporting the peak is safe).
     pub fn record_delta(&self, after: &WorldStats, scope: &mut beware_telemetry::Scope<'_>) {
         let mut d = WorldStats {
             probes: after.probes - self.probes,
@@ -70,6 +113,10 @@ impl WorldStats {
             firewall_rsts: after.firewall_rsts - self.firewall_rsts,
             broadcast_responses: after.broadcast_responses - self.broadcast_responses,
             responses_by_profile: [0; PROFILE_KINDS.len()],
+            hosts_evicted: after.hosts_evicted - self.hosts_evicted,
+            hosts_peak: after.hosts_peak,
+            link_drops: after.link_drops - self.link_drops,
+            link_queue_peak_us: after.link_queue_peak_us,
         };
         for i in 0..PROFILE_KINDS.len() {
             d.responses_by_profile[i] =
@@ -85,14 +132,27 @@ struct BlockEntry {
     /// Cached [`BlockProfile::kind_index`] so the per-probe hot path
     /// never re-derives it.
     kind: usize,
+    /// Routing identity `(AS, continent)` when known — what the link
+    /// layer aggregates core and spine queues on. Explicitly added blocks
+    /// carry `None` and only share their access (`/16`) link.
+    route: Option<(Asn, Continent)>,
+}
+
+/// How the world backs its address space: an explicit block table, or a
+/// pure resolve-on-demand source fronted by a bounded cache.
+#[derive(Debug)]
+enum Space {
+    Routed(HashMap<u32, BlockEntry>),
+    Procedural { source: Arc<dyn ProfileSource>, cache: ProfileCache<BlockEntry> },
 }
 
 /// The simulated address space.
 #[derive(Debug)]
 pub struct World {
     seed: u64,
-    blocks: HashMap<u32, BlockEntry>,
-    hosts: HashMap<u32, HostState>,
+    space: Space,
+    hosts: HostTable,
+    links: Option<LinkLayer>,
     rng: StdRng,
     stats: WorldStats,
 }
@@ -107,57 +167,139 @@ impl Default for World {
 }
 
 impl World {
-    /// An empty world with the given determinism seed.
+    /// An empty routed world with the given determinism seed and an
+    /// unbounded host table.
     pub fn new(seed: u64) -> Self {
         World {
             seed,
-            blocks: HashMap::new(),
-            hosts: HashMap::new(),
+            space: Space::Routed(HashMap::new()),
+            hosts: HostTable::unbounded(),
+            links: None,
             rng: seeded(derive_seed(seed, 0xF17E_AA11)),
             stats: WorldStats::default(),
         }
     }
 
+    /// A procedural world: blocks resolved on demand from `source`, host
+    /// state bounded per `lazy`. Because the source is a pure function of
+    /// the prefix, neither the profile-cache capacity nor (for workloads
+    /// that probe each address at most once) the host bounds can change
+    /// results — see [`crate::space`].
+    pub fn procedural(seed: u64, source: Arc<dyn ProfileSource>, lazy: &LazyCfg) -> Self {
+        World {
+            seed,
+            space: Space::Procedural { source, cache: ProfileCache::new(lazy.profile_cache) },
+            hosts: HostTable::bounded(lazy.host_cap, lazy.quiescence),
+            links: None,
+            rng: seeded(derive_seed(seed, 0xF17E_AA11)),
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Builder: bound the host table of any world (panics if hosts were
+    /// already materialized — bounds are a construction-time choice).
+    pub fn with_host_bounds(mut self, cap: usize, quiescence: Option<SimDuration>) -> Self {
+        assert_eq!(self.hosts.len(), 0, "host bounds must be set before the first probe");
+        self.hosts = HostTable::bounded(cap, quiescence);
+        self
+    }
+
+    /// Builder: route probes through a shared link layer, so prefixes
+    /// behind the same uplink see correlated queueing delay and
+    /// scheduled [`crate::link::LinkEvent`]s.
+    pub fn with_links(mut self, cfg: LinkCfg) -> Self {
+        self.links = Some(LinkLayer::new(cfg));
+        self
+    }
+
     /// Route a /24 block (identified by `addr >> 8`) with the given
     /// behavior. Panics on an invalid profile — scenario bugs should fail
-    /// at build time, not during a multi-hour run.
+    /// at build time, not during a multi-hour run — and on procedural
+    /// worlds, whose space is defined by their source alone.
     pub fn add_block(&mut self, prefix24: u32, profile: Arc<BlockProfile>) {
         if let Err(e) = profile.validate() {
             panic!("invalid BlockProfile for block {prefix24:#08x}: {e}");
         }
         let kind = profile.kind_index();
-        self.blocks.insert(prefix24, BlockEntry { profile, kind });
+        match &mut self.space {
+            Space::Routed(blocks) => {
+                blocks.insert(prefix24, BlockEntry { profile, kind, route: None });
+            }
+            Space::Procedural { .. } => {
+                panic!("add_block on a procedural world: its source defines the space")
+            }
+        }
+    }
+
+    /// The block behind a /24 prefix, resolving (and caching) it on
+    /// procedural worlds.
+    fn lookup_block(&mut self, prefix24: u32) -> Option<BlockEntry> {
+        match &mut self.space {
+            Space::Routed(blocks) => blocks.get(&prefix24).cloned(),
+            Space::Procedural { source, cache } => cache.get_or_insert_with(prefix24, || {
+                source.resolve(prefix24).map(|r| {
+                    let kind = r.profile.kind_index();
+                    BlockEntry {
+                        profile: Arc::new(r.profile),
+                        kind,
+                        route: Some((r.asn, r.continent)),
+                    }
+                })
+            }),
+        }
+    }
+
+    /// Resolve without touching the cache — for `&self` accessors; the
+    /// source is pure, so this always agrees with [`Self::lookup_block`].
+    fn peek_block(&self, prefix24: u32) -> Option<Arc<BlockProfile>> {
+        match &self.space {
+            Space::Routed(blocks) => blocks.get(&prefix24).map(|b| Arc::clone(&b.profile)),
+            Space::Procedural { source, .. } => {
+                source.resolve(prefix24).map(|r| Arc::new(r.profile))
+            }
+        }
     }
 
     /// Whether a /24 block is routed.
     pub fn has_block(&self, prefix24: u32) -> bool {
-        self.blocks.contains_key(&prefix24)
+        self.peek_block(prefix24).is_some()
     }
 
     /// Profile of a routed block.
-    pub fn block_profile(&self, prefix24: u32) -> Option<&Arc<BlockProfile>> {
-        self.blocks.get(&prefix24).map(|b| &b.profile)
+    pub fn block_profile(&self, prefix24: u32) -> Option<Arc<BlockProfile>> {
+        self.peek_block(prefix24)
     }
 
     /// Number of routed blocks.
     pub fn block_count(&self) -> usize {
-        self.blocks.len()
+        match &self.space {
+            Space::Routed(blocks) => blocks.len(),
+            Space::Procedural { source, .. } => source.routed_blocks(),
+        }
     }
 
-    /// Number of host state machines instantiated so far.
+    /// Number of host state machines currently resident.
     pub fn hosts_instantiated(&self) -> usize {
         self.hosts.len()
     }
 
-    /// Accumulated counters.
+    /// Accumulated counters, including the host-table and link-layer
+    /// high-water marks.
     pub fn stats(&self) -> WorldStats {
-        self.stats
+        let mut s = self.stats;
+        s.hosts_evicted = self.hosts.evicted();
+        s.hosts_peak = self.hosts.peak() as u64;
+        if let Some(layer) = &self.links {
+            s.link_drops = layer.drops();
+            s.link_queue_peak_us = layer.peak_backlog_us();
+        }
+        s
     }
 
     /// True if `addr` hosts a live device (static property).
     pub fn is_live(&self, addr: u32) -> bool {
-        match self.blocks.get(&(addr >> 8)) {
-            Some(e) => host::is_live(self.seed, &e.profile, addr),
+        match self.peek_block(addr >> 8) {
+            Some(profile) => host::is_live(self.seed, &profile, addr),
             None => false,
         }
     }
@@ -166,10 +308,49 @@ impl World {
     pub fn probe(&mut self, pkt: &Packet, now: SimTime) -> Vec<Arrival> {
         self.stats.probes += 1;
         let prefix24 = pkt.dst >> 8;
-        let Some(entry) = self.blocks.get(&prefix24) else {
+        let Some(entry) = self.lookup_block(prefix24) else {
             self.stats.unrouted += 1;
             return Vec::new();
         };
+
+        // The probe crosses the shared uplinks before any middlebox or
+        // host sees it; whatever they charge delays every response, and a
+        // partition or full queue black-holes the probe outright.
+        let mut link_extra = SimDuration::from_ns(0);
+        if let Some(layer) = &mut self.links {
+            let mut path = [LinkId::Access((pkt.dst >> 16) as u16); 3];
+            let mut hops = 1;
+            if let Some((asn, continent)) = entry.route {
+                path[1] = LinkId::Core(asn.0);
+                path[2] = LinkId::Spine(continent as u8);
+                hops = 3;
+            }
+            match layer.traverse(&path[..hops], now) {
+                Some(extra) => link_extra = extra,
+                None => {
+                    self.stats.no_response += 1;
+                    return Vec::new();
+                }
+            }
+        }
+
+        let mut out = self.probe_behind_links(pkt, now, &entry);
+        if link_extra > SimDuration::from_ns(0) {
+            for a in &mut out {
+                a.at += link_extra;
+            }
+        }
+        out
+    }
+
+    /// The probe → responses transfer function past the link layer:
+    /// middleboxes, broadcast fan-out, and the destination host itself.
+    fn probe_behind_links(
+        &mut self,
+        pkt: &Packet,
+        now: SimTime,
+        entry: &BlockEntry,
+    ) -> Vec<Arrival> {
         let kind = entry.kind;
         let profile = Arc::clone(&entry.profile);
 
@@ -216,10 +397,8 @@ impl World {
             return Vec::new();
         }
         let seed = self.seed;
-        let state = self
-            .hosts
-            .entry(pkt.dst)
-            .or_insert_with(|| HostState::new(seed, &profile, pkt.dst, now));
+        let state =
+            self.hosts.entry_with(pkt.dst, now, || HostState::new(seed, &profile, pkt.dst, now));
         let responses = state.respond(&profile, now);
         let ttl = state.recv_ttl;
         let mut out = Vec::with_capacity(responses.len());
@@ -266,9 +445,14 @@ impl World {
             {
                 continue;
             }
-            let seed = self.seed;
-            let state =
-                self.hosts.entry(addr).or_insert_with(|| HostState::new(seed, profile, addr, now));
+            // Responders answer from ephemeral state that is never entered
+            // into the host table: a broadcast fan-out must not couple one
+            // address's observable behavior to another address's table
+            // residency, or single-probe sweeps would stop being invariant
+            // under the host-cap setting (an evicted-then-recreated
+            // neighbor would see a fresh rng stream while a resident one
+            // continues its advanced stream).
+            let mut state = HostState::new(self.seed, profile, addr, now);
             for r in state.respond(profile, now) {
                 // Broadcast responses are echo replies from the neighbor.
                 if r.kind == Reply::Normal {
@@ -683,5 +867,74 @@ mod tests {
     fn quoted_destination_rejects_garbage() {
         assert_eq!(quoted_destination(&[0u8; 10]), None);
         assert_eq!(quoted_destination(&[0x65; 28]), None);
+    }
+
+    /// The flagship streaming invariant: for a workload that probes each
+    /// address at most once, a tightly bounded host table produces the
+    /// exact same arrivals as an unbounded one — evicted state is never
+    /// read again, so eviction cannot show.
+    #[test]
+    fn single_probe_sweep_is_invariant_under_host_bounds() {
+        let sweep = |world: &mut World| {
+            let mut arrivals = Vec::new();
+            for i in 0..256u32 {
+                let probe = Packet::echo_request(PROBER, 0x0a000000 + i, 1, i as u16, vec![]);
+                arrivals.extend(world.probe(&probe, t(f64::from(i) * 0.01)));
+            }
+            arrivals
+        };
+        let profile = BlockProfile { jitter: Dist::Exponential { mean: 0.02 }, ..dense_profile() };
+        let mut unbounded = world_with(profile.clone());
+        let mut bounded = world_with(profile).with_host_bounds(8, None);
+
+        assert_eq!(sweep(&mut unbounded), sweep(&mut bounded));
+        let (u, b) = (unbounded.stats(), bounded.stats());
+        assert_eq!((u.probes, u.responses, u.no_response), (b.probes, b.responses, b.no_response));
+        assert_eq!(u.hosts_evicted, 0);
+        assert!(b.hosts_evicted > 200, "cap 8 over 254 hosts must evict continuously");
+        assert!(b.hosts_peak <= 8, "peak residency respects the cap, got {}", b.hosts_peak);
+        assert!(bounded.hosts_instantiated() <= 8);
+    }
+
+    /// Degrading one shared access link inflates delay for *every* host
+    /// behind that /16 — and leaves hosts behind other links untouched.
+    #[test]
+    fn degraded_access_link_correlates_delay_across_its_hosts() {
+        use crate::link::{LinkEvent, LinkEventKind};
+        let cfg = LinkCfg {
+            events: vec![LinkEvent {
+                link: LinkId::Access(0x0a00),
+                at_secs: 10.0,
+                until_secs: f64::INFINITY,
+                // 25k pps → 2.5 pps: ~0.4 s per packet of added service.
+                kind: LinkEventKind::Degrade { capacity_scale: 1e-4 },
+            }],
+            ..LinkCfg::default()
+        };
+        let mut w = World::new(7).with_links(cfg);
+        w.add_block(0x0a0000, Arc::new(dense_profile()));
+        w.add_block(0x0b0000, Arc::new(dense_profile()));
+
+        let rtt = |w: &mut World, addr: u32, at: SimTime| -> f64 {
+            let probe = Packet::echo_request(PROBER, addr, 1, 1, vec![]);
+            let arrivals = w.probe(&probe, at);
+            assert_eq!(arrivals.len(), 1, "{addr:#010x}");
+            arrivals[0].at.saturating_since(at).as_secs_f64()
+        };
+
+        // Before the event both /16s answer in ~base RTT + ~40 µs service.
+        for (i, addr) in [0x0a000010u32, 0x0a0000c0, 0x0b000010].iter().enumerate() {
+            let d = rtt(&mut w, *addr, t(f64::from(i as u32)));
+            assert!(d < 0.06, "pre-event RTT inflated at {addr:#010x}: {d}");
+        }
+        // After: every host behind Access(0x0a00) is slow, not just one.
+        for addr in [0x0a000011u32, 0x0a0000c1, 0x0a0000f7] {
+            let d = rtt(&mut w, addr, t(20.0));
+            assert!(d > 0.2, "degrade must inflate {addr:#010x}, got {d}");
+        }
+        // The sibling /16 rides an unaffected link.
+        let d = rtt(&mut w, 0x0b000011, t(20.0));
+        assert!(d < 0.06, "0x0b hosts must be unaffected, got {d}");
+        assert!(w.stats().link_queue_peak_us > 0);
     }
 }

@@ -10,6 +10,7 @@
 //! COVID scenario is designed to expose.
 
 use crate::{RttSample, TimeoutPolicy, INITIAL_TIMEOUT_SECS, MAX_TIMEOUT_SECS, MIN_TIMEOUT_SECS};
+use beware_core::percentile::nearest_rank;
 use std::collections::VecDeque;
 
 /// Tunables for [`CodelQuantile`].
@@ -74,12 +75,18 @@ impl CodelQuantile {
     }
 
     /// Nearest-rank quantile of the current window.
+    ///
+    /// Rank selection goes through [`nearest_rank`], the same snapped-ceil
+    /// the offline tables use: an inline `(quantile * n).ceil()` drifts one
+    /// rank high whenever `quantile * n` is mathematically integral but
+    /// floats land epsilon above it (0.9 × 10 → 9.000000000000002 → rank
+    /// 10), quoting a higher quantile than configured and diverging from
+    /// the offline convention the module docs promise.
     fn window_quantile(&self) -> Option<f64> {
         if self.sorted.is_empty() {
             return None;
         }
-        let n = self.sorted.len();
-        let rank = ((self.cfg.quantile * n as f64).ceil() as usize).clamp(1, n);
+        let rank = nearest_rank(self.cfg.quantile, self.sorted.len());
         Some(self.sorted[rank - 1])
     }
 }
@@ -160,6 +167,45 @@ mod tests {
         }
         // All the 10 s samples have slid out.
         assert!((p.current_timeout() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_window_fills_pin_nearest_rank() {
+        // While the window fills (n = 1..5) the median tracker must quote
+        // rank ⌈n/2⌉ exactly: samples arrive ascending, so the quoted base
+        // is sorted[rank-1] and any off-by-one is visible.
+        let mut p = CodelQuantile::new(CodelCfg {
+            window: 5,
+            quantile: 0.5,
+            margin: 1.0,
+            ..CodelCfg::default()
+        });
+        let expected_rank = [1usize, 1, 2, 2, 3];
+        for n in 1..=5usize {
+            p.observe(s(n as f64));
+            let want = expected_rank[n - 1] as f64;
+            assert!(
+                (p.current_timeout() - want).abs() < 1e-12,
+                "n={n}: quoted {} want rank {want}",
+                p.current_timeout()
+            );
+        }
+    }
+
+    #[test]
+    fn integral_quantile_window_products_use_exact_rank() {
+        // quantile × window integral in exact arithmetic but epsilon-high
+        // in f64: 0.9 × 10. Nearest rank is 9 → base 0.9, not rank 10.
+        let mut p = CodelQuantile::new(CodelCfg {
+            window: 10,
+            quantile: 0.9,
+            margin: 1.5,
+            ..CodelCfg::default()
+        });
+        for i in 1..=10 {
+            p.observe(s(f64::from(i) / 10.0));
+        }
+        assert!((p.current_timeout() - 0.9 * 1.5).abs() < 1e-12);
     }
 
     #[test]

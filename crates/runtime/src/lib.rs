@@ -61,7 +61,8 @@ pub use clock::{process_cpu_time, Clock, SharedClock, VirtualClock, WallClock};
 #[cfg(target_os = "linux")]
 pub use reactor::EpollReactor;
 pub use reactor::{
-    make_reactor, Event, Interest, PollReactor, Reactor, ReactorKind, StopSignal, Waker,
+    make_reactor, round_wait_up_to_ms, Event, Interest, PollReactor, Reactor, ReactorKind,
+    StopSignal, Waker,
 };
 pub use rng::{derive_seed, unit_hash, SplitMix64};
 pub use swap::{Slot, SlotReader};

@@ -218,6 +218,24 @@ pub trait Reactor: Send + std::fmt::Debug {
     fn wait(&mut self, timeout: Option<Duration>, events: &mut Vec<Event>) -> io::Result<()>;
 }
 
+/// Round a wheel-derived wait gap **up** to whole milliseconds — the
+/// wheel⇄reactor conversion of DESIGN.md §11.
+///
+/// Epoll's native timeout granularity is one millisecond, so any
+/// conversion that truncates turns a sub-millisecond gap (deadline a few
+/// hundred µs out) into a zero timeout: `wait` returns immediately, the
+/// wheel pops nothing because the deadline has not passed, and the shard
+/// busy-spins until it does. Rounding up instead wakes at most one
+/// millisecond *after* the deadline — harmless, the wheel pop is
+/// idempotent on "due now or earlier" — and never before it. Callers
+/// converting `DeadlineWheel::next_deadline() - clock.now()` into a
+/// [`Reactor::wait`] timeout must route through this; a zero gap stays
+/// zero (the deadline is already due, an immediate return makes
+/// progress).
+pub fn round_wait_up_to_ms(gap: Duration) -> Duration {
+    Duration::from_millis(u64::try_from(gap.as_nanos().div_ceil(1_000_000)).unwrap_or(u64::MAX))
+}
+
 /// Which reactor [`make_reactor`] builds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReactorKind {
@@ -490,9 +508,42 @@ mod tests {
         events.iter().copied().filter(|e| e.token == token).collect()
     }
 
+    #[test]
+    fn sub_millisecond_gaps_round_up_never_down() {
+        // The regression of record: a deadline 300 µs out must convert to
+        // a ≥ 1 ms wait, not truncate to 0 and busy-spin.
+        assert_eq!(round_wait_up_to_ms(Duration::from_micros(300)), Duration::from_millis(1));
+        assert_eq!(round_wait_up_to_ms(Duration::ZERO), Duration::ZERO);
+        assert_eq!(round_wait_up_to_ms(Duration::from_millis(4)), Duration::from_millis(4));
+        assert_eq!(
+            round_wait_up_to_ms(Duration::from_millis(4) + Duration::from_nanos(1)),
+            Duration::from_millis(5)
+        );
+        assert_eq!(round_wait_up_to_ms(Duration::MAX), Duration::from_millis(u64::MAX));
+    }
+
     #[cfg(target_os = "linux")]
     mod epoll {
         use super::*;
+
+        #[test]
+        fn rounded_sub_ms_wait_does_not_wake_before_the_deadline() {
+            // End-to-end over the seam: a wheel deadline 300 µs out, the
+            // round-up conversion, a real epoll wait with nothing ready.
+            // A truncating conversion returns in microseconds (the spin);
+            // the contract requires sleeping past the deadline.
+            let mut r = EpollReactor::new().unwrap();
+            let mut events = Vec::new();
+            let gap = Duration::from_micros(300);
+            let start = Instant::now();
+            r.wait(Some(round_wait_up_to_ms(gap)), &mut events).unwrap();
+            assert!(events.is_empty());
+            assert!(
+                start.elapsed() >= gap,
+                "woke {:?} into a {gap:?} gap — sub-ms truncation is back",
+                start.elapsed()
+            );
+        }
 
         #[test]
         fn level_triggered_rereports_until_drained() {

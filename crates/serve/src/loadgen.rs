@@ -144,13 +144,14 @@ impl LoadReport {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
+/// Nearest-rank percentile over an ascending-sorted slice, on the same
+/// snapped-ceil rank as the offline tables (an inline ceil drifts one
+/// rank high when `q × n` is integral, e.g. p50 of 10 samples).
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
     }
-    let rank = ((q / 100.0) * sorted_us.len() as f64).ceil() as usize;
-    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+    sorted_us[beware_core::nearest_rank(q / 100.0, sorted_us.len()) - 1]
 }
 
 /// Run the load against a server at `addr`, stamping latencies and the

@@ -44,7 +44,9 @@ use beware_dataset::snapshot::{
 use beware_policy::{PolicyKind, PolicyTable, PrefixPolicyMap, RttSample, INITIAL_TIMEOUT_SECS};
 use beware_runtime::clock::{SharedClock, WallClock};
 pub use beware_runtime::reactor::ReactorKind;
-use beware_runtime::reactor::{make_reactor, Event, Interest, Reactor, StopSignal, Waker};
+use beware_runtime::reactor::{
+    make_reactor, round_wait_up_to_ms, Event, Interest, Reactor, StopSignal, Waker,
+};
 use beware_runtime::swap::{Slot, SlotReader};
 use beware_runtime::wheel::DeadlineWheel;
 use beware_telemetry::Registry;
@@ -316,16 +318,20 @@ impl PolicyCtx {
         PolicyCtx { map: Mutex::new(map), table: Slot::new(Arc::new(empty)) }
     }
 
-    /// Absorb one RTT report; freeze and publish the table every
-    /// [`POLICY_PUBLISH_EVERY`] reports. Returns the running report
-    /// count.
+    /// Absorb one RTT report; freeze and publish the table on the very
+    /// first report and every [`POLICY_PUBLISH_EVERY`] thereafter.
+    /// Returns the running report count.
+    ///
+    /// Publishing on the first report matters on low-traffic prefixes: a
+    /// publish-every-64 cadence alone leaves readers on the initial empty
+    /// boot table indefinitely when fewer than 64 reports ever arrive.
     fn absorb(&self, addr: u32, rtt_us: u32, stats: &GlobalStats) -> u64 {
         let mut map = self.map.lock().expect("policy map poisoned");
         let n = stats.reports.fetch_add(1, Ordering::Relaxed) + 1;
         // Estimators key on order, not wall time; the report sequence
         // number is a deterministic monotone stand-in.
         map.observe(addr, RttSample::new(f64::from(rtt_us) / 1e6, n as f64));
-        if n.is_multiple_of(POLICY_PUBLISH_EVERY) {
+        if n == 1 || n.is_multiple_of(POLICY_PUBLISH_EVERY) {
             self.table.publish(Arc::new(map.snapshot_table(INITIAL_TIMEOUT_SECS)));
         }
         n
@@ -885,7 +891,11 @@ fn shard_loop(
         if let Some(d) = drain_deadline {
             next_deadline = Some(next_deadline.map_or(d, |n| n.min(d)));
         }
-        let timeout = next_deadline.map(|at| at.saturating_sub(clock.now()));
+        // Round the gap up to whole milliseconds at the conversion site:
+        // epoll timeouts are millisecond-granular, and a truncating
+        // conversion turns a deadline a few hundred µs out into a zero
+        // timeout that spins until it passes.
+        let timeout = next_deadline.map(|at| round_wait_up_to_ms(at.saturating_sub(clock.now())));
         if reactor.wait(timeout, &mut events).is_err() {
             // A broken reactor cannot deliver another event; abandoning
             // the shard beats spinning on the error.

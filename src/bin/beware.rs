@@ -18,11 +18,12 @@ use beware::analysis::timeout_table::TimeoutTable;
 use beware::analysis::Cdf;
 use beware::asdb::gen::{GenConfig, InternetPlan};
 use beware::asdb::persist;
-use beware::bench::{ExperimentCtx, Scale};
+use beware::bench::{ExperimentCtx, FullSpaceCfg, Scale};
 use beware::dataset::stream::{StreamReader, StreamWriter};
 use beware::dataset::{Record, ScanMeta};
 use beware::faultsim::{ChaosProxy, FaultCfg};
 use beware::netsim::scenario::{vantage, Scenario, ScenarioCfg};
+use beware::netsim::{LinkEvent, LinkEventKind, LinkId};
 use beware::policy::{shootout, PolicyKind, ShootoutCfg};
 use beware::probe::census::select_survey_blocks;
 use beware::probe::prelude::*;
@@ -143,6 +144,7 @@ fn main() -> ExitCode {
         "admin" => cmd_admin(&flags),
         "loadgen" => cmd_loadgen(&flags),
         "shootout" => cmd_shootout(&flags),
+        "fullspace" => cmd_fullspace(&flags),
         "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -194,6 +196,11 @@ commands:
   shootout   [--blocks N] [--rounds R] [--round-secs SECS] [--seed S] [--threads N]
              [--addr-pct P] [--ping-pct P] [--penalty SECS] [--out BENCH_6.json]
              [--metrics shootout-metrics.json] | --list-policies
+  fullspace  [--bits N] [--base A.B.C.D] [--blocks N] [--year Y] [--seed S]
+             [--vantage w|c|j|g] [--threads N] [--lazy-hosts CAP] [--quiescence SECS]
+             [--probe-ns NS] [--chunk-bits N] [--out summary.json] [--bench BENCH_7.json]
+             [--event kind:tier:id:from:until[:scale]]  (e.g. degrade:access:0x0100:10:60:0.01,
+             partition:core:64512:30:inf; tiers: access=/16 idx, core=ASN, spine=continent)
   chaos      [--snapshot snap.bwts | --survey survey.bwss] [--seed S]
              [--profile chaos|split|off] [--workers N] [--requests N]
              [--shards N] [--metrics chaos-metrics.json]
@@ -1247,5 +1254,95 @@ fn cmd_shootout(flags: &Flags) -> Result<(), CliError> {
         std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("telemetry -> {path} ({} metrics)", metrics.len());
     }
+    Ok(())
+}
+
+/// A `--event` spec: `kind:tier:id:from:until[:scale]`. `until` may be
+/// `inf`; `id` takes decimal or `0x` hex.
+fn parse_link_event(spec: &str) -> Result<LinkEvent, CliError> {
+    let usage = || {
+        CliError::Usage(format!(
+            "bad --event `{spec}` (expected kind:tier:id:from:until[:scale], \
+             e.g. degrade:access:0x0100:10:60:0.01 or partition:spine:3:30:inf)"
+        ))
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 5 {
+        return Err(usage());
+    }
+    let id = if let Some(hex) = parts[2].strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).map_err(|_| usage())?
+    } else {
+        parts[2].parse::<u32>().map_err(|_| usage())?
+    };
+    let link = match parts[1] {
+        "access" => LinkId::Access(u16::try_from(id).map_err(|_| usage())?),
+        "core" => LinkId::Core(id),
+        "spine" => LinkId::Spine(u8::try_from(id).map_err(|_| usage())?),
+        _ => return Err(usage()),
+    };
+    let secs = |s: &str| -> Result<f64, CliError> {
+        if s == "inf" {
+            Ok(f64::INFINITY)
+        } else {
+            s.parse().map_err(|_| usage())
+        }
+    };
+    let kind = match (parts[0], parts.len()) {
+        ("partition", 5) => LinkEventKind::Partition,
+        ("degrade", 6) => {
+            LinkEventKind::Degrade { capacity_scale: parts[5].parse().map_err(|_| usage())? }
+        }
+        _ => return Err(usage()),
+    };
+    Ok(LinkEvent { link, at_secs: secs(parts[3])?, until_secs: secs(parts[4])?, kind })
+}
+
+fn cmd_fullspace(flags: &Flags) -> Result<(), CliError> {
+    let code = flags.str("vantage").unwrap_or("w");
+    let v =
+        code.chars().next().and_then(vantage).ok_or_else(|| {
+            CliError::Usage(format!("unknown vantage `{code}` (use w, c, j or g)"))
+        })?;
+    let base: std::net::Ipv4Addr =
+        flags.str("base").unwrap_or("0.0.0.0").parse().map_err(|_| {
+            CliError::Usage("bad value for --base (expected a dotted quad)".to_string())
+        })?;
+    let space_bits = flags.num("bits", 30u32)?;
+    let mut cfg = FullSpaceCfg {
+        space_bits,
+        base_addr: u32::from(base),
+        total_blocks: flags.num("blocks", 65_536u32)?,
+        year: flags.num("year", 2015u16)?,
+        seed: flags.num("seed", 0x1511_0b5eu64)?,
+        vantage: v,
+        threads: flags.num("threads", beware::netsim::default_threads())?,
+        host_cap: flags.num("lazy-hosts", 16_384usize)?,
+        quiescence_secs: None,
+        probe_interval_ns: flags.num("probe-ns", 10_000u64)?,
+        chunk_bits: flags.num("chunk-bits", space_bits.min(24))?,
+        link_events: Vec::new(),
+    };
+    if let Some(q) = flags.str("quiescence") {
+        let secs: f64 =
+            q.parse().map_err(|_| CliError::Usage(format!("bad value for --quiescence: `{q}`")))?;
+        cfg.quiescence_secs = Some(secs);
+    }
+    if let Some(spec) = flags.str("event") {
+        cfg.link_events.push(parse_link_event(spec)?);
+    }
+    // run() rejects inconsistent geometry (bits/chunk-bits/base overflow):
+    // those are all flag problems.
+    let report = beware::bench::fullspace::run(&cfg).map_err(CliError::Usage)?;
+    print!("{}", report.summary_text());
+    if let Some(out) = flags.str("out") {
+        std::fs::write(out, report.summary_json())
+            .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+        println!("summary -> {out}");
+    }
+    let bench = flags.str("bench").unwrap_or("BENCH_7.json");
+    std::fs::write(bench, report.bench_json())
+        .map_err(|e| CliError::Io(format!("writing {bench}: {e}")))?;
+    println!("fullspace complete on {} thread(s) -> {bench}", cfg.threads);
     Ok(())
 }

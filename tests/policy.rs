@@ -126,6 +126,38 @@ fn policy_server_adapts_to_reported_rtts() {
     handle.join();
 }
 
+/// Cold start: the very first report must publish a table. Low-traffic
+/// prefixes may never reach the 64-report publish cadence, so a
+/// cadence-only publish leaves readers on the empty boot table
+/// indefinitely — this failed before the first-report publish landed.
+#[test]
+fn single_report_becomes_visible_to_queries() {
+    let samples = campaign_samples();
+    let snap = build_snapshot(&samples, &SnapshotCfg::default()).unwrap();
+    let oracle = Arc::new(Oracle::from_snapshot(snap).unwrap());
+    let handle =
+        server::start(oracle, "127.0.0.1:0", policy_server_cfg(Some(PolicyKind::JacobsonKarn)))
+            .unwrap();
+    let mut client =
+        Client::connect_retry(handle.local_addr(), Duration::from_secs(5), Duration::from_secs(2))
+            .unwrap();
+
+    let addr = 0x0a01_0203u32;
+    assert_eq!(client.report(addr, 120_000).unwrap(), 1);
+
+    let ans = client.query(addr, 950, 950).unwrap();
+    assert_eq!(ans.status, Status::Exact, "one report must already publish its prefix");
+    assert_eq!(ans.prefix, addr & 0xffff_ff00);
+    assert_ne!(
+        ans.timeout_bits,
+        INITIAL_TIMEOUT_SECS.to_bits(),
+        "the answer must come from the estimator, not the empty boot table"
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
 /// A snapshot-only server answers `Report` with a typed error — and the
 /// connection survives it (a server-level error is not a framing fault).
 #[test]
