@@ -19,8 +19,10 @@ pub mod experiments;
 pub mod fullspace;
 pub mod perf;
 pub mod scale;
+pub mod simserve;
 
 pub use ctx::ExperimentCtx;
 pub use fullspace::{FullSpaceCfg, FullSpaceReport};
 pub use perf::BenchReport;
 pub use scale::Scale;
+pub use simserve::{Regime, SimServeCfg, SimServeReport};

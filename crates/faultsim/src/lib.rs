@@ -5,7 +5,7 @@
 //! all — this crate makes our own TCP control plane meet such networks on
 //! demand, reproducibly.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * [`FaultyTransport`] wraps any `Read + Write` transport and applies a
 //!   seeded schedule of byte-level faults: writes split at arbitrary
@@ -16,6 +16,11 @@
 //!   sits between a real client and a real server and injects the same
 //!   fault repertoire into live traffic — the right tool for end-to-end
 //!   chaos suites (`tests/chaos.rs`, `beware chaos`).
+//! * [`topology`] generates seeded [`LinkEvent`](beware_netsim::LinkEvent)
+//!   schedules — partitions and capacity degrades of the netsim's shared
+//!   links — so a fault hits every host behind a link at once instead of
+//!   one connection's byte stream. The right tool for the in-sim campaign
+//!   (`beware simserve`).
 //!
 //! Every decision is drawn from the workspace's canonical SplitMix64
 //! stream (`beware_runtime::rng`), derived with the shared
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod proxy;
+pub mod topology;
 mod transport;
 
 /// The seeding discipline, re-exported from `beware-runtime` — the single
@@ -53,6 +59,7 @@ pub mod rng {
 }
 
 pub use proxy::ChaosProxy;
+pub use topology::{chaos_schedule, mid_campaign_partitions, TopologyFaultCfg};
 pub use transport::FaultyTransport;
 
 /// Fault-injection parameters shared by [`FaultyTransport`] and

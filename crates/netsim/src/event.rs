@@ -1,43 +1,38 @@
-//! The discrete-event queue at the heart of the simulator.
+//! The discrete-event queue at the heart of the simulator — a thin
+//! adapter over [`beware_runtime::DeadlineWheel`].
 //!
-//! A binary heap keyed by `(time, sequence)`: the sequence number breaks
-//! ties in insertion order, which makes event ordering — and therefore the
-//! whole simulation — fully deterministic even when many packets land on
-//! the same nanosecond.
+//! Until PR 10 this module carried its own binary heap keyed
+//! `(time, sequence)`. The wheel orders by `(deadline, generation)` with
+//! the generation unique per schedule call, which is the *same* total
+//! order when every event is scheduled exactly once — so the simulator's
+//! determinism contract (time order, FIFO among same-nanosecond ties) is
+//! inherited rather than re-implemented, and the workspace converges on
+//! one scheduling substrate. What the adapter adds on top:
+//!
+//! * payload storage (the wheel schedules bare keys),
+//! * [`EventKey`]-based cancellation — the seam behind
+//!   [`Ctx::cancel_timer`](crate::sim::Ctx::cancel_timer), retiring the
+//!   generation-counter idiom agents used to fake it,
+//! * the peak-pending gauge the run summaries report.
 
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use beware_runtime::DeadlineWheel;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Handle to one scheduled event, returned by [`EventQueue::push`] and
+/// accepted by [`EventQueue::cancel`]. Keys are never reused within a
+/// queue, so a stale handle is harmlessly inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
 
 /// A deterministic time-ordered event queue.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    wheel: DeadlineWheel<u64>,
+    payloads: HashMap<u64, E>,
     next_seq: u64,
     peak: usize,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    key: Reverse<(SimTime, u64)>,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -49,37 +44,57 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, peak: 0 }
+        EventQueue { wheel: DeadlineWheel::new(), payloads: HashMap::new(), next_seq: 0, peak: 0 }
     }
 
-    /// Schedule `event` at `at`.
-    pub fn push(&mut self, at: SimTime, event: E) {
+    /// Schedule `event` at `at`. Events pushed for the same instant pop
+    /// in push order.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { key: Reverse((at, seq)), event });
-        if self.heap.len() > self.peak {
-            self.peak = self.heap.len();
+        self.wheel.schedule(seq, Duration::from(at));
+        self.payloads.insert(seq, event);
+        if self.payloads.len() > self.peak {
+            self.peak = self.payloads.len();
         }
+        EventKey(seq)
+    }
+
+    /// Cancel a scheduled event, returning its payload if it was still
+    /// pending. Popped, already-cancelled, or foreign keys return `None`.
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        let event = self.payloads.remove(&key.0)?;
+        self.wheel.cancel(&key.0);
+        Some(event)
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+        loop {
+            let (seq, at) = self.wheel.pop_next()?;
+            // A cancelled key may linger in the wheel's lazy heap; its
+            // payload is gone, which is how we know to skip it.
+            if let Some(event) = self.payloads.remove(&seq) {
+                let at = SimTime::try_from(at).expect("deadline came from a SimTime");
+                return Some((at, event));
+            }
+        }
     }
 
     /// Time of the earliest event without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.key.0 .0)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let at = self.wheel.next_deadline()?;
+        Some(SimTime::try_from(at).expect("deadline came from a SimTime"))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.payloads.len()
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.payloads.is_empty()
     }
 
     /// High-water mark: the largest number of events ever pending at once.
@@ -115,6 +130,24 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_nanosecond_ties_break_by_insertion_order() {
+        // Sub-second resolution: many events on one exact nanosecond.
+        let at = SimTime::from_ns(1_234_567_891);
+        let mut q = EventQueue::new();
+        for i in 0..64 {
+            q.push(at, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| {
+            q.pop().map(|(at_pop, e)| {
+                assert_eq!(at_pop, at);
+                e
+            })
+        })
+        .collect();
+        assert_eq!(order, (0..64).collect::<Vec<_>>());
     }
 
     #[test]
@@ -156,6 +189,45 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 5);
         assert_eq!(q.pop().unwrap().1, 10);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one_event() {
+        let mut q = EventQueue::new();
+        let _a = q.push(t(1), "a");
+        let b = q.push(t(2), "b");
+        let _c = q.push(t(3), "c");
+        assert_eq!(q.cancel(b), Some("b"));
+        assert_eq!(q.cancel(b), None, "double cancel is inert");
+        assert_eq!(q.len(), 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_inert_and_peak_counts_live_only() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        let b = q.push(t(2), 2);
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.cancel(a), Some(1));
+        // A cancelled slot frees capacity: pushing again does not bump
+        // the peak past the true simultaneous maximum.
+        q.push(t(3), 3);
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.cancel(b), None, "popped event can no longer be cancelled");
+    }
+
+    #[test]
+    fn cancelled_head_never_surfaces() {
+        let mut q = EventQueue::new();
+        let head = q.push(t(1), "head");
+        q.push(t(5), "tail");
+        assert_eq!(q.cancel(head), Some("head"));
+        assert_eq!(q.peek_time(), Some(t(5)), "peek skips the cancelled head");
+        assert_eq!(q.pop(), Some((t(5), "tail")));
         assert!(q.pop().is_none());
     }
 }

@@ -14,7 +14,7 @@
 //! * The task decomposition is fixed by the caller and never depends on
 //!   the thread count: task `i` receives input `i` of the input vector.
 //! * Every task must derive all of its randomness from its own index (the
-//!   callers use [`crate::rng::derive_seed`] with a per-campaign stream
+//!   callers use `beware_runtime::rng::derive_seed` with a per-campaign stream
 //!   constant plus the task index), never from shared mutable state.
 //! * Results are collected into slot `i` for task `i`; the returned
 //!   vector is therefore byte-identical between `threads = 1` and
@@ -91,7 +91,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::derive_seed;
+    use beware_runtime::rng::derive_seed;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -11,8 +11,9 @@
 //! consistently".
 
 use crate::profile::BlockProfile;
-use crate::rng::{coin, derive_seed, seeded, unit_hash};
+use crate::rng::{coin, seeded};
 use crate::time::{SimDuration, SimTime};
+use beware_runtime::rng::{derive_seed, unit_hash};
 use rand::rngs::StdRng;
 use rand::Rng;
 

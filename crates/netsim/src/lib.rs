@@ -16,7 +16,9 @@
 //!   (Section 3.3.2), TCP-answering firewalls and ICMP rate limiting
 //!   (Section 5.3).
 //!
-//! Module map: [`time`] and [`event`] are the discrete-event substrate,
+//! Module map: [`time`] and [`event`] are the discrete-event substrate
+//! (scheduling through `beware_runtime::DeadlineWheel` and driving a
+//! [`SimClock`] — one scheduler for the whole workspace),
 //! [`rng`] the seeded distributions, [`packet`] the packet model bridging
 //! to `beware-wire` bytes, [`profile`]/[`host`]/[`world`] the behavior
 //! models, [`space`] the procedural (resolve-on-demand) address space and
@@ -52,7 +54,7 @@ pub use link::{LinkCfg, LinkEvent, LinkEventKind, LinkId};
 pub use packet::{Arrival, Packet, L4};
 pub use profile::{BlockProfile, PROFILE_KINDS};
 pub use scenario::{Scenario, ScenarioCfg, Vantage, VANTAGES};
-pub use sim::{Agent, Ctx, RunSummary, Simulation};
+pub use sim::{Agent, Ctx, RunSummary, Simulation, TimerId};
 pub use space::{LazyCfg, ProfileSource, ResolvedBlock};
-pub use time::{SimDuration, SimTime};
+pub use time::{SimClock, SimDuration, SimTime, TimeOutOfRange};
 pub use world::{World, WorldStats};

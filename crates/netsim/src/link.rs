@@ -24,8 +24,8 @@
 //! T inflates RTTs for the whole prefix behind the link, and a partition
 //! black-holes it.
 
-use crate::rng::unit_hash;
 use crate::time::{SimDuration, SimTime};
+use beware_runtime::rng::unit_hash;
 use std::collections::HashMap;
 
 /// Identity of a shared link in the aggregation topology.

@@ -16,18 +16,11 @@ pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-/// Derive a child seed from a parent seed and a stream index, so distinct
-/// components (per-host, per-block, per-scan) get decorrelated streams
-/// without sharing a mutable RNG. SplitMix64 finalizer — re-exported from
-/// `beware_runtime::rng`, the workspace's single implementation (this
-/// module carried its own copy before the dedup; the runtime crate's
-/// tests pin the streams to it bit for bit).
-pub use beware_runtime::rng::derive_seed;
-
-/// A deterministic per-entity hash in `[0, 1)`, used for density decisions
-/// ("is this address a live host?") that must not consume RNG state.
-/// Re-exported from `beware_runtime::rng`.
-pub use beware_runtime::rng::unit_hash;
+// Seed derivation and per-entity unit hashing live in
+// `beware_runtime::rng` (`derive_seed`, `unit_hash`) — the workspace's
+// single SplitMix64 implementation. The delegation re-exports this module
+// carried after the PR-5 dedup are gone; call sites import the runtime
+// crate directly.
 
 /// Continuous distributions over positive reals.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,6 +123,7 @@ pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use beware_runtime::rng::{derive_seed, unit_hash};
 
     fn mean_of(dist: Dist, n: usize, seed: u64) -> f64 {
         let mut rng = seeded(seed);

@@ -24,10 +24,11 @@ use crate::profile::{
     BlockProfile, BroadcastCfg, CongestionCfg, DosCfg, EpisodeCfg, FirewallCfg, RateLimitCfg,
     StormCfg, WakeupCfg,
 };
-use crate::rng::{derive_seed, unit_hash, Dist};
+use crate::rng::Dist;
 use crate::space::{LazyCfg, ProfileSource, ResolvedBlock};
 use crate::world::World;
 use beware_asdb::{AsKind, Asn, Continent, GenConfig, InternetPlan};
+use beware_runtime::rng::{derive_seed, unit_hash};
 use std::sync::Arc;
 
 /// One of the four ISI survey vantage points.

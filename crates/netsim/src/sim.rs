@@ -2,16 +2,22 @@
 //! the world.
 //!
 //! Agents are written callback-style against [`Ctx`]: they send packets,
-//! set timers, and receive deliveries. There is deliberately no way to
-//! cancel a timer — agents track their own generation counters and ignore
-//! stale ones, which keeps the queue simple and the execution order
-//! trivially deterministic.
+//! set timers, and receive deliveries. Since PR 10 the loop schedules
+//! through the shared `runtime::DeadlineWheel` (via
+//! [`EventQueue`](crate::event::EventQueue)) and drives a
+//! [`SimClock`](crate::time::SimClock) forward as it pops — so timers are
+//! genuinely cancellable ([`Ctx::cancel_timer`], retiring the
+//! generation-counter idiom) and any component written against
+//! `beware_runtime::Clock` can observe the simulated timeline through
+//! [`Ctx::clock`]. Execution order stays trivially deterministic:
+//! `(time, push-sequence)`, pinned by test.
 
-use crate::event::EventQueue;
+use crate::event::{EventKey, EventQueue};
 use crate::packet::Packet;
-use crate::time::SimTime;
+use crate::time::{SimClock, SimTime};
 use crate::trace::{Direction, Trace};
 use crate::world::World;
+use beware_runtime::clock::SharedClock;
 
 /// Events the loop dispatches.
 #[derive(Debug)]
@@ -19,6 +25,12 @@ enum Event {
     Deliver(Packet),
     Timer(u64),
 }
+
+/// Handle to a pending timer, returned by [`Ctx::set_timer`] and accepted
+/// by [`Ctx::cancel_timer`]. Stale handles (fired or already cancelled)
+/// are harmlessly inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(EventKey);
 
 /// A probing agent driven by the simulation.
 pub trait Agent {
@@ -35,6 +47,7 @@ pub trait Agent {
 pub struct Ctx<'a> {
     world: &'a mut World,
     queue: &'a mut EventQueue<Event>,
+    clock: &'a SimClock,
     now: SimTime,
     stop: &'a mut bool,
     sent: &'a mut u64,
@@ -60,10 +73,25 @@ impl Ctx<'_> {
     }
 
     /// Schedule [`Agent::on_timer`] with `token` at time `at` (clamped to
-    /// now if already past).
-    pub fn set_timer(&mut self, at: SimTime, token: u64) {
+    /// now if already past). The returned [`TimerId`] can cancel it.
+    pub fn set_timer(&mut self, at: SimTime, token: u64) -> TimerId {
         let at = at.max(self.now);
-        self.queue.push(at, Event::Timer(token));
+        TimerId(self.queue.push(at, Event::Timer(token)))
+    }
+
+    /// Cancel a pending timer. Returns whether it was still pending —
+    /// `false` means it already fired or was already cancelled, which
+    /// callers may treat as a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) -> bool {
+        self.queue.cancel(id.0).is_some()
+    }
+
+    /// The simulated timeline as a `beware_runtime::Clock` — hand this to
+    /// components (policy estimators, serve engines) that stamp time
+    /// through the runtime seam. It reads exactly [`Ctx::now`], advanced
+    /// by the event loop.
+    pub fn clock(&self) -> SharedClock {
+        self.clock.handle()
     }
 
     /// End the simulation after the current callback returns.
@@ -145,6 +173,7 @@ impl<A: Agent> Simulation<A> {
     /// (empty unless [`Simulation::with_trace`] was called).
     pub fn run_traced(mut self) -> (A, World, RunSummary, Trace) {
         let mut queue = EventQueue::new();
+        let clock = SimClock::new();
         let mut stop = false;
         let mut sent = 0u64;
         let mut delivered = 0u64;
@@ -157,6 +186,7 @@ impl<A: Agent> Simulation<A> {
             let mut ctx = Ctx {
                 world: &mut self.world,
                 queue: &mut queue,
+                clock: &clock,
                 now,
                 stop: &mut stop,
                 sent: &mut sent,
@@ -174,6 +204,7 @@ impl<A: Agent> Simulation<A> {
             }
             debug_assert!(at >= now, "event time went backwards");
             now = at;
+            clock.advance_to(now);
             events += 1;
             if tracing {
                 if let Event::Deliver(pkt) = &event {
@@ -183,6 +214,7 @@ impl<A: Agent> Simulation<A> {
             let mut ctx = Ctx {
                 world: &mut self.world,
                 queue: &mut queue,
+                clock: &clock,
                 now,
                 stop: &mut stop,
                 sent: &mut sent,
@@ -316,6 +348,72 @@ mod tests {
         let (agent, _, summary) = Simulation::new(test_world(), Stopper { fired: 0 }).run();
         assert_eq!(agent.fired, 1);
         assert_eq!(summary.events, 1);
+    }
+
+    #[test]
+    fn cancel_timer_prevents_firing() {
+        // A request/timeout pair: the timeout timer is set when the probe
+        // goes out and *cancelled* when the reply lands — the pattern the
+        // generation-counter idiom used to fake.
+        struct CancelAgent {
+            pending: Option<TimerId>,
+            timeouts: u32,
+            replies: u32,
+        }
+        impl Agent for CancelAgent {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(Packet::echo_request(PROBER, 0x0a000042, 7, 0, vec![]));
+                // RTT is 0.1 s; this timeout would fire at 3 s if not
+                // cancelled.
+                self.pending = Some(ctx.set_timer(ctx.now() + SimDuration::from_secs(3), 9));
+            }
+            fn on_packet(&mut self, _: Packet, ctx: &mut Ctx<'_>) {
+                self.replies += 1;
+                let id = self.pending.take().expect("reply implies pending timer");
+                assert!(ctx.cancel_timer(id), "timer was still pending");
+                assert!(!ctx.cancel_timer(id), "double cancel is inert");
+            }
+            fn on_timer(&mut self, _: u64, _: &mut Ctx<'_>) {
+                self.timeouts += 1;
+            }
+        }
+        let agent = CancelAgent { pending: None, timeouts: 0, replies: 0 };
+        let (agent, _, summary) = Simulation::new(test_world(), agent).run();
+        assert_eq!(agent.replies, 1);
+        assert_eq!(agent.timeouts, 0, "cancelled timer must not fire");
+        // Only the delivery is processed; the cancelled timer never
+        // surfaces, so the run ends at the reply, not at 3 s.
+        assert_eq!(summary.events, 1);
+        assert_eq!(summary.end_time.as_secs_f64(), 0.1);
+    }
+
+    #[test]
+    fn ctx_clock_tracks_simulation_time() {
+        struct ClockAgent {
+            stamps: Vec<std::time::Duration>,
+            handle: Option<beware_runtime::clock::SharedClock>,
+        }
+        impl Agent for ClockAgent {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                let h = ctx.clock();
+                assert!(h.is_virtual());
+                self.handle = Some(h);
+                ctx.set_timer(ctx.now() + SimDuration::from_millis(1500), 0);
+                ctx.set_timer(ctx.now() + SimDuration::from_secs(4), 1);
+            }
+            fn on_packet(&mut self, _: Packet, _: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _: u64, ctx: &mut Ctx<'_>) {
+                let h = self.handle.as_ref().unwrap();
+                assert_eq!(h.now(), std::time::Duration::from(ctx.now()));
+                self.stamps.push(h.now());
+            }
+        }
+        let agent = ClockAgent { stamps: Vec::new(), handle: None };
+        let (agent, _, _) = Simulation::new(test_world(), agent).run();
+        assert_eq!(
+            agent.stamps,
+            vec![std::time::Duration::from_millis(1500), std::time::Duration::from_secs(4)]
+        );
     }
 
     #[test]

@@ -5,9 +5,24 @@
 //! whole seconds for timeout and unmatched records — so [`SimTime`] exposes
 //! both truncations explicitly; analysis code must choose one deliberately
 //! rather than inherit whatever a float happened to hold.
+//!
+//! ## Bridging to the runtime timebase
+//!
+//! `beware_runtime::Clock` timestamps are [`std::time::Duration`]s since
+//! the clock's epoch. Both [`SimTime`] and [`SimDuration`] convert
+//! **losslessly** into `Duration` via [`From`] (every u64 of nanoseconds
+//! fits). The reverse direction is fallible — a `Duration` can hold up to
+//! u128 nanoseconds — so it is spelled [`TryFrom`], and callers that
+//! genuinely want the old clamping behavior say so with
+//! [`SimDuration::saturating_from`]. [`SimClock`] packages the bridge: a
+//! [`VirtualClock`](beware_runtime::VirtualClock) whose hands are moved by
+//! the event loop, so agent code and runtime components (wheel deadlines,
+//! reactors, policy estimators) observe one shared timeline.
 
+use beware_runtime::clock::{Clock, SharedClock, VirtualClock};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
 
 /// A point in simulation time (nanoseconds since the simulation epoch).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -57,16 +72,6 @@ impl SimTime {
     /// Duration since an earlier instant, saturating at zero.
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
-    }
-
-    /// This instant as a [`std::time::Duration`] since the simulation
-    /// epoch — the bridge onto the `beware_runtime::Clock` timebase,
-    /// whose timestamps are `Duration`s since *its* epoch. Lets a
-    /// simulated schedule drive a
-    /// [`VirtualClock`](beware_runtime::VirtualClock) (or be compared
-    /// against one) without unit juggling.
-    pub const fn as_duration(self) -> std::time::Duration {
-        std::time::Duration::from_nanos(self.0)
     }
 }
 
@@ -133,6 +138,14 @@ impl SimDuration {
         self.0 as f64 / 1e9
     }
 
+    /// A `std::time::Duration` clamped into the u64 nanosecond horizon
+    /// (~584 years) — the explicit spelling of what the retired
+    /// `From<Duration>` impl did silently. Use [`TryFrom`] unless a clamp
+    /// is genuinely what the call site means.
+    pub fn saturating_from(d: Duration) -> SimDuration {
+        SimDuration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
     /// Saturating addition.
     pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_add(rhs.0))
@@ -144,17 +157,49 @@ impl SimDuration {
     }
 }
 
-impl From<SimDuration> for std::time::Duration {
-    fn from(d: SimDuration) -> std::time::Duration {
-        std::time::Duration::from_nanos(d.0)
+/// Lossless: every u64 of nanoseconds fits in a `Duration`.
+impl From<SimDuration> for Duration {
+    fn from(d: SimDuration) -> Duration {
+        Duration::from_nanos(d.0)
     }
 }
 
-impl From<std::time::Duration> for SimDuration {
-    /// Saturates at the u64 nanosecond horizon (~584 years), matching
-    /// every other saturating operation on simulation time.
-    fn from(d: std::time::Duration) -> SimDuration {
-        SimDuration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+/// Lossless: a simulation instant *is* its offset from the epoch, which
+/// is exactly what a `beware_runtime::Clock` timestamp is.
+impl From<SimTime> for Duration {
+    fn from(t: SimTime) -> Duration {
+        Duration::from_nanos(t.0)
+    }
+}
+
+/// A `std::time::Duration` too large for the u64 nanosecond simulation
+/// horizon (~584 years).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeOutOfRange;
+
+impl fmt::Display for TimeOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duration exceeds the u64-nanosecond simulation horizon")
+    }
+}
+
+impl std::error::Error for TimeOutOfRange {}
+
+impl TryFrom<Duration> for SimDuration {
+    type Error = TimeOutOfRange;
+    /// Fails (rather than silently clamping) past the u64 nanosecond
+    /// horizon; see [`SimDuration::saturating_from`] for the clamp.
+    fn try_from(d: Duration) -> Result<SimDuration, TimeOutOfRange> {
+        u64::try_from(d.as_nanos()).map(SimDuration).map_err(|_| TimeOutOfRange)
+    }
+}
+
+impl TryFrom<Duration> for SimTime {
+    type Error = TimeOutOfRange;
+    /// Interprets the duration as an offset from the simulation epoch —
+    /// the inverse of `Duration::from(SimTime)`.
+    fn try_from(d: Duration) -> Result<SimTime, TimeOutOfRange> {
+        u64::try_from(d.as_nanos()).map(SimTime).map_err(|_| TimeOutOfRange)
     }
 }
 
@@ -192,6 +237,50 @@ impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// The simulation's clock: a [`VirtualClock`] whose hands are moved by
+/// the event loop.
+///
+/// [`Simulation::run`](crate::sim::Simulation::run) advances this clock
+/// to each event's timestamp as it pops, so anything holding a
+/// [`handle`](SimClock::handle) — runtime components, agents, telemetry —
+/// reads the same timeline the scheduler is executing. This is the seam
+/// that lets code written against `beware_runtime::Clock` (the serve
+/// engine, policy estimators, reactors) run unmodified inside the
+/// simulator: zero real sockets, zero real sleeps.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    inner: VirtualClock,
+}
+
+impl SimClock {
+    /// A simulation clock at the epoch.
+    pub fn new() -> SimClock {
+        SimClock { inner: VirtualClock::new() }
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        // A VirtualClock stores u64 nanoseconds internally, so this
+        // round-trip cannot overflow the simulation horizon.
+        SimTime::try_from(self.inner.now()).expect("virtual clock stays within u64 ns")
+    }
+
+    /// Move the clock forward to `t`. No-op if `t` is not later than now —
+    /// the clock is monotonic even if a caller replays an old timestamp.
+    pub fn advance_to(&self, t: SimTime) {
+        let now = self.now();
+        if let Some(delta) = t.checked_since(now) {
+            self.inner.advance(Duration::from(delta));
+        }
+    }
+
+    /// A ready-to-share `Arc<dyn Clock>` view of this timeline, for
+    /// handing to components written against `beware_runtime::Clock`.
+    pub fn handle(&self) -> SharedClock {
+        self.inner.handle()
     }
 }
 
@@ -252,15 +341,45 @@ mod tests {
     }
 
     #[test]
-    fn std_duration_bridge_roundtrips_and_saturates() {
-        use std::time::Duration;
+    fn std_duration_bridge_is_lossless_out_and_checked_back() {
         let d = SimDuration::from_millis(1234);
         assert_eq!(Duration::from(d), Duration::from_millis(1234));
-        assert_eq!(SimDuration::from(Duration::from_micros(7)), SimDuration::from_us(7));
+        assert_eq!(SimDuration::try_from(Duration::from_micros(7)), Ok(SimDuration::from_us(7)));
         let t = SimTime::EPOCH + SimDuration::from_secs(145);
-        assert_eq!(t.as_duration(), Duration::from_secs(145));
-        // A Duration can exceed u64 nanoseconds; the bridge saturates.
-        assert_eq!(SimDuration::from(Duration::from_secs(u64::MAX / 4)).as_ns(), u64::MAX);
+        assert_eq!(Duration::from(t), Duration::from_secs(145));
+        assert_eq!(SimTime::try_from(Duration::from_secs(145)), Ok(t));
+        // A Duration can exceed u64 nanoseconds; the checked bridge says
+        // so, and the saturating spelling clamps explicitly.
+        let huge = Duration::from_secs(u64::MAX / 4);
+        assert_eq!(SimDuration::try_from(huge), Err(TimeOutOfRange));
+        assert_eq!(SimTime::try_from(huge), Err(TimeOutOfRange));
+        assert_eq!(SimDuration::saturating_from(huge).as_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn bridge_roundtrips_every_nanosecond() {
+        // Lossless both ways for values inside the horizon — including
+        // sub-microsecond residues a millisecond-based bridge would shed.
+        for ns in [0u64, 1, 999, 1_000_001, 1_500_000_007, u64::MAX] {
+            let d = SimDuration::from_ns(ns);
+            assert_eq!(SimDuration::try_from(Duration::from(d)), Ok(d));
+            let t = SimTime::from_ns(ns);
+            assert_eq!(SimTime::try_from(Duration::from(t)), Ok(t));
+        }
+    }
+
+    #[test]
+    fn sim_clock_advances_monotonically_and_shares_its_timeline() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now(), SimTime::EPOCH);
+        let handle = clock.handle();
+        clock.advance_to(SimTime::from_ns(2_500));
+        assert_eq!(clock.now(), SimTime::from_ns(2_500));
+        assert_eq!(handle.now(), Duration::from_nanos(2_500), "handle sees the same timeline");
+        assert!(handle.is_virtual());
+        // Replaying an older timestamp must not rewind.
+        clock.advance_to(SimTime::from_ns(100));
+        assert_eq!(clock.now(), SimTime::from_ns(2_500));
     }
 
     #[test]

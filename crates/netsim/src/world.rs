@@ -24,10 +24,11 @@ use crate::host::{self, HostState, Reply};
 use crate::link::{LinkCfg, LinkId, LinkLayer};
 use crate::packet::{Arrival, Packet, L4};
 use crate::profile::{BlockProfile, PROFILE_KINDS};
-use crate::rng::{derive_seed, seeded};
+use crate::rng::seeded;
 use crate::space::{HostTable, LazyCfg, ProfileCache, ProfileSource};
 use crate::time::{SimDuration, SimTime};
 use beware_asdb::{Asn, Continent};
+use beware_runtime::rng::derive_seed;
 use beware_wire::icmp::IcmpKind;
 use rand::rngs::StdRng;
 use std::collections::HashMap;

@@ -1,14 +1,66 @@
 //! Property tests over the simulator: sampled values stay physical, host
 //! behavior stays bounded, and the world is a pure function of its seed.
 
+use beware_netsim::event::{EventKey, EventQueue};
 use beware_netsim::host::{class_of, is_live, HostState};
 use beware_netsim::packet::Packet;
 use beware_netsim::profile::{BlockProfile, CongestionCfg, EpisodeCfg, StormCfg, WakeupCfg};
-use beware_netsim::rng::{derive_seed, seeded, unit_hash, Dist};
+use beware_netsim::rng::{seeded, Dist};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::World;
+use beware_runtime::rng::{derive_seed, unit_hash};
 use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// The event loop netsim carried until PR 10, kept verbatim as the
+/// reference model: a binary heap keyed `(time, sequence)` with
+/// cancellation by payload removal. The wheel-backed [`EventQueue`] must
+/// replay any schedule this loop accepts, event for event.
+#[derive(Default)]
+struct RetiredHeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: std::collections::HashMap<u64, u64>,
+    next_seq: u64,
+}
+
+impl RetiredHeapQueue {
+    fn push(&mut self, at_ns: u64, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at_ns, seq)));
+        self.payloads.insert(seq, payload);
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> Option<u64> {
+        self.payloads.remove(&seq)
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if let Some(payload) = self.payloads.remove(&seq) {
+                return Some((at, payload));
+            }
+        }
+        None
+    }
+
+    fn peek_ns(&mut self) -> Option<u64> {
+        while let Some(&Reverse((at, seq))) = self.heap.peek() {
+            if self.payloads.contains_key(&seq) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+/// One step of a virtual-time schedule: the op kind selector and a raw
+/// draw that doubles as deadline (pushes) or victim selector (cancels).
+type ScheduleOp = (u8, u64);
 
 fn arb_dist() -> impl Strategy<Value = Dist> {
     prop_oneof![
@@ -148,6 +200,59 @@ proptest! {
             out
         };
         prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wheel_backed_queue_replays_the_retired_heap_byte_identically(
+        ops in proptest::collection::vec((0u8..5, any::<u64>()), 1..300),
+    ) {
+        // Replay one interleaved schedule of pushes, cancels, pops and
+        // peeks through both loops. Deadlines are drawn from a window of
+        // 64 nanoseconds so same-instant ties (the FIFO contract) are
+        // common, not freak events.
+        let mut wheel_q: EventQueue<u64> = EventQueue::new();
+        let mut heap_q = RetiredHeapQueue::default();
+        let mut live: Vec<(EventKey, u64)> = Vec::new(); // (wheel key, heap seq)
+        let mut next_payload = 0u64;
+        for &(kind, draw) in &ops as &Vec<ScheduleOp> {
+            match kind {
+                // Pushes dominate so schedules grow deep enough to
+                // exercise ordering, not just drain immediately.
+                0 | 1 => {
+                    let at_ns = draw % 64;
+                    let key = wheel_q.push(SimTime::from_ns(at_ns), next_payload);
+                    let seq = heap_q.push(at_ns, next_payload);
+                    live.push((key, seq));
+                    next_payload += 1;
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let (key, seq) = live.swap_remove(draw as usize % live.len());
+                        prop_assert_eq!(wheel_q.cancel(key), heap_q.cancel(seq));
+                    }
+                }
+                3 => {
+                    // Stale entries left in `live` after a pop are fine:
+                    // both loops answer a later cancel with `None`.
+                    let wheel_pop = wheel_q.pop().map(|(at, p)| (at.as_ns(), p));
+                    prop_assert_eq!(wheel_pop, heap_q.pop());
+                }
+                _ => {
+                    prop_assert_eq!(wheel_q.peek_time().map(SimTime::as_ns), heap_q.peek_ns());
+                }
+            }
+        }
+        // Drain both: the remaining schedules must replay identically to
+        // the last event, and agree that they are empty.
+        loop {
+            let wheel_pop = wheel_q.pop().map(|(at, p)| (at.as_ns(), p));
+            let heap_pop = heap_q.pop();
+            prop_assert_eq!(wheel_pop, heap_pop);
+            if wheel_pop.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel_q.is_empty());
     }
 
     #[test]

@@ -23,9 +23,10 @@
 
 use beware_dataset::{Record, RecordKind};
 use beware_netsim::profile::{BlockProfile, CongestionCfg, DiurnalCfg, ShiftCfg};
-use beware_netsim::rng::{derive_seed, unit_hash, Dist};
+use beware_netsim::rng::Dist;
 use beware_netsim::World;
 use beware_probe::prelude::*;
+use beware_runtime::rng::{derive_seed, unit_hash};
 use beware_telemetry::Registry;
 use std::sync::Arc;
 

@@ -9,9 +9,9 @@
 //! since 2006 plus a fresh sample of census-responsive blocks.
 
 use beware_netsim::packet::{Packet, L4};
-use beware_netsim::rng::{derive_seed, unit_hash};
 use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
+use beware_runtime::rng::{derive_seed, unit_hash};
 use beware_wire::icmp::IcmpKind;
 use std::collections::BTreeMap;
 

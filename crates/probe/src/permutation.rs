@@ -10,7 +10,7 @@
 //! cycle; at most `p − 1 − n` iterations are skipped, and by Bertrand's
 //! postulate `p < 2n`, so iteration stays O(1) amortized.
 
-use beware_netsim::rng::derive_seed;
+use beware_runtime::rng::derive_seed;
 
 /// An iterator producing each value of `0..n` exactly once, in a
 /// pseudo-random order determined by `seed`.

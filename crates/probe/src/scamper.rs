@@ -16,10 +16,10 @@
 //! far beyond scamper's 2 s default were observed at all.
 
 use beware_netsim::packet::{Packet, L4};
-use beware_netsim::rng::derive_seed;
 use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::quoted_destination;
+use beware_runtime::rng::derive_seed;
 use beware_wire::icmp::IcmpKind;
 use beware_wire::payload::ProbePayload;
 use beware_wire::tcp::{TcpFlags, TcpRepr};

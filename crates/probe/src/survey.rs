@@ -18,10 +18,11 @@
 
 use beware_dataset::{Record, RecordSink, SurveyStats};
 use beware_netsim::packet::{Packet, L4};
-use beware_netsim::rng::{coin, derive_seed, seeded, unit_hash};
+use beware_netsim::rng::{coin, seeded};
 use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
 use beware_netsim::world::quoted_destination;
+use beware_runtime::rng::{derive_seed, unit_hash};
 use beware_wire::icmp::IcmpKind;
 use beware_wire::payload::ProbePayload;
 use rand::rngs::StdRng;

@@ -15,9 +15,9 @@ use crate::permutation::CyclicPermutation;
 use beware_asdb::PrefixTrie;
 use beware_dataset::{ScanMeta, ScanRecord, ZmapScan};
 use beware_netsim::packet::{Packet, L4};
-use beware_netsim::rng::derive_seed;
 use beware_netsim::sim::{Agent, Ctx};
 use beware_netsim::time::{SimDuration, SimTime};
+use beware_runtime::rng::derive_seed;
 use beware_wire::icmp::IcmpKind;
 use beware_wire::payload::ProbePayload;
 

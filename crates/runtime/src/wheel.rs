@@ -112,6 +112,19 @@ impl<K: Eq + Hash + Clone> DeadlineWheel<K> {
         None
     }
 
+    /// Pop the earliest live key regardless of the current time, with its
+    /// deadline. The discrete-event form of [`pop_expired`]: a simulated
+    /// loop jumps its clock *to* each deadline instead of waiting for it,
+    /// so "expired" is whatever is next. Same deterministic order.
+    ///
+    /// [`pop_expired`]: DeadlineWheel::pop_expired
+    pub fn pop_next(&mut self) -> Option<(K, Duration)> {
+        self.sweep();
+        let e = self.heap.pop()?;
+        self.live.remove(&e.key);
+        Some((e.key, e.at))
+    }
+
     /// Number of live deadlines.
     pub fn len(&self) -> usize {
         self.live.len()
@@ -203,6 +216,18 @@ mod tests {
         assert_eq!(w.next_deadline(), Some(s(2)), "cancelled top entry swept");
         assert_eq!(w.pop_expired(s(5)), Some(("y", s(2))));
         assert_eq!(w.pop_expired(s(5)), None);
+    }
+
+    #[test]
+    fn pop_next_ignores_now_but_keeps_order() {
+        let mut w = DeadlineWheel::new();
+        w.schedule("late", s(100));
+        w.schedule("early", s(1));
+        w.schedule("tie", s(1));
+        assert_eq!(w.pop_next(), Some(("early", s(1))));
+        assert_eq!(w.pop_next(), Some(("tie", s(1))), "FIFO among equal deadlines");
+        assert_eq!(w.pop_next(), Some(("late", s(100))), "not gated on any notion of now");
+        assert_eq!(w.pop_next(), None);
     }
 
     #[test]

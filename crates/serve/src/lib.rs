@@ -6,6 +6,9 @@
 //! ([`builder`]), loaded into an immutable longest-prefix-match
 //! [`Oracle`], and served over a compact checksummed binary protocol
 //! ([`proto`]) by a sharded thread-per-core TCP server ([`server`]).
+//! The protocol state machine itself lives in [`engine`], behind a
+//! [`Transport`] seam, so the identical oracle+policy logic also runs
+//! over in-memory channels inside the netsim (`beware simserve`).
 //! A blocking [`client`] library and a closed-loop [`loadgen`] complete
 //! the loop.
 //!
@@ -27,6 +30,7 @@
 
 pub mod builder;
 pub mod client;
+pub mod engine;
 pub mod loadgen;
 pub mod oracle;
 pub mod proto;
@@ -35,6 +39,9 @@ pub mod swap;
 
 pub use builder::{build_snapshot, SnapshotCfg};
 pub use client::{Answer, Client, ClientError, ServerStats, SnapshotInfo};
+pub use engine::{
+    channel_pair, ChannelPeer, ChannelTransport, Conn, Engine, EngineCore, Transport,
+};
 pub use loadgen::{LoadCfg, LoadReport, ReloadCfg, ReloadReport};
 pub use oracle::{Lookup, LookupError, Oracle, OracleError};
 pub use proto::{ErrorCode, Message, ProtoError, ReloadKind, Status, PROTO_VERSION};

@@ -14,6 +14,12 @@
 //! live under the `sched/` family, which the JSON export excludes; see
 //! DESIGN.md §8).
 //!
+//! The protocol state machine itself lives in [`crate::engine`], behind
+//! the [`Transport`](crate::engine::Transport) seam: this module is only
+//! the *socket* incarnation — listener, acceptor, reactor registration,
+//! interest flips, the idle wheel. `beware simserve` runs the same
+//! [`Engine`] over in-memory channels inside netsim.
+//!
 //! **Nobody spins.** A shard blocks in [`Reactor::wait`] with a timeout
 //! derived from its [`DeadlineWheel`] next deadline (idle eviction, the
 //! shutdown drain bound), so an idle connection costs ~zero CPU: the
@@ -26,38 +32,33 @@
 //! No peer can make a shard wait (DESIGN.md §9). Replies go through a
 //! **bounded per-connection output queue** drained on writability with
 //! nonblocking writes: a peer that stops reading costs its shard
-//! nothing, and is closed outright once [`OUT_QUEUE_CAP`] reply bytes
-//! pile up. Reads are budgeted per readiness event ([`READ_BUDGET`]) so
-//! one firehose connection cannot starve its shard siblings — the
+//! nothing, and is closed outright once [`ServerCfg::out_queue_cap`]
+//! reply bytes pile up. Reads are budgeted per readiness event so one
+//! firehose connection cannot starve its shard siblings — the
 //! level-triggered reactor simply re-reports the leftover — and a
 //! connection idle past the configured timeout is closed rather than
 //! waited on forever: bounded listen, not infinite patience, applied to
 //! ourselves. Faults handled on the way (write backpressure, queue
 //! overflows) are counted under the nondeterministic `faults/` family.
 
-use crate::oracle::{LookupError, Oracle};
-use crate::proto::{self, ErrorCode, Message, ProtoError, ReloadKind, Status};
-use crate::swap::{OracleHandle, OracleReader};
-use beware_dataset::snapshot::{
-    prefix_mask, read_delta, read_snapshot, snapshot_checksum, SnapshotError,
-};
-use beware_policy::{PolicyKind, PolicyTable, PrefixPolicyMap, RttSample, INITIAL_TIMEOUT_SECS};
+use crate::engine::{Conn, Engine, EngineCore, OUT_QUEUE_CAP};
+use crate::proto;
+use crate::swap::OracleHandle;
+use beware_policy::PolicyKind;
 use beware_runtime::clock::{SharedClock, WallClock};
 pub use beware_runtime::reactor::ReactorKind;
 use beware_runtime::reactor::{
     make_reactor, round_wait_up_to_ms, Event, Interest, Reactor, StopSignal, Waker,
 };
-use beware_runtime::swap::{Slot, SlotReader};
 use beware_runtime::wheel::DeadlineWheel;
 use beware_telemetry::Registry;
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -81,7 +82,7 @@ pub struct ServerCfg {
     /// (most importantly the `ShutdownAck`) for at most this long.
     pub drain_timeout: Duration,
     /// Upper bound on one connection's queued-but-unsent reply bytes;
-    /// past it the connection is closed (see [`enqueue_reply`]).
+    /// past it the connection is closed.
     pub out_queue_cap: usize,
     /// Whether telemetry is recorded.
     pub metrics: bool,
@@ -98,7 +99,7 @@ pub struct ServerCfg {
     /// Snapshot source for hot reloads: the file `Reload` admin frames
     /// (and the poller, if enabled) load from — a full `.bwts` snapshot
     /// or a `.bwtd` delta. `None` disables the reload plane; `Reload`
-    /// then answers [`ErrorCode::ReloadUnavailable`].
+    /// then answers `ErrorCode::ReloadUnavailable`.
     pub reload_from: Option<PathBuf>,
     /// When set, shard 0 re-reads [`reload_from`](Self::reload_from) on
     /// this period through its deadline wheel — no extra thread, no
@@ -108,10 +109,10 @@ pub struct ServerCfg {
     /// When set, the server answers queries from an **online estimator**
     /// of this kind instead of the static snapshot: clients feed it
     /// measured RTTs via `Report` frames, and the per-prefix state is
-    /// periodically frozen into a [`PolicyTable`] published through the
+    /// periodically frozen into a `PolicyTable` published through the
     /// same epoch-swap mechanism hot reloads use. `None` (the default)
     /// serves the snapshot; `Report` then answers
-    /// [`ErrorCode::PolicyUnavailable`].
+    /// `ErrorCode::PolicyUnavailable`.
     pub policy: Option<PolicyKind>,
 }
 
@@ -286,65 +287,6 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// Aggregate counters served by the `Stats` request. Shared across
-/// shards; relaxed ordering is fine for monotone counters.
-#[derive(Debug, Default)]
-struct GlobalStats {
-    queries: AtomicU64,
-    hits_exact: AtomicU64,
-    hits_fallback: AtomicU64,
-    reports: AtomicU64,
-}
-
-/// How many absorbed `Report`s between [`PolicyTable`] publications.
-/// Small enough that a fresh estimate reaches the read path promptly,
-/// large enough that the freeze-and-swap cost amortizes.
-const POLICY_PUBLISH_EVERY: u64 = 64;
-
-/// The online-estimator plane, shared by every shard when
-/// [`ServerCfg::policy`] is set. The mutable per-prefix map lives behind
-/// a mutex touched only by `Report` handling; the read path answers
-/// from the last published [`PolicyTable`] through a lock-free slot
-/// reader — a query never waits on a report.
-struct PolicyCtx {
-    map: Mutex<PrefixPolicyMap>,
-    table: Slot<PolicyTable>,
-}
-
-impl PolicyCtx {
-    fn new(kind: PolicyKind) -> PolicyCtx {
-        let map = PrefixPolicyMap::for_kind(kind);
-        let empty = PolicyTable::empty(map.prefix_len(), INITIAL_TIMEOUT_SECS);
-        PolicyCtx { map: Mutex::new(map), table: Slot::new(Arc::new(empty)) }
-    }
-
-    /// Absorb one RTT report; freeze and publish the table on the very
-    /// first report and every [`POLICY_PUBLISH_EVERY`] thereafter.
-    /// Returns the running report count.
-    ///
-    /// Publishing on the first report matters on low-traffic prefixes: a
-    /// publish-every-64 cadence alone leaves readers on the initial empty
-    /// boot table indefinitely when fewer than 64 reports ever arrive.
-    fn absorb(&self, addr: u32, rtt_us: u32, stats: &GlobalStats) -> u64 {
-        let mut map = self.map.lock().expect("policy map poisoned");
-        let n = stats.reports.fetch_add(1, Ordering::Relaxed) + 1;
-        // Estimators key on order, not wall time; the report sequence
-        // number is a deterministic monotone stand-in.
-        map.observe(addr, RttSample::new(f64::from(rtt_us) / 1e6, n as f64));
-        if n == 1 || n.is_multiple_of(POLICY_PUBLISH_EVERY) {
-            self.table.publish(Arc::new(map.snapshot_table(INITIAL_TIMEOUT_SECS)));
-        }
-        n
-    }
-}
-
-/// A shard's view of the policy plane: the shared context plus its own
-/// lock-free table reader.
-struct PolicyPlane {
-    ctx: Arc<PolicyCtx>,
-    reader: SlotReader<PolicyTable>,
-}
-
 /// A running server. Dropping the handle without calling
 /// [`ServerHandle::join`] leaves the threads running detached until a
 /// `Shutdown` frame arrives.
@@ -407,27 +349,22 @@ const LISTENER_TOKEN: u64 = 0;
 /// ephemeral port).
 ///
 /// `oracle` is anything convertible into an [`OracleHandle`]: a bare
-/// [`Oracle`] or `Arc<Oracle>` wraps into a fresh slot at version 1;
-/// passing an existing handle shares the slot, so the caller can
-/// publish hot reloads from outside the server.
+/// [`Oracle`](crate::oracle::Oracle) or `Arc<Oracle>` wraps into a fresh
+/// slot at version 1; passing an existing handle shares the slot, so the
+/// caller can publish hot reloads from outside the server.
 pub fn start(
     oracle: impl Into<OracleHandle>,
     bind: impl ToSocketAddrs,
     cfg: ServerCfg,
 ) -> io::Result<ServerHandle> {
-    let handle = oracle.into();
     let shards = cfg.shards.max(1);
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let stop = Arc::new(StopSignal::new());
-    let stats = Arc::new(GlobalStats::default());
-    let policy = cfg.policy.map(|kind| Arc::new(PolicyCtx::new(kind)));
-    let reload = Arc::new(ReloadCtx {
-        handle: handle.clone(),
-        source: cfg.reload_from.clone(),
-        lock: Mutex::new(()),
-    });
+    let core =
+        Arc::new(EngineCore::new(oracle, Arc::clone(&stop), cfg.policy, cfg.reload_from.clone()));
+    let handle = core.oracle().clone();
 
     // Reactors and doorbells are created here, not in the threads, so a
     // resource failure (fd limit, unsupported platform) surfaces as an
@@ -441,14 +378,15 @@ pub fn start(
         reactor.add_waker(Arc::clone(&waker), WAKER_TOKEN)?;
         stop.subscribe(Arc::clone(&waker));
         senders.push((tx, waker));
-        let reader = handle.reader();
-        let reload = Arc::clone(&reload);
+        let engine = core.engine(Arc::clone(&cfg.clock), cfg.out_queue_cap);
+        // One reload poller per server, riding shard 0's wheel; every
+        // shard can still execute an admin `Reload`.
+        let schedule_poll =
+            shard_index == 0 && core.reload_source().is_some() && cfg.reload_poll.is_some();
         let stop = Arc::clone(&stop);
-        let stats = Arc::clone(&stats);
-        let policy = policy.as_ref().map(Arc::clone);
         let cfg = cfg.clone();
         shard_handles.push(std::thread::spawn(move || {
-            shard_loop(rx, reactor, reader, reload, policy, shard_index, stop, stats, &cfg)
+            shard_loop(rx, reactor, engine, schedule_poll, stop, &cfg)
         }));
     }
 
@@ -466,133 +404,6 @@ pub fn start(
     });
 
     Ok(ServerHandle { addr, stop, oracle: handle, acceptor: Some(acceptor), shards: shard_handles })
-}
-
-/// Everything a shard needs to execute a reload: the slot to publish
-/// into, the configured source path, and a lock that makes each
-/// reload's read-base → apply → publish sequence atomic against
-/// concurrent reloads on other shards (without it, two racing delta
-/// reloads could both read the same base and the loser would publish a
-/// snapshot the winner's delta never saw).
-struct ReloadCtx {
-    handle: OracleHandle,
-    source: Option<PathBuf>,
-    lock: Mutex<()>,
-}
-
-/// What a reload attempt did.
-enum ReloadOutcome {
-    /// A new oracle was published at `version`.
-    Swapped { version: u64, entries: u32, checksum: u64 },
-    /// Poll only: the source already matches what is being served.
-    Unchanged,
-    /// The delta was computed against a base that is not the serving
-    /// snapshot.
-    Stale,
-    /// Corrupt or invalid source; the serving snapshot is untouched.
-    Rejected,
-}
-
-/// Decode `bytes` as a snapshot source (full or delta), apply, and
-/// publish. With `explicit` the kind is the operator's claim — a
-/// mismatched magic decodes as garbage and is `Rejected`. `None` (the
-/// poller) sniffs the magic and reports an already-applied source as
-/// `Unchanged`, which is what makes polling idempotent.
-fn apply_reload(ctx: &ReloadCtx, bytes: &[u8], explicit: Option<ReloadKind>) -> ReloadOutcome {
-    let _guard = ctx.lock.lock().expect("reload lock poisoned");
-    let current = ctx.handle.current();
-    let is_delta = match explicit {
-        Some(ReloadKind::Full) => false,
-        Some(ReloadKind::Delta) => true,
-        None => bytes.starts_with(b"BWTD"),
-    };
-    let built = if is_delta {
-        let Ok(delta) = read_delta(&mut &bytes[..]) else { return ReloadOutcome::Rejected };
-        if explicit.is_none() && delta.target_checksum == current.checksum() {
-            return ReloadOutcome::Unchanged;
-        }
-        // The base the delta applies to is reconstructed from the
-        // serving oracle itself — `apply` then enforces the base
-        // checksum, so a delta against any other generation is Stale.
-        match delta.apply(&current.to_snapshot()) {
-            Ok(snap) => Oracle::from_snapshot(snap),
-            Err(SnapshotError::StaleDelta { .. }) => return ReloadOutcome::Stale,
-            Err(_) => return ReloadOutcome::Rejected,
-        }
-    } else {
-        let Ok(snap) = read_snapshot(&mut &bytes[..]) else { return ReloadOutcome::Rejected };
-        if explicit.is_none() && snapshot_checksum(&snap) == current.checksum() {
-            return ReloadOutcome::Unchanged;
-        }
-        Oracle::from_snapshot(snap)
-    };
-    match built {
-        Ok(oracle) => {
-            let entries = oracle.entry_count() as u32;
-            let checksum = oracle.checksum();
-            let version = ctx.handle.publish(Arc::new(oracle));
-            ReloadOutcome::Swapped { version, entries, checksum }
-        }
-        Err(_) => ReloadOutcome::Rejected,
-    }
-}
-
-/// Execute an explicit `Reload` admin frame against the configured
-/// source, accounting under `oracle/`.
-fn admin_reload(kind: ReloadKind, ctx: &ReloadCtx, reg: &mut Registry) -> Message {
-    let Some(path) = ctx.source.as_ref() else {
-        reg.scope("oracle").incr("reload_failures");
-        return Message::Error { code: ErrorCode::ReloadUnavailable };
-    };
-    let bytes = match std::fs::read(path) {
-        Ok(b) => b,
-        Err(_) => {
-            reg.scope("oracle").incr("reload_failures");
-            return Message::Error { code: ErrorCode::SnapshotRejected };
-        }
-    };
-    match apply_reload(ctx, &bytes, Some(kind)) {
-        ReloadOutcome::Swapped { version, entries, checksum } => {
-            let mut oracle_scope = reg.scope("oracle");
-            oracle_scope.incr("reloads");
-            oracle_scope.gauge_max("snapshot_version", version);
-            Message::SnapshotInfoReply { version, entries, checksum }
-        }
-        ReloadOutcome::Stale => {
-            reg.scope("oracle").incr("stale_delta_rejected");
-            Message::Error { code: ErrorCode::StaleDelta }
-        }
-        ReloadOutcome::Rejected | ReloadOutcome::Unchanged => {
-            reg.scope("oracle").incr("reload_failures");
-            Message::Error { code: ErrorCode::SnapshotRejected }
-        }
-    }
-}
-
-/// One wheel-scheduled poll of the reload source. A read failure is
-/// transient by assumption (the file is mid-copy or not yet dropped)
-/// and counted under `sched/`; decode and apply failures are operator
-/// mistakes and land under `oracle/` where dashboards watch.
-fn poll_reload(ctx: &ReloadCtx, reg: &mut Registry) {
-    let Some(path) = ctx.source.as_ref() else { return };
-    let Ok(bytes) = std::fs::read(path) else {
-        reg.scope("sched").scope("serve").incr("reload_poll_errors");
-        return;
-    };
-    match apply_reload(ctx, &bytes, None) {
-        ReloadOutcome::Swapped { version, .. } => {
-            let mut oracle_scope = reg.scope("oracle");
-            oracle_scope.incr("reloads");
-            oracle_scope.gauge_max("snapshot_version", version);
-        }
-        ReloadOutcome::Unchanged => {}
-        ReloadOutcome::Stale => {
-            reg.scope("oracle").incr("stale_delta_rejected");
-        }
-        ReloadOutcome::Rejected => {
-            reg.scope("oracle").incr("reload_failures");
-        }
-    }
 }
 
 /// Accept loop: drain every pending connection, hand each to a shard
@@ -659,96 +470,12 @@ fn acceptor_loop(
     reg
 }
 
-/// One connection owned by a shard.
-struct Conn {
-    /// Shard-local identity — the reactor registration token and the key
-    /// of this connection's idle deadline on the shard's
-    /// [`DeadlineWheel`].
-    id: u64,
-    stream: TcpStream,
-    /// Reassembly buffer for partially received frames.
-    buf: Vec<u8>,
-    /// Bounded outbound queue. Replies are *enqueued* here and drained
-    /// on writability with nonblocking writes — the shard never waits on
-    /// a peer's receive window, so one connection that stops reading
-    /// cannot head-of-line-block every other connection on the shard
-    /// (the old `write_all_nb` sleep-retry loop did exactly that).
-    out: Vec<u8>,
-    /// Offset of the not-yet-written suffix of `out`.
-    out_pos: usize,
-    open: bool,
-    /// Reply of record is queued (error frame, shutdown ack): stop
-    /// reading, close once `out` drains.
-    close_after_flush: bool,
-    /// Read activity since the last service pass; the shard loop pushes
-    /// the idle deadline out (reschedules the wheel) when set.
-    touched: bool,
-    /// The interest currently registered with the reactor; flipped to
-    /// include writability exactly while a backlog exists.
-    interest: Interest,
-}
-
-impl Conn {
-    fn new(id: u64, stream: TcpStream) -> Conn {
-        Conn {
-            id,
-            stream,
-            buf: Vec::new(),
-            out: Vec::new(),
-            out_pos: 0,
-            open: true,
-            close_after_flush: false,
-            touched: false,
-            interest: Interest::READABLE,
-        }
-    }
-
-    /// Bytes queued but not yet on the wire.
-    fn backlog(&self) -> usize {
-        self.out.len() - self.out_pos
-    }
-
-    /// The interest this connection's state wants registered: readable
-    /// while we still accept requests, writable exactly while a backlog
-    /// exists.
-    fn desired_interest(&self, draining: bool) -> Interest {
-        let mut want = Interest::NONE;
-        if !self.close_after_flush && !draining {
-            want = want.and(Interest::READABLE);
-        }
-        if self.backlog() > 0 {
-            want = want.and(Interest::WRITABLE);
-        }
-        want
-    }
-}
-
-/// Per-shard answer cache cap; the cache is cleared wholesale when full
-/// (queries repeat heavily under load, so wholesale eviction is rare and
-/// keeps the structure trivial).
-const CACHE_CAP: usize = 8192;
-
-/// Default for [`ServerCfg::out_queue_cap`]: the upper bound on one
-/// connection's queued-but-unsent reply bytes. A peer that keeps sending
-/// queries without draining its answers is a slow reader at best and an
-/// attacker at worst; past this bound the connection is closed
-/// (`faults/serve/queue_overflow_closed`) instead of buffering without
-/// limit.
-const OUT_QUEUE_CAP: usize = 64 * 1024;
-
-/// Per-connection, per-readiness-event read budget. One firehose
-/// connection may fill at most this many bytes before the shard moves on
-/// to its siblings' events; the level-triggered reactor re-reports the
-/// leftover on the next wait, so ingress bandwidth is shared round-robin
-/// instead of drained connection-by-connection.
-const READ_BUDGET: usize = 16 * 1024;
-
 /// Re-register a connection when its desired interest changed. A failed
 /// re-registration is unrecoverable for the connection (the reactor has
 /// lost track of it), so it is closed and counted.
 fn sync_interest(
     reactor: &mut Box<dyn Reactor>,
-    conn: &mut Conn,
+    conn: &mut Conn<TcpStream>,
     draining: bool,
     reg: &mut Registry,
 ) {
@@ -756,7 +483,7 @@ fn sync_interest(
     if want == conn.interest || !conn.open {
         return;
     }
-    match reactor.reregister(conn.stream.as_raw_fd(), conn.id, want) {
+    match reactor.reregister(conn.transport().as_raw_fd(), conn.id, want) {
         Ok(()) => conn.interest = want,
         Err(_) => {
             reg.scope("faults").scope("serve").incr("reactor_lost");
@@ -769,39 +496,28 @@ fn sync_interest(
 /// ids count up from zero and can never reach it.
 const RELOAD_WHEEL_KEY: u64 = u64::MAX;
 
-#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     rx: Receiver<TcpStream>,
     mut reactor: Box<dyn Reactor>,
-    mut reader: OracleReader,
-    reload: Arc<ReloadCtx>,
-    policy: Option<Arc<PolicyCtx>>,
-    shard_index: usize,
+    mut engine: Engine,
+    schedule_poll: bool,
     stop: Arc<StopSignal>,
-    stats: Arc<GlobalStats>,
     cfg: &ServerCfg,
 ) -> Registry {
-    let mut policy = policy.map(|ctx| PolicyPlane { reader: ctx.table.reader(), ctx });
     let clock = Arc::clone(&cfg.clock);
     let mut reg = if cfg.metrics { Registry::new() } else { Registry::disabled() };
-    let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut cache: HashMap<(u32, u16, u16), Message> = HashMap::new();
-    // Snapshot version the cache's entries were answered from; a swap
-    // invalidates them wholesale (see `handle_request`).
-    let mut cache_version = reader.version();
+    let mut conns: HashMap<u64, Conn<TcpStream>> = HashMap::new();
     // The gauge exists on every shard so the merged export is identical
     // whichever shard (if any) ends up handling a reload.
-    reg.scope("oracle").gauge_max("snapshot_version", reader.version());
-    let mut scratch = [0u8; 4096];
+    reg.scope("oracle").gauge_max("snapshot_version", engine.snapshot_version());
     // Every idle deadline on this shard lives in one wheel, keyed by
     // connection id: scheduled on adoption, pushed out on read activity,
     // popped (→ eviction) when simulated-or-real time passes it. Its
     // next deadline is also the shard's wait timeout — the wheel⇄reactor
     // contract (DESIGN.md §11).
     let mut wheel: DeadlineWheel<u64> = DeadlineWheel::new();
-    // The reload poll rides the same wheel on shard 0 only — one poller
-    // per server; every shard can still execute an admin `Reload`.
-    if shard_index == 0 && reload.source.is_some() {
+    // The reload poll rides the same wheel on shard 0 only.
+    if schedule_poll {
         if let Some(period) = cfg.reload_poll {
             wheel.schedule(RELOAD_WHEEL_KEY, clock.now() + period);
         }
@@ -820,7 +536,7 @@ fn shard_loop(
             let id = next_conn_id;
             next_conn_id += 1;
             let conn = Conn::new(id, stream);
-            match reactor.register(conn.stream.as_raw_fd(), id, Interest::READABLE) {
+            match reactor.register(conn.transport().as_raw_fd(), id, Interest::READABLE) {
                 Ok(()) => {
                     wheel.schedule(id, clock.now() + cfg.idle_timeout);
                     conns.insert(id, conn);
@@ -850,7 +566,7 @@ fn shard_loop(
         while let Some((id, _)) = wheel.pop_expired(clock.now()) {
             if id == RELOAD_WHEEL_KEY {
                 reg.scope("sched").scope("serve").incr("reload_polls");
-                poll_reload(&reload, &mut reg);
+                engine.poll_reload(&mut reg);
                 if let Some(period) = cfg.reload_poll {
                     wheel.schedule(RELOAD_WHEEL_KEY, clock.now() + period);
                 }
@@ -870,7 +586,7 @@ fn shard_loop(
                 // Deregister before the fd closes on drop so the
                 // fallback reactor's table stays truthful (epoll drops
                 // closed fds on its own).
-                let _ = reactor.deregister(c.stream.as_raw_fd(), *id);
+                let _ = reactor.deregister(c.transport().as_raw_fd(), *id);
                 wheel.cancel(id);
                 false
             }
@@ -915,23 +631,10 @@ fn shard_loop(
             let Some(conn) = conns.get_mut(&ev.token) else { continue };
             conn_events = true;
             if ev.readable && !draining {
-                progress |= service_conn(
-                    conn,
-                    &mut reader,
-                    &reload,
-                    policy.as_mut(),
-                    &stop,
-                    &stats,
-                    &mut cache,
-                    &mut cache_version,
-                    &mut reg,
-                    &mut scratch,
-                    &clock,
-                    cfg.out_queue_cap,
-                );
+                progress |= engine.service(conn, &mut reg);
             }
             if conn.open && (ev.writable || conn.backlog() > 0) {
-                progress |= flush_conn(conn, &mut reg, cfg.out_queue_cap);
+                progress |= engine.flush(conn, &mut reg);
             }
             if conn.touched {
                 conn.touched = false;
@@ -944,313 +647,4 @@ fn shard_loop(
         }
     }
     reg
-}
-
-/// Nonblocking drain of one connection's output queue. Never waits: a
-/// full peer window surfaces as `faults/serve/write_backpressure` plus a
-/// writable-interest registration, and the remaining bytes stay queued
-/// until the reactor reports writability.
-fn flush_conn(conn: &mut Conn, reg: &mut Registry, out_queue_cap: usize) -> bool {
-    let mut progress = false;
-    while conn.open && conn.out_pos < conn.out.len() {
-        match conn.stream.write(&conn.out[conn.out_pos..]) {
-            Ok(0) => {
-                conn.open = false;
-            }
-            Ok(n) => {
-                conn.out_pos += n;
-                progress = true;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                reg.scope("faults").scope("serve").incr("write_backpressure");
-                break;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                conn.open = false;
-            }
-        }
-    }
-    if conn.out_pos >= conn.out.len() {
-        conn.out.clear();
-        conn.out_pos = 0;
-        if conn.close_after_flush {
-            conn.open = false;
-        }
-    } else if conn.out_pos >= out_queue_cap / 2 {
-        // Keep the queue's memory proportional to the *unsent* bytes.
-        conn.out.drain(..conn.out_pos);
-        conn.out_pos = 0;
-    }
-    progress
-}
-
-/// Queue a reply frame on a connection, enforcing the output bound. A
-/// peer that has let [`ServerCfg::out_queue_cap`] bytes pile up is cut
-/// off.
-fn enqueue_reply(conn: &mut Conn, frame: &[u8], reg: &mut Registry, out_queue_cap: usize) {
-    if conn.backlog() + frame.len() > out_queue_cap {
-        reg.scope("faults").scope("serve").incr("queue_overflow_closed");
-        conn.open = false;
-        return;
-    }
-    conn.out.extend_from_slice(frame);
-}
-
-/// Pump one connection: read what is available (bounded by
-/// [`READ_BUDGET`]), decode, and queue a reply for every complete frame.
-/// Returns true when any byte moved.
-#[allow(clippy::too_many_arguments)]
-fn service_conn(
-    conn: &mut Conn,
-    reader: &mut OracleReader,
-    reload: &ReloadCtx,
-    mut policy: Option<&mut PolicyPlane>,
-    stop: &StopSignal,
-    stats: &GlobalStats,
-    cache: &mut HashMap<(u32, u16, u16), Message>,
-    cache_version: &mut u64,
-    reg: &mut Registry,
-    scratch: &mut [u8],
-    clock: &SharedClock,
-    out_queue_cap: usize,
-) -> bool {
-    let mut progress = false;
-    let mut budget = READ_BUDGET;
-    while conn.open && !conn.close_after_flush {
-        if budget == 0 {
-            // Fairness: leave the rest for the next readiness report so
-            // a firehose peer cannot starve its shard siblings.
-            reg.scope("sched").scope("serve").incr("read_budget_deferrals");
-            break;
-        }
-        let want = scratch.len().min(budget);
-        match conn.stream.read(&mut scratch[..want]) {
-            Ok(0) => {
-                conn.open = false;
-                break;
-            }
-            Ok(n) => {
-                budget -= n;
-                reg.scope("serve").add("bytes_in", n as u64);
-                conn.buf.extend_from_slice(&scratch[..n]);
-                conn.touched = true;
-                progress = true;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => {
-                conn.open = false;
-                break;
-            }
-        }
-    }
-
-    let mut consumed = 0usize;
-    while conn.open && !conn.close_after_flush {
-        match proto::try_decode(&conn.buf[consumed..]) {
-            Ok(Some((msg, used))) => {
-                consumed += used;
-                let t0 = clock.now();
-                let (reply, close) = handle_request(
-                    &msg,
-                    reader,
-                    reload,
-                    policy.as_deref_mut(),
-                    stop,
-                    stats,
-                    cache,
-                    cache_version,
-                    reg,
-                );
-                let frame = proto::encode(&reply);
-                reg.scope("serve").add("bytes_out", frame.len() as u64);
-                enqueue_reply(conn, &frame, reg, out_queue_cap);
-                let ns = u64::try_from(clock.since(t0).as_nanos()).unwrap_or(u64::MAX);
-                reg.scope("walltime").scope("serve").observe("request_ns", ns);
-                if close {
-                    conn.close_after_flush = true;
-                }
-                progress = true;
-            }
-            Ok(None) => break,
-            Err(e) => {
-                // Framing is lost: queue one error report, then close
-                // once it has drained.
-                reg.scope("serve").incr("proto_errors");
-                let code = match e {
-                    ProtoError::Version(_) => ErrorCode::BadVersion,
-                    _ => ErrorCode::Malformed,
-                };
-                let frame = proto::encode(&Message::Error { code });
-                reg.scope("serve").add("bytes_out", frame.len() as u64);
-                enqueue_reply(conn, &frame, reg, out_queue_cap);
-                conn.close_after_flush = true;
-                progress = true;
-            }
-        }
-    }
-    conn.buf.drain(..consumed);
-    progress
-}
-
-/// Dispatch one decoded request. Returns the reply and whether the
-/// connection should close afterwards.
-#[allow(clippy::too_many_arguments)]
-fn handle_request(
-    msg: &Message,
-    reader: &mut OracleReader,
-    reload: &ReloadCtx,
-    policy: Option<&mut PolicyPlane>,
-    stop: &StopSignal,
-    stats: &GlobalStats,
-    cache: &mut HashMap<(u32, u16, u16), Message>,
-    cache_version: &mut u64,
-    reg: &mut Registry,
-) -> (Message, bool) {
-    let mut serve = reg.scope("serve");
-    serve.incr("requests");
-    match *msg {
-        Message::Query { addr, addr_pct_tenths, ping_pct_tenths } => {
-            serve.incr("queries");
-            stats.queries.fetch_add(1, Ordering::Relaxed);
-            if let Some(plane) = policy {
-                // Policy mode: answer from the last published estimator
-                // table. Coverage percentiles don't apply to an online
-                // estimate; they are accepted and ignored so clients need
-                // no mode-specific query. No reply cache either — the
-                // table turns over every few reports, so a cache would
-                // mostly serve invalidation.
-                let table = plane.reader.current();
-                let ans = table.lookup(addr);
-                let (status, prefix, prefix_len) = if ans.exact {
-                    (Status::Exact, addr & prefix_mask(table.prefix_len()), table.prefix_len())
-                } else {
-                    (Status::Fallback, 0, 0)
-                };
-                bump_hit(stats, reg, status);
-                return (
-                    Message::Answer {
-                        status,
-                        timeout_bits: ans.timeout_secs.to_bits(),
-                        prefix,
-                        prefix_len,
-                    },
-                    false,
-                );
-            }
-            // Resolve the oracle exactly once; the whole answer comes
-            // from this one immutable snapshot, so a swap mid-request
-            // can never produce a torn reply.
-            let oracle = Arc::clone(reader.current());
-            if reader.version() != *cache_version {
-                // Cached replies belong to the previous snapshot.
-                cache.clear();
-                *cache_version = reader.version();
-            }
-            let key = (addr, addr_pct_tenths, ping_pct_tenths);
-            if let Some(&cached) = cache.get(&key) {
-                reg.scope("sched").scope("serve").incr("cache_hits");
-                // Deterministic per-request counters must not depend on
-                // whether this shard's cache happened to hold the reply.
-                match cached {
-                    Message::Answer { status, .. } => bump_hit(stats, reg, status),
-                    Message::Error { .. } => {
-                        reg.scope("serve").incr("errors_unsupported_pct");
-                    }
-                    _ => {}
-                }
-                return (cached, false);
-            }
-            reg.scope("sched").scope("serve").incr("cache_misses");
-            let reply = match oracle.lookup(addr, addr_pct_tenths, ping_pct_tenths) {
-                Ok(ans) => {
-                    bump_hit(stats, reg, ans.status);
-                    Message::Answer {
-                        status: ans.status,
-                        timeout_bits: ans.timeout_bits,
-                        prefix: ans.prefix,
-                        prefix_len: ans.prefix_len,
-                    }
-                }
-                Err(LookupError::UnsupportedAddressPercentile(_))
-                | Err(LookupError::UnsupportedPingPercentile(_)) => {
-                    reg.scope("serve").incr("errors_unsupported_pct");
-                    Message::Error { code: ErrorCode::UnsupportedPercentile }
-                }
-            };
-            if cache.len() >= CACHE_CAP {
-                cache.clear();
-            }
-            cache.insert(key, reply);
-            (reply, false)
-        }
-        Message::Stats => {
-            serve.incr("stats_requests");
-            (
-                Message::StatsReply {
-                    queries: stats.queries.load(Ordering::Relaxed),
-                    hits_exact: stats.hits_exact.load(Ordering::Relaxed),
-                    hits_fallback: stats.hits_fallback.load(Ordering::Relaxed),
-                },
-                false,
-            )
-        }
-        Message::SnapshotInfo => {
-            serve.incr("info_requests");
-            // `current()` refreshes the cached pair under the slot lock,
-            // so the (version, oracle) this reply reports is consistent.
-            let oracle = Arc::clone(reader.current());
-            (
-                Message::SnapshotInfoReply {
-                    version: reader.version(),
-                    entries: oracle.entry_count() as u32,
-                    checksum: oracle.checksum(),
-                },
-                false,
-            )
-        }
-        Message::Reload { kind } => {
-            serve.incr("reload_requests");
-            (admin_reload(kind, reload, reg), false)
-        }
-        Message::Report { addr, rtt_us } => {
-            serve.incr("report_requests");
-            match policy {
-                Some(plane) => {
-                    let reports = plane.ctx.absorb(addr, rtt_us, stats);
-                    (Message::ReportAck { reports }, false)
-                }
-                None => {
-                    reg.scope("serve").incr("errors_policy_unavailable");
-                    (Message::Error { code: ErrorCode::PolicyUnavailable }, false)
-                }
-            }
-        }
-        Message::Shutdown => {
-            serve.incr("shutdown_requests");
-            // Raise the flag *and* ring every shard and the acceptor —
-            // they are blocked in their reactors, not polling a flag.
-            stop.request_stop();
-            (Message::ShutdownAck, true)
-        }
-        // A reply opcode arriving as a request is a confused client.
-        _ => {
-            serve.incr("errors_bad_request");
-            (Message::Error { code: ErrorCode::UnknownOpcode }, false)
-        }
-    }
-}
-
-fn bump_hit(stats: &GlobalStats, reg: &mut Registry, status: Status) {
-    match status {
-        Status::Exact => {
-            stats.hits_exact.fetch_add(1, Ordering::Relaxed);
-            reg.scope("serve").incr("hits_exact");
-        }
-        Status::Fallback => {
-            stats.hits_fallback.fetch_add(1, Ordering::Relaxed);
-            reg.scope("serve").incr("hits_fallback");
-        }
-    }
 }

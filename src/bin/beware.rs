@@ -145,6 +145,7 @@ fn main() -> ExitCode {
         "loadgen" => cmd_loadgen(&flags),
         "shootout" => cmd_shootout(&flags),
         "fullspace" => cmd_fullspace(&flags),
+        "simserve" => cmd_simserve(&flags),
         "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -201,6 +202,12 @@ commands:
              [--probe-ns NS] [--chunk-bits N] [--out summary.json] [--bench BENCH_7.json]
              [--event kind:tier:id:from:until[:scale]]  (e.g. degrade:access:0x0100:10:60:0.01,
              partition:core:64512:30:inf; tiers: access=/16 idx, core=ASN, spine=continent)
+  simserve   [--clients N] [--queries N] [--cell-bits B] [--seed S]
+             [--regime steady|covid_step|diurnal_drift] [--partition]
+             [--interval-us U] [--threads N] [--policy NAME]
+             [--out summary.json] [--bench BENCH_8.json]
+             (oracle server + N closed-loop clients inside the netsim;
+             summary is byte-identical across --threads and repeat runs)
   chaos      [--snapshot snap.bwts | --survey survey.bwss] [--seed S]
              [--profile chaos|split|off] [--workers N] [--requests N]
              [--shards N] [--metrics chaos-metrics.json]
@@ -208,7 +215,7 @@ commands:
 exit codes: 0 ok | 1 runtime failure | 2 usage/config | 3 file I/O | 4 corrupt snapshot";
 
 /// Flags that are pure switches: present means `true`, no value token.
-const SWITCH_FLAGS: &[&str] = &["list-policies", "report-rtts"];
+const SWITCH_FLAGS: &[&str] = &["list-policies", "report-rtts", "partition"];
 
 /// Parsed `--name value` flags.
 struct Flags(HashMap<String, String>);
@@ -1344,5 +1351,50 @@ fn cmd_fullspace(flags: &Flags) -> Result<(), CliError> {
     std::fs::write(bench, report.bench_json())
         .map_err(|e| CliError::Io(format!("writing {bench}: {e}")))?;
     println!("fullspace complete on {} thread(s) -> {bench}", cfg.threads);
+    Ok(())
+}
+
+/// `beware simserve`: the oracle server plus N closed-loop clients run
+/// entirely inside the netsim — the serve engine over channel
+/// transports, every timeout a cancellable wheel timer, faults as
+/// topology events. The summary is a pure function of the campaign
+/// identity (everything except `--threads`), so CI can `cmp` it across
+/// thread counts and repeat runs.
+fn cmd_simserve(flags: &Flags) -> Result<(), CliError> {
+    let regime_name = flags.str("regime").unwrap_or("steady");
+    let regime = beware::bench::simserve::Regime::from_name(regime_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown --regime `{regime_name}` (use steady, covid_step or diurnal_drift)"
+        ))
+    })?;
+    let policy = match flags.str("policy") {
+        None => None,
+        Some(name) => Some(PolicyKind::from_name(name).ok_or_else(|| {
+            let known: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+            CliError::Usage(format!("unknown --policy `{name}` (use {})", known.join(", ")))
+        })?),
+    };
+    let cfg = beware::bench::SimServeCfg {
+        clients: flags.num("clients", 1_000_000u64)?,
+        queries_per_client: flags.num("queries", 2u32)?,
+        cell_bits: flags.num("cell-bits", 16u32)?,
+        seed: flags.num("seed", 0x1511_0b5eu64)?,
+        regime,
+        partition: flags.str("partition").is_some(),
+        interval_us: flags.num("interval-us", 1_000_000u64)?,
+        threads: flags.num("threads", beware::netsim::default_threads())?,
+        policy,
+    };
+    let report = beware::bench::simserve::run(&cfg).map_err(CliError::Usage)?;
+    print!("{}", report.summary_text());
+    if let Some(out) = flags.str("out") {
+        std::fs::write(out, report.summary_json())
+            .map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+        println!("summary -> {out}");
+    }
+    let bench = flags.str("bench").unwrap_or("BENCH_8.json");
+    std::fs::write(bench, report.bench_json())
+        .map_err(|e| CliError::Io(format!("writing {bench}: {e}")))?;
+    println!("simserve complete on {} thread(s) -> {bench}", cfg.threads);
     Ok(())
 }
